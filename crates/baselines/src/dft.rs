@@ -1,0 +1,276 @@
+//! The DFT-style baseline (Xie, Li & Phillips, PVLDB 2017), extended to
+//! threshold search as described in the paper's §7.1.
+//!
+//! Structural features reproduced faithfully — they are the mechanisms the
+//! paper blames for DFT's gap to DITA (§2.3, §7.2.1):
+//!
+//! * the index is built over trajectory **segments**, so one trajectory's
+//!   segments spread over multiple partitions (non-clustered layout, data
+//!   duplication);
+//! * searching runs in **two phases with a driver barrier**: every partition
+//!   reports a candidate bitmap, the driver merges them, and only then is a
+//!   separate verification job launched against the trajectory store;
+//! * a join would need **one bitmap per query** held at the driver, which is
+//!   the memory blow-up that kept DFT from completing joins (§7.2.2);
+//!   [`DftSystem::join_bitmap_bytes`] quantifies it.
+
+use dita_cluster::{Cluster, JobStats, TaskSpec};
+use dita_distance::DistanceFunction;
+use dita_index::partitioner::str_tiles_pub;
+use dita_rtree::RTree;
+use dita_trajectory::{Mbr, Point, Trajectory, TrajectoryId};
+use std::collections::HashMap;
+
+/// A trajectory table indexed DFT-style (segment R-trees + bitmap filter).
+pub struct DftSystem {
+    cluster: Cluster,
+    /// Per-partition R-tree over segment MBRs, tagged with *dense*
+    /// trajectory indexes (bitmap slots).
+    segment_indexes: Vec<RTree<u32>>,
+    /// The trajectory store, round-robin partitioned, *separate* from the
+    /// index (the "dual indexing" second copy of the data).
+    store: Vec<Vec<Trajectory>>,
+    /// Trajectory id → bitmap slot.
+    slots: HashMap<TrajectoryId, u32>,
+    num_trajectories: usize,
+}
+
+impl DftSystem {
+    /// Builds segment indexes over `num_partitions` STR tiles of segment
+    /// centers plus a round-robin trajectory store.
+    pub fn build(trajectories: &[Trajectory], num_partitions: usize, cluster: Cluster) -> Self {
+        let slots: HashMap<TrajectoryId, u32> = trajectories
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.id, i as u32))
+            .collect();
+        // All segments: (center, mbr, bitmap slot).
+        let mut centers: Vec<Point> = Vec::new();
+        let mut segs: Vec<(Mbr, u32)> = Vec::new();
+        for (slot, t) in trajectories.iter().enumerate() {
+            let pts = t.points();
+            if pts.len() == 1 {
+                centers.push(pts[0]);
+                segs.push((Mbr::from_point(pts[0]), slot as u32));
+            }
+            for w in pts.windows(2) {
+                let mbr = Mbr::new(w[0], w[1]);
+                centers.push(mbr.center());
+                segs.push((mbr, slot as u32));
+            }
+        }
+        let idx: Vec<usize> = (0..segs.len()).collect();
+        let tiles = str_tiles_pub(&centers, idx, num_partitions.max(1));
+        let segment_indexes: Vec<RTree<u32>> = tiles
+            .into_iter()
+            .filter(|t| !t.is_empty())
+            .map(|tile| RTree::bulk_load(tile.into_iter().map(|i| segs[i]).collect()))
+            .collect();
+
+        let mut store: Vec<Vec<Trajectory>> =
+            (0..cluster.num_workers()).map(|_| Vec::new()).collect();
+        for (i, t) in trajectories.iter().enumerate() {
+            store[cluster.place(i)].push(t.clone());
+        }
+        DftSystem {
+            cluster,
+            segment_indexes,
+            store,
+            slots,
+            num_trajectories: trajectories.len(),
+        }
+    }
+
+    /// Number of stored trajectories.
+    pub fn len(&self) -> usize {
+        self.num_trajectories
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.num_trajectories == 0
+    }
+
+    /// Index size (segment R-trees) — the paper's Table 5 shows this is an
+    /// order of magnitude larger than DITA's local index.
+    pub fn index_size_bytes(&self) -> usize {
+        self.segment_indexes.iter().map(RTree::size_bytes).sum()
+    }
+
+    /// Bitmap bytes a join with `n_queries` left rows would pin at the
+    /// driver: one `len()`-bit bitmap per query (the paper measured 0.2 MB
+    /// per query on Beijing — ~2.2 TB for a full join).
+    pub fn join_bitmap_bytes(&self, n_queries: usize) -> u64 {
+        (self.num_trajectories as u64).div_ceil(8) * n_queries as u64
+    }
+
+    /// Threshold search with the two-phase filter/verify protocol.
+    ///
+    /// Phase 1 marks every trajectory owning a segment within `tau` of any
+    /// query point (sound for DTW/Fréchet: every trajectory point must
+    /// align within `tau`, and every point lies on a segment; for the other
+    /// functions the filter degrades to a full scan). Phase 2 verifies
+    /// against the store.
+    ///
+    /// Returns `(hits, candidate count, filter job, verify job)` — two jobs
+    /// because of the driver-side barrier.
+    pub fn search(
+        &self,
+        q: &[Point],
+        tau: f64,
+        func: &DistanceFunction,
+    ) -> (Vec<(TrajectoryId, f64)>, usize, JobStats, JobStats) {
+        assert!(!q.is_empty());
+        let aligned = func.aligns_endpoints();
+        let q_mbr = Mbr::from_points(q.iter());
+        let q_bytes = std::mem::size_of_val(q) as u64;
+
+        // --- Phase 1: distributed filter, bitmap per partition ---
+        let tasks: Vec<TaskSpec<usize>> = (0..self.segment_indexes.len())
+            .map(|pid| TaskSpec {
+                worker: self.cluster.place(pid),
+                incoming_bytes: q_bytes,
+                payload: pid,
+            })
+            .collect();
+        let (bitmaps, filter_job) = self.cluster.execute(tasks, move |_w, pid| {
+            let mut bitmap = vec![false; self.num_trajectories];
+            if aligned {
+                self.segment_indexes[pid].for_each_within_mbr(
+                    &q_mbr.expanded(tau),
+                    0.0,
+                    |_, &tid| {
+                        bitmap[tid as usize] = true;
+                    },
+                );
+            } else {
+                // No sound segment bound: keep everything this partition
+                // indexes.
+                self.segment_indexes[pid].for_each_within_mbr(
+                    &Mbr::new(
+                        Point::new(f64::NEG_INFINITY, f64::NEG_INFINITY),
+                        Point::new(f64::INFINITY, f64::INFINITY),
+                    ),
+                    f64::INFINITY,
+                    |_, &tid| {
+                        bitmap[tid as usize] = true;
+                    },
+                );
+            }
+            bitmap
+        });
+
+        // --- Driver barrier: merge the bitmaps ---
+        let mut merged = vec![false; self.num_trajectories];
+        for bm in bitmaps {
+            for (m, b) in merged.iter_mut().zip(bm) {
+                *m |= b;
+            }
+        }
+        let candidates = merged.iter().filter(|&&b| b).count();
+
+        // --- Phase 2: distributed verification over the store ---
+        let bitmap_bytes = (self.num_trajectories as u64).div_ceil(8);
+        let merged = &merged;
+        let verify_tasks: Vec<TaskSpec<usize>> = (0..self.store.len())
+            .map(|w| TaskSpec {
+                worker: w,
+                incoming_bytes: bitmap_bytes + q_bytes,
+                payload: w,
+            })
+            .collect();
+        let (outputs, verify_job) = self.cluster.execute(verify_tasks, move |_wid, w| {
+            let mut hits = Vec::new();
+            for t in &self.store[w] {
+                if merged[self.slots[&t.id] as usize] {
+                    if let Some(d) = func.verify(t.points(), q, tau) {
+                        hits.push((t.id, d));
+                    }
+                }
+            }
+            hits
+        });
+
+        let mut results: Vec<(TrajectoryId, f64)> = outputs.into_iter().flatten().collect();
+        results.sort_by_key(|&(id, _)| id);
+        (results, candidates, filter_job, verify_job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_cluster::ClusterConfig;
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    fn system(parts: usize, workers: usize) -> DftSystem {
+        DftSystem::build(
+            &figure1_trajectories(),
+            parts,
+            Cluster::new(ClusterConfig::with_workers(workers)),
+        )
+    }
+
+    #[test]
+    fn search_matches_ground_truth() {
+        let sys = system(3, 2);
+        let ts = figure1_trajectories();
+        for f in [
+            DistanceFunction::Dtw,
+            DistanceFunction::Frechet,
+            DistanceFunction::Lcss { eps: 1.0, delta: 2 },
+        ] {
+            for q in &ts {
+                for tau in [1.0, 3.0] {
+                    let (res, cands, _, _) = sys.search(q.points(), tau, &f);
+                    let expect: Vec<u64> = ts
+                        .iter()
+                        .filter(|t| f.distance(t.points(), q.points()) <= tau)
+                        .map(|t| t.id)
+                        .collect();
+                    let got: Vec<u64> = res.iter().map(|&(id, _)| id).collect();
+                    assert_eq!(got, expect, "{f} tau={tau} Q=T{}", q.id);
+                    assert!(cands >= res.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_phase_protocol_reports_two_jobs() {
+        let sys = system(3, 2);
+        let ts = figure1_trajectories();
+        let (_, _, filter_job, verify_job) =
+            sys.search(ts[0].points(), 3.0, &DistanceFunction::Dtw);
+        assert!(filter_job.workers.iter().map(|w| w.tasks).sum::<usize>() >= 1);
+        assert!(verify_job.workers.iter().map(|w| w.tasks).sum::<usize>() >= 1);
+        // Verification ships the merged bitmap to every worker.
+        assert!(verify_job.total_bytes() > 0);
+    }
+
+    #[test]
+    fn join_bitmap_memory_explodes() {
+        let sys = system(3, 2);
+        // 5 trajectories → 1 byte per bitmap; at the paper's 11M-trajectory
+        // scale this is what breaks DFT joins.
+        assert_eq!(sys.join_bitmap_bytes(5), 5);
+        let eleven_million = DftSystem {
+            cluster: Cluster::new(ClusterConfig::with_workers(1)),
+            segment_indexes: Vec::new(),
+            store: vec![Vec::new()],
+            slots: HashMap::new(),
+            num_trajectories: 11_000_000,
+        };
+        // ≥ 1.3 MB per query ⇒ ≥ 14 TB for a self-join.
+        assert!(eleven_million.join_bitmap_bytes(11_000_000) > 10_u64.pow(13));
+    }
+
+    #[test]
+    fn index_is_larger_than_trajectory_data() {
+        // Segments ≈ points, each indexed with an MBR: the non-clustered
+        // segment index inherently outweighs DITA's pivot-only nodes.
+        let sys = system(3, 2);
+        assert!(sys.index_size_bytes() > 0);
+        assert_eq!(sys.len(), 5);
+    }
+}

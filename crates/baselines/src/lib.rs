@@ -1,0 +1,37 @@
+//! Baseline systems reimplemented for the paper's comparisons (§7.1, §C).
+//!
+//! The paper compares DITA against three distributed systems and two
+//! centralized indexes. None are open source in a usable form here, so each
+//! is reimplemented following the paper's description of how it was built
+//! or extended — including the structural weaknesses the paper attributes
+//! the performance gaps to:
+//!
+//! * [`naive`] — no index: broadcast the query, scan every partition,
+//!   verify with the double-direction distance only.
+//! * [`simba`] — Simba-style: R-trees over trajectory *first points* only;
+//!   joins ship whole partitions to relevant partitions.
+//! * [`dft`] — DFT-style: a non-clustered segment R-tree per partition; the
+//!   filter phase returns candidate-id bitmaps that the master must merge
+//!   before a separate verification phase (the parallelism "barrier" of
+//!   §2.3), and joins need one bitmap per query (the memory blow-up that
+//!   made DFT infeasible for joins in §7.2.2).
+//! * [`mbe`] — centralized Minimal Bounding Envelope index (Vlachos et al.,
+//!   the paper's reference 42):
+//!   windowed MBRs giving additive (DTW) and bottleneck (Fréchet) lower
+//!   bounds.
+//! * [`vptree`] — centralized vantage-point tree over the Fréchet metric
+//!   with triangle-inequality pruning.
+
+#![warn(missing_docs)]
+
+pub mod dft;
+pub mod mbe;
+pub mod naive;
+pub mod simba;
+pub mod vptree;
+
+pub use dft::DftSystem;
+pub use mbe::MbeIndex;
+pub use naive::NaiveSystem;
+pub use simba::SimbaSystem;
+pub use vptree::VpTree;

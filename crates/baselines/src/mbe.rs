@@ -1,0 +1,223 @@
+//! The Minimal-Bounding-Envelope centralized baseline (Vlachos et al.,
+//! KDD 2003 — reference 42 of the paper).
+//!
+//! Each indexed trajectory is split into windows of `w` consecutive points;
+//! each window's MBR joins the trajectory's *envelope*. For a query `Q`,
+//! every point of `Q` must align to some indexed point, which lies inside
+//! one of the envelope MBRs, giving
+//!
+//! * DTW:      `DTW(T, Q) ≥ Σ_j min_MBR MinDist(q_j, MBR)`
+//! * Fréchet:  `F(T, Q)  ≥ max_j min_MBR MinDist(q_j, MBR)`
+//!
+//! Appendix C compares candidate counts and latency against DITA's
+//! centralized build; the envelope's single-level, per-point bound is what
+//! loses to the trie's level-by-level accumulation.
+
+use dita_distance::DistanceFunction;
+use dita_trajectory::{Mbr, Point, Trajectory, TrajectoryId};
+use std::time::{Duration, Instant};
+
+/// A centralized MBE index.
+pub struct MbeIndex {
+    entries: Vec<(Trajectory, Vec<Mbr>)>,
+    window: usize,
+    build_time: Duration,
+}
+
+impl MbeIndex {
+    /// Builds envelopes with windows of `window` points.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn build(trajectories: &[Trajectory], window: usize) -> Self {
+        assert!(window >= 1, "window must be at least 1 point");
+        let start = Instant::now();
+        let entries = trajectories
+            .iter()
+            .map(|t| {
+                let envelope: Vec<Mbr> = t
+                    .points()
+                    .chunks(window)
+                    .map(|c| Mbr::from_points(c.iter()))
+                    .collect();
+                (t.clone(), envelope)
+            })
+            .collect();
+        MbeIndex {
+            entries,
+            window,
+            build_time: start.elapsed(),
+        }
+    }
+
+    /// Number of indexed trajectories.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The window size used at build time.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Index build time (Table 7).
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Envelope size in bytes (Table 7); excludes the trajectory data.
+    pub fn index_size_bytes(&self) -> usize {
+        self.entries
+            .iter()
+            .map(|(_, env)| env.len() * std::mem::size_of::<Mbr>())
+            .sum()
+    }
+
+    /// The envelope lower bound for `func` (DTW-additive or Fréchet-
+    /// bottleneck; other functions get no bound and return 0).
+    fn lower_bound(env: &[Mbr], q: &[Point], func: &DistanceFunction) -> f64 {
+        match func {
+            DistanceFunction::Dtw => q
+                .iter()
+                .map(|p| {
+                    env.iter()
+                        .map(|m| m.min_dist_point_sq(p))
+                        .fold(f64::INFINITY, f64::min)
+                        .sqrt()
+                })
+                .sum(),
+            DistanceFunction::Frechet => q
+                .iter()
+                .map(|p| {
+                    env.iter()
+                        .map(|m| m.min_dist_point_sq(p))
+                        .fold(f64::INFINITY, f64::min)
+                        .sqrt()
+                })
+                .fold(0.0, f64::max),
+            _ => 0.0,
+        }
+    }
+
+    /// Threshold search: returns sorted `(id, dist)` hits plus the number of
+    /// candidates that survived the envelope bound (the Figure 17 metric).
+    pub fn search(
+        &self,
+        q: &[Point],
+        tau: f64,
+        func: &DistanceFunction,
+    ) -> (Vec<(TrajectoryId, f64)>, usize) {
+        assert!(!q.is_empty());
+        let mut results = Vec::new();
+        let mut candidates = 0usize;
+        for (t, env) in &self.entries {
+            if Self::lower_bound(env, q, func) > tau {
+                continue;
+            }
+            candidates += 1;
+            if let Some(d) = func.within(t.points(), q, tau) {
+                results.push((t.id, d));
+            }
+        }
+        results.sort_by_key(|&(id, _)| id);
+        (results, candidates)
+    }
+
+    /// Centralized join by repeated search (how the paper ran MBE in its
+    /// Appendix C join comparison).
+    pub fn join(
+        &self,
+        other: &MbeIndex,
+        tau: f64,
+        func: &DistanceFunction,
+    ) -> (Vec<(TrajectoryId, TrajectoryId, f64)>, usize) {
+        let mut out = Vec::new();
+        let mut candidates = 0usize;
+        for (q, _) in &other.entries {
+            let (hits, c) = self.search(q.points(), tau, func);
+            candidates += c;
+            out.extend(hits.into_iter().map(|(tid, d)| (tid, q.id, d)));
+        }
+        out.sort_by_key(|a| (a.0, a.1));
+        (out, candidates)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    #[test]
+    fn search_matches_ground_truth() {
+        let ts = figure1_trajectories();
+        for window in [1, 2, 4] {
+            let index = MbeIndex::build(&ts, window);
+            for f in [DistanceFunction::Dtw, DistanceFunction::Frechet] {
+                for q in &ts {
+                    for tau in [1.0, 3.0] {
+                        let (res, cands) = index.search(q.points(), tau, &f);
+                        let expect: Vec<u64> = ts
+                            .iter()
+                            .filter(|t| f.distance(t.points(), q.points()) <= tau)
+                            .map(|t| t.id)
+                            .collect();
+                        let got: Vec<u64> = res.iter().map(|&(id, _)| id).collect();
+                        assert_eq!(got, expect, "{f} w={window} tau={tau} Q=T{}", q.id);
+                        assert!(cands >= res.len());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn smaller_windows_bound_tighter() {
+        let ts = figure1_trajectories();
+        let fine = MbeIndex::build(&ts, 1);
+        let coarse = MbeIndex::build(&ts, 6);
+        let q = &ts[0];
+        let (_, c_fine) = fine.search(q.points(), 3.0, &DistanceFunction::Dtw);
+        let (_, c_coarse) = coarse.search(q.points(), 3.0, &DistanceFunction::Dtw);
+        assert!(c_fine <= c_coarse);
+        assert!(fine.index_size_bytes() >= coarse.index_size_bytes());
+    }
+
+    #[test]
+    fn join_matches_nested_loop() {
+        let ts = figure1_trajectories();
+        let index = MbeIndex::build(&ts, 2);
+        let (res, _) = index.join(&index, 3.0, &DistanceFunction::Dtw);
+        let mut expect = Vec::new();
+        for a in &ts {
+            for b in &ts {
+                if dita_distance::dtw(a.points(), b.points()) <= 3.0 {
+                    expect.push((a.id, b.id));
+                }
+            }
+        }
+        expect.sort_unstable();
+        let got: Vec<(u64, u64)> = res.iter().map(|&(a, b, _)| (a, b)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn reports_build_metadata() {
+        let ts = figure1_trajectories();
+        let index = MbeIndex::build(&ts, 2);
+        assert_eq!(index.len(), 5);
+        assert_eq!(index.window(), 2);
+        assert!(index.index_size_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "window")]
+    fn zero_window_rejected() {
+        let _ = MbeIndex::build(&figure1_trajectories(), 0);
+    }
+}

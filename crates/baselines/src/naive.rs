@@ -1,0 +1,177 @@
+//! The no-index baseline: broadcast and scan.
+
+use dita_cluster::{Cluster, JobStats, TaskSpec};
+use dita_distance::DistanceFunction;
+use dita_trajectory::{Point, Trajectory, TrajectoryId};
+
+/// A trajectory table distributed round-robin with no index.
+///
+/// Search broadcasts the query to every worker; each scans its partition and
+/// verifies with the threshold-aware (double-direction for DTW) distance —
+/// the only optimization the paper grants Naive (§7.2.1 reason iv).
+pub struct NaiveSystem {
+    cluster: Cluster,
+    partitions: Vec<Vec<Trajectory>>,
+}
+
+impl NaiveSystem {
+    /// Distributes `trajectories` round-robin over the cluster's workers
+    /// (one partition per worker).
+    pub fn build(trajectories: &[Trajectory], cluster: Cluster) -> Self {
+        let mut partitions: Vec<Vec<Trajectory>> =
+            (0..cluster.num_workers()).map(|_| Vec::new()).collect();
+        for (i, t) in trajectories.iter().enumerate() {
+            partitions[cluster.place(i)].push(t.clone());
+        }
+        NaiveSystem {
+            cluster,
+            partitions,
+        }
+    }
+
+    /// Number of stored trajectories.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Threshold search: all ids with `func(T, q) ≤ tau`, sorted.
+    pub fn search(
+        &self,
+        q: &[Point],
+        tau: f64,
+        func: &DistanceFunction,
+    ) -> (Vec<(TrajectoryId, f64)>, JobStats) {
+        let q_bytes = std::mem::size_of_val(q) as u64;
+        let tasks: Vec<TaskSpec<usize>> = (0..self.partitions.len())
+            .map(|w| TaskSpec {
+                worker: w,
+                incoming_bytes: q_bytes,
+                payload: w,
+            })
+            .collect();
+        let (outputs, job) = self.cluster.execute(tasks, move |_wid, p| {
+            let mut hits = Vec::new();
+            for t in &self.partitions[p] {
+                if let Some(d) = func.verify(t.points(), q, tau) {
+                    hits.push((t.id, d));
+                }
+            }
+            hits
+        });
+        let mut results: Vec<(TrajectoryId, f64)> = outputs.into_iter().flatten().collect();
+        results.sort_by_key(|&(id, _)| id);
+        (results, job)
+    }
+
+    /// Nested-loop distributed join: every partition of `self` is verified
+    /// against every trajectory of `other` (no pruning of any kind) — the
+    /// baseline the paper reports as "too slow to complete" at scale.
+    pub fn join(
+        &self,
+        other: &NaiveSystem,
+        tau: f64,
+        func: &DistanceFunction,
+    ) -> (Vec<(TrajectoryId, TrajectoryId, f64)>, JobStats) {
+        let other_all: Vec<&Trajectory> = other.partitions.iter().flatten().collect();
+        let other_bytes: u64 = other_all.iter().map(|t| t.size_bytes() as u64).sum();
+        let tasks: Vec<TaskSpec<usize>> = (0..self.partitions.len())
+            .map(|w| TaskSpec {
+                worker: w,
+                incoming_bytes: other_bytes, // full broadcast of the right side
+                payload: w,
+            })
+            .collect();
+        let other_ref = &other_all;
+        let (outputs, job) = self.cluster.execute(tasks, move |_wid, p| {
+            let mut pairs = Vec::new();
+            for t in &self.partitions[p] {
+                for q in other_ref.iter() {
+                    if let Some(d) = func.verify(t.points(), q.points(), tau) {
+                        pairs.push((t.id, q.id, d));
+                    }
+                }
+            }
+            pairs
+        });
+        let mut results: Vec<(TrajectoryId, TrajectoryId, f64)> =
+            outputs.into_iter().flatten().collect();
+        results.sort_by_key(|a| (a.0, a.1));
+        (results, job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_cluster::ClusterConfig;
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    fn system(workers: usize) -> NaiveSystem {
+        NaiveSystem::build(
+            &figure1_trajectories(),
+            Cluster::new(ClusterConfig::with_workers(workers)),
+        )
+    }
+
+    #[test]
+    fn search_matches_ground_truth() {
+        let sys = system(2);
+        let ts = figure1_trajectories();
+        for f in [DistanceFunction::Dtw, DistanceFunction::Frechet] {
+            for q in &ts {
+                for tau in [1.0, 3.0] {
+                    let (res, _) = sys.search(q.points(), tau, &f);
+                    let expect: Vec<u64> = ts
+                        .iter()
+                        .filter(|t| f.distance(t.points(), q.points()) <= tau)
+                        .map(|t| t.id)
+                        .collect();
+                    let got: Vec<u64> = res.iter().map(|&(id, _)| id).collect();
+                    assert_eq!(got, expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example_2_6() {
+        let sys = system(3);
+        let ts = figure1_trajectories();
+        let (res, _) = sys.search(ts[0].points(), 3.0, &DistanceFunction::Dtw);
+        assert_eq!(res.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn join_matches_nested_loop() {
+        let a = system(2);
+        let b = system(2);
+        let ts = figure1_trajectories();
+        let (res, _) = a.join(&b, 3.0, &DistanceFunction::Dtw);
+        let mut expect = Vec::new();
+        for x in &ts {
+            for y in &ts {
+                if dita_distance::dtw(x.points(), y.points()) <= 3.0 {
+                    expect.push((x.id, y.id));
+                }
+            }
+        }
+        expect.sort_unstable();
+        let got: Vec<(u64, u64)> = res.iter().map(|&(a, b, _)| (a, b)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn broadcast_charges_network() {
+        let sys = system(4);
+        let ts = figure1_trajectories();
+        let (_, job) = sys.search(ts[0].points(), 3.0, &DistanceFunction::Dtw);
+        // Every worker received one copy of the query.
+        assert!(job.total_bytes() > 0);
+        assert_eq!(job.workers.iter().filter(|w| w.tasks == 1).count(), 4);
+    }
+}

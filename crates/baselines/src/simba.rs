@@ -1,0 +1,310 @@
+//! The Simba-style baseline.
+//!
+//! Simba is a spatial (point) analytics system; the paper extends it to
+//! trajectories by "indexing the first points of trajectories using Simba,
+//! finding trajectories whose first point was within a distance of τ from
+//! the query trajectory's first point as the candidates, and verifying the
+//! candidates" (§7.1). The structural differences to DITA the paper calls
+//! out: single-level filtering (first point only, so far more candidates),
+//! partitioning by first point only (worse balance), and partition-to-
+//! partition shipping for joins (more bytes).
+
+use dita_cluster::{Cluster, JobStats, TaskSpec};
+use dita_distance::DistanceFunction;
+use dita_index::partitioner::str_tiles_pub;
+use dita_rtree::RTree;
+use dita_trajectory::{Mbr, Point, Trajectory, TrajectoryId};
+
+/// A trajectory table indexed Simba-style: R-trees over first points.
+pub struct SimbaSystem {
+    cluster: Cluster,
+    /// Partition contents.
+    partitions: Vec<Vec<Trajectory>>,
+    /// Driver-side R-tree over partition first-point MBRs.
+    global: RTree<usize>,
+    /// Per-partition R-tree over trajectory first points.
+    locals: Vec<RTree<u32>>,
+}
+
+impl SimbaSystem {
+    /// Partitions by first point into `num_partitions` STR tiles and builds
+    /// the first-point R-trees.
+    pub fn build(trajectories: &[Trajectory], num_partitions: usize, cluster: Cluster) -> Self {
+        let firsts: Vec<Point> = trajectories.iter().map(|t| *t.first()).collect();
+        let idx: Vec<usize> = (0..trajectories.len()).collect();
+        let tiles = str_tiles_pub(&firsts, idx, num_partitions.max(1));
+
+        let mut partitions = Vec::new();
+        let mut global_entries = Vec::new();
+        let mut locals = Vec::new();
+        for tile in tiles {
+            if tile.is_empty() {
+                continue;
+            }
+            let members: Vec<Trajectory> =
+                tile.iter().map(|&i| trajectories[i].clone()).collect();
+            let mbr = Mbr::from_points(members.iter().map(|t| t.first()));
+            global_entries.push((mbr, partitions.len()));
+            locals.push(RTree::bulk_load(
+                members
+                    .iter()
+                    .enumerate()
+                    .map(|(li, t)| (Mbr::from_point(*t.first()), li as u32))
+                    .collect(),
+            ));
+            partitions.push(members);
+        }
+        SimbaSystem {
+            cluster,
+            partitions,
+            global: RTree::bulk_load(global_entries),
+            locals,
+        }
+    }
+
+    /// Number of stored trajectories.
+    pub fn len(&self) -> usize {
+        self.partitions.iter().map(Vec::len).sum()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// Index size in bytes (global + locals).
+    pub fn index_size_bytes(&self) -> usize {
+        self.global.size_bytes() + self.locals.iter().map(RTree::size_bytes).sum::<usize>()
+    }
+
+    /// Threshold search. Returns sorted `(id, dist)` hits, the candidate
+    /// count, and job statistics.
+    ///
+    /// Soundness relies on the endpoint alignment of DTW/Fréchet/ERP:
+    /// `dist(t1, q1) ≤ f(T, Q)`, so any answer's first point lies within τ
+    /// of `q1`. (The paper's Simba extension has the same restriction; the
+    /// edit-family functions fall back to scanning partitions whose MBR
+    /// check cannot exclude them.)
+    pub fn search(
+        &self,
+        q: &[Point],
+        tau: f64,
+        func: &DistanceFunction,
+    ) -> (Vec<(TrajectoryId, f64)>, usize, JobStats) {
+        assert!(!q.is_empty());
+        let aligned = func.aligns_endpoints();
+        // Edit-family: a non-matching first point costs 1 edit, so the
+        // radius in which answers' first points live is bounded by the
+        // budget times the maximum point spacing — no useful bound; scan all
+        // partitions (candidates = everything the local R-tree returns with
+        // an infinite radius).
+        let radius = if aligned { tau } else { f64::INFINITY };
+
+        let mut relevant: Vec<usize> = Vec::new();
+        if radius.is_finite() {
+            self.global
+                .for_each_within_point(&q[0], radius, |_, &pid| relevant.push(pid));
+        } else {
+            relevant.extend(0..self.partitions.len());
+        }
+        relevant.sort_unstable();
+
+        let q_bytes = std::mem::size_of_val(q) as u64;
+        let tasks: Vec<TaskSpec<usize>> = relevant
+            .iter()
+            .map(|&pid| TaskSpec {
+                worker: self.cluster.place(pid),
+                incoming_bytes: q_bytes,
+                payload: pid,
+            })
+            .collect();
+        let (outputs, job) = self.cluster.execute(tasks, move |_w, pid| {
+            let mut cands: Vec<u32> = Vec::new();
+            if radius.is_finite() {
+                self.locals[pid].for_each_within_point(&q[0], radius, |_, &li| cands.push(li));
+            } else {
+                cands.extend(0..self.partitions[pid].len() as u32);
+            }
+            let mut hits = Vec::new();
+            for &li in &cands {
+                let t = &self.partitions[pid][li as usize];
+                if let Some(d) = func.verify(t.points(), q, tau) {
+                    hits.push((t.id, d));
+                }
+            }
+            (cands.len(), hits)
+        });
+
+        let mut candidates = 0;
+        let mut results = Vec::new();
+        for (c, hits) in outputs {
+            candidates += c;
+            results.extend(hits);
+        }
+        results.sort_by_key(|&(id, _)| id);
+        (results, candidates, job)
+    }
+
+    /// Partition-to-partition join: each left partition is shipped in full
+    /// to every right partition whose first-point MBR is within τ (the
+    /// paper's point iv in §7.2.2: "Simba sent each partition to its
+    /// relevant partitions while DITA sent each trajectory").
+    pub fn join(
+        &self,
+        other: &SimbaSystem,
+        tau: f64,
+        func: &DistanceFunction,
+    ) -> (Vec<(TrajectoryId, TrajectoryId, f64)>, usize, JobStats) {
+        assert_eq!(self.cluster.num_workers(), other.cluster.num_workers());
+        let aligned = func.aligns_endpoints();
+
+        // Relevant partition pairs by first-point MBRs.
+        let mut pairs: Vec<(usize, usize)> = Vec::new();
+        for (ti, tp) in self.partitions.iter().enumerate() {
+            let t_mbr = Mbr::from_points(tp.iter().map(|t| t.first()));
+            for (qi, qp) in other.partitions.iter().enumerate() {
+                let q_mbr = Mbr::from_points(qp.iter().map(|t| t.first()));
+                if !aligned || t_mbr.min_dist_mbr(&q_mbr) <= tau {
+                    pairs.push((ti, qi));
+                }
+            }
+        }
+
+        let tasks: Vec<TaskSpec<(usize, usize)>> = pairs
+            .iter()
+            .map(|&(ti, qi)| {
+                let src_worker = self.cluster.place(ti);
+                let dst_worker = other.cluster.place(qi);
+                // The whole left partition is shipped.
+                let bytes = if src_worker == dst_worker {
+                    0
+                } else {
+                    self.partitions[ti]
+                        .iter()
+                        .map(|t| t.size_bytes() as u64)
+                        .sum()
+                };
+                TaskSpec {
+                    worker: dst_worker,
+                    incoming_bytes: bytes,
+                    payload: (ti, qi),
+                }
+            })
+            .collect();
+
+        let (outputs, job) = self.cluster.execute(tasks, move |_w, (ti, qi)| {
+            let mut candidates = 0usize;
+            let mut found = Vec::new();
+            for t in &self.partitions[ti] {
+                let mut cands: Vec<u32> = Vec::new();
+                if aligned {
+                    other.locals[qi]
+                        .for_each_within_point(t.first(), tau, |_, &li| cands.push(li));
+                } else {
+                    cands.extend(0..other.partitions[qi].len() as u32);
+                }
+                candidates += cands.len();
+                for &li in &cands {
+                    let q = &other.partitions[qi][li as usize];
+                    if let Some(d) = func.verify(t.points(), q.points(), tau) {
+                        found.push((t.id, q.id, d));
+                    }
+                }
+            }
+            (candidates, found)
+        });
+
+        let mut candidates = 0;
+        let mut results = Vec::new();
+        for (c, found) in outputs {
+            candidates += c;
+            results.extend(found);
+        }
+        results.sort_by_key(|a| (a.0, a.1));
+        (results, candidates, job)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_cluster::ClusterConfig;
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    fn system(parts: usize, workers: usize) -> SimbaSystem {
+        SimbaSystem::build(
+            &figure1_trajectories(),
+            parts,
+            Cluster::new(ClusterConfig::with_workers(workers)),
+        )
+    }
+
+    #[test]
+    fn search_matches_ground_truth() {
+        let sys = system(2, 2);
+        let ts = figure1_trajectories();
+        for f in [
+            DistanceFunction::Dtw,
+            DistanceFunction::Frechet,
+            DistanceFunction::Edr { eps: 1.0 },
+        ] {
+            for q in &ts {
+                for tau in [1.0, 3.0, 6.0] {
+                    let (res, cands, _) = sys.search(q.points(), tau, &f);
+                    let expect: Vec<u64> = ts
+                        .iter()
+                        .filter(|t| f.distance(t.points(), q.points()) <= tau)
+                        .map(|t| t.id)
+                        .collect();
+                    let got: Vec<u64> = res.iter().map(|&(id, _)| id).collect();
+                    assert_eq!(got, expect, "{f} tau={tau} Q=T{}", q.id);
+                    assert!(cands >= res.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_point_filter_is_coarser_than_dita() {
+        // Simba's single-level filter keeps T3 (same first point as T1) as a
+        // candidate even though the full distance is far above τ.
+        let sys = system(2, 2);
+        let ts = figure1_trajectories();
+        let (res, cands, _) = sys.search(ts[0].points(), 3.0, &DistanceFunction::Dtw);
+        assert_eq!(res.len(), 2);
+        assert!(cands >= 3, "expected T3 to survive the first-point filter");
+    }
+
+    #[test]
+    fn join_matches_ground_truth() {
+        let a = system(2, 2);
+        let b = system(2, 2);
+        let ts = figure1_trajectories();
+        let (res, _, job) = a.join(&b, 3.0, &DistanceFunction::Dtw);
+        let mut expect = Vec::new();
+        for x in &ts {
+            for y in &ts {
+                if dita_distance::dtw(x.points(), y.points()) <= 3.0 {
+                    expect.push((x.id, y.id));
+                }
+            }
+        }
+        expect.sort_unstable();
+        let got: Vec<(u64, u64)> = res.iter().map(|&(a, b, _)| (a, b)).collect();
+        assert_eq!(got, expect);
+        let _ = job;
+    }
+
+    #[test]
+    fn index_size_reported() {
+        let sys = system(2, 2);
+        assert!(sys.index_size_bytes() > 0);
+        assert_eq!(sys.len(), 5);
+        assert!(sys.num_partitions() <= 2);
+    }
+}

@@ -1,0 +1,267 @@
+//! The vantage-point-tree centralized baseline (references [19, 40, 49] of
+//! the paper).
+//!
+//! A VP-tree partitions a *metric* space: each node picks a vantage
+//! trajectory, measures every member's distance to it, and splits at the
+//! median. Range queries prune subtrees with the triangle inequality
+//! `|d(q, vp) − d(vp, x)| ≤ d(q, x)`. It therefore supports Fréchet and ERP
+//! but not DTW/EDR/LCSS — exactly the limitation the paper's Appendix C
+//! notes ("VP-Tree … could only support Fréchet which was a metric").
+
+use dita_distance::DistanceFunction;
+use dita_trajectory::{Trajectory, TrajectoryId};
+use std::time::{Duration, Instant};
+
+struct Node {
+    /// Index of the vantage trajectory in `trajs`.
+    vp: u32,
+    /// Median distance: the inside child holds members with `d ≤ radius`.
+    radius: f64,
+    inside: Option<Box<Node>>,
+    outside: Option<Box<Node>>,
+}
+
+/// A centralized VP-tree over whole trajectories under a metric distance.
+pub struct VpTree {
+    trajs: Vec<Trajectory>,
+    root: Option<Box<Node>>,
+    func: DistanceFunction,
+    build_time: Duration,
+    nodes: usize,
+}
+
+impl VpTree {
+    /// Builds a VP-tree under `func`.
+    ///
+    /// # Panics
+    /// Panics if `func` is not a metric (the triangle inequality is what
+    /// makes pruning sound).
+    pub fn build(trajectories: &[Trajectory], func: DistanceFunction) -> Self {
+        assert!(
+            func.is_metric(),
+            "VP-trees require a metric distance function (Fréchet or ERP)"
+        );
+        let start = Instant::now();
+        let trajs = trajectories.to_vec();
+        let mut items: Vec<u32> = (0..trajs.len() as u32).collect();
+        let mut nodes = 0usize;
+        let root = Self::build_node(&trajs, &mut items, &func, &mut nodes);
+        VpTree {
+            trajs,
+            root,
+            func,
+            build_time: start.elapsed(),
+            nodes,
+        }
+    }
+
+    fn build_node(
+        trajs: &[Trajectory],
+        items: &mut Vec<u32>,
+        func: &DistanceFunction,
+        nodes: &mut usize,
+    ) -> Option<Box<Node>> {
+        let vp = items.pop()?;
+        *nodes += 1;
+        if items.is_empty() {
+            return Some(Box::new(Node {
+                vp,
+                radius: 0.0,
+                inside: None,
+                outside: None,
+            }));
+        }
+        // Distance of every remaining item to the vantage point.
+        let mut with_d: Vec<(u32, f64)> = items
+            .iter()
+            .map(|&i| {
+                (
+                    i,
+                    func.distance(trajs[vp as usize].points(), trajs[i as usize].points()),
+                )
+            })
+            .collect();
+        with_d.sort_by(|a, b| a.1.total_cmp(&b.1));
+        let mid = with_d.len() / 2;
+        let radius = with_d[mid].1;
+        let mut inside: Vec<u32> = with_d[..=mid.min(with_d.len() - 1)]
+            .iter()
+            .map(|&(i, _)| i)
+            .collect();
+        let mut outside: Vec<u32> = with_d[mid + 1..].iter().map(|&(i, _)| i).collect();
+        items.clear();
+        Some(Box::new(Node {
+            vp,
+            radius,
+            inside: Self::build_node(trajs, &mut inside, func, nodes),
+            outside: Self::build_node(trajs, &mut outside, func, nodes),
+        }))
+    }
+
+    /// Number of indexed trajectories.
+    pub fn len(&self) -> usize {
+        self.trajs.len()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.trajs.is_empty()
+    }
+
+    /// Build time (Table 7).
+    pub fn build_time(&self) -> Duration {
+        self.build_time
+    }
+
+    /// Approximate index size in bytes, excluding trajectory data.
+    pub fn index_size_bytes(&self) -> usize {
+        self.nodes * std::mem::size_of::<Node>()
+    }
+
+    /// Range search: all `(id, dist)` with `func(T, q) ≤ tau`, sorted by id.
+    /// Also returns the number of full distance computations (the VP-tree's
+    /// "candidates" — every visited node costs one).
+    pub fn search(&self, q: &Trajectory, tau: f64) -> (Vec<(TrajectoryId, f64)>, usize) {
+        let mut results = Vec::new();
+        let mut computed = 0usize;
+        self.search_node(self.root.as_deref(), q, tau, &mut results, &mut computed);
+        results.sort_by_key(|&(id, _)| id);
+        (results, computed)
+    }
+
+    fn search_node(
+        &self,
+        node: Option<&Node>,
+        q: &Trajectory,
+        tau: f64,
+        results: &mut Vec<(TrajectoryId, f64)>,
+        computed: &mut usize,
+    ) {
+        let Some(node) = node else { return };
+        let vp = &self.trajs[node.vp as usize];
+        let d = self.func.distance(vp.points(), q.points());
+        *computed += 1;
+        if d <= tau {
+            results.push((vp.id, d));
+        }
+        // Triangle inequality: the inside ball holds distances to vp in
+        // [0, radius]; reachable iff d − tau ≤ radius. The outside shell
+        // holds (radius, ∞); reachable iff d + tau > radius.
+        if d - tau <= node.radius {
+            self.search_node(node.inside.as_deref(), q, tau, results, computed);
+        }
+        if d + tau > node.radius {
+            self.search_node(node.outside.as_deref(), q, tau, results, computed);
+        }
+    }
+
+    /// Centralized join by repeated search.
+    pub fn join(
+        &self,
+        queries: &[Trajectory],
+        tau: f64,
+    ) -> (Vec<(TrajectoryId, TrajectoryId, f64)>, usize) {
+        let mut out = Vec::new();
+        let mut computed = 0usize;
+        for q in queries {
+            let (hits, c) = self.search(q, tau);
+            computed += c;
+            out.extend(hits.into_iter().map(|(tid, d)| (tid, q.id, d)));
+        }
+        out.sort_by_key(|a| (a.0, a.1));
+        (out, computed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    #[test]
+    fn frechet_search_matches_ground_truth() {
+        let ts = figure1_trajectories();
+        let tree = VpTree::build(&ts, DistanceFunction::Frechet);
+        for q in &ts {
+            for tau in [0.5, 1.0, 1.41, 3.0, 10.0] {
+                let (res, computed) = tree.search(q, tau);
+                let expect: Vec<u64> = ts
+                    .iter()
+                    .filter(|t| {
+                        DistanceFunction::Frechet.distance(t.points(), q.points()) <= tau
+                    })
+                    .map(|t| t.id)
+                    .collect();
+                let got: Vec<u64> = res.iter().map(|&(id, _)| id).collect();
+                assert_eq!(got, expect, "tau={tau} Q=T{}", q.id);
+                assert!(computed <= ts.len());
+            }
+        }
+    }
+
+    #[test]
+    fn erp_search_matches_ground_truth() {
+        let ts = figure1_trajectories();
+        let f = DistanceFunction::Erp { gap: (0.0, 0.0) };
+        let tree = VpTree::build(&ts, f);
+        for q in &ts {
+            let (res, _) = tree.search(q, 5.0);
+            let expect: Vec<u64> = ts
+                .iter()
+                .filter(|t| f.distance(t.points(), q.points()) <= 5.0)
+                .map(|t| t.id)
+                .collect();
+            let got: Vec<u64> = res.iter().map(|&(id, _)| id).collect();
+            assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn pruning_reduces_distance_computations() {
+        // On spread-out data with a small τ, the tree must visit fewer
+        // nodes than a linear scan.
+        let ts: Vec<Trajectory> = (0..64)
+            .map(|i| {
+                let base = (i as f64) * 10.0;
+                Trajectory::from_coords(i, &[(base, 0.0), (base + 1.0, 1.0)])
+            })
+            .collect();
+        let tree = VpTree::build(&ts, DistanceFunction::Frechet);
+        let (res, computed) = tree.search(&ts[0], 0.5);
+        assert_eq!(res.len(), 1);
+        assert!(computed < 64, "no pruning happened: {computed}");
+    }
+
+    #[test]
+    fn join_matches_nested_loop() {
+        let ts = figure1_trajectories();
+        let tree = VpTree::build(&ts, DistanceFunction::Frechet);
+        let (res, _) = tree.join(&ts, 1.5);
+        let mut expect = Vec::new();
+        for a in &ts {
+            for b in &ts {
+                if DistanceFunction::Frechet.distance(a.points(), b.points()) <= 1.5 {
+                    expect.push((a.id, b.id));
+                }
+            }
+        }
+        expect.sort_unstable();
+        let got: Vec<(u64, u64)> = res.iter().map(|&(a, b, _)| (a, b)).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "metric")]
+    fn dtw_rejected() {
+        let _ = VpTree::build(&figure1_trajectories(), DistanceFunction::Dtw);
+    }
+
+    #[test]
+    fn metadata() {
+        let ts = figure1_trajectories();
+        let tree = VpTree::build(&ts, DistanceFunction::Frechet);
+        assert_eq!(tree.len(), 5);
+        assert!(!tree.is_empty());
+        assert!(tree.index_size_bytes() > 0);
+    }
+}

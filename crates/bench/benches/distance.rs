@@ -1,0 +1,115 @@
+//! Distance-kernel micro-benchmarks: every supported function, its
+//! threshold-aware variant, and the double-direction ablation (§5.3.3(3)).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dita_datagen::{chengdu_like, sample_queries};
+use dita_distance::{
+    dtw, dtw_double_direction, dtw_threshold, edr, erp, frechet, frechet_threshold,
+    lcss_distance,
+};
+use dita_trajectory::{Point, Trajectory};
+use std::hint::black_box;
+
+fn pairs() -> Vec<(Trajectory, Trajectory)> {
+    let d = chengdu_like(64, 99);
+    let qs = sample_queries(&d, 16, 5);
+    qs.chunks(2)
+        .map(|c| (c[0].clone(), c[1].clone()))
+        .collect()
+}
+
+fn bench_full_distances(c: &mut Criterion) {
+    let ps = pairs();
+    let mut g = c.benchmark_group("distance/full");
+    g.bench_function("dtw", |b| {
+        b.iter(|| {
+            for (a, q) in &ps {
+                black_box(dtw(a.points(), q.points()));
+            }
+        })
+    });
+    g.bench_function("frechet", |b| {
+        b.iter(|| {
+            for (a, q) in &ps {
+                black_box(frechet(a.points(), q.points()));
+            }
+        })
+    });
+    g.bench_function("edr", |b| {
+        b.iter(|| {
+            for (a, q) in &ps {
+                black_box(edr(a.points(), q.points(), 1e-4));
+            }
+        })
+    });
+    g.bench_function("lcss", |b| {
+        b.iter(|| {
+            for (a, q) in &ps {
+                black_box(lcss_distance(a.points(), q.points(), 1e-4, 3));
+            }
+        })
+    });
+    g.bench_function("erp", |b| {
+        let gap = Point::new(30.66, 104.06);
+        b.iter(|| {
+            for (a, q) in &ps {
+                black_box(erp(a.points(), q.points(), &gap));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_thresholded(c: &mut Criterion) {
+    // Dissimilar pairs prune early; the ablation compares plain DP,
+    // row-abandoning, and double-direction on the same inputs.
+    let ps = pairs();
+    let tau = 0.002;
+    let mut g = c.benchmark_group("distance/dtw-threshold-ablation");
+    g.bench_function("plain", |b| {
+        b.iter(|| {
+            for (a, q) in &ps {
+                black_box(dtw(a.points(), q.points()));
+            }
+        })
+    });
+    g.bench_function("early-abandon", |b| {
+        b.iter(|| {
+            for (a, q) in &ps {
+                black_box(dtw_threshold(a.points(), q.points(), tau));
+            }
+        })
+    });
+    g.bench_function("double-direction", |b| {
+        b.iter(|| {
+            for (a, q) in &ps {
+                black_box(dtw_double_direction(a.points(), q.points(), tau));
+            }
+        })
+    });
+    g.bench_function("frechet-early-abandon", |b| {
+        b.iter(|| {
+            for (a, q) in &ps {
+                black_box(frechet_threshold(a.points(), q.points(), tau));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_by_length(c: &mut Criterion) {
+    let mut g = c.benchmark_group("distance/dtw-by-length");
+    for len in [16usize, 64, 256] {
+        let a: Vec<Point> = (0..len).map(|i| Point::new(i as f64 * 0.01, 0.0)).collect();
+        let q: Vec<Point> = (0..len)
+            .map(|i| Point::new(i as f64 * 0.01, 0.005))
+            .collect();
+        g.bench_with_input(BenchmarkId::from_parameter(len), &len, |b, _| {
+            b.iter(|| black_box(dtw(&a, &q)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_full_distances, bench_thresholded, bench_by_length);
+criterion_main!(benches);

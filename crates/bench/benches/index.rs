@@ -1,0 +1,97 @@
+//! Index micro-benchmarks: pivot selection, partitioning, trie construction
+//! and the trie filter.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dita_datagen::{beijing_like, sample_queries};
+use dita_distance::DistanceFunction;
+use dita_index::{
+    random_partitioning, select_pivots, str_partitioning, GlobalIndex, PivotStrategy,
+    TrieConfig, TrieIndex,
+};
+use std::hint::black_box;
+
+fn bench_pivots(c: &mut Criterion) {
+    let d = beijing_like(256, 4);
+    let mut g = c.benchmark_group("index/pivot-selection");
+    for s in PivotStrategy::ALL {
+        g.bench_function(s.name(), |b| {
+            b.iter(|| {
+                for t in d.trajectories() {
+                    black_box(select_pivots(t, 4, s));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_partitioning(c: &mut Criterion) {
+    let d = beijing_like(8_000, 5);
+    let mut g = c.benchmark_group("index/partitioning");
+    g.sample_size(20);
+    g.bench_function("str-ng8", |b| {
+        b.iter(|| black_box(str_partitioning(d.trajectories(), 8)))
+    });
+    g.bench_function("random-64", |b| {
+        b.iter(|| black_box(random_partitioning(d.trajectories(), 64, 7)))
+    });
+    g.finish();
+}
+
+fn bench_trie(c: &mut Criterion) {
+    let d = beijing_like(4_000, 6);
+    let config = TrieConfig {
+        k: 4,
+        nl: 8,
+        leaf_capacity: 16,
+        strategy: PivotStrategy::NeighborDistance,
+        cell_side: 0.002,
+    };
+    let mut g = c.benchmark_group("index/trie");
+    g.sample_size(20);
+    g.bench_function("build-4k", |b| {
+        b.iter(|| black_box(TrieIndex::build(d.trajectories().to_vec(), config)))
+    });
+    let index = TrieIndex::build(d.trajectories().to_vec(), config);
+    let queries = sample_queries(&d, 32, 11);
+    g.bench_function("candidates-dtw", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(index.candidates(q.points(), 0.003, &DistanceFunction::Dtw));
+            }
+        })
+    });
+    g.bench_function("candidates-frechet", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(index.candidates(q.points(), 0.003, &DistanceFunction::Frechet));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_global(c: &mut Criterion) {
+    let d = beijing_like(8_000, 8);
+    let parts = str_partitioning(d.trajectories(), 8);
+    let global = GlobalIndex::build(&parts);
+    let queries = sample_queries(&d, 64, 13);
+    let mut g = c.benchmark_group("index/global");
+    g.bench_function("relevant-partitions", |b| {
+        b.iter(|| {
+            for q in &queries {
+                black_box(global.relevant_partitions(
+                    q.first(),
+                    q.last(),
+                    q.len(),
+                    0.003,
+                    dita_distance::function::IndexMode::Additive,
+                ));
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pivots, bench_partitioning, bench_trie, bench_global);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Lower-bound micro-benchmarks: the filter-step estimations versus the
+//! full distance they avoid (§4.1, §5.3.3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dita_datagen::{chengdu_like, sample_queries};
+use dita_distance::{amd, dtw, mbr_coverage_prune, pamd};
+use dita_index::{select_pivots, PivotStrategy};
+use dita_trajectory::{CellList, Trajectory};
+use std::hint::black_box;
+
+fn pair() -> (Trajectory, Trajectory) {
+    let d = chengdu_like(64, 3);
+    let qs = sample_queries(&d, 2, 9);
+    (qs[0].clone(), qs[1].clone())
+}
+
+fn bench_bounds(c: &mut Criterion) {
+    let (t, q) = pair();
+    let pivots = select_pivots(&t, 4, PivotStrategy::NeighborDistance);
+    let (mt, mq) = (t.mbr(), q.mbr());
+    let ct = CellList::compress(&t, 0.002);
+    let cq = CellList::compress(&q, 0.002);
+
+    let mut g = c.benchmark_group("bounds");
+    g.bench_function("dtw-exact", |b| b.iter(|| black_box(dtw(t.points(), q.points()))));
+    g.bench_function("amd", |b| b.iter(|| black_box(amd(t.points(), q.points()))));
+    g.bench_function("pamd", |b| {
+        b.iter(|| black_box(pamd(t.points(), q.points(), &pivots)))
+    });
+    g.bench_function("mbr-coverage", |b| {
+        b.iter(|| black_box(mbr_coverage_prune(&mt, &mq, 0.002)))
+    });
+    g.bench_function("cell-bound", |b| b.iter(|| black_box(ct.lower_bound(&cq))));
+    g.bench_function("cell-bottleneck", |b| {
+        b.iter(|| black_box(ct.bottleneck_bound(&cq)))
+    });
+    g.finish();
+}
+
+fn bench_cell_compress(c: &mut Criterion) {
+    let (t, _) = pair();
+    let mut g = c.benchmark_group("bounds/cell-compress");
+    for side in [0.001, 0.002, 0.008] {
+        g.bench_function(format!("side-{side}"), |b| {
+            b.iter(|| black_box(CellList::compress(&t, side)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_bounds, bench_cell_compress);
+criterion_main!(benches);

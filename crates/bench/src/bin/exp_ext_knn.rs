@@ -1,0 +1,68 @@
+//! Extension experiment (not in the paper): kNN search — the §8 future
+//! work — via radius expansion over the DITA index, against a brute-force
+//! top-k scan.
+
+use dita_bench::{cluster, default_ng, dita_config, num_queries, params, Sink, Table};
+use dita_core::{knn_search, DitaSystem};
+use dita_distance::DistanceFunction;
+use std::time::Instant;
+
+fn main() {
+    let mut sink = Sink::new("ext_knn");
+    let dataset = dita_bench::beijing();
+    println!("dataset: {}", dataset.stats());
+    let ng = default_ng(&dataset.name);
+    let system = DitaSystem::build(&dataset, dita_config(ng), cluster(params::DEFAULT_WORKERS));
+    let queries = dita_datagen::sample_queries(&dataset, num_queries().min(50), 0xA11CE);
+
+    let mut tbl = Table::new(
+        "kNN extension: DITA radius expansion vs brute-force top-k (DTW)",
+        &["k", "dita_ms", "brute_ms", "avg_probes"],
+    );
+    for k in [1usize, 5, 10, 50] {
+        // DITA.
+        let t0 = Instant::now();
+        let mut probes = 0usize;
+        for q in &queries {
+            let (hits, s) = knn_search(&system, q.points(), k, &DistanceFunction::Dtw);
+            assert_eq!(hits.len(), k.min(system.len()));
+            probes += s.rounds;
+        }
+        let dita_ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+
+        // Brute force: full scan, keep k best (early-abandon against the
+        // current k-th distance).
+        let t0 = Instant::now();
+        for q in &queries {
+            let mut best: Vec<(u64, f64)> = Vec::new();
+            let mut kth = f64::INFINITY;
+            for t in dataset.trajectories() {
+                let d = if kth.is_finite() {
+                    match dita_distance::dtw_threshold(t.points(), q.points(), kth) {
+                        Some(d) => d,
+                        None => continue,
+                    }
+                } else {
+                    dita_distance::dtw(t.points(), q.points())
+                };
+                best.push((t.id, d));
+                best.sort_by(|a, b| a.1.total_cmp(&b.1));
+                best.truncate(k);
+                if best.len() == k {
+                    kth = best[k - 1].1;
+                }
+            }
+        }
+        let brute_ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+
+        sink.record("dita", &dataset.name, serde_json::json!({"k": k}), "knn_ms", dita_ms);
+        sink.record("brute", &dataset.name, serde_json::json!({"k": k}), "knn_ms", brute_ms);
+        tbl.row(&[
+            &k,
+            &format!("{dita_ms:.3}"),
+            &format!("{brute_ms:.3}"),
+            &format!("{:.1}", probes as f64 / queries.len() as f64),
+        ]);
+    }
+    tbl.print();
+}

@@ -1,0 +1,9 @@
+//! Figure 10: distributed similarity join on Chengdu with DTW.
+
+use dita_bench::runners::run_join_figure;
+
+fn main() {
+    let dataset = dita_bench::chengdu();
+    println!("dataset: {}", dataset.stats());
+    run_join_figure("fig10", &dataset, 0.003);
+}

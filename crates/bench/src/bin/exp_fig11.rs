@@ -1,0 +1,66 @@
+//! Figure 11: the large worldwide datasets — search on OSM(search) with all
+//! four systems and join on OSM(join) with DITA, under both DTW and Fréchet.
+
+use dita_bench::runners::{build_search_systems, measure_dita_join, measure_search};
+use dita_bench::{cluster, default_ng, dita_config, num_queries, params, Sink, Table};
+use dita_core::{DitaSystem, JoinOptions};
+use dita_distance::DistanceFunction;
+
+fn main() {
+    let mut sink = Sink::new("fig11");
+    let search_data = dita_bench::osm_search();
+    let join_data = dita_bench::osm_join();
+    println!("search dataset: {}", search_data.stats());
+    println!("join dataset:   {}", join_data.stats());
+    let ng = default_ng(&search_data.name);
+    let queries = dita_datagen::sample_queries(&search_data, num_queries(), 0xA11CE);
+
+    for (func, label) in [
+        (DistanceFunction::Dtw, "DTW"),
+        (DistanceFunction::Frechet, "Frechet"),
+    ] {
+        // (a)/(c): search with all four systems.
+        let systems = build_search_systems(&search_data, params::DEFAULT_WORKERS, ng);
+        let mut tbl = Table::new(
+            format!("fig11 search on {} with {label} (ms/query)", search_data.name),
+            &["tau", "Naive", "Simba", "DFT", "DITA"],
+        );
+        for tau in params::TAUS {
+            let mut cells = Vec::new();
+            for name in ["naive", "simba", "dft", "dita"] {
+                let (ms, _) = measure_search(&systems, name, &queries, tau, &func);
+                sink.record(
+                    name,
+                    &search_data.name,
+                    serde_json::json!({"tau": tau, "func": label}),
+                    "search_ms",
+                    ms,
+                );
+                cells.push(format!("{ms:.3}"));
+            }
+            tbl.row(&[&tau, &cells[0], &cells[1], &cells[2], &cells[3]]);
+        }
+        tbl.print();
+
+        // (b)/(d): join with DITA only (the baselines cannot complete the
+        // paper's join either).
+        let dita = DitaSystem::build(&join_data, dita_config(ng), cluster(params::DEFAULT_WORKERS));
+        let mut tbl = Table::new(
+            format!("fig11 join on {} with {label} (ms)", join_data.name),
+            &["tau", "DITA", "pairs"],
+        );
+        for tau in params::TAUS {
+            let (pairs, ms, _) =
+                measure_dita_join(&dita, &dita, tau, &func, &JoinOptions::default());
+            sink.record(
+                "dita",
+                &join_data.name,
+                serde_json::json!({"tau": tau, "func": label}),
+                "join_ms",
+                ms,
+            );
+            tbl.row(&[&tau, &format!("{ms:.1}"), &pairs]);
+        }
+        tbl.print();
+    }
+}

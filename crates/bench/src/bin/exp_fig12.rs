@@ -1,0 +1,105 @@
+//! Figure 12: pivot selection strategies (a, b) and pivot count K (c, d) —
+//! join time on Beijing and Chengdu.
+
+use dita_bench::runners::measure_dita_join;
+use dita_bench::{cluster, default_ng, params, Sink, Table};
+use dita_core::{DitaConfig, DitaSystem, JoinOptions};
+use dita_distance::DistanceFunction;
+use dita_index::{PivotStrategy, TrieConfig};
+
+fn main() {
+    let mut sink = Sink::new("fig12");
+    for dataset in [dita_bench::beijing(), dita_bench::chengdu()] {
+        println!("dataset: {}", dataset.stats());
+        let ng = default_ng(&dataset.name);
+
+        // (a)/(b): strategy sweep at the default K.
+        let mut tbl = Table::new(
+            format!("fig12 pivot strategies on {} — join time (ms)", dataset.name),
+            &["tau", "Inflection", "Neighbor", "First/Last"],
+        );
+        let builds: Vec<DitaSystem> = PivotStrategy::ALL
+            .iter()
+            .map(|&strategy| {
+                let config = DitaConfig {
+                    ng,
+                    trie: TrieConfig {
+                        strategy,
+                        ..dita_bench::dita_config(ng).trie
+                    },
+                };
+                DitaSystem::build(&dataset, config, cluster(params::DEFAULT_WORKERS))
+            })
+            .collect();
+        for tau in params::TAUS {
+            let cells: Vec<String> = builds
+                .iter()
+                .zip(PivotStrategy::ALL)
+                .map(|(sys, strategy)| {
+                    let (_, ms, _) = measure_dita_join(
+                        sys,
+                        sys,
+                        tau,
+                        &DistanceFunction::Dtw,
+                        &JoinOptions::default(),
+                    );
+                    sink.record(
+                        "dita",
+                        &dataset.name,
+                        serde_json::json!({"tau": tau, "strategy": strategy.name()}),
+                        "join_ms",
+                        ms,
+                    );
+                    format!("{ms:.1}")
+                })
+                .collect();
+            tbl.row(&[&tau, &cells[0], &cells[1], &cells[2]]);
+        }
+        tbl.print();
+
+        // (c)/(d): K sweep with the neighbor strategy.
+        let ks = [2usize, 3, 4, 5, 6];
+        let mut tbl = Table::new(
+            format!("fig12 pivot count K on {} — join time (ms)", dataset.name),
+            &["tau", "K=2", "K=3", "K=4", "K=5", "K=6"],
+        );
+        let builds: Vec<DitaSystem> = ks
+            .iter()
+            .map(|&k| {
+                let config = DitaConfig {
+                    ng,
+                    trie: TrieConfig {
+                        k,
+                        ..dita_bench::dita_config(ng).trie
+                    },
+                };
+                DitaSystem::build(&dataset, config, cluster(params::DEFAULT_WORKERS))
+            })
+            .collect();
+        for tau in params::TAUS {
+            let cells: Vec<String> = builds
+                .iter()
+                .zip(ks)
+                .map(|(sys, k)| {
+                    let (_, ms, _) = measure_dita_join(
+                        sys,
+                        sys,
+                        tau,
+                        &DistanceFunction::Dtw,
+                        &JoinOptions::default(),
+                    );
+                    sink.record(
+                        "dita",
+                        &dataset.name,
+                        serde_json::json!({"tau": tau, "k": k}),
+                        "join_ms",
+                        ms,
+                    );
+                    format!("{ms:.1}")
+                })
+                .collect();
+            tbl.row(&[&tau, &cells[0], &cells[1], &cells[2], &cells[3], &cells[4]]);
+        }
+        tbl.print();
+    }
+}

@@ -1,0 +1,56 @@
+//! Figure 13: endpoint STR partitioning vs random partitioning — join time.
+
+use dita_bench::runners::measure_dita_join;
+use dita_bench::{cluster, default_ng, dita_config, params, Sink, Table};
+use dita_core::{DitaSystem, JoinOptions};
+use dita_distance::DistanceFunction;
+use dita_index::random_partitioning;
+
+fn main() {
+    let mut sink = Sink::new("fig13");
+    for dataset in [dita_bench::beijing(), dita_bench::chengdu()] {
+        println!("dataset: {}", dataset.stats());
+        let ng = default_ng(&dataset.name);
+        let workers = params::DEFAULT_WORKERS;
+
+        let dita = DitaSystem::build(&dataset, dita_config(ng), cluster(workers));
+        let n_parts = dita.num_partitions().max(1);
+        let random = DitaSystem::build_with_partitioning(
+            &dataset,
+            dita_config(ng),
+            cluster(workers),
+            Some(random_partitioning(dataset.trajectories(), n_parts, 0xF00D)),
+        );
+
+        let mut tbl = Table::new(
+            format!("fig13 partitioning scheme on {} — join time (ms)", dataset.name),
+            &["tau", "DITA", "Random", "DITA_KB_shipped", "Random_KB_shipped"],
+        );
+        for tau in params::TAUS {
+            let (_, d_ms, d_stats) = measure_dita_join(
+                &dita,
+                &dita,
+                tau,
+                &DistanceFunction::Dtw,
+                &JoinOptions::default(),
+            );
+            let (_, r_ms, r_stats) = measure_dita_join(
+                &random,
+                &random,
+                tau,
+                &DistanceFunction::Dtw,
+                &JoinOptions::default(),
+            );
+            sink.record("dita", &dataset.name, serde_json::json!({"tau": tau}), "join_ms", d_ms);
+            sink.record("random", &dataset.name, serde_json::json!({"tau": tau}), "join_ms", r_ms);
+            tbl.row(&[
+                &tau,
+                &format!("{d_ms:.1}"),
+                &format!("{r_ms:.1}"),
+                &format!("{:.0}", d_stats.shipped_bytes as f64 / 1024.0),
+                &format!("{:.0}", r_stats.shipped_bytes as f64 / 1024.0),
+            ]);
+        }
+        tbl.print();
+    }
+}

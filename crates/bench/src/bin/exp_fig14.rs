@@ -1,0 +1,58 @@
+//! Figure 14: trie fanout N_L sweep — join time on Beijing and Chengdu.
+
+use dita_bench::runners::measure_dita_join;
+use dita_bench::{cluster, default_ng, params, Sink, Table};
+use dita_core::{DitaConfig, DitaSystem, JoinOptions};
+use dita_distance::DistanceFunction;
+use dita_index::TrieConfig;
+
+fn main() {
+    let mut sink = Sink::new("fig14");
+    let nls = [4usize, 8, 16];
+    for dataset in [dita_bench::beijing(), dita_bench::chengdu()] {
+        println!("dataset: {}", dataset.stats());
+        let ng = default_ng(&dataset.name);
+        let builds: Vec<DitaSystem> = nls
+            .iter()
+            .map(|&nl| {
+                let config = DitaConfig {
+                    ng,
+                    trie: TrieConfig {
+                        nl,
+                        ..dita_bench::dita_config(ng).trie
+                    },
+                };
+                DitaSystem::build(&dataset, config, cluster(params::DEFAULT_WORKERS))
+            })
+            .collect();
+        let mut tbl = Table::new(
+            format!("fig14 N_L sweep on {} — join time (ms)", dataset.name),
+            &["tau", "NL=4", "NL=8", "NL=16"],
+        );
+        for tau in params::TAUS {
+            let cells: Vec<String> = builds
+                .iter()
+                .zip(nls)
+                .map(|(sys, nl)| {
+                    let (_, ms, _) = measure_dita_join(
+                        sys,
+                        sys,
+                        tau,
+                        &DistanceFunction::Dtw,
+                        &JoinOptions::default(),
+                    );
+                    sink.record(
+                        "dita",
+                        &dataset.name,
+                        serde_json::json!({"tau": tau, "nl": nl}),
+                        "join_ms",
+                        ms,
+                    );
+                    format!("{ms:.1}")
+                })
+                .collect();
+            tbl.row(&[&tau, &cells[0], &cells[1], &cells[2]]);
+        }
+        tbl.print();
+    }
+}

@@ -1,0 +1,62 @@
+//! Figure 15: join time under the other distance functions — DTW vs Fréchet
+//! (geometric thresholds) and EDR vs LCSS (edit-count thresholds).
+
+use dita_bench::runners::measure_dita_join;
+use dita_bench::{cluster, default_ng, dita_config, params, Sink, Table};
+use dita_core::{DitaSystem, JoinOptions};
+use dita_distance::DistanceFunction;
+
+fn main() {
+    let mut sink = Sink::new("fig15");
+    for dataset in [dita_bench::beijing(), dita_bench::chengdu()] {
+        println!("dataset: {}", dataset.stats());
+        let ng = default_ng(&dataset.name);
+        let dita = DitaSystem::build(&dataset, dita_config(ng), cluster(params::DEFAULT_WORKERS));
+
+        // (a) DTW and Fréchet over the geometric τ sweep.
+        let mut tbl = Table::new(
+            format!("fig15(a) join on {} — DTW vs Frechet (ms)", dataset.name),
+            &["tau", "DTW", "Frechet"],
+        );
+        for tau in params::TAUS {
+            let mut cells = Vec::new();
+            for (f, label) in [
+                (DistanceFunction::Dtw, "dtw"),
+                (DistanceFunction::Frechet, "frechet"),
+            ] {
+                let (_, ms, _) =
+                    measure_dita_join(&dita, &dita, tau, &f, &JoinOptions::default());
+                sink.record(label, &dataset.name, serde_json::json!({"tau": tau}), "join_ms", ms);
+                cells.push(format!("{ms:.1}"));
+            }
+            tbl.row(&[&tau, &cells[0], &cells[1]]);
+        }
+        tbl.print();
+
+        // (b) EDR and LCSS over integer thresholds (ϵ = 1e-4, δ = 3 as in
+        // Appendix B). The edit family's endpoint pruning is inherently
+        // weak (an integer budget ≥ 2 admits every partition pair), so this
+        // panel runs on a 30% sample — the paper makes the same point by
+        // reporting EDR/LCSS joins an order of magnitude slower.
+        let sampled = dataset.sample(0.3);
+        let dita_s = DitaSystem::build(&sampled, dita_config(ng), cluster(params::DEFAULT_WORKERS));
+        let mut tbl = Table::new(
+            format!("fig15(b) join on {} (30% sample) — EDR vs LCSS (ms)", dataset.name),
+            &["tau", "EDR", "LCSS"],
+        );
+        for tau in [1.0, 3.0, 5.0] {
+            let mut cells = Vec::new();
+            for (f, label) in [
+                (DistanceFunction::PAPER_EDR, "edr"),
+                (DistanceFunction::PAPER_LCSS, "lcss"),
+            ] {
+                let (_, ms, _) =
+                    measure_dita_join(&dita_s, &dita_s, tau, &f, &JoinOptions::default());
+                sink.record(label, &dataset.name, serde_json::json!({"tau": tau}), "join_ms", ms);
+                cells.push(format!("{ms:.1}"));
+            }
+            tbl.row(&[&tau, &cells[0], &cells[1]]);
+        }
+        tbl.print();
+    }
+}

@@ -1,0 +1,78 @@
+//! Figure 16: load balancing — the un-balanced ratio (busiest / laziest
+//! worker) and total join time, with and without DITA's balancing
+//! mechanisms.
+
+use dita_bench::runners::measure_dita_join;
+use dita_bench::{cluster, dita_config, params, scale, Sink, Table};
+use dita_core::{BalanceStrategy, DitaSystem, JoinOptions};
+use dita_datagen::{city_dataset, CityConfig};
+use dita_distance::DistanceFunction;
+
+/// Rush-hour city: a small pool of very popular routes (airport runs,
+/// commuter corridors) concentrates the join workload into a few clone
+/// cliques, whose partitions become the stragglers §6.3 exists for.
+fn rush_hour(name: &str, center: (f64, f64), seed: u64) -> dita_trajectory::Dataset {
+    city_dataset(&CityConfig {
+        name: format!("{name}-rush"),
+        cardinality: ((30_000.0 * scale()).round() as usize).max(16),
+        center,
+        extent_deg: 0.30,
+        grid_step_deg: 0.0015,
+        avg_len: 25.0,
+        min_len: 8,
+        max_len: 120,
+        gps_noise_deg: 0.00008,
+        route_popularity: 0.10,
+        popular_routes: 32,
+        hotspot_fraction: 0.4,
+        seed,
+    })
+}
+
+fn main() {
+    let mut sink = Sink::new("fig16");
+    for dataset in [
+        rush_hour("beijing", (39.9, 116.4), 0xF16A),
+        rush_hour("chengdu", (30.66, 104.06), 0xF16B),
+    ] {
+        println!("dataset: {}", dataset.stats());
+        let ng = 6;
+        let dita = DitaSystem::build(&dataset, dita_config(ng), cluster(params::DEFAULT_WORKERS));
+
+        let mut tbl = Table::new(
+            format!("fig16 load balancing on {}", dataset.name),
+            &["tau", "ratio_naive", "ratio_dita", "total_naive_ms", "total_dita_ms", "replicas"],
+        );
+        for tau in params::TAUS {
+            let naive_opts = JoinOptions {
+                balance: BalanceStrategy::None,
+                ..JoinOptions::default()
+            };
+            let dita_opts = JoinOptions {
+                // Percentile adapted to the harness partition count; the
+                // paper's 0.98 assumes thousands of partitions.
+                division_percentile: 0.75,
+                ..JoinOptions::default()
+            };
+            let (_, n_ms, n_stats) =
+                measure_dita_join(&dita, &dita, tau, &DistanceFunction::Dtw, &naive_opts);
+            let (_, d_ms, d_stats) =
+                measure_dita_join(&dita, &dita, tau, &DistanceFunction::Dtw, &dita_opts);
+            let n_ratio = n_stats.job.load_ratio();
+            let d_ratio = d_stats.job.load_ratio();
+            sink.record("naive", &dataset.name, serde_json::json!({"tau": tau}), "load_ratio", n_ratio);
+            sink.record("dita", &dataset.name, serde_json::json!({"tau": tau}), "load_ratio", d_ratio);
+            sink.record("naive", &dataset.name, serde_json::json!({"tau": tau}), "join_ms", n_ms);
+            sink.record("dita", &dataset.name, serde_json::json!({"tau": tau}), "join_ms", d_ms);
+            tbl.row(&[
+                &tau,
+                &format!("{n_ratio:.2}"),
+                &format!("{d_ratio:.2}"),
+                &format!("{n_ms:.1}"),
+                &format!("{d_ms:.1}"),
+                &d_stats.replicas,
+            ]);
+        }
+        tbl.print();
+    }
+}

@@ -1,0 +1,87 @@
+//! Figure 17 (and the Appendix C join comparison): centralized baselines —
+//! candidate counts and per-query latency of MBE, VP-tree and a
+//! single-worker DITA, under DTW and Fréchet.
+
+use dita_baselines::{MbeIndex, VpTree};
+use dita_bench::{cluster, default_ng, dita_config, num_queries, params, Sink, Table};
+use dita_core::{search, DitaSystem};
+use dita_distance::DistanceFunction;
+use std::time::Instant;
+
+fn main() {
+    let mut sink = Sink::new("fig17");
+    let dataset = dita_bench::chengdu_tiny();
+    println!("dataset: {}", dataset.stats());
+    let ng = default_ng(&dataset.name);
+    let queries = dita_datagen::sample_queries(&dataset, num_queries(), 0xA11CE);
+
+    // Centralized DITA: one worker.
+    let dita = DitaSystem::build(&dataset, dita_config(ng), cluster(1));
+    let mbe = MbeIndex::build(dataset.trajectories(), 4);
+    let vp = VpTree::build(dataset.trajectories(), DistanceFunction::Frechet);
+
+    for (func, label) in [
+        (DistanceFunction::Dtw, "DTW"),
+        (DistanceFunction::Frechet, "Frechet"),
+    ] {
+        let mut tbl = Table::new(
+            format!("fig17 centralized search with {label}"),
+            &["tau", "cand_MBE", "cand_VP", "cand_DITA", "ms_MBE", "ms_VP", "ms_DITA"],
+        );
+        for tau in params::TAUS {
+            // MBE.
+            let t0 = Instant::now();
+            let mut mbe_cands = 0usize;
+            for q in &queries {
+                let (_, c) = mbe.search(q.points(), tau, &func);
+                mbe_cands += c;
+            }
+            let mbe_ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+
+            // VP-tree (Fréchet only).
+            let (vp_cands, vp_ms) = if func.is_metric() {
+                let t0 = Instant::now();
+                let mut c_total = 0usize;
+                for q in &queries {
+                    let (_, c) = vp.search(q, tau);
+                    c_total += c;
+                }
+                (
+                    c_total as f64 / queries.len() as f64,
+                    t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64,
+                )
+            } else {
+                (f64::NAN, f64::NAN)
+            };
+
+            // DITA, single worker: wall-clock is honest here.
+            let t0 = Instant::now();
+            let mut dita_cands = 0usize;
+            for q in &queries {
+                let (_, s) = search(&dita, q.points(), tau, &func);
+                dita_cands += s.candidates;
+            }
+            let dita_ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
+
+            let nq = queries.len() as f64;
+            sink.record("mbe", &dataset.name, serde_json::json!({"tau": tau, "func": label}), "candidates", mbe_cands as f64 / nq);
+            sink.record("dita", &dataset.name, serde_json::json!({"tau": tau, "func": label}), "candidates", dita_cands as f64 / nq);
+            sink.record("mbe", &dataset.name, serde_json::json!({"tau": tau, "func": label}), "search_ms", mbe_ms);
+            sink.record("dita", &dataset.name, serde_json::json!({"tau": tau, "func": label}), "search_ms", dita_ms);
+            if func.is_metric() {
+                sink.record("vptree", &dataset.name, serde_json::json!({"tau": tau, "func": label}), "candidates", vp_cands);
+                sink.record("vptree", &dataset.name, serde_json::json!({"tau": tau, "func": label}), "search_ms", vp_ms);
+            }
+            tbl.row(&[
+                &tau,
+                &format!("{:.0}", mbe_cands as f64 / nq),
+                &(if vp_cands.is_nan() { "n/a".to_string() } else { format!("{vp_cands:.0}") }),
+                &format!("{:.0}", dita_cands as f64 / nq),
+                &format!("{mbe_ms:.3}"),
+                &(if vp_ms.is_nan() { "n/a".to_string() } else { format!("{vp_ms:.3}") }),
+                &format!("{dita_ms:.3}"),
+            ]);
+        }
+        tbl.print();
+    }
+}

@@ -1,0 +1,10 @@
+//! Figure 7: distributed similarity search on Beijing with DTW —
+//! Naive / Simba / DFT / DITA over τ, sample rate, workers and scale-out.
+
+use dita_bench::runners::run_search_figure;
+
+fn main() {
+    let dataset = dita_bench::beijing();
+    println!("dataset: {}", dataset.stats());
+    run_search_figure("fig7", &dataset, 0.003);
+}

@@ -1,0 +1,9 @@
+//! Figure 8: distributed similarity search on Chengdu with DTW.
+
+use dita_bench::runners::run_search_figure;
+
+fn main() {
+    let dataset = dita_bench::chengdu();
+    println!("dataset: {}", dataset.stats());
+    run_search_figure("fig8", &dataset, 0.003);
+}

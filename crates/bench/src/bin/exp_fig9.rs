@@ -1,0 +1,10 @@
+//! Figure 9: distributed similarity join on Beijing with DTW — Simba vs
+//! DITA over τ, sample rate, workers and scale-out.
+
+use dita_bench::runners::run_join_figure;
+
+fn main() {
+    let dataset = dita_bench::beijing();
+    println!("dataset: {}", dataset.stats());
+    run_join_figure("fig9", &dataset, 0.003);
+}

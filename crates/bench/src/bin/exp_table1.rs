@@ -1,0 +1,41 @@
+//! Table 1: the point-to-point distance matrix and DTW matrix for the
+//! worked example T1/T3 of Figure 1.
+
+use dita_bench::Table;
+use dita_distance::dtw;
+use dita_trajectory::trajectory::figure1_trajectories;
+
+fn main() {
+    let ts = figure1_trajectories();
+    let (t1, t3) = (ts[0].points(), ts[2].points());
+
+    let mut dist = Table::new(
+        "Table 1(1): point-to-point distance matrix for T1 and T3",
+        &["", "t3_1", "t3_2", "t3_3", "t3_4", "t3_5", "t3_6"],
+    );
+    for (i, p) in t1.iter().enumerate() {
+        let cells: Vec<String> = t3.iter().map(|q| format!("{:.2}", p.dist(q))).collect();
+        dist.row(&[
+            &format!("t1_{}", i + 1),
+            &cells[0], &cells[1], &cells[2], &cells[3], &cells[4], &cells[5],
+        ]);
+    }
+    dist.print();
+
+    // DTW matrix v(i, j) = DTW(T1^i, T3^j).
+    let mut v = Table::new(
+        "Table 1(2): DTW matrix for T1 and T3",
+        &["", "t3_1", "t3_2", "t3_3", "t3_4", "t3_5", "t3_6"],
+    );
+    for i in 1..=t1.len() {
+        let cells: Vec<String> = (1..=t3.len())
+            .map(|j| format!("{:.2}", dtw(&t1[..i], &t3[..j])))
+            .collect();
+        v.row(&[
+            &format!("t1_{i}"),
+            &cells[0], &cells[1], &cells[2], &cells[3], &cells[4], &cells[5],
+        ]);
+    }
+    v.print();
+    println!("\npaper: DTW(T1, T3) = 5.41; measured = {:.2}", dtw(t1, t3));
+}

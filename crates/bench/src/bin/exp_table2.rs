@@ -1,0 +1,23 @@
+//! Table 2 (and Table 6): statistics of the datasets used across the
+//! experiments, at the harness scale.
+
+use dita_bench::{beijing, chengdu, chengdu_tiny, osm_join, osm_search, Table};
+
+fn main() {
+    let mut tbl = Table::new(
+        "Table 2: datasets (harness scale; paper scale in DESIGN.md)",
+        &["dataset", "cardinality", "avg_len", "min_len", "max_len", "size_MB"],
+    );
+    for d in [beijing(), chengdu(), osm_search(), osm_join(), chengdu_tiny()] {
+        let s = d.stats();
+        tbl.row(&[
+            &d.name,
+            &s.cardinality,
+            &format!("{:.1}", s.avg_len),
+            &s.min_len,
+            &s.max_len,
+            &format!("{:.2}", s.size_bytes as f64 / 1048576.0),
+        ]);
+    }
+    tbl.print();
+}

@@ -1,0 +1,50 @@
+//! Table 4: the N_G (partition count) sweep — search and join time.
+
+use dita_bench::runners::{measure_dita_join, measure_search, SearchSystems};
+use dita_bench::{cluster, dita_config, num_queries, params, Sink, Table};
+use dita_baselines::{DftSystem, NaiveSystem, SimbaSystem};
+use dita_core::{DitaSystem, JoinOptions};
+use dita_distance::DistanceFunction;
+
+fn main() {
+    let mut sink = Sink::new("table4");
+    let tau = 0.003;
+    for dataset in [dita_bench::beijing(), dita_bench::chengdu()] {
+        println!("dataset: {}", dataset.stats());
+        let queries = dita_datagen::sample_queries(&dataset, num_queries(), 0xA11CE);
+        let mut tbl = Table::new(
+            format!("Table 4: varying N_G on {} (DTW, tau={tau})", dataset.name),
+            &["NG", "partitions", "search_ms", "join_ms"],
+        );
+        for ng in [4usize, 8, 16, 24] {
+            let c = cluster(params::DEFAULT_WORKERS);
+            let dita = DitaSystem::build(&dataset, dita_config(ng), c.clone());
+            // Wrap in the suite struct so measure_search applies the same
+            // latency convention.
+            let suite = SearchSystems {
+                naive: NaiveSystem::build(&[], c.clone()),
+                simba: SimbaSystem::build(&[], 1, c.clone()),
+                dft: DftSystem::build(&[], 1, c),
+                dita,
+            };
+            let (search_ms, _) =
+                measure_search(&suite, "dita", &queries, tau, &DistanceFunction::Dtw);
+            let (_, join_ms, _) = measure_dita_join(
+                &suite.dita,
+                &suite.dita,
+                tau,
+                &DistanceFunction::Dtw,
+                &JoinOptions::default(),
+            );
+            sink.record("dita", &dataset.name, serde_json::json!({"ng": ng}), "search_ms", search_ms);
+            sink.record("dita", &dataset.name, serde_json::json!({"ng": ng}), "join_ms", join_ms);
+            tbl.row(&[
+                &ng,
+                &suite.dita.num_partitions(),
+                &format!("{search_ms:.3}"),
+                &format!("{join_ms:.1}"),
+            ]);
+        }
+        tbl.print();
+    }
+}

@@ -1,0 +1,48 @@
+//! Table 5: index construction time and size vs dataset sample rate,
+//! DITA vs DFT.
+
+use dita_bench::{cluster, default_ng, dita_config, params, Sink, Table};
+use dita_baselines::DftSystem;
+use dita_core::DitaSystem;
+use std::time::Instant;
+
+fn main() {
+    let mut sink = Sink::new("table5");
+    for dataset in [dita_bench::beijing(), dita_bench::chengdu()] {
+        println!("dataset: {}", dataset.stats());
+        let ng = default_ng(&dataset.name);
+        let mut tbl = Table::new(
+            format!("Table 5: indexing time and size on {}", dataset.name),
+            &["system", "rate", "time_ms", "global_KB", "local_KB"],
+        );
+        for rate in params::SAMPLE_RATES {
+            let sampled = dataset.sample(rate);
+            let dita = DitaSystem::build(&sampled, dita_config(ng), cluster(params::DEFAULT_WORKERS));
+            let b = dita.build_stats();
+            sink.record("dita", &dataset.name, serde_json::json!({"rate": rate}), "build_ms", b.build_time.as_secs_f64() * 1e3);
+            sink.record("dita", &dataset.name, serde_json::json!({"rate": rate}), "local_kb", b.local_size_bytes as f64 / 1024.0);
+            tbl.row(&[
+                &"DITA",
+                &rate,
+                &format!("{:.1}", b.build_time.as_secs_f64() * 1e3),
+                &format!("{:.1}", b.global_size_bytes as f64 / 1024.0),
+                &format!("{:.1}", b.local_size_bytes as f64 / 1024.0),
+            ]);
+        }
+        // DFT at full scale, as in the paper's last rows.
+        let t0 = Instant::now();
+        let parts = ng * ng;
+        let dft = DftSystem::build(dataset.trajectories(), parts, cluster(params::DEFAULT_WORKERS));
+        let dft_ms = t0.elapsed().as_secs_f64() * 1e3;
+        sink.record("dft", &dataset.name, serde_json::json!({"rate": 1.0}), "build_ms", dft_ms);
+        sink.record("dft", &dataset.name, serde_json::json!({"rate": 1.0}), "local_kb", dft.index_size_bytes() as f64 / 1024.0);
+        tbl.row(&[
+            &"DFT",
+            &1.0,
+            &format!("{dft_ms:.1}"),
+            &"-",
+            &format!("{:.1}", dft.index_size_bytes() as f64 / 1024.0),
+        ]);
+        tbl.print();
+    }
+}

@@ -1,0 +1,47 @@
+//! Table 7: centralized index construction time and size — DITA (one
+//! worker) vs MBE vs VP-tree on Chengdu(tiny).
+
+use dita_baselines::{MbeIndex, VpTree};
+use dita_bench::{cluster, default_ng, dita_config, Sink, Table};
+use dita_core::DitaSystem;
+use dita_distance::DistanceFunction;
+
+fn main() {
+    let mut sink = Sink::new("table7");
+    let dataset = dita_bench::chengdu_tiny();
+    println!("dataset: {}", dataset.stats());
+    let ng = default_ng(&dataset.name);
+
+    let dita = DitaSystem::build(&dataset, dita_config(ng), cluster(1));
+    let mbe = MbeIndex::build(dataset.trajectories(), 4);
+    let vp = VpTree::build(dataset.trajectories(), DistanceFunction::Frechet);
+
+    let mut tbl = Table::new(
+        "Table 7: centralized indexing time and size (chengdu-tiny)",
+        &["system", "build_ms", "index_KB"],
+    );
+    let rows: [(&str, f64, f64); 3] = [
+        (
+            "DITA",
+            dita.build_stats().build_time.as_secs_f64() * 1e3,
+            (dita.build_stats().global_size_bytes + dita.build_stats().local_size_bytes) as f64
+                / 1024.0,
+        ),
+        (
+            "MBE",
+            mbe.build_time().as_secs_f64() * 1e3,
+            mbe.index_size_bytes() as f64 / 1024.0,
+        ),
+        (
+            "VP-Tree",
+            vp.build_time().as_secs_f64() * 1e3,
+            vp.index_size_bytes() as f64 / 1024.0,
+        ),
+    ];
+    for (name, ms, kb) in rows {
+        sink.record(name, &dataset.name, serde_json::json!({}), "build_ms", ms);
+        sink.record(name, &dataset.name, serde_json::json!({}), "index_kb", kb);
+        tbl.row(&[&name, &format!("{ms:.1}"), &format!("{kb:.1}")]);
+    }
+    tbl.print();
+}

@@ -1,0 +1,369 @@
+//! Shared system construction and measurement wrappers for the experiment
+//! binaries.
+
+use crate::{cluster, dita_config, makespan_ms};
+use dita_baselines::{DftSystem, NaiveSystem, SimbaSystem};
+use dita_cluster::Cluster;
+use dita_core::{join, search, DitaSystem, JoinOptions};
+use dita_distance::DistanceFunction;
+use dita_trajectory::{Dataset, Point, Trajectory};
+use std::time::Instant;
+
+/// The four distributed systems of Figures 7–8, built over the same data
+/// and the same cluster.
+pub struct SearchSystems {
+    /// DITA.
+    pub dita: DitaSystem,
+    /// The no-index baseline.
+    pub naive: NaiveSystem,
+    /// The Simba-style baseline.
+    pub simba: SimbaSystem,
+    /// The DFT-style baseline.
+    pub dft: DftSystem,
+}
+
+/// Builds all four systems with comparable partition counts.
+pub fn build_search_systems(dataset: &Dataset, workers: usize, ng: usize) -> SearchSystems {
+    let c: Cluster = cluster(workers);
+    let dita = DitaSystem::build(dataset, dita_config(ng), c.clone());
+    let parts = dita.num_partitions().max(1);
+    SearchSystems {
+        naive: NaiveSystem::build(dataset.trajectories(), c.clone()),
+        simba: SimbaSystem::build(dataset.trajectories(), parts, c.clone()),
+        dft: DftSystem::build(dataset.trajectories(), parts, c),
+        dita,
+    }
+}
+
+/// Mean per-query search latency (simulated ms) and mean candidate count of
+/// one system over a query workload.
+pub fn measure_search(
+    systems: &SearchSystems,
+    which: &str,
+    queries: &[Trajectory],
+    tau: f64,
+    func: &DistanceFunction,
+) -> (f64, f64) {
+    let mut total_ms = 0.0;
+    let mut total_cands = 0usize;
+    for q in queries {
+        // Latency convention: driver-side wall time (planning, merging)
+        // plus the simulated worker makespan(s).
+        let t0 = Instant::now();
+        match which {
+            "dita" => {
+                let (_, s) = search(&systems.dita, q.points(), tau, func);
+                let driver = (t0.elapsed() - s.job.elapsed).as_secs_f64().max(0.0);
+                total_ms += driver * 1e3 + makespan_ms(&s.job);
+                total_cands += s.candidates;
+            }
+            "naive" => {
+                let (_, job) = systems.naive.search(q.points(), tau, func);
+                let driver = (t0.elapsed() - job.elapsed).as_secs_f64().max(0.0);
+                total_ms += driver * 1e3 + makespan_ms(&job);
+                total_cands += systems.naive.len();
+            }
+            "simba" => {
+                let (_, c, job) = systems.simba.search(q.points(), tau, func);
+                let driver = (t0.elapsed() - job.elapsed).as_secs_f64().max(0.0);
+                total_ms += driver * 1e3 + makespan_ms(&job);
+                total_cands += c;
+            }
+            "dft" => {
+                let (_, c, filter, verify) = systems.dft.search(q.points(), tau, func);
+                // The driver barrier makes the two phases sequential, and
+                // the bitmap merge is driver work between them.
+                let driver = (t0.elapsed() - filter.elapsed - verify.elapsed)
+                    .as_secs_f64()
+                    .max(0.0);
+                total_ms += driver * 1e3 + makespan_ms(&filter) + makespan_ms(&verify);
+                total_cands += c;
+            }
+            other => panic!("unknown system {other}"),
+        }
+    }
+    let n = queries.len().max(1) as f64;
+    (total_ms / n, total_cands as f64 / n)
+}
+
+/// DITA join latency in simulated ms: driver-side planning wall time plus
+/// the execution makespan.
+pub fn measure_dita_join(
+    left: &DitaSystem,
+    right: &DitaSystem,
+    tau: f64,
+    func: &DistanceFunction,
+    opts: &JoinOptions,
+) -> (usize, f64, dita_core::JoinStats) {
+    let t0 = Instant::now();
+    let (pairs, stats) = join(left, right, tau, func, opts);
+    let wall = t0.elapsed().as_secs_f64();
+    let driver = (wall - stats.job.elapsed.as_secs_f64()).max(0.0);
+    let ms = (driver + stats.job.makespan_sec()) * 1e3;
+    (pairs.len(), ms, stats)
+}
+
+/// Simba join latency in simulated ms (same convention).
+pub fn measure_simba_join(
+    left: &SimbaSystem,
+    right: &SimbaSystem,
+    tau: f64,
+    func: &DistanceFunction,
+) -> (usize, f64) {
+    let t0 = Instant::now();
+    let (pairs, _cands, job) = left.join(right, tau, func);
+    let wall = t0.elapsed().as_secs_f64();
+    let driver = (wall - job.elapsed.as_secs_f64()).max(0.0);
+    ((pairs.len()), (driver + job.makespan_sec()) * 1e3)
+}
+
+/// Extracts the raw point sequences of a query set.
+pub fn query_points(queries: &[Trajectory]) -> Vec<Vec<Point>> {
+    queries.iter().map(|q| q.points().to_vec()).collect()
+}
+
+/// Regenerates one full search figure (the Figures 7/8 layout): four panels
+/// — τ sweep, sample-rate sweep, worker (scale-up) sweep and the combined
+/// scale-out sweep — for Naive, Simba, DFT and DITA.
+pub fn run_search_figure(figure: &str, dataset: &Dataset, default_tau: f64) {
+    use crate::{num_queries, params, Sink, Table};
+    let ng = crate::default_ng(&dataset.name);
+    let systems_names = ["naive", "simba", "dft", "dita"];
+    let mut sink = Sink::new(figure);
+    let queries = dita_datagen::sample_queries(dataset, num_queries(), 0xA11CE);
+
+    // (a) Varying τ.
+    let mut tbl = Table::new(
+        format!("{figure}(a): search on {} — varying tau (ms/query)", dataset.name),
+        &["tau", "Naive", "Simba", "DFT", "DITA"],
+    );
+    let systems = build_search_systems(dataset, params::DEFAULT_WORKERS, ng);
+    for tau in params::TAUS {
+        let mut cells: Vec<f64> = Vec::new();
+        for name in systems_names {
+            let (ms, _) = measure_search(&systems, name, &queries, tau, &DistanceFunction::Dtw);
+            sink.record(
+                name,
+                &dataset.name,
+                serde_json::json!({"tau": tau, "panel": "a"}),
+                "search_ms",
+                ms,
+            );
+            cells.push(ms);
+        }
+        tbl.row(&[
+            &format!("{tau}"),
+            &format!("{:.3}", cells[0]),
+            &format!("{:.3}", cells[1]),
+            &format!("{:.3}", cells[2]),
+            &format!("{:.3}", cells[3]),
+        ]);
+    }
+    tbl.print();
+
+    // (b) Scalability: sample-rate sweep at the default τ.
+    let mut tbl = Table::new(
+        format!("{figure}(b): search on {} — varying sample rate (ms/query)", dataset.name),
+        &["rate", "Naive", "Simba", "DFT", "DITA"],
+    );
+    for rate in params::SAMPLE_RATES {
+        let sampled = dataset.sample(rate);
+        let systems = build_search_systems(&sampled, params::DEFAULT_WORKERS, ng);
+        let qs = dita_datagen::sample_queries(&sampled, num_queries(), 0xA11CE);
+        let mut cells = Vec::new();
+        for name in systems_names {
+            let (ms, _) = measure_search(&systems, name, &qs, default_tau, &DistanceFunction::Dtw);
+            sink.record(
+                name,
+                &dataset.name,
+                serde_json::json!({"rate": rate, "panel": "b"}),
+                "search_ms",
+                ms,
+            );
+            cells.push(ms);
+        }
+        tbl.row(&[
+            &format!("{rate}"),
+            &format!("{:.3}", cells[0]),
+            &format!("{:.3}", cells[1]),
+            &format!("{:.3}", cells[2]),
+            &format!("{:.3}", cells[3]),
+        ]);
+    }
+    tbl.print();
+
+    // (c) Scale-up: worker sweep.
+    let mut tbl = Table::new(
+        format!("{figure}(c): search on {} — varying workers (ms/query)", dataset.name),
+        &["workers", "Naive", "Simba", "DFT", "DITA"],
+    );
+    for workers in params::WORKERS {
+        let systems = build_search_systems(dataset, workers, ng);
+        let mut cells = Vec::new();
+        for name in systems_names {
+            let (ms, _) =
+                measure_search(&systems, name, &queries, default_tau, &DistanceFunction::Dtw);
+            sink.record(
+                name,
+                &dataset.name,
+                serde_json::json!({"workers": workers, "panel": "c"}),
+                "search_ms",
+                ms,
+            );
+            cells.push(ms);
+        }
+        tbl.row(&[
+            &format!("{workers}"),
+            &format!("{:.3}", cells[0]),
+            &format!("{:.3}", cells[1]),
+            &format!("{:.3}", cells[2]),
+            &format!("{:.3}", cells[3]),
+        ]);
+    }
+    tbl.print();
+
+    // (d) Scale-out: rate and workers grow together.
+    let mut tbl = Table::new(
+        format!("{figure}(d): search on {} — scale-out (ms/query)", dataset.name),
+        &["scale", "Naive", "Simba", "DFT", "DITA"],
+    );
+    for (rate, workers) in params::SAMPLE_RATES.iter().zip(params::WORKERS) {
+        let sampled = dataset.sample(*rate);
+        let systems = build_search_systems(&sampled, workers, ng);
+        let qs = dita_datagen::sample_queries(&sampled, num_queries(), 0xA11CE);
+        let mut cells = Vec::new();
+        for name in systems_names {
+            let (ms, _) = measure_search(&systems, name, &qs, default_tau, &DistanceFunction::Dtw);
+            sink.record(
+                name,
+                &dataset.name,
+                serde_json::json!({"rate": rate, "workers": workers, "panel": "d"}),
+                "search_ms",
+                ms,
+            );
+            cells.push(ms);
+        }
+        tbl.row(&[
+            &format!("{rate},{workers}w"),
+            &format!("{:.3}", cells[0]),
+            &format!("{:.3}", cells[1]),
+            &format!("{:.3}", cells[2]),
+            &format!("{:.3}", cells[3]),
+        ]);
+    }
+    tbl.print();
+}
+
+/// Regenerates one full join figure (the Figures 9/10 layout): τ sweep,
+/// sample-rate sweep, worker sweep and scale-out, Simba vs DITA.
+pub fn run_join_figure(figure: &str, dataset: &Dataset, default_tau: f64) {
+    use crate::{cluster, dita_config, params, Sink, Table};
+    let ng = crate::default_ng(&dataset.name);
+    let mut sink = Sink::new(figure);
+
+    let build = |data: &Dataset, workers: usize| {
+        let c = cluster(workers);
+        let dita = DitaSystem::build(data, dita_config(ng), c.clone());
+        let parts = dita.num_partitions().max(1);
+        let simba = SimbaSystem::build(data.trajectories(), parts, c);
+        (dita, simba)
+    };
+
+    // (a) Varying τ.
+    let mut tbl = Table::new(
+        format!("{figure}(a): join on {} — varying tau (ms)", dataset.name),
+        &["tau", "Simba", "DITA", "pairs"],
+    );
+    let (dita, simba) = build(dataset, params::DEFAULT_WORKERS);
+    for tau in params::TAUS {
+        let (pairs, dita_ms, _) = measure_dita_join(
+            &dita,
+            &dita,
+            tau,
+            &DistanceFunction::Dtw,
+            &JoinOptions::default(),
+        );
+        let (_, simba_ms) = measure_simba_join(&simba, &simba, tau, &DistanceFunction::Dtw);
+        sink.record("dita", &dataset.name, serde_json::json!({"tau": tau, "panel": "a"}), "join_ms", dita_ms);
+        sink.record("simba", &dataset.name, serde_json::json!({"tau": tau, "panel": "a"}), "join_ms", simba_ms);
+        tbl.row(&[
+            &format!("{tau}"),
+            &format!("{simba_ms:.1}"),
+            &format!("{dita_ms:.1}"),
+            &pairs,
+        ]);
+    }
+    tbl.print();
+
+    // (b) Sample-rate sweep.
+    let mut tbl = Table::new(
+        format!("{figure}(b): join on {} — varying sample rate (ms)", dataset.name),
+        &["rate", "Simba", "DITA"],
+    );
+    for rate in params::SAMPLE_RATES {
+        let sampled = dataset.sample(rate);
+        let (dita, simba) = build(&sampled, params::DEFAULT_WORKERS);
+        let (_, dita_ms, _) = measure_dita_join(
+            &dita,
+            &dita,
+            default_tau,
+            &DistanceFunction::Dtw,
+            &JoinOptions::default(),
+        );
+        let (_, simba_ms) =
+            measure_simba_join(&simba, &simba, default_tau, &DistanceFunction::Dtw);
+        sink.record("dita", &dataset.name, serde_json::json!({"rate": rate, "panel": "b"}), "join_ms", dita_ms);
+        sink.record("simba", &dataset.name, serde_json::json!({"rate": rate, "panel": "b"}), "join_ms", simba_ms);
+        tbl.row(&[&format!("{rate}"), &format!("{simba_ms:.1}"), &format!("{dita_ms:.1}")]);
+    }
+    tbl.print();
+
+    // (c) Scale-up.
+    let mut tbl = Table::new(
+        format!("{figure}(c): join on {} — varying workers (ms)", dataset.name),
+        &["workers", "Simba", "DITA"],
+    );
+    for workers in params::WORKERS {
+        let (dita, simba) = build(dataset, workers);
+        let (_, dita_ms, _) = measure_dita_join(
+            &dita,
+            &dita,
+            default_tau,
+            &DistanceFunction::Dtw,
+            &JoinOptions::default(),
+        );
+        let (_, simba_ms) =
+            measure_simba_join(&simba, &simba, default_tau, &DistanceFunction::Dtw);
+        sink.record("dita", &dataset.name, serde_json::json!({"workers": workers, "panel": "c"}), "join_ms", dita_ms);
+        sink.record("simba", &dataset.name, serde_json::json!({"workers": workers, "panel": "c"}), "join_ms", simba_ms);
+        tbl.row(&[&workers, &format!("{simba_ms:.1}"), &format!("{dita_ms:.1}")]);
+    }
+    tbl.print();
+
+    // (d) Scale-out.
+    let mut tbl = Table::new(
+        format!("{figure}(d): join on {} — scale-out (ms)", dataset.name),
+        &["scale", "Simba", "DITA"],
+    );
+    for (rate, workers) in params::SAMPLE_RATES.iter().zip(params::WORKERS) {
+        let sampled = dataset.sample(*rate);
+        let (dita, simba) = build(&sampled, workers);
+        let (_, dita_ms, _) = measure_dita_join(
+            &dita,
+            &dita,
+            default_tau,
+            &DistanceFunction::Dtw,
+            &JoinOptions::default(),
+        );
+        let (_, simba_ms) =
+            measure_simba_join(&simba, &simba, default_tau, &DistanceFunction::Dtw);
+        sink.record("dita", &dataset.name, serde_json::json!({"rate": rate, "workers": workers, "panel": "d"}), "join_ms", dita_ms);
+        sink.record("simba", &dataset.name, serde_json::json!({"rate": rate, "workers": workers, "panel": "d"}), "join_ms", simba_ms);
+        tbl.row(&[
+            &format!("{rate},{workers}w"),
+            &format!("{simba_ms:.1}"),
+            &format!("{dita_ms:.1}"),
+        ]);
+    }
+    tbl.print();
+}

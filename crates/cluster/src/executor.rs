@@ -1,0 +1,577 @@
+//! The worker-pool executor.
+//!
+//! A [`Cluster`] owns a fixed number of logical workers (the paper's
+//! "cores" axis in the scale-up experiments). A job is a list of
+//! [`TaskSpec`]s, each pinned to a worker — exactly Spark's model where a
+//! partition is the basic execution unit and tasks run where their partition
+//! lives. Workers execute their queues concurrently on real OS threads;
+//! per-task compute time is measured and incoming shipments are charged to
+//! the network model.
+
+use crate::network::NetworkModel;
+use crate::stats::{JobStats, WorkerStats};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::time::{Duration, Instant};
+
+/// How many times a panicking task is retried before the job fails —
+/// mirroring Spark's `spark.task.maxFailures` (default 4 attempts total).
+pub const MAX_TASK_ATTEMPTS: usize = 4;
+
+/// CPU time consumed by the calling thread. Unlike wall-clock deltas, this
+/// is immune to preemption, so per-task compute costs stay accurate even
+/// when the host has fewer physical cores than the cluster has workers.
+fn thread_cpu_time() -> Duration {
+    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
+    // SAFETY: ts is a valid out-pointer; the clock id is always available
+    // on Linux.
+    unsafe {
+        libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts);
+    }
+    Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+}
+
+/// Cluster configuration.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of logical workers (≥ 1).
+    pub num_workers: usize,
+    /// Network model used to charge shipments.
+    pub network: NetworkModel,
+    /// Optional per-worker compute slowdown factors (straggler injection);
+    /// missing entries default to 1.0.
+    pub slowdowns: Vec<f64>,
+}
+
+impl ClusterConfig {
+    /// A healthy cluster of `n` workers with the default network.
+    pub fn with_workers(n: usize) -> Self {
+        ClusterConfig {
+            num_workers: n,
+            network: NetworkModel::default(),
+            slowdowns: Vec::new(),
+        }
+    }
+}
+
+/// One unit of work, pinned to a worker.
+#[derive(Debug, Clone)]
+pub struct TaskSpec<T> {
+    /// Index of the worker that must run this task.
+    pub worker: usize,
+    /// Bytes shipped to the worker for this task (charged to the network
+    /// model before the task runs).
+    pub incoming_bytes: u64,
+    /// Task payload handed to the job function.
+    pub payload: T,
+}
+
+/// A simulated cluster: a pool of logical workers plus a network model.
+#[derive(Debug, Clone)]
+pub struct Cluster {
+    config: ClusterConfig,
+}
+
+impl Cluster {
+    /// Creates a cluster.
+    ///
+    /// # Panics
+    /// Panics if `num_workers == 0` or any slowdown factor is < 1.0.
+    pub fn new(config: ClusterConfig) -> Self {
+        assert!(config.num_workers >= 1, "a cluster needs at least one worker");
+        assert!(
+            config.slowdowns.iter().all(|&s| s >= 1.0),
+            "slowdown factors must be >= 1.0"
+        );
+        Cluster { config }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.config.num_workers
+    }
+
+    /// The network model.
+    pub fn network(&self) -> &NetworkModel {
+        &self.config.network
+    }
+
+    fn slowdown(&self, worker: usize) -> f64 {
+        self.config.slowdowns.get(worker).copied().unwrap_or(1.0)
+    }
+
+    /// Executes a job: every task runs on its pinned worker; workers run
+    /// concurrently, tasks within a worker sequentially. Returns the task
+    /// results in submission order plus the job statistics.
+    ///
+    /// # Panics
+    /// Panics if any task names a worker `>= num_workers`.
+    pub fn execute<T, R, F>(&self, tasks: Vec<TaskSpec<T>>, f: F) -> (Vec<R>, JobStats)
+    where
+        T: Send + Clone,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let nw = self.config.num_workers;
+        for t in &tasks {
+            assert!(t.worker < nw, "task pinned to unknown worker {}", t.worker);
+        }
+
+        // Split tasks into per-worker queues, remembering submission order.
+        let mut queues: Vec<Vec<(usize, TaskSpec<T>)>> = (0..nw).map(|_| Vec::new()).collect();
+        let total = tasks.len();
+        for (i, t) in tasks.into_iter().enumerate() {
+            queues[t.worker].push((i, t));
+        }
+
+        let started = Instant::now();
+        let f = &f;
+        let net = &self.config.network;
+
+        let mut per_worker: Vec<(WorkerStats, Vec<(usize, R)>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = queues
+                .into_iter()
+                .enumerate()
+                .map(|(wid, queue)| {
+                    scope.spawn(move || {
+                        let mut stats = WorkerStats {
+                            slowdown: 1.0,
+                            ..WorkerStats::default()
+                        };
+                        let mut results = Vec::with_capacity(queue.len());
+                        for (i, task) in queue {
+                            stats.bytes_received += task.incoming_bytes;
+                            stats.network += Duration::from_secs_f64(
+                                net.transfer_sec(task.incoming_bytes),
+                            );
+                            let t0 = thread_cpu_time();
+                            // Task-level fault tolerance: a panicking task
+                            // is retried up to MAX_TASK_ATTEMPTS times with
+                            // an identical (cloned) payload — Spark's
+                            // spark.task.maxFailures behaviour.
+                            let mut r = None;
+                            for attempt in 1..=MAX_TASK_ATTEMPTS {
+                                let payload = task.payload.clone();
+                                match catch_unwind(AssertUnwindSafe(|| f(wid, payload))) {
+                                    Ok(v) => {
+                                        r = Some(v);
+                                        break;
+                                    }
+                                    Err(_) if attempt < MAX_TASK_ATTEMPTS => {
+                                        stats.retries += 1;
+                                    }
+                                    Err(e) => std::panic::resume_unwind(e),
+                                }
+                            }
+                            stats.compute += thread_cpu_time().saturating_sub(t0);
+                            stats.tasks += 1;
+                            results.push((i, r.expect("task completed or job aborted")));
+                        }
+                        (stats, results)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+        });
+
+        let elapsed = started.elapsed();
+        let mut workers = Vec::with_capacity(nw);
+        let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
+        for (wid, (mut stats, results)) in per_worker.drain(..).enumerate() {
+            stats.slowdown = self.slowdown(wid);
+            workers.push(stats);
+            for (i, r) in results {
+                slots[i] = Some(r);
+            }
+        }
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every task produces a result"))
+            .collect();
+        (results, JobStats { elapsed, workers })
+    }
+
+    /// Round-robin placement: maps item `i` of `n` to a worker. The default
+    /// partition→worker assignment used across the system.
+    pub fn place(&self, i: usize) -> usize {
+        i % self.config.num_workers
+    }
+
+    /// Executes a job under **dynamic scheduling**, Spark-style: tasks are
+    /// not pinned; each is assigned to whichever worker finishes earliest,
+    /// accounting for the data it must receive there.
+    ///
+    /// Mechanically, every task runs once (its CPU cost is measured with the
+    /// thread CPU clock) and the assignment is then derived by an online
+    /// greedy list schedule in submission order — the deterministic
+    /// equivalent of executors pulling tasks as they go idle. A task with a
+    /// `home` worker carries `home_data_bytes` of already-resident data;
+    /// running it elsewhere charges that shipment too.
+    ///
+    /// Returns results in submission order plus the scheduled [`JobStats`].
+    pub fn execute_dynamic<T, R, F>(&self, tasks: Vec<DynTaskSpec<T>>, f: F) -> (Vec<R>, JobStats)
+    where
+        T: Send + Clone,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let nw = self.config.num_workers;
+        let specs: Vec<(u64, Option<usize>, u64)> = tasks
+            .iter()
+            .map(|t| (t.shipped_bytes, t.home, t.home_data_bytes))
+            .collect();
+
+        // Run every task (spread round-robin purely to use host cores),
+        // measuring per-task CPU cost.
+        let started = Instant::now();
+        let pinned: Vec<TaskSpec<T>> = tasks
+            .into_iter()
+            .enumerate()
+            .map(|(i, t)| TaskSpec {
+                worker: i % nw,
+                incoming_bytes: 0,
+                payload: t.payload,
+            })
+            .collect();
+        let f = &f;
+        let (outcome, _raw) = self.execute(pinned, move |_w, payload| {
+            let t0 = thread_cpu_time();
+            let r = f(payload);
+            (r, thread_cpu_time().saturating_sub(t0))
+        });
+        let elapsed = started.elapsed();
+
+        // Greedy list schedule: assign each task, in submission order, to
+        // the worker where it would *complete* earliest.
+        let net = &self.config.network;
+        let mut clock = vec![0.0f64; nw];
+        let mut workers: Vec<WorkerStats> = (0..nw)
+            .map(|w| WorkerStats {
+                slowdown: self.slowdown(w),
+                ..WorkerStats::default()
+            })
+            .collect();
+        let mut results = Vec::with_capacity(outcome.len());
+        for ((r, cpu), (shipped, home, home_bytes)) in outcome.into_iter().zip(specs) {
+            let mut best_w = 0;
+            let mut best_done = f64::INFINITY;
+            for (w, &busy_until) in clock.iter().enumerate() {
+                let bytes = shipped + if Some(w) == home { 0 } else { home_bytes };
+                let done = busy_until
+                    + net.transfer_sec(bytes)
+                    + cpu.as_secs_f64() * self.slowdown(w).max(1.0);
+                if done < best_done {
+                    best_done = done;
+                    best_w = w;
+                }
+            }
+            let bytes = shipped + if Some(best_w) == home { 0 } else { home_bytes };
+            clock[best_w] = best_done;
+            let ws = &mut workers[best_w];
+            ws.bytes_received += bytes;
+            ws.network += Duration::from_secs_f64(net.transfer_sec(bytes));
+            ws.compute += cpu;
+            ws.tasks += 1;
+            results.push(r);
+        }
+        (results, JobStats { elapsed, workers })
+    }
+}
+
+/// One unit of work for [`Cluster::execute_dynamic`]: unpinned, with the
+/// data-shipment facts the scheduler needs.
+#[derive(Debug, Clone)]
+pub struct DynTaskSpec<T> {
+    /// Bytes that must reach whichever worker runs the task.
+    pub shipped_bytes: u64,
+    /// Worker already holding this task's resident data (e.g. the
+    /// destination partition's index), if any.
+    pub home: Option<usize>,
+    /// Size of that resident data; charged when scheduled off-home.
+    pub home_data_bytes: u64,
+    /// Task payload.
+    pub payload: T,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            num_workers: n,
+            network: NetworkModel {
+                bandwidth_bytes_per_sec: 1_000_000.0,
+                latency_sec: 0.001,
+            },
+            slowdowns: Vec::new(),
+        })
+    }
+
+    #[test]
+    fn results_preserve_submission_order() {
+        let c = cluster(3);
+        let tasks: Vec<TaskSpec<usize>> = (0..20)
+            .map(|i| TaskSpec {
+                worker: i % 3,
+                incoming_bytes: 0,
+                payload: i,
+            })
+            .collect();
+        let (results, stats) = c.execute(tasks, |_w, i| i * 10);
+        assert_eq!(results, (0..20).map(|i| i * 10).collect::<Vec<_>>());
+        assert_eq!(stats.workers.len(), 3);
+        assert_eq!(stats.workers.iter().map(|w| w.tasks).sum::<usize>(), 20);
+    }
+
+    #[test]
+    fn tasks_run_on_their_pinned_worker() {
+        let c = cluster(4);
+        let tasks: Vec<TaskSpec<usize>> = (0..12)
+            .map(|i| TaskSpec {
+                worker: i % 4,
+                incoming_bytes: 0,
+                payload: i,
+            })
+            .collect();
+        let (results, _) = c.execute(tasks, |w, i| (w, i));
+        for (w, i) in results {
+            assert_eq!(w, i % 4);
+        }
+    }
+
+    #[test]
+    fn network_charges_accumulate() {
+        let c = cluster(2);
+        let tasks = vec![
+            TaskSpec { worker: 0, incoming_bytes: 1_000_000, payload: () },
+            TaskSpec { worker: 0, incoming_bytes: 1_000_000, payload: () },
+            TaskSpec { worker: 1, incoming_bytes: 0, payload: () },
+        ];
+        let (_, stats) = c.execute(tasks, |_, _| ());
+        assert_eq!(stats.workers[0].bytes_received, 2_000_000);
+        // 2 × (1s transfer + 1ms latency).
+        assert!((stats.workers[0].network.as_secs_f64() - 2.002).abs() < 1e-9);
+        assert_eq!(stats.workers[1].bytes_received, 0);
+        assert!(stats.total_bytes() == 2_000_000);
+    }
+
+    #[test]
+    fn stragglers_inflate_makespan_not_wallclock() {
+        let mut cfg = ClusterConfig::with_workers(2);
+        cfg.slowdowns = vec![1.0, 10.0];
+        let c = Cluster::new(cfg);
+        let tasks = vec![
+            TaskSpec { worker: 0, incoming_bytes: 0, payload: 200_000u64 },
+            TaskSpec { worker: 1, incoming_bytes: 0, payload: 200_000u64 },
+        ];
+        let (_, stats) = c.execute(tasks, |_, spin| {
+            // A tiny busy loop so compute time is measurable.
+            let mut acc = 0u64;
+            for i in 0..spin {
+                acc = acc.wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+        });
+        let w0 = stats.workers[0].total_sec();
+        let w1 = stats.workers[1].total_sec();
+        assert!(w1 > w0 * 2.0, "straggler not reflected: {w0} vs {w1}");
+        assert!(stats.load_ratio() >= 2.0);
+    }
+
+    #[test]
+    fn more_workers_shrink_makespan() {
+        // Scale-up sanity on the *simulated* makespan: spreading the same 8
+        // tasks over 4 workers must cut the busiest worker's total roughly
+        // 4×. (Wall-clock speedup additionally needs physical cores, which
+        // CI hosts may not have, so the assertion uses makespan.)
+        let spin = |_: usize, n: u64| {
+            let mut acc = 0u64;
+            for i in 0..n {
+                acc = acc.wrapping_add(std::hint::black_box(i).wrapping_mul(2654435761));
+            }
+            std::hint::black_box(acc)
+        };
+        let mk_tasks = |nw: usize| {
+            (0..8)
+                .map(|i| TaskSpec {
+                    worker: i % nw,
+                    incoming_bytes: 0,
+                    payload: 3_000_000u64,
+                })
+                .collect::<Vec<_>>()
+        };
+        let c1 = cluster(1);
+        let c4 = cluster(4);
+        let (_, s1) = c1.execute(mk_tasks(1), spin);
+        let (_, s4) = c4.execute(mk_tasks(4), spin);
+        assert!(
+            s4.makespan_sec() < s1.makespan_sec() * 0.6,
+            "no makespan improvement: 1w {} vs 4w {}",
+            s1.makespan_sec(),
+            s4.makespan_sec()
+        );
+        assert_eq!(s4.workers.iter().filter(|w| w.tasks == 2).count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown worker")]
+    fn unknown_worker_rejected() {
+        let c = cluster(2);
+        let _ = c.execute(
+            vec![TaskSpec { worker: 5, incoming_bytes: 0, payload: () }],
+            |_, _| (),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_rejected() {
+        let _ = Cluster::new(ClusterConfig::with_workers(0));
+    }
+
+    #[test]
+    fn placement_is_round_robin() {
+        let c = cluster(3);
+        assert_eq!(c.place(0), 0);
+        assert_eq!(c.place(4), 1);
+        assert_eq!(c.place(11), 2);
+    }
+}
+
+#[cfg(test)]
+mod dynamic_tests {
+    use super::*;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            num_workers: n,
+            network: NetworkModel {
+                bandwidth_bytes_per_sec: 1_000_000.0,
+                latency_sec: 0.0,
+            },
+            slowdowns: Vec::new(),
+        })
+    }
+
+    fn spin_task(n: u64) -> DynTaskSpec<u64> {
+        DynTaskSpec {
+            shipped_bytes: 0,
+            home: None,
+            home_data_bytes: 0,
+            payload: n,
+        }
+    }
+
+    fn spin(n: u64) -> u64 {
+        let mut acc = 0u64;
+        for i in 0..n {
+            // black_box defeats the closed-form summation LLVM would
+            // otherwise apply, keeping the loop a real CPU cost.
+            acc = acc.wrapping_add(std::hint::black_box(i).wrapping_mul(2654435761));
+        }
+        std::hint::black_box(acc)
+    }
+
+    #[test]
+    fn results_in_submission_order() {
+        let c = cluster(3);
+        let tasks: Vec<DynTaskSpec<u64>> = (0..10).map(spin_task).collect();
+        let (results, stats) = c.execute_dynamic(tasks, |n| n * 2);
+        assert_eq!(results, (0..10).map(|n| n * 2).collect::<Vec<_>>());
+        assert_eq!(stats.workers.iter().map(|w| w.tasks).sum::<usize>(), 10);
+    }
+
+    #[test]
+    fn one_giant_task_dominates_without_splitting() {
+        // 1 giant + 7 small tasks on 4 workers: the giant task sets the
+        // makespan no matter the schedule.
+        let c = cluster(4);
+        let mut tasks = vec![spin_task(8_000_000)];
+        tasks.extend((0..7).map(|_| spin_task(200_000)));
+        let (_, stats) = c.execute_dynamic(tasks, spin);
+        let giant = stats
+            .workers
+            .iter()
+            .map(WorkerStats::total_sec)
+            .fold(0.0f64, f64::max);
+        // Splitting the giant into 4 pieces would cut the makespan.
+        let split: Vec<DynTaskSpec<u64>> = (0..4)
+            .map(|_| spin_task(2_000_000))
+            .chain((0..7).map(|_| spin_task(200_000)))
+            .collect();
+        let (_, split_stats) = c.execute_dynamic(split, spin);
+        assert!(
+            split_stats.makespan_sec() < giant * 0.7,
+            "split {} vs giant {giant}",
+            split_stats.makespan_sec()
+        );
+    }
+
+    #[test]
+    fn scheduler_prefers_home_when_data_is_heavy() {
+        // A task whose home data is huge should stay home even if another
+        // worker is slightly freer.
+        let c = cluster(2);
+        let tasks = vec![
+            // Small warm-up task that lands on some worker first.
+            spin_task(100_000),
+            DynTaskSpec {
+                shipped_bytes: 0,
+                home: Some(1),
+                home_data_bytes: 50_000_000, // 50s to ship: stay home
+                payload: 100_000u64,
+            },
+        ];
+        let (_, stats) = c.execute_dynamic(tasks, spin);
+        // Worker 1 must have received zero bytes (task ran at home).
+        assert_eq!(stats.workers[1].bytes_received, 0);
+        assert!(stats.workers[1].tasks >= 1);
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_skewed_queues() {
+        // 8 tasks of very different sizes: dynamic list scheduling must
+        // spread them better than the worst static pin (all on one worker).
+        let c = cluster(4);
+        let sizes = [4_000_000u64, 100_000, 100_000, 100_000, 3_000_000, 100_000, 100_000, 100_000];
+        let tasks: Vec<DynTaskSpec<u64>> = sizes.iter().map(|&s| spin_task(s)).collect();
+        let (_, stats) = c.execute_dynamic(tasks, spin);
+        let total: f64 = stats.workers.iter().map(|w| w.compute.as_secs_f64()).sum();
+        // Makespan close to the biggest single task, far below the serial sum.
+        assert!(stats.makespan_sec() < total * 0.6);
+    }
+}
+
+#[cfg(test)]
+mod retry_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn flaky_task_is_retried_and_succeeds() {
+        let c = Cluster::new(ClusterConfig::with_workers(2));
+        let failures = AtomicUsize::new(0);
+        let tasks: Vec<TaskSpec<usize>> = (0..4)
+            .map(|i| TaskSpec { worker: i % 2, incoming_bytes: 0, payload: i })
+            .collect();
+        let (results, stats) = c.execute(tasks, |_w, i| {
+            // Task 2 fails on its first two attempts.
+            if i == 2 && failures.fetch_add(1, Ordering::SeqCst) < 2 {
+                panic!("transient failure");
+            }
+            i * 10
+        });
+        assert_eq!(results, vec![0, 10, 20, 30]);
+        assert_eq!(stats.workers.iter().map(|w| w.retries).sum::<usize>(), 2);
+    }
+
+    #[test]
+    fn permanently_failing_task_aborts_the_job() {
+        let c = Cluster::new(ClusterConfig::with_workers(1));
+        let tasks = vec![TaskSpec { worker: 0, incoming_bytes: 0, payload: () }];
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            c.execute(tasks, |_w, ()| -> () { panic!("permanent failure") })
+        }));
+        assert!(r.is_err(), "a task failing all attempts must fail the job");
+    }
+}

@@ -1,0 +1,91 @@
+//! The simulated network: a bandwidth/latency cost model.
+//!
+//! The paper's total-cost model (§6.2) is `TC = λ·NC + CC` with
+//! `λ = 1/(Δ·B)`, where `B` is the network bandwidth and `Δ` the average
+//! verification time of one candidate pair. This module provides `B` and the
+//! conversion from bytes shipped to simulated seconds; `Δ` is measured by
+//! the callers (dita-core samples it while building the cost model).
+
+use serde::{Deserialize, Serialize};
+
+/// A simple store-and-forward network model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    /// Sustained bandwidth in bytes per second (default: 1 GbE ≈ 125 MB/s,
+    /// matching the paper's Gigabit Ethernet cluster).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed per-message latency in seconds.
+    pub latency_sec: f64,
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel {
+            bandwidth_bytes_per_sec: 125_000_000.0,
+            latency_sec: 0.5e-3,
+        }
+    }
+}
+
+impl NetworkModel {
+    /// An effectively infinite network (zero transfer cost) — useful to
+    /// isolate compute effects in ablations.
+    pub fn infinite() -> Self {
+        NetworkModel {
+            bandwidth_bytes_per_sec: f64::INFINITY,
+            latency_sec: 0.0,
+        }
+    }
+
+    /// Simulated seconds to ship one message of `bytes`.
+    pub fn transfer_sec(&self, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.latency_sec + bytes as f64 / self.bandwidth_bytes_per_sec
+    }
+
+    /// The λ of the paper's cost model given an average per-candidate
+    /// verification time `delta_sec`: converts bytes into "equivalent
+    /// candidate pairs" so network and compute can be added.
+    pub fn lambda(&self, delta_sec: f64) -> f64 {
+        if delta_sec <= 0.0 || !self.bandwidth_bytes_per_sec.is_finite() {
+            return 0.0;
+        }
+        1.0 / (delta_sec * self.bandwidth_bytes_per_sec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_scales_linearly_after_latency() {
+        let net = NetworkModel {
+            bandwidth_bytes_per_sec: 1000.0,
+            latency_sec: 0.1,
+        };
+        assert_eq!(net.transfer_sec(0), 0.0);
+        assert!((net.transfer_sec(1000) - 1.1).abs() < 1e-12);
+        assert!((net.transfer_sec(2000) - 2.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn infinite_network_is_free() {
+        let net = NetworkModel::infinite();
+        assert_eq!(net.transfer_sec(u64::MAX), 0.0);
+        assert_eq!(net.lambda(1e-6), 0.0);
+    }
+
+    #[test]
+    fn lambda_matches_definition() {
+        let net = NetworkModel {
+            bandwidth_bytes_per_sec: 125_000_000.0,
+            latency_sec: 0.0,
+        };
+        let delta = 2e-6;
+        assert!((net.lambda(delta) - 1.0 / (delta * 125_000_000.0)).abs() < 1e-18);
+        assert_eq!(net.lambda(0.0), 0.0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Per-worker and per-job execution statistics.
+
+use std::time::Duration;
+
+/// What one worker did during a job.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkerStats {
+    /// Measured compute time across the worker's tasks.
+    pub compute: Duration,
+    /// Simulated time spent receiving shipped data.
+    pub network: Duration,
+    /// Bytes received by this worker.
+    pub bytes_received: u64,
+    /// Number of tasks executed.
+    pub tasks: usize,
+    /// Task attempts that panicked and were retried.
+    pub retries: usize,
+    /// Slowdown factor applied to this worker (1.0 = healthy).
+    pub slowdown: f64,
+}
+
+impl WorkerStats {
+    /// Effective total time: compute (stretched by the straggler slowdown)
+    /// plus simulated network time.
+    pub fn total_sec(&self) -> f64 {
+        self.compute.as_secs_f64() * self.slowdown.max(1.0) + self.network.as_secs_f64()
+    }
+}
+
+/// Aggregate statistics of one distributed job.
+#[derive(Debug, Clone, Default)]
+pub struct JobStats {
+    /// Real wall-clock time of the whole job.
+    pub elapsed: Duration,
+    /// Per-worker breakdown.
+    pub workers: Vec<WorkerStats>,
+}
+
+impl JobStats {
+    /// The simulated makespan: the busiest worker's total time. This is the
+    /// quantity the cost-based optimizer of §6 minimizes.
+    pub fn makespan_sec(&self) -> f64 {
+        self.workers
+            .iter()
+            .map(WorkerStats::total_sec)
+            .fold(0.0, f64::max)
+    }
+
+    /// The paper's un-balanced ratio (Figure 16): longest worker total over
+    /// shortest worker total, among workers that did any work.
+    pub fn load_ratio(&self) -> f64 {
+        let busy: Vec<f64> = self
+            .workers
+            .iter()
+            .filter(|w| w.tasks > 0)
+            .map(WorkerStats::total_sec)
+            .collect();
+        if busy.is_empty() {
+            return 1.0;
+        }
+        let max = busy.iter().fold(0.0f64, |a, &b| a.max(b));
+        let min = busy.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        if min <= 0.0 {
+            // Sub-resolution tasks: treat as balanced.
+            1.0
+        } else {
+            max / min
+        }
+    }
+
+    /// Total bytes shipped between workers during the job.
+    pub fn total_bytes(&self) -> u64 {
+        self.workers.iter().map(|w| w.bytes_received).sum()
+    }
+
+    /// Total simulated network seconds.
+    pub fn total_network_sec(&self) -> f64 {
+        self.workers.iter().map(|w| w.network.as_secs_f64()).sum()
+    }
+
+    /// Total measured compute seconds across workers.
+    pub fn total_compute_sec(&self) -> f64 {
+        self.workers.iter().map(|w| w.compute.as_secs_f64()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(compute_ms: u64, net_ms: u64, tasks: usize, slow: f64) -> WorkerStats {
+        WorkerStats {
+            compute: Duration::from_millis(compute_ms),
+            network: Duration::from_millis(net_ms),
+            bytes_received: net_ms * 1000,
+            tasks,
+            retries: 0,
+            slowdown: slow,
+        }
+    }
+
+    #[test]
+    fn totals_combine_compute_and_network() {
+        let ws = w(100, 50, 3, 1.0);
+        assert!((ws.total_sec() - 0.15).abs() < 1e-9);
+        let slow = w(100, 50, 3, 2.0);
+        assert!((slow.total_sec() - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_ratio_ignores_idle_workers() {
+        let stats = JobStats {
+            elapsed: Duration::from_millis(200),
+            workers: vec![w(200, 0, 2, 1.0), w(100, 0, 1, 1.0), w(0, 0, 0, 1.0)],
+        };
+        assert!((stats.load_ratio() - 2.0).abs() < 1e-9);
+        assert!((stats.makespan_sec() - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_job_is_balanced() {
+        let stats = JobStats::default();
+        assert_eq!(stats.load_ratio(), 1.0);
+        assert_eq!(stats.makespan_sec(), 0.0);
+        assert_eq!(stats.total_bytes(), 0);
+    }
+
+    #[test]
+    fn byte_totals() {
+        let stats = JobStats {
+            elapsed: Duration::ZERO,
+            workers: vec![w(0, 10, 1, 1.0), w(0, 20, 1, 1.0)],
+        };
+        assert_eq!(stats.total_bytes(), 30_000);
+        assert!((stats.total_network_sec() - 0.03).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,690 @@
+//! Distributed trajectory similarity join (§6).
+//!
+//! The join between two indexed tables T and Q proceeds as:
+//!
+//! 1. **Partition bi-graph** — candidate partition pairs `(T_i, Q_j)` are
+//!    those whose endpoint MBRs can host a similar pair under the threshold.
+//!    Each pair becomes an edge with two weights per direction: `trans`
+//!    (bytes that would be shipped) and `comp` (estimated candidate pairs),
+//!    the latter estimated by sampling (§6.2).
+//! 2. **Graph orientation** — a greedy approximation picks each edge's
+//!    direction to minimize the bottleneck total cost
+//!    `TC_global = max_P (λ·NC_P + CC_P)`; exact minimization is NP-hard
+//!    (graph balancing).
+//! 3. **Division-based load balancing** (§6.3) — partitions whose total cost
+//!    exceeds the 98th-percentile cost are replicated and their incoming
+//!    edges spread across the replicas (placed on distinct workers), which
+//!    is what defeats stragglers in Figure 16.
+//! 4. **Local joins** — for each oriented edge, the source's relevant
+//!    trajectories are shipped to the destination's worker and probed
+//!    against the destination's trie index, verifying on the fly.
+
+use crate::system::DitaSystem;
+use crate::verify::{verify_pair, QueryContext};
+use dita_cluster::JobStats;
+use dita_distance::function::IndexMode;
+use dita_distance::DistanceFunction;
+use dita_trajectory::TrajectoryId;
+
+/// Which load-balancing stages to apply — the knob behind the Figure 16
+/// ablation ("Naive" = none).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BalanceStrategy {
+    /// No cost-based optimization: edges run T→Q on Q's worker as-is.
+    None,
+    /// Greedy graph orientation only.
+    Orientation,
+    /// Orientation plus division-based replication (the full DITA).
+    #[default]
+    Full,
+}
+
+/// Join tuning knobs.
+#[derive(Debug, Clone)]
+pub struct JoinOptions {
+    /// Load-balancing strategy.
+    pub balance: BalanceStrategy,
+    /// Trajectories sampled per edge to estimate `comp` (§6.2).
+    pub sample_size: usize,
+    /// Average seconds to verify one candidate pair (`Δ` in λ = 1/(Δ·B)).
+    pub delta_sec: f64,
+    /// Percentile defining the division threshold `TC_p` (§6.3 uses 0.98).
+    pub division_percentile: f64,
+}
+
+impl Default for JoinOptions {
+    fn default() -> Self {
+        JoinOptions {
+            balance: BalanceStrategy::Full,
+            sample_size: 16,
+            delta_sec: 2e-6,
+            division_percentile: 0.98,
+        }
+    }
+}
+
+/// Statistics of one join execution.
+#[derive(Debug, Clone)]
+pub struct JoinStats {
+    /// Edges in the partition bi-graph.
+    pub edges: usize,
+    /// Edges oriented T→Q after the greedy pass.
+    pub forward_edges: usize,
+    /// Total bytes shipped between workers.
+    pub shipped_bytes: u64,
+    /// Candidate pairs examined by local joins.
+    pub candidates: usize,
+    /// Result pair count.
+    pub results: usize,
+    /// Partition replicas created by division balancing.
+    pub replicas: usize,
+    /// The predicted bottleneck cost after optimization (in candidate-pair
+    /// equivalents).
+    pub predicted_tc_global: f64,
+    /// Cluster execution statistics.
+    pub job: JobStats,
+}
+
+#[derive(Debug, Clone)]
+struct Edge {
+    t_pid: usize,
+    q_pid: usize,
+    /// Local ids of T-partition trajectories relevant to Q_j.
+    ship_t: Vec<u32>,
+    /// Local ids of Q-partition trajectories relevant to T_i.
+    ship_q: Vec<u32>,
+    trans_t2q: f64,
+    comp_t2q: f64,
+    trans_q2t: f64,
+    comp_q2t: f64,
+    /// `true` = T→Q (ship T's rows to Q's worker).
+    forward: bool,
+}
+
+/// Joins two indexed tables: all pairs `(t, q)` with `func(t, q) ≤ tau`.
+///
+/// Returns `(t_id, q_id, distance)` triples sorted lexicographically, plus
+/// execution statistics.
+///
+/// # Panics
+/// Panics if the two systems live on clusters of different sizes.
+pub fn join(
+    t_sys: &DitaSystem,
+    q_sys: &DitaSystem,
+    tau: f64,
+    func: &DistanceFunction,
+    opts: &JoinOptions,
+) -> (Vec<(TrajectoryId, TrajectoryId, f64)>, JoinStats) {
+    assert_eq!(
+        t_sys.cluster().num_workers(),
+        q_sys.cluster().num_workers(),
+        "both tables must live on the same cluster"
+    );
+    let cluster = t_sys.cluster();
+    let mode = func.index_mode();
+    let lambda = cluster.network().lambda(opts.delta_sec);
+
+    // --- 1. Build the bi-graph ---
+    let mut edges = build_edges(t_sys, q_sys, tau, mode, func, opts);
+
+    // --- 2. Orient ---
+    match opts.balance {
+        BalanceStrategy::None => {
+            for e in &mut edges {
+                e.forward = true;
+            }
+        }
+        BalanceStrategy::Orientation | BalanceStrategy::Full => {
+            orient(&mut edges, t_sys.num_partitions(), q_sys.num_partitions(), lambda);
+        }
+    }
+    let forward_edges = edges.iter().filter(|e| e.forward).count();
+
+    // --- 3. Division balancing: split each destination's incoming work
+    //        into one or more replica slots ---
+    let (replica_counts, replicas, predicted) = assign_replicas(
+        &edges,
+        t_sys,
+        q_sys,
+        lambda,
+        matches!(opts.balance, BalanceStrategy::Full),
+        opts.division_percentile,
+    );
+
+    // --- 4. Local joins: one task per destination replica slot, scheduled
+    //        dynamically (Spark-style) onto the cluster ---
+    let nt = t_sys.num_partitions();
+    let home = |node: usize| -> usize {
+        if node < nt {
+            t_sys.worker_of(node)
+        } else {
+            q_sys.worker_of(node - nt)
+        }
+    };
+    let node_index_bytes = |node: usize| -> u64 {
+        if node < nt {
+            t_sys.trie(node).size_bytes() as u64
+        } else {
+            q_sys.trie(node - nt).size_bytes() as u64
+        }
+    };
+    // Each destination with r replica slots receives every incoming edge's
+    // shipped set *striped* over the slots (slot s gets trajectories
+    // s, s+r, s+2r, ...), which is how the paper's division splits a single
+    // huge partition-pair workload.
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(usize, usize), Vec<usize>> = BTreeMap::new();
+    for (ei, e) in edges.iter().enumerate() {
+        let dst = if e.forward { nt + e.q_pid } else { e.t_pid };
+        for slot in 0..replica_counts[dst] {
+            groups.entry((dst, slot)).or_default().push(ei);
+        }
+    }
+    let edges_ref = &edges;
+    let replica_counts_ref = &replica_counts;
+    let tasks: Vec<dita_cluster::DynTaskSpec<(usize, Vec<usize>)>> = groups
+        .into_iter()
+        .map(|((dst, slot), eis)| {
+            let nslots = replica_counts_ref[dst];
+            let shipped: f64 = eis
+                .iter()
+                .map(|&ei| {
+                    let e = &edges_ref[ei];
+                    let t = if e.forward { e.trans_t2q } else { e.trans_q2t };
+                    t / nslots as f64
+                })
+                .sum();
+            dita_cluster::DynTaskSpec {
+                shipped_bytes: shipped as u64,
+                home: Some(home(dst)),
+                home_data_bytes: node_index_bytes(dst),
+                payload: (slot, eis),
+            }
+        })
+        .collect();
+
+    let (outputs, job) = cluster.execute_dynamic(tasks, move |(slot, eis): (usize, Vec<usize>)| {
+        let mut candidates = 0usize;
+        let mut pairs: Vec<(TrajectoryId, TrajectoryId, f64)> = Vec::new();
+        for ei in eis {
+            let e = &edges_ref[ei];
+            let (src_sys, dst_sys, src_pid, dst_pid, shipped) = if e.forward {
+                (t_sys, q_sys, e.t_pid, e.q_pid, &e.ship_t)
+            } else {
+                (q_sys, t_sys, e.q_pid, e.t_pid, &e.ship_q)
+            };
+            let dst_node = if e.forward { nt + e.q_pid } else { e.t_pid };
+            let nslots = replica_counts_ref[dst_node];
+            let src_trie = src_sys.trie(src_pid);
+            let dst_trie = dst_sys.trie(dst_pid);
+            for &sid in shipped.iter().skip(slot).step_by(nslots.max(1)) {
+                let s = src_trie.get(sid);
+                let ctx = QueryContext::from_parts(
+                    s.traj.points().to_vec(),
+                    s.mbr,
+                    s.cells.clone(),
+                );
+                let cands = dst_trie.candidates(s.traj.points(), tau, func);
+                candidates += cands.len();
+                for c in cands {
+                    let d = dst_trie.get(c);
+                    if let Some(dist) =
+                        verify_pair(d.traj.points(), &d.mbr, &d.cells, &ctx, tau, func)
+                    {
+                        if e.forward {
+                            pairs.push((s.traj.id, d.traj.id, dist));
+                        } else {
+                            pairs.push((d.traj.id, s.traj.id, dist));
+                        }
+                    }
+                }
+            }
+        }
+        (candidates, pairs)
+    });
+
+    let mut candidates = 0usize;
+    let mut results: Vec<(TrajectoryId, TrajectoryId, f64)> = Vec::new();
+    for (c, pairs) in outputs {
+        candidates += c;
+        results.extend(pairs);
+    }
+    results.sort_by_key(|a| (a.0, a.1));
+
+    let shipped_bytes = edges
+        .iter()
+        .map(|e| if e.forward { e.trans_t2q as u64 } else { e.trans_q2t as u64 })
+        .sum();
+    let stats = JoinStats {
+        edges: edges.len(),
+        forward_edges,
+        shipped_bytes,
+        candidates,
+        results: results.len(),
+        replicas,
+        predicted_tc_global: predicted,
+        job,
+    };
+    (results, stats)
+}
+
+/// Builds the candidate partition pairs and their edge weights.
+fn build_edges(
+    t_sys: &DitaSystem,
+    q_sys: &DitaSystem,
+    tau: f64,
+    mode: IndexMode,
+    func: &DistanceFunction,
+    opts: &JoinOptions,
+) -> Vec<Edge> {
+    let mut edges = Vec::new();
+    if tau < 0.0 {
+        return edges;
+    }
+    for tp in &t_sys.partitioning().partitions {
+        for qp in &q_sys.partitioning().partitions {
+            let df = tp.mbr_first.min_dist_mbr(&qp.mbr_first);
+            let dl = tp.mbr_last.min_dist_mbr(&qp.mbr_last);
+            let compatible = match mode {
+                IndexMode::Additive => {
+                    // 1-point vs 1-point pairs share the single DTW cell.
+                    if tp.min_len <= 1 && qp.min_len <= 1 {
+                        df.max(dl) <= tau
+                    } else {
+                        df + dl <= tau
+                    }
+                }
+                IndexMode::Max => df <= tau && dl <= tau,
+                IndexMode::EditCount { eps, symmetric } => {
+                    // LCSS: the endpoint misses are chargeable only when one
+                    // side is guaranteed the shorter of *every* pair.
+                    if !symmetric && tp.max_len > qp.min_len && qp.max_len > tp.min_len {
+                        true
+                    } else {
+                        let (f, l) = (usize::from(df > eps), usize::from(dl > eps));
+                        let edits = if tp.min_len <= 1 || qp.min_len <= 1 {
+                            f.max(l)
+                        } else {
+                            f + l
+                        };
+                        edits as f64 <= tau
+                    }
+                }
+                IndexMode::Scan => true,
+            };
+            if !compatible {
+                continue;
+            }
+
+            // Exact shipped sets via the opposite side's global index MBRs
+            // (the paper's "check whether T has candidates in Q_j by
+            // querying the global index of Q").
+            let ship_t =
+                relevant_members(t_sys, tp.id, &qp.mbr_first, &qp.mbr_last, qp.min_len, tau, mode);
+            let ship_q =
+                relevant_members(q_sys, qp.id, &tp.mbr_first, &tp.mbr_last, tp.min_len, tau, mode);
+            if ship_t.is_empty() && ship_q.is_empty() {
+                continue;
+            }
+
+            let trans_t2q = shipped_bytes(t_sys, tp.id, &ship_t);
+            let trans_q2t = shipped_bytes(q_sys, qp.id, &ship_q);
+            let comp_t2q = estimate_comp(t_sys, tp.id, &ship_t, q_sys, qp.id, tau, func, opts);
+            let comp_q2t = estimate_comp(q_sys, qp.id, &ship_q, t_sys, tp.id, tau, func, opts);
+
+            edges.push(Edge {
+                t_pid: tp.id,
+                q_pid: qp.id,
+                ship_t,
+                ship_q,
+                trans_t2q,
+                comp_t2q,
+                trans_q2t,
+                comp_q2t,
+                forward: true,
+            });
+        }
+    }
+    edges
+}
+
+/// Local ids in `sys`'s partition `pid` whose endpoints are compatible with
+/// the opposite partition's endpoint MBRs. `other_min_len` is the shortest
+/// trajectory on the opposite side (LCSS shorter-side rule).
+fn relevant_members(
+    sys: &DitaSystem,
+    pid: usize,
+    other_first: &dita_trajectory::Mbr,
+    other_last: &dita_trajectory::Mbr,
+    other_min_len: usize,
+    tau: f64,
+    mode: IndexMode,
+) -> Vec<u32> {
+    let trie = sys.trie(pid);
+    (0..trie.len() as u32)
+        .filter(|&i| {
+            let t = trie.get(i);
+            let df = other_first.min_dist_point(t.traj.first());
+            let dl = other_last.min_dist_point(t.traj.last());
+            match mode {
+                IndexMode::Additive => {
+                    if t.traj.len() <= 1 && other_min_len <= 1 {
+                        df.max(dl) <= tau
+                    } else {
+                        df + dl <= tau
+                    }
+                }
+                IndexMode::Max => df <= tau && dl <= tau,
+                IndexMode::EditCount { eps, symmetric } => {
+                    // LCSS: this trajectory's endpoint misses charge only
+                    // when it is the shorter side of every possible pair.
+                    if !symmetric && t.traj.len() > other_min_len {
+                        return true;
+                    }
+                    let (f, l) = (usize::from(df > eps), usize::from(dl > eps));
+                    // A 1-point trajectory's endpoints coincide: cap at one
+                    // edit.
+                    let edits = if t.traj.len() <= 1 { f.max(l) } else { f + l };
+                    edits as f64 <= tau
+                }
+                IndexMode::Scan => true,
+            }
+        })
+        .collect()
+}
+
+fn shipped_bytes(sys: &DitaSystem, pid: usize, ids: &[u32]) -> f64 {
+    let trie = sys.trie(pid);
+    ids.iter()
+        .map(|&i| trie.get(i).traj.size_bytes() as f64)
+        .sum()
+}
+
+/// Estimates the candidate-pair count for shipping `ids` from `src` to
+/// `dst` by probing the destination trie with a sample (§6.2).
+#[allow(clippy::too_many_arguments)]
+fn estimate_comp(
+    src: &DitaSystem,
+    src_pid: usize,
+    ids: &[u32],
+    dst: &DitaSystem,
+    dst_pid: usize,
+    tau: f64,
+    func: &DistanceFunction,
+    opts: &JoinOptions,
+) -> f64 {
+    if ids.is_empty() {
+        return 0.0;
+    }
+    let src_trie = src.trie(src_pid);
+    let dst_trie = dst.trie(dst_pid);
+    let sample = opts.sample_size.max(1).min(ids.len());
+    let stride = ids.len() / sample;
+    let mut total = 0usize;
+    let mut taken = 0usize;
+    for k in 0..sample {
+        let id = ids[k * stride.max(1)];
+        let t = src_trie.get(id);
+        total += dst_trie.candidates(t.traj.points(), tau, func).len();
+        taken += 1;
+    }
+    total as f64 / taken as f64 * ids.len() as f64
+}
+
+/// Greedy orientation (§6.2): initialize each edge to its cheaper direction,
+/// then repeatedly flip the most profitable edge incident to the bottleneck
+/// node until `TC_global` stops improving.
+fn orient(edges: &mut [Edge], nt: usize, nq: usize, lambda: f64) {
+    let n = nt + nq;
+    // Node id: T_i → i, Q_j → nt + j.
+    let mut nc = vec![0.0f64; n];
+    let mut cc = vec![0.0f64; n];
+
+    let apply = |e: &Edge, sign: f64, nc: &mut [f64], cc: &mut [f64]| {
+        if e.forward {
+            nc[e.t_pid] += sign * e.trans_t2q;
+            cc[nt + e.q_pid] += sign * e.comp_t2q;
+        } else {
+            nc[nt + e.q_pid] += sign * e.trans_q2t;
+            cc[e.t_pid] += sign * e.comp_q2t;
+        }
+    };
+
+    for e in edges.iter_mut() {
+        e.forward = lambda * e.trans_t2q + e.comp_t2q <= lambda * e.trans_q2t + e.comp_q2t;
+    }
+    for e in edges.iter() {
+        apply(e, 1.0, &mut nc, &mut cc);
+    }
+
+    let tc = |i: usize, nc: &[f64], cc: &[f64]| lambda * nc[i] + cc[i];
+    let global =
+        |nc: &[f64], cc: &[f64]| (0..n).map(|i| tc(i, nc, cc)).fold(0.0f64, f64::max);
+
+    let mut best_global = global(&nc, &cc);
+    for _ in 0..edges.len().max(8) * 2 {
+        // Find the bottleneck node.
+        let bottleneck = (0..n)
+            .max_by(|&a, &b| tc(a, &nc, &cc).total_cmp(&tc(b, &nc, &cc)))
+            .unwrap();
+        // Try flipping each incident edge; keep the best improvement.
+        let mut best: Option<(usize, f64)> = None;
+        for (ei, e) in edges.iter().enumerate() {
+            let incident = e.t_pid == bottleneck || nt + e.q_pid == bottleneck;
+            if !incident {
+                continue;
+            }
+            apply(e, -1.0, &mut nc, &mut cc);
+            let mut flipped = e.clone();
+            flipped.forward = !e.forward;
+            apply(&flipped, 1.0, &mut nc, &mut cc);
+            let g = global(&nc, &cc);
+            // Undo.
+            apply(&flipped, -1.0, &mut nc, &mut cc);
+            apply(e, 1.0, &mut nc, &mut cc);
+            if g < best_global - 1e-12 && best.is_none_or(|(_, bg)| g < bg) {
+                best = Some((ei, g));
+            }
+        }
+        match best {
+            Some((ei, g)) => {
+                apply(&edges[ei], -1.0, &mut nc, &mut cc);
+                edges[ei].forward = !edges[ei].forward;
+                apply(&edges[ei], 1.0, &mut nc, &mut cc);
+                best_global = g;
+            }
+            None => break,
+        }
+    }
+}
+
+/// Assigns each edge to a replica slot of its destination node (§6.3).
+///
+/// Every destination starts with one slot; when division balancing is on,
+/// nodes whose total cost exceeds the percentile threshold get
+/// `ceil(TC / TC_p)` slots; the caller stripes each incoming edge's shipped
+/// trajectories over the slots — producing several smaller tasks the
+/// dynamic scheduler can spread over workers. Returns `(replica counts per
+/// node, extra replicas created, predicted TC_global)`.
+fn assign_replicas(
+    edges: &[Edge],
+    t_sys: &DitaSystem,
+    q_sys: &DitaSystem,
+    lambda: f64,
+    divide: bool,
+    percentile: f64,
+) -> (Vec<usize>, usize, f64) {
+    let nt = t_sys.num_partitions();
+    let nq = q_sys.num_partitions();
+    let n = nt + nq;
+    let workers = t_sys.cluster().num_workers();
+
+    // Total cost per destination node under the chosen orientation.
+    let mut tc = vec![0.0f64; n];
+    for e in edges {
+        if e.forward {
+            tc[nt + e.q_pid] += lambda * e.trans_t2q + e.comp_t2q;
+        } else {
+            tc[e.t_pid] += lambda * e.trans_q2t + e.comp_q2t;
+        }
+    }
+    let predicted = tc.iter().copied().fold(0.0f64, f64::max);
+
+    let mut replica_counts = vec![1usize; n];
+    let mut total_replicas = 0usize;
+    if divide {
+        let mut busy: Vec<f64> = tc.iter().copied().filter(|&c| c > 0.0).collect();
+        busy.sort_by(f64::total_cmp);
+        if !busy.is_empty() {
+            // Floor-indexed percentile so that, even with few partitions,
+            // the heaviest node sits *above* the threshold and is divided.
+            let idx = (((busy.len() - 1) as f64) * percentile).floor() as usize;
+            let tc_p = busy[idx.min(busy.len().saturating_sub(2))].max(1e-12);
+            for (node, &c) in tc.iter().enumerate() {
+                // 10% slack keeps near-balanced loads from spawning useless
+                // replicas (each replica may cost one index shipment).
+                if c > tc_p * 1.1 {
+                    let r = ((c / tc_p).ceil() as usize).clamp(2, workers.max(2));
+                    replica_counts[node] = r;
+                    total_replicas += r - 1;
+                }
+            }
+        }
+    }
+
+    (replica_counts, total_replicas, predicted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::{DitaConfig, DitaSystem};
+    use dita_cluster::{Cluster, ClusterConfig};
+    use dita_index::{PivotStrategy, TrieConfig};
+    use dita_trajectory::trajectory::figure1_trajectories;
+    use dita_trajectory::Dataset;
+
+    fn tiny_config() -> DitaConfig {
+        DitaConfig {
+            ng: 2,
+            trie: TrieConfig {
+                k: 2,
+                nl: 2,
+                leaf_capacity: 0,
+                strategy: PivotStrategy::NeighborDistance,
+                cell_side: 2.0,
+            },
+        }
+    }
+
+    fn fig1_system(workers: usize) -> DitaSystem {
+        let dataset = Dataset::new("fig1", figure1_trajectories()).unwrap();
+        DitaSystem::build(
+            &dataset,
+            tiny_config(),
+            Cluster::new(ClusterConfig::with_workers(workers)),
+        )
+    }
+
+    fn ground_truth(tau: f64, f: &DistanceFunction) -> Vec<(u64, u64, f64)> {
+        let ts = figure1_trajectories();
+        let mut out = Vec::new();
+        for a in &ts {
+            for b in &ts {
+                let d = f.distance(a.points(), b.points());
+                if d <= tau {
+                    out.push((a.id, b.id, d));
+                }
+            }
+        }
+        out.sort_by_key(|a| (a.0, a.1));
+        out
+    }
+
+    #[test]
+    fn self_join_matches_nested_loop() {
+        let t = fig1_system(2);
+        let q = fig1_system(2);
+        for tau in [0.0, 1.0, 3.0, 6.0] {
+            let (results, stats) =
+                join(&t, &q, tau, &DistanceFunction::Dtw, &JoinOptions::default());
+            let expect = ground_truth(tau, &DistanceFunction::Dtw);
+            let got: Vec<(u64, u64)> = results.iter().map(|&(a, b, _)| (a, b)).collect();
+            let want: Vec<(u64, u64)> = expect.iter().map(|&(a, b, _)| (a, b)).collect();
+            assert_eq!(got, want, "tau={tau}");
+            assert!(stats.results == results.len());
+        }
+    }
+
+    #[test]
+    fn join_matches_for_all_functions_and_strategies() {
+        let t = fig1_system(3);
+        let q = fig1_system(3);
+        let fns = [
+            DistanceFunction::Dtw,
+            DistanceFunction::Frechet,
+            DistanceFunction::Edr { eps: 1.0 },
+            DistanceFunction::Lcss { eps: 1.0, delta: 2 },
+            DistanceFunction::Erp { gap: (0.0, 0.0) },
+        ];
+        for f in fns {
+            let expect: Vec<(u64, u64)> = ground_truth(2.0, &f)
+                .iter()
+                .map(|&(a, b, _)| (a, b))
+                .collect();
+            for balance in [
+                BalanceStrategy::None,
+                BalanceStrategy::Orientation,
+                BalanceStrategy::Full,
+            ] {
+                let opts = JoinOptions {
+                    balance,
+                    ..JoinOptions::default()
+                };
+                let (results, _) = join(&t, &q, 2.0, &f, &opts);
+                let got: Vec<(u64, u64)> = results.iter().map(|&(a, b, _)| (a, b)).collect();
+                assert_eq!(got, expect, "{f} balance={balance:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn join_distances_are_exact() {
+        let t = fig1_system(2);
+        let q = fig1_system(2);
+        let (results, _) = join(&t, &q, 4.0, &DistanceFunction::Dtw, &JoinOptions::default());
+        let ts = figure1_trajectories();
+        for (a, b, d) in results {
+            let expect =
+                dita_distance::dtw(ts[(a - 1) as usize].points(), ts[(b - 1) as usize].points());
+            assert!((d - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn negative_tau_empty() {
+        let t = fig1_system(2);
+        let q = fig1_system(2);
+        let (results, stats) =
+            join(&t, &q, -1.0, &DistanceFunction::Dtw, &JoinOptions::default());
+        assert!(results.is_empty());
+        assert_eq!(stats.edges, 0);
+    }
+
+    #[test]
+    fn orientation_never_worsens_predicted_bottleneck() {
+        let t = fig1_system(2);
+        let q = fig1_system(2);
+        let none = JoinOptions {
+            balance: BalanceStrategy::None,
+            ..JoinOptions::default()
+        };
+        let orient = JoinOptions {
+            balance: BalanceStrategy::Orientation,
+            ..JoinOptions::default()
+        };
+        let (_, s_none) = join(&t, &q, 3.0, &DistanceFunction::Dtw, &none);
+        let (_, s_orient) = join(&t, &q, 3.0, &DistanceFunction::Dtw, &orient);
+        assert!(s_orient.predicted_tc_global <= s_none.predicted_tc_global + 1e-9);
+    }
+}

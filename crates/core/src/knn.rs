@@ -1,0 +1,227 @@
+//! k-nearest-neighbor search and join — the paper's announced follow-up
+//! ("In future, we plan to support KNN-based search and join in DITA", §8),
+//! built on the exact threshold machinery.
+//!
+//! The classic reduction: run threshold search with a growing radius until
+//! at least `k` answers exist, then keep the `k` closest. Every probe is
+//! exact (the threshold search never misses), so the result equals the true
+//! k-NN set. The radius starts at a data-driven seed — the distance from
+//! the query's endpoints to the nearest partition MBRs — and doubles, so
+//! dense regions converge in one or two probes and empty regions expand
+//! geometrically instead of scanning.
+
+use crate::search::search;
+use crate::system::DitaSystem;
+use dita_distance::DistanceFunction;
+use dita_trajectory::{Point, TrajectoryId};
+
+/// Statistics of one kNN search.
+#[derive(Debug, Clone)]
+pub struct KnnStats {
+    /// Threshold probes issued (radius doublings + the final one).
+    pub rounds: usize,
+    /// The radius that produced the final answer set.
+    pub final_radius: f64,
+    /// Total candidates examined across all probes.
+    pub candidates: usize,
+}
+
+/// Finds the `k` trajectories closest to `q` under `func`, sorted by
+/// distance then id. Returns fewer than `k` only when the table is smaller
+/// than `k`.
+pub fn knn_search(
+    system: &DitaSystem,
+    q: &[Point],
+    k: usize,
+    func: &DistanceFunction,
+) -> (Vec<(TrajectoryId, f64)>, KnnStats) {
+    assert!(!q.is_empty(), "queries must contain at least one point");
+    let mut stats = KnnStats {
+        rounds: 0,
+        final_radius: 0.0,
+        candidates: 0,
+    };
+    if k == 0 || system.is_empty() {
+        return (Vec::new(), stats);
+    }
+    let k = k.min(system.len());
+
+    let mut radius = seed_radius(system, q, func);
+    loop {
+        stats.rounds += 1;
+        stats.final_radius = radius;
+        let (hits, s) = search(system, q, radius, func);
+        stats.candidates += s.candidates;
+        if hits.len() >= k {
+            let mut hits = hits;
+            hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            hits.truncate(k);
+            return (hits, stats);
+        }
+        radius = if radius > 0.0 { radius * 2.0 } else { 1e-6 };
+        // Safety valve: beyond any plausible geographic scale, scan all.
+        if radius > 1e6 {
+            let (hits, s) = search(system, q, f64::INFINITY, func);
+            stats.rounds += 1;
+            stats.candidates += s.candidates;
+            let mut hits = hits;
+            hits.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+            hits.truncate(k);
+            return (hits, stats);
+        }
+    }
+}
+
+/// A data-driven starting radius: the larger of the endpoint distances to
+/// the nearest partition MBRs (so the first probe reaches at least one
+/// partition), floored to a small geographic step. Edit-family functions
+/// start at an edit budget of 1.
+fn seed_radius(system: &DitaSystem, q: &[Point], func: &DistanceFunction) -> f64 {
+    use dita_distance::function::IndexMode;
+    match func.index_mode() {
+        IndexMode::EditCount { .. } => 1.0,
+        _ => {
+            let first = &q[0];
+            let last = &q[q.len() - 1];
+            let mut best = f64::INFINITY;
+            for pid in 0..system.num_partitions() {
+                let (mf, ml) = system.global().partition_mbrs(pid);
+                let d = mf.min_dist_point(first) + ml.min_dist_point(last);
+                if d < best {
+                    best = d;
+                }
+            }
+            best.clamp(1e-4, 1.0)
+        }
+    }
+}
+
+/// kNN join: for every trajectory of `q_sys`, its `k` nearest neighbors in
+/// `t_sys`. Returns `(q_id, t_id, dist)` triples grouped by `q_id`.
+pub fn knn_join(
+    t_sys: &DitaSystem,
+    q_sys: &DitaSystem,
+    k: usize,
+    func: &DistanceFunction,
+) -> Vec<(TrajectoryId, TrajectoryId, f64)> {
+    let mut out = Vec::new();
+    for pid in 0..q_sys.num_partitions() {
+        let trie = q_sys.trie(pid);
+        for i in 0..trie.len() as u32 {
+            let q = &trie.get(i).traj;
+            let (hits, _) = knn_search(t_sys, q.points(), k, func);
+            out.extend(hits.into_iter().map(|(tid, d)| (q.id, tid, d)));
+        }
+    }
+    out.sort_by_key(|a| (a.0, a.1));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::DitaConfig;
+    use dita_cluster::{Cluster, ClusterConfig};
+    use dita_index::{PivotStrategy, TrieConfig};
+    use dita_trajectory::trajectory::figure1_trajectories;
+    use dita_trajectory::Dataset;
+
+    fn tiny_system() -> DitaSystem {
+        let dataset = Dataset::new("fig1", figure1_trajectories()).unwrap();
+        DitaSystem::build(
+            &dataset,
+            DitaConfig {
+                ng: 2,
+                trie: TrieConfig {
+                    k: 2,
+                    nl: 2,
+                    leaf_capacity: 0,
+                    strategy: PivotStrategy::NeighborDistance,
+                    cell_side: 2.0,
+                },
+            },
+            Cluster::new(ClusterConfig::with_workers(2)),
+        )
+    }
+
+    fn brute_knn(q: &dita_trajectory::Trajectory, k: usize, f: &DistanceFunction) -> Vec<u64> {
+        let ts = figure1_trajectories();
+        let mut d: Vec<(u64, f64)> = ts
+            .iter()
+            .map(|t| (t.id, f.distance(t.points(), q.points())))
+            .collect();
+        d.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        d.truncate(k);
+        d.into_iter().map(|(id, _)| id).collect()
+    }
+
+    #[test]
+    fn knn_matches_brute_force_for_all_functions() {
+        let sys = tiny_system();
+        let ts = figure1_trajectories();
+        let fns = [
+            DistanceFunction::Dtw,
+            DistanceFunction::Frechet,
+            DistanceFunction::Edr { eps: 1.0 },
+            DistanceFunction::Lcss { eps: 1.0, delta: 2 },
+            DistanceFunction::Erp { gap: (0.0, 0.0) },
+        ];
+        for f in fns {
+            for q in &ts {
+                for k in 1..=5 {
+                    let (hits, stats) = knn_search(&sys, q.points(), k, &f);
+                    let got: Vec<u64> = hits.iter().map(|&(id, _)| id).collect();
+                    assert_eq!(got, brute_knn(q, k, &f), "{f} Q=T{} k={k}", q.id);
+                    assert!(stats.rounds >= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_larger_than_table_returns_everything() {
+        let sys = tiny_system();
+        let ts = figure1_trajectories();
+        let (hits, _) = knn_search(&sys, ts[0].points(), 100, &DistanceFunction::Dtw);
+        assert_eq!(hits.len(), 5);
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let sys = tiny_system();
+        let ts = figure1_trajectories();
+        let (hits, stats) = knn_search(&sys, ts[0].points(), 0, &DistanceFunction::Dtw);
+        assert!(hits.is_empty());
+        assert_eq!(stats.rounds, 0);
+    }
+
+    #[test]
+    fn nearest_neighbor_of_self_is_self() {
+        let sys = tiny_system();
+        for t in figure1_trajectories() {
+            let (hits, _) = knn_search(&sys, t.points(), 1, &DistanceFunction::Dtw);
+            assert_eq!(hits[0].0, t.id);
+            assert_eq!(hits[0].1, 0.0);
+        }
+    }
+
+    #[test]
+    fn knn_join_matches_per_query_search() {
+        let t_sys = tiny_system();
+        let q_sys = tiny_system();
+        let pairs = knn_join(&t_sys, &q_sys, 2, &DistanceFunction::Dtw);
+        assert_eq!(pairs.len(), 10); // 5 queries × 2 neighbors
+        let ts = figure1_trajectories();
+        for q in &ts {
+            let expect = brute_knn(q, 2, &DistanceFunction::Dtw);
+            let got: Vec<u64> = pairs
+                .iter()
+                .filter(|&&(qid, _, _)| qid == q.id)
+                .map(|&(_, tid, _)| tid)
+                .collect();
+            let mut expect_sorted = expect.clone();
+            expect_sorted.sort_unstable();
+            assert_eq!(got, expect_sorted, "Q=T{}", q.id);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! DITA core: the distributed trajectory analytics system (§3, §5, §6).
+//!
+//! This crate assembles the substrates — partitioning, the global dual
+//! R-tree index, the trie local indexes and the simulated cluster — into the
+//! system the paper describes:
+//!
+//! * [`DitaSystem`] — an indexed, partitioned, worker-placed trajectory
+//!   table (the result of `CREATE INDEX ... USE TRIE`).
+//! * [`search()`] — distributed threshold similarity search (§5): global
+//!   pruning on the driver, trie filtering and verification on the workers.
+//! * [`join()`] — distributed similarity join (§6): a sampled bi-graph cost
+//!   model, greedy graph orientation, division-based load balancing, then
+//!   edge-wise local joins.
+//! * [`verify`] — the verification pipeline of §5.3.3: MBR coverage filter →
+//!   cell-bound filter → double-direction threshold distance.
+//! * [`knn`] — k-nearest-neighbor search and join (the paper's §8 future
+//!   work), by exact radius expansion over the threshold machinery.
+
+#![warn(missing_docs)]
+
+pub mod join;
+pub mod knn;
+pub mod search;
+pub mod system;
+pub mod verify;
+
+pub use join::{join, BalanceStrategy, JoinOptions, JoinStats};
+pub use knn::{knn_join, knn_search, KnnStats};
+pub use search::{search, SearchStats};
+pub use system::{BuildStats, DitaConfig, DitaSystem};
+pub use verify::{verify_pair, QueryContext};

@@ -1,0 +1,210 @@
+//! Distributed trajectory similarity search (§5).
+//!
+//! Three steps, matching §5.1.1: the driver consults the global index for
+//! relevant partitions and ships the query to their workers; each worker
+//! filters with its trie index and verifies the candidates on the spot (the
+//! clustered layout means no second lookup); the driver collects results.
+
+use crate::system::DitaSystem;
+use crate::verify::{verify_pair, QueryContext};
+use dita_cluster::{JobStats, TaskSpec};
+use dita_distance::DistanceFunction;
+use dita_index::FilterStats;
+use dita_trajectory::{Point, TrajectoryId};
+
+/// Statistics of one search execution.
+#[derive(Debug, Clone)]
+pub struct SearchStats {
+    /// Partitions the global index could not prune.
+    pub relevant_partitions: usize,
+    /// Candidates produced by the trie filters.
+    pub candidates: usize,
+    /// Final result count.
+    pub results: usize,
+    /// Aggregated trie filter funnel (nodes visited/pruned, leaf checks).
+    pub filter: FilterStats,
+    /// Cluster-level execution statistics.
+    pub job: JobStats,
+}
+
+/// Finds all trajectories `T` in the table with `func(T, q) ≤ tau`.
+///
+/// Returns `(id, distance)` pairs sorted by id, plus execution statistics.
+pub fn search(
+    system: &DitaSystem,
+    q: &[Point],
+    tau: f64,
+    func: &DistanceFunction,
+) -> (Vec<(TrajectoryId, f64)>, SearchStats) {
+    assert!(!q.is_empty(), "queries must contain at least one point");
+
+    // Step 1 (driver): global pruning.
+    let relevant = system.global().relevant_partitions(
+        &q[0],
+        &q[q.len() - 1],
+        q.len(),
+        tau,
+        func.index_mode(),
+    );
+
+    // Step 2 (workers): filter + verify. The query is broadcast once per
+    // worker; each worker handles all of its relevant partitions in one
+    // task (one message, not one per partition).
+    let q_ctx = QueryContext::new(q, system.config().trie.cell_side);
+    let q_bytes = std::mem::size_of_val(q) as u64;
+    let mut by_worker: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for &pid in &relevant {
+        by_worker.entry(system.worker_of(pid)).or_default().push(pid);
+    }
+    let tasks: Vec<TaskSpec<Vec<usize>>> = by_worker
+        .into_iter()
+        .map(|(worker, pids)| TaskSpec {
+            worker,
+            incoming_bytes: q_bytes,
+            payload: pids,
+        })
+        .collect();
+
+    let q_ctx = &q_ctx;
+    let (per_worker, job) = system.cluster().execute(tasks, move |_w, pids| {
+        let mut candidates = 0usize;
+        let mut funnel = FilterStats::default();
+        let mut hits: Vec<(TrajectoryId, f64)> = Vec::new();
+        for pid in pids {
+            let trie = system.trie(pid);
+            let (cands, fs) = trie.candidates_with_stats(q_ctx.points(), tau, func);
+            funnel.merge(&fs);
+            candidates += cands.len();
+            for c in &cands {
+                let it = trie.get(*c);
+                if let Some(d) =
+                    verify_pair(it.traj.points(), &it.mbr, &it.cells, q_ctx, tau, func)
+                {
+                    hits.push((it.traj.id, d));
+                }
+            }
+        }
+        (candidates, funnel, hits)
+    });
+
+    // Step 3 (driver): collect.
+    let mut candidates = 0;
+    let mut filter = FilterStats::default();
+    let mut results: Vec<(TrajectoryId, f64)> = Vec::new();
+    for (c, fs, hits) in per_worker {
+        candidates += c;
+        filter.merge(&fs);
+        results.extend(hits);
+    }
+    results.sort_by_key(|&(id, _)| id);
+
+    let stats = SearchStats {
+        relevant_partitions: relevant.len(),
+        candidates,
+        results: results.len(),
+        filter,
+        job,
+    };
+    (results, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::DitaConfig;
+    use dita_cluster::{Cluster, ClusterConfig};
+    use dita_index::{PivotStrategy, TrieConfig};
+    use dita_trajectory::trajectory::figure1_trajectories;
+    use dita_trajectory::Dataset;
+
+    fn tiny_system(workers: usize) -> DitaSystem {
+        let dataset = Dataset::new("fig1", figure1_trajectories()).unwrap();
+        DitaSystem::build(
+            &dataset,
+            DitaConfig {
+                ng: 2,
+                trie: TrieConfig {
+                    k: 2,
+                    nl: 2,
+                    leaf_capacity: 0,
+                    strategy: PivotStrategy::NeighborDistance,
+                    cell_side: 2.0,
+                },
+            },
+            Cluster::new(ClusterConfig::with_workers(workers)),
+        )
+    }
+
+    #[test]
+    fn example_2_6_end_to_end() {
+        // Q = T1, τ = 3, DTW → {T1, T2}.
+        let sys = tiny_system(2);
+        let ts = figure1_trajectories();
+        let (results, stats) =
+            search(&sys, ts[0].points(), 3.0, &DistanceFunction::Dtw);
+        let ids: Vec<u64> = results.iter().map(|&(id, _)| id).collect();
+        assert_eq!(ids, vec![1, 2]);
+        assert_eq!(results[0].1, 0.0);
+        assert!(stats.relevant_partitions >= 1);
+        assert!(stats.candidates >= 2);
+        assert_eq!(stats.results, 2);
+    }
+
+    #[test]
+    fn search_matches_naive_scan_for_all_functions() {
+        let sys = tiny_system(3);
+        let ts = figure1_trajectories();
+        let fns = [
+            DistanceFunction::Dtw,
+            DistanceFunction::Frechet,
+            DistanceFunction::Edr { eps: 1.0 },
+            DistanceFunction::Lcss { eps: 1.0, delta: 2 },
+            DistanceFunction::Erp { gap: (0.0, 0.0) },
+        ];
+        for f in fns {
+            for q in &ts {
+                for tau in [0.0, 1.0, 3.0, 6.0] {
+                    let (results, _) = search(&sys, q.points(), tau, &f);
+                    let expect: Vec<u64> = ts
+                        .iter()
+                        .filter(|t| f.distance(t.points(), q.points()) <= tau)
+                        .map(|t| t.id)
+                        .collect();
+                    let got: Vec<u64> = results.iter().map(|&(id, _)| id).collect();
+                    assert_eq!(got, expect, "{f} Q=T{} tau={tau}", q.id);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distances_in_results_are_exact() {
+        let sys = tiny_system(2);
+        let ts = figure1_trajectories();
+        let (results, _) = search(&sys, ts[1].points(), 5.0, &DistanceFunction::Dtw);
+        for (id, d) in results {
+            let t = &ts[(id - 1) as usize];
+            let expect = dita_distance::dtw(t.points(), ts[1].points());
+            assert!((d - expect).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn empty_result_when_nothing_close() {
+        let sys = tiny_system(2);
+        let q = [Point::new(100.0, 100.0), Point::new(101.0, 100.0)];
+        let (results, stats) = search(&sys, &q, 1.0, &DistanceFunction::Dtw);
+        assert!(results.is_empty());
+        assert_eq!(stats.relevant_partitions, 0);
+        assert_eq!(stats.candidates, 0);
+    }
+
+    #[test]
+    fn single_worker_cluster_works() {
+        let sys = tiny_system(1);
+        let ts = figure1_trajectories();
+        let (results, _) = search(&sys, ts[0].points(), 3.0, &DistanceFunction::Dtw);
+        assert_eq!(results.len(), 2);
+    }
+}

@@ -1,0 +1,221 @@
+//! The verification pipeline (§5.3.3).
+//!
+//! Candidates that survive the trie filter are verified in three stages of
+//! increasing cost:
+//!
+//! 1. **MBR coverage** (Lemma 5.4) — O(1) rectangle containment on
+//!    τ-extended MBRs. Sound for DTW and Fréchet, whose alignments may not
+//!    skip points; the edit family can delete outliers, so the stage is
+//!    bypassed for EDR/LCSS/ERP.
+//! 2. **Cell bounds** (Lemma 5.6) — the compressed cell lists give an
+//!    additive lower bound for DTW and a bottleneck bound for Fréchet.
+//! 3. **Thresholded distance** — the double-direction DTW of §5.3.3(3), or
+//!    the early-abandoning variant of the other functions.
+
+use dita_distance::{bounds, DistanceFunction};
+use dita_trajectory::{CellList, Mbr, Point, Trajectory};
+
+/// Pre-computed query artifacts shared across all verifications of one
+/// query: its MBR and cell compression.
+#[derive(Debug, Clone)]
+pub struct QueryContext {
+    points: Vec<Point>,
+    mbr: Mbr,
+    cells: CellList,
+}
+
+impl QueryContext {
+    /// Builds the context; `cell_side` should match the index's cell side so
+    /// bounds are comparable (any positive value is sound).
+    pub fn new(points: &[Point], cell_side: f64) -> Self {
+        assert!(!points.is_empty(), "queries must contain at least one point");
+        let traj = Trajectory::new(u64::MAX, points.to_vec());
+        QueryContext {
+            mbr: traj.mbr(),
+            cells: CellList::compress(&traj, cell_side),
+            points: points.to_vec(),
+        }
+    }
+
+    /// Builds the context from already-computed artifacts — the join uses
+    /// this to reuse the shipped trajectory's clustered-index entries
+    /// instead of recompressing.
+    pub fn from_parts(points: Vec<Point>, mbr: Mbr, cells: CellList) -> Self {
+        assert!(!points.is_empty(), "queries must contain at least one point");
+        QueryContext { points, mbr, cells }
+    }
+
+    /// The query points.
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The query MBR.
+    pub fn mbr(&self) -> &Mbr {
+        &self.mbr
+    }
+
+    /// The query's cell compression.
+    pub fn cells(&self) -> &CellList {
+        &self.cells
+    }
+}
+
+/// Verifies one candidate: returns `Some(distance)` iff
+/// `func(candidate, query) ≤ tau`. `cand_mbr`/`cand_cells` are the
+/// candidate's precomputed artifacts from the clustered index.
+pub fn verify_pair(
+    cand_points: &[Point],
+    cand_mbr: &Mbr,
+    cand_cells: &CellList,
+    q: &QueryContext,
+    tau: f64,
+    func: &DistanceFunction,
+) -> Option<f64> {
+    match func {
+        DistanceFunction::Dtw => {
+            if bounds::mbr_coverage_prune(cand_mbr, &q.mbr, tau) {
+                return None;
+            }
+            if cand_cells.lower_bound(&q.cells) > tau || q.cells.lower_bound(cand_cells) > tau {
+                return None;
+            }
+            func.verify(cand_points, &q.points, tau)
+        }
+        DistanceFunction::Frechet => {
+            if bounds::mbr_coverage_prune(cand_mbr, &q.mbr, tau) {
+                return None;
+            }
+            if cand_cells.bottleneck_bound(&q.cells) > tau
+                || q.cells.bottleneck_bound(cand_cells) > tau
+            {
+                return None;
+            }
+            func.verify(cand_points, &q.points, tau)
+        }
+        DistanceFunction::Edr { .. } => {
+            if bounds::length_bound_edr(cand_points.len(), q.points.len(), tau) {
+                return None;
+            }
+            func.verify(cand_points, &q.points, tau)
+        }
+        DistanceFunction::Erp { gap } => {
+            // Magnitude bound (Chen & Ng): ERP ≥ |Σ dist(t_i, g) − Σ dist(q_j, g)|.
+            let g = Point::new(gap.0, gap.1);
+            let st: f64 = cand_points.iter().map(|p| p.dist(&g)).sum();
+            let sq: f64 = q.points.iter().map(|p| p.dist(&g)).sum();
+            if (st - sq).abs() > tau {
+                return None;
+            }
+            func.verify(cand_points, &q.points, tau)
+        }
+        _ => func.verify(cand_points, &q.points, tau),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    fn ctx(points: &[Point]) -> QueryContext {
+        QueryContext::new(points, 2.0)
+    }
+
+    fn artifacts(t: &Trajectory) -> (Mbr, CellList) {
+        (t.mbr(), CellList::compress(t, 2.0))
+    }
+
+    #[test]
+    fn verification_agrees_with_ground_truth_for_all_functions() {
+        let ts = figure1_trajectories();
+        let fns = [
+            DistanceFunction::Dtw,
+            DistanceFunction::Frechet,
+            DistanceFunction::Edr { eps: 1.0 },
+            DistanceFunction::Lcss { eps: 1.0, delta: 2 },
+            DistanceFunction::Erp { gap: (0.0, 0.0) },
+        ];
+        for f in fns {
+            for a in &ts {
+                let (mbr, cells) = artifacts(a);
+                for b in &ts {
+                    let q = ctx(b.points());
+                    let d = f.distance(a.points(), b.points());
+                    for tau in [0.5, 1.5, 3.0, 6.0] {
+                        match verify_pair(a.points(), &mbr, &cells, &q, tau, &f) {
+                            Some(v) => {
+                                assert!(d <= tau + 1e-9, "{f}: accepted d={d} tau={tau}");
+                                assert!((v - d).abs() < 1e-9);
+                            }
+                            None => assert!(d > tau - 1e-9, "{f}: rejected d={d} tau={tau}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn example_5_5_pruned_by_mbr_coverage() {
+        // Example 5.5: the pair survives OPAMD but fails MBR coverage.
+        let ts = figure1_trajectories();
+        let q = Trajectory::from_coords(
+            10,
+            &[
+                (0.0, 4.0),
+                (0.0, 5.0),
+                (3.0, 7.0),
+                (3.0, 9.0),
+                (3.0, 11.0),
+                (3.0, 3.0),
+                (7.0, 5.0),
+            ],
+        );
+        let (mbr, cells) = artifacts(&ts[4]);
+        let qc = ctx(q.points());
+        assert!(verify_pair(ts[4].points(), &mbr, &cells, &qc, 3.0, &DistanceFunction::Dtw)
+            .is_none());
+    }
+
+    #[test]
+    fn example_5_7_pruned_by_cell_bound() {
+        // Example 5.7: pruned by the cell lower bound (Cell(Q, T1) = 4 > 3)
+        // even though the pair's MBRs are compatible.
+        let ts = figure1_trajectories();
+        let q = Trajectory::from_coords(
+            10,
+            &[
+                (1.0, 1.0),
+                (1.0, 5.0),
+                (1.0, 4.0),
+                (2.0, 4.0),
+                (2.0, 5.0),
+                (4.0, 4.0),
+                (5.0, 6.0),
+                (5.0, 5.0),
+            ],
+        );
+        let (mbr, cells) = artifacts(&ts[0]);
+        let qc = ctx(q.points());
+        assert!(verify_pair(ts[0].points(), &mbr, &cells, &qc, 3.0, &DistanceFunction::Dtw)
+            .is_none());
+    }
+
+    #[test]
+    fn self_verification_always_passes() {
+        let ts = figure1_trajectories();
+        for t in &ts {
+            let (mbr, cells) = artifacts(t);
+            let q = ctx(t.points());
+            let v = verify_pair(t.points(), &mbr, &cells, &q, 0.0, &DistanceFunction::Dtw);
+            assert_eq!(v, Some(0.0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_query_context_rejected() {
+        let _ = QueryContext::new(&[], 1.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests for the full DITA pipeline: search and join must agree
+//! with brute force on arbitrary data, configurations and thresholds.
+
+use dita_cluster::{Cluster, ClusterConfig};
+use dita_core::{join, knn_search, search, DitaConfig, DitaSystem, JoinOptions};
+use dita_distance::DistanceFunction;
+use dita_index::{PivotStrategy, TrieConfig};
+use dita_trajectory::{Dataset, Trajectory};
+use proptest::prelude::*;
+
+fn arb_dataset(max_n: usize) -> impl Strategy<Value = Vec<Trajectory>> {
+    prop::collection::vec(
+        prop::collection::vec((-10.0f64..10.0, -10.0f64..10.0), 1..12),
+        2..max_n,
+    )
+    .prop_map(|all| {
+        all.into_iter()
+            .enumerate()
+            .map(|(i, coords)| Trajectory::from_coords(i as u64, &coords))
+            .collect()
+    })
+}
+
+fn build(ts: &[Trajectory], ng: usize, k: usize, workers: usize) -> DitaSystem {
+    let dataset = Dataset::new_unchecked("prop", ts.to_vec());
+    DitaSystem::build(
+        &dataset,
+        DitaConfig {
+            ng,
+            trie: TrieConfig {
+                k,
+                nl: 3,
+                leaf_capacity: 2,
+                strategy: PivotStrategy::NeighborDistance,
+                cell_side: 1.0,
+            },
+        },
+        Cluster::new(ClusterConfig::with_workers(workers)),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn search_equals_brute_force(
+        ts in arb_dataset(20),
+        qsel in 0usize..20,
+        tau in 0.0f64..20.0,
+        ng in 1usize..4,
+        k in 0usize..4,
+        workers in 1usize..4,
+    ) {
+        let sys = build(&ts, ng, k, workers);
+        let q = &ts[qsel % ts.len()];
+        for f in [
+            DistanceFunction::Dtw,
+            DistanceFunction::Frechet,
+            DistanceFunction::Edr { eps: 1.0 },
+            DistanceFunction::Lcss { eps: 1.0, delta: 2 },
+            DistanceFunction::Erp { gap: (0.0, 0.0) },
+        ] {
+            let (hits, _) = search(&sys, q.points(), tau, &f);
+            let expect: Vec<u64> = ts
+                .iter()
+                .filter(|t| f.distance(t.points(), q.points()) <= tau)
+                .map(|t| t.id)
+                .collect();
+            let got: Vec<u64> = hits.iter().map(|&(id, _)| id).collect();
+            prop_assert_eq!(got, expect, "{} tau={}", f, tau);
+        }
+    }
+
+    #[test]
+    fn join_equals_brute_force(
+        ts in arb_dataset(14),
+        tau in 0.0f64..15.0,
+        ng in 1usize..4,
+        workers in 1usize..4,
+    ) {
+        let sys = build(&ts, ng, 2, workers);
+        for f in [DistanceFunction::Dtw, DistanceFunction::Frechet] {
+            let (pairs, _) = join(&sys, &sys, tau, &f, &JoinOptions::default());
+            let mut expect: Vec<(u64, u64)> = Vec::new();
+            for a in &ts {
+                for b in &ts {
+                    if f.distance(a.points(), b.points()) <= tau {
+                        expect.push((a.id, b.id));
+                    }
+                }
+            }
+            expect.sort_unstable();
+            let got: Vec<(u64, u64)> = pairs.iter().map(|&(a, b, _)| (a, b)).collect();
+            prop_assert_eq!(got, expect, "{} tau={}", f, tau);
+        }
+    }
+
+    #[test]
+    fn knn_equals_brute_force(
+        ts in arb_dataset(16),
+        qsel in 0usize..16,
+        k in 1usize..6,
+    ) {
+        let sys = build(&ts, 2, 2, 2);
+        let q = &ts[qsel % ts.len()];
+        let f = DistanceFunction::Dtw;
+        let (hits, _) = knn_search(&sys, q.points(), k, &f);
+        let mut expect: Vec<(u64, f64)> = ts
+            .iter()
+            .map(|t| (t.id, f.distance(t.points(), q.points())))
+            .collect();
+        expect.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+        expect.truncate(k.min(ts.len()));
+        let got: Vec<u64> = hits.iter().map(|&(id, _)| id).collect();
+        let want: Vec<u64> = expect.iter().map(|&(id, _)| id).collect();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,259 @@
+//! City-taxi trajectory generator: random walks over a synthetic road grid.
+
+use dita_trajectory::{Dataset, Trajectory};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for a city-shaped dataset.
+#[derive(Debug, Clone)]
+pub struct CityConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of trajectories.
+    pub cardinality: usize,
+    /// City center `(lat, lon)` in degrees.
+    pub center: (f64, f64),
+    /// Side length of the square city extent, degrees.
+    pub extent_deg: f64,
+    /// Road-grid spacing, degrees (one GPS fix per grid step).
+    pub grid_step_deg: f64,
+    /// Target mean trajectory length, points.
+    pub avg_len: f64,
+    /// Minimum trajectory length, points.
+    pub min_len: usize,
+    /// Maximum trajectory length, points.
+    pub max_len: usize,
+    /// Standard deviation of GPS noise added to each fix, degrees.
+    pub gps_noise_deg: f64,
+    /// Probability that a trip replays an earlier trip's route (with fresh
+    /// GPS noise). Taxi fleets drive popular corridors repeatedly; this is
+    /// what gives similarity search/join non-trivial result sets.
+    pub route_popularity: f64,
+    /// Size of the popular-route pool. Replayed trips copy a route drawn
+    /// from the first `popular_routes` generated trips; `0` means "any
+    /// earlier trip" (a rich-get-richer process with a mild tail). Small
+    /// pools concentrate similarity into few clone cliques — the heavy
+    /// workload skew behind the paper's straggler experiments (Figure 16).
+    pub popular_routes: usize,
+    /// Probability that a fresh trip starts inside the downtown hotspot
+    /// (the central ~1/5 of the extent). Real taxi data is heavily
+    /// center-skewed, which is what makes load balancing matter (§6.3).
+    pub hotspot_fraction: f64,
+    /// RNG seed; equal configurations yield identical datasets.
+    pub seed: u64,
+}
+
+/// Samples a trajectory length: `min + Exp(avg − min)`, clamped to `max`.
+///
+/// The exponential body reproduces the heavy right tail of real trip-length
+/// distributions while hitting the configured mean closely.
+fn sample_len<R: Rng>(rng: &mut R, min: usize, max: usize, avg: f64) -> usize {
+    debug_assert!(min <= max);
+    if min == max {
+        return min;
+    }
+    let mean_excess = (avg - min as f64).max(0.5);
+    let u: f64 = rng.gen_range(1e-12..1.0);
+    let e = -mean_excess * u.ln();
+    ((min as f64 + e).round() as usize).clamp(min, max)
+}
+
+/// Generates one road-grid random-walk trip.
+fn walk<R: Rng>(rng: &mut R, cfg: &CityConfig, id: u64, len: usize) -> Trajectory {
+    let half = cfg.extent_deg / 2.0;
+    let steps_per_axis = (cfg.extent_deg / cfg.grid_step_deg) as i64;
+    // Start on a random grid node — downtown with probability
+    // `hotspot_fraction`, anywhere otherwise.
+    let (mut gx, mut gy) = if rng.gen::<f64>() < cfg.hotspot_fraction {
+        let lo = steps_per_axis * 2 / 5;
+        let hi = steps_per_axis * 3 / 5;
+        (rng.gen_range(lo..=hi), rng.gen_range(lo..=hi))
+    } else {
+        (rng.gen_range(0..=steps_per_axis), rng.gen_range(0..=steps_per_axis))
+    };
+    // Initial heading: one of the four grid directions.
+    let mut dir = rng.gen_range(0..4u8);
+    let mut coords = Vec::with_capacity(len);
+    for _ in 0..len {
+        let lat = cfg.center.0 - half + gx as f64 * cfg.grid_step_deg
+            + rng.gen_range(-1.0..1.0) * cfg.gps_noise_deg;
+        let lon = cfg.center.1 - half + gy as f64 * cfg.grid_step_deg
+            + rng.gen_range(-1.0..1.0) * cfg.gps_noise_deg;
+        coords.push((lat, lon));
+        // Momentum: mostly keep going, sometimes turn (never U-turn), which
+        // produces the inflection structure pivot selection keys on.
+        let r: f64 = rng.gen();
+        if r > 0.70 {
+            let left = r > 0.85;
+            dir = match (dir, left) {
+                (0, true) => 3,
+                (0, false) => 1,
+                (1, true) => 0,
+                (1, false) => 2,
+                (2, true) => 1,
+                (2, false) => 3,
+                (_, true) => 2,
+                (_, false) => 0,
+            };
+        }
+        let (dx, dy) = match dir {
+            0 => (1i64, 0i64),
+            1 => (0, 1),
+            2 => (-1, 0),
+            _ => (0, -1),
+        };
+        gx = (gx + dx).clamp(0, steps_per_axis);
+        gy = (gy + dy).clamp(0, steps_per_axis);
+        // Bounce off the city border.
+        if gx == 0 || gx == steps_per_axis {
+            dir = if gx == 0 { 0 } else { 2 };
+        }
+        if gy == 0 || gy == steps_per_axis {
+            dir = if gy == 0 { 1 } else { 3 };
+        }
+    }
+    Trajectory::from_coords(id, &coords)
+}
+
+/// Generates a city dataset per `cfg`.
+///
+/// # Panics
+/// Panics if the configuration is degenerate (zero cardinality is allowed;
+/// `min_len` must be ≥ 2 and ≤ `max_len`, the grid must have ≥ 2 nodes).
+pub fn city_dataset(cfg: &CityConfig) -> Dataset {
+    assert!(cfg.min_len >= 2, "trajectories need at least 2 points");
+    assert!(cfg.min_len <= cfg.max_len);
+    assert!(
+        cfg.extent_deg / cfg.grid_step_deg >= 1.0,
+        "grid must have at least 2 nodes per axis"
+    );
+    assert!((0.0..=1.0).contains(&cfg.route_popularity));
+    assert!((0.0..=1.0).contains(&cfg.hotspot_fraction));
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+    let mut trajectories: Vec<Trajectory> = Vec::with_capacity(cfg.cardinality);
+    for i in 0..cfg.cardinality {
+        let replay = !trajectories.is_empty() && rng.gen::<f64>() < cfg.route_popularity;
+        let t = if replay {
+            // Re-drive a popular route with fresh GPS noise.
+            let pool = if cfg.popular_routes == 0 {
+                trajectories.len()
+            } else {
+                cfg.popular_routes.min(trajectories.len())
+            };
+            let source = &trajectories[rng.gen_range(0..pool)];
+            let coords: Vec<(f64, f64)> = source
+                .points()
+                .iter()
+                .map(|p| {
+                    (
+                        p.x + rng.gen_range(-1.0..1.0) * cfg.gps_noise_deg,
+                        p.y + rng.gen_range(-1.0..1.0) * cfg.gps_noise_deg,
+                    )
+                })
+                .collect();
+            Trajectory::from_coords(i as u64, &coords)
+        } else {
+            let len = sample_len(&mut rng, cfg.min_len, cfg.max_len, cfg.avg_len);
+            walk(&mut rng, cfg, i as u64, len)
+        };
+        trajectories.push(t);
+    }
+    Dataset::new_unchecked(cfg.name.clone(), trajectories)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cfg(n: usize, seed: u64) -> CityConfig {
+        CityConfig {
+            name: "test-city".into(),
+            cardinality: n,
+            center: (40.0, 116.0),
+            extent_deg: 0.2,
+            grid_step_deg: 0.002,
+            avg_len: 20.0,
+            min_len: 5,
+            max_len: 80,
+            gps_noise_deg: 0.0001,
+            route_popularity: 0.2,
+            popular_routes: 0,
+            hotspot_fraction: 0.0,
+            seed,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = city_dataset(&small_cfg(50, 7));
+        let b = city_dataset(&small_cfg(50, 7));
+        assert_eq!(a.trajectories(), b.trajectories());
+        let c = city_dataset(&small_cfg(50, 8));
+        assert_ne!(a.trajectories(), c.trajectories());
+    }
+
+    #[test]
+    fn respects_length_bounds_and_mean() {
+        let d = city_dataset(&small_cfg(2000, 1));
+        let s = d.stats();
+        assert_eq!(s.cardinality, 2000);
+        assert!(s.min_len >= 5);
+        assert!(s.max_len <= 80);
+        assert!(
+            (s.avg_len - 20.0).abs() < 2.0,
+            "mean length {} too far from target 20",
+            s.avg_len
+        );
+    }
+
+    #[test]
+    fn points_stay_within_city_extent() {
+        let cfg = small_cfg(100, 3);
+        let d = city_dataset(&cfg);
+        let slack = cfg.gps_noise_deg * 2.0;
+        for t in d.trajectories() {
+            for p in t.points() {
+                assert!((p.x - cfg.center.0).abs() <= cfg.extent_deg / 2.0 + slack);
+                assert!((p.y - cfg.center.1).abs() <= cfg.extent_deg / 2.0 + slack);
+            }
+        }
+    }
+
+    #[test]
+    fn consecutive_points_move_at_grid_scale() {
+        let cfg = small_cfg(50, 11);
+        let d = city_dataset(&cfg);
+        for t in d.trajectories() {
+            for w in t.points().windows(2) {
+                let step = w[0].dist(&w[1]);
+                assert!(step <= cfg.grid_step_deg * 2.0, "step {step} too large");
+            }
+        }
+    }
+
+    #[test]
+    fn endpoints_spread_across_city() {
+        // Partitioning needs diverse endpoints: check the first points span
+        // a significant fraction of the extent.
+        let cfg = small_cfg(500, 13);
+        let d = city_dataset(&cfg);
+        let mbr = dita_trajectory::Mbr::from_points(d.trajectories().iter().map(|t| t.first()));
+        assert!(mbr.max.x - mbr.min.x > cfg.extent_deg * 0.5);
+        assert!(mbr.max.y - mbr.min.y > cfg.extent_deg * 0.5);
+    }
+
+    #[test]
+    fn presets_match_table2_shapes() {
+        let b = crate::beijing_like(1500, 42);
+        let s = b.stats();
+        assert!(s.min_len >= 7 && s.max_len <= 112);
+        assert!((s.avg_len - 22.2).abs() < 3.0, "beijing avg {}", s.avg_len);
+
+        let c = crate::chengdu_like(1500, 42);
+        let s = c.stats();
+        assert!(s.min_len >= 10 && s.max_len <= 209);
+        assert!((s.avg_len - 37.4).abs() < 4.0, "chengdu avg {}", s.avg_len);
+        // Chengdu trajectories are longer on average than Beijing's.
+        assert!(c.stats().avg_len > b.stats().avg_len);
+    }
+}

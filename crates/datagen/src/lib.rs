@@ -1,0 +1,92 @@
+//! Deterministic synthetic trajectory generators.
+//!
+//! The paper evaluates on two proprietary taxi datasets (Beijing, Chengdu)
+//! and a 110 GB OpenStreetMap GPS dump, none of which are available here.
+//! Per the substitution rule (DESIGN.md §2) this crate generates scaled
+//! stand-ins that preserve the properties DITA's behaviour depends on:
+//!
+//! * **spatial locality** — trips follow a road-grid random walk inside a
+//!   city extent, so first/last points cluster and STR partitioning has
+//!   structure to exploit;
+//! * **length distributions** — mean/min/max trajectory lengths match the
+//!   paper's Table 2 rows;
+//! * **query workloads** — queries are sampled from the dataset itself,
+//!   exactly as §7.2 does ("randomly sampled 1,000 queries").
+//!
+//! Everything is seeded: the same configuration always yields byte-identical
+//! datasets.
+
+#![warn(missing_docs)]
+
+pub mod city;
+pub mod queries;
+pub mod world;
+
+pub use city::{city_dataset, CityConfig};
+pub use queries::sample_queries;
+pub use world::{world_dataset, WorldConfig};
+
+use dita_trajectory::Dataset;
+
+/// A Beijing-like taxi dataset (Table 2: avg 22.2, min 7, max 112 points)
+/// scaled to `n` trajectories.
+pub fn beijing_like(n: usize, seed: u64) -> Dataset {
+    city_dataset(&CityConfig {
+        name: "beijing-like".into(),
+        cardinality: n,
+        center: (39.9, 116.4),
+        extent_deg: 0.30,
+        grid_step_deg: 0.0015,
+        avg_len: 22.2,
+        min_len: 7,
+        max_len: 112,
+        gps_noise_deg: 0.00008,
+        route_popularity: 0.25,
+        popular_routes: 0,
+        hotspot_fraction: 0.4,
+        seed,
+    })
+}
+
+/// A Chengdu-like taxi dataset (Table 2: avg 37.4, min 10, max 209 points)
+/// scaled to `n` trajectories.
+pub fn chengdu_like(n: usize, seed: u64) -> Dataset {
+    city_dataset(&CityConfig {
+        name: "chengdu-like".into(),
+        cardinality: n,
+        center: (30.66, 104.06),
+        extent_deg: 0.40,
+        grid_step_deg: 0.0015,
+        avg_len: 37.4,
+        min_len: 10,
+        max_len: 209,
+        gps_noise_deg: 0.00008,
+        route_popularity: 0.25,
+        popular_routes: 0,
+        hotspot_fraction: 0.4,
+        seed,
+    })
+}
+
+/// An OSM-like worldwide dataset (Table 2: avg ≈ 114–120, min 9, max 3000)
+/// scaled to `n` trajectories, including the paper's "split long
+/// trajectories at 3000 points" preprocessing.
+pub fn osm_like(n: usize, seed: u64) -> Dataset {
+    world_dataset(&WorldConfig {
+        name: "osm-like".into(),
+        cardinality: n,
+        clusters: 64,
+        avg_len: 115.0,
+        min_len: 9,
+        max_len: 3000,
+        seed,
+    })
+}
+
+/// The small centralized dataset of Appendix C's Table 6 (Chengdu(tiny)):
+/// Chengdu-shaped, `n` trajectories.
+pub fn chengdu_tiny(n: usize, seed: u64) -> Dataset {
+    let mut d = chengdu_like(n, seed);
+    d.name = "chengdu-tiny".into();
+    d
+}

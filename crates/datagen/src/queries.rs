@@ -1,0 +1,70 @@
+//! Query workload sampling.
+//!
+//! §7.2: "we randomly sampled 1,000 queries from the dataset and reported
+//! the average running time".
+
+use dita_trajectory::{Dataset, Trajectory};
+use rand::{seq::SliceRandom, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Samples `n` query trajectories uniformly without replacement (with
+/// replacement once `n` exceeds the dataset size). Deterministic in `seed`.
+pub fn sample_queries(dataset: &Dataset, n: usize, seed: u64) -> Vec<Trajectory> {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x5151_5151);
+    let ts = dataset.trajectories();
+    if ts.is_empty() || n == 0 {
+        return Vec::new();
+    }
+    if n <= ts.len() {
+        let mut idx: Vec<usize> = (0..ts.len()).collect();
+        idx.shuffle(&mut rng);
+        idx[..n].iter().map(|&i| ts[i].clone()).collect()
+    } else {
+        (0..n)
+            .map(|_| ts.choose(&mut rng).expect("non-empty").clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    fn fig1() -> Dataset {
+        Dataset::new("fig1", figure1_trajectories()).unwrap()
+    }
+
+    #[test]
+    fn samples_without_replacement_when_possible() {
+        let d = fig1();
+        let qs = sample_queries(&d, 5, 1);
+        let mut ids: Vec<u64> = qs.iter().map(|q| q.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn oversampling_repeats() {
+        let d = fig1();
+        let qs = sample_queries(&d, 12, 1);
+        assert_eq!(qs.len(), 12);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let d = fig1();
+        let a = sample_queries(&d, 3, 9);
+        let b = sample_queries(&d, 3, 9);
+        assert_eq!(a, b);
+        let c = sample_queries(&d, 3, 10);
+        assert!(a != c || a.len() <= 1);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let d = Dataset::new("empty", vec![]).unwrap();
+        assert!(sample_queries(&d, 5, 0).is_empty());
+        assert!(sample_queries(&fig1(), 0, 0).is_empty());
+    }
+}

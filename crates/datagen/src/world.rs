@@ -1,0 +1,147 @@
+//! Worldwide GPS-trace generator (the OSM stand-in).
+//!
+//! OpenStreetMap traces come from heterogeneous objects (hikers, cars,
+//! boats) scattered across the globe. The generator reproduces the two
+//! properties the paper's §7.3 calls out: trajectories form *worldwide
+//! clusters* (so joins have "smaller numbers of candidates and results"
+//! than a citywide dataset of comparable size), and individual traces are
+//! long — up to the 3000-point cap the paper enforces by splitting.
+
+use dita_trajectory::{Dataset, Trajectory, TrajectoryId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Configuration for a worldwide dataset.
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Dataset name.
+    pub name: String,
+    /// Number of trajectories (after splitting).
+    pub cardinality: usize,
+    /// Number of activity clusters spread over the globe.
+    pub clusters: usize,
+    /// Target mean length, points.
+    pub avg_len: f64,
+    /// Minimum length, points.
+    pub min_len: usize,
+    /// Maximum length; longer traces are split (§7.1 preprocessing).
+    pub max_len: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generates a worldwide dataset per `cfg`.
+pub fn world_dataset(cfg: &WorldConfig) -> Dataset {
+    assert!(cfg.min_len >= 2 && cfg.min_len <= cfg.max_len);
+    assert!(cfg.clusters >= 1);
+    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+    // Activity clusters: population centers with different densities.
+    let centers: Vec<(f64, f64, f64)> = (0..cfg.clusters)
+        .map(|_| {
+            (
+                rng.gen_range(-60.0..60.0),   // lat
+                rng.gen_range(-180.0..180.0), // lon
+                rng.gen_range(0.05..0.8),     // cluster radius, degrees
+            )
+        })
+        .collect();
+
+    let mut trajectories: Vec<Trajectory> = Vec::with_capacity(cfg.cardinality);
+    let mut next_id: TrajectoryId = 0;
+    while trajectories.len() < cfg.cardinality {
+        let &(clat, clon, radius) = &centers[rng.gen_range(0..centers.len())];
+        // Raw traces are drawn longer than max_len occasionally so the
+        // splitting path is really exercised.
+        let mean_excess = (cfg.avg_len - cfg.min_len as f64).max(1.0);
+        let u: f64 = rng.gen_range(1e-12..1.0);
+        let raw_len = (cfg.min_len as f64 - mean_excess * u.ln()).round() as usize;
+        let raw_len = raw_len.clamp(cfg.min_len, cfg.max_len * 2);
+
+        // A meandering trace: smooth heading drift, variable speed.
+        let mut lat = clat + rng.gen_range(-radius..radius);
+        let mut lon = clon + rng.gen_range(-radius..radius);
+        let mut heading: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+        let step = radius / 500.0;
+        let mut coords = Vec::with_capacity(raw_len);
+        for _ in 0..raw_len {
+            coords.push((lat, lon));
+            heading += rng.gen_range(-0.4..0.4);
+            let speed = step * rng.gen_range(0.5..1.5);
+            lat += heading.sin() * speed;
+            lon += heading.cos() * speed;
+        }
+        let raw = Trajectory::from_coords(next_id, &coords);
+        next_id += 1;
+        for piece in raw.split_long(cfg.max_len, &mut next_id) {
+            if trajectories.len() < cfg.cardinality {
+                trajectories.push(piece);
+            }
+        }
+    }
+    // Re-assign dense ids (splitting produced gaps).
+    for (i, t) in trajectories.iter_mut().enumerate() {
+        t.id = i as u64;
+    }
+    Dataset::new_unchecked(cfg.name.clone(), trajectories)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: usize) -> WorldConfig {
+        WorldConfig {
+            name: "test-world".into(),
+            cardinality: n,
+            clusters: 8,
+            avg_len: 60.0,
+            min_len: 9,
+            max_len: 150,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn produces_requested_cardinality_with_dense_ids() {
+        let d = world_dataset(&cfg(300));
+        assert_eq!(d.len(), 300);
+        for (i, t) in d.trajectories().iter().enumerate() {
+            assert_eq!(t.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn lengths_respect_bounds() {
+        let d = world_dataset(&cfg(500));
+        let s = d.stats();
+        assert!(s.min_len >= 2);
+        // split_long may emit max_len + 1 when absorbing a trailing point.
+        assert!(s.max_len <= 151, "max {}", s.max_len);
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = world_dataset(&cfg(100));
+        let b = world_dataset(&cfg(100));
+        assert_eq!(a.trajectories(), b.trajectories());
+    }
+
+    #[test]
+    fn worldwide_spread_exceeds_city_scale() {
+        let d = world_dataset(&cfg(400));
+        let mbr =
+            dita_trajectory::Mbr::from_points(d.trajectories().iter().map(|t| t.first()));
+        // Clusters span continents, not one city.
+        assert!(mbr.max.y - mbr.min.y > 50.0);
+    }
+
+    #[test]
+    fn osm_preset_shape() {
+        let d = crate::osm_like(400, 9);
+        let s = d.stats();
+        assert!(s.min_len >= 2);
+        assert!(s.max_len <= 3001);
+        assert!(s.avg_len > 50.0, "avg {}", s.avg_len);
+    }
+}

@@ -1,0 +1,190 @@
+//! Filter-step lower bounds (§4.1, §5.3.3).
+//!
+//! These are the cheap estimations DITA uses to discard dissimilar pairs
+//! before running a full distance computation:
+//!
+//! * [`amd`] — Accumulated Minimum Distance (Lemma 4.1): every DTW warping
+//!   path crosses every row of the matrix and must align the endpoint pairs,
+//!   so `dist(t1,q1) + dist(tm,qn) + Σ_{i=2..m−1} min_j dist(t_i, q_j)`
+//!   never exceeds `DTW(T, Q)`.
+//! * [`pamd`] — Pivot AMD (Lemma 4.3): the same sum restricted to K selected
+//!   pivot points, dropping the complexity from O(mn) to O(nK).
+//! * [`mbr_coverage_prune`] — Lemma 5.4: if two trajectories are similar
+//!   under DTW with threshold τ, each one's MBR must be covered by the other's
+//!   τ-extended MBR. The check is O(1) given precomputed MBRs.
+//! * [`length_bound_edr`] — `EDR ≥ |m − n|` (Appendix A).
+
+use dita_trajectory::{Mbr, Point};
+
+/// Accumulated Minimum Distance `AMD(T, Q) ≤ DTW(T, Q)` (Lemma 4.1).
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn amd(t: &[Point], q: &[Point]) -> f64 {
+    assert!(!t.is_empty() && !q.is_empty());
+    // With m = n = 1 the matrix has a single cell: its distance appears once
+    // in DTW, not twice.
+    if t.len() == 1 && q.len() == 1 {
+        return t[0].dist(&q[0]);
+    }
+    let first = t[0].dist(&q[0]);
+    let last = t[t.len() - 1].dist(&q[q.len() - 1]);
+    let mut sum = first + last;
+    for ti in t.iter().skip(1).take(t.len().saturating_sub(2)) {
+        sum += min_dist_to_seq(ti, q);
+    }
+    sum
+}
+
+/// Pivot Accumulated Minimum Distance `PAMD(T, Q) ≤ AMD(T, Q) ≤ DTW(T, Q)`
+/// (Definition 4.2, Lemma 4.3). `pivots` holds 0-based indices into `t`,
+/// which must lie strictly between the first and last point.
+///
+/// # Panics
+/// Panics if either sequence is empty, or a pivot index is the first/last
+/// point or out of range.
+pub fn pamd(t: &[Point], q: &[Point], pivots: &[usize]) -> f64 {
+    assert!(!t.is_empty() && !q.is_empty());
+    let m = t.len();
+    if m == 1 && q.len() == 1 {
+        return t[0].dist(&q[0]);
+    }
+    let mut sum = t[0].dist(&q[0]) + t[m - 1].dist(&q[q.len() - 1]);
+    for &p in pivots {
+        assert!(p > 0 && p < m - 1, "pivot index {p} must be interior (m = {m})");
+        sum += min_dist_to_seq(&t[p], q);
+    }
+    sum
+}
+
+#[inline]
+fn min_dist_to_seq(p: &Point, q: &[Point]) -> f64 {
+    q.iter()
+        .map(|qj| p.dist_sq(qj))
+        .fold(f64::INFINITY, f64::min)
+        .sqrt()
+}
+
+/// MBR coverage filter (Lemma 5.4): returns `true` when the pair can be
+/// *pruned*, i.e. when `EMBR_{T,τ}` fails to cover `MBR_Q` or `EMBR_{Q,τ}`
+/// fails to cover `MBR_T`; similar pairs always pass.
+pub fn mbr_coverage_prune(mbr_t: &Mbr, mbr_q: &Mbr, tau: f64) -> bool {
+    !mbr_t.expanded(tau).covers(mbr_q) || !mbr_q.expanded(tau).covers(mbr_t)
+}
+
+/// EDR length filter (Appendix A): `EDR_ϵ(T, Q) ≥ |m − n|`, so any pair with
+/// `|m − n| > τ` can be pruned. Returns `true` when the pair can be pruned.
+pub fn length_bound_edr(m: usize, n: usize, tau: f64) -> bool {
+    (m as i64 - n as i64).abs() as f64 > tau
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::dtw;
+    use dita_trajectory::trajectory::figure1_trajectories;
+    use dita_trajectory::Trajectory;
+
+    fn fig1() -> Vec<Trajectory> {
+        figure1_trajectories()
+    }
+
+    #[test]
+    fn amd_is_lower_bound_of_dtw() {
+        let ts = fig1();
+        for a in &ts {
+            for b in &ts {
+                let lb = amd(a.points(), b.points());
+                let d = dtw(a.points(), b.points());
+                assert!(lb <= d + 1e-9, "AMD {lb} > DTW {d} for T{} T{}", a.id, b.id);
+            }
+        }
+    }
+
+    #[test]
+    fn pamd_is_lower_bound_of_amd_and_dtw() {
+        let ts = fig1();
+        // Neighbor-distance pivots from Figure 1: T1 → (3,2), (4,4), i.e.
+        // 0-based indices 2 and 3.
+        let pivots = [2usize, 3usize];
+        for b in &ts {
+            let p = pamd(ts[0].points(), b.points(), &pivots);
+            let a = amd(ts[0].points(), b.points());
+            let d = dtw(ts[0].points(), b.points());
+            assert!(p <= a + 1e-9);
+            assert!(p <= d + 1e-9);
+        }
+    }
+
+    #[test]
+    fn paper_example_4_4_pamd_value() {
+        // Example 4.4: PAMD(T1, T3) with pivots {(3,2), (4,4)} is 3.41 > τ=3,
+        // proving T1 and T3 dissimilar.
+        let ts = fig1();
+        let p = pamd(ts[0].points(), ts[2].points(), &[2, 3]);
+        assert!((p - 3.41).abs() < 0.01, "got {p}");
+        assert!(p > 3.0);
+    }
+
+    #[test]
+    fn amd_self_is_zero() {
+        let ts = fig1();
+        for t in &ts {
+            assert_eq!(amd(t.points(), t.points()), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "interior")]
+    fn pamd_rejects_endpoint_pivot() {
+        let ts = fig1();
+        let _ = pamd(ts[0].points(), ts[1].points(), &[0]);
+    }
+
+    #[test]
+    fn mbr_coverage_never_prunes_similar_pairs() {
+        let ts = fig1();
+        for a in &ts {
+            for b in &ts {
+                let d = dtw(a.points(), b.points());
+                for tau in [1.0, 3.0, 6.0] {
+                    if d <= tau {
+                        assert!(
+                            !mbr_coverage_prune(&a.mbr(), &b.mbr(), tau),
+                            "pruned similar pair T{} T{} (d = {d}, tau = {tau})",
+                            a.id,
+                            b.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mbr_coverage_prunes_example_5_5() {
+        // Example 5.5: Q reaches (3, 11) while T5 stays within y ≤ 7, so with
+        // τ = 3 the extended MBR of T5 cannot cover MBR_Q.
+        let ts = fig1();
+        let q = Trajectory::from_coords(
+            10,
+            &[
+                (0.0, 4.0),
+                (0.0, 5.0),
+                (3.0, 7.0),
+                (3.0, 9.0),
+                (3.0, 11.0),
+                (3.0, 3.0),
+                (7.0, 5.0),
+            ],
+        );
+        assert!(mbr_coverage_prune(&ts[4].mbr(), &q.mbr(), 3.0));
+    }
+
+    #[test]
+    fn length_bound_edr_cases() {
+        assert!(length_bound_edr(3, 10, 5.0));
+        assert!(!length_bound_edr(3, 10, 7.0));
+        assert!(!length_bound_edr(5, 5, 0.0));
+    }
+}

@@ -1,0 +1,261 @@
+//! Dynamic Time Warping (Definition 2.2) and its optimized verification
+//! variants.
+//!
+//! DTW aligns two point sequences monotonically from `(1, 1)` to `(m, n)`,
+//! summing the point-to-point Euclidean distance of every aligned pair. The
+//! plain [`dtw`] runs the O(mn) dynamic program with an O(min(m, n)) rolling
+//! row. [`dtw_threshold`] abandons as soon as a whole DP row exceeds the
+//! threshold (every warping path must cross every row, so the row minimum is
+//! a lower bound of the final value). [`dtw_double_direction`] is the paper's
+//! §5.3.3(3) optimization: the matrix is filled from both ends and joined in
+//! the middle, so a pair that is dissimilar near either endpoint is abandoned
+//! after filling only half the matrix.
+
+use dita_trajectory::Point;
+
+/// Plain DTW between two point sequences.
+///
+/// # Panics
+/// Panics if either sequence is empty (Definition 2.2 requires m, n ≥ 1).
+pub fn dtw(t: &[Point], q: &[Point]) -> f64 {
+    dtw_impl(t, q, f64::INFINITY).expect("unbounded DTW always returns a value")
+}
+
+/// Threshold-aware DTW: returns `Some(DTW(t, q))` if it is ≤ `tau`, `None`
+/// otherwise (possibly abandoning before the full matrix is computed).
+pub fn dtw_threshold(t: &[Point], q: &[Point], tau: f64) -> Option<f64> {
+    dtw_impl(t, q, tau)
+}
+
+fn dtw_impl(t: &[Point], q: &[Point], tau: f64) -> Option<f64> {
+    assert!(!t.is_empty() && !q.is_empty(), "DTW requires non-empty sequences");
+    let (m, n) = (t.len(), q.len());
+    // Keep the shorter sequence along the row to minimize the rolling buffer.
+    if n > m {
+        return dtw_impl(q, t, tau);
+    }
+    // Degenerate cases per Definition 2.2.
+    if n == 1 {
+        let s: f64 = t.iter().map(|p| p.dist(&q[0])).sum();
+        return (s <= tau).then_some(s);
+    }
+
+    let mut prev = vec![0.0f64; n];
+    let mut cur = vec![0.0f64; n];
+
+    // First row: v(1, j) = Σ_{k<=j} dist(t1, qk)  (m == 1 branch of the
+    // definition applied to prefixes of Q).
+    let mut acc = 0.0;
+    for (j, qj) in q.iter().enumerate() {
+        acc += t[0].dist(qj);
+        prev[j] = acc;
+    }
+    if m == 1 {
+        let v = prev[n - 1];
+        return (v <= tau).then_some(v);
+    }
+
+    for ti in t.iter().skip(1) {
+        // v(i, 1) = Σ_{k<=i} dist(tk, q1).
+        cur[0] = prev[0] + ti.dist(&q[0]);
+        let mut row_min = cur[0];
+        for j in 1..n {
+            let d = ti.dist(&q[j]);
+            let best = prev[j - 1].min(prev[j]).min(cur[j - 1]);
+            cur[j] = d + best;
+            if cur[j] < row_min {
+                row_min = cur[j];
+            }
+        }
+        if row_min > tau {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let v = prev[n - 1];
+    (v <= tau).then_some(v)
+}
+
+/// Double-direction DTW verification (§5.3.3(3)).
+///
+/// The DP matrix is filled forward from `(1, 1)` for the first half of `t`'s
+/// rows and backward from `(m, n)` for the second half; the halves are then
+/// joined across the seam. Any warping path crosses the seam between rows
+/// `h` and `h+1` moving from cell `(h, j)` to `(h+1, j)` or `(h+1, j+1)`, so
+///
+/// `DTW = min_j [ fwd(h, j) + min(bwd(h+1, j), bwd(h+1, j+1)) ]`.
+///
+/// Each half abandons independently when its row minimum exceeds `tau`,
+/// which — as the paper notes — halves the explored space for dissimilar
+/// pairs whose divergence appears near the far end of a forward-only scan.
+///
+/// Returns `Some(distance)` iff the distance is ≤ `tau`.
+pub fn dtw_double_direction(t: &[Point], q: &[Point], tau: f64) -> Option<f64> {
+    assert!(!t.is_empty() && !q.is_empty(), "DTW requires non-empty sequences");
+    let (m, n) = (t.len(), q.len());
+    if m < 4 || n < 2 {
+        return dtw_impl(t, q, tau);
+    }
+    let h = m / 2; // forward half covers rows 0..h (0-based), backward h..m
+
+    // Forward DP over rows 0..h.
+    let mut fwd = vec![0.0f64; n];
+    let mut acc = 0.0;
+    for (j, qj) in q.iter().enumerate() {
+        acc += t[0].dist(qj);
+        fwd[j] = acc;
+    }
+    let mut cur = vec![0.0f64; n];
+    for ti in t.iter().take(h).skip(1) {
+        cur[0] = fwd[0] + ti.dist(&q[0]);
+        let mut row_min = cur[0];
+        for j in 1..n {
+            let best = fwd[j - 1].min(fwd[j]).min(cur[j - 1]);
+            cur[j] = ti.dist(&q[j]) + best;
+            row_min = row_min.min(cur[j]);
+        }
+        if row_min > tau {
+            return None;
+        }
+        std::mem::swap(&mut fwd, &mut cur);
+    }
+
+    // Backward DP over rows m-1 ..= h (0-based), mirroring the recurrence:
+    // bwd(i, j) = dist(ti, qj) + min(bwd(i+1, j+1), bwd(i+1, j), bwd(i, j+1)).
+    let mut bwd = vec![0.0f64; n];
+    let last = &t[m - 1];
+    let mut acc = 0.0;
+    for j in (0..n).rev() {
+        acc += last.dist(&q[j]);
+        bwd[j] = acc;
+    }
+    for ti in t[h..m - 1].iter().rev() {
+        let mut next = vec![0.0f64; n];
+        next[n - 1] = bwd[n - 1] + ti.dist(&q[n - 1]);
+        let mut row_min = next[n - 1];
+        for j in (0..n - 1).rev() {
+            let best = bwd[j + 1].min(bwd[j]).min(next[j + 1]);
+            next[j] = ti.dist(&q[j]) + best;
+            row_min = row_min.min(next[j]);
+        }
+        if row_min > tau {
+            return None;
+        }
+        bwd = next;
+    }
+
+    // Join: forward path ends at (h-1, j) and continues to (h, j) or (h, j+1).
+    let mut best = f64::INFINITY;
+    for j in 0..n {
+        let cont = if j + 1 < n { bwd[j].min(bwd[j + 1]) } else { bwd[j] };
+        let v = fwd[j] + cont;
+        if v < best {
+            best = v;
+        }
+    }
+    (best <= tau).then_some(best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    fn fig1() -> Vec<Vec<Point>> {
+        figure1_trajectories()
+            .into_iter()
+            .map(|t| t.points().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn paper_table1_dtw_value() {
+        // Table 1: DTW(T1, T3) = 5.41.
+        let ts = fig1();
+        let d = dtw(&ts[0], &ts[2]);
+        assert!((d - 5.41).abs() < 0.01, "got {d}");
+    }
+
+    #[test]
+    fn paper_example_2_6_search_answers() {
+        // Example 2.6: with Q = T1 and τ = 3, the similar trajectories are
+        // {T1, T2}.
+        let ts = fig1();
+        let q = &ts[0];
+        let similar: Vec<usize> = (0..5).filter(|&i| dtw(q, &ts[i]) <= 3.0).collect();
+        assert_eq!(similar, vec![0, 1]);
+    }
+
+    #[test]
+    fn dtw_zero_on_self() {
+        for t in fig1() {
+            assert_eq!(dtw(&t, &t), 0.0);
+        }
+    }
+
+    #[test]
+    fn dtw_is_symmetric() {
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                let a = dtw(&ts[i], &ts[j]);
+                let b = dtw(&ts[j], &ts[i]);
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn dtw_single_point_rows() {
+        // n == 1: sum of distances from every t point to the single q point.
+        let t = [Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+        let q = [Point::new(0.0, 0.0)];
+        assert_eq!(dtw(&t, &q), 5.0);
+        assert_eq!(dtw(&q, &t), 5.0);
+        assert_eq!(dtw(&q, &q[..1]), 0.0);
+    }
+
+    #[test]
+    fn threshold_agrees_with_plain() {
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                let full = dtw(&ts[i], &ts[j]);
+                for tau in [0.5, 1.0, 3.0, 5.0, 10.0] {
+                    let thr = dtw_threshold(&ts[i], &ts[j], tau);
+                    if full <= tau {
+                        let v = thr.expect("threshold variant must not prune true answers");
+                        assert!((v - full).abs() < 1e-9);
+                    } else {
+                        assert!(thr.is_none());
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn double_direction_agrees_with_plain() {
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                let full = dtw(&ts[i], &ts[j]);
+                for tau in [0.5, 1.0, 3.0, 5.0, 10.0, 100.0] {
+                    let dd = dtw_double_direction(&ts[i], &ts[j], tau);
+                    if full <= tau {
+                        let v = dd.expect("double-direction must not prune true answers");
+                        assert!((v - full).abs() < 1e-9, "i={i} j={j} tau={tau}: {v} vs {full}");
+                    } else {
+                        assert!(dd.is_none(), "i={i} j={j} tau={tau}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn empty_input_panics() {
+        let _ = dtw(&[], &[Point::new(0.0, 0.0)]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Edit Distance on Real sequence (EDR, Definition A.2).
+//!
+//! EDR counts the minimum number of edit operations (insert, delete,
+//! substitute) needed to make the two sequences match, where two points match
+//! for free when their Euclidean distance is at most the matching threshold
+//! `eps`. The result is an integer expressed as `f64` for interface
+//! uniformity with the other distance functions.
+
+use dita_trajectory::Point;
+
+/// EDR with matching threshold `eps`.
+///
+/// Empty sequences are allowed (Definition A.2 defines the base cases
+/// `EDR(T, ∅) = m`).
+pub fn edr(t: &[Point], q: &[Point], eps: f64) -> f64 {
+    edr_impl(t, q, eps, u32::MAX).expect("unbounded EDR always returns a value") as f64
+}
+
+/// Threshold-aware EDR: `Some(EDR)` iff EDR ≤ `tau`.
+///
+/// Applies the length filter `EDR ≥ |m − n|` up front (Appendix A), then
+/// early-abandons when a DP row minimum exceeds the threshold.
+pub fn edr_threshold(t: &[Point], q: &[Point], eps: f64, tau: f64) -> Option<f64> {
+    if tau < 0.0 {
+        return None;
+    }
+    let tau_int = tau.floor() as i64;
+    if (t.len() as i64 - q.len() as i64).abs() > tau_int {
+        return None;
+    }
+    edr_impl(t, q, eps, tau_int as u32).map(|v| v as f64)
+}
+
+fn edr_impl(t: &[Point], q: &[Point], eps: f64, tau: u32) -> Option<u32> {
+    debug_assert!(eps >= 0.0);
+    let (m, n) = (t.len(), q.len());
+    if m == 0 {
+        return (n as u32 <= tau).then_some(n as u32);
+    }
+    if n == 0 {
+        return (m as u32 <= tau).then_some(m as u32);
+    }
+    // prev[j] = EDR(T^i, Q^j) for the previous row i (row 0 = empty prefix).
+    let mut prev: Vec<u32> = (0..=n as u32).collect();
+    let mut cur = vec![0u32; n + 1];
+    for (i, ti) in t.iter().enumerate() {
+        cur[0] = i as u32 + 1;
+        let mut row_min = cur[0];
+        for (j, qj) in q.iter().enumerate() {
+            let sub = if ti.dist(qj) <= eps { 0 } else { 1 };
+            let v = (prev[j] + sub).min(prev[j + 1] + 1).min(cur[j] + 1);
+            cur[j + 1] = v;
+            if v < row_min {
+                row_min = v;
+            }
+        }
+        if row_min > tau {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let v = prev[n];
+    (v <= tau).then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    fn fig1() -> Vec<Vec<Point>> {
+        figure1_trajectories()
+            .into_iter()
+            .map(|t| t.points().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn paper_appendix_a_value() {
+        // Appendix A: with ϵ = 1, EDR(T1, T3) = 2.
+        let ts = fig1();
+        assert_eq!(edr(&ts[0], &ts[2], 1.0), 2.0);
+    }
+
+    #[test]
+    fn identical_sequences_are_zero() {
+        let ts = fig1();
+        for t in &ts {
+            assert_eq!(edr(t, t, 0.0), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_base_cases() {
+        let t = [Point::new(0.0, 0.0), Point::new(1.0, 1.0)];
+        assert_eq!(edr(&t, &[], 1.0), 2.0);
+        assert_eq!(edr(&[], &t, 1.0), 2.0);
+        assert_eq!(edr(&[], &[], 1.0), 0.0);
+    }
+
+    #[test]
+    fn large_eps_reduces_to_length_difference() {
+        // When every pair matches, only insertions/deletions remain.
+        let a: Vec<Point> = (0..5).map(|i| Point::new(i as f64, 0.0)).collect();
+        let b: Vec<Point> = (0..9).map(|i| Point::new(i as f64, 0.0)).collect();
+        assert_eq!(edr(&a, &b, 100.0), 4.0);
+    }
+
+    #[test]
+    fn symmetric() {
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                assert_eq!(edr(&ts[i], &ts[j], 1.0), edr(&ts[j], &ts[i], 1.0));
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_agrees_with_plain() {
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                let full = edr(&ts[i], &ts[j], 1.0);
+                for tau in [0.0, 1.0, 2.0, 3.0, 6.0] {
+                    match edr_threshold(&ts[i], &ts[j], 1.0, tau) {
+                        Some(v) => {
+                            assert_eq!(v, full);
+                            assert!(full <= tau);
+                        }
+                        None => assert!(full > tau),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn length_filter_prunes_before_dp() {
+        let a: Vec<Point> = (0..3).map(|i| Point::new(i as f64, 0.0)).collect();
+        let b: Vec<Point> = (0..10).map(|i| Point::new(i as f64, 0.0)).collect();
+        // |3 - 10| = 7 > 5, pruned regardless of eps.
+        assert!(edr_threshold(&a, &b, 100.0, 5.0).is_none());
+    }
+
+    #[test]
+    fn negative_tau_always_prunes() {
+        let a = [Point::new(0.0, 0.0)];
+        assert!(edr_threshold(&a, &a, 1.0, -1.0).is_none());
+    }
+}

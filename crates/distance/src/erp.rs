@@ -1,0 +1,147 @@
+//! Edit distance with Real Penalty (ERP, Chen & Ng 2004).
+//!
+//! ERP is the paper's §2.3 list member that marries Lp-norms with edit
+//! distance: gaps are penalized by the real distance to a fixed gap point
+//! `g`, which restores the triangle inequality (ERP is a metric for a fixed
+//! `g`). DITA supports it the same way as DTW — the accumulated threshold
+//! shrinks while descending the trie.
+
+use dita_trajectory::Point;
+
+/// ERP distance with gap point `g`.
+///
+/// Empty sequences are allowed: `ERP(T, ∅) = Σ dist(t_i, g)`.
+pub fn erp(t: &[Point], q: &[Point], g: &Point) -> f64 {
+    erp_impl(t, q, g, f64::INFINITY).expect("unbounded ERP always returns a value")
+}
+
+/// Threshold-aware ERP: `Some(d)` iff `d ≤ tau`, early-abandoning on row
+/// minima (sound for the same reason as DTW: costs are non-negative and
+/// every path crosses every row).
+pub fn erp_threshold(t: &[Point], q: &[Point], g: &Point, tau: f64) -> Option<f64> {
+    erp_impl(t, q, g, tau)
+}
+
+fn erp_impl(t: &[Point], q: &[Point], g: &Point, tau: f64) -> Option<f64> {
+    let (m, n) = (t.len(), q.len());
+    if m == 0 {
+        let v: f64 = q.iter().map(|p| p.dist(g)).sum();
+        return (v <= tau).then_some(v);
+    }
+    if n == 0 {
+        let v: f64 = t.iter().map(|p| p.dist(g)).sum();
+        return (v <= tau).then_some(v);
+    }
+    // Row 0: deleting all of Q's prefix.
+    let mut prev = vec![0.0f64; n + 1];
+    for (j, qj) in q.iter().enumerate() {
+        prev[j + 1] = prev[j] + qj.dist(g);
+    }
+    let mut cur = vec![0.0f64; n + 1];
+    for ti in t.iter() {
+        let del_t = ti.dist(g);
+        cur[0] = prev[0] + del_t;
+        let mut row_min = cur[0];
+        for (j, qj) in q.iter().enumerate() {
+            let v = (prev[j] + ti.dist(qj)) // match
+                .min(prev[j + 1] + del_t) // gap in Q (delete t_i)
+                .min(cur[j] + qj.dist(g)); // gap in T (delete q_j)
+            cur[j + 1] = v;
+            if v < row_min {
+                row_min = v;
+            }
+        }
+        if row_min > tau {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let v = prev[n];
+    (v <= tau).then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    const G: Point = Point { x: 0.0, y: 0.0 };
+
+    fn fig1() -> Vec<Vec<Point>> {
+        figure1_trajectories()
+            .into_iter()
+            .map(|t| t.points().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn zero_on_self() {
+        for t in fig1() {
+            assert_eq!(erp(&t, &t, &G), 0.0);
+        }
+    }
+
+    #[test]
+    fn symmetric() {
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                let a = erp(&ts[i], &ts[j], &G);
+                let b = erp(&ts[j], &ts[i], &G);
+                assert!((a - b).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_inequality() {
+        // ERP with a fixed gap point is a metric.
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                for k in 0..ts.len() {
+                    let ij = erp(&ts[i], &ts[j], &G);
+                    let ik = erp(&ts[i], &ts[k], &G);
+                    let kj = erp(&ts[k], &ts[j], &G);
+                    assert!(ij <= ik + kj + 1e-9);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_base_case_sums_gap_distances() {
+        let t = [Point::new(3.0, 4.0), Point::new(0.0, 5.0)];
+        assert_eq!(erp(&t, &[], &G), 10.0);
+        assert_eq!(erp(&[], &t, &G), 10.0);
+        assert_eq!(erp(&[], &[], &G), 0.0);
+    }
+
+    #[test]
+    fn single_gap_penalty() {
+        // T = (a, b), Q = (a): optimal alignment matches a–a and deletes b.
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(2.0, 2.0);
+        let d = erp(&[a, b], &[a], &G);
+        assert!((d - b.dist(&G)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn threshold_agrees_with_plain() {
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                let full = erp(&ts[i], &ts[j], &G);
+                for tau in [0.5, 2.0, 5.0, 20.0] {
+                    match erp_threshold(&ts[i], &ts[j], &G, tau) {
+                        Some(v) => {
+                            assert!((v - full).abs() < 1e-9);
+                            assert!(full <= tau + 1e-12);
+                        }
+                        None => assert!(full > tau),
+                    }
+                }
+            }
+        }
+    }
+}

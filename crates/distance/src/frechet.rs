@@ -1,0 +1,161 @@
+//! Discrete Fréchet distance (Definition A.1).
+//!
+//! The Fréchet recurrence mirrors DTW's but combines with `max` instead of
+//! `+`, which makes it a metric on point sequences. The paper uses it as the
+//! representative metric distance function; DITA's index supports it by
+//! keeping the threshold constant while descending the trie (Appendix A).
+
+use dita_trajectory::Point;
+
+/// Plain discrete Fréchet distance.
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn frechet(t: &[Point], q: &[Point]) -> f64 {
+    frechet_impl(t, q, f64::INFINITY).expect("unbounded Fréchet always returns a value")
+}
+
+/// Threshold-aware Fréchet: returns `Some(F(t, q))` iff it is ≤ `tau`.
+///
+/// Abandons when a full DP row exceeds `tau`: every coupling crosses every
+/// row and values only grow along a coupling, so the row minimum is a lower
+/// bound of the final value.
+pub fn frechet_threshold(t: &[Point], q: &[Point], tau: f64) -> Option<f64> {
+    frechet_impl(t, q, tau)
+}
+
+fn frechet_impl(t: &[Point], q: &[Point], tau: f64) -> Option<f64> {
+    assert!(!t.is_empty() && !q.is_empty(), "Fréchet requires non-empty sequences");
+    let (m, n) = (t.len(), q.len());
+    if n > m {
+        return frechet_impl(q, t, tau);
+    }
+    if n == 1 {
+        let v = t
+            .iter()
+            .map(|p| p.dist(&q[0]))
+            .fold(0.0f64, f64::max);
+        return (v <= tau).then_some(v);
+    }
+
+    let mut prev = vec![0.0f64; n];
+    let mut cur = vec![0.0f64; n];
+
+    let mut acc = 0.0f64;
+    for (j, qj) in q.iter().enumerate() {
+        acc = acc.max(t[0].dist(qj));
+        prev[j] = acc;
+    }
+    if m == 1 {
+        let v = prev[n - 1];
+        return (v <= tau).then_some(v);
+    }
+
+    for ti in t.iter().skip(1) {
+        cur[0] = prev[0].max(ti.dist(&q[0]));
+        let mut row_min = cur[0];
+        for j in 1..n {
+            let best = prev[j - 1].min(prev[j]).min(cur[j - 1]);
+            cur[j] = best.max(ti.dist(&q[j]));
+            if cur[j] < row_min {
+                row_min = cur[j];
+            }
+        }
+        if row_min > tau {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let v = prev[n - 1];
+    (v <= tau).then_some(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dtw::dtw;
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    fn fig1() -> Vec<Vec<Point>> {
+        figure1_trajectories()
+            .into_iter()
+            .map(|t| t.points().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn paper_appendix_a_value() {
+        // Appendix A: Fréchet(T1, T3) = 1.41.
+        let ts = fig1();
+        let d = frechet(&ts[0], &ts[2]);
+        assert!((d - 1.41).abs() < 0.01, "got {d}");
+    }
+
+    #[test]
+    fn frechet_zero_on_self_and_symmetric() {
+        let ts = fig1();
+        for i in 0..ts.len() {
+            assert_eq!(frechet(&ts[i], &ts[i]), 0.0);
+            for j in 0..ts.len() {
+                let a = frechet(&ts[i], &ts[j]);
+                let b = frechet(&ts[j], &ts[i]);
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn frechet_triangle_inequality_on_examples() {
+        // Fréchet is a metric; check the triangle inequality over Figure 1.
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                for k in 0..ts.len() {
+                    let ij = frechet(&ts[i], &ts[j]);
+                    let ik = frechet(&ts[i], &ts[k]);
+                    let kj = frechet(&ts[k], &ts[j]);
+                    assert!(ij <= ik + kj + 1e-12);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frechet_never_exceeds_dtw() {
+        // DTW sums at least max(m, n) non-negative terms, one of which is the
+        // bottleneck pair, so Fréchet ≤ DTW always.
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                assert!(frechet(&ts[i], &ts[j]) <= dtw(&ts[i], &ts[j]) + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_agrees_with_plain() {
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                let full = frechet(&ts[i], &ts[j]);
+                for tau in [0.5, 1.0, 1.41, 2.0, 4.0] {
+                    match frechet_threshold(&ts[i], &ts[j], tau) {
+                        Some(v) => {
+                            assert!(full <= tau + 1e-12);
+                            assert!((v - full).abs() < 1e-12);
+                        }
+                        None => assert!(full > tau),
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_point_is_max_distance() {
+        let t = [Point::new(0.0, 0.0), Point::new(3.0, 4.0)];
+        let q = [Point::new(0.0, 0.0)];
+        assert_eq!(frechet(&t, &q), 5.0);
+        assert_eq!(frechet(&q, &t), 5.0);
+    }
+}

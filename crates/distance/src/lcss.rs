@@ -1,0 +1,237 @@
+//! Longest Common SubSequence similarity and the derived distance
+//! (Definition A.3).
+//!
+//! `LCSS_{δ,ϵ}` counts the maximum number of point pairs that can be matched
+//! while traversing both trajectories monotonically, where `t_i` and `q_j`
+//! may match only if `dist(t_i, q_j) ≤ ϵ` and `|i − j| ≤ δ` (the paper's
+//! "index constraint"). Because LCSS is a similarity, DITA's threshold
+//! queries use the distance `min(m, n) − LCSS`, which matches the paper's
+//! worked example (`LCSS-distance(T1, T3) = 2` with δ = 1, ϵ = 1).
+
+use dita_trajectory::Point;
+
+/// LCSS similarity: length of the longest ϵ/δ-constrained common
+/// subsequence. Empty inputs yield 0.
+///
+/// Computed with a **banded** dynamic program: matches require
+/// `|i − j| ≤ δ`, and one can show `dp(i, j) = dp(i, i+δ)` for `j > i+δ`
+/// (no match involving rows ≤ i exists beyond column i+δ) and symmetrically
+/// below the band — so only the `2δ+1` diagonal band needs computing. This
+/// is the "index constraint" speedup the paper credits for LCSS beating EDR
+/// (§B): O(m·δ) instead of O(mn).
+pub fn lcss_similarity(t: &[Point], q: &[Point], eps: f64, delta: usize) -> usize {
+    lcss_banded(t, q, eps, delta, f64::INFINITY).unwrap_or(0)
+}
+
+/// Banded LCSS DP. Returns `None` when the early-abandon threshold proves
+/// the final distance `min(m, n) − L` must exceed `tau` (pass
+/// `tau = ∞` to always complete). Returns `Some(L)` otherwise.
+fn lcss_banded(t: &[Point], q: &[Point], eps: f64, delta: usize, tau: f64) -> Option<usize> {
+    let (m, n) = (t.len(), q.len());
+    if m == 0 || n == 0 {
+        return (0.0 <= tau).then_some(0);
+    }
+    let needed = (m.min(n) as f64 - tau).ceil().max(0.0) as usize;
+
+    // Row band for row i (0-based): columns [i−δ, i+δ] ∩ [0, n−1], stored in
+    // a window of width 2δ+1. prev_left = the column index of prev[0].
+    let width = 2 * delta + 1;
+    let mut prev = vec![0usize; width];
+    let mut cur = vec![0usize; width];
+    let mut prev_left: isize = -(delta as isize); // row -1's virtual window
+
+    for (i, ti) in t.iter().enumerate() {
+        let lo = (i as isize) - delta as isize;
+        let hi = ((i + delta).min(n - 1)) as isize;
+        if hi < lo {
+            // The band has moved entirely past the query: every dp(i', j)
+            // with i' ≥ i is frozen at dp(j+δ, j), and dp(·, n−1) sits at
+            // the left edge of the last computed band. Nothing can change
+            // anymore.
+            break;
+        }
+        // Value of dp(i, lo−1): frozen at dp(i−1, lo−1) (left of band).
+        let left_outside = if lo - 1 < 0 {
+            0
+        } else {
+            band_get(&prev, prev_left, lo - 1)
+        };
+        let mut row_max = 0usize;
+        let mut running_left = left_outside;
+        for j in lo.max(0)..=hi {
+            let qj = &q[j as usize];
+            let matched = ti.dist(qj) <= eps; // |i−j| ≤ δ holds inside the band
+            let diag = if j - 1 < 0 {
+                0
+            } else {
+                band_get(&prev, prev_left, j - 1)
+            };
+            let up = band_get(&prev, prev_left, j);
+            let v = if matched {
+                (diag + 1).max(up).max(running_left)
+            } else {
+                up.max(running_left)
+            };
+            band_set(&mut cur, lo, j, v);
+            running_left = v;
+            row_max = row_max.max(v);
+        }
+        // Early abandon: at most one extra match per remaining row.
+        if row_max + (m - i - 1) < needed {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        prev_left = lo;
+    }
+    // Final answer: dp(m−1, n−1). The last *computed* row's band is at
+    // prev_left; column n−1 is either inside it or frozen at its edges.
+    let sim = band_get(&prev, prev_left, n as isize - 1);
+    Some(sim)
+}
+
+#[inline]
+fn band_get(band: &[usize], band_left: isize, j: isize) -> usize {
+    let idx = j - band_left;
+    if idx < 0 {
+        // Left of the stored band: frozen at the leftmost stored value only
+        // when that value reflects column j; by construction callers only
+        // reach here for j = lo−1 of the next row, which maps to idx = −1 —
+        // the frozen column — whose value equals the stored leftmost cell of
+        // *its* row. Returning the leftmost stored value is exact.
+        band[0]
+    } else if idx as usize >= band.len() {
+        *band.last().unwrap()
+    } else {
+        band[idx as usize]
+    }
+}
+
+#[inline]
+fn band_set(band: &mut [usize], band_left: isize, j: isize, v: usize) {
+    let idx = (j - band_left) as usize;
+    band[idx] = v;
+}
+
+/// LCSS-derived distance: `min(m, n) − LCSS_{δ,ϵ}(t, q)`.
+///
+/// Zero means one trajectory's points can be fully matched into the other.
+pub fn lcss_distance(t: &[Point], q: &[Point], eps: f64, delta: usize) -> f64 {
+    let sim = lcss_similarity(t, q, eps, delta);
+    (t.len().min(q.len()) - sim) as f64
+}
+
+/// Threshold-aware LCSS distance: `Some(d)` iff `d ≤ tau`, with row-wise
+/// early abandoning.
+///
+/// After processing row `i`, the final similarity is at most
+/// `max_j dp[i][j] + (m − i)` (each remaining row adds at most one match);
+/// when even that optimistic bound leaves `min(m, n) − L > τ`, the pair is
+/// abandoned without finishing the O(mn) table.
+pub fn lcss_distance_threshold(
+    t: &[Point],
+    q: &[Point],
+    eps: f64,
+    delta: usize,
+    tau: f64,
+) -> Option<f64> {
+    if tau < 0.0 {
+        return None;
+    }
+    let sim = lcss_banded(t, q, eps, delta, tau)?;
+    let d = (t.len().min(q.len()) - sim) as f64;
+    (d <= tau).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    fn fig1() -> Vec<Vec<Point>> {
+        figure1_trajectories()
+            .into_iter()
+            .map(|t| t.points().to_vec())
+            .collect()
+    }
+
+    #[test]
+    fn paper_appendix_a_value() {
+        // Appendix A: with δ = 1 and ϵ = 1, LCSS-distance(T1, T3) = 2.
+        let ts = fig1();
+        assert_eq!(lcss_distance(&ts[0], &ts[2], 1.0, 1), 2.0);
+        assert_eq!(lcss_similarity(&ts[0], &ts[2], 1.0, 1), 4);
+    }
+
+    #[test]
+    fn identical_sequences_have_zero_distance() {
+        let ts = fig1();
+        for t in &ts {
+            assert_eq!(lcss_distance(t, t, 0.0, 0), 0.0);
+            assert_eq!(lcss_similarity(t, t, 0.0, 0), t.len());
+        }
+    }
+
+    #[test]
+    fn empty_inputs() {
+        let t = [Point::new(0.0, 0.0)];
+        assert_eq!(lcss_similarity(&t, &[], 1.0, 1), 0);
+        assert_eq!(lcss_similarity(&[], &t, 1.0, 1), 0);
+        assert_eq!(lcss_distance(&t, &[], 1.0, 1), 0.0); // min(m,n) = 0
+    }
+
+    #[test]
+    fn band_constraint_blocks_distant_indices() {
+        // Identical points, but shifted by more than δ positions.
+        let a: Vec<Point> = (0..6).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        // b equals a shifted by 3 positions: b[j] = a[j + 3].
+        let b: Vec<Point> = (3..6).map(|i| Point::new(i as f64 * 10.0, 0.0)).collect();
+        // With a wide band the three common points all match.
+        assert_eq!(lcss_similarity(&a, &b, 0.1, 6), 3);
+        // With δ = 0, a[i] only pairs with b[i]; a[i] = b[i] + 30 never matches.
+        assert_eq!(lcss_similarity(&a, &b, 0.1, 0), 0);
+    }
+
+    #[test]
+    fn similarity_is_monotone_in_eps_and_delta() {
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                let tight = lcss_similarity(&ts[i], &ts[j], 0.5, 1);
+                let looser_eps = lcss_similarity(&ts[i], &ts[j], 2.0, 1);
+                let looser_delta = lcss_similarity(&ts[i], &ts[j], 0.5, 4);
+                assert!(looser_eps >= tight);
+                assert!(looser_delta >= tight);
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_bounded_by_min_length() {
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                let s = lcss_similarity(&ts[i], &ts[j], 100.0, 100);
+                assert_eq!(s, ts[i].len().min(ts[j].len()));
+            }
+        }
+    }
+
+    #[test]
+    fn threshold_agrees_with_plain() {
+        let ts = fig1();
+        for i in 0..ts.len() {
+            for j in 0..ts.len() {
+                let full = lcss_distance(&ts[i], &ts[j], 1.0, 1);
+                for tau in [0.0, 1.0, 2.0, 5.0] {
+                    match lcss_distance_threshold(&ts[i], &ts[j], 1.0, 1, tau) {
+                        Some(v) => {
+                            assert_eq!(v, full);
+                            assert!(full <= tau);
+                        }
+                        None => assert!(full > tau),
+                    }
+                }
+            }
+        }
+    }
+}

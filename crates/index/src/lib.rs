@@ -1,0 +1,22 @@
+//! DITA indexing (§4): pivot selection, STR partitioning, the global dual
+//! R-tree index and the trie-like local index.
+//!
+//! * [`pivot`] — the three pivot-point selection strategies of §4.1.2.
+//! * [`partitioner`] — first/last-point STR partitioning (§4.2.1) plus the
+//!   random partitioner used as the Appendix-B ablation baseline.
+//! * [`global`] — the global index: one R-tree over first-point MBRs, one
+//!   over last-point MBRs (§4.2.2, §5.2).
+//! * [`trie`] — the (K+2)-level trie local index with the accumulated-budget
+//!   filter and the ordered-suffix optimization (§4.2.3, §5.3).
+
+#![warn(missing_docs)]
+
+pub mod global;
+pub mod partitioner;
+pub mod pivot;
+pub mod trie;
+
+pub use global::GlobalIndex;
+pub use partitioner::{random_partitioning, str_partitioning, Partition, Partitioning};
+pub use pivot::{select_pivots, PivotStrategy};
+pub use trie::{FilterStats, IndexedTrajectory, TrieConfig, TrieIndex};

@@ -1,0 +1,827 @@
+//! The trie-like local index (§4.2.3) and its filter search (§5.3).
+//!
+//! Every trajectory `T` of a partition is transformed into its sequence of
+//! *indexing points* `T_I = (t_1, t_m, t_{P1}, …, t_{PK})` — first point,
+//! last point, then the K pivots. The trie groups trajectories level by
+//! level on these points with STR tiling (fanout `N_L`); each node stores
+//! the MBR of its members' point at that level. Leaves store the member
+//! trajectories themselves — the *clustered* layout the paper contrasts
+//! with DFT's separated index/bitmap design.
+//!
+//! The filter search walks the trie depth-first, accumulating the per-level
+//! `MinDist` into the threshold budget (§5.3.1) with the ordered-suffix
+//! optimization of §5.3.2 (Lemma 5.1). Budget semantics follow the distance
+//! function (Appendix A): DTW/ERP subtract, Fréchet compares each level to
+//! the constant τ, EDR/LCSS count edits.
+
+use crate::partitioner::str_tiles_pub as str_tiles;
+use crate::pivot::{select_pivots, PivotStrategy};
+use dita_distance::function::IndexMode;
+use dita_distance::DistanceFunction;
+use dita_trajectory::{CellList, Mbr, Point, Trajectory};
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the local trie index.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrieConfig {
+    /// Number of pivot points K (paper default: 4–5 depending on dataset).
+    pub k: usize,
+    /// Fanout N_L at every level (paper default: 32).
+    pub nl: usize,
+    /// Stop splitting a node once it holds at most this many trajectories
+    /// (the paper stops at 16). Zero means "never stop early": every
+    /// trajectory descends the full K+2 levels, as drawn in Figure 5.
+    pub leaf_capacity: usize,
+    /// Pivot selection strategy (paper finds Neighbor best).
+    pub strategy: PivotStrategy,
+    /// Side length `D` of the verification cells (§5.3.3(2)).
+    pub cell_side: f64,
+}
+
+impl Default for TrieConfig {
+    fn default() -> Self {
+        TrieConfig {
+            k: 4,
+            nl: 32,
+            leaf_capacity: 16,
+            strategy: PivotStrategy::NeighborDistance,
+            cell_side: 0.005,
+        }
+    }
+}
+
+/// A trajectory as stored in the clustered index: the raw points plus every
+/// precomputed artifact verification needs (pivots, MBR, cells).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexedTrajectory {
+    /// The trajectory itself (leaves store data, not pointers — §2.3's
+    /// "clustered index" argument).
+    pub traj: Trajectory,
+    /// 0-based pivot indices, ascending, strictly interior.
+    pub pivots: Vec<usize>,
+    /// Indexing points: first, last, then pivot points.
+    pub index_points: Vec<Point>,
+    /// Whole-trajectory MBR (for Lemma 5.4 coverage filtering).
+    pub mbr: Mbr,
+    /// Cell compression (for Lemma 5.6 bounds).
+    pub cells: CellList,
+}
+
+impl IndexedTrajectory {
+    /// Precomputes all indexing artifacts for `traj`.
+    pub fn new(traj: Trajectory, k: usize, strategy: PivotStrategy, cell_side: f64) -> Self {
+        let pivots = select_pivots(&traj, k, strategy);
+        let mut index_points = Vec::with_capacity(2 + pivots.len());
+        index_points.push(*traj.first());
+        // A single-point trajectory has first == last as the *same* DTW
+        // matrix cell; indexing it twice would let the filter charge its
+        // distance twice (unsound when the query is also a single point).
+        if traj.len() > 1 {
+            index_points.push(*traj.last());
+        }
+        index_points.extend(pivots.iter().map(|&i| traj.points()[i]));
+        let mbr = traj.mbr();
+        let cells = CellList::compress(&traj, cell_side);
+        IndexedTrajectory {
+            traj,
+            pivots,
+            index_points,
+            mbr,
+            cells,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct TrieNode {
+    /// MBR of the members' indexing point at this node's depth.
+    mbr: Mbr,
+    /// Depth: 1 = first point, 2 = last point, 3.. = pivots.
+    depth: u8,
+    /// Child node indices (empty for leaves).
+    children: Vec<u32>,
+    /// Trajectories stored at this node: all members for leaves, plus any
+    /// member whose indexing-point sequence ends at this depth.
+    members: Vec<u32>,
+    /// Length bounds over every trajectory in this subtree: `max_len` backs
+    /// the LCSS budget rule, the pair backs the EDR length filter
+    /// (`EDR ≥ |m − n|`, Appendix A).
+    max_len: u32,
+    min_len: u32,
+}
+
+/// Filter-funnel statistics of one trie probe: how much work the filter
+/// did and how hard each stage pruned (the paper's "pruning power").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    /// Trie nodes whose level check was evaluated.
+    pub nodes_visited: usize,
+    /// Of those, nodes pruned (subtree skipped).
+    pub nodes_pruned: usize,
+    /// Stored trajectories reaching the exact per-trajectory check.
+    pub members_checked: usize,
+    /// Of those, rejected by the OPAMD / edit-count leaf filter.
+    pub members_rejected: usize,
+}
+
+impl FilterStats {
+    /// Merges another probe's counters into this one.
+    pub fn merge(&mut self, other: &FilterStats) {
+        self.nodes_visited += other.nodes_visited;
+        self.nodes_pruned += other.nodes_pruned;
+        self.members_checked += other.members_checked;
+        self.members_rejected += other.members_rejected;
+    }
+}
+
+/// The local trie index of one partition.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrieIndex {
+    config: TrieConfig,
+    nodes: Vec<TrieNode>,
+    roots: Vec<u32>,
+    data: Vec<IndexedTrajectory>,
+}
+
+impl TrieIndex {
+    /// Builds the index over a partition's trajectories (Algorithm 1's
+    /// `LocalIndex`).
+    pub fn build(trajectories: Vec<Trajectory>, config: TrieConfig) -> Self {
+        let data: Vec<IndexedTrajectory> = trajectories
+            .into_iter()
+            .map(|t| IndexedTrajectory::new(t, config.k, config.strategy, config.cell_side))
+            .collect();
+        let mut index = TrieIndex {
+            config,
+            nodes: Vec::new(),
+            roots: Vec::new(),
+            data,
+        };
+        let all: Vec<usize> = (0..index.data.len()).collect();
+        index.roots = index.build_level(all, 1);
+        index
+    }
+
+    /// Splits `members` on their indexing point at `depth` (1-based) and
+    /// returns the created node ids.
+    fn build_level(&mut self, members: Vec<usize>, depth: usize) -> Vec<u32> {
+        if members.is_empty() {
+            return Vec::new();
+        }
+        let keys: Vec<Point> = members
+            .iter()
+            .map(|&i| self.data[i].index_points[depth - 1])
+            .collect();
+        let local: Vec<usize> = (0..members.len()).collect();
+        let tiles = str_tiles(&keys, local, self.config.nl.min(members.len()));
+        let mut out = Vec::new();
+        for tile in tiles {
+            if tile.is_empty() {
+                continue;
+            }
+            let mbr = Mbr::from_points(tile.iter().map(|&li| &keys[li]));
+            let tile_members: Vec<usize> = tile.iter().map(|&li| members[li]).collect();
+            let max_len = tile_members
+                .iter()
+                .map(|&i| self.data[i].traj.len() as u32)
+                .max()
+                .unwrap_or(0);
+            let min_len = tile_members
+                .iter()
+                .map(|&i| self.data[i].traj.len() as u32)
+                .min()
+                .unwrap_or(0);
+
+            // Members whose indexing points end here stay in this node; the
+            // rest continue to the next level unless the node is small
+            // enough to become a leaf.
+            let deeper: Vec<usize> = tile_members
+                .iter()
+                .copied()
+                .filter(|&i| self.data[i].index_points.len() > depth)
+                .collect();
+            let is_leaf =
+                tile_members.len() <= self.config.leaf_capacity || deeper.is_empty();
+
+            let node_id = self.nodes.len() as u32;
+            self.nodes.push(TrieNode {
+                mbr,
+                depth: depth as u8,
+                children: Vec::new(),
+                members: Vec::new(),
+                max_len,
+                min_len,
+            });
+            if is_leaf {
+                self.nodes[node_id as usize].members =
+                    tile_members.iter().map(|&i| i as u32).collect();
+            } else {
+                let stopped: Vec<u32> = tile_members
+                    .iter()
+                    .copied()
+                    .filter(|&i| self.data[i].index_points.len() <= depth)
+                    .map(|i| i as u32)
+                    .collect();
+                let children = self.build_level(deeper, depth + 1);
+                let node = &mut self.nodes[node_id as usize];
+                node.members = stopped;
+                node.children = children;
+            }
+            out.push(node_id);
+        }
+        out
+    }
+
+    /// The configuration the index was built with.
+    pub fn config(&self) -> &TrieConfig {
+        &self.config
+    }
+
+    /// Number of indexed trajectories.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when no trajectories are indexed.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Access a stored trajectory by local id.
+    pub fn get(&self, id: u32) -> &IndexedTrajectory {
+        &self.data[id as usize]
+    }
+
+    /// All stored trajectories.
+    pub fn data(&self) -> &[IndexedTrajectory] {
+        &self.data
+    }
+
+    /// Approximate heap size in bytes, *excluding* the trajectory point data
+    /// itself (reported separately in the Table 5 experiment).
+    pub fn index_size_bytes(&self) -> usize {
+        let nodes: usize = self
+            .nodes
+            .iter()
+            .map(|n| std::mem::size_of::<TrieNode>() + 4 * (n.children.len() + n.members.len()))
+            .sum();
+        let aux: usize = self
+            .data
+            .iter()
+            .map(|d| {
+                d.pivots.len() * std::mem::size_of::<usize>()
+                    + d.index_points.len() * std::mem::size_of::<Point>()
+                    + std::mem::size_of::<Mbr>()
+                    + d.cells.size_bytes()
+            })
+            .sum();
+        nodes + aux
+    }
+
+    /// Total size including the clustered trajectory data.
+    pub fn size_bytes(&self) -> usize {
+        self.index_size_bytes() + self.data.iter().map(|d| d.traj.size_bytes()).sum::<usize>()
+    }
+
+    /// Edit-family (EDR/LCSS) leaf filter. Both distances are bounded below
+    /// by the number of *shorter-side* points with no admissible partner:
+    ///
+    /// * EDR: every T point (and symmetrically every Q point) without an
+    ///   ϵ-close partner costs one edit.
+    /// * LCSS distance `min(m, n) − L`: every shorter-side point without an
+    ///   (ϵ, δ)-band partner stays unmatched.
+    ///
+    /// When the member is the shorter side its precomputed indexing points
+    /// are checked (band-restricted for LCSS — the paper's "part of the
+    /// query trajectory which fulfills the index constraint"); when the
+    /// query is shorter, its points are scanned with an early exit after
+    /// τ + 1 misses, so dissimilar pairs cost O(τ·δ) or O(τ·m), not a full
+    /// DP.
+    fn edit_family_admits(
+        &self,
+        it: &IndexedTrajectory,
+        q: &[Point],
+        tau: f64,
+        eps: f64,
+        func: &DistanceFunction,
+    ) -> bool {
+        let m = it.traj.len();
+        let n = q.len();
+        let eps_sq = eps * eps;
+        let delta = match func {
+            DistanceFunction::Lcss { delta, .. } => Some(*delta),
+            _ => None,
+        };
+        let lcss = delta.is_some();
+        let cap = tau.floor() as usize;
+
+        // Member-side bound: each indexing point (a distinct T point) with
+        // no admissible partner forces one unmatched T point. Sound for EDR
+        // always; for LCSS only when T is the shorter side.
+        let mut member_misses = 0usize;
+        if !lcss || m <= n {
+            let mut last_pos = usize::MAX;
+            let positions = std::iter::once(0)
+                .chain(std::iter::once(m - 1))
+                .chain(it.pivots.iter().copied());
+            for (pos, p) in positions.zip(it.index_points.iter()) {
+                if pos == last_pos {
+                    continue; // m == 1: first and last are the same point
+                }
+                last_pos = pos;
+                let range = match delta {
+                    // The paper's LCSS adaptation: only the part of the
+                    // query fulfilling the index constraint can match.
+                    Some(d) => pos.saturating_sub(d)..(pos + d + 1).min(n),
+                    None => 0..n,
+                };
+                let close = q[range].iter().any(|qj| p.dist_sq(qj) <= eps_sq);
+                if !close {
+                    member_misses += 1;
+                    if member_misses > cap {
+                        return false;
+                    }
+                }
+            }
+        }
+
+        // Query-side bound: each query point with no admissible partner in
+        // T forces one unmatched Q point (an edit for EDR; an unmatched
+        // shorter-side point for LCSS when Q is shorter). NOT additive with
+        // the member-side count — one substitution covers one point of each
+        // side — so the two bounds are taken independently.
+        if n < m {
+            let tpts = it.traj.points();
+            let mut query_misses = 0usize;
+            for (j, qj) in q.iter().enumerate() {
+                let range = match delta {
+                    Some(d) => j.saturating_sub(d)..(j + d + 1).min(m),
+                    None => 0..m,
+                };
+                let close = tpts[range].iter().any(|tp| tp.dist_sq(qj) <= eps_sq);
+                if !close {
+                    query_misses += 1;
+                    if query_misses > cap {
+                        return false;
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// The filter step (Algorithm 2's `DITA-Search-Filter`): local ids of
+    /// every trajectory that may be within `tau` of `q` under `func`.
+    ///
+    /// Sound: never drops a true answer. The returned candidates still need
+    /// verification.
+    pub fn candidates(&self, q: &[Point], tau: f64, func: &DistanceFunction) -> Vec<u32> {
+        self.candidates_with_stats(q, tau, func).0
+    }
+
+    /// Like [`TrieIndex::candidates`] but also reports the filter funnel.
+    pub fn candidates_with_stats(
+        &self,
+        q: &[Point],
+        tau: f64,
+        func: &DistanceFunction,
+    ) -> (Vec<u32>, FilterStats) {
+        let mut stats = FilterStats::default();
+        let mut out = Vec::new();
+        if q.is_empty() || tau < 0.0 {
+            return (out, stats);
+        }
+        let mode = func.index_mode();
+        if matches!(mode, IndexMode::Scan) {
+            return ((0..self.data.len() as u32).collect(), stats);
+        }
+        let lcss = matches!(func, DistanceFunction::Lcss { .. });
+        let edr = matches!(func, DistanceFunction::Edr { .. });
+        // Stack of nodes that survived their own level check, carrying the
+        // remaining budget and the query-suffix start for their children.
+        let mut stack: Vec<(u32, f64, usize)> = Vec::new();
+        for &r in &self.roots {
+            stats.nodes_visited += 1;
+            if !self.visit(r, q, tau, tau, 0, mode, lcss, edr, &mut stack) {
+                stats.nodes_pruned += 1;
+            }
+        }
+        while let Some((node_id, budget, suffix)) = stack.pop() {
+            let node = &self.nodes[node_id as usize];
+            for &m in &node.members {
+                // Leaf emission runs the exact per-trajectory OPAMD filter
+                // (Lemma 5.1) over the member's own indexing points — the
+                // node MBRs above only bounded groups.
+                stats.members_checked += 1;
+                if edr
+                    && dita_distance::bounds::length_bound_edr(
+                        self.data[m as usize].traj.len(),
+                        q.len(),
+                        tau,
+                    )
+                {
+                    stats.members_rejected += 1;
+                    continue;
+                }
+                if self.opamd_admits(m, q, tau, mode, func) {
+                    out.push(m);
+                } else {
+                    stats.members_rejected += 1;
+                }
+            }
+            for &c in &node.children {
+                stats.nodes_visited += 1;
+                if !self.visit(c, q, tau, budget, suffix, mode, lcss, edr, &mut stack) {
+                    stats.nodes_pruned += 1;
+                }
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        (out, stats)
+    }
+
+    /// The exact ordered-pivot accumulated-minimum-distance test of
+    /// Lemma 5.1, evaluated on one trajectory's own indexing points under
+    /// the function's budget semantics. Sound: `OPAMD ≤ f(T, Q)`.
+    fn opamd_admits(
+        &self,
+        member: u32,
+        q: &[Point],
+        tau: f64,
+        mode: IndexMode,
+        func: &DistanceFunction,
+    ) -> bool {
+        let it = &self.data[member as usize];
+        let pts = &it.index_points;
+        let n = q.len();
+        match mode {
+            IndexMode::Scan => true,
+            IndexMode::Additive => {
+                let mut budget = tau - pts[0].dist(&q[0]);
+                if budget < 0.0 {
+                    return false;
+                }
+                if pts.len() > 1 {
+                    budget -= pts[1].dist(&q[n - 1]);
+                    if budget < 0.0 {
+                        return false;
+                    }
+                }
+                // Ordered suffix scan over the pivots.
+                let mut suffix = 0usize;
+                for p in &pts[2.min(pts.len())..] {
+                    let mut best_sq = f64::INFINITY;
+                    let mut first_ok = None;
+                    let budget_sq = budget * budget;
+                    for (j, qj) in q.iter().enumerate().skip(suffix) {
+                        let d = p.dist_sq(qj);
+                        if d < best_sq {
+                            best_sq = d;
+                        }
+                        if first_ok.is_none() && d <= budget_sq {
+                            first_ok = Some(j);
+                        }
+                        if best_sq == 0.0 && first_ok.is_some() {
+                            break;
+                        }
+                    }
+                    budget -= best_sq.sqrt();
+                    if budget < 0.0 {
+                        return false;
+                    }
+                    suffix = first_ok.unwrap_or(suffix);
+                }
+                true
+            }
+            IndexMode::Max => {
+                if pts[0].dist(&q[0]) > tau {
+                    return false;
+                }
+                if pts.len() > 1 && pts[1].dist(&q[n - 1]) > tau {
+                    return false;
+                }
+                let tau_sq = tau * tau;
+                let mut suffix = 0usize;
+                for p in &pts[2.min(pts.len())..] {
+                    let mut best_sq = f64::INFINITY;
+                    let mut first_ok = None;
+                    for (j, qj) in q.iter().enumerate().skip(suffix) {
+                        let d = p.dist_sq(qj);
+                        if d < best_sq {
+                            best_sq = d;
+                        }
+                        if first_ok.is_none() && d <= tau_sq {
+                            first_ok = Some(j);
+                        }
+                    }
+                    if best_sq > tau_sq {
+                        return false;
+                    }
+                    suffix = first_ok.unwrap_or(suffix);
+                }
+                true
+            }
+            IndexMode::EditCount { eps, .. } => self.edit_family_admits(it, q, tau, eps, func),
+        }
+    }
+
+    /// Evaluates one node against the query; if it survives its level check
+    /// it is pushed with its updated budget and suffix. Returns `false`
+    /// when the subtree was pruned.
+    #[allow(clippy::too_many_arguments)]
+    fn visit(
+        &self,
+        node_id: u32,
+        q: &[Point],
+        tau: f64,
+        budget: f64,
+        suffix: usize,
+        mode: IndexMode,
+        lcss: bool,
+        edr: bool,
+        stack: &mut Vec<(u32, f64, usize)>,
+    ) -> bool {
+        let node = &self.nodes[node_id as usize];
+        let n = q.len();
+        // EDR length filter (Appendix A): every member of this subtree has
+        // length in [min_len, max_len]; prune when |m − n| > τ holds for the
+        // whole interval. Compared against the *original* τ — an edit
+        // already charged for a missed pivot may be the very deletion that
+        // explains the length gap, so the two budgets must not be combined.
+        if edr
+            && (node.min_len as f64 > n as f64 + tau
+                || (node.max_len as f64) < n as f64 - tau)
+        {
+            return false;
+        }
+        // Distance of the query to this node's MBR, per level semantics.
+        let (d, new_suffix) = match (node.depth, mode) {
+            (1, IndexMode::Additive | IndexMode::Max) => {
+                (node.mbr.min_dist_point(&q[0]), suffix)
+            }
+            (2, IndexMode::Additive | IndexMode::Max) => {
+                (node.mbr.min_dist_point(&q[n - 1]), suffix)
+            }
+            (_, IndexMode::EditCount { .. }) => {
+                // Edit-family: any query point may absorb this element.
+                let d = q
+                    .iter()
+                    .map(|p| node.mbr.min_dist_point_sq(p))
+                    .fold(f64::INFINITY, f64::min)
+                    .sqrt();
+                (d, 0)
+            }
+            (_, IndexMode::Scan) => unreachable!("Scan mode never descends the trie"),
+            (_, IndexMode::Additive | IndexMode::Max) => {
+                // Pivot level: ordered-suffix scan (Lemma 5.1). Points of the
+                // suffix that cannot host this pivot within the current
+                // budget can be discarded for the deeper pivots too.
+                let mut best_sq = f64::INFINITY;
+                let mut first_ok = None;
+                let budget_sq = budget * budget;
+                for (j, p) in q.iter().enumerate().skip(suffix) {
+                    let dsq = node.mbr.min_dist_point_sq(p);
+                    if dsq < best_sq {
+                        best_sq = dsq;
+                    }
+                    if first_ok.is_none() && dsq <= budget_sq {
+                        first_ok = Some(j);
+                    }
+                    // The minimum cannot improve further and the suffix
+                    // anchor is fixed: stop scanning.
+                    if best_sq == 0.0 && first_ok.is_some() {
+                        break;
+                    }
+                }
+                (best_sq.sqrt(), first_ok.unwrap_or(suffix))
+            }
+        };
+
+        let new_budget = match mode {
+            IndexMode::Additive => {
+                if d > budget {
+                    return false;
+                }
+                budget - d
+            }
+            IndexMode::Max => {
+                if d > budget {
+                    return false;
+                }
+                budget
+            }
+            IndexMode::Scan => unreachable!("Scan mode never descends the trie"),
+            IndexMode::EditCount { eps, .. } => {
+                if d > eps {
+                    // LCSS only pays for an unmatched T element when the
+                    // trajectory is the shorter side (distance = min(m,n) − L).
+                    let charge = !lcss || (node.max_len as usize) <= n;
+                    if charge {
+                        if budget < 1.0 {
+                            return false;
+                        }
+                        budget - 1.0
+                    } else {
+                        budget
+                    }
+                } else {
+                    budget
+                }
+            }
+        };
+        stack.push((node_id, new_budget, new_suffix));
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    fn fig1_index(nl: usize, k: usize) -> TrieIndex {
+        TrieIndex::build(
+            figure1_trajectories(),
+            TrieConfig {
+                k,
+                nl,
+                leaf_capacity: 0,
+                strategy: PivotStrategy::NeighborDistance,
+                cell_side: 2.0,
+            },
+        )
+    }
+
+    fn ids_of(index: &TrieIndex, cands: &[u32]) -> Vec<u64> {
+        let mut v: Vec<u64> = cands.iter().map(|&c| index.get(c).traj.id).collect();
+        v.sort_unstable();
+        v
+    }
+
+    #[test]
+    fn builds_figure5_shape() {
+        // Figure 5: N_L = 2, K = 2, neighbor pivots. With leaf capacity 0 the
+        // trie descends all K+2 levels, as drawn in the paper.
+        let index = fig1_index(2, 2);
+        assert_eq!(index.len(), 5);
+        assert!(!index.is_empty());
+        assert!(index.index_size_bytes() > 0);
+        assert!(index.size_bytes() > index.index_size_bytes());
+    }
+
+    #[test]
+    fn filter_is_sound_for_dtw() {
+        // Candidates must be a superset of the true answers for any τ.
+        let index = fig1_index(2, 2);
+        let ts = figure1_trajectories();
+        for q in &ts {
+            for tau in [0.5, 1.0, 3.0, 5.0, 10.0] {
+                let cands = ids_of(
+                    &index,
+                    &index.candidates(q.points(), tau, &DistanceFunction::Dtw),
+                );
+                for t in &ts {
+                    let d = dita_distance::dtw(t.points(), q.points());
+                    if d <= tau {
+                        assert!(
+                            cands.contains(&t.id),
+                            "filter dropped T{} (d={d}) for Q=T{} tau={tau}",
+                            t.id,
+                            q.id
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn paper_example_5_2_walkthrough() {
+        // Example 5.2: querying the Figure 5 trie with Q = T4 and τ = 3
+        // yields T4 as the only candidate.
+        let index = fig1_index(2, 2);
+        let ts = figure1_trajectories();
+        let cands = ids_of(
+            &index,
+            &index.candidates(ts[3].points(), 3.0, &DistanceFunction::Dtw),
+        );
+        assert_eq!(cands, vec![4]);
+    }
+
+    #[test]
+    fn example_2_6_candidates_contain_answers() {
+        // Q = T1, τ = 3 → answers {T1, T2} must survive the filter.
+        let index = fig1_index(2, 2);
+        let ts = figure1_trajectories();
+        let cands = ids_of(
+            &index,
+            &index.candidates(ts[0].points(), 3.0, &DistanceFunction::Dtw),
+        );
+        assert!(cands.contains(&1));
+        assert!(cands.contains(&2));
+        // T4/T5 start far from T1's first point and should be pruned.
+        assert!(!cands.contains(&4));
+        assert!(!cands.contains(&5));
+    }
+
+    #[test]
+    fn filter_sound_for_all_functions() {
+        let index = fig1_index(2, 2);
+        let ts = figure1_trajectories();
+        let fns = [
+            DistanceFunction::Dtw,
+            DistanceFunction::Frechet,
+            DistanceFunction::Edr { eps: 1.0 },
+            DistanceFunction::Lcss { eps: 1.0, delta: 2 },
+            DistanceFunction::Erp { gap: (0.0, 0.0) },
+        ];
+        for f in fns {
+            for q in &ts {
+                for tau in [0.0, 1.0, 2.0, 4.0, 8.0] {
+                    let cands = ids_of(&index, &index.candidates(q.points(), tau, &f));
+                    for t in &ts {
+                        let d = f.distance(t.points(), q.points());
+                        if d <= tau {
+                            assert!(
+                                cands.contains(&t.id),
+                                "{f}: dropped T{} (d={d}) for Q=T{} tau={tau}",
+                                t.id,
+                                q.id
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_tau_still_finds_self() {
+        let index = fig1_index(2, 2);
+        let ts = figure1_trajectories();
+        for t in &ts {
+            let cands = ids_of(
+                &index,
+                &index.candidates(t.points(), 0.0, &DistanceFunction::Dtw),
+            );
+            assert!(cands.contains(&t.id));
+        }
+    }
+
+    #[test]
+    fn negative_tau_or_empty_query_yields_nothing() {
+        let index = fig1_index(2, 2);
+        let ts = figure1_trajectories();
+        assert!(index
+            .candidates(ts[0].points(), -1.0, &DistanceFunction::Dtw)
+            .is_empty());
+        assert!(index.candidates(&[], 3.0, &DistanceFunction::Dtw).is_empty());
+    }
+
+    #[test]
+    fn short_trajectories_without_pivots_still_indexed() {
+        // 2-point trajectories have no interior pivots at all.
+        let ts = vec![
+            Trajectory::from_coords(1, &[(0.0, 0.0), (1.0, 0.0)]),
+            Trajectory::from_coords(2, &[(0.1, 0.0), (1.1, 0.0)]),
+            Trajectory::from_coords(3, &[(5.0, 5.0), (6.0, 5.0), (7.0, 5.0), (8.0, 5.0)]),
+        ];
+        let index = TrieIndex::build(
+            ts.clone(),
+            TrieConfig {
+                k: 2,
+                nl: 2,
+                leaf_capacity: 0,
+                strategy: PivotStrategy::NeighborDistance,
+                cell_side: 1.0,
+            },
+        );
+        assert_eq!(index.len(), 3);
+        let q = &ts[0];
+        let cands = ids_of(&index, &index.candidates(q.points(), 1.0, &DistanceFunction::Dtw));
+        assert!(cands.contains(&1));
+        assert!(cands.contains(&2));
+        assert!(!cands.contains(&3));
+    }
+
+    #[test]
+    fn deep_k_matches_shallow_answers() {
+        // Pruning power may differ across K but soundness must not.
+        let ts = figure1_trajectories();
+        for k in [0, 1, 2, 3] {
+            let index = fig1_index(2, k);
+            for q in &ts {
+                let cands = ids_of(
+                    &index,
+                    &index.candidates(q.points(), 3.0, &DistanceFunction::Dtw),
+                );
+                for t in &ts {
+                    if dita_distance::dtw(t.points(), q.points()) <= 3.0 {
+                        assert!(cands.contains(&t.id), "k={k}");
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Property tests for partitioning, the global index and the trie filter.
+//!
+//! The central invariant: no stage of the DITA filter pipeline may drop a
+//! true answer, for any distance function, threshold, or configuration.
+
+use dita_distance::DistanceFunction;
+use dita_index::{str_partitioning, GlobalIndex, PivotStrategy, TrieConfig, TrieIndex};
+use dita_trajectory::{Point, Trajectory};
+use proptest::prelude::*;
+
+fn arb_trajectory(id: u64) -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 1..14)
+        .prop_map(move |coords| Trajectory::from_coords(id, &coords))
+}
+
+fn arb_dataset(n: usize) -> impl Strategy<Value = Vec<Trajectory>> {
+    prop::collection::vec(prop::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 1..14), 2..n)
+        .prop_map(|all| {
+            all.into_iter()
+                .enumerate()
+                .map(|(i, coords)| Trajectory::from_coords(i as u64, &coords))
+                .collect()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partitioning_is_exact_cover(ts in arb_dataset(40), ng in 1usize..6) {
+        let p = str_partitioning(&ts, ng);
+        prop_assert_eq!(p.total_members(), ts.len());
+        let mut seen = vec![false; ts.len()];
+        for part in &p.partitions {
+            for &m in &part.members {
+                prop_assert!(!seen[m]);
+                seen[m] = true;
+                prop_assert!(part.mbr_first.contains_point(ts[m].first()));
+                prop_assert!(part.mbr_last.contains_point(ts[m].last()));
+            }
+        }
+    }
+
+    #[test]
+    fn global_plus_trie_filter_never_drops_answers(
+        ts in arb_dataset(30),
+        q in arb_trajectory(1000),
+        tau in 0.0f64..30.0,
+        ng in 1usize..4,
+        k in 0usize..4,
+        nl in 2usize..6,
+    ) {
+        let parts = str_partitioning(&ts, ng);
+        let global = GlobalIndex::build(&parts);
+        let config = TrieConfig {
+            k,
+            nl,
+            leaf_capacity: 2,
+            strategy: PivotStrategy::NeighborDistance,
+            cell_side: 1.0,
+        };
+        let tries: Vec<TrieIndex> = parts
+            .partitions
+            .iter()
+            .map(|p| {
+                TrieIndex::build(
+                    p.members.iter().map(|&m| ts[m].clone()).collect(),
+                    config,
+                )
+            })
+            .collect();
+
+        for f in [
+            DistanceFunction::Dtw,
+            DistanceFunction::Frechet,
+            DistanceFunction::Edr { eps: 1.0 },
+            DistanceFunction::Lcss { eps: 1.0, delta: 2 },
+        ] {
+            let relevant = global.relevant_partitions(q.first(), q.last(), q.len(), tau, f.index_mode());
+            let mut cands: Vec<u64> = Vec::new();
+            for &pid in &relevant {
+                for c in tries[pid].candidates(q.points(), tau, &f) {
+                    cands.push(tries[pid].get(c).traj.id);
+                }
+            }
+            for t in &ts {
+                let d = f.distance(t.points(), q.points());
+                if d <= tau {
+                    prop_assert!(
+                        cands.contains(&t.id),
+                        "{} dropped id {} (d = {d}, tau = {tau})",
+                        f,
+                        t.id
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trie_stores_every_trajectory(ts in arb_dataset(30), k in 0usize..5, nl in 2usize..8) {
+        let n = ts.len();
+        let index = TrieIndex::build(ts, TrieConfig {
+            k,
+            nl,
+            leaf_capacity: 3,
+            strategy: PivotStrategy::InflectionPoint,
+            cell_side: 0.5,
+        });
+        prop_assert_eq!(index.len(), n);
+        // A query with infinite-ish budget returns everything.
+        let q = [Point::new(0.0, 0.0)];
+        let cands = index.candidates(&q, 1e12, &DistanceFunction::Dtw);
+        prop_assert_eq!(cands.len(), n);
+    }
+}

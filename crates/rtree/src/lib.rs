@@ -1,0 +1,387 @@
+//! An STR-packed R-tree over planar rectangles.
+//!
+//! DITA's global index is "an R-tree for all `MBR_f` and an R-tree for all
+//! `MBR_l` across all partitions" (§4.2.2), queried with
+//! `MinDist(q, MBR) ≤ τ` predicates. The Simba- and DFT-style baselines
+//! (§7.1) are R-tree based too, so the tree lives in its own crate.
+//!
+//! The tree is bulk-loaded with the Sort-Tile-Recursive packing of
+//! Leutenegger et al. (ICDE 1997) — the same algorithm the paper adopts for
+//! partitioning — and stored as a flat arena of nodes for cache-friendly
+//! traversal. It is immutable after construction, which matches every use in
+//! the paper (indexes are built once per dataset).
+
+#![warn(missing_docs)]
+
+use dita_trajectory::{Mbr, Point};
+use serde::{Deserialize, Serialize};
+
+/// Default maximum number of entries per node.
+pub const DEFAULT_NODE_CAPACITY: usize = 16;
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Node {
+    mbr: Mbr,
+    /// Indices into `nodes` for internal nodes, or into `entries` for leaves.
+    children: Vec<u32>,
+    is_leaf: bool,
+}
+
+/// An immutable R-tree mapping rectangles to payload values.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RTree<T> {
+    nodes: Vec<Node>,
+    entries: Vec<(Mbr, T)>,
+    root: Option<u32>,
+}
+
+impl<T> RTree<T> {
+    /// Bulk-loads a tree with [`DEFAULT_NODE_CAPACITY`].
+    pub fn bulk_load(entries: Vec<(Mbr, T)>) -> Self {
+        Self::bulk_load_with_capacity(entries, DEFAULT_NODE_CAPACITY)
+    }
+
+    /// Bulk-loads a tree with the given node capacity using STR packing.
+    ///
+    /// # Panics
+    /// Panics if `capacity < 2`.
+    pub fn bulk_load_with_capacity(entries: Vec<(Mbr, T)>, capacity: usize) -> Self {
+        assert!(capacity >= 2, "node capacity must be at least 2");
+        let mut tree = RTree {
+            nodes: Vec::new(),
+            entries,
+            root: None,
+        };
+        if tree.entries.is_empty() {
+            return tree;
+        }
+
+        // --- STR-pack the leaf level ---
+        let n = tree.entries.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        let leaf_count = n.div_ceil(capacity);
+        let slabs = (leaf_count as f64).sqrt().ceil() as usize;
+        let slab_size = n.div_ceil(slabs);
+        order.sort_by(|&a, &b| {
+            let ca = tree.entries[a as usize].0.center();
+            let cb = tree.entries[b as usize].0.center();
+            ca.x.total_cmp(&cb.x)
+        });
+        let mut level: Vec<u32> = Vec::with_capacity(leaf_count);
+        for slab in order.chunks_mut(slab_size) {
+            slab.sort_by(|&a, &b| {
+                let ca = tree.entries[a as usize].0.center();
+                let cb = tree.entries[b as usize].0.center();
+                ca.y.total_cmp(&cb.y)
+            });
+            for run in slab.chunks(capacity) {
+                let mbr = run
+                    .iter()
+                    .fold(Mbr::EMPTY, |acc, &i| acc.union(&tree.entries[i as usize].0));
+                tree.nodes.push(Node {
+                    mbr,
+                    children: run.to_vec(),
+                    is_leaf: true,
+                });
+                level.push(tree.nodes.len() as u32 - 1);
+            }
+        }
+
+        // --- Pack upper levels until a single root remains ---
+        while level.len() > 1 {
+            let count = level.len().div_ceil(capacity);
+            let slabs = (count as f64).sqrt().ceil() as usize;
+            let slab_size = level.len().div_ceil(slabs);
+            level.sort_by(|&a, &b| {
+                let ca = tree.nodes[a as usize].mbr.center();
+                let cb = tree.nodes[b as usize].mbr.center();
+                ca.x.total_cmp(&cb.x)
+            });
+            let mut next: Vec<u32> = Vec::with_capacity(count);
+            for slab in level.chunks_mut(slab_size) {
+                slab.sort_by(|&a, &b| {
+                    let ca = tree.nodes[a as usize].mbr.center();
+                    let cb = tree.nodes[b as usize].mbr.center();
+                    ca.y.total_cmp(&cb.y)
+                });
+                for run in slab.chunks(capacity) {
+                    let mbr = run
+                        .iter()
+                        .fold(Mbr::EMPTY, |acc, &i| acc.union(&tree.nodes[i as usize].mbr));
+                    tree.nodes.push(Node {
+                        mbr,
+                        children: run.to_vec(),
+                        is_leaf: false,
+                    });
+                    next.push(tree.nodes.len() as u32 - 1);
+                }
+            }
+            level = next;
+        }
+        tree.root = Some(level[0]);
+        tree
+    }
+
+    /// Number of stored entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when the tree holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The bounding rectangle of all entries ([`Mbr::EMPTY`] when empty).
+    pub fn root_mbr(&self) -> Mbr {
+        self.root
+            .map(|r| self.nodes[r as usize].mbr)
+            .unwrap_or(Mbr::EMPTY)
+    }
+
+    /// Calls `visit` for every entry whose rectangle has
+    /// `MinDist(p, mbr) ≤ tau` — the global-index predicate of §5.2.
+    pub fn for_each_within_point<'a>(&'a self, p: &Point, tau: f64, mut visit: impl FnMut(&'a Mbr, &'a T)) {
+        let Some(root) = self.root else { return };
+        let tau_sq = tau * tau;
+        let mut stack = vec![root];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            if node.mbr.min_dist_point_sq(p) > tau_sq {
+                continue;
+            }
+            if node.is_leaf {
+                for &ei in &node.children {
+                    let (mbr, value) = &self.entries[ei as usize];
+                    if mbr.min_dist_point_sq(p) <= tau_sq {
+                        visit(mbr, value);
+                    }
+                }
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+    }
+
+    /// Collects entries within `tau` of `p` (convenience over
+    /// [`RTree::for_each_within_point`]).
+    pub fn within_point(&self, p: &Point, tau: f64) -> Vec<&T> {
+        let mut out = Vec::new();
+        self.for_each_within_point(p, tau, |_, v| out.push(v));
+        out
+    }
+
+    /// Calls `visit` for every entry whose rectangle intersects `query`.
+    pub fn for_each_intersecting<'a>(&'a self, query: &Mbr, mut visit: impl FnMut(&'a Mbr, &'a T)) {
+        let Some(root) = self.root else { return };
+        let mut stack = vec![root];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            if !node.mbr.intersects(query) {
+                continue;
+            }
+            if node.is_leaf {
+                for &ei in &node.children {
+                    let (mbr, value) = &self.entries[ei as usize];
+                    if mbr.intersects(query) {
+                        visit(mbr, value);
+                    }
+                }
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+    }
+
+    /// Calls `visit` for every entry whose rectangle is within `tau` of
+    /// `query` (rectangle-to-rectangle MinDist).
+    pub fn for_each_within_mbr<'a>(&'a self, query: &Mbr, tau: f64, mut visit: impl FnMut(&'a Mbr, &'a T)) {
+        let Some(root) = self.root else { return };
+        let tau_sq = tau * tau;
+        let mut stack = vec![root];
+        while let Some(ni) = stack.pop() {
+            let node = &self.nodes[ni as usize];
+            if node.mbr.min_dist_mbr_sq(query) > tau_sq {
+                continue;
+            }
+            if node.is_leaf {
+                for &ei in &node.children {
+                    let (mbr, value) = &self.entries[ei as usize];
+                    if mbr.min_dist_mbr_sq(query) <= tau_sq {
+                        visit(mbr, value);
+                    }
+                }
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+    }
+
+    /// Approximate heap size in bytes, for the index-size experiments
+    /// (Tables 5 and 7).
+    pub fn size_bytes(&self) -> usize {
+        let node_bytes: usize = self
+            .nodes
+            .iter()
+            .map(|n| std::mem::size_of::<Node>() + n.children.len() * 4)
+            .sum();
+        node_bytes + self.entries.len() * std::mem::size_of::<(Mbr, T)>()
+    }
+
+    /// Tree height (0 for an empty tree, 1 for a single leaf).
+    pub fn height(&self) -> usize {
+        let Some(mut ni) = self.root else { return 0 };
+        let mut h = 1;
+        while !self.nodes[ni as usize].is_leaf {
+            ni = self.nodes[ni as usize].children[0];
+            h += 1;
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid_entries(n: usize) -> Vec<(Mbr, usize)> {
+        (0..n)
+            .map(|i| {
+                let x = (i % 10) as f64;
+                let y = (i / 10) as f64;
+                (Mbr::from_point(Point::new(x, y)), i)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t: RTree<usize> = RTree::bulk_load(vec![]);
+        assert!(t.is_empty());
+        assert_eq!(t.height(), 0);
+        assert!(t.within_point(&Point::new(0.0, 0.0), 10.0).is_empty());
+        assert!(t.root_mbr().is_empty());
+    }
+
+    #[test]
+    fn single_entry() {
+        let t = RTree::bulk_load(vec![(Mbr::from_point(Point::new(1.0, 1.0)), 42u32)]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.height(), 1);
+        assert_eq!(t.within_point(&Point::new(1.5, 1.0), 1.0), vec![&42]);
+        assert!(t.within_point(&Point::new(5.0, 5.0), 1.0).is_empty());
+    }
+
+    #[test]
+    fn within_point_matches_linear_scan() {
+        let entries = grid_entries(100);
+        let t = RTree::bulk_load_with_capacity(entries.clone(), 4);
+        for (p, tau) in [
+            (Point::new(4.5, 4.5), 1.0),
+            (Point::new(0.0, 0.0), 2.5),
+            (Point::new(9.0, 9.0), 0.0),
+            (Point::new(-5.0, -5.0), 3.0),
+            (Point::new(5.0, 5.0), 100.0),
+        ] {
+            let mut expect: Vec<usize> = entries
+                .iter()
+                .filter(|(m, _)| m.min_dist_point(&p) <= tau)
+                .map(|&(_, v)| v)
+                .collect();
+            let mut got: Vec<usize> = t.within_point(&p, tau).into_iter().copied().collect();
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expect, "p={p} tau={tau}");
+        }
+    }
+
+    #[test]
+    fn intersecting_matches_linear_scan() {
+        let entries: Vec<(Mbr, usize)> = (0..60)
+            .map(|i| {
+                let x = (i % 8) as f64;
+                let y = (i / 8) as f64;
+                (Mbr::new(Point::new(x, y), Point::new(x + 1.5, y + 0.5)), i)
+            })
+            .collect();
+        let t = RTree::bulk_load_with_capacity(entries.clone(), 5);
+        let q = Mbr::new(Point::new(2.0, 1.0), Point::new(4.0, 3.0));
+        let mut expect: Vec<usize> = entries
+            .iter()
+            .filter(|(m, _)| m.intersects(&q))
+            .map(|&(_, v)| v)
+            .collect();
+        let mut got = Vec::new();
+        t.for_each_intersecting(&q, |_, &v| got.push(v));
+        expect.sort_unstable();
+        got.sort_unstable();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn within_mbr_matches_linear_scan() {
+        let entries = grid_entries(100);
+        let t = RTree::bulk_load_with_capacity(entries.clone(), 4);
+        let q = Mbr::new(Point::new(3.0, 3.0), Point::new(4.0, 4.0));
+        for tau in [0.0, 1.0, 2.5] {
+            let mut expect: Vec<usize> = entries
+                .iter()
+                .filter(|(m, _)| m.min_dist_mbr(&q) <= tau)
+                .map(|&(_, v)| v)
+                .collect();
+            let mut got = Vec::new();
+            t.for_each_within_mbr(&q, tau, |_, &v| got.push(v));
+            expect.sort_unstable();
+            got.sort_unstable();
+            assert_eq!(got, expect, "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn node_mbrs_cover_children() {
+        let t = RTree::bulk_load_with_capacity(grid_entries(97), 4);
+        for node in &t.nodes {
+            if node.is_leaf {
+                for &ei in &node.children {
+                    assert!(node.mbr.covers(&t.entries[ei as usize].0));
+                }
+            } else {
+                for &ci in &node.children {
+                    assert!(node.mbr.covers(&t.nodes[ci as usize].mbr));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_entry_reachable_exactly_once() {
+        let t = RTree::bulk_load_with_capacity(grid_entries(97), 4);
+        let mut seen = vec![0u32; 97];
+        let mut stack = vec![t.root.unwrap()];
+        while let Some(ni) = stack.pop() {
+            let node = &t.nodes[ni as usize];
+            if node.is_leaf {
+                for &ei in &node.children {
+                    seen[t.entries[ei as usize].1] += 1;
+                }
+            } else {
+                stack.extend_from_slice(&node.children);
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn height_grows_logarithmically() {
+        let t = RTree::bulk_load_with_capacity(grid_entries(100), 4);
+        // 100 entries at capacity 4: 25 leaves → ~7 → 2 → 1: height 3..=5.
+        assert!(t.height() >= 3 && t.height() <= 5, "h = {}", t.height());
+        assert!(t.size_bytes() > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn tiny_capacity_rejected() {
+        let _ = RTree::bulk_load_with_capacity(grid_entries(4), 1);
+    }
+}

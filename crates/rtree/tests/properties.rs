@@ -1,0 +1,92 @@
+//! Property tests: R-tree queries always agree with a linear scan.
+
+use dita_rtree::RTree;
+use dita_trajectory::{Mbr, Point};
+use proptest::prelude::*;
+
+fn arb_mbr() -> impl Strategy<Value = Mbr> {
+    (
+        -100.0f64..100.0,
+        -100.0f64..100.0,
+        0.0f64..20.0,
+        0.0f64..20.0,
+    )
+        .prop_map(|(x, y, w, h)| Mbr::new(Point::new(x, y), Point::new(x + w, y + h)))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn within_point_equals_scan(
+        entries in prop::collection::vec(arb_mbr(), 0..200),
+        px in -120.0f64..120.0,
+        py in -120.0f64..120.0,
+        tau in 0.0f64..50.0,
+        cap in 2usize..12,
+    ) {
+        let tagged: Vec<(Mbr, usize)> = entries.iter().cloned().zip(0..).collect();
+        let tree = RTree::bulk_load_with_capacity(tagged.clone(), cap);
+        let p = Point::new(px, py);
+        let mut expect: Vec<usize> = tagged
+            .iter()
+            .filter(|(m, _)| m.min_dist_point(&p) <= tau)
+            .map(|&(_, v)| v)
+            .collect();
+        let mut got: Vec<usize> = tree.within_point(&p, tau).into_iter().copied().collect();
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn intersect_equals_scan(
+        entries in prop::collection::vec(arb_mbr(), 0..200),
+        q in arb_mbr(),
+        cap in 2usize..12,
+    ) {
+        let tagged: Vec<(Mbr, usize)> = entries.iter().cloned().zip(0..).collect();
+        let tree = RTree::bulk_load_with_capacity(tagged.clone(), cap);
+        let mut expect: Vec<usize> = tagged
+            .iter()
+            .filter(|(m, _)| m.intersects(&q))
+            .map(|&(_, v)| v)
+            .collect();
+        let mut got = Vec::new();
+        tree.for_each_intersecting(&q, |_, &v| got.push(v));
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn within_mbr_equals_scan(
+        entries in prop::collection::vec(arb_mbr(), 0..150),
+        q in arb_mbr(),
+        tau in 0.0f64..40.0,
+        cap in 2usize..12,
+    ) {
+        let tagged: Vec<(Mbr, usize)> = entries.iter().cloned().zip(0..).collect();
+        let tree = RTree::bulk_load_with_capacity(tagged.clone(), cap);
+        let mut expect: Vec<usize> = tagged
+            .iter()
+            .filter(|(m, _)| m.min_dist_mbr(&q) <= tau)
+            .map(|&(_, v)| v)
+            .collect();
+        let mut got = Vec::new();
+        tree.for_each_within_mbr(&q, tau, |_, &v| got.push(v));
+        expect.sort_unstable();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn root_mbr_covers_everything(entries in prop::collection::vec(arb_mbr(), 1..100)) {
+        let tagged: Vec<(Mbr, usize)> = entries.iter().cloned().zip(0..).collect();
+        let tree = RTree::bulk_load(tagged);
+        let root = tree.root_mbr();
+        for m in &entries {
+            prop_assert!(root.covers(m));
+        }
+    }
+}

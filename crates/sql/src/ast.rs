@@ -1,0 +1,116 @@
+//! The abstract syntax of the extended trajectory SQL (§3).
+
+use dita_distance::DistanceFunction;
+
+/// A numeric expression for the threshold: literals combined with `+`, `-`
+/// and `*`, folded to a constant at planning time (the paper's "constant
+/// folding" rule-based optimization).
+#[derive(Debug, Clone, PartialEq)]
+pub enum NumExpr {
+    /// A literal.
+    Lit(f64),
+    /// Addition.
+    Add(Box<NumExpr>, Box<NumExpr>),
+    /// Subtraction.
+    Sub(Box<NumExpr>, Box<NumExpr>),
+    /// Multiplication.
+    Mul(Box<NumExpr>, Box<NumExpr>),
+}
+
+impl NumExpr {
+    /// Folds the expression to a constant.
+    pub fn fold(&self) -> f64 {
+        match self {
+            NumExpr::Lit(v) => *v,
+            NumExpr::Add(a, b) => a.fold() + b.fold(),
+            NumExpr::Sub(a, b) => a.fold() - b.fold(),
+            NumExpr::Mul(a, b) => a.fold() * b.fold(),
+        }
+    }
+}
+
+/// The second argument of a similarity predicate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum QueryArg {
+    /// A trajectory literal: `TRAJECTORY((x, y), ...)`.
+    Literal(Vec<(f64, f64)>),
+    /// A table reference (the join case).
+    Table(String),
+}
+
+/// A similarity predicate `f(T, Q) <= τ`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimilarityPredicate {
+    /// The distance function.
+    pub func: DistanceFunction,
+    /// Left table name (as written in the predicate).
+    pub left: String,
+    /// The query argument: literal trajectory or right table.
+    pub query: QueryArg,
+    /// The threshold expression.
+    pub threshold: NumExpr,
+}
+
+/// A parsed statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `SELECT * FROM t [WHERE f(t, TRAJECTORY(...)) <= τ]`.
+    Select {
+        /// The scanned table.
+        table: String,
+        /// Optional similarity predicate.
+        predicate: Option<SimilarityPredicate>,
+    },
+    /// `SELECT * FROM t ORDER BY f(t, TRAJECTORY(...)) LIMIT k` — kNN.
+    Knn {
+        /// The scanned table.
+        table: String,
+        /// Distance function.
+        func: dita_distance::DistanceFunction,
+        /// The query trajectory literal.
+        query: Vec<(f64, f64)>,
+        /// Number of neighbors.
+        k: usize,
+    },
+    /// `SELECT * FROM t TRA-JOIN q ON f(t, q) <= τ`.
+    TraJoin {
+        /// Left table.
+        left: String,
+        /// Right table.
+        right: String,
+        /// The join predicate.
+        predicate: SimilarityPredicate,
+    },
+    /// `CREATE INDEX name ON t USE TRIE`.
+    CreateIndex {
+        /// Index name (informational).
+        name: String,
+        /// The table to index.
+        table: String,
+    },
+    /// `SHOW TABLES`.
+    ShowTables,
+    /// `EXPLAIN <statement>`: show the physical plan without executing.
+    Explain(Box<Statement>),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numexpr_folding() {
+        // 0.001 * 5 + 0.0005 - 0.0005 = 0.005
+        let e = NumExpr::Sub(
+            Box::new(NumExpr::Add(
+                Box::new(NumExpr::Mul(
+                    Box::new(NumExpr::Lit(0.001)),
+                    Box::new(NumExpr::Lit(5.0)),
+                )),
+                Box::new(NumExpr::Lit(0.0005)),
+            )),
+            Box::new(NumExpr::Lit(0.0005)),
+        );
+        assert!((e.fold() - 0.005).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,380 @@
+//! The query engine: catalog + plan execution.
+
+use crate::error::SqlError;
+use crate::parser::parse;
+use crate::plan::{logical_plan, physical_plan, PhysicalPlan};
+use dita_cluster::Cluster;
+use dita_core::{join, knn_search, search, DitaConfig, DitaSystem, JoinOptions};
+use dita_distance::DistanceFunction;
+use dita_trajectory::{Dataset, Point, Trajectory, TrajectoryId};
+use std::collections::BTreeMap;
+
+/// The result of executing a statement.
+#[derive(Debug)]
+pub enum QueryResult {
+    /// Full-scan rows.
+    Rows(Vec<Trajectory>),
+    /// Similarity search hits `(id, distance)`.
+    SearchHits(Vec<(TrajectoryId, f64)>),
+    /// Similarity join pairs `(left id, right id, distance)`.
+    JoinPairs(Vec<(TrajectoryId, TrajectoryId, f64)>),
+    /// DDL acknowledgement.
+    Ack(String),
+    /// `SHOW TABLES` output.
+    TableNames(Vec<String>),
+    /// `EXPLAIN` output: the physical plan description.
+    Plan(String),
+}
+
+struct TableEntry {
+    dataset: Dataset,
+    system: Option<DitaSystem>,
+}
+
+/// A SQL engine over a simulated cluster.
+///
+/// Tables are registered programmatically (the stand-in for Spark's data
+/// sources), then queried through [`Engine::execute`] or the
+/// [`crate::DataFrame`] API.
+pub struct Engine {
+    cluster: Cluster,
+    config: DitaConfig,
+    tables: BTreeMap<String, TableEntry>,
+}
+
+impl Engine {
+    /// Creates an engine; `config` governs indexes built by this engine.
+    pub fn new(cluster: Cluster, config: DitaConfig) -> Self {
+        Engine {
+            cluster,
+            config,
+            tables: BTreeMap::new(),
+        }
+    }
+
+    /// Registers a dataset as a table.
+    pub fn register(&mut self, name: &str, dataset: Dataset) -> Result<(), SqlError> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(SqlError::DuplicateTable { name: name.into() });
+        }
+        self.tables.insert(
+            key,
+            TableEntry {
+                dataset,
+                system: None,
+            },
+        );
+        Ok(())
+    }
+
+    /// Registered table names.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    /// Whether a table currently has a trie index.
+    pub fn is_indexed(&self, name: &str) -> bool {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .is_some_and(|t| t.system.is_some())
+    }
+
+    /// The trie-indexed system of a table, if one has been built.
+    pub fn system(&self, name: &str) -> Option<&DitaSystem> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .and_then(|t| t.system.as_ref())
+    }
+
+    /// The registered dataset of a table.
+    pub fn dataset(&self, name: &str) -> Result<&Dataset, SqlError> {
+        self.entry(name).map(|e| &e.dataset)
+    }
+
+    fn entry(&self, name: &str) -> Result<&TableEntry, SqlError> {
+        self.tables
+            .get(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::UnknownTable { name: name.into() })
+    }
+
+    /// Builds (or reuses) the trie index of a table and returns it.
+    pub fn ensure_index(&mut self, name: &str) -> Result<&DitaSystem, SqlError> {
+        let key = name.to_ascii_lowercase();
+        if !self.tables.contains_key(&key) {
+            return Err(SqlError::UnknownTable { name: name.into() });
+        }
+        let entry = self.tables.get_mut(&key).expect("checked above");
+        if entry.system.is_none() {
+            entry.system = Some(DitaSystem::build(
+                &entry.dataset,
+                self.config,
+                self.cluster.clone(),
+            ));
+        }
+        Ok(entry.system.as_ref().expect("just built"))
+    }
+
+    /// Returns the EXPLAIN string for a statement without executing it.
+    pub fn explain(&self, sql: &str) -> Result<String, SqlError> {
+        let stmt = parse(sql)?;
+        let lp = logical_plan(stmt)?;
+        let pp = physical_plan(lp, |t| self.is_indexed(t));
+        Ok(pp.describe())
+    }
+
+    /// Parses, plans and executes one statement.
+    pub fn execute(&mut self, sql: &str) -> Result<QueryResult, SqlError> {
+        let stmt = parse(sql)?;
+        let lp = logical_plan(stmt)?;
+        let pp = physical_plan(lp, |t| self.is_indexed(t));
+        match pp {
+            PhysicalPlan::FullScan { table } => {
+                let entry = self.entry(&table)?;
+                Ok(QueryResult::Rows(entry.dataset.trajectories().to_vec()))
+            }
+            PhysicalPlan::IndexSearch {
+                table,
+                func,
+                query,
+                tau,
+            } => {
+                let entry = self.entry(&table)?;
+                let system = entry.system.as_ref().expect("planner checked the index");
+                let (hits, _) = search(system, &query, tau, &func);
+                Ok(QueryResult::SearchHits(hits))
+            }
+            PhysicalPlan::ScanSearch {
+                table,
+                func,
+                query,
+                tau,
+            } => {
+                let entry = self.entry(&table)?;
+                Ok(QueryResult::SearchHits(scan_search(
+                    entry.dataset.trajectories(),
+                    &query,
+                    tau,
+                    &func,
+                )))
+            }
+            PhysicalPlan::IndexKnn {
+                table,
+                func,
+                query,
+                k,
+            } => {
+                self.ensure_index(&table)?;
+                let system = self.entry(&table)?.system.as_ref().expect("built");
+                let (hits, _) = knn_search(system, &query, k, &func);
+                Ok(QueryResult::SearchHits(hits))
+            }
+            PhysicalPlan::IndexJoin {
+                left,
+                right,
+                func,
+                tau,
+            } => {
+                self.entry(&left)?;
+                self.entry(&right)?;
+                self.ensure_index(&left)?;
+                self.ensure_index(&right)?;
+                let lsys = self.entry(&left)?.system.as_ref().expect("built");
+                let rsys = self.entry(&right)?.system.as_ref().expect("built");
+                let (pairs, _) = join(lsys, rsys, tau, &func, &JoinOptions::default());
+                Ok(QueryResult::JoinPairs(pairs))
+            }
+            PhysicalPlan::BuildIndex { table } => {
+                self.ensure_index(&table)?;
+                Ok(QueryResult::Ack(format!("trie index built on {table}")))
+            }
+            PhysicalPlan::ListTables => Ok(QueryResult::TableNames(self.table_names())),
+            PhysicalPlan::Explain(inner) => Ok(QueryResult::Plan(inner.describe())),
+        }
+    }
+}
+
+/// Index-free search fallback: verify every trajectory.
+fn scan_search(
+    trajectories: &[Trajectory],
+    q: &[Point],
+    tau: f64,
+    func: &DistanceFunction,
+) -> Vec<(TrajectoryId, f64)> {
+    let mut hits: Vec<(TrajectoryId, f64)> = trajectories
+        .iter()
+        .filter_map(|t| func.verify(t.points(), q, tau).map(|d| (t.id, d)))
+        .collect();
+    hits.sort_by_key(|&(id, _)| id);
+    hits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_cluster::ClusterConfig;
+    use dita_index::{PivotStrategy, TrieConfig};
+    use dita_trajectory::trajectory::figure1_trajectories;
+
+    fn engine() -> Engine {
+        let mut e = Engine::new(
+            Cluster::new(ClusterConfig::with_workers(2)),
+            DitaConfig {
+                ng: 2,
+                trie: TrieConfig {
+                    k: 2,
+                    nl: 2,
+                    leaf_capacity: 0,
+                    strategy: PivotStrategy::NeighborDistance,
+                    cell_side: 2.0,
+                },
+            },
+        );
+        e.register("taxi", Dataset::new("fig1", figure1_trajectories()).unwrap())
+            .unwrap();
+        e
+    }
+
+    #[test]
+    fn full_lifecycle() {
+        let mut e = engine();
+        // SHOW TABLES.
+        match e.execute("SHOW TABLES").unwrap() {
+            QueryResult::TableNames(names) => assert_eq!(names, vec!["taxi"]),
+            other => panic!("{other:?}"),
+        }
+        // Unindexed search falls back to scanning.
+        assert!(e.explain("SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((1,1))) <= 1")
+            .unwrap()
+            .contains("ScanSearch"));
+        // Build the index.
+        match e.execute("CREATE INDEX trie_idx ON taxi USE TRIE").unwrap() {
+            QueryResult::Ack(msg) => assert!(msg.contains("taxi")),
+            other => panic!("{other:?}"),
+        }
+        assert!(e.is_indexed("taxi"));
+        assert!(e
+            .explain("SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((1,1))) <= 1")
+            .unwrap()
+            .contains("IndexSearch"));
+    }
+
+    #[test]
+    fn sql_search_matches_example_2_6() {
+        let mut e = engine();
+        e.execute("CREATE INDEX i ON taxi USE TRIE").unwrap();
+        // Q = T1, τ = 3.
+        let sql = "SELECT * FROM taxi WHERE DTW(taxi, \
+                   TRAJECTORY((1,1),(1,2),(3,2),(4,4),(4,5),(5,5))) <= 3";
+        match e.execute(sql).unwrap() {
+            QueryResult::SearchHits(hits) => {
+                let ids: Vec<u64> = hits.iter().map(|&(i, _)| i).collect();
+                assert_eq!(ids, vec![1, 2]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scan_and_index_search_agree() {
+        let mut e = engine();
+        let sql = "SELECT * FROM taxi WHERE FRECHET(taxi, \
+                   TRAJECTORY((1,1),(1,2),(3,2),(4,4),(4,5),(5,5))) <= 1.5";
+        let scan = match e.execute(sql).unwrap() {
+            QueryResult::SearchHits(h) => h,
+            other => panic!("{other:?}"),
+        };
+        e.execute("CREATE INDEX i ON taxi USE TRIE").unwrap();
+        let indexed = match e.execute(sql).unwrap() {
+            QueryResult::SearchHits(h) => h,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(scan, indexed);
+    }
+
+    #[test]
+    fn sql_join_matches_ground_truth() {
+        let mut e = engine();
+        e.register("taxi2", Dataset::new("fig1b", figure1_trajectories()).unwrap())
+            .unwrap();
+        let pairs = match e
+            .execute("SELECT * FROM taxi TRA-JOIN taxi2 ON DTW(taxi, taxi2) <= 3")
+            .unwrap()
+        {
+            QueryResult::JoinPairs(p) => p,
+            other => panic!("{other:?}"),
+        };
+        let ts = figure1_trajectories();
+        let mut expect = Vec::new();
+        for a in &ts {
+            for b in &ts {
+                if dita_distance::dtw(a.points(), b.points()) <= 3.0 {
+                    expect.push((a.id, b.id));
+                }
+            }
+        }
+        expect.sort_unstable();
+        let got: Vec<(u64, u64)> = pairs.iter().map(|&(a, b, _)| (a, b)).collect();
+        assert_eq!(got, expect);
+        // Joins build indexes as a side effect (§6.1).
+        assert!(e.is_indexed("taxi"));
+        assert!(e.is_indexed("taxi2"));
+    }
+
+    #[test]
+    fn sql_knn_returns_k_nearest() {
+        let mut e = engine();
+        let sql = "SELECT * FROM taxi ORDER BY \
+                   DTW(taxi, TRAJECTORY((1,1),(1,2),(3,2),(4,4),(4,5),(5,5))) LIMIT 3";
+        match e.execute(sql).unwrap() {
+            QueryResult::SearchHits(hits) => {
+                let ids: Vec<u64> = hits.iter().map(|&(i, _)| i).collect();
+                // T1 itself, then T2 (DTW 2.83), then T3 (DTW 5.41).
+                assert_eq!(ids, vec![1, 2, 3]);
+                assert!(hits[0].1 <= hits[1].1 && hits[1].1 <= hits[2].1);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(e
+            .explain("SELECT * FROM taxi ORDER BY DTW(taxi, TRAJECTORY((0,0))) LIMIT 2")
+            .unwrap()
+            .contains("IndexKnn"));
+    }
+
+    #[test]
+    fn explain_statement_reports_plan_without_executing() {
+        let mut e = engine();
+        match e
+            .execute("EXPLAIN SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((1,1))) <= 1")
+            .unwrap()
+        {
+            QueryResult::Plan(p) => assert!(p.contains("ScanSearch"), "{p}"),
+            other => panic!("{other:?}"),
+        }
+        // EXPLAIN must not build indexes as a side effect.
+        assert!(!e.is_indexed("taxi"));
+    }
+
+    #[test]
+    fn plain_select_returns_all_rows() {
+        let mut e = engine();
+        match e.execute("SELECT * FROM taxi").unwrap() {
+            QueryResult::Rows(rows) => assert_eq!(rows.len(), 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn errors_surface() {
+        let mut e = engine();
+        assert!(matches!(
+            e.execute("SELECT * FROM nope").unwrap_err(),
+            SqlError::UnknownTable { .. }
+        ));
+        assert!(matches!(
+            e.register("taxi", Dataset::new("x", vec![]).unwrap()),
+            Err(SqlError::DuplicateTable { .. })
+        ));
+        assert!(e.execute("DELETE FROM taxi").is_err());
+    }
+}

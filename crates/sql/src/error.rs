@@ -1,0 +1,67 @@
+//! SQL front-end errors.
+
+use std::fmt;
+
+/// Errors raised while lexing, parsing, planning or executing a statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// The lexer met a character it cannot tokenize.
+    Lex {
+        /// Byte offset of the offending character.
+        position: usize,
+        /// The character.
+        found: char,
+    },
+    /// The parser met an unexpected token.
+    Parse {
+        /// Human-readable description.
+        message: String,
+    },
+    /// A referenced table does not exist.
+    UnknownTable {
+        /// The missing table name.
+        name: String,
+    },
+    /// A table with this name is already registered.
+    DuplicateTable {
+        /// The duplicated name.
+        name: String,
+    },
+    /// The statement is valid but unsupported by this engine.
+    Unsupported {
+        /// What was attempted.
+        message: String,
+    },
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Lex { position, found } => {
+                write!(f, "unexpected character {found:?} at byte {position}")
+            }
+            SqlError::Parse { message } => write!(f, "parse error: {message}"),
+            SqlError::UnknownTable { name } => write!(f, "unknown table {name:?}"),
+            SqlError::DuplicateTable { name } => write!(f, "table {name:?} already exists"),
+            SqlError::Unsupported { message } => write!(f, "unsupported: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(SqlError::Lex { position: 3, found: '@' }.to_string().contains("'@'"));
+        assert!(SqlError::Parse { message: "boom".into() }.to_string().contains("boom"));
+        assert!(SqlError::UnknownTable { name: "t".into() }.to_string().contains("\"t\""));
+        assert!(SqlError::DuplicateTable { name: "t".into() }
+            .to_string()
+            .contains("already"));
+        assert!(SqlError::Unsupported { message: "x".into() }.to_string().contains("x"));
+    }
+}

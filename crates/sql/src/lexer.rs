@@ -1,0 +1,201 @@
+//! A hand-written tokenizer for the extended trajectory SQL.
+
+use crate::error::SqlError;
+
+/// One token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (stored as written; keyword matching is
+    /// case-insensitive at the parser level).
+    Ident(String),
+    /// Numeric literal.
+    Number(f64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `*`
+    Star,
+    /// `.`
+    Dot,
+    /// `;`
+    Semicolon,
+    /// `<=`
+    Le,
+    /// `<`
+    Lt,
+    /// `=`
+    Eq,
+    /// `-`
+    Minus,
+    /// `+`
+    Plus,
+}
+
+/// Tokenizes `input`, skipping whitespace and `--` line comments.
+pub fn tokenize(input: &str) -> Result<Vec<Token>, SqlError> {
+    let mut out = Vec::new();
+    let bytes = input.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' | '\r' | '\n' => i += 1,
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '.' => {
+                out.push(Token::Dot);
+                i += 1;
+            }
+            ';' => {
+                out.push(Token::Semicolon);
+                i += 1;
+            }
+            '=' => {
+                out.push(Token::Eq);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '<' => {
+                if bytes.get(i + 1) == Some(&b'=') {
+                    out.push(Token::Le);
+                    i += 2;
+                } else {
+                    out.push(Token::Lt);
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    // Line comment.
+                    while i < bytes.len() && bytes[i] != b'\n' {
+                        i += 1;
+                    }
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                while i < bytes.len()
+                    && (bytes[i].is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'-' || bytes[i] == b'+')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                let text = &input[start..i];
+                let n: f64 = text.parse().map_err(|_| SqlError::Parse {
+                    message: format!("invalid number {text:?}"),
+                })?;
+                out.push(Token::Number(n));
+            }
+            'a'..='z' | 'A'..='Z' | '_' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                {
+                    i += 1;
+                }
+                out.push(Token::Ident(input[start..i].to_string()));
+            }
+            other => {
+                return Err(SqlError::Lex {
+                    position: i,
+                    found: other,
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_search_query() {
+        let toks =
+            tokenize("SELECT * FROM t WHERE DTW(t, TRAJECTORY((1,2),(3.5,4))) <= 0.005").unwrap();
+        assert_eq!(toks[0], Token::Ident("SELECT".into()));
+        assert_eq!(toks[1], Token::Star);
+        assert!(toks.contains(&Token::Le));
+        assert!(toks.contains(&Token::Number(3.5)));
+        assert!(toks.contains(&Token::Number(0.005)));
+    }
+
+    #[test]
+    fn tokenizes_tra_join() {
+        let toks = tokenize("t TRA-JOIN q ON").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::Ident("t".into()),
+                Token::Ident("TRA".into()),
+                Token::Minus,
+                Token::Ident("JOIN".into()),
+                Token::Ident("q".into()),
+                Token::Ident("ON".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_numbers_are_minus_then_number() {
+        let toks = tokenize("(-1.5, 2)").unwrap();
+        assert_eq!(
+            toks,
+            vec![
+                Token::LParen,
+                Token::Minus,
+                Token::Number(1.5),
+                Token::Comma,
+                Token::Number(2.0),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn scientific_notation() {
+        let toks = tokenize("1e-4 2.5E+2").unwrap();
+        assert_eq!(toks, vec![Token::Number(1e-4), Token::Number(250.0)]);
+    }
+
+    #[test]
+    fn comments_skipped() {
+        let toks = tokenize("SELECT -- everything\n*").unwrap();
+        assert_eq!(toks, vec![Token::Ident("SELECT".into()), Token::Star]);
+    }
+
+    #[test]
+    fn bad_character_reported_with_position() {
+        let err = tokenize("SELECT @").unwrap_err();
+        assert_eq!(err, SqlError::Lex { position: 7, found: '@' });
+    }
+}

@@ -1,0 +1,36 @@
+//! SQL and DataFrame front-ends for DITA (§3).
+//!
+//! The paper integrates DITA into Spark SQL, adding three constructs; this
+//! crate provides the same surface over the Rust engine:
+//!
+//! ```sql
+//! -- similarity search (Q is a trajectory literal)
+//! SELECT * FROM t WHERE DTW(t, TRAJECTORY((1,1),(2,2))) <= 0.005;
+//! -- similarity join
+//! SELECT * FROM t TRA-JOIN q ON DTW(t, q) <= 0.005;
+//! -- index creation
+//! CREATE INDEX trie_idx ON t USE TRIE;
+//! ```
+//!
+//! Queries flow through the same stages as §3's "Query Processing": SQL →
+//! logical plan → rule-based rewrites (constant folding of the threshold
+//! expression) → a cost-based physical choice (index scan when a trie index
+//! exists, full scan otherwise) → execution on the cluster.
+//!
+//! The [`DataFrame`] API offers the equivalent programmatic interface.
+
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod dataframe;
+pub mod engine;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod plan;
+
+pub use ast::Statement;
+pub use dataframe::DataFrame;
+pub use engine::{Engine, QueryResult};
+pub use error::SqlError;
+pub use plan::{LogicalPlan, PhysicalPlan};

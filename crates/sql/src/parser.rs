@@ -1,0 +1,401 @@
+//! Recursive-descent parser for the extended trajectory SQL.
+
+use crate::ast::{NumExpr, QueryArg, SimilarityPredicate, Statement};
+use crate::error::SqlError;
+use crate::lexer::{tokenize, Token};
+use dita_distance::DistanceFunction;
+
+/// Parses one statement (a trailing semicolon is allowed).
+pub fn parse(sql: &str) -> Result<Statement, SqlError> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let stmt = p.statement()?;
+    p.eat_if(&Token::Semicolon);
+    if !p.at_end() {
+        return Err(p.err("trailing tokens after statement"));
+    }
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn err(&self, message: &str) -> SqlError {
+        SqlError::Parse {
+            message: format!("{message} (at token {})", self.pos),
+        }
+    }
+
+    fn eat_if(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Token, what: &str) -> Result<(), SqlError> {
+        if self.eat_if(t) {
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected {what}")))
+        }
+    }
+
+    /// Consumes a keyword (case-insensitive identifier).
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw) => Ok(()),
+            _ => Err(self.err(&format!("expected keyword {kw}"))),
+        }
+    }
+
+    fn peek_kw(&self, kw: &str) -> bool {
+        matches!(self.peek(), Some(Token::Ident(s)) if s.eq_ignore_ascii_case(kw))
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, SqlError> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            _ => Err(self.err(&format!("expected {what}"))),
+        }
+    }
+
+    fn statement(&mut self) -> Result<Statement, SqlError> {
+        if self.peek_kw("EXPLAIN") {
+            self.pos += 1;
+            let inner = self.statement()?;
+            return Ok(Statement::Explain(Box::new(inner)));
+        }
+        if self.peek_kw("SELECT") {
+            self.select()
+        } else if self.peek_kw("CREATE") {
+            self.create_index()
+        } else if self.peek_kw("SHOW") {
+            self.pos += 1;
+            self.expect_kw("TABLES")?;
+            Ok(Statement::ShowTables)
+        } else {
+            Err(self.err("expected SELECT, CREATE, SHOW or EXPLAIN"))
+        }
+    }
+
+    fn create_index(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("CREATE")?;
+        self.expect_kw("INDEX")?;
+        let name = self.ident("index name")?;
+        self.expect_kw("ON")?;
+        let table = self.ident("table name")?;
+        self.expect_kw("USE")?;
+        self.expect_kw("TRIE")?;
+        Ok(Statement::CreateIndex { name, table })
+    }
+
+    fn select(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("SELECT")?;
+        self.expect(&Token::Star, "projection `*`")?;
+        self.expect_kw("FROM")?;
+        let table = self.ident("table name")?;
+
+        // TRA-JOIN?
+        if self.peek_kw("TRA") {
+            self.pos += 1;
+            self.expect(&Token::Minus, "`-` of TRA-JOIN")?;
+            self.expect_kw("JOIN")?;
+            let right = self.ident("right table name")?;
+            self.expect_kw("ON")?;
+            let predicate = self.similarity_predicate()?;
+            if let QueryArg::Literal(_) = predicate.query {
+                return Err(self.err("TRA-JOIN predicates must reference both tables"));
+            }
+            return Ok(Statement::TraJoin {
+                left: table,
+                right,
+                predicate,
+            });
+        }
+
+        // ORDER BY f(t, TRAJECTORY(...)) LIMIT k — the kNN form.
+        if self.peek_kw("ORDER") {
+            self.pos += 1;
+            self.expect_kw("BY")?;
+            let func_name = self.ident("distance function name")?;
+            let func: DistanceFunction = func_name
+                .parse()
+                .map_err(|e: String| SqlError::Parse { message: e })?;
+            self.expect(&Token::LParen, "`(`")?;
+            let left = self.ident("left argument")?;
+            if !left.eq_ignore_ascii_case(&table) {
+                return Err(self.err("ORDER BY must reference the FROM table"));
+            }
+            self.expect(&Token::Comma, "`,`")?;
+            self.expect_kw("TRAJECTORY")?;
+            let query = self.trajectory_literal()?;
+            self.expect(&Token::RParen, "`)`")?;
+            self.expect_kw("LIMIT")?;
+            let k = match self.next() {
+                Some(Token::Number(n)) if n >= 0.0 && n.fract() == 0.0 => n as usize,
+                _ => return Err(self.err("LIMIT expects a non-negative integer")),
+            };
+            return Ok(Statement::Knn {
+                table,
+                func,
+                query,
+                k,
+            });
+        }
+
+        let predicate = if self.peek_kw("WHERE") {
+            self.pos += 1;
+            Some(self.similarity_predicate()?)
+        } else {
+            None
+        };
+        Ok(Statement::Select { table, predicate })
+    }
+
+    /// `FUNC(left, TRAJECTORY(...)|right) <= expr`
+    fn similarity_predicate(&mut self) -> Result<SimilarityPredicate, SqlError> {
+        let func_name = self.ident("distance function name")?;
+        let func: DistanceFunction = func_name
+            .parse()
+            .map_err(|e: String| SqlError::Parse { message: e })?;
+        self.expect(&Token::LParen, "`(`")?;
+        let left = self.ident("left argument")?;
+        self.expect(&Token::Comma, "`,`")?;
+        let query = if self.peek_kw("TRAJECTORY") {
+            self.pos += 1;
+            QueryArg::Literal(self.trajectory_literal()?)
+        } else {
+            QueryArg::Table(self.ident("right argument")?)
+        };
+        self.expect(&Token::RParen, "`)`")?;
+        self.expect(&Token::Le, "`<=`")?;
+        let threshold = self.num_expr()?;
+        Ok(SimilarityPredicate {
+            func,
+            left,
+            query,
+            threshold,
+        })
+    }
+
+    /// `((x, y), (x, y), ...)`
+    fn trajectory_literal(&mut self) -> Result<Vec<(f64, f64)>, SqlError> {
+        self.expect(&Token::LParen, "`(` of TRAJECTORY")?;
+        let mut points = Vec::new();
+        loop {
+            self.expect(&Token::LParen, "`(` of point")?;
+            let x = self.signed_number()?;
+            self.expect(&Token::Comma, "`,` in point")?;
+            let y = self.signed_number()?;
+            self.expect(&Token::RParen, "`)` of point")?;
+            points.push((x, y));
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        self.expect(&Token::RParen, "`)` of TRAJECTORY")?;
+        if points.is_empty() {
+            return Err(self.err("TRAJECTORY literals need at least one point"));
+        }
+        Ok(points)
+    }
+
+    fn signed_number(&mut self) -> Result<f64, SqlError> {
+        let neg = self.eat_if(&Token::Minus);
+        match self.next() {
+            Some(Token::Number(n)) => Ok(if neg { -n } else { n }),
+            _ => Err(self.err("expected a number")),
+        }
+    }
+
+    /// `term (('+'|'-') term)*`
+    fn num_expr(&mut self) -> Result<NumExpr, SqlError> {
+        let mut lhs = self.num_term()?;
+        loop {
+            if self.eat_if(&Token::Plus) {
+                let rhs = self.num_term()?;
+                lhs = NumExpr::Add(Box::new(lhs), Box::new(rhs));
+            } else if self.eat_if(&Token::Minus) {
+                let rhs = self.num_term()?;
+                lhs = NumExpr::Sub(Box::new(lhs), Box::new(rhs));
+            } else {
+                break;
+            }
+        }
+        Ok(lhs)
+    }
+
+    /// `factor ('*' factor)*`
+    fn num_term(&mut self) -> Result<NumExpr, SqlError> {
+        let mut lhs = self.num_factor()?;
+        while self.eat_if(&Token::Star) {
+            let rhs = self.num_factor()?;
+            lhs = NumExpr::Mul(Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn num_factor(&mut self) -> Result<NumExpr, SqlError> {
+        if self.eat_if(&Token::LParen) {
+            let e = self.num_expr()?;
+            self.expect(&Token::RParen, "`)`")?;
+            return Ok(e);
+        }
+        let neg = self.eat_if(&Token::Minus);
+        match self.next() {
+            Some(Token::Number(n)) => Ok(NumExpr::Lit(if neg { -n } else { n })),
+            _ => Err(self.err("expected a numeric literal")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_similarity_search() {
+        let s = parse(
+            "SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((1, 1), (2.5, -3))) <= 0.005;",
+        )
+        .unwrap();
+        match s {
+            Statement::Select { table, predicate } => {
+                assert_eq!(table, "taxi");
+                let p = predicate.unwrap();
+                assert_eq!(p.func, DistanceFunction::Dtw);
+                assert_eq!(p.query, QueryArg::Literal(vec![(1.0, 1.0), (2.5, -3.0)]));
+                assert!((p.threshold.fold() - 0.005).abs() < 1e-12);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_plain_select() {
+        let s = parse("SELECT * FROM t").unwrap();
+        assert_eq!(
+            s,
+            Statement::Select {
+                table: "t".into(),
+                predicate: None
+            }
+        );
+    }
+
+    #[test]
+    fn parses_tra_join() {
+        let s = parse("SELECT * FROM t TRA-JOIN q ON FRECHET(t, q) <= 0.001 * 3").unwrap();
+        match s {
+            Statement::TraJoin {
+                left,
+                right,
+                predicate,
+            } => {
+                assert_eq!(left, "t");
+                assert_eq!(right, "q");
+                assert_eq!(predicate.func, DistanceFunction::Frechet);
+                assert_eq!(predicate.query, QueryArg::Table("q".into()));
+                assert!((predicate.threshold.fold() - 0.003).abs() < 1e-12);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_create_index() {
+        let s = parse("CREATE INDEX TrieIndex ON t USE TRIE").unwrap();
+        assert_eq!(
+            s,
+            Statement::CreateIndex {
+                name: "TrieIndex".into(),
+                table: "t".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parses_knn() {
+        let s = parse("SELECT * FROM t ORDER BY DTW(t, TRAJECTORY((1,1),(2,2))) LIMIT 5").unwrap();
+        match s {
+            Statement::Knn { table, func, query, k } => {
+                assert_eq!(table, "t");
+                assert_eq!(func, DistanceFunction::Dtw);
+                assert_eq!(query, vec![(1.0, 1.0), (2.0, 2.0)]);
+                assert_eq!(k, 5);
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        assert!(parse("SELECT * FROM t ORDER BY DTW(z, TRAJECTORY((1,1))) LIMIT 5").is_err());
+        assert!(parse("SELECT * FROM t ORDER BY DTW(t, TRAJECTORY((1,1))) LIMIT 2.5").is_err());
+    }
+
+    #[test]
+    fn parses_explain() {
+        let s = parse("EXPLAIN SELECT * FROM t").unwrap();
+        assert!(matches!(s, Statement::Explain(_)));
+        // Nested EXPLAIN is accepted and harmless.
+        assert!(parse("EXPLAIN EXPLAIN SHOW TABLES").is_ok());
+    }
+
+    #[test]
+    fn parses_show_tables() {
+        assert_eq!(parse("SHOW TABLES;").unwrap(), Statement::ShowTables);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        assert!(parse("select * from t where dtw(t, trajectory((0,0))) <= 1").is_ok());
+    }
+
+    #[test]
+    fn join_with_literal_rejected() {
+        let err =
+            parse("SELECT * FROM t TRA-JOIN q ON DTW(t, TRAJECTORY((0,0))) <= 1").unwrap_err();
+        assert!(err.to_string().contains("both tables"));
+    }
+
+    #[test]
+    fn unknown_function_rejected() {
+        let err = parse("SELECT * FROM t WHERE COSINE(t, q) <= 1").unwrap_err();
+        assert!(err.to_string().contains("cosine"));
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        assert!(parse("SHOW TABLES banana").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn threshold_arithmetic_with_parens() {
+        let s = parse("SELECT * FROM t WHERE DTW(t, TRAJECTORY((0,0))) <= (1 + 2) * 0.5").unwrap();
+        if let Statement::Select { predicate: Some(p), .. } = s {
+            assert!((p.threshold.fold() - 1.5).abs() < 1e-12);
+        } else {
+            panic!("wrong statement");
+        }
+    }
+}

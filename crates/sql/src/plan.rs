@@ -1,0 +1,334 @@
+//! Logical and physical query plans (§3 "Query Processing").
+
+use crate::ast::{QueryArg, Statement};
+use crate::error::SqlError;
+use dita_distance::DistanceFunction;
+use dita_trajectory::Point;
+
+/// A logical plan: the statement with expressions folded and names resolved
+/// syntactically (table existence is checked at physical planning).
+#[derive(Debug, Clone, PartialEq)]
+pub enum LogicalPlan {
+    /// Full scan of a table.
+    Scan {
+        /// Table name.
+        table: String,
+    },
+    /// Threshold similarity search.
+    Search {
+        /// Table name.
+        table: String,
+        /// Distance function.
+        func: DistanceFunction,
+        /// Query trajectory.
+        query: Vec<Point>,
+        /// Folded threshold.
+        tau: f64,
+    },
+    /// k-nearest-neighbor search.
+    Knn {
+        /// Table name.
+        table: String,
+        /// Distance function.
+        func: DistanceFunction,
+        /// Query trajectory.
+        query: Vec<Point>,
+        /// Neighbor count.
+        k: usize,
+    },
+    /// Threshold similarity join.
+    Join {
+        /// Left table.
+        left: String,
+        /// Right table.
+        right: String,
+        /// Distance function.
+        func: DistanceFunction,
+        /// Folded threshold.
+        tau: f64,
+    },
+    /// Index creation.
+    CreateIndex {
+        /// Table to index.
+        table: String,
+    },
+    /// Catalog listing.
+    ShowTables,
+    /// Plan display without execution.
+    Explain(Box<LogicalPlan>),
+}
+
+/// Lowers a statement to a logical plan, folding threshold arithmetic (the
+/// constant-folding rewrite) and validating the predicate shape.
+pub fn logical_plan(stmt: Statement) -> Result<LogicalPlan, SqlError> {
+    match stmt {
+        Statement::Select { table, predicate: None } => Ok(LogicalPlan::Scan { table }),
+        Statement::Select {
+            table,
+            predicate: Some(p),
+        } => {
+            if !p.left.eq_ignore_ascii_case(&table) {
+                return Err(SqlError::Parse {
+                    message: format!(
+                        "predicate references {:?} but the FROM table is {:?}",
+                        p.left, table
+                    ),
+                });
+            }
+            match p.query {
+                QueryArg::Literal(points) => Ok(LogicalPlan::Search {
+                    table,
+                    func: p.func,
+                    query: points.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
+                    tau: p.threshold.fold(),
+                }),
+                QueryArg::Table(t) => Err(SqlError::Unsupported {
+                    message: format!(
+                        "WHERE with a table argument {t:?}; use TRA-JOIN for table-to-table \
+                         similarity"
+                    ),
+                }),
+            }
+        }
+        Statement::TraJoin {
+            left,
+            right,
+            predicate,
+        } => {
+            let ok_args = match &predicate.query {
+                QueryArg::Table(t) => {
+                    (predicate.left.eq_ignore_ascii_case(&left)
+                        && t.eq_ignore_ascii_case(&right))
+                        || (predicate.left.eq_ignore_ascii_case(&right)
+                            && t.eq_ignore_ascii_case(&left))
+                }
+                QueryArg::Literal(_) => false,
+            };
+            if !ok_args {
+                return Err(SqlError::Parse {
+                    message: "TRA-JOIN predicate must reference the two joined tables".into(),
+                });
+            }
+            Ok(LogicalPlan::Join {
+                left,
+                right,
+                func: predicate.func,
+                tau: predicate.threshold.fold(),
+            })
+        }
+        Statement::Knn {
+            table,
+            func,
+            query,
+            k,
+        } => Ok(LogicalPlan::Knn {
+            table,
+            func,
+            query: query.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
+            k,
+        }),
+        Statement::CreateIndex { table, .. } => Ok(LogicalPlan::CreateIndex { table }),
+        Statement::ShowTables => Ok(LogicalPlan::ShowTables),
+        Statement::Explain(inner) => Ok(LogicalPlan::Explain(Box::new(logical_plan(*inner)?))),
+    }
+}
+
+/// A physical plan: the cost-based choice of operators (§3's CBO module —
+/// index operators when a trie index exists, scans otherwise).
+#[derive(Debug, Clone, PartialEq)]
+pub enum PhysicalPlan {
+    /// Return all rows of a table.
+    FullScan {
+        /// Table name.
+        table: String,
+    },
+    /// Search via the distributed trie index.
+    IndexSearch {
+        /// Table name.
+        table: String,
+        /// Distance function.
+        func: DistanceFunction,
+        /// Query trajectory.
+        query: Vec<Point>,
+        /// Threshold.
+        tau: f64,
+    },
+    /// Search by scanning and verifying (no index available).
+    ScanSearch {
+        /// Table name.
+        table: String,
+        /// Distance function.
+        func: DistanceFunction,
+        /// Query trajectory.
+        query: Vec<Point>,
+        /// Threshold.
+        tau: f64,
+    },
+    /// kNN via radius expansion over the trie index (built on demand).
+    IndexKnn {
+        /// Table name.
+        table: String,
+        /// Distance function.
+        func: DistanceFunction,
+        /// Query trajectory.
+        query: Vec<Point>,
+        /// Neighbor count.
+        k: usize,
+    },
+    /// DITA's distributed join; indexes are built on demand (§6.1: "DITA
+    /// first builds indexes for them because it does not take too much
+    /// cost").
+    IndexJoin {
+        /// Left table.
+        left: String,
+        /// Right table.
+        right: String,
+        /// Distance function.
+        func: DistanceFunction,
+        /// Threshold.
+        tau: f64,
+    },
+    /// Build a trie index.
+    BuildIndex {
+        /// Table name.
+        table: String,
+    },
+    /// List tables.
+    ListTables,
+    /// Describe the inner plan instead of running it.
+    Explain(Box<PhysicalPlan>),
+}
+
+/// Chooses physical operators given which tables currently have indexes.
+pub fn physical_plan(
+    logical: LogicalPlan,
+    is_indexed: impl Fn(&str) -> bool,
+) -> PhysicalPlan {
+    match logical {
+        LogicalPlan::Scan { table } => PhysicalPlan::FullScan { table },
+        LogicalPlan::Search {
+            table,
+            func,
+            query,
+            tau,
+        } => {
+            if is_indexed(&table) {
+                PhysicalPlan::IndexSearch {
+                    table,
+                    func,
+                    query,
+                    tau,
+                }
+            } else {
+                PhysicalPlan::ScanSearch {
+                    table,
+                    func,
+                    query,
+                    tau,
+                }
+            }
+        }
+        LogicalPlan::Knn {
+            table,
+            func,
+            query,
+            k,
+        } => PhysicalPlan::IndexKnn {
+            table,
+            func,
+            query,
+            k,
+        },
+        LogicalPlan::Join {
+            left,
+            right,
+            func,
+            tau,
+        } => PhysicalPlan::IndexJoin {
+            left,
+            right,
+            func,
+            tau,
+        },
+        LogicalPlan::CreateIndex { table } => PhysicalPlan::BuildIndex { table },
+        LogicalPlan::ShowTables => PhysicalPlan::ListTables,
+        LogicalPlan::Explain(inner) => {
+            PhysicalPlan::Explain(Box::new(physical_plan(*inner, is_indexed)))
+        }
+    }
+}
+
+impl PhysicalPlan {
+    /// A one-line EXPLAIN-style description.
+    pub fn describe(&self) -> String {
+        match self {
+            PhysicalPlan::FullScan { table } => format!("FullScan({table})"),
+            PhysicalPlan::IndexSearch { table, func, tau, .. } => {
+                format!("IndexSearch({table}, {func}, tau={tau}) [global + trie index]")
+            }
+            PhysicalPlan::ScanSearch { table, func, tau, .. } => {
+                format!("ScanSearch({table}, {func}, tau={tau}) [no index]")
+            }
+            PhysicalPlan::IndexKnn { table, func, k, .. } => {
+                format!("IndexKnn({table}, {func}, k={k}) [radius expansion]")
+            }
+            PhysicalPlan::IndexJoin { left, right, func, tau } => {
+                format!("IndexJoin({left}, {right}, {func}, tau={tau}) [bi-graph + trie]")
+            }
+            PhysicalPlan::BuildIndex { table } => format!("BuildIndex({table}, TRIE)"),
+            PhysicalPlan::ListTables => "ListTables".into(),
+            PhysicalPlan::Explain(inner) => format!("Explain({})", inner.describe()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    #[test]
+    fn search_plan_folds_threshold() {
+        let stmt =
+            parse("SELECT * FROM t WHERE DTW(t, TRAJECTORY((1,2))) <= 0.001 * 5").unwrap();
+        let lp = logical_plan(stmt).unwrap();
+        match &lp {
+            LogicalPlan::Search { tau, query, .. } => {
+                assert!((tau - 0.005).abs() < 1e-12);
+                assert_eq!(query, &vec![Point::new(1.0, 2.0)]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // Physical: index choice depends on the catalog.
+        let p1 = physical_plan(lp.clone(), |_| true);
+        assert!(matches!(p1, PhysicalPlan::IndexSearch { .. }));
+        let p2 = physical_plan(lp, |_| false);
+        assert!(matches!(p2, PhysicalPlan::ScanSearch { .. }));
+    }
+
+    #[test]
+    fn join_plan_accepts_reversed_arguments() {
+        let stmt = parse("SELECT * FROM t TRA-JOIN q ON DTW(q, t) <= 1").unwrap();
+        let lp = logical_plan(stmt).unwrap();
+        assert!(matches!(lp, LogicalPlan::Join { .. }));
+    }
+
+    #[test]
+    fn mismatched_predicate_table_rejected() {
+        let stmt = parse("SELECT * FROM t WHERE DTW(zzz, TRAJECTORY((0,0))) <= 1").unwrap();
+        assert!(logical_plan(stmt).is_err());
+    }
+
+    #[test]
+    fn where_with_table_argument_is_unsupported() {
+        let stmt = parse("SELECT * FROM t WHERE DTW(t, q) <= 1").unwrap();
+        let err = logical_plan(stmt).unwrap_err();
+        assert!(matches!(err, SqlError::Unsupported { .. }));
+    }
+
+    #[test]
+    fn describe_strings() {
+        let p = physical_plan(LogicalPlan::ShowTables, |_| false);
+        assert_eq!(p.describe(), "ListTables");
+    }
+}

@@ -1,0 +1,232 @@
+//! Cell-based trajectory compression (§5.3.3(2)).
+//!
+//! A trajectory is scanned once: the first point opens a square cell of side
+//! `d` centred on it; each subsequent point either falls into an existing
+//! cell (incrementing its count) or opens a new cell centred on itself. The
+//! resulting list of `(cell, count)` pairs is a compact summary used to
+//! compute a cheap lower bound on DTW (Lemma 5.6) during verification.
+
+use crate::mbr::Mbr;
+use crate::point::Point;
+use crate::trajectory::Trajectory;
+use serde::{Deserialize, Serialize};
+
+/// One cell of the compressed representation: a square of side `side`
+/// centred at `center`, covering `count` consecutive-or-not points of the
+/// source trajectory.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Cell {
+    /// Center of the square (the first trajectory point that opened it).
+    pub center: Point,
+    /// Number of trajectory points falling inside the square.
+    pub count: u32,
+    /// Side length of the square.
+    pub side: f64,
+}
+
+impl Cell {
+    /// The square as an [`Mbr`].
+    #[inline]
+    pub fn mbr(&self) -> Mbr {
+        let h = self.side / 2.0;
+        Mbr {
+            min: Point::new(self.center.x - h, self.center.y - h),
+            max: Point::new(self.center.x + h, self.center.y + h),
+        }
+    }
+
+    /// Returns `true` if `p` falls inside (or on the border of) the square.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        let h = self.side / 2.0;
+        (p.x - self.center.x).abs() <= h && (p.y - self.center.y).abs() <= h
+    }
+
+    /// Minimum distance between two cells (zero if they overlap).
+    #[inline]
+    pub fn min_dist(&self, other: &Cell) -> f64 {
+        self.mbr().min_dist_mbr(&other.mbr())
+    }
+}
+
+/// The compressed form of one trajectory: an ordered list of cells.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellList {
+    cells: Vec<Cell>,
+    side: f64,
+}
+
+impl CellList {
+    /// Compresses `t` with cell side length `side` (the paper's `D`).
+    ///
+    /// # Panics
+    /// Panics if `side` is not strictly positive.
+    pub fn compress(t: &Trajectory, side: f64) -> Self {
+        assert!(side > 0.0, "cell side length must be positive");
+        let mut cells: Vec<Cell> = Vec::new();
+        'outer: for p in t.points() {
+            for c in cells.iter_mut() {
+                if c.contains(p) {
+                    c.count += 1;
+                    continue 'outer;
+                }
+            }
+            cells.push(Cell {
+                center: *p,
+                count: 1,
+                side,
+            });
+        }
+        CellList { cells, side }
+    }
+
+    /// The cells in creation order.
+    #[inline]
+    pub fn cells(&self) -> &[Cell] {
+        &self.cells
+    }
+
+    /// The configured side length `D`.
+    #[inline]
+    pub fn side(&self) -> f64 {
+        self.side
+    }
+
+    /// Total number of source points represented (`Σ count`).
+    pub fn total_points(&self) -> u64 {
+        self.cells.iter().map(|c| c.count as u64).sum()
+    }
+
+    /// The one-sided cell lower bound of Lemma 5.6:
+    /// `Cell(T, Q) = Σ_{c_T} min_{c_Q} dist(c_T, c_Q) · |c_T| ≤ DTW(T, Q)`.
+    ///
+    /// `self` plays the role of `T` and `other` of `Q`. Calling it both ways
+    /// and taking the max gives the strongest available bound.
+    pub fn lower_bound(&self, other: &CellList) -> f64 {
+        let mut sum = 0.0;
+        for ct in &self.cells {
+            let mut best = f64::INFINITY;
+            for cq in &other.cells {
+                let d = ct.min_dist(cq);
+                if d < best {
+                    best = d;
+                    if best == 0.0 {
+                        break;
+                    }
+                }
+            }
+            if best.is_finite() {
+                sum += best * ct.count as f64;
+            }
+        }
+        sum
+    }
+
+    /// Bottleneck cell bound: `max_{c_T} min_{c_Q} dist(c_T, c_Q)`.
+    ///
+    /// A lower bound of the discrete Fréchet distance: every point of `T`
+    /// must be coupled to some point of `Q`, so the worst point's nearest
+    /// cell distance cannot exceed `F(T, Q)`.
+    pub fn bottleneck_bound(&self, other: &CellList) -> f64 {
+        let mut worst = 0.0f64;
+        for ct in &self.cells {
+            let mut best = f64::INFINITY;
+            for cq in &other.cells {
+                let d = ct.min_dist(cq);
+                if d < best {
+                    best = d;
+                    if best == 0.0 {
+                        break;
+                    }
+                }
+            }
+            if best.is_finite() && best > worst {
+                worst = best;
+            }
+        }
+        worst
+    }
+
+    /// Approximate in-memory size in bytes (for index size accounting).
+    pub fn size_bytes(&self) -> usize {
+        self.cells.len() * std::mem::size_of::<Cell>() + std::mem::size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compress_merges_nearby_points() {
+        // Three points within one cell of side 2 centred at the first.
+        let t = Trajectory::from_coords(1, &[(0.0, 0.0), (0.5, 0.5), (-0.9, 0.2), (5.0, 5.0)]);
+        let cl = CellList::compress(&t, 2.0);
+        assert_eq!(cl.cells().len(), 2);
+        assert_eq!(cl.cells()[0].count, 3);
+        assert_eq!(cl.cells()[1].count, 1);
+        assert_eq!(cl.total_points(), 4);
+    }
+
+    #[test]
+    fn compress_paper_example_5_7() {
+        // Example 5.7: T1 compressed with D = 2 becomes
+        // [t1,2; t3,1; t4,3].
+        let t1 = crate::trajectory::figure1_trajectories()[0].clone();
+        let cl = CellList::compress(&t1, 2.0);
+        let counts: Vec<u32> = cl.cells().iter().map(|c| c.count).collect();
+        assert_eq!(counts, vec![2, 1, 3]);
+        assert_eq!(cl.cells()[0].center, Point::new(1.0, 1.0));
+        assert_eq!(cl.cells()[1].center, Point::new(3.0, 2.0));
+        assert_eq!(cl.cells()[2].center, Point::new(4.0, 4.0));
+    }
+
+    #[test]
+    fn lower_bound_paper_example_5_7() {
+        // Q of Example 5.7 compressed with D = 2 is [q1,1; q2,4; q6,2; q7,1]
+        // and Cell(Q, T1) = 4.
+        let t1 = crate::trajectory::figure1_trajectories()[0].clone();
+        let q = Trajectory::from_coords(
+            100,
+            &[
+                (1.0, 1.0),
+                (1.0, 5.0),
+                (1.0, 4.0),
+                (2.0, 4.0),
+                (2.0, 5.0),
+                (4.0, 4.0),
+                (5.0, 6.0),
+                (5.0, 5.0),
+            ],
+        );
+        let ct = CellList::compress(&t1, 2.0);
+        let cq = CellList::compress(&q, 2.0);
+        let qcounts: Vec<u32> = cq.cells().iter().map(|c| c.count).collect();
+        assert_eq!(qcounts, vec![1, 4, 2, 1]);
+        let bound = cq.lower_bound(&ct);
+        assert!((bound - 4.0).abs() < 1e-9, "bound was {bound}");
+    }
+
+    #[test]
+    fn lower_bound_zero_for_identical() {
+        let t = Trajectory::from_coords(1, &[(0.0, 0.0), (3.0, 3.0), (6.0, 0.0)]);
+        let c = CellList::compress(&t, 1.0);
+        assert_eq!(c.lower_bound(&c), 0.0);
+    }
+
+    #[test]
+    fn cell_min_dist_overlapping_is_zero() {
+        let a = Cell { center: Point::new(0.0, 0.0), count: 1, side: 2.0 };
+        let b = Cell { center: Point::new(1.5, 0.0), count: 1, side: 2.0 };
+        assert_eq!(a.min_dist(&b), 0.0);
+        let c = Cell { center: Point::new(5.0, 0.0), count: 1, side: 2.0 };
+        assert_eq!(a.min_dist(&c), 3.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_side_rejected() {
+        let t = Trajectory::from_coords(1, &[(0.0, 0.0)]);
+        let _ = CellList::compress(&t, 0.0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Error types for trajectory data handling.
+
+use std::fmt;
+
+/// Errors produced while parsing or validating trajectory data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TrajectoryError {
+    /// A text record could not be parsed.
+    Parse {
+        /// 1-based line number of the offending record.
+        line: usize,
+        /// Human-readable description of the problem.
+        message: String,
+    },
+    /// A trajectory had no points.
+    Empty {
+        /// Id of the offending trajectory.
+        id: u64,
+    },
+    /// A coordinate was NaN or infinite.
+    NonFinite {
+        /// Id of the offending trajectory.
+        id: u64,
+    },
+    /// Two trajectories shared the same id.
+    DuplicateId {
+        /// The duplicated id.
+        id: u64,
+    },
+}
+
+impl fmt::Display for TrajectoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TrajectoryError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            TrajectoryError::Empty { id } => write!(f, "trajectory {id} has no points"),
+            TrajectoryError::NonFinite { id } => {
+                write!(f, "trajectory {id} contains a non-finite coordinate")
+            }
+            TrajectoryError::DuplicateId { id } => write!(f, "duplicate trajectory id {id}"),
+        }
+    }
+}
+
+impl std::error::Error for TrajectoryError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = TrajectoryError::Parse { line: 3, message: "bad float".into() };
+        assert_eq!(e.to_string(), "parse error on line 3: bad float");
+        assert_eq!(TrajectoryError::Empty { id: 9 }.to_string(), "trajectory 9 has no points");
+        assert_eq!(
+            TrajectoryError::DuplicateId { id: 2 }.to_string(),
+            "duplicate trajectory id 2"
+        );
+        assert!(TrajectoryError::NonFinite { id: 1 }.to_string().contains("non-finite"));
+    }
+}

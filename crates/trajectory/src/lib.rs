@@ -1,0 +1,34 @@
+//! Trajectory data model for DITA.
+//!
+//! This crate provides the base geometric and data-model types used across
+//! the DITA reproduction:
+//!
+//! * [`Point`] — a 2-dimensional location (the paper's `(latitude, longitude)`
+//!   tuples; §2.1 notes the extension to d ≥ 3 is mechanical).
+//! * [`Mbr`] — minimum bounding rectangles with the `MinDist` primitives the
+//!   trie and R-tree indexes are built on (§4.2, §5.3).
+//! * [`Trajectory`] — an identified point sequence.
+//! * [`CellList`] — the cell-based compressed representation used by the
+//!   verification optimizations (§5.3.3).
+//! * [`Dataset`] — an owned trajectory collection with the summary statistics
+//!   the paper reports in Table 2, plus simple text serialization.
+//! * [`preprocess`] — ingestion-side simplification, resampling and GPS
+//!   glitch removal.
+
+#![warn(missing_docs)]
+
+pub mod cell;
+pub mod dataset;
+pub mod error;
+pub mod mbr;
+pub mod point;
+pub mod preprocess;
+pub mod trajectory;
+
+pub use cell::{Cell, CellList};
+pub use dataset::{Dataset, DatasetStats};
+pub use error::TrajectoryError;
+pub use mbr::Mbr;
+pub use point::Point;
+pub use preprocess::{douglas_peucker, remove_outliers, resample};
+pub use trajectory::{Trajectory, TrajectoryId};

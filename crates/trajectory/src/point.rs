@@ -1,0 +1,193 @@
+//! 2-dimensional points and the Euclidean point-to-point distance.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A 2-dimensional point.
+///
+/// The paper represents every trajectory point as a `(latitude, longitude)`
+/// tuple and measures point-to-point distance with the Euclidean distance in
+/// degree space (§2.1); thresholds like τ = 0.001 are "roughly 111 meters".
+/// We keep the same convention: `x` plays the role of latitude and `y`
+/// longitude, but nothing in the system depends on that interpretation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Point {
+    /// First coordinate (latitude in the paper's datasets).
+    pub x: f64,
+    /// Second coordinate (longitude in the paper's datasets).
+    pub y: f64,
+}
+
+impl Point {
+    /// Creates a point from its two coordinates.
+    #[inline]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point { x, y }
+    }
+
+    /// The origin `(0, 0)`.
+    pub const ORIGIN: Point = Point { x: 0.0, y: 0.0 };
+
+    /// Euclidean distance to `other`.
+    #[inline]
+    pub fn dist(&self, other: &Point) -> f64 {
+        self.dist_sq(other).sqrt()
+    }
+
+    /// Squared Euclidean distance to `other`.
+    ///
+    /// Useful to avoid the square root when only comparisons are needed.
+    #[inline]
+    pub fn dist_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Squared L2 norm of the point seen as a vector.
+    #[inline]
+    pub fn norm_sq(&self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Component-wise minimum of two points.
+    #[inline]
+    pub fn min(&self, other: &Point) -> Point {
+        Point::new(self.x.min(other.x), self.y.min(other.y))
+    }
+
+    /// Component-wise maximum of two points.
+    #[inline]
+    pub fn max(&self, other: &Point) -> Point {
+        Point::new(self.x.max(other.x), self.y.max(other.y))
+    }
+
+    /// The interior angle at vertex `b` formed by segments `a→b` and `b→c`,
+    /// in radians within `[0, π]`.
+    ///
+    /// The inflection-point pivot strategy (§4.1.2) weights a point `b` by
+    /// `π − ∠abc`: straight-line motion gives weight 0, a U-turn gives π.
+    /// Degenerate configurations (`a == b` or `b == c`) yield an angle of π
+    /// (weight 0) so duplicated GPS fixes are never preferred as pivots.
+    pub fn angle_at(a: &Point, b: &Point, c: &Point) -> f64 {
+        let v1 = (a.x - b.x, a.y - b.y);
+        let v2 = (c.x - b.x, c.y - b.y);
+        let n1 = (v1.0 * v1.0 + v1.1 * v1.1).sqrt();
+        let n2 = (v2.0 * v2.0 + v2.1 * v2.1).sqrt();
+        if n1 == 0.0 || n2 == 0.0 {
+            return std::f64::consts::PI;
+        }
+        let cos = ((v1.0 * v2.0 + v1.1 * v2.1) / (n1 * n2)).clamp(-1.0, 1.0);
+        cos.acos()
+    }
+
+    /// Returns `true` if both coordinates are finite.
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point::new(x, y)
+    }
+}
+
+impl From<Point> for (f64, f64) {
+    fn from(p: Point) -> Self {
+        (p.x, p.y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn dist_matches_hand_computation() {
+        let a = Point::new(1.0, 1.0);
+        let b = Point::new(4.0, 5.0);
+        assert_eq!(a.dist(&b), 5.0);
+        assert_eq!(a.dist_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn dist_is_symmetric_and_zero_on_self() {
+        let a = Point::new(-2.5, 3.75);
+        let b = Point::new(10.0, -0.5);
+        assert_eq!(a.dist(&b), b.dist(&a));
+        assert_eq!(a.dist(&a), 0.0);
+    }
+
+    #[test]
+    fn paper_distance_matrix_entries() {
+        // Spot-check entries of Table 1 (point-to-point distances between
+        // T1 and T3 of Figure 1).
+        let t1 = [
+            Point::new(1.0, 1.0),
+            Point::new(1.0, 2.0),
+            Point::new(3.0, 2.0),
+            Point::new(4.0, 4.0),
+            Point::new(4.0, 5.0),
+            Point::new(5.0, 5.0),
+        ];
+        let t3 = [
+            Point::new(1.0, 1.0),
+            Point::new(4.0, 1.0),
+            Point::new(4.0, 3.0),
+            Point::new(4.0, 5.0),
+            Point::new(4.0, 6.0),
+            Point::new(5.0, 6.0),
+        ];
+        assert!((t1[0].dist(&t3[0]) - 0.0).abs() < 1e-9);
+        assert!((t1[0].dist(&t3[1]) - 3.0).abs() < 1e-9);
+        assert!((t1[2].dist(&t3[1]) - 1.41).abs() < 0.01);
+        assert!((t1[5].dist(&t3[0]) - 5.66).abs() < 0.01);
+        assert!((t1[5].dist(&t3[5]) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angle_at_straight_line_is_pi() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(2.0, 0.0);
+        assert!((Point::angle_at(&a, &b, &c) - PI).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_at_right_angle() {
+        let a = Point::new(0.0, 0.0);
+        let b = Point::new(1.0, 0.0);
+        let c = Point::new(1.0, 1.0);
+        assert!((Point::angle_at(&a, &b, &c) - PI / 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_at_degenerate_returns_pi() {
+        let a = Point::new(1.0, 1.0);
+        assert_eq!(Point::angle_at(&a, &a, &a), PI);
+    }
+
+    #[test]
+    fn min_max_are_componentwise() {
+        let a = Point::new(1.0, 5.0);
+        let b = Point::new(3.0, 2.0);
+        assert_eq!(a.min(&b), Point::new(1.0, 2.0));
+        assert_eq!(a.max(&b), Point::new(3.0, 5.0));
+    }
+
+    #[test]
+    fn conversions_round_trip() {
+        let p: Point = (2.0, 3.0).into();
+        let t: (f64, f64) = p.into();
+        assert_eq!(t, (2.0, 3.0));
+    }
+}

@@ -1,0 +1,249 @@
+//! Trajectory preprocessing: simplification, resampling and outlier
+//! removal.
+//!
+//! The paper's related work (§2.3) points at trajectory simplification
+//! [28–30] as a standard companion to similarity analytics: raw GPS feeds
+//! carry redundant straight-line fixes and occasional jumps, and both index
+//! size and distance-computation cost scale with point count. This module
+//! provides the ingestion-side tools a deployment of DITA needs:
+//!
+//! * [`douglas_peucker`] — error-bounded line simplification: every dropped
+//!   point stays within `epsilon` of the simplified polyline.
+//! * [`resample`] — arc-length resampling to a fixed point count, useful to
+//!   normalize wildly different sampling rates before indexing.
+//! * [`remove_outliers`] — drops single-point GPS glitches whose implied
+//!   speed to *both* neighbors is impossible.
+
+use crate::point::Point;
+use crate::trajectory::Trajectory;
+
+/// Perpendicular distance from `p` to the segment `a`–`b` (to the nearer
+/// endpoint when the projection falls outside the segment).
+fn segment_dist(p: &Point, a: &Point, b: &Point) -> f64 {
+    let (vx, vy) = (b.x - a.x, b.y - a.y);
+    let len_sq = vx * vx + vy * vy;
+    if len_sq == 0.0 {
+        return p.dist(a);
+    }
+    let t = (((p.x - a.x) * vx + (p.y - a.y) * vy) / len_sq).clamp(0.0, 1.0);
+    let proj = Point::new(a.x + t * vx, a.y + t * vy);
+    p.dist(&proj)
+}
+
+/// Douglas–Peucker simplification with error bound `epsilon`.
+///
+/// Keeps the first and last points; every removed point lies within
+/// `epsilon` of the surviving polyline. Returns a new trajectory with the
+/// same id.
+///
+/// # Panics
+/// Panics if `epsilon` is negative.
+pub fn douglas_peucker(t: &Trajectory, epsilon: f64) -> Trajectory {
+    assert!(epsilon >= 0.0, "epsilon must be non-negative");
+    let pts = t.points();
+    if pts.len() <= 2 {
+        return t.clone();
+    }
+    let mut keep = vec![false; pts.len()];
+    keep[0] = true;
+    keep[pts.len() - 1] = true;
+
+    // Iterative stack-based recursion over (start, end) spans.
+    let mut stack = vec![(0usize, pts.len() - 1)];
+    while let Some((lo, hi)) = stack.pop() {
+        if hi <= lo + 1 {
+            continue;
+        }
+        let (mut worst, mut worst_d) = (lo, -1.0f64);
+        for (i, p) in pts.iter().enumerate().take(hi).skip(lo + 1) {
+            let d = segment_dist(p, &pts[lo], &pts[hi]);
+            if d > worst_d {
+                worst_d = d;
+                worst = i;
+            }
+        }
+        if worst_d > epsilon {
+            keep[worst] = true;
+            stack.push((lo, worst));
+            stack.push((worst, hi));
+        }
+    }
+    let kept: Vec<Point> = pts
+        .iter()
+        .zip(&keep)
+        .filter_map(|(p, &k)| k.then_some(*p))
+        .collect();
+    Trajectory::new(t.id, kept)
+}
+
+/// Resamples a trajectory to exactly `n` points, equally spaced along its
+/// arc length (endpoints preserved).
+///
+/// # Panics
+/// Panics if `n < 2`.
+pub fn resample(t: &Trajectory, n: usize) -> Trajectory {
+    assert!(n >= 2, "resampling needs at least 2 output points");
+    let pts = t.points();
+    if pts.len() == 1 {
+        return Trajectory::new(t.id, vec![pts[0]; n]);
+    }
+    // Cumulative arc length.
+    let mut cum = Vec::with_capacity(pts.len());
+    cum.push(0.0);
+    for w in pts.windows(2) {
+        cum.push(cum.last().unwrap() + w[0].dist(&w[1]));
+    }
+    let total = *cum.last().unwrap();
+    if total == 0.0 {
+        return Trajectory::new(t.id, vec![pts[0]; n]);
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut seg = 0usize;
+    for i in 0..n {
+        let target = total * i as f64 / (n - 1) as f64;
+        while seg + 1 < cum.len() - 1 && cum[seg + 1] < target {
+            seg += 1;
+        }
+        let span = cum[seg + 1] - cum[seg];
+        let frac = if span == 0.0 { 0.0 } else { (target - cum[seg]) / span };
+        let (a, b) = (&pts[seg], &pts[seg + 1]);
+        out.push(Point::new(a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac));
+    }
+    Trajectory::new(t.id, out)
+}
+
+/// Removes single-point GPS glitches: an interior point is dropped when its
+/// distance to *both* neighbors exceeds `max_step` while its neighbors are
+/// within `max_step` of each other (i.e. the trajectory is locally sane and
+/// the point alone jumped). Endpoints are never dropped.
+pub fn remove_outliers(t: &Trajectory, max_step: f64) -> Trajectory {
+    assert!(max_step > 0.0, "max_step must be positive");
+    let pts = t.points();
+    if pts.len() <= 2 {
+        return t.clone();
+    }
+    let mut out: Vec<Point> = Vec::with_capacity(pts.len());
+    out.push(pts[0]);
+    for i in 1..pts.len() - 1 {
+        let prev = out.last().unwrap();
+        let next = &pts[i + 1];
+        let glitch = pts[i].dist(prev) > max_step
+            && pts[i].dist(next) > max_step
+            && prev.dist(next) <= 2.0 * max_step;
+        if !glitch {
+            out.push(pts[i]);
+        }
+    }
+    out.push(pts[pts.len() - 1]);
+    Trajectory::new(t.id, out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dp_collinear_collapses_to_endpoints() {
+        let t = Trajectory::from_coords(1, &[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)]);
+        let s = douglas_peucker(&t, 0.01);
+        assert_eq!(s.len(), 2);
+        assert_eq!(*s.first(), Point::new(0.0, 0.0));
+        assert_eq!(*s.last(), Point::new(3.0, 0.0));
+    }
+
+    #[test]
+    fn dp_keeps_significant_corners() {
+        let t = Trajectory::from_coords(
+            1,
+            &[(0.0, 0.0), (1.0, 0.0), (2.0, 5.0), (3.0, 0.0), (4.0, 0.0)],
+        );
+        let s = douglas_peucker(&t, 0.5);
+        assert!(s.points().contains(&Point::new(2.0, 5.0)));
+    }
+
+    #[test]
+    fn dp_error_bound_holds() {
+        // Every original point must be within epsilon of the simplified
+        // polyline.
+        let coords: Vec<(f64, f64)> = (0..50)
+            .map(|i| {
+                let x = i as f64 * 0.1;
+                (x, (x * 2.0).sin())
+            })
+            .collect();
+        let t = Trajectory::from_coords(1, &coords);
+        for eps in [0.05, 0.2, 1.0] {
+            let s = douglas_peucker(&t, eps);
+            for p in t.points() {
+                let d = s
+                    .points()
+                    .windows(2)
+                    .map(|w| segment_dist(p, &w[0], &w[1]))
+                    .fold(f64::INFINITY, f64::min);
+                assert!(d <= eps + 1e-9, "point {p} at distance {d} > {eps}");
+            }
+            assert!(s.len() <= t.len());
+        }
+    }
+
+    #[test]
+    fn dp_zero_epsilon_keeps_everything_noncollinear() {
+        let t = Trajectory::from_coords(1, &[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
+        let s = douglas_peucker(&t, 0.0);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn resample_preserves_endpoints_and_count() {
+        let t = Trajectory::from_coords(1, &[(0.0, 0.0), (1.0, 0.0), (1.0, 1.0)]);
+        for n in [2usize, 5, 16] {
+            let r = resample(&t, n);
+            assert_eq!(r.len(), n);
+            assert!(r.first().dist(t.first()) < 1e-12);
+            assert!(r.last().dist(t.last()) < 1e-12);
+        }
+    }
+
+    #[test]
+    fn resample_spacing_is_uniform() {
+        let t = Trajectory::from_coords(1, &[(0.0, 0.0), (10.0, 0.0)]);
+        let r = resample(&t, 6);
+        for w in r.points().windows(2) {
+            assert!((w[0].dist(&w[1]) - 2.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn resample_degenerate_single_location() {
+        let t = Trajectory::from_coords(1, &[(2.0, 2.0), (2.0, 2.0)]);
+        let r = resample(&t, 4);
+        assert_eq!(r.len(), 4);
+        assert!(r.points().iter().all(|p| *p == Point::new(2.0, 2.0)));
+    }
+
+    #[test]
+    fn outlier_glitch_removed() {
+        let t = Trajectory::from_coords(
+            1,
+            &[(0.0, 0.0), (0.1, 0.0), (5.0, 5.0), (0.2, 0.0), (0.3, 0.0)],
+        );
+        let c = remove_outliers(&t, 0.5);
+        assert_eq!(c.len(), 4);
+        assert!(!c.points().contains(&Point::new(5.0, 5.0)));
+    }
+
+    #[test]
+    fn outlier_real_movement_kept() {
+        // A genuine far move (both neighbors also far apart) is not a glitch.
+        let t = Trajectory::from_coords(1, &[(0.0, 0.0), (5.0, 5.0), (10.0, 10.0)]);
+        let c = remove_outliers(&t, 0.5);
+        assert_eq!(c.len(), 3);
+    }
+
+    #[test]
+    fn endpoints_always_survive() {
+        let t = Trajectory::from_coords(1, &[(0.0, 0.0), (9.0, 9.0)]);
+        let c = remove_outliers(&t, 0.1);
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,223 @@
+//! Trajectories: identified sequences of points.
+
+use crate::mbr::Mbr;
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a trajectory within a [`crate::Dataset`].
+pub type TrajectoryId = u64;
+
+/// A trajectory `T = (t_1, ..., t_m)`: a sequence of points produced by one
+/// moving object (Definition 2.1), tagged with a dataset-unique id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    /// Dataset-unique identifier.
+    pub id: TrajectoryId,
+    points: Vec<Point>,
+}
+
+impl Trajectory {
+    /// Creates a trajectory from its id and points.
+    ///
+    /// # Panics
+    /// Panics if `points` is empty: the paper's definitions (first/last point
+    /// alignment, pivot selection) all assume at least one point.
+    pub fn new(id: TrajectoryId, points: Vec<Point>) -> Self {
+        assert!(!points.is_empty(), "a trajectory must contain at least one point");
+        Trajectory { id, points }
+    }
+
+    /// Convenience constructor from `(x, y)` tuples.
+    pub fn from_coords(id: TrajectoryId, coords: &[(f64, f64)]) -> Self {
+        Trajectory::new(id, coords.iter().map(|&(x, y)| Point::new(x, y)).collect())
+    }
+
+    /// Number of points `m`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always `false` (construction rejects empty point lists); provided to
+    /// satisfy the `len`/`is_empty` convention.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point sequence.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// First point `t_1`.
+    #[inline]
+    pub fn first(&self) -> &Point {
+        &self.points[0]
+    }
+
+    /// Last point `t_m`.
+    #[inline]
+    pub fn last(&self) -> &Point {
+        &self.points[self.points.len() - 1]
+    }
+
+    /// The MBR covering the whole trajectory (`MBR_T` of §5.3.3).
+    pub fn mbr(&self) -> Mbr {
+        Mbr::from_points(self.points.iter())
+    }
+
+    /// Approximate in-memory size in bytes, used by the network cost model
+    /// to charge trajectory shipments.
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        std::mem::size_of::<TrajectoryId>() + self.points.len() * std::mem::size_of::<Point>()
+    }
+
+    /// The prefix `T^j`: first `j` points (1-based, matching the paper).
+    ///
+    /// # Panics
+    /// Panics if `j` is zero or exceeds the length.
+    pub fn prefix(&self, j: usize) -> Trajectory {
+        assert!(j >= 1 && j <= self.len());
+        Trajectory::new(self.id, self.points[..j].to_vec())
+    }
+
+    /// Splits a trajectory into chunks of at most `max_len` points, assigning
+    /// fresh ids starting at `next_id`. Returns the produced trajectories.
+    ///
+    /// This mirrors the paper's OSM preprocessing (§7.1): "dividing long
+    /// trajectories (length > 3000) into several shorter ones". Chunks share
+    /// no points; a trailing chunk shorter than 2 points is merged into the
+    /// previous chunk to keep every output non-degenerate.
+    pub fn split_long(&self, max_len: usize, next_id: &mut TrajectoryId) -> Vec<Trajectory> {
+        assert!(max_len >= 2, "chunks must hold at least two points");
+        if self.len() <= max_len {
+            return vec![self.clone()];
+        }
+        let mut out = Vec::with_capacity(self.len() / max_len + 1);
+        let mut start = 0;
+        while start < self.len() {
+            let mut end = (start + max_len).min(self.len());
+            // Avoid a trailing 1-point chunk.
+            if self.len() - end == 1 {
+                end = self.len();
+            }
+            let id = *next_id;
+            *next_id += 1;
+            out.push(Trajectory::new(id, self.points[start..end.min(start + max_len + 1)].to_vec()));
+            start = end.min(start + max_len + 1);
+        }
+        out
+    }
+}
+
+impl fmt::Display for Trajectory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "T{}[", self.id)?;
+        for (i, p) in self.points.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{p}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// The five example trajectories of the paper's Figure 1, used across the
+/// test suites to encode the worked examples.
+pub fn figure1_trajectories() -> Vec<Trajectory> {
+    vec![
+        Trajectory::from_coords(1, &[(1.0, 1.0), (1.0, 2.0), (3.0, 2.0), (4.0, 4.0), (4.0, 5.0), (5.0, 5.0)]),
+        Trajectory::from_coords(2, &[(0.0, 1.0), (0.0, 2.0), (4.0, 2.0), (4.0, 4.0), (4.0, 5.0), (5.0, 5.0)]),
+        Trajectory::from_coords(3, &[(1.0, 1.0), (4.0, 1.0), (4.0, 3.0), (4.0, 5.0), (4.0, 6.0), (5.0, 6.0)]),
+        Trajectory::from_coords(4, &[(0.0, 4.0), (0.0, 5.0), (3.0, 3.0), (3.0, 7.0), (7.0, 5.0)]),
+        Trajectory::from_coords(5, &[(0.0, 4.0), (0.0, 5.0), (3.0, 7.0), (3.0, 3.0), (7.0, 5.0)]),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[should_panic(expected = "at least one point")]
+    fn empty_trajectory_rejected() {
+        let _ = Trajectory::new(0, vec![]);
+    }
+
+    #[test]
+    fn basic_accessors() {
+        let t = Trajectory::from_coords(7, &[(0.0, 0.0), (1.0, 2.0), (3.0, 1.0)]);
+        assert_eq!(t.id, 7);
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert_eq!(*t.first(), Point::new(0.0, 0.0));
+        assert_eq!(*t.last(), Point::new(3.0, 1.0));
+    }
+
+    #[test]
+    fn mbr_covers_all_points() {
+        let t = Trajectory::from_coords(1, &[(1.0, 5.0), (-1.0, 2.0), (4.0, 0.0)]);
+        let m = t.mbr();
+        for p in t.points() {
+            assert!(m.contains_point(p));
+        }
+        assert_eq!(m.min, Point::new(-1.0, 0.0));
+        assert_eq!(m.max, Point::new(4.0, 5.0));
+    }
+
+    #[test]
+    fn prefix_matches_paper_notation() {
+        let t = Trajectory::from_coords(1, &[(0.0, 0.0), (1.0, 0.0), (2.0, 0.0)]);
+        let p = t.prefix(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(*p.last(), Point::new(1.0, 0.0));
+    }
+
+    #[test]
+    fn figure1_shapes() {
+        let ts = figure1_trajectories();
+        assert_eq!(ts.len(), 5);
+        assert_eq!(ts[0].len(), 6);
+        assert_eq!(ts[3].len(), 5);
+        assert_eq!(*ts[2].first(), Point::new(1.0, 1.0));
+        assert_eq!(*ts[4].last(), Point::new(7.0, 5.0));
+    }
+
+    #[test]
+    fn split_long_covers_all_points_without_tiny_tail() {
+        let pts: Vec<(f64, f64)> = (0..25).map(|i| (i as f64, 0.0)).collect();
+        let t = Trajectory::from_coords(1, &pts);
+        let mut next = 100;
+        let chunks = t.split_long(10, &mut next);
+        let total: usize = chunks.iter().map(|c| c.len()).sum();
+        assert_eq!(total, 25);
+        assert!(chunks.iter().all(|c| c.len() >= 2));
+        assert!(chunks.iter().all(|c| c.len() <= 11));
+        // Ids are freshly assigned.
+        assert!(chunks.iter().all(|c| c.id >= 100));
+        assert_eq!(next, 100 + chunks.len() as u64);
+    }
+
+    #[test]
+    fn split_long_short_trajectory_untouched() {
+        let t = Trajectory::from_coords(3, &[(0.0, 0.0), (1.0, 1.0)]);
+        let mut next = 10;
+        let chunks = t.split_long(10, &mut next);
+        assert_eq!(chunks.len(), 1);
+        assert_eq!(chunks[0].id, 3);
+        assert_eq!(next, 10);
+    }
+
+    #[test]
+    fn size_bytes_scales_with_length() {
+        let a = Trajectory::from_coords(1, &[(0.0, 0.0), (1.0, 1.0)]);
+        let b = Trajectory::from_coords(1, &[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
+        assert!(b.size_bytes() > a.size_bytes());
+        assert_eq!(b.size_bytes() - a.size_bytes(), 2 * std::mem::size_of::<Point>());
+    }
+}

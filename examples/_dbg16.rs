@@ -1,0 +1,27 @@
+use dita::cluster::{Cluster, ClusterConfig};
+use dita::core::{join, BalanceStrategy, DitaConfig, DitaSystem, JoinOptions};
+use dita::distance::DistanceFunction;
+use dita::index::{PivotStrategy, TrieConfig};
+
+fn main() {
+    let dataset = dita::datagen::beijing_like(40_000, 0xBEEF);
+    let mut cc = ClusterConfig::with_workers(8);
+    cc.network.latency_sec = 5e-5;
+    let config = DitaConfig { ng: 4, trie: TrieConfig { k: 4, nl: 8, leaf_capacity: 16,
+        strategy: PivotStrategy::NeighborDistance, cell_side: 0.002 } };
+    let sys = DitaSystem::build(&dataset, config, Cluster::new(cc));
+    println!("partitions {}", sys.num_partitions());
+    for b in [BalanceStrategy::None, BalanceStrategy::Orientation, BalanceStrategy::Full] {
+        let opts = JoinOptions { balance: b, division_percentile: 0.75, ..JoinOptions::default() };
+        let (pairs, s) = join(&sys, &sys, 0.003, &DistanceFunction::Dtw, &opts);
+        let comp: Vec<f64> = s.job.workers.iter().map(|w| w.compute.as_secs_f64()*1e3).collect();
+        let net: Vec<f64> = s.job.workers.iter().map(|w| w.network.as_secs_f64()*1e3).collect();
+        let tasks: Vec<usize> = s.job.workers.iter().map(|w| w.tasks).collect();
+        println!("{b:?}: pairs={} edges={} fw={} repl={} cand={} makespan={:.1} ratio={:.2}",
+            pairs.len(), s.edges, s.forward_edges, s.replicas, s.candidates,
+            s.job.makespan_sec()*1e3, s.job.load_ratio());
+        println!("  comp {:?}", comp.iter().map(|c| format!("{c:.1}")).collect::<Vec<_>>());
+        println!("  net  {:?}", net.iter().map(|c| format!("{c:.1}")).collect::<Vec<_>>());
+        println!("  tasks {:?}", tasks);
+    }
+}

@@ -1,0 +1,84 @@
+//! Frequent-route discovery for a navigation system — the similarity
+//! *search* workload from the paper's introduction.
+//!
+//! Given a driver's planned route, find how many historical trips follow
+//! the same corridor, under each of the supported distance functions, and
+//! show how the filter pipeline prunes work at every stage.
+//!
+//! ```bash
+//! cargo run --release --example frequent_routes
+//! ```
+
+use dita::cluster::{Cluster, ClusterConfig};
+use dita::core::{search, DitaConfig, DitaSystem};
+use dita::datagen::{chengdu_like, sample_queries};
+use dita::distance::DistanceFunction;
+use std::time::Instant;
+
+fn main() {
+    let history = chengdu_like(3_000, 21);
+    println!("historical trips: {}", history.stats());
+
+    let system = DitaSystem::build(
+        &history,
+        DitaConfig::default(),
+        Cluster::new(ClusterConfig::with_workers(4)),
+    );
+    println!(
+        "indexed into {} partitions across {} workers\n",
+        system.num_partitions(),
+        system.cluster().num_workers()
+    );
+
+    // The planned route: a real historical trip.
+    let route = &sample_queries(&history, 1, 99)[0];
+    println!("planned route: T{} with {} GPS fixes", route.id, route.len());
+
+    // How the funnel narrows: partitions → candidates → answers.
+    let tau = 0.0025;
+    let (hits, stats) = search(&system, route.points(), tau, &DistanceFunction::Dtw);
+    println!(
+        "\nDTW tau={tau}: {}/{} partitions relevant, {} candidates, {} matching trips",
+        stats.relevant_partitions,
+        system.num_partitions(),
+        stats.candidates,
+        hits.len()
+    );
+    println!(
+        "filter funnel: {} trie nodes visited ({} pruned), {} leaf checks ({} rejected)",
+        stats.filter.nodes_visited,
+        stats.filter.nodes_pruned,
+        stats.filter.members_checked,
+        stats.filter.members_rejected
+    );
+
+    // A frequent route is one with many close historical trips.
+    let verdict = if hits.len() >= 10 {
+        "frequent corridor: prefer this route"
+    } else {
+        "rarely driven: expect little traffic knowledge"
+    };
+    println!("verdict: {verdict}");
+
+    // Versatility (challenge 4 in the paper): the same index answers every
+    // supported distance function.
+    println!("\nper-function comparison (same route):");
+    for (f, tau) in [
+        (DistanceFunction::Dtw, 0.0025),
+        (DistanceFunction::Frechet, 0.0025),
+        (DistanceFunction::Edr { eps: 5e-4 }, 6.0),
+        (DistanceFunction::Lcss { eps: 5e-4, delta: 3 }, 6.0),
+        (DistanceFunction::Erp { gap: (30.66, 104.06) }, 0.01),
+    ] {
+        let t0 = Instant::now();
+        let (hits, stats) = search(&system, route.points(), tau, &f);
+        println!(
+            "  {:<22} tau={:<7} candidates={:<5} hits={:<4} ({:?})",
+            f.to_string(),
+            tau,
+            stats.candidates,
+            hits.len(),
+            t0.elapsed()
+        );
+    }
+}

@@ -1,0 +1,72 @@
+//! Quickstart: index a trajectory dataset, run a similarity search and a
+//! similarity join.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use dita::cluster::{Cluster, ClusterConfig};
+use dita::core::{join, search, DitaConfig, DitaSystem, JoinOptions};
+use dita::datagen::{beijing_like, sample_queries};
+use dita::distance::DistanceFunction;
+
+fn main() {
+    // 1. A Beijing-like synthetic taxi dataset (see dita-datagen): 2,000
+    //    trajectories on a road grid, deterministic seed.
+    let dataset = beijing_like(2_000, 42);
+    let stats = dataset.stats();
+    println!("dataset {}: {stats}", dataset.name);
+
+    // 2. A simulated 4-worker cluster and the DITA index:
+    //    STR partitioning by endpoints, global dual R-tree, trie per
+    //    partition (this is `CREATE INDEX ... USE TRIE`).
+    let cluster = Cluster::new(ClusterConfig::with_workers(4));
+    let system = DitaSystem::build(&dataset, DitaConfig::default(), cluster);
+    let b = system.build_stats();
+    println!(
+        "index built in {:?}: {} partitions, global {:.1} KB, local {:.1} KB",
+        b.build_time,
+        system.num_partitions(),
+        b.global_size_bytes as f64 / 1024.0,
+        b.local_size_bytes as f64 / 1024.0,
+    );
+
+    // 3. Threshold similarity search with DTW (the paper's default;
+    //    τ = 0.001 is roughly 111 meters).
+    let tau = 0.002;
+    let query = &sample_queries(&dataset, 1, 7)[0];
+    let (hits, s) = search(&system, query.points(), tau, &DistanceFunction::Dtw);
+    println!(
+        "search(T{}, tau={tau}): {} hits from {} candidates in {} relevant partitions",
+        query.id, hits.len(), s.candidates, s.relevant_partitions
+    );
+    for (id, d) in hits.iter().take(5) {
+        println!("  T{id}  DTW = {d:.5}");
+    }
+
+    // 4. Self-join: every pair of similar trips (car-pooling style).
+    let (pairs, js) = join(&system, &system, tau, &DistanceFunction::Dtw, &JoinOptions::default());
+    println!(
+        "self-join(tau={tau}): {} pairs; {} bi-graph edges, {} candidates, \
+         {:.1} KB shipped, load ratio {:.2}",
+        pairs.len(),
+        js.edges,
+        js.candidates,
+        js.shipped_bytes as f64 / 1024.0,
+        js.job.load_ratio()
+    );
+
+    // 5. The same search under other distance functions.
+    for f in [
+        DistanceFunction::Frechet,
+        DistanceFunction::Edr { eps: 1e-4 },
+        DistanceFunction::Lcss { eps: 1e-4, delta: 3 },
+    ] {
+        let tau_f = match f {
+            DistanceFunction::Frechet => 0.002,
+            _ => 4.0, // edit distances count points
+        };
+        let (hits, _) = search(&system, query.points(), tau_f, &f);
+        println!("search under {f} (tau={tau_f}): {} hits", hits.len());
+    }
+}

@@ -1,0 +1,64 @@
+//! Trip recommendation with kNN: "show me the 5 most similar historical
+//! trips to this route" — the kNN extension the paper lists as future work
+//! (§8), here built on the threshold machinery via radius expansion.
+//!
+//! ```bash
+//! cargo run --release --example trip_recommendation
+//! ```
+
+use dita::cluster::{Cluster, ClusterConfig};
+use dita::core::{knn_search, DitaConfig, DitaSystem};
+use dita::datagen::{beijing_like, sample_queries};
+use dita::distance::DistanceFunction;
+use dita::sql::{Engine, QueryResult};
+
+fn main() {
+    let history = beijing_like(5_000, 77);
+    println!("fleet history: {}", history.stats());
+
+    // Programmatic kNN over the indexed table.
+    let system = DitaSystem::build(
+        &history,
+        DitaConfig::default(),
+        Cluster::new(ClusterConfig::with_workers(4)),
+    );
+    let route = &sample_queries(&history, 1, 5)[0];
+    println!("\nreference trip: T{} ({} fixes)", route.id, route.len());
+
+    for (f, label) in [
+        (DistanceFunction::Dtw, "DTW"),
+        (DistanceFunction::Frechet, "Fréchet"),
+    ] {
+        let (hits, stats) = knn_search(&system, route.points(), 5, &f);
+        println!(
+            "\ntop-5 under {label} (found in {} radius probes, final radius {:.4}):",
+            stats.rounds, stats.final_radius
+        );
+        for (rank, (id, d)) in hits.iter().enumerate() {
+            println!("  #{} T{id}  {label} = {d:.5}", rank + 1);
+        }
+    }
+
+    // The same through SQL: ORDER BY ... LIMIT is the kNN form.
+    let mut engine = Engine::new(
+        Cluster::new(ClusterConfig::with_workers(4)),
+        DitaConfig::default(),
+    );
+    engine.register("history", history).unwrap();
+    let literal: Vec<String> = route
+        .points()
+        .iter()
+        .map(|p| format!("({}, {})", p.x, p.y))
+        .collect();
+    let sql = format!(
+        "SELECT * FROM history ORDER BY DTW(history, TRAJECTORY({})) LIMIT 3",
+        literal.join(", ")
+    );
+    println!("\nsql> SELECT * FROM history ORDER BY DTW(history, TRAJECTORY(...)) LIMIT 3");
+    println!("plan: {}", engine.explain(&sql).unwrap());
+    if let QueryResult::SearchHits(hits) = engine.execute(&sql).unwrap() {
+        for (id, d) in hits {
+            println!("  T{id}  DTW = {d:.5}");
+        }
+    }
+}

@@ -1,0 +1,190 @@
+#!/usr/bin/env python3
+"""Assembles EXPERIMENTS.md sections from results/experiments_log.txt.
+
+Keeps everything in EXPERIMENTS.md up to the marker line, then appends one
+section per experiment: commentary (below) followed by the verbatim tables
+the binary printed. Rerun after a fresh experiment suite.
+"""
+
+import re
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+LOG = ROOT / "results" / "experiments_log.txt"
+DOC = ROOT / "EXPERIMENTS.md"
+MARK = "<!-- MEASURED SECTIONS INSERTED BELOW -->"
+
+COMMENTARY = {
+    "exp_table1": (
+        "Table 1 — worked DTW example",
+        "Both matrices match the paper cell for cell; DTW(T1, T3) = 5.41 "
+        "exactly. This pins the DTW definition (endpoint alignment, "
+        "Euclidean point distance) used everywhere else.",
+    ),
+    "exp_table2": (
+        "Table 2 / Table 6 — datasets",
+        "Harness-scale stand-ins: cardinalities are ~1/300 of the paper's, "
+        "while the per-row length statistics (avg/min/max) match Table 2's "
+        "shapes (Beijing 22.2/7/112, Chengdu 37.4/10/209, OSM ~115 with "
+        "long-trace splitting at 3000 points).",
+    ),
+    "exp_fig7": (
+        "Figure 7 — search on Beijing (DTW)",
+        "Paper: DITA 2 ms, Simba 7 ms, DFT 93 ms, Naive 105 ms at τ=0.005 "
+        "(11 M trajectories, 256 cores). Measured shape: DITA fastest and "
+        "flattest across τ and data size; DFT pays its two-phase barrier "
+        "(~10×); Naive worst and growing with data; Simba sits close to "
+        "DITA because at this scale both are near the message-latency floor "
+        "— but Simba's latency *grows with τ* (its single-level filter "
+        "admits more candidates) while DITA stays flat, which is the "
+        "paper's trend. Scale-up (panel c) shows DFT and Naive gaining the "
+        "most from workers, as in the paper; scale-out (panel d) is near "
+        "flat for DITA.",
+    ),
+    "exp_fig8": (
+        "Figure 8 — search on Chengdu (DTW)",
+        "Same layout as Figure 7 on the longer-trajectory city. The "
+        "ordering matches Figure 7; Naive's cost roughly doubles versus "
+        "Beijing (longer trajectories), as in the paper.",
+    ),
+    "exp_fig9": (
+        "Figure 9 — join on Beijing (DTW)",
+        "Paper: Simba 31,594 s vs DITA 252 s at τ=0.005 (125×). Measured: "
+        "DITA beats Simba at every τ with the gap *widening* in τ "
+        "(~1.1× → ~2.7×): Simba ships whole partitions and verifies a "
+        "first-point-only candidate set, so its curve climbs steeply, "
+        "while DITA's per-trajectory shipping and multi-level filter keep "
+        "its curve flat — the paper's mechanism, compressed by scale.",
+    ),
+    "exp_fig10": (
+        "Figure 10 — join on Chengdu (DTW)",
+        "Same story as Figure 9 at ~1.5× the data and longer trajectories; "
+        "both systems slow down, the Simba–DITA gap is larger than on "
+        "Beijing (as in the paper, where Simba could not finish Chengdu "
+        "joins beyond τ=0.002).",
+    ),
+    "exp_fig11": (
+        "Figure 11 — large worldwide datasets (DTW and Fréchet)",
+        "Naive and DFT are ~10× slower than the indexed systems, as in "
+        "Figures 7/8. One deviation: Simba edges DITA by ~30 µs here — on "
+        "sparse worldwide data both systems' candidate sets collapse to "
+        "the true answers, and DITA's deeper trie walk over very long "
+        "queries costs slightly more than one R-tree probe (the paper's "
+        "regime, with millions of candidates, rewards the deeper filter "
+        "instead). The join matches the paper's §7.3 observation (3): "
+        "worldwide data yields very few non-trivial pairs, so join cost is "
+        "nearly flat in τ. Fréchet is slower than DTW at the same τ — the "
+        "paper's observation (4).",
+    ),
+    "exp_fig12": (
+        "Figure 12 — pivot strategies and pivot count K",
+        "Paper: Neighbor < Inflection < First/Last with ~10–15% spreads, "
+        "and a K sweet spot at 4 (Beijing) / 5 (Chengdu). Measured: the "
+        "sweeps are flat within run-to-run noise (±15%) — at 1/300 scale "
+        "the filter funnel bottoms out near the true answer count for "
+        "every strategy and K, so the paper's second-order effects don't "
+        "separate. The knob exists and is exercised; its impact needs the "
+        "paper's candidate volumes to show.",
+    ),
+    "exp_fig13": (
+        "Figure 13 — STR endpoint partitioning vs random partitioning",
+        "Paper: several orders of magnitude. Measured: random partitioning "
+        "is ~15× slower and ships ~85× more bytes — both of the paper's "
+        "stated reasons reproduce directly (every trajectory becomes "
+        "relevant to every partition, and local MBRs lose their tightness).",
+    ),
+    "exp_fig14": (
+        "Figure 14 — trie fanout N_L",
+        "Paper: N_L=32 best by a modest margin (~10–20%). Measured: the "
+        "sweep is nearly flat with a weak middle optimum — at 1/300 of the "
+        "paper's partition sizes the trie is shallow, so fanout matters "
+        "less. Trend direction is consistent; magnitude is scale-limited.",
+    ),
+    "exp_fig15": (
+        "Figure 15 — other distance functions",
+        "Panel (a): Fréchet consistently slower than DTW at equal τ "
+        "(paper's observation 1). Panel (b): LCSS beats EDR per τ after "
+        "implementing the banded-δ dynamic program the paper's "
+        "\"index constraint\" argument presupposes (O(m·δ) vs O(mn)); the "
+        "edit-family panel runs on a 30% sample because integer edit "
+        "budgets ≥ 2 defeat endpoint pruning (also why the paper reports "
+        "these joins as much slower).",
+    ),
+    "exp_fig16": (
+        "Figure 16 — load balancing",
+        "Run on 'rush-hour' datasets (a small pool of very popular routes "
+        "creates clone-clique stragglers; real taxi fleets have exactly "
+        "this skew). Measured: DITA's orientation + division cuts the "
+        "un-balanced ratio versus the no-balancing baseline at every τ "
+        "(e.g. ~1.65 → ~1.10) with total time within ~10%, reproducing the "
+        "paper's panels (a)/(b). The replica counts show division engaging.",
+    ),
+    "exp_fig17": (
+        "Figure 17 — centralized comparison (candidates & latency)",
+        "Paper: DITA fewer candidates and ~10× faster than MBE and "
+        "VP-tree. Measured: DITA is the fastest under both DTW and "
+        "Fréchet; candidate counts tie MBE at small τ (both reach the "
+        "floor of true answers at this dataset size) and stay below "
+        "VP-tree's distance-computation count.",
+    ),
+    "exp_table4": (
+        "Table 4 — N_G sweep",
+        "The paper's inverted-U reproduces: join time is best at a middle "
+        "N_G (more partitions = more parallelism but more shipping and "
+        "probing overhead); search is far less sensitive, as in the paper.",
+    ),
+    "exp_table5": (
+        "Table 5 — index construction time and size",
+        "Build time grows linearly with the sample rate and the global "
+        "index stays constant-size (it depends only on the partition "
+        "count) — both paper claims. DITA's local index is smaller than "
+        "DFT's segment index and builds ~4× faster; the paper's gap is "
+        "larger (10×) because its DFT stores bitmap/dual-index extras that "
+        "have no equivalent at this scale.",
+    ),
+    "exp_table7": (
+        "Table 7 — centralized indexing time and size",
+        "Paper: DITA 57 s ≪ MBE 834 s ≪ VP-tree 3507 s. Measured: DITA "
+        "builds ~14× faster than VP-tree (which pays O(n log n) Fréchet "
+        "evaluations), matching the paper's ordering there. Our MBE builds "
+        "*faster* than DITA — a deviation: this MBE computes plain chunk "
+        "MBRs, while the paper's implementation (from the MBE authors) "
+        "evidently does substantially more work per trajectory.",
+    ),
+    "exp_ext_knn": (
+        "Extension — kNN search (paper §8 future work)",
+        "Not a paper experiment. kNN via exact radius expansion over the "
+        "index is ~an order of magnitude faster than a brute-force top-k "
+        "scan, converging in a handful of threshold probes.",
+    ),
+}
+
+
+def main() -> None:
+    log = LOG.read_text()
+    sections = re.split(r"^######## (\w+) ########$", log, flags=re.M)
+    # sections = [prefix, name1, body1, name2, body2, ...]
+    bodies = {}
+    for i in range(1, len(sections) - 1, 2):
+        bodies[sections[i]] = sections[i + 1].strip()
+
+    doc = DOC.read_text()
+    head = doc.split(MARK)[0] + MARK + "\n"
+    out = [head]
+    for exp, (title, text) in COMMENTARY.items():
+        body = bodies.get(exp)
+        if body is None:
+            continue
+        # Strip cargo noise lines.
+        lines = [
+            l
+            for l in body.splitlines()
+            if not l.strip().startswith(("Compiling", "Finished", "Running", "warning"))
+        ]
+        out.append(f"\n## {title}\n\n{text}\n\n```text\n" + "\n".join(lines).strip() + "\n```\n")
+    DOC.write_text("".join(out))
+    print(f"wrote {DOC} with {len(out) - 1} sections")
+
+
+if __name__ == "__main__":
+    main()

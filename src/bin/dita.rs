@@ -1,0 +1,291 @@
+//! The `dita` command-line tool: generate datasets, inspect them, run
+//! similarity search / kNN / join, execute SQL, and preprocess raw files.
+//!
+//! ```text
+//! dita gen --preset beijing --n 10000 --seed 42 --out taxis.txt
+//! dita stats taxis.txt
+//! dita search taxis.txt --query-id 17 --tau 0.002 --func dtw
+//! dita knn taxis.txt --query-id 17 --k 10
+//! dita join taxis.txt taxis.txt --tau 0.002
+//! dita sql taxis.txt "SELECT * FROM t ORDER BY DTW(t, TRAJECTORY((39.9,116.4))) LIMIT 3"
+//! dita preprocess taxis.txt --simplify 0.0002 --out slim.txt
+//! ```
+//!
+//! Argument parsing is hand-rolled (flags are `--name value` pairs) to keep
+//! the dependency set minimal.
+
+use dita::cluster::{Cluster, ClusterConfig};
+use dita::core::{join, knn_search, search, DitaConfig, DitaSystem, JoinOptions};
+use dita::datagen::{beijing_like, chengdu_like, osm_like};
+use dita::distance::DistanceFunction;
+use dita::sql::{Engine, QueryResult};
+use dita::trajectory::{douglas_peucker, remove_outliers, Dataset};
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  dita gen --preset <beijing|chengdu|osm> [--n N] [--seed S] --out FILE
+  dita stats FILE
+  dita search FILE (--query-id ID | --query 'x y x y ...') [--tau T] [--func F] [--workers W]
+  dita knn FILE (--query-id ID | --query 'x y x y ...') [--k K] [--func F] [--workers W]
+  dita join LEFT RIGHT [--tau T] [--func F] [--workers W]
+  dita sql FILE \"STATEMENT\"   (the file is registered as table `t`)
+  dita preprocess FILE [--simplify EPS] [--max-step S] --out FILE
+
+functions: dtw (default), frechet, edr, lcss, erp";
+
+/// Extracts `--name value` flags; returns positional arguments.
+struct Flags {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+}
+
+impl Flags {
+    fn parse(args: &[String]) -> Result<Flags, String> {
+        let mut positional = Vec::new();
+        let mut pairs = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                let value = it
+                    .next()
+                    .ok_or_else(|| format!("flag --{name} needs a value"))?;
+                pairs.push((name.to_string(), value.clone()));
+            } else {
+                positional.push(a.clone());
+            }
+        }
+        Ok(Flags { positional, pairs })
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.pairs
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("invalid --{name} {v:?}")),
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let Some(cmd) = args.first() else {
+        return Err("missing command".into());
+    };
+    let flags = Flags::parse(&args[1..])?;
+    match cmd.as_str() {
+        "gen" => gen(&flags),
+        "stats" => stats(&flags),
+        "search" => search_cmd(&flags),
+        "knn" => knn_cmd(&flags),
+        "join" => join_cmd(&flags),
+        "sql" => sql_cmd(&flags),
+        "preprocess" => preprocess_cmd(&flags),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load(path: &str) -> Result<Dataset, String> {
+    let file = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    Dataset::read_text(path, BufReader::new(file)).map_err(|e| e.to_string())
+}
+
+fn save(dataset: &Dataset, path: &str) -> Result<(), String> {
+    let file = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    dataset
+        .write_text(BufWriter::new(file))
+        .map_err(|e| e.to_string())
+}
+
+fn func_of(flags: &Flags) -> Result<DistanceFunction, String> {
+    flags.get("func").unwrap_or("dtw").parse()
+}
+
+fn cluster_of(flags: &Flags) -> Result<Cluster, String> {
+    let workers: usize = flags.parse_num("workers", 4)?;
+    if workers == 0 {
+        return Err("--workers must be at least 1".into());
+    }
+    Ok(Cluster::new(ClusterConfig::with_workers(workers)))
+}
+
+fn query_of(flags: &Flags, dataset: &Dataset) -> Result<Vec<dita::trajectory::Point>, String> {
+    if let Some(id) = flags.get("query-id") {
+        let id: u64 = id.parse().map_err(|_| "invalid --query-id".to_string())?;
+        let t = dataset
+            .trajectories()
+            .iter()
+            .find(|t| t.id == id)
+            .ok_or_else(|| format!("no trajectory with id {id}"))?;
+        return Ok(t.points().to_vec());
+    }
+    if let Some(coords) = flags.get("query") {
+        let nums: Vec<f64> = coords
+            .split_whitespace()
+            .map(|s| s.parse().map_err(|_| format!("invalid coordinate {s:?}")))
+            .collect::<Result<_, _>>()?;
+        if nums.is_empty() || !nums.len().is_multiple_of(2) {
+            return Err("--query needs an even, non-zero number of coordinates".into());
+        }
+        return Ok(nums
+            .chunks(2)
+            .map(|c| dita::trajectory::Point::new(c[0], c[1]))
+            .collect());
+    }
+    Err("provide --query-id or --query".into())
+}
+
+fn gen(flags: &Flags) -> Result<(), String> {
+    let preset = flags.get("preset").ok_or("missing --preset")?;
+    let n: usize = flags.parse_num("n", 10_000)?;
+    let seed: u64 = flags.parse_num("seed", 42)?;
+    let out = flags.get("out").ok_or("missing --out")?;
+    let dataset = match preset {
+        "beijing" => beijing_like(n, seed),
+        "chengdu" => chengdu_like(n, seed),
+        "osm" => osm_like(n, seed),
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    save(&dataset, out)?;
+    println!("wrote {}: {}", out, dataset.stats());
+    Ok(())
+}
+
+fn stats(flags: &Flags) -> Result<(), String> {
+    let path = flags.positional.first().ok_or("missing FILE")?;
+    let dataset = load(path)?;
+    println!("{}: {}", path, dataset.stats());
+    Ok(())
+}
+
+fn search_cmd(flags: &Flags) -> Result<(), String> {
+    let path = flags.positional.first().ok_or("missing FILE")?;
+    let dataset = load(path)?;
+    let q = query_of(flags, &dataset)?;
+    let tau: f64 = flags.parse_num("tau", 0.002)?;
+    let func = func_of(flags)?;
+    let system = DitaSystem::build(&dataset, DitaConfig::default(), cluster_of(flags)?);
+    let (hits, s) = search(&system, &q, tau, &func);
+    println!(
+        "{} hits ({} candidates, {} relevant partitions)",
+        hits.len(),
+        s.candidates,
+        s.relevant_partitions
+    );
+    for (id, d) in hits {
+        println!("{id}\t{d:.6}");
+    }
+    Ok(())
+}
+
+fn knn_cmd(flags: &Flags) -> Result<(), String> {
+    let path = flags.positional.first().ok_or("missing FILE")?;
+    let dataset = load(path)?;
+    let q = query_of(flags, &dataset)?;
+    let k: usize = flags.parse_num("k", 5)?;
+    let func = func_of(flags)?;
+    let system = DitaSystem::build(&dataset, DitaConfig::default(), cluster_of(flags)?);
+    let (hits, s) = knn_search(&system, &q, k, &func);
+    println!("{}-NN in {} radius probes:", hits.len(), s.rounds);
+    for (rank, (id, d)) in hits.iter().enumerate() {
+        println!("#{}\t{id}\t{d:.6}", rank + 1);
+    }
+    Ok(())
+}
+
+fn join_cmd(flags: &Flags) -> Result<(), String> {
+    let left = flags.positional.first().ok_or("missing LEFT file")?;
+    let right = flags.positional.get(1).ok_or("missing RIGHT file")?;
+    let tau: f64 = flags.parse_num("tau", 0.002)?;
+    let func = func_of(flags)?;
+    let cluster = cluster_of(flags)?;
+    let l = DitaSystem::build(&load(left)?, DitaConfig::default(), cluster.clone());
+    let r = DitaSystem::build(&load(right)?, DitaConfig::default(), cluster);
+    let (pairs, stats) = join(&l, &r, tau, &func, &JoinOptions::default());
+    println!(
+        "{} pairs ({} bi-graph edges, {} candidates, load ratio {:.2})",
+        pairs.len(),
+        stats.edges,
+        stats.candidates,
+        stats.job.load_ratio()
+    );
+    for (a, b, d) in pairs {
+        println!("{a}\t{b}\t{d:.6}");
+    }
+    Ok(())
+}
+
+fn sql_cmd(flags: &Flags) -> Result<(), String> {
+    let path = flags.positional.first().ok_or("missing FILE")?;
+    let stmt = flags.positional.get(1).ok_or("missing SQL statement")?;
+    let mut engine = Engine::new(cluster_of(flags)?, DitaConfig::default());
+    engine
+        .register("t", load(path)?)
+        .map_err(|e| e.to_string())?;
+    println!("plan: {}", engine.explain(stmt).map_err(|e| e.to_string())?);
+    match engine.execute(stmt).map_err(|e| e.to_string())? {
+        QueryResult::Rows(rows) => println!("{} rows", rows.len()),
+        QueryResult::SearchHits(hits) => {
+            for (id, d) in hits {
+                println!("{id}\t{d:.6}");
+            }
+        }
+        QueryResult::JoinPairs(pairs) => {
+            for (a, b, d) in pairs {
+                println!("{a}\t{b}\t{d:.6}");
+            }
+        }
+        QueryResult::Ack(msg) => println!("ok: {msg}"),
+        QueryResult::TableNames(names) => println!("{names:?}"),
+        QueryResult::Plan(plan) => println!("{plan}"),
+    }
+    Ok(())
+}
+
+fn preprocess_cmd(flags: &Flags) -> Result<(), String> {
+    let path = flags.positional.first().ok_or("missing FILE")?;
+    let out = flags.get("out").ok_or("missing --out")?;
+    let dataset = load(path)?;
+    let before = dataset.stats();
+    let simplify: f64 = flags.parse_num("simplify", 0.0)?;
+    let max_step: f64 = flags.parse_num("max-step", 0.0)?;
+    let processed: Vec<_> = dataset
+        .trajectories()
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            if max_step > 0.0 {
+                t = remove_outliers(&t, max_step);
+            }
+            if simplify > 0.0 {
+                t = douglas_peucker(&t, simplify);
+            }
+            t
+        })
+        .collect();
+    let cleaned = Dataset::new_unchecked(dataset.name.clone(), processed);
+    save(&cleaned, out)?;
+    println!("before: {before}");
+    println!("after:  {}", cleaned.stats());
+    Ok(())
+}

@@ -1,0 +1,34 @@
+//! DITA — Distributed In-Memory Trajectory Analytics.
+//!
+//! A from-scratch Rust reproduction of the SIGMOD 2018 paper
+//! *DITA: Distributed In-Memory Trajectory Analytics* (Shang, Li, Bao).
+//!
+//! This facade crate re-exports the whole workspace so applications can
+//! depend on a single crate:
+//!
+//! * [`trajectory`] — points, MBRs, trajectories, cell compression, datasets.
+//! * [`distance`] — DTW, Fréchet, EDR, LCSS, ERP and all pruning bounds.
+//! * [`rtree`] — STR-packed R-tree used by the global index and baselines.
+//! * [`index`] — pivot selection, partitioning, global + trie local indexes.
+//! * [`cluster`] — the simulated distributed in-memory runtime.
+//! * [`core`] — the DITA system: distributed similarity search and join.
+//! * [`baselines`] — Naive / Simba-style / DFT-style / MBE / VP-tree.
+//! * [`sql`] — SQL and DataFrame front-ends.
+//! * [`datagen`] — deterministic synthetic dataset generators.
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use dita_baselines as baselines;
+pub use dita_cluster as cluster;
+pub use dita_core as core;
+pub use dita_datagen as datagen;
+pub use dita_distance as distance;
+pub use dita_index as index;
+pub use dita_rtree as rtree;
+pub use dita_sql as sql;
+pub use dita_trajectory as trajectory;
+
+/// Commonly used items, importable with `use dita::prelude::*`.
+pub mod prelude {
+    pub use dita_trajectory::{Dataset, Mbr, Point, Trajectory, TrajectoryId};
+}

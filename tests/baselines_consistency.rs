@@ -1,0 +1,149 @@
+//! Every system — DITA and all five baselines — must return identical
+//! answers on the same workload; they differ only in *how much work* they
+//! do, which the candidate counts make visible (the paper's Figure 17
+//! argument).
+
+use dita::baselines::{DftSystem, MbeIndex, NaiveSystem, SimbaSystem, VpTree};
+use dita::cluster::{Cluster, ClusterConfig};
+use dita::core::{search, DitaConfig, DitaSystem};
+use dita::datagen::{chengdu_tiny, sample_queries};
+use dita::distance::DistanceFunction;
+use dita::index::{PivotStrategy, TrieConfig};
+
+fn config() -> DitaConfig {
+    DitaConfig {
+        ng: 4,
+        trie: TrieConfig {
+            k: 3,
+            nl: 4,
+            leaf_capacity: 4,
+            strategy: PivotStrategy::NeighborDistance,
+            cell_side: 0.002,
+        },
+    }
+}
+
+#[test]
+fn all_systems_return_identical_search_answers() {
+    let dataset = chengdu_tiny(300, 77);
+    let cluster = Cluster::new(ClusterConfig::with_workers(2));
+
+    let dita = DitaSystem::build(&dataset, config(), cluster.clone());
+    let naive = NaiveSystem::build(dataset.trajectories(), cluster.clone());
+    let simba = SimbaSystem::build(dataset.trajectories(), 8, cluster.clone());
+    let dft = DftSystem::build(dataset.trajectories(), 8, cluster);
+    let mbe = MbeIndex::build(dataset.trajectories(), 4);
+    let vp = VpTree::build(dataset.trajectories(), DistanceFunction::Frechet);
+
+    let queries = sample_queries(&dataset, 6, 9);
+    for q in &queries {
+        for (f, tau) in [
+            (DistanceFunction::Dtw, 0.004),
+            (DistanceFunction::Frechet, 0.002),
+        ] {
+            let (dita_hits, _) = search(&dita, q.points(), tau, &f);
+            let ids = |v: &[(u64, f64)]| v.iter().map(|&(i, _)| i).collect::<Vec<_>>();
+            let reference = ids(&dita_hits);
+
+            let (naive_hits, _) = naive.search(q.points(), tau, &f);
+            assert_eq!(ids(&naive_hits), reference, "naive {f}");
+
+            let (simba_hits, simba_cands, _) = simba.search(q.points(), tau, &f);
+            assert_eq!(ids(&simba_hits), reference, "simba {f}");
+            assert!(simba_cands >= simba_hits.len());
+
+            let (dft_hits, dft_cands, _, _) = dft.search(q.points(), tau, &f);
+            assert_eq!(ids(&dft_hits), reference, "dft {f}");
+            assert!(dft_cands >= dft_hits.len());
+
+            let (mbe_hits, mbe_cands) = mbe.search(q.points(), tau, &f);
+            assert_eq!(ids(&mbe_hits), reference, "mbe {f}");
+            assert!(mbe_cands >= mbe_hits.len());
+
+            if f.is_metric() {
+                let (vp_hits, _) = vp.search(q, tau);
+                assert_eq!(ids(&vp_hits), reference, "vptree {f}");
+            }
+        }
+    }
+}
+
+#[test]
+fn dita_produces_fewest_candidates() {
+    // The core claim behind Figures 7, 8 and 17: DITA's multi-level filter
+    // admits fewer candidates than Simba's single-level first-point filter
+    // and MBE's envelope bound, on aggregate.
+    let dataset = chengdu_tiny(400, 99);
+    let cluster = Cluster::new(ClusterConfig::with_workers(2));
+    let dita = DitaSystem::build(&dataset, config(), cluster.clone());
+    let simba = SimbaSystem::build(dataset.trajectories(), 16, cluster.clone());
+    let dft = DftSystem::build(dataset.trajectories(), 16, cluster);
+    let mbe = MbeIndex::build(dataset.trajectories(), 8);
+
+    let queries = sample_queries(&dataset, 12, 4);
+    let tau = 0.004;
+    let f = DistanceFunction::Dtw;
+    let mut dita_total = 0usize;
+    let mut simba_total = 0usize;
+    let mut dft_total = 0usize;
+    let mut mbe_total = 0usize;
+    for q in &queries {
+        let (_, s) = search(&dita, q.points(), tau, &f);
+        dita_total += s.candidates;
+        let (_, c, _) = simba.search(q.points(), tau, &f);
+        simba_total += c;
+        let (_, c, _, _) = dft.search(q.points(), tau, &f);
+        dft_total += c;
+        let (_, c) = mbe.search(q.points(), tau, &f);
+        mbe_total += c;
+    }
+    assert!(
+        dita_total <= simba_total,
+        "DITA candidates {dita_total} vs Simba {simba_total}"
+    );
+    assert!(
+        dita_total <= dft_total,
+        "DITA candidates {dita_total} vs DFT {dft_total}"
+    );
+    assert!(
+        dita_total <= mbe_total,
+        "DITA candidates {dita_total} vs MBE {mbe_total}"
+    );
+}
+
+#[test]
+fn join_answers_agree_across_systems() {
+    let dataset = chengdu_tiny(120, 13);
+    let cluster = Cluster::new(ClusterConfig::with_workers(2));
+    let dita = DitaSystem::build(&dataset, config(), cluster.clone());
+    let naive = NaiveSystem::build(dataset.trajectories(), cluster.clone());
+    let simba = SimbaSystem::build(dataset.trajectories(), 4, cluster);
+    let mbe = MbeIndex::build(dataset.trajectories(), 4);
+
+    let tau = 0.003;
+    let f = DistanceFunction::Dtw;
+    let (dita_pairs, _) = dita::core::join(
+        &dita,
+        &dita,
+        tau,
+        &f,
+        &dita::core::JoinOptions::default(),
+    );
+    let reference: Vec<(u64, u64)> = dita_pairs.iter().map(|&(a, b, _)| (a, b)).collect();
+
+    let (naive_pairs, _) = naive.join(&naive, tau, &f);
+    assert_eq!(
+        naive_pairs.iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>(),
+        reference
+    );
+    let (simba_pairs, _, _) = simba.join(&simba, tau, &f);
+    assert_eq!(
+        simba_pairs.iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>(),
+        reference
+    );
+    let (mbe_pairs, _) = mbe.join(&mbe, tau, &f);
+    assert_eq!(
+        mbe_pairs.iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>(),
+        reference
+    );
+}

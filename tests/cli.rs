@@ -1,0 +1,111 @@
+//! Integration tests for the `dita` command-line tool.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn dita() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dita"))
+}
+
+fn tmpfile(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("dita-cli-test-{}-{name}", std::process::id()));
+    p
+}
+
+fn gen_dataset(path: &PathBuf) {
+    let out = dita()
+        .args(["gen", "--preset", "beijing", "--n", "300", "--seed", "7", "--out"])
+        .arg(path)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+}
+
+#[test]
+fn gen_stats_roundtrip() {
+    let path = tmpfile("gen.txt");
+    gen_dataset(&path);
+    let out = dita().arg("stats").arg(&path).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("cardinality=300"), "{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn search_finds_query_itself() {
+    let path = tmpfile("search.txt");
+    gen_dataset(&path);
+    let out = dita()
+        .arg("search")
+        .arg(&path)
+        .args(["--query-id", "5", "--tau", "0.001", "--workers", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("5\t0.000000"), "{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn knn_returns_k_rows() {
+    let path = tmpfile("knn.txt");
+    gen_dataset(&path);
+    let out = dita()
+        .arg("knn")
+        .arg(&path)
+        .args(["--query-id", "3", "--k", "4", "--workers", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(text.lines().filter(|l| l.starts_with('#')).count(), 4, "{text}");
+    assert!(text.contains("#1\t3\t0.000000"), "{text}");
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn sql_statement_executes() {
+    let path = tmpfile("sql.txt");
+    gen_dataset(&path);
+    let out = dita()
+        .arg("sql")
+        .arg(&path)
+        .arg("SHOW TABLES")
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8_lossy(&out.stdout).contains("\"t\""));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn preprocess_shrinks_points() {
+    let input = tmpfile("pre-in.txt");
+    let output = tmpfile("pre-out.txt");
+    gen_dataset(&input);
+    let out = dita()
+        .arg("preprocess")
+        .arg(&input)
+        .args(["--simplify", "0.0005", "--out"])
+        .arg(&output)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("before:") && text.contains("after:"), "{text}");
+    assert!(output.exists());
+    let _ = std::fs::remove_file(&input);
+    let _ = std::fs::remove_file(&output);
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let out = dita().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+    let out = dita().output().unwrap();
+    assert!(!out.status.success());
+}
