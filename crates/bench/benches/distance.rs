@@ -4,10 +4,10 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dita_datagen::{chengdu_like, sample_queries};
 use dita_distance::{
-    dtw, dtw_double_direction, dtw_threshold, edr, erp, frechet, frechet_threshold,
-    lcss_distance,
+    dtw, dtw_double_direction, dtw_soa, dtw_threshold, edr, erp, frechet,
+    frechet_soa, frechet_threshold, lcss_distance, Scratch,
 };
-use dita_trajectory::{Point, Trajectory};
+use dita_trajectory::{Point, SoaPoints, Trajectory};
 use std::hint::black_box;
 
 fn pairs() -> Vec<(Trajectory, Trajectory)> {
@@ -97,6 +97,56 @@ fn bench_thresholded(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_soa_vs_aos(c: &mut Criterion) {
+    // The PR-1 tentpole comparison: the AoS threshold kernels against the
+    // band-pruned SoA kernels with reused scratch, on dissimilar pairs
+    // (where pruning dominates) and similar pairs (where layout dominates).
+    let ps = pairs();
+    let soa: Vec<(SoaPoints, SoaPoints)> = ps
+        .iter()
+        .map(|(a, q)| {
+            (
+                SoaPoints::from_points(a.points()),
+                SoaPoints::from_points(q.points()),
+            )
+        })
+        .collect();
+    for (label, tau) in [("dissimilar", 0.002), ("similar", 1.0)] {
+        let mut g = c.benchmark_group(format!("distance/soa-vs-aos/{label}"));
+        g.bench_function("dtw-aos", |b| {
+            b.iter(|| {
+                for (a, q) in &ps {
+                    black_box(dtw_threshold(a.points(), q.points(), tau));
+                }
+            })
+        });
+        g.bench_function("dtw-soa", |b| {
+            let mut scratch = Scratch::new();
+            b.iter(|| {
+                for (a, q) in &soa {
+                    black_box(dtw_soa(a.view(), q.view(), tau, &mut scratch));
+                }
+            })
+        });
+        g.bench_function("frechet-aos", |b| {
+            b.iter(|| {
+                for (a, q) in &ps {
+                    black_box(frechet_threshold(a.points(), q.points(), tau));
+                }
+            })
+        });
+        g.bench_function("frechet-soa", |b| {
+            let mut scratch = Scratch::new();
+            b.iter(|| {
+                for (a, q) in &soa {
+                    black_box(frechet_soa(a.view(), q.view(), tau, &mut scratch));
+                }
+            })
+        });
+        g.finish();
+    }
+}
+
 fn bench_by_length(c: &mut Criterion) {
     let mut g = c.benchmark_group("distance/dtw-by-length");
     for len in [16usize, 64, 256] {
@@ -111,5 +161,11 @@ fn bench_by_length(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_full_distances, bench_thresholded, bench_by_length);
+criterion_group!(
+    benches,
+    bench_full_distances,
+    bench_thresholded,
+    bench_soa_vs_aos,
+    bench_by_length
+);
 criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Candidate-verification micro-benchmarks: serial vs rayon-parallel
+//! verification of a worker's candidate list (the PR-1 runtime change).
+//!
+//! Scaling is only visible on multi-core hosts; on a single-CPU container
+//! the thread counts should tie, which is itself worth confirming — the
+//! parallel path must not cost anything when it cannot help.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dita_core::{verify_candidates, QueryContext};
+use dita_datagen::{chengdu_like, sample_queries};
+use dita_distance::DistanceFunction;
+use dita_index::{PivotStrategy, TrieConfig, TrieIndex};
+use std::hint::black_box;
+
+const CELL_SIDE: f64 = 0.01;
+
+fn bench_parallel_verify(c: &mut Criterion) {
+    let dataset = chengdu_like(512, 99);
+    let trie = TrieIndex::build(
+        dataset.trajectories().to_vec(),
+        TrieConfig {
+            k: 3,
+            nl: 4,
+            leaf_capacity: 8,
+            strategy: PivotStrategy::NeighborDistance,
+            cell_side: CELL_SIDE,
+        },
+    );
+    let q = &sample_queries(&dataset, 1, 5)[0];
+    let func = DistanceFunction::Dtw;
+    // A loose threshold so the filter passes many candidates through and
+    // verification dominates.
+    let tau = 0.05;
+    let (cands, _) = trie.candidates_with_stats(q.points(), tau, &func);
+    let ctx = QueryContext::new(q.points(), CELL_SIDE);
+
+    let mut g = c.benchmark_group("verify/threads");
+    g.throughput(criterion::Throughput::Elements(cands.len() as u64));
+    for threads in [1usize, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, &t| {
+            b.iter(|| black_box(verify_candidates(&trie, &cands, &ctx, tau, &func, t)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_verify);
+criterion_main!(benches);

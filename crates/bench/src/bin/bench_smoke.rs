@@ -1,0 +1,426 @@
+//! PR-1 smoke benchmark: one fast, dependency-light run that produces
+//! `results/BENCH_PR1.json` with before/after numbers for the SoA
+//! band-pruned kernels and intra-worker parallel verification.
+//!
+//! Unlike the Criterion benches this uses plain `Instant` timing (coarser,
+//! but runs in seconds) and writes its JSON by hand, so it works even where
+//! Criterion cannot. Data is seeded xorshift random walks — deterministic
+//! and free of any external dependency.
+//!
+//! Sections:
+//! 1. kernels — AoS threshold kernels vs SoA band-pruned kernels, per
+//!    function, on dissimilar pairs (pruning-bound) and similar pairs
+//!    (layout-bound).
+//! 2. verified-pairs/sec — mixed DTW workload through the SoA kernel.
+//! 3. search p50 — end-to-end `search_with_options` latency, serial and
+//!    with 4 verify threads.
+//! 4. thread scaling — `verify_candidates` at 1/2/4 rayon threads. Flat on
+//!    a single-CPU host; near-linear where cores exist.
+
+use dita_cluster::{Cluster, ClusterConfig};
+use dita_core::{
+    search_with_options, verify_candidates, DitaConfig, DitaSystem, QueryContext,
+    SearchOptions,
+};
+use dita_distance::{
+    dtw_double_direction, dtw_soa, dtw_threshold, edr_soa, edr_threshold, erp_soa,
+    erp_threshold, frechet_soa, frechet_threshold, lcss_distance_threshold, lcss_soa,
+    DistanceFunction, Scratch,
+};
+use dita_index::{PivotStrategy, TrieConfig, TrieIndex};
+use dita_trajectory::{Dataset, Point, SoaPoints, Trajectory};
+use std::time::Instant;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn walk(rng: &mut XorShift, len: usize, x0: f64, y0: f64) -> Vec<Point> {
+    let mut pts = Vec::with_capacity(len);
+    let (mut x, mut y) = (x0, y0);
+    for _ in 0..len {
+        x += (rng.next_f64() - 0.5) * 0.01;
+        y += (rng.next_f64() - 0.5) * 0.01;
+        pts.push(Point::new(x, y));
+    }
+    pts
+}
+
+/// Mean ns/call after a warmup pass; `f` returns a value to keep the
+/// optimizer honest.
+fn time_ns<F: FnMut() -> u64>(mut f: F, iters: usize) -> f64 {
+    let mut sink = 0u64;
+    for _ in 0..iters / 10 + 1 {
+        sink = sink.wrapping_add(f());
+    }
+    let t0 = Instant::now();
+    for _ in 0..iters {
+        sink = sink.wrapping_add(f());
+    }
+    let dt = t0.elapsed().as_nanos() as f64 / iters as f64;
+    assert!(sink != u64::MAX, "sink");
+    dt
+}
+
+fn jitter_seed(t: &[Point]) -> u64 {
+    (t.len() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1
+}
+
+fn main() {
+    let mut rng = XorShift(0x5EED);
+    const LEN: usize = 64;
+    const NPAIR: usize = 64;
+
+    // Dissimilar pairs: independent walks far apart → tight τ abandons
+    // early. Similar pairs: jittered copies → the DP must complete.
+    let dis: Vec<(Vec<Point>, Vec<Point>)> = (0..NPAIR)
+        .map(|_| (walk(&mut rng, LEN, 0.0, 0.0), walk(&mut rng, LEN, 1.0, 1.0)))
+        .collect();
+    let sim: Vec<(Vec<Point>, Vec<Point>)> = (0..NPAIR)
+        .map(|_| {
+            let t = walk(&mut rng, LEN, 0.0, 0.0);
+            let mut r2 = XorShift(jitter_seed(&t));
+            let q = t
+                .iter()
+                .map(|p| {
+                    Point::new(
+                        p.x + (r2.next_f64() - 0.5) * 0.002,
+                        p.y + (r2.next_f64() - 0.5) * 0.002,
+                    )
+                })
+                .collect();
+            (t, q)
+        })
+        .collect();
+
+    let soa = |ps: &[(Vec<Point>, Vec<Point>)]| -> Vec<(SoaPoints, SoaPoints)> {
+        ps.iter()
+            .map(|(a, b)| (SoaPoints::from_points(a), SoaPoints::from_points(b)))
+            .collect()
+    };
+    let (dis_soa, sim_soa) = (soa(&dis), soa(&sim));
+
+    let tau_dis = 0.05; // far below the dissimilar pairs' true DTW
+    let tau_sim = 0.5; // comfortably above the similar pairs' DTW
+    let iters = 2000;
+    let mut kernels = Vec::new();
+    let mut scratch = Scratch::new();
+
+    macro_rules! bench_pair {
+        ($name:expr, $aos:expr, $soacall:expr) => {{
+            let aos_ns = time_ns($aos, iters);
+            let soa_ns = time_ns($soacall, iters);
+            println!(
+                "{:>32}  aos {:>10.0} ns  soa {:>10.0} ns  speedup {:>6.2}x",
+                $name,
+                aos_ns,
+                soa_ns,
+                aos_ns / soa_ns
+            );
+            kernels.push(($name, aos_ns, soa_ns));
+        }};
+    }
+
+    macro_rules! sum_over {
+        ($pairs:expr, $call:expr) => {
+            || {
+                let mut h = 0u64;
+                for (a, b) in $pairs {
+                    h = h.wrapping_add($call(a, b) as u64);
+                }
+                h
+            }
+        };
+    }
+
+    bench_pair!(
+        "dtw/dissimilar/early-abandon",
+        sum_over!(&dis, |a: &Vec<Point>, b: &Vec<Point>| dtw_threshold(a, b, tau_dis)
+            .is_some()),
+        sum_over!(&dis_soa, |a: &SoaPoints, b: &SoaPoints| dtw_soa(
+            a.view(),
+            b.view(),
+            tau_dis,
+            &mut scratch
+        )
+        .is_some())
+    );
+    bench_pair!(
+        "dtw/dissimilar/double-direction",
+        sum_over!(&dis, |a: &Vec<Point>, b: &Vec<Point>| dtw_double_direction(
+            a, b, tau_dis
+        )
+        .is_some()),
+        sum_over!(&dis_soa, |a: &SoaPoints, b: &SoaPoints| dtw_soa(
+            a.view(),
+            b.view(),
+            tau_dis,
+            &mut scratch
+        )
+        .is_some())
+    );
+    bench_pair!(
+        "dtw/similar/full-verify",
+        sum_over!(&sim, |a: &Vec<Point>, b: &Vec<Point>| dtw_double_direction(
+            a, b, tau_sim
+        )
+        .is_some()),
+        sum_over!(&sim_soa, |a: &SoaPoints, b: &SoaPoints| dtw_soa(
+            a.view(),
+            b.view(),
+            tau_sim,
+            &mut scratch
+        )
+        .is_some())
+    );
+    bench_pair!(
+        "frechet/dissimilar",
+        sum_over!(&dis, |a: &Vec<Point>, b: &Vec<Point>| frechet_threshold(
+            a, b, tau_dis
+        )
+        .is_some()),
+        sum_over!(&dis_soa, |a: &SoaPoints, b: &SoaPoints| frechet_soa(
+            a.view(),
+            b.view(),
+            tau_dis,
+            &mut scratch
+        )
+        .is_some())
+    );
+    bench_pair!(
+        "frechet/similar",
+        sum_over!(&sim, |a: &Vec<Point>, b: &Vec<Point>| frechet_threshold(
+            a, b, tau_sim
+        )
+        .is_some()),
+        sum_over!(&sim_soa, |a: &SoaPoints, b: &SoaPoints| frechet_soa(
+            a.view(),
+            b.view(),
+            tau_sim,
+            &mut scratch
+        )
+        .is_some())
+    );
+    bench_pair!(
+        "edr/dissimilar",
+        sum_over!(&dis, |a: &Vec<Point>, b: &Vec<Point>| edr_threshold(
+            a, b, 0.005, 8.0
+        )
+        .is_some()),
+        sum_over!(&dis_soa, |a: &SoaPoints, b: &SoaPoints| edr_soa(
+            a.view(),
+            b.view(),
+            0.005,
+            8.0,
+            &mut scratch
+        )
+        .is_some())
+    );
+    bench_pair!(
+        "erp/dissimilar",
+        sum_over!(&dis, |a: &Vec<Point>, b: &Vec<Point>| erp_threshold(
+            a,
+            b,
+            &Point::new(0.0, 0.0),
+            tau_dis
+        )
+        .is_some()),
+        sum_over!(&dis_soa, |a: &SoaPoints, b: &SoaPoints| erp_soa(
+            a.view(),
+            b.view(),
+            0.0,
+            0.0,
+            tau_dis,
+            &mut scratch
+        )
+        .is_some())
+    );
+    bench_pair!(
+        "lcss/similar",
+        sum_over!(&sim, |a: &Vec<Point>, b: &Vec<Point>| lcss_distance_threshold(
+            a, b, 0.005, 3, 16.0
+        )
+        .is_some()),
+        sum_over!(&sim_soa, |a: &SoaPoints, b: &SoaPoints| lcss_soa(
+            a.view(),
+            b.view(),
+            0.005,
+            3,
+            16.0,
+            &mut scratch
+        )
+        .is_some())
+    );
+
+    // Verified-pairs/sec with the SoA kernel, mixed workload.
+    let mixed: Vec<&(SoaPoints, SoaPoints)> =
+        dis_soa.iter().chain(sim_soa.iter()).collect();
+    let t0 = Instant::now();
+    let reps = 4000usize;
+    let mut hits = 0u64;
+    for _ in 0..reps {
+        for (a, b) in &mixed {
+            hits = hits.wrapping_add(
+                dtw_soa(a.view(), b.view(), tau_sim, &mut scratch).is_some() as u64,
+            );
+        }
+    }
+    let pairs_per_sec = (reps * mixed.len()) as f64 / t0.elapsed().as_secs_f64();
+    println!("verified-pairs/sec (dtw soa, mixed): {pairs_per_sec:.0} (hits {hits})");
+
+    // End-to-end search latency over a 2000-trajectory synthetic city.
+    let mut rng = XorShift(0xC17F);
+    let ts: Vec<Trajectory> = (0..2000)
+        .map(|i| {
+            let len = 24 + (rng.next_u64() % 41) as usize;
+            let (x0, y0) = (rng.next_f64() * 2.0, rng.next_f64() * 2.0);
+            Trajectory::new(i + 1, walk(&mut rng, len, x0, y0))
+        })
+        .collect();
+    let queries: Vec<Vec<Point>> = (0..40)
+        .map(|i| {
+            let t = ts[(i * 47) % ts.len()].points();
+            let mut r2 = XorShift(jitter_seed(t) ^ i as u64);
+            t.iter()
+                .map(|p| {
+                    Point::new(
+                        p.x + (r2.next_f64() - 0.5) * 0.004,
+                        p.y + (r2.next_f64() - 0.5) * 0.004,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let trie_config = TrieConfig {
+        k: 3,
+        nl: 4,
+        leaf_capacity: 8,
+        strategy: PivotStrategy::NeighborDistance,
+        cell_side: 0.05,
+    };
+    let sys = DitaSystem::build(
+        &Dataset::new_unchecked("smoke", ts.clone()),
+        DitaConfig {
+            ng: 8,
+            trie: trie_config,
+        },
+        Cluster::new(ClusterConfig::with_workers(4)),
+    );
+    // DTW is additive: the per-point jitter sums to at most ~0.18 over the
+    // longest trajectories, so τ = 0.2 always recovers the jittered source.
+    let tau = 0.2;
+    let p50 = |threads: usize| -> f64 {
+        let mut ms: Vec<f64> = queries
+            .iter()
+            .map(|q| {
+                let t0 = Instant::now();
+                let (r, _) = search_with_options(
+                    &sys,
+                    q,
+                    tau,
+                    &DistanceFunction::Dtw,
+                    SearchOptions {
+                        verify_threads: threads,
+                    },
+                );
+                assert!(!r.is_empty(), "every query is a jittered member");
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        ms.sort_by(|a, b| a.total_cmp(b));
+        ms[ms.len() / 2]
+    };
+    let p50_serial = p50(1);
+    let p50_parallel = p50(4);
+    println!("search p50: serial {p50_serial:.3} ms, 4 verify threads {p50_parallel:.3} ms");
+
+    // Thread-scaling through the real rayon verification path. The index
+    // holds 512 jittered copies of one base walk, so every trajectory
+    // passes the filter and needs its full DP verified — the candidate
+    // list is large and verification-bound by construction.
+    let mut rng = XorShift(0xACED);
+    let base = walk(&mut rng, LEN, 0.0, 0.0);
+    let copies: Vec<Trajectory> = (0..512u64)
+        .map(|i| {
+            let mut r2 = XorShift(0x1000 + i * 3);
+            let pts = base
+                .iter()
+                .map(|p| {
+                    Point::new(
+                        p.x + (r2.next_f64() - 0.5) * 0.002,
+                        p.y + (r2.next_f64() - 0.5) * 0.002,
+                    )
+                })
+                .collect();
+            Trajectory::new(i + 1, pts)
+        })
+        .collect();
+    let trie = TrieIndex::build(copies, trie_config);
+    let q = &base;
+    let loose_tau = tau_sim;
+    let (cands, _) = trie.candidates_with_stats(q, loose_tau, &DistanceFunction::Dtw);
+    let ctx = QueryContext::new(q, trie_config.cell_side);
+    println!("thread-scaling candidate list: {} candidates", cands.len());
+    let mut scaling = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let reps = 20usize;
+        let t0 = Instant::now();
+        let mut n = 0usize;
+        for _ in 0..reps {
+            n = verify_candidates(&trie, &cands, &ctx, loose_tau, &DistanceFunction::Dtw, threads)
+                .len();
+        }
+        let pps = (reps * cands.len()) as f64 / t0.elapsed().as_secs_f64();
+        println!("  threads={threads}: {pps:.0} verified-pairs/sec ({n} hits)");
+        scaling.push((threads, pps));
+    }
+
+    // Machine-readable output.
+    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
+    let mut json = String::from("{\n  \"kernels\": [\n");
+    for (i, (name, aos, soa)) in kernels.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"aos_ns\": {aos:.0}, \"soa_ns\": {soa:.0}, \
+             \"speedup\": {:.2}}}",
+            aos / soa
+        ));
+    }
+    json.push_str(&format!(
+        "\n  ],\n  \"verified_pairs_per_sec\": {pairs_per_sec:.0},\n  \
+         \"search_p50_ms\": {{\"serial\": {p50_serial:.3}, \"verify_threads_4\": \
+         {p50_parallel:.3}}},\n  \"thread_scaling\": [\n"
+    ));
+    for (i, (t, p)) in scaling.iter().enumerate() {
+        if i > 0 {
+            json.push_str(",\n");
+        }
+        json.push_str(&format!(
+            "    {{\"threads\": {t}, \"pairs_per_sec\": {p:.0}}}"
+        ));
+    }
+    json.push_str(&format!(
+        "\n  ],\n  \"host_cores\": {cores},\n  \"note\": \"thread scaling is flat \
+         when host_cores is 1; the rayon pool cannot beat one CPU\"\n}}\n"
+    ));
+    std::fs::create_dir_all("results").ok();
+    match std::fs::write("results/BENCH_PR1.json", &json) {
+        Ok(()) => println!("wrote results/BENCH_PR1.json"),
+        Err(e) => eprintln!("warning: cannot write results/BENCH_PR1.json: {e}"),
+    }
+}

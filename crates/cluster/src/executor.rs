@@ -10,6 +10,7 @@
 
 use crate::network::NetworkModel;
 use crate::stats::{JobStats, WorkerStats};
+use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
@@ -20,7 +21,7 @@ pub const MAX_TASK_ATTEMPTS: usize = 4;
 /// CPU time consumed by the calling thread. Unlike wall-clock deltas, this
 /// is immune to preemption, so per-task compute costs stay accurate even
 /// when the host has fewer physical cores than the cluster has workers.
-fn thread_cpu_time() -> Duration {
+pub fn thread_cpu_time() -> Duration {
     let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
     // SAFETY: ts is a valid out-pointer; the clock id is always available
     // on Linux.
@@ -28,6 +29,32 @@ fn thread_cpu_time() -> Duration {
         libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts);
     }
     Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+}
+
+thread_local! {
+    /// Compute time charged to the current worker task by helper threads it
+    /// spawned (see [`charge_compute`]); drained once per task.
+    static EXTRA_COMPUTE_NS: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Adds `d` of CPU time to the current worker task's compute cost.
+///
+/// The executor measures each task with the *worker thread's* CPU clock,
+/// which cannot see work done on other threads. A task that fans out to a
+/// local thread pool (e.g. rayon-parallel verification) measures its helper
+/// threads' CPU time itself and reports the total here; the executor folds
+/// it into the task's compute stats, keeping the cost model honest — the
+/// simulated makespan reflects the work done, not the parallelism of the
+/// host it happened to run on.
+///
+/// Calls from outside a cluster task are discarded at the next task start.
+pub fn charge_compute(d: Duration) {
+    EXTRA_COMPUTE_NS.with(|c| c.set(c.get().saturating_add(d.as_nanos() as u64)));
+}
+
+/// Drains the compute time reported via [`charge_compute`] on this thread.
+fn take_extra_compute() -> Duration {
+    Duration::from_nanos(EXTRA_COMPUTE_NS.with(|c| c.replace(0)))
 }
 
 /// Cluster configuration.
@@ -143,6 +170,7 @@ impl Cluster {
                             stats.network += Duration::from_secs_f64(
                                 net.transfer_sec(task.incoming_bytes),
                             );
+                            let _ = take_extra_compute(); // discard stale charges
                             let t0 = thread_cpu_time();
                             // Task-level fault tolerance: a panicking task
                             // is retried up to MAX_TASK_ATTEMPTS times with
@@ -162,7 +190,8 @@ impl Cluster {
                                     Err(e) => std::panic::resume_unwind(e),
                                 }
                             }
-                            stats.compute += thread_cpu_time().saturating_sub(t0);
+                            stats.compute +=
+                                thread_cpu_time().saturating_sub(t0) + take_extra_compute();
                             stats.tasks += 1;
                             results.push((i, r.expect("task completed or job aborted")));
                         }
@@ -236,7 +265,9 @@ impl Cluster {
         let (outcome, _raw) = self.execute(pinned, move |_w, payload| {
             let t0 = thread_cpu_time();
             let r = f(payload);
-            (r, thread_cpu_time().saturating_sub(t0))
+            // Include CPU time the task reported from helper threads so the
+            // schedule below prices the task's real cost.
+            (r, thread_cpu_time().saturating_sub(t0) + take_extra_compute())
         });
         let elapsed = started.elapsed();
 
@@ -427,6 +458,36 @@ mod tests {
     #[should_panic(expected = "at least one worker")]
     fn zero_workers_rejected() {
         let _ = Cluster::new(ClusterConfig::with_workers(0));
+    }
+
+    #[test]
+    fn charged_compute_reaches_worker_stats() {
+        let c = cluster(1);
+        let tasks = vec![TaskSpec { worker: 0, incoming_bytes: 0, payload: () }];
+        let (_, stats) = c.execute(tasks, |_, ()| {
+            // Pretend helper threads burned 250ms of CPU on our behalf.
+            charge_compute(Duration::from_millis(250));
+        });
+        assert!(
+            stats.workers[0].compute >= Duration::from_millis(250),
+            "charged compute missing: {:?}",
+            stats.workers[0].compute
+        );
+    }
+
+    #[test]
+    fn stale_charges_are_discarded_before_a_task() {
+        // A charge made outside any task (here: on the main thread) must not
+        // leak into worker stats — and worker threads are fresh anyway.
+        charge_compute(Duration::from_secs(500));
+        let c = cluster(1);
+        let tasks = vec![TaskSpec { worker: 0, incoming_bytes: 0, payload: () }];
+        let (_, stats) = c.execute(tasks, |_, ()| ());
+        assert!(
+            stats.workers[0].compute < Duration::from_secs(100),
+            "stale charge leaked: {:?}",
+            stats.workers[0].compute
+        );
     }
 
     #[test]

@@ -23,6 +23,6 @@ pub mod executor;
 pub mod network;
 pub mod stats;
 
-pub use executor::{Cluster, ClusterConfig, DynTaskSpec, TaskSpec};
+pub use executor::{charge_compute, thread_cpu_time, Cluster, ClusterConfig, DynTaskSpec, TaskSpec};
 pub use network::NetworkModel;
 pub use stats::{JobStats, WorkerStats};

@@ -20,8 +20,9 @@
 //!    against the destination's trie index, verifying on the fly.
 
 use crate::system::DitaSystem;
-use crate::verify::{verify_pair, QueryContext};
+use crate::verify::{verify_pair_soa, QueryContext};
 use dita_cluster::JobStats;
+use dita_distance::kernel::Scratch;
 use dita_distance::function::IndexMode;
 use dita_distance::DistanceFunction;
 use dita_trajectory::TrajectoryId;
@@ -206,6 +207,7 @@ pub fn join(
     let (outputs, job) = cluster.execute_dynamic(tasks, move |(slot, eis): (usize, Vec<usize>)| {
         let mut candidates = 0usize;
         let mut pairs: Vec<(TrajectoryId, TrajectoryId, f64)> = Vec::new();
+        let mut scratch = Scratch::new();
         for ei in eis {
             let e = &edges_ref[ei];
             let (src_sys, dst_sys, src_pid, dst_pid, shipped) = if e.forward {
@@ -228,9 +230,7 @@ pub fn join(
                 candidates += cands.len();
                 for c in cands {
                     let d = dst_trie.get(c);
-                    if let Some(dist) =
-                        verify_pair(d.traj.points(), &d.mbr, &d.cells, &ctx, tau, func)
-                    {
+                    if let Some(dist) = verify_pair_soa(d, &ctx, tau, func, &mut scratch) {
                         if e.forward {
                             pairs.push((s.traj.id, d.traj.id, dist));
                         } else {

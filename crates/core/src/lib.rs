@@ -12,7 +12,8 @@
 //!   model, greedy graph orientation, division-based load balancing, then
 //!   edge-wise local joins.
 //! * [`verify`] — the verification pipeline of §5.3.3: MBR coverage filter →
-//!   cell-bound filter → double-direction threshold distance.
+//!   cell-bound filter → band-pruned SoA threshold kernels, optionally
+//!   rayon-parallel within each worker task.
 //! * [`knn`] — k-nearest-neighbor search and join (the paper's §8 future
 //!   work), by exact radius expansion over the threshold machinery.
 
@@ -26,6 +27,8 @@ pub mod verify;
 
 pub use join::{join, BalanceStrategy, JoinOptions, JoinStats};
 pub use knn::{knn_join, knn_search, KnnStats};
-pub use search::{search, SearchStats};
+pub use search::{
+    query_broadcast_bytes, search, search_with_options, SearchOptions, SearchStats,
+};
 pub use system::{BuildStats, DitaConfig, DitaSystem};
-pub use verify::{verify_pair, QueryContext};
+pub use verify::{verify_candidates, verify_pair, verify_pair_soa, QueryContext};

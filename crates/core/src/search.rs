@@ -6,7 +6,7 @@
 //! clustered layout means no second lookup); the driver collects results.
 
 use crate::system::DitaSystem;
-use crate::verify::{verify_pair, QueryContext};
+use crate::verify::{verify_candidates, QueryContext};
 use dita_cluster::{JobStats, TaskSpec};
 use dita_distance::DistanceFunction;
 use dita_index::FilterStats;
@@ -27,6 +27,32 @@ pub struct SearchStats {
     pub job: JobStats,
 }
 
+/// Tuning knobs for [`search_with_options`].
+#[derive(Debug, Clone, Copy)]
+pub struct SearchOptions {
+    /// Rayon threads each worker task uses to verify its candidate list;
+    /// 1 (the default) verifies serially on the worker thread. The pool's
+    /// CPU time is charged back to the task either way, so the simulated
+    /// cost model is unaffected — only wall-clock changes.
+    pub verify_threads: usize,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions { verify_threads: 1 }
+    }
+}
+
+/// Bytes shipped when a query trajectory is sent to a worker.
+///
+/// Priced exactly like [`dita_trajectory::Trajectory::size_bytes`] (id
+/// envelope + 16 bytes per point) so search's query broadcast and join's
+/// trajectory shipments charge the network model consistently — a
+/// trajectory costs the same wherever it travels.
+pub fn query_broadcast_bytes(q: &[Point]) -> u64 {
+    (std::mem::size_of::<TrajectoryId>() + std::mem::size_of_val(q)) as u64
+}
+
 /// Finds all trajectories `T` in the table with `func(T, q) ≤ tau`.
 ///
 /// Returns `(id, distance)` pairs sorted by id, plus execution statistics.
@@ -35,6 +61,17 @@ pub fn search(
     q: &[Point],
     tau: f64,
     func: &DistanceFunction,
+) -> (Vec<(TrajectoryId, f64)>, SearchStats) {
+    search_with_options(system, q, tau, func, SearchOptions::default())
+}
+
+/// [`search`] with explicit [`SearchOptions`].
+pub fn search_with_options(
+    system: &DitaSystem,
+    q: &[Point],
+    tau: f64,
+    func: &DistanceFunction,
+    options: SearchOptions,
 ) -> (Vec<(TrajectoryId, f64)>, SearchStats) {
     assert!(!q.is_empty(), "queries must contain at least one point");
 
@@ -47,11 +84,16 @@ pub fn search(
         func.index_mode(),
     );
 
-    // Step 2 (workers): filter + verify. The query is broadcast once per
-    // worker; each worker handles all of its relevant partitions in one
-    // task (one message, not one per partition).
+    // Step 2 (workers): filter + verify.
+    //
+    // Broadcast accounting: the query is shipped once per *worker* with
+    // relevant partitions — not once per partition — because each worker
+    // receives exactly one task (one message) covering all of its
+    // partitions. Each shipment is priced as a full trajectory record via
+    // `query_broadcast_bytes`, the same formula join uses for shipped
+    // trajectories, so the two operators charge the network identically.
     let q_ctx = QueryContext::new(q, system.config().trie.cell_side);
-    let q_bytes = std::mem::size_of_val(q) as u64;
+    let q_bytes = query_broadcast_bytes(q);
     let mut by_worker: std::collections::BTreeMap<usize, Vec<usize>> =
         std::collections::BTreeMap::new();
     for &pid in &relevant {
@@ -67,6 +109,7 @@ pub fn search(
         .collect();
 
     let q_ctx = &q_ctx;
+    let verify_threads = options.verify_threads;
     let (per_worker, job) = system.cluster().execute(tasks, move |_w, pids| {
         let mut candidates = 0usize;
         let mut funnel = FilterStats::default();
@@ -76,14 +119,7 @@ pub fn search(
             let (cands, fs) = trie.candidates_with_stats(q_ctx.points(), tau, func);
             funnel.merge(&fs);
             candidates += cands.len();
-            for c in &cands {
-                let it = trie.get(*c);
-                if let Some(d) =
-                    verify_pair(it.traj.points(), &it.mbr, &it.cells, q_ctx, tau, func)
-                {
-                    hits.push((it.traj.id, d));
-                }
-            }
+            hits.extend(verify_candidates(trie, &cands, q_ctx, tau, func, verify_threads));
         }
         (candidates, funnel, hits)
     });
@@ -206,5 +242,37 @@ mod tests {
         let ts = figure1_trajectories();
         let (results, _) = search(&sys, ts[0].points(), 3.0, &DistanceFunction::Dtw);
         assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn broadcast_charged_once_per_relevant_worker() {
+        let sys = tiny_system(2);
+        let ts = figure1_trajectories();
+        let q = ts[0].points();
+        let (_, stats) = search(&sys, q, 3.0, &DistanceFunction::Dtw);
+        // Every task is one query broadcast priced as a full trajectory
+        // record; no other bytes move during a search.
+        let tasks: usize = stats.job.workers.iter().map(|w| w.tasks).sum();
+        let bytes: u64 = stats.job.workers.iter().map(|w| w.bytes_received).sum();
+        assert!(tasks >= 1);
+        assert_eq!(bytes, query_broadcast_bytes(q) * tasks as u64);
+    }
+
+    #[test]
+    fn parallel_verification_matches_serial() {
+        let sys = tiny_system(2);
+        let ts = figure1_trajectories();
+        let serial = search(&sys, ts[0].points(), 3.0, &DistanceFunction::Dtw).0;
+        for threads in [2usize, 4] {
+            let par = search_with_options(
+                &sys,
+                ts[0].points(),
+                3.0,
+                &DistanceFunction::Dtw,
+                SearchOptions { verify_threads: threads },
+            )
+            .0;
+            assert_eq!(par, serial, "threads={threads}");
+        }
     }
 }

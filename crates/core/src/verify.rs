@@ -9,19 +9,30 @@
 //!    bypassed for EDR/LCSS/ERP.
 //! 2. **Cell bounds** (Lemma 5.6) — the compressed cell lists give an
 //!    additive lower bound for DTW and a bottleneck bound for Fréchet.
-//! 3. **Thresholded distance** — the double-direction DTW of §5.3.3(3), or
-//!    the early-abandoning variant of the other functions.
+//! 3. **Thresholded distance** — the band-pruned SoA kernels of
+//!    `dita_distance::kernel` on the hot path ([`verify_pair_soa`]), or the
+//!    double-direction DTW of §5.3.3(3) via the AoS [`verify_pair`].
+//!
+//! [`verify_candidates`] runs a worker task's whole candidate list through
+//! the pipeline, optionally on a rayon pool scoped to the worker, with
+//! deterministic output order and honest CPU-time accounting.
 
+use dita_cluster::{charge_compute, thread_cpu_time};
+use dita_distance::kernel::Scratch;
 use dita_distance::{bounds, DistanceFunction};
-use dita_trajectory::{CellList, Mbr, Point, Trajectory};
+use dita_index::{IndexedTrajectory, TrieIndex};
+use dita_trajectory::{CellList, Mbr, Point, SoaPoints, Trajectory, TrajectoryId};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Pre-computed query artifacts shared across all verifications of one
-/// query: its MBR and cell compression.
+/// query: its MBR, cell compression and SoA coordinate layout.
 #[derive(Debug, Clone)]
 pub struct QueryContext {
     points: Vec<Point>,
     mbr: Mbr,
     cells: CellList,
+    soa: SoaPoints,
 }
 
 impl QueryContext {
@@ -33,6 +44,7 @@ impl QueryContext {
         QueryContext {
             mbr: traj.mbr(),
             cells: CellList::compress(&traj, cell_side),
+            soa: SoaPoints::from_points(points),
             points: points.to_vec(),
         }
     }
@@ -42,7 +54,8 @@ impl QueryContext {
     /// instead of recompressing.
     pub fn from_parts(points: Vec<Point>, mbr: Mbr, cells: CellList) -> Self {
         assert!(!points.is_empty(), "queries must contain at least one point");
-        QueryContext { points, mbr, cells }
+        let soa = SoaPoints::from_points(&points);
+        QueryContext { points, mbr, cells, soa }
     }
 
     /// The query points.
@@ -59,6 +72,46 @@ impl QueryContext {
     pub fn cells(&self) -> &CellList {
         &self.cells
     }
+
+    /// The query points in structure-of-arrays layout.
+    pub fn soa(&self) -> &SoaPoints {
+        &self.soa
+    }
+}
+
+/// The cheap filter stages shared by both verification paths: returns true
+/// when the candidate is provably outside the threshold.
+fn prefiltered(
+    cand_points: &[Point],
+    cand_mbr: &Mbr,
+    cand_cells: &CellList,
+    q: &QueryContext,
+    tau: f64,
+    func: &DistanceFunction,
+) -> bool {
+    match func {
+        DistanceFunction::Dtw => {
+            bounds::mbr_coverage_prune(cand_mbr, &q.mbr, tau)
+                || cand_cells.lower_bound(&q.cells) > tau
+                || q.cells.lower_bound(cand_cells) > tau
+        }
+        DistanceFunction::Frechet => {
+            bounds::mbr_coverage_prune(cand_mbr, &q.mbr, tau)
+                || cand_cells.bottleneck_bound(&q.cells) > tau
+                || q.cells.bottleneck_bound(cand_cells) > tau
+        }
+        DistanceFunction::Edr { .. } => {
+            bounds::length_bound_edr(cand_points.len(), q.points.len(), tau)
+        }
+        DistanceFunction::Erp { gap } => {
+            // Magnitude bound (Chen & Ng): ERP ≥ |Σ dist(t_i, g) − Σ dist(q_j, g)|.
+            let g = Point::new(gap.0, gap.1);
+            let st: f64 = cand_points.iter().map(|p| p.dist(&g)).sum();
+            let sq: f64 = q.points.iter().map(|p| p.dist(&g)).sum();
+            (st - sq).abs() > tau
+        }
+        _ => false,
+    }
 }
 
 /// Verifies one candidate: returns `Some(distance)` iff
@@ -72,45 +125,97 @@ pub fn verify_pair(
     tau: f64,
     func: &DistanceFunction,
 ) -> Option<f64> {
-    match func {
-        DistanceFunction::Dtw => {
-            if bounds::mbr_coverage_prune(cand_mbr, &q.mbr, tau) {
-                return None;
-            }
-            if cand_cells.lower_bound(&q.cells) > tau || q.cells.lower_bound(cand_cells) > tau {
-                return None;
-            }
-            func.verify(cand_points, &q.points, tau)
-        }
-        DistanceFunction::Frechet => {
-            if bounds::mbr_coverage_prune(cand_mbr, &q.mbr, tau) {
-                return None;
-            }
-            if cand_cells.bottleneck_bound(&q.cells) > tau
-                || q.cells.bottleneck_bound(cand_cells) > tau
-            {
-                return None;
-            }
-            func.verify(cand_points, &q.points, tau)
-        }
-        DistanceFunction::Edr { .. } => {
-            if bounds::length_bound_edr(cand_points.len(), q.points.len(), tau) {
-                return None;
-            }
-            func.verify(cand_points, &q.points, tau)
-        }
-        DistanceFunction::Erp { gap } => {
-            // Magnitude bound (Chen & Ng): ERP ≥ |Σ dist(t_i, g) − Σ dist(q_j, g)|.
-            let g = Point::new(gap.0, gap.1);
-            let st: f64 = cand_points.iter().map(|p| p.dist(&g)).sum();
-            let sq: f64 = q.points.iter().map(|p| p.dist(&g)).sum();
-            if (st - sq).abs() > tau {
-                return None;
-            }
-            func.verify(cand_points, &q.points, tau)
-        }
-        _ => func.verify(cand_points, &q.points, tau),
+    if prefiltered(cand_points, cand_mbr, cand_cells, q, tau, func) {
+        return None;
     }
+    func.verify(cand_points, &q.points, tau)
+}
+
+/// Verifies one clustered-index entry against the query using the SoA
+/// band-pruned kernels — the allocation-free hot path. Same filter stages
+/// as [`verify_pair`]; `scratch` is reused across candidates.
+pub fn verify_pair_soa(
+    cand: &IndexedTrajectory,
+    q: &QueryContext,
+    tau: f64,
+    func: &DistanceFunction,
+    scratch: &mut Scratch,
+) -> Option<f64> {
+    if prefiltered(cand.traj.points(), &cand.mbr, &cand.cells, q, tau, func) {
+        return None;
+    }
+    func.verify_soa(cand.soa.view(), q.soa.view(), tau, scratch)
+}
+
+/// Verifies a worker task's candidate list, returning `(id, distance)` hits
+/// in candidate order.
+///
+/// With `threads ≤ 1` the list is verified serially on the calling thread.
+/// With `threads > 1` it is split across a rayon pool scoped to this call
+/// (per-thread scratch buffers, chunked statically), and the pool threads'
+/// CPU time is reported to the cluster executor via
+/// [`dita_cluster::charge_compute`] so the simulated cost model sees the
+/// work, not the host parallelism. The output is identical for every thread
+/// count: results land in pre-assigned slots, so ordering never depends on
+/// scheduling.
+pub fn verify_candidates(
+    trie: &TrieIndex,
+    cands: &[u32],
+    q: &QueryContext,
+    tau: f64,
+    func: &DistanceFunction,
+    threads: usize,
+) -> Vec<(TrajectoryId, f64)> {
+    let serial = |out: &mut Vec<(TrajectoryId, f64)>| {
+        let mut scratch = Scratch::new();
+        for &c in cands {
+            let it = trie.get(c);
+            if let Some(d) = verify_pair_soa(it, q, tau, func, &mut scratch) {
+                out.push((it.traj.id, d));
+            }
+        }
+    };
+    if threads <= 1 || cands.len() < 2 {
+        let mut out = Vec::new();
+        serial(&mut out);
+        return out;
+    }
+    let pool = match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
+        Ok(p) => p,
+        Err(_) => {
+            // Pool creation can fail under resource limits; verification
+            // must still complete.
+            let mut out = Vec::new();
+            serial(&mut out);
+            return out;
+        }
+    };
+
+    let mut slots: Vec<Option<(TrajectoryId, f64)>> = vec![None; cands.len()];
+    let cpu_ns = AtomicU64::new(0);
+    // ~4 chunks per thread: large enough to amortize spawn overhead, small
+    // enough to smooth out uneven early-abandon costs.
+    let chunk = cands.len().div_ceil(threads * 4).max(1);
+    pool.scope(|s| {
+        for (part, out) in cands.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+            let cpu_ns = &cpu_ns;
+            s.spawn(move |_| {
+                let t0 = thread_cpu_time();
+                let mut scratch = Scratch::new();
+                for (&c, slot) in part.iter().zip(out.iter_mut()) {
+                    let it = trie.get(c);
+                    *slot =
+                        verify_pair_soa(it, q, tau, func, &mut scratch).map(|d| (it.traj.id, d));
+                }
+                let dt = thread_cpu_time().saturating_sub(t0);
+                cpu_ns.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+            });
+        }
+    });
+    // Back on the worker thread: fold the pool's CPU time into this task's
+    // compute cost.
+    charge_compute(Duration::from_nanos(cpu_ns.load(Ordering::Relaxed)));
+    slots.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -217,5 +322,59 @@ mod tests {
     #[should_panic(expected = "at least one point")]
     fn empty_query_context_rejected() {
         let _ = QueryContext::new(&[], 1.0);
+    }
+
+    #[test]
+    fn soa_path_agrees_with_aos_path() {
+        use dita_index::PivotStrategy;
+        let ts = figure1_trajectories();
+        let fns = [
+            DistanceFunction::Dtw,
+            DistanceFunction::Frechet,
+            DistanceFunction::Edr { eps: 1.0 },
+            DistanceFunction::Lcss { eps: 1.0, delta: 2 },
+            DistanceFunction::Erp { gap: (0.0, 0.0) },
+        ];
+        let mut scratch = Scratch::new();
+        for f in fns {
+            for a in &ts {
+                let it =
+                    IndexedTrajectory::new(a.clone(), 2, PivotStrategy::NeighborDistance, 2.0);
+                for b in &ts {
+                    let q = ctx(b.points());
+                    for tau in [0.5, 1.5, 3.0, 6.0] {
+                        let aos = verify_pair(a.points(), &it.mbr, &it.cells, &q, tau, &f);
+                        let soa = verify_pair_soa(&it, &q, tau, &f, &mut scratch);
+                        match (aos, soa) {
+                            (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "{f}"),
+                            (None, None) => {}
+                            other => panic!("{f} tau={tau}: aos/soa disagree: {other:?}"),
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn verify_candidates_deterministic_across_thread_counts() {
+        use dita_index::{TrieConfig, TrieIndex};
+        let ts = figure1_trajectories();
+        let trie = TrieIndex::build(
+            ts.clone(),
+            TrieConfig { k: 2, nl: 2, leaf_capacity: 0, cell_side: 2.0, ..TrieConfig::default() },
+        );
+        let q = ctx(ts[0].points());
+        let cands: Vec<u32> = (0..ts.len() as u32).collect();
+        let baseline =
+            verify_candidates(&trie, &cands, &q, 3.0, &DistanceFunction::Dtw, 1);
+        assert!(!baseline.is_empty());
+        for threads in [2usize, 4, 8] {
+            for _ in 0..3 {
+                let got =
+                    verify_candidates(&trie, &cands, &q, 3.0, &DistanceFunction::Dtw, threads);
+                assert_eq!(got, baseline, "threads={threads}");
+            }
+        }
     }
 }

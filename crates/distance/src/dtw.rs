@@ -129,19 +129,19 @@ pub fn dtw_double_direction(t: &[Point], q: &[Point], tau: f64) -> Option<f64> {
         acc += last.dist(&q[j]);
         bwd[j] = acc;
     }
+    let mut bnext = vec![0.0f64; n];
     for ti in t[h..m - 1].iter().rev() {
-        let mut next = vec![0.0f64; n];
-        next[n - 1] = bwd[n - 1] + ti.dist(&q[n - 1]);
-        let mut row_min = next[n - 1];
+        bnext[n - 1] = bwd[n - 1] + ti.dist(&q[n - 1]);
+        let mut row_min = bnext[n - 1];
         for j in (0..n - 1).rev() {
-            let best = bwd[j + 1].min(bwd[j]).min(next[j + 1]);
-            next[j] = ti.dist(&q[j]) + best;
-            row_min = row_min.min(next[j]);
+            let best = bwd[j + 1].min(bwd[j]).min(bnext[j + 1]);
+            bnext[j] = ti.dist(&q[j]) + best;
+            row_min = row_min.min(bnext[j]);
         }
         if row_min > tau {
             return None;
         }
-        bwd = next;
+        std::mem::swap(&mut bwd, &mut bnext);
     }
 
     // Join: forward path ends at (h-1, j) and continues to (h, j) or (h, j+1).

@@ -13,8 +13,9 @@
 //! * EDR and LCSS *count edits*: a level whose MinDist exceeds ϵ costs one
 //!   unit of the integer budget.
 
+use crate::kernel::{self, Scratch};
 use crate::{dtw, edr, erp, frechet, lcss};
-use dita_trajectory::Point;
+use dita_trajectory::{Point, SoaView};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::str::FromStr;
@@ -152,6 +153,28 @@ impl DistanceFunction {
         match self {
             DistanceFunction::Dtw => dtw::dtw_double_direction(t, q, tau),
             _ => self.within(t, q, tau),
+        }
+    }
+
+    /// Threshold-aware verification on structure-of-arrays data using the
+    /// band-pruned [`kernel`] implementations; the hot path of the
+    /// verification stage. `scratch` is reused across calls so steady-state
+    /// verification performs no allocation.
+    pub fn verify_soa(
+        &self,
+        t: SoaView<'_>,
+        q: SoaView<'_>,
+        tau: f64,
+        scratch: &mut Scratch,
+    ) -> Option<f64> {
+        match self {
+            DistanceFunction::Dtw => kernel::dtw_soa(t, q, tau, scratch),
+            DistanceFunction::Frechet => kernel::frechet_soa(t, q, tau, scratch),
+            DistanceFunction::Edr { eps } => kernel::edr_soa(t, q, *eps, tau, scratch),
+            DistanceFunction::Lcss { eps, delta } => {
+                kernel::lcss_soa(t, q, *eps, *delta, tau, scratch)
+            }
+            DistanceFunction::Erp { gap } => kernel::erp_soa(t, q, gap.0, gap.1, tau, scratch),
         }
     }
 }

@@ -1,0 +1,733 @@
+//! Structure-of-arrays threshold kernels with band-pruned early abandoning.
+//!
+//! These are the verification-stage (§5.3.3) rewrites of the five distance
+//! functions, designed around three observations:
+//!
+//! 1. **SoA layout** ([`SoaView`]): the DP inner loops stream coordinates,
+//!    so two contiguous `f64` arrays beat interleaved `Point`s on cache
+//!    lines and let LLVM vectorize the subtract/multiply part of the
+//!    distance.
+//! 2. **Band pruning** (UCR-Suite style): for DTW, Fréchet, EDR and ERP
+//!    every DP step adds a non-negative cost (Fréchet combines with `max`,
+//!    which is also monotone), so cell values never decrease along a path.
+//!    A cell whose value exceeds τ can therefore never be part of an
+//!    accepting path and may be treated as +∞. Each row tracks the window
+//!    `[lo, hi]` of columns still ≤ τ: the next row starts at `lo` (columns
+//!    left of it are provably > τ by induction) and stops as soon as it is
+//!    right of `hi` with a value > τ (every later cell's ancestors are all
+//!    > τ). This is strictly stronger than the whole-row-minimum abandon of
+//!    the scalar variants — dissimilar pairs shrink the window to a thin
+//!    diagonal corridor instead of paying full rows until the minimum
+//!    finally crosses τ. Values inside the window are exact DP values, so
+//!    accepted distances are bit-identical to the plain O(mn) reference.
+//! 3. **Squared-distance comparisons**: Fréchet runs entirely in squared
+//!    space (`max` commutes with `sqrt`; one square root at the end), and
+//!    the EDR/LCSS matching predicates compare `dist² ≤ ϵ²`. DTW and ERP
+//!    sum distances and must keep the per-cell square root.
+//!
+//! All kernels take a [`Scratch`] so steady-state verification performs no
+//! heap allocation at all; buffers are reused across candidates.
+//!
+//! LCSS is already banded by its index constraint `|i − j| ≤ δ` (§B); its
+//! kernel keeps that band and gains the SoA layout, the squared-ϵ
+//! predicate and scratch reuse.
+
+use dita_trajectory::SoaView;
+
+const INF: f64 = f64::INFINITY;
+/// Integer infinity for the EDR DP; large enough that `+ 1` cannot wrap.
+const IINF: u32 = u32::MAX / 2;
+
+/// Reusable DP buffers for the SoA kernels.
+///
+/// One `Scratch` per verification thread; the kernels resize the buffers as
+/// needed and never read stale contents (each row write covers exactly the
+/// positions later reads may touch, padding with +∞ outside the band).
+#[derive(Debug, Default, Clone)]
+pub struct Scratch {
+    fa: Vec<f64>,
+    fb: Vec<f64>,
+    /// Cached per-column costs (e.g. ERP's `dist(q_j, g)`).
+    fc: Vec<f64>,
+    ua: Vec<u32>,
+    ub: Vec<u32>,
+    za: Vec<usize>,
+    zb: Vec<usize>,
+}
+
+impl Scratch {
+    /// A fresh, empty scratch (buffers grow on first use).
+    pub fn new() -> Self {
+        Scratch::default()
+    }
+}
+
+/// Resizes `v` to at least `n` elements and returns the `n`-prefix.
+#[inline]
+fn grow<T: Clone + Default>(v: &mut Vec<T>, n: usize) -> &mut [T] {
+    if v.len() < n {
+        v.resize(n, T::default());
+    }
+    &mut v[..n]
+}
+
+/// Threshold DTW on SoA data: `Some(DTW(t, q))` iff it is ≤ `tau`.
+///
+/// Exact (never prunes a true answer ≤ τ) and bit-identical to
+/// [`crate::dtw::dtw_threshold`] on accepted pairs; abandons via the band
+/// window described in the module docs.
+///
+/// # Panics
+/// Panics if either sequence is empty (Definition 2.2 requires m, n ≥ 1).
+pub fn dtw_soa(t: SoaView<'_>, q: SoaView<'_>, tau: f64, scratch: &mut Scratch) -> Option<f64> {
+    assert!(!t.is_empty() && !q.is_empty(), "DTW requires non-empty sequences");
+    // Keep the shorter sequence along the row, as the scalar kernel does.
+    if q.len() > t.len() {
+        return dtw_soa(q, t, tau, scratch);
+    }
+    let (m, n) = (t.len(), q.len());
+    if n == 1 {
+        // Sum of distances to the single column point, abandoning as soon
+        // as the (monotone) prefix sum crosses τ.
+        let mut s = 0.0;
+        for i in 0..m {
+            s += t.dist(i, &q, 0);
+            if s > tau {
+                return None;
+            }
+        }
+        return Some(s);
+    }
+
+    let prev = grow(&mut scratch.fa, n);
+    let cur = grow(&mut scratch.fb, n);
+
+    // Row 0: prefix sums of dist(t0, q_j) — monotone, so the feasible
+    // window is [0, hi] and everything past the first crossing is +∞.
+    let mut hi = n; // exclusive end of the feasible window
+    let mut acc = 0.0;
+    for j in 0..n {
+        acc += t.dist(0, &q, j);
+        prev[j] = acc;
+        if acc > tau {
+            hi = j;
+            break;
+        }
+    }
+    if hi == 0 {
+        return None; // cell (0,0) > τ: every path starts above the budget
+    }
+    for x in prev[hi.min(n)..n].iter_mut() {
+        *x = INF;
+    }
+    if m == 1 {
+        let v = prev[n - 1];
+        return (v <= tau).then_some(v);
+    }
+
+    let mut lo = 0usize; // first feasible column of the previous row
+    let (mut prev, mut cur) = (prev, cur);
+    for i in 1..m {
+        // Invalidate the diagonal neighbor of the window start so row i+1
+        // never reads a stale value from two rows ago.
+        if lo > 0 {
+            cur[lo - 1] = INF;
+        }
+        let mut new_lo = usize::MAX;
+        let mut new_hi = 0usize;
+        let mut left = INF;
+        let mut stop = n;
+        for j in lo..n {
+            let d = t.dist(i, &q, j);
+            let best = if j == 0 {
+                prev[0]
+            } else {
+                prev[j - 1].min(prev[j]).min(left)
+            };
+            let v = d + best;
+            cur[j] = v;
+            left = v;
+            if v <= tau {
+                if new_lo == usize::MAX {
+                    new_lo = j;
+                }
+                new_hi = j;
+            } else if j >= hi {
+                // Right of the previous row's window with a value > τ: all
+                // remaining ancestors are > τ, so the rest of the row is too.
+                stop = j + 1;
+                break;
+            }
+        }
+        if new_lo == usize::MAX {
+            return None; // no cell of this row can reach an answer ≤ τ
+        }
+        for x in cur[stop..n].iter_mut() {
+            *x = INF;
+        }
+        lo = new_lo;
+        hi = new_hi + 1;
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let v = prev[n - 1];
+    (v <= tau && v.is_finite()).then_some(v)
+}
+
+/// Threshold discrete Fréchet on SoA data, computed in squared space.
+///
+/// Same band machinery as [`dtw_soa`]; comparisons use `dist²` against `τ²`
+/// (the `max` combine commutes with `sqrt`), with a single square root on
+/// the accepted value — bit-identical to [`crate::frechet`] output. The
+/// accept/reject decision itself compares in squared space, which can
+/// differ from the linear-space comparison only when the true distance is
+/// within one ulp of `τ`.
+///
+/// # Panics
+/// Panics if either sequence is empty.
+pub fn frechet_soa(t: SoaView<'_>, q: SoaView<'_>, tau: f64, scratch: &mut Scratch) -> Option<f64> {
+    assert!(!t.is_empty() && !q.is_empty(), "Fréchet requires non-empty sequences");
+    if tau < 0.0 {
+        return None;
+    }
+    if q.len() > t.len() {
+        return frechet_soa(q, t, tau, scratch);
+    }
+    let (m, n) = (t.len(), q.len());
+    let tau_sq = tau * tau;
+    if n == 1 {
+        let mut s = 0.0f64;
+        for i in 0..m {
+            s = s.max(t.dist_sq(i, &q, 0));
+            if s > tau_sq {
+                return None;
+            }
+        }
+        return Some(s.sqrt());
+    }
+
+    let prev = grow(&mut scratch.fa, n);
+    let cur = grow(&mut scratch.fb, n);
+
+    let mut hi = n;
+    let mut acc = 0.0f64;
+    for j in 0..n {
+        acc = acc.max(t.dist_sq(0, &q, j));
+        prev[j] = acc;
+        if acc > tau_sq {
+            hi = j;
+            break;
+        }
+    }
+    if hi == 0 {
+        return None;
+    }
+    for x in prev[hi.min(n)..n].iter_mut() {
+        *x = INF;
+    }
+    if m == 1 {
+        let v = prev[n - 1];
+        return (v <= tau_sq).then_some(v.sqrt());
+    }
+
+    let mut lo = 0usize;
+    let (mut prev, mut cur) = (prev, cur);
+    for i in 1..m {
+        if lo > 0 {
+            cur[lo - 1] = INF;
+        }
+        let mut new_lo = usize::MAX;
+        let mut new_hi = 0usize;
+        let mut left = INF;
+        let mut stop = n;
+        for j in lo..n {
+            let d = t.dist_sq(i, &q, j);
+            let best = if j == 0 {
+                prev[0]
+            } else {
+                prev[j - 1].min(prev[j]).min(left)
+            };
+            let v = best.max(d);
+            cur[j] = v;
+            left = v;
+            if v <= tau_sq {
+                if new_lo == usize::MAX {
+                    new_lo = j;
+                }
+                new_hi = j;
+            } else if j >= hi {
+                stop = j + 1;
+                break;
+            }
+        }
+        if new_lo == usize::MAX {
+            return None;
+        }
+        for x in cur[stop..n].iter_mut() {
+            *x = INF;
+        }
+        lo = new_lo;
+        hi = new_hi + 1;
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let v = prev[n - 1];
+    (v <= tau_sq && v.is_finite()).then_some(v.sqrt())
+}
+
+/// Threshold EDR on SoA data: `Some(EDR)` iff EDR ≤ `tau`.
+///
+/// Integer DP over `n + 1` columns with the same band window (edit costs
+/// are 0 or 1, hence monotone); the matching predicate compares squared
+/// distances against `ϵ²`. Applies the length filter `EDR ≥ |m − n|` up
+/// front (Appendix A). Empty sequences are allowed.
+pub fn edr_soa(
+    t: SoaView<'_>,
+    q: SoaView<'_>,
+    eps: f64,
+    tau: f64,
+    scratch: &mut Scratch,
+) -> Option<f64> {
+    if tau < 0.0 {
+        return None;
+    }
+    let (m, n) = (t.len(), q.len());
+    let tau_int = tau.floor() as i64;
+    if (m as i64 - n as i64).abs() > tau_int {
+        return None;
+    }
+    if m == 0 {
+        return Some(n as f64); // |m − n| ≤ τ already checked
+    }
+    if n == 0 {
+        return Some(m as f64);
+    }
+    // EDR ≤ max(m, n), so the budget can be capped to keep the integer DP
+    // far from overflow no matter how large τ is.
+    let tau_u = tau_int.min(m.max(n) as i64) as u32;
+    let eps_sq = eps * eps;
+
+    let prev = grow(&mut scratch.ua, n + 1);
+    let cur = grow(&mut scratch.ub, n + 1);
+
+    // Row 0: EDR(∅, Q^j) = j; feasible while j ≤ τ.
+    let mut hi = n + 1;
+    for (j, x) in prev.iter_mut().enumerate() {
+        *x = if j as u32 <= tau_u { j as u32 } else { IINF };
+        if j as u32 > tau_u && hi == n + 1 {
+            hi = j;
+        }
+    }
+
+    let mut lo = 0usize;
+    let (mut prev, mut cur) = (prev, cur);
+    for i in 0..m {
+        if lo > 0 {
+            cur[lo - 1] = IINF;
+        }
+        let mut new_lo = usize::MAX;
+        let mut new_hi = 0usize;
+        let mut left = IINF;
+        let mut stop = n + 1;
+        for j in lo..=n {
+            let v = if j == 0 {
+                i as u32 + 1 // EDR(T^{i+1}, ∅)
+            } else {
+                let sub = u32::from(t.dist_sq(i, &q, j - 1) > eps_sq);
+                (prev[j - 1] + sub)
+                    .min(prev[j] + 1)
+                    .min(left.saturating_add(1))
+            };
+            cur[j] = v;
+            left = v;
+            if v <= tau_u {
+                if new_lo == usize::MAX {
+                    new_lo = j;
+                }
+                new_hi = j;
+            } else if j >= hi {
+                stop = j + 1;
+                break;
+            }
+        }
+        if new_lo == usize::MAX {
+            return None;
+        }
+        for x in cur[stop..=n].iter_mut() {
+            *x = IINF;
+        }
+        lo = new_lo;
+        hi = new_hi + 1;
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let v = prev[n];
+    (v <= tau_u).then_some(v as f64)
+}
+
+/// Threshold ERP on SoA data with gap point `(gx, gy)`: `Some(d)` iff
+/// `d ≤ tau`.
+///
+/// Same band window as [`dtw_soa`] over `n + 1` columns (gap penalties are
+/// non-negative distances); the per-column gap costs `dist(q_j, g)` are
+/// computed once into scratch instead of once per row. Empty sequences are
+/// allowed (`ERP(T, ∅) = Σ dist(t_i, g)`).
+pub fn erp_soa(
+    t: SoaView<'_>,
+    q: SoaView<'_>,
+    gx: f64,
+    gy: f64,
+    tau: f64,
+    scratch: &mut Scratch,
+) -> Option<f64> {
+    let (m, n) = (t.len(), q.len());
+    let gap_dist = |xs: &[f64], ys: &[f64], i: usize| -> f64 {
+        let dx = xs[i] - gx;
+        let dy = ys[i] - gy;
+        (dx * dx + dy * dy).sqrt()
+    };
+    if m == 0 {
+        let mut s = 0.0;
+        for j in 0..n {
+            s += gap_dist(q.xs, q.ys, j);
+        }
+        return (s <= tau).then_some(s);
+    }
+    if n == 0 {
+        let mut s = 0.0;
+        for i in 0..m {
+            s += gap_dist(t.xs, t.ys, i);
+        }
+        return (s <= tau).then_some(s);
+    }
+
+    // Per-column gap penalties, cached once.
+    let gq = grow(&mut scratch.fc, n);
+    for (j, x) in gq.iter_mut().enumerate() {
+        *x = gap_dist(q.xs, q.ys, j);
+    }
+    let gq: &[f64] = gq;
+
+    let prev = grow(&mut scratch.fa, n + 1);
+    let cur = grow(&mut scratch.fb, n + 1);
+
+    // Row 0: deleting all of Q's prefix — monotone prefix sums.
+    let mut hi = n + 1;
+    let mut acc = 0.0;
+    prev[0] = 0.0;
+    if 0.0 > tau {
+        return None; // τ < 0: even the empty alignment is over budget
+    }
+    for j in 1..=n {
+        acc += gq[j - 1];
+        prev[j] = acc;
+        if acc > tau {
+            hi = j;
+            break;
+        }
+    }
+    for x in prev[hi.min(n + 1)..=n].iter_mut() {
+        *x = INF;
+    }
+
+    let mut lo = 0usize;
+    let (mut prev, mut cur) = (prev, cur);
+    for i in 0..m {
+        let del_t = gap_dist(t.xs, t.ys, i);
+        if lo > 0 {
+            cur[lo - 1] = INF;
+        }
+        let mut new_lo = usize::MAX;
+        let mut new_hi = 0usize;
+        let mut left = INF;
+        let mut stop = n + 1;
+        for j in lo..=n {
+            let v = if j == 0 {
+                prev[0] + del_t
+            } else {
+                (prev[j - 1] + t.dist(i, &q, j - 1)) // match t_i with q_{j-1}
+                    .min(prev[j] + del_t) // delete t_i
+                    .min(left + gq[j - 1]) // delete q_{j-1}
+            };
+            cur[j] = v;
+            left = v;
+            if v <= tau {
+                if new_lo == usize::MAX {
+                    new_lo = j;
+                }
+                new_hi = j;
+            } else if j >= hi {
+                stop = j + 1;
+                break;
+            }
+        }
+        if new_lo == usize::MAX {
+            return None;
+        }
+        for x in cur[stop..=n].iter_mut() {
+            *x = INF;
+        }
+        lo = new_lo;
+        hi = new_hi + 1;
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let v = prev[n];
+    (v <= tau && v.is_finite()).then_some(v)
+}
+
+/// Threshold LCSS distance (`min(m, n) − LCSS_{δ,ϵ}`) on SoA data:
+/// `Some(d)` iff `d ≤ tau`.
+///
+/// The δ-band of the index constraint already limits work to O(m·δ); this
+/// kernel adds the SoA layout, the squared-ϵ matching predicate and scratch
+/// buffer reuse, and keeps the optimistic early abandon (at most one extra
+/// match per remaining row).
+pub fn lcss_soa(
+    t: SoaView<'_>,
+    q: SoaView<'_>,
+    eps: f64,
+    delta: usize,
+    tau: f64,
+    scratch: &mut Scratch,
+) -> Option<f64> {
+    if tau < 0.0 {
+        return None;
+    }
+    let (m, n) = (t.len(), q.len());
+    if m == 0 || n == 0 {
+        return Some(0.0);
+    }
+    let eps_sq = eps * eps;
+    let needed = (m.min(n) as f64 - tau).ceil().max(0.0) as usize;
+
+    let width = 2 * delta + 1;
+    let prev = grow(&mut scratch.za, width);
+    let cur = grow(&mut scratch.zb, width);
+    prev.fill(0);
+    cur.fill(0);
+    let mut prev_left: isize = -(delta as isize);
+
+    let band_get = |band: &[usize], band_left: isize, j: isize| -> usize {
+        let idx = j - band_left;
+        if idx < 0 {
+            band[0]
+        } else if idx as usize >= band.len() {
+            band[band.len() - 1]
+        } else {
+            band[idx as usize]
+        }
+    };
+
+    let (mut prev, mut cur) = (prev, cur);
+    for i in 0..m {
+        let lo = (i as isize) - delta as isize;
+        let hi = ((i + delta).min(n - 1)) as isize;
+        if hi < lo {
+            break; // band moved past the query: nothing can change anymore
+        }
+        let left_outside = if lo - 1 < 0 {
+            0
+        } else {
+            band_get(prev, prev_left, lo - 1)
+        };
+        let mut row_max = 0usize;
+        let mut running_left = left_outside;
+        for j in lo.max(0)..=hi {
+            let matched = t.dist_sq(i, &q, j as usize) <= eps_sq;
+            let diag = if j - 1 < 0 {
+                0
+            } else {
+                band_get(prev, prev_left, j - 1)
+            };
+            let up = band_get(prev, prev_left, j);
+            let v = if matched {
+                (diag + 1).max(up).max(running_left)
+            } else {
+                up.max(running_left)
+            };
+            cur[(j - lo) as usize] = v;
+            running_left = v;
+            row_max = row_max.max(v);
+        }
+        if row_max + (m - i - 1) < needed {
+            return None;
+        }
+        std::mem::swap(&mut prev, &mut cur);
+        prev_left = lo;
+    }
+    let sim = band_get(prev, prev_left, n as isize - 1);
+    let d = (m.min(n) - sim) as f64;
+    (d <= tau).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dtw, edr, erp, frechet, lcss_distance};
+    use dita_trajectory::trajectory::figure1_trajectories;
+    use dita_trajectory::{Point, SoaPoints};
+
+    fn fig1() -> Vec<(Vec<Point>, SoaPoints)> {
+        figure1_trajectories()
+            .into_iter()
+            .map(|t| {
+                let soa = SoaPoints::from_points(t.points());
+                (t.points().to_vec(), soa)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn dtw_bit_identical_on_fixtures() {
+        let ts = fig1();
+        let mut s = Scratch::new();
+        for (ap, asoa) in &ts {
+            for (bp, bsoa) in &ts {
+                let full = dtw(ap, bp);
+                for tau in [0.5, 1.0, 3.0, 5.41, 10.0, 100.0] {
+                    let got = dtw_soa(asoa.view(), bsoa.view(), tau, &mut s);
+                    if full <= tau {
+                        assert_eq!(got, Some(full), "tau={tau}");
+                    } else {
+                        assert_eq!(got, None, "tau={tau} full={full}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frechet_bit_identical_on_fixtures() {
+        let ts = fig1();
+        let mut s = Scratch::new();
+        for (ap, asoa) in &ts {
+            for (bp, bsoa) in &ts {
+                let full = frechet(ap, bp);
+                for tau in [0.5, 1.0, 1.42, 2.0, 4.0] {
+                    let got = frechet_soa(asoa.view(), bsoa.view(), tau, &mut s);
+                    if full <= tau {
+                        assert_eq!(got, Some(full), "tau={tau}");
+                    } else {
+                        assert_eq!(got, None, "tau={tau} full={full}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn edr_matches_on_fixtures() {
+        let ts = fig1();
+        let mut s = Scratch::new();
+        for (ap, asoa) in &ts {
+            for (bp, bsoa) in &ts {
+                let full = edr(ap, bp, 1.0);
+                for tau in [0.0, 1.0, 2.0, 3.0, 6.0] {
+                    let got = edr_soa(asoa.view(), bsoa.view(), 1.0, tau, &mut s);
+                    if full <= tau {
+                        assert_eq!(got, Some(full));
+                    } else {
+                        assert_eq!(got, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lcss_matches_on_fixtures() {
+        let ts = fig1();
+        let mut s = Scratch::new();
+        for (ap, asoa) in &ts {
+            for (bp, bsoa) in &ts {
+                let full = lcss_distance(ap, bp, 1.0, 1);
+                for tau in [0.0, 1.0, 2.0, 5.0] {
+                    let got = lcss_soa(asoa.view(), bsoa.view(), 1.0, 1, tau, &mut s);
+                    if full <= tau {
+                        assert_eq!(got, Some(full));
+                    } else {
+                        assert_eq!(got, None);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn erp_matches_on_fixtures() {
+        let ts = fig1();
+        let g = Point::new(0.0, 0.0);
+        let mut s = Scratch::new();
+        for (ap, asoa) in &ts {
+            for (bp, bsoa) in &ts {
+                let full = erp(ap, bp, &g);
+                for tau in [0.5, 2.0, 5.0, 20.0] {
+                    let got = erp_soa(asoa.view(), bsoa.view(), 0.0, 0.0, tau, &mut s);
+                    if full <= tau {
+                        let v = got.expect("must not prune a true answer");
+                        assert!((v - full).abs() < 1e-12, "{v} vs {full}");
+                    } else {
+                        assert_eq!(got, None, "full={full} tau={tau}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_does_not_leak_state() {
+        // A long dissimilar pair (fills buffers with INF) followed by a
+        // short similar pair must still be exact.
+        let a: Vec<Point> = (0..40).map(|i| Point::new(i as f64, 0.0)).collect();
+        let b: Vec<Point> = (0..40).map(|i| Point::new(i as f64, 50.0)).collect();
+        let (sa, sb) = (SoaPoints::from_points(&a), SoaPoints::from_points(&b));
+        let mut s = Scratch::new();
+        assert_eq!(dtw_soa(sa.view(), sb.view(), 10.0, &mut s), None);
+        let c = [Point::new(0.0, 0.0), Point::new(1.0, 0.0)];
+        let sc = SoaPoints::from_points(&c);
+        assert_eq!(dtw_soa(sc.view(), sc.view(), 1.0, &mut s), Some(0.0));
+        assert_eq!(frechet_soa(sa.view(), sb.view(), 10.0, &mut s), None);
+        assert_eq!(frechet_soa(sc.view(), sc.view(), 1.0, &mut s), Some(0.0));
+    }
+
+    #[test]
+    fn single_point_degenerate_cases() {
+        let t = SoaPoints::from_points(&[Point::new(0.0, 0.0), Point::new(3.0, 4.0)]);
+        let q = SoaPoints::from_points(&[Point::new(0.0, 0.0)]);
+        let mut s = Scratch::new();
+        assert_eq!(dtw_soa(t.view(), q.view(), 5.0, &mut s), Some(5.0));
+        assert_eq!(dtw_soa(q.view(), t.view(), 5.0, &mut s), Some(5.0));
+        assert_eq!(dtw_soa(t.view(), q.view(), 4.9, &mut s), None);
+        assert_eq!(frechet_soa(t.view(), q.view(), 5.0, &mut s), Some(5.0));
+        assert_eq!(frechet_soa(t.view(), q.view(), 4.9, &mut s), None);
+    }
+
+    #[test]
+    fn empty_sequences_where_allowed() {
+        let t = SoaPoints::from_points(&[Point::new(3.0, 4.0)]);
+        let e = SoaPoints::from_points(&[]);
+        let mut s = Scratch::new();
+        assert_eq!(edr_soa(t.view(), e.view(), 1.0, 1.0, &mut s), Some(1.0));
+        assert_eq!(edr_soa(e.view(), e.view(), 1.0, 0.0, &mut s), Some(0.0));
+        assert_eq!(erp_soa(t.view(), e.view(), 0.0, 0.0, 5.0, &mut s), Some(5.0));
+        assert_eq!(erp_soa(e.view(), t.view(), 0.0, 0.0, 4.9, &mut s), None);
+        assert_eq!(lcss_soa(t.view(), e.view(), 1.0, 1, 0.0, &mut s), Some(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn dtw_empty_panics() {
+        let e = SoaPoints::from_points(&[]);
+        let t = SoaPoints::from_points(&[Point::new(0.0, 0.0)]);
+        let mut s = Scratch::new();
+        let _ = dtw_soa(e.view(), t.view(), 1.0, &mut s);
+    }
+
+    #[test]
+    fn negative_tau_prunes() {
+        let t = SoaPoints::from_points(&[Point::new(0.0, 0.0)]);
+        let mut s = Scratch::new();
+        assert_eq!(dtw_soa(t.view(), t.view(), -1.0, &mut s), None);
+        assert_eq!(frechet_soa(t.view(), t.view(), -1.0, &mut s), None);
+        assert_eq!(edr_soa(t.view(), t.view(), 1.0, -1.0, &mut s), None);
+        assert_eq!(erp_soa(t.view(), t.view(), 0.0, 0.0, -1.0, &mut s), None);
+        assert_eq!(lcss_soa(t.view(), t.view(), 1.0, 1, -1.0, &mut s), None);
+    }
+}

@@ -15,6 +15,8 @@
 //!   coverage test (Lemma 5.4) and the EDR/LCSS length filter (Appendix A).
 //! * [`function`] — a runtime-dispatched [`DistanceFunction`] used by the
 //!   SQL layer and the experiment harness.
+//! * [`kernel`] — structure-of-arrays threshold kernels with UCR-style band
+//!   pruning and reusable scratch buffers: the verification hot path.
 //!
 //! All functions operate on `&[Point]` slices so they can be used on raw
 //! buffers as well as [`dita_trajectory::Trajectory`] values.
@@ -27,6 +29,7 @@ pub mod edr;
 pub mod erp;
 pub mod frechet;
 pub mod function;
+pub mod kernel;
 pub mod lcss;
 
 pub use bounds::{amd, length_bound_edr, mbr_coverage_prune, pamd};
@@ -35,4 +38,5 @@ pub use edr::{edr, edr_threshold};
 pub use erp::{erp, erp_threshold};
 pub use frechet::{frechet, frechet_threshold};
 pub use function::DistanceFunction;
+pub use kernel::{dtw_soa, edr_soa, erp_soa, frechet_soa, lcss_soa, Scratch};
 pub use lcss::{lcss_distance, lcss_distance_threshold, lcss_similarity};

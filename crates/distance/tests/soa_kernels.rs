@@ -1,0 +1,203 @@
+//! Property tests for the SoA band-pruned kernels: on random trajectory
+//! pairs and random thresholds, every kernel must agree with the plain
+//! O(mn) reference within 1e-9 and must never prune a true answer.
+//!
+//! Uses a tiny seeded xorshift generator instead of a heavyweight
+//! property-testing dependency so failures are exactly reproducible.
+
+use dita_distance::kernel::{dtw_soa, edr_soa, erp_soa, frechet_soa, lcss_soa, Scratch};
+use dita_distance::{dtw, edr, erp, frechet, lcss_distance};
+use dita_trajectory::{Point, SoaPoints};
+
+/// xorshift64* — deterministic, seedable, good enough for test data.
+struct XorShift(u64);
+
+impl XorShift {
+    fn new(seed: u64) -> Self {
+        XorShift(seed.max(1))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// Uniform in [0, 1).
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform integer in [lo, hi].
+    fn next_range(&mut self, lo: usize, hi: usize) -> usize {
+        lo + (self.next_u64() % (hi - lo + 1) as u64) as usize
+    }
+}
+
+fn random_points(rng: &mut XorShift, len: usize) -> Vec<Point> {
+    (0..len)
+        .map(|_| Point::new(rng.next_f64() * 4.0, rng.next_f64() * 4.0))
+        .collect()
+}
+
+/// A pair that is sometimes similar (perturbation of one walk), sometimes
+/// unrelated — both branches of the threshold decision get exercised.
+fn random_pair(rng: &mut XorShift) -> (Vec<Point>, Vec<Point>) {
+    let m = rng.next_range(1, 32);
+    let t = random_points(rng, m);
+    if rng.next_f64() < 0.5 {
+        let jitter = rng.next_f64() * 0.2;
+        let n = rng.next_range(1, 32).min(m);
+        let q = t[..n]
+            .iter()
+            .map(|p| {
+                Point::new(
+                    p.x + (rng.next_f64() - 0.5) * jitter,
+                    p.y + (rng.next_f64() - 0.5) * jitter,
+                )
+            })
+            .collect();
+        (t, q)
+    } else {
+        let n = rng.next_range(1, 32);
+        (t, random_points(rng, n))
+    }
+}
+
+const EPS_NUM: f64 = 1e-9;
+
+/// Checks a kernel's threshold answer against the plain reference value.
+///
+/// Outside a ±1e-9 boundary band the decision must match exactly; inside
+/// it either decision is acceptable (floating-point order of operations may
+/// differ), but an accepted value must still equal the reference to 1e-9.
+fn check(kind: &str, reference: f64, tau: f64, got: Option<f64>, seed_info: (u64, usize)) {
+    let (seed, iter) = seed_info;
+    match got {
+        Some(v) => {
+            assert!(
+                reference <= tau + EPS_NUM,
+                "{kind}: accepted but ref {reference} > tau {tau} (seed {seed}, iter {iter})"
+            );
+            assert!(
+                (v - reference).abs() <= EPS_NUM,
+                "{kind}: value {v} != ref {reference} (seed {seed}, iter {iter})"
+            );
+        }
+        None => {
+            assert!(
+                reference > tau - EPS_NUM,
+                "{kind}: pruned a true answer ref {reference} <= tau {tau} \
+                 (seed {seed}, iter {iter})"
+            );
+        }
+    }
+}
+
+#[test]
+fn kernels_agree_with_reference_on_random_pairs() {
+    for seed in [7, 42, 20260807] {
+        let mut rng = XorShift::new(seed);
+        let mut scratch = Scratch::new();
+        for iter in 0..400 {
+            let (t, q) = random_pair(&mut rng);
+            let (st, sq) = (SoaPoints::from_points(&t), SoaPoints::from_points(&q));
+            let (tv, qv) = (st.view(), sq.view());
+            let info = (seed, iter);
+
+            // τ drawn around the true distance half the time so the
+            // accept/reject boundary is stressed, far away otherwise.
+            let pick_tau = |rng: &mut XorShift, reference: f64| -> f64 {
+                if rng.next_f64() < 0.5 {
+                    reference * (0.25 + 1.5 * rng.next_f64())
+                } else {
+                    rng.next_f64() * 8.0
+                }
+            };
+
+            let r = dtw(&t, &q);
+            let tau = pick_tau(&mut rng, r);
+            check("dtw", r, tau, dtw_soa(tv, qv, tau, &mut scratch), info);
+
+            let r = frechet(&t, &q);
+            let tau = pick_tau(&mut rng, r);
+            check("frechet", r, tau, frechet_soa(tv, qv, tau, &mut scratch), info);
+
+            let eps = 0.05 + rng.next_f64() * 0.5;
+            let r = edr(&t, &q, eps);
+            let tau = pick_tau(&mut rng, r);
+            check("edr", r, tau, edr_soa(tv, qv, eps, tau, &mut scratch), info);
+
+            let delta = rng.next_range(0, 4);
+            let r = lcss_distance(&t, &q, eps, delta);
+            let tau = pick_tau(&mut rng, r);
+            check(
+                "lcss",
+                r,
+                tau,
+                lcss_soa(tv, qv, eps, delta, tau, &mut scratch),
+                info,
+            );
+
+            let (gx, gy) = (rng.next_f64() * 4.0, rng.next_f64() * 4.0);
+            let r = erp(&t, &q, &Point::new(gx, gy));
+            let tau = pick_tau(&mut rng, r);
+            check("erp", r, tau, erp_soa(tv, qv, gx, gy, tau, &mut scratch), info);
+        }
+    }
+}
+
+#[test]
+fn kernels_never_prune_with_generous_tau() {
+    // τ far above every true distance: the kernels must always accept and
+    // reproduce the reference value exactly (no band ever abandons).
+    let mut rng = XorShift::new(99);
+    let mut scratch = Scratch::new();
+    for _ in 0..200 {
+        let (t, q) = random_pair(&mut rng);
+        let (st, sq) = (SoaPoints::from_points(&t), SoaPoints::from_points(&q));
+        let (tv, qv) = (st.view(), sq.view());
+        let big = 1e6;
+
+        assert_eq!(dtw_soa(tv, qv, big, &mut scratch), Some(dtw(&t, &q)));
+        assert_eq!(frechet_soa(tv, qv, big, &mut scratch), Some(frechet(&t, &q)));
+        assert_eq!(edr_soa(tv, qv, 0.25, big, &mut scratch), Some(edr(&t, &q, 0.25)));
+        assert_eq!(
+            lcss_soa(tv, qv, 0.25, 2, big, &mut scratch),
+            Some(lcss_distance(&t, &q, 0.25, 2))
+        );
+        let g = Point::new(1.0, 1.0);
+        let r = erp(&t, &q, &g);
+        let got = erp_soa(tv, qv, 1.0, 1.0, big, &mut scratch).unwrap();
+        assert!((got - r).abs() <= EPS_NUM, "erp {got} vs {r}");
+    }
+}
+
+#[test]
+fn kernels_match_verify_dispatch() {
+    use dita_distance::DistanceFunction;
+    let fns = [
+        DistanceFunction::Dtw,
+        DistanceFunction::Frechet,
+        DistanceFunction::Edr { eps: 0.25 },
+        DistanceFunction::Lcss { eps: 0.25, delta: 2 },
+        DistanceFunction::Erp { gap: (0.5, 0.5) },
+    ];
+    let mut rng = XorShift::new(1234);
+    let mut scratch = Scratch::new();
+    for _ in 0..100 {
+        let (t, q) = random_pair(&mut rng);
+        let (st, sq) = (SoaPoints::from_points(&t), SoaPoints::from_points(&q));
+        for f in fns {
+            let reference = f.distance(&t, &q);
+            for tau_mul in [0.5, 1.1, 3.0] {
+                let tau = reference * tau_mul + 0.01;
+                let got = f.verify_soa(st.view(), sq.view(), tau, &mut scratch);
+                check(f.name(), reference, tau, got, (1234, 0));
+            }
+        }
+    }
+}

@@ -18,7 +18,7 @@ use crate::partitioner::str_tiles_pub as str_tiles;
 use crate::pivot::{select_pivots, PivotStrategy};
 use dita_distance::function::IndexMode;
 use dita_distance::DistanceFunction;
-use dita_trajectory::{CellList, Mbr, Point, Trajectory};
+use dita_trajectory::{CellList, Mbr, Point, SoaPoints, Trajectory};
 use serde::{Deserialize, Serialize};
 
 /// Configuration of the local trie index.
@@ -65,6 +65,9 @@ pub struct IndexedTrajectory {
     pub mbr: Mbr,
     /// Cell compression (for Lemma 5.6 bounds).
     pub cells: CellList,
+    /// Structure-of-arrays copy of the points, built once at indexing time
+    /// so the verification kernels stream contiguous coordinates.
+    pub soa: SoaPoints,
 }
 
 impl IndexedTrajectory {
@@ -82,12 +85,14 @@ impl IndexedTrajectory {
         index_points.extend(pivots.iter().map(|&i| traj.points()[i]));
         let mbr = traj.mbr();
         let cells = CellList::compress(&traj, cell_side);
+        let soa = SoaPoints::from_points(traj.points());
         IndexedTrajectory {
             traj,
             pivots,
             index_points,
             mbr,
             cells,
+            soa,
         }
     }
 }
@@ -273,6 +278,7 @@ impl TrieIndex {
                     + d.index_points.len() * std::mem::size_of::<Point>()
                     + std::mem::size_of::<Mbr>()
                     + d.cells.size_bytes()
+                    + d.soa.size_bytes()
             })
             .sum();
         nodes + aux

@@ -10,6 +10,9 @@
 //! * [`Trajectory`] — an identified point sequence.
 //! * [`CellList`] — the cell-based compressed representation used by the
 //!   verification optimizations (§5.3.3).
+//! * [`SoaPoints`] / [`SoaView`] — the structure-of-arrays coordinate layout
+//!   the verification kernels stream through (built once per indexed
+//!   trajectory).
 //! * [`Dataset`] — an owned trajectory collection with the summary statistics
 //!   the paper reports in Table 2, plus simple text serialization.
 //! * [`preprocess`] — ingestion-side simplification, resampling and GPS
@@ -23,6 +26,7 @@ pub mod error;
 pub mod mbr;
 pub mod point;
 pub mod preprocess;
+pub mod soa;
 pub mod trajectory;
 
 pub use cell::{Cell, CellList};
@@ -31,4 +35,5 @@ pub use error::TrajectoryError;
 pub use mbr::Mbr;
 pub use point::Point;
 pub use preprocess::{douglas_peucker, remove_outliers, resample};
+pub use soa::{SoaPoints, SoaView};
 pub use trajectory::{Trajectory, TrajectoryId};

@@ -1,0 +1,158 @@
+//! Structure-of-arrays trajectory storage for the distance kernels.
+//!
+//! The verification hot path (§5.3.3) streams through point coordinates in
+//! tight dynamic-programming loops. The array-of-structs `&[Point]` layout
+//! interleaves `x` and `y`, which is fine for geometry but leaves the
+//! kernels loading twice the cache lines they need per coordinate pass and
+//! blocks vectorization of the distance computation. [`SoaPoints`] stores
+//! the same sequence as two contiguous `f64` arrays; it is built once per
+//! indexed trajectory (alongside the trie's clustered entries) and borrowed
+//! as a [`SoaView`] by every verification against it.
+
+use crate::point::Point;
+use serde::{Deserialize, Serialize};
+
+/// A point sequence in structure-of-arrays layout: `xs[i]`/`ys[i]` are the
+/// coordinates of point `i`.
+///
+/// Invariant: `xs.len() == ys.len()`.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SoaPoints {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+}
+
+impl SoaPoints {
+    /// Converts an array-of-structs point slice (one pass, no other work).
+    pub fn from_points(points: &[Point]) -> Self {
+        SoaPoints {
+            xs: points.iter().map(|p| p.x).collect(),
+            ys: points.iter().map(|p| p.y).collect(),
+        }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Borrows the coordinate arrays for kernel use.
+    #[inline]
+    pub fn view(&self) -> SoaView<'_> {
+        SoaView {
+            xs: &self.xs,
+            ys: &self.ys,
+        }
+    }
+
+    /// Approximate heap size in bytes (two `f64` per point).
+    #[inline]
+    pub fn size_bytes(&self) -> usize {
+        2 * self.xs.len() * std::mem::size_of::<f64>()
+    }
+}
+
+/// A borrowed structure-of-arrays point sequence; the input type of the
+/// `dita-distance` SoA kernels.
+///
+/// Both slices always have equal length.
+#[derive(Debug, Clone, Copy)]
+pub struct SoaView<'a> {
+    /// The x (latitude) coordinates.
+    pub xs: &'a [f64],
+    /// The y (longitude) coordinates.
+    pub ys: &'a [f64],
+}
+
+impl<'a> SoaView<'a> {
+    /// Wraps two coordinate slices.
+    ///
+    /// # Panics
+    /// Panics if the slices have different lengths.
+    #[inline]
+    pub fn new(xs: &'a [f64], ys: &'a [f64]) -> Self {
+        assert_eq!(xs.len(), ys.len(), "SoA coordinate arrays must match");
+        SoaView { xs, ys }
+    }
+
+    /// Number of points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the sequence is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Point `i` as an AoS [`Point`].
+    #[inline]
+    pub fn point(&self, i: usize) -> Point {
+        Point::new(self.xs[i], self.ys[i])
+    }
+
+    /// Squared Euclidean distance between `self[i]` and `other[j]`.
+    #[inline]
+    pub fn dist_sq(&self, i: usize, other: &SoaView<'_>, j: usize) -> f64 {
+        let dx = self.xs[i] - other.xs[j];
+        let dy = self.ys[i] - other.ys[j];
+        dx * dx + dy * dy
+    }
+
+    /// Euclidean distance between `self[i]` and `other[j]`. Bit-identical
+    /// to [`Point::dist`] on the same coordinates.
+    #[inline]
+    pub fn dist(&self, i: usize, other: &SoaView<'_>, j: usize) -> f64 {
+        self.dist_sq(i, other, j).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_points() {
+        let pts = [Point::new(1.0, 2.0), Point::new(3.0, -4.5)];
+        let soa = SoaPoints::from_points(&pts);
+        assert_eq!(soa.len(), 2);
+        assert!(!soa.is_empty());
+        let v = soa.view();
+        assert_eq!(v.point(0), pts[0]);
+        assert_eq!(v.point(1), pts[1]);
+    }
+
+    #[test]
+    fn distances_match_aos_bitwise() {
+        let a = [Point::new(0.1, 0.2), Point::new(-1.0, 7.0)];
+        let b = [Point::new(2.5, -0.25)];
+        let (sa, sb) = (SoaPoints::from_points(&a), SoaPoints::from_points(&b));
+        for i in 0..a.len() {
+            assert_eq!(sa.view().dist(i, &sb.view(), 0), a[i].dist(&b[0]));
+            assert_eq!(sa.view().dist_sq(i, &sb.view(), 0), a[i].dist_sq(&b[0]));
+        }
+    }
+
+    #[test]
+    fn empty_is_fine() {
+        let soa = SoaPoints::from_points(&[]);
+        assert!(soa.is_empty());
+        assert_eq!(soa.view().len(), 0);
+        assert_eq!(soa.size_bytes(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must match")]
+    fn mismatched_views_rejected() {
+        let _ = SoaView::new(&[0.0], &[]);
+    }
+}

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# PR-1 smoke benchmark: builds the workspace in release mode, runs the
+# dependency-light Instant-based bench, and leaves results/BENCH_PR1.json
+# (kernel AoS-vs-SoA timings, verified-pairs/sec, p50 search latency,
+# rayon thread scaling). Runs in seconds; see EXPERIMENTS.md "Kernel
+# micro-benchmarks" for how to read the numbers.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+RUSTFLAGS="${RUSTFLAGS:--C target-cpu=native}" \
+    cargo run --release -p dita-bench --bin bench_smoke "$@"
+
+echo
+echo "results/BENCH_PR1.json:"
+cat results/BENCH_PR1.json

@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# The local CI gate: release build, full test suite, clippy clean.
+# Run before every push.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --all-targets -- -D warnings
+echo "check.sh: all green"
