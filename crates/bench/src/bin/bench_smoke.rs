@@ -3,9 +3,10 @@
 //! band-pruned kernels and intra-worker parallel verification.
 //!
 //! Unlike the Criterion benches this uses plain `Instant` timing (coarser,
-//! but runs in seconds) and writes its JSON by hand, so it works even where
-//! Criterion cannot. Data is seeded xorshift random walks — deterministic
-//! and free of any external dependency.
+//! but runs in seconds). The artifact is emitted through the `dita-obs`
+//! [`BenchSmokeReport`] schema (serializer-produced, golden-file tested)
+//! rather than hand-concatenated JSON. Data is seeded xorshift random
+//! walks — deterministic and free of any external dependency.
 //!
 //! Sections:
 //! 1. kernels — AoS threshold kernels vs SoA band-pruned kernels, per
@@ -16,6 +17,9 @@
 //!    with 4 verify threads.
 //! 4. thread scaling — `verify_candidates` at 1/2/4 rayon threads. Flat on
 //!    a single-CPU host; near-linear where cores exist.
+//! 5. instrumented pass — after all timing, one search runs with tracing
+//!    attached; its profile tree and filter funnel ride along in the
+//!    artifact's `search_profile` field.
 
 use dita_cluster::{Cluster, ClusterConfig};
 use dita_core::{
@@ -28,7 +32,12 @@ use dita_distance::{
     DistanceFunction, Scratch,
 };
 use dita_index::{PivotStrategy, TrieConfig, TrieIndex};
+use dita_obs::bench_report::{
+    BenchSmokeReport, KernelMeasurement, SearchP50Ms, ThreadScalingPoint, BENCH_SCHEMA,
+};
+use dita_obs::Obs;
 use dita_trajectory::{Dataset, Point, SoaPoints, Trajectory};
+use std::path::Path;
 use std::time::Instant;
 
 struct XorShift(u64);
@@ -311,7 +320,7 @@ fn main() {
         strategy: PivotStrategy::NeighborDistance,
         cell_side: 0.05,
     };
-    let sys = DitaSystem::build(
+    let mut sys = DitaSystem::build(
         &Dataset::new_unchecked("smoke", ts.clone()),
         DitaConfig {
             ng: 8,
@@ -388,38 +397,54 @@ fn main() {
         scaling.push((threads, pps));
     }
 
-    // Machine-readable output.
-    let cores = std::thread::available_parallelism().map_or(0, |n| n.get());
-    let mut json = String::from("{\n  \"kernels\": [\n");
-    for (i, (name, aos, soa)) in kernels.iter().enumerate() {
-        if i > 0 {
-            json.push_str(",\n");
-        }
-        json.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"aos_ns\": {aos:.0}, \"soa_ns\": {soa:.0}, \
-             \"speedup\": {:.2}}}",
-            aos / soa
-        ));
-    }
-    json.push_str(&format!(
-        "\n  ],\n  \"verified_pairs_per_sec\": {pairs_per_sec:.0},\n  \
-         \"search_p50_ms\": {{\"serial\": {p50_serial:.3}, \"verify_threads_4\": \
-         {p50_parallel:.3}}},\n  \"thread_scaling\": [\n"
-    ));
-    for (i, (t, p)) in scaling.iter().enumerate() {
-        if i > 0 {
-            json.push_str(",\n");
-        }
-        json.push_str(&format!(
-            "    {{\"threads\": {t}, \"pairs_per_sec\": {p:.0}}}"
-        ));
-    }
-    json.push_str(&format!(
-        "\n  ],\n  \"host_cores\": {cores},\n  \"note\": \"thread scaling is flat \
-         when host_cores is 1; the rayon pool cannot beat one CPU\"\n}}\n"
-    ));
-    std::fs::create_dir_all("results").ok();
-    match std::fs::write("results/BENCH_PR1.json", &json) {
+    // Instrumented profiling pass — attached only now, after all timing,
+    // so the sections above pay the disabled-context cost (one branch).
+    sys.attach_obs(Obs::enabled());
+    let (hits, pstats) = search_with_options(
+        &sys,
+        &queries[0],
+        tau,
+        &DistanceFunction::Dtw,
+        SearchOptions { verify_threads: 1 },
+    );
+    assert!(!hits.is_empty(), "instrumented query is a jittered member");
+    let mut search_profile = sys.obs().report();
+    search_profile.attach_funnel(pstats.filter.funnel());
+    println!("\n{}", search_profile.render_table());
+
+    // Machine-readable output through the schema'd exporter.
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let round3 = |x: f64| (x * 1000.0).round() / 1000.0;
+    let report = BenchSmokeReport {
+        schema: Some(BENCH_SCHEMA.to_string()),
+        kernels: kernels
+            .iter()
+            .map(|&(name, aos, soa)| KernelMeasurement {
+                name: name.to_string(),
+                aos_ns: aos.round(),
+                soa_ns: soa.round(),
+                speedup: round2(aos / soa),
+            })
+            .collect(),
+        verified_pairs_per_sec: pairs_per_sec.round(),
+        search_p50_ms: SearchP50Ms {
+            serial: round3(p50_serial),
+            verify_threads_4: round3(p50_parallel),
+        },
+        thread_scaling: scaling
+            .iter()
+            .map(|&(threads, pps)| ThreadScalingPoint {
+                threads,
+                pairs_per_sec: pps.round(),
+            })
+            .collect(),
+        host_cores: std::thread::available_parallelism().map_or(0, |n| n.get()),
+        note: "thread scaling is flat when host_cores is 1; the rayon pool \
+               cannot beat one CPU"
+            .to_string(),
+        search_profile: Some(search_profile),
+    };
+    match report.write_json(Path::new("results/BENCH_PR1.json")) {
         Ok(()) => println!("wrote results/BENCH_PR1.json"),
         Err(e) => eprintln!("warning: cannot write results/BENCH_PR1.json: {e}"),
     }

@@ -10,26 +10,22 @@
 
 use crate::network::NetworkModel;
 use crate::stats::{JobStats, WorkerStats};
+use dita_obs::Obs;
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
 
-/// How many times a panicking task is retried before the job fails —
-/// mirroring Spark's `spark.task.maxFailures` (default 4 attempts total).
-pub const MAX_TASK_ATTEMPTS: usize = 4;
-
 /// CPU time consumed by the calling thread. Unlike wall-clock deltas, this
 /// is immune to preemption, so per-task compute costs stay accurate even
 /// when the host has fewer physical cores than the cluster has workers.
-pub fn thread_cpu_time() -> Duration {
-    let mut ts = libc::timespec { tv_sec: 0, tv_nsec: 0 };
-    // SAFETY: ts is a valid out-pointer; the clock id is always available
-    // on Linux.
-    unsafe {
-        libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts);
-    }
-    Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
-}
+///
+/// Re-exported from `dita-obs` so the executor's task pricing and the
+/// tracer's span CPU accounting read the same clock.
+pub use dita_obs::thread_cpu_time;
+
+/// How many times a panicking task is retried before the job fails —
+/// mirroring Spark's `spark.task.maxFailures` (default 4 attempts total).
+pub const MAX_TASK_ATTEMPTS: usize = 4;
 
 thread_local! {
     /// Compute time charged to the current worker task by helper threads it
@@ -96,6 +92,7 @@ pub struct TaskSpec<T> {
 #[derive(Debug, Clone)]
 pub struct Cluster {
     config: ClusterConfig,
+    obs: Obs,
 }
 
 impl Cluster {
@@ -109,7 +106,22 @@ impl Cluster {
             config.slowdowns.iter().all(|&s| s >= 1.0),
             "slowdown factors must be >= 1.0"
         );
-        Cluster { config }
+        Cluster {
+            config,
+            obs: Obs::disabled(),
+        }
+    }
+
+    /// Attaches an observability context: subsequent jobs record per-worker
+    /// task/retry/network/compute metrics and a per-task span timeline into
+    /// it. Detach by attaching [`Obs::disabled`].
+    pub fn attach_obs(&mut self, obs: Obs) {
+        self.obs = obs;
+    }
+
+    /// The cluster's observability context (disabled unless attached).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
     }
 
     /// Number of workers.
@@ -153,6 +165,11 @@ impl Cluster {
         let started = Instant::now();
         let f = &f;
         let net = &self.config.network;
+        let obs = &self.obs;
+        // The driver thread's current span (if any) becomes the parent of
+        // every worker span, stitching the per-worker subtrees into the
+        // caller's operation span across the thread boundary.
+        let parent = obs.current_span();
 
         let mut per_worker: Vec<(WorkerStats, Vec<(usize, R)>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = queues
@@ -160,16 +177,36 @@ impl Cluster {
                 .enumerate()
                 .map(|(wid, queue)| {
                     scope.spawn(move || {
-                        let mut stats = WorkerStats {
-                            slowdown: 1.0,
-                            ..WorkerStats::default()
-                        };
+                        let mut stats = WorkerStats::default();
                         let mut results = Vec::with_capacity(queue.len());
+                        // Idle workers record nothing: no span, no
+                        // zero-valued metric series.
+                        let _worker_span = if queue.is_empty() {
+                            dita_obs::SpanGuard::noop()
+                        } else {
+                            obs.span_under_labeled(parent, "worker", format!("worker={wid}"))
+                        };
+                        let wlabel = wid.to_string();
+                        let labels: &[(&str, &str)] = &[("worker", wlabel.as_str())];
+                        let (m_tasks, m_retries, m_bytes, h_net, h_cpu) = if queue.is_empty() {
+                            Default::default()
+                        } else {
+                            (
+                                obs.counter_labeled("dita_tasks_total", labels),
+                                obs.counter_labeled("dita_task_retries_total", labels),
+                                obs.counter_labeled("dita_network_bytes_total", labels),
+                                obs.histogram_seconds_labeled("dita_task_network_seconds", labels),
+                                obs.histogram_seconds_labeled("dita_task_compute_seconds", labels),
+                            )
+                        };
                         for (i, task) in queue {
                             stats.bytes_received += task.incoming_bytes;
-                            stats.network += Duration::from_secs_f64(
-                                net.transfer_sec(task.incoming_bytes),
-                            );
+                            let net_sec = net.transfer_sec(task.incoming_bytes);
+                            stats.network += Duration::from_secs_f64(net_sec);
+                            m_bytes.add(task.incoming_bytes);
+                            h_net.observe(net_sec);
+                            let mut task_span =
+                                obs.span_labeled("task", format!("worker={wid}"));
                             let _ = take_extra_compute(); // discard stale charges
                             let t0 = thread_cpu_time();
                             // Task-level fault tolerance: a panicking task
@@ -186,13 +223,19 @@ impl Cluster {
                                     }
                                     Err(_) if attempt < MAX_TASK_ATTEMPTS => {
                                         stats.retries += 1;
+                                        m_retries.inc();
                                     }
                                     Err(e) => std::panic::resume_unwind(e),
                                 }
                             }
-                            stats.compute +=
-                                thread_cpu_time().saturating_sub(t0) + take_extra_compute();
+                            let extra = take_extra_compute();
+                            let cpu = thread_cpu_time().saturating_sub(t0) + extra;
+                            task_span.add_cpu(extra);
+                            drop(task_span);
+                            stats.compute += cpu;
                             stats.tasks += 1;
+                            m_tasks.inc();
+                            h_cpu.observe(cpu.as_secs_f64());
                             results.push((i, r.expect("task completed or job aborted")));
                         }
                         (stats, results)
@@ -244,6 +287,9 @@ impl Cluster {
         F: Fn(T) -> R + Sync,
     {
         let nw = self.config.num_workers;
+        // Covers both the physical run (whose worker spans nest under it)
+        // and the greedy list schedule that prices the assignment.
+        let _span = self.obs.span("execute_dynamic");
         let specs: Vec<(u64, Option<usize>, u64)> = tasks
             .iter()
             .map(|t| (t.shipped_bytes, t.home, t.home_data_bytes))
@@ -303,6 +349,14 @@ impl Cluster {
             ws.compute += cpu;
             ws.tasks += 1;
             results.push(r);
+        }
+        if self.obs.is_enabled() {
+            self.obs
+                .counter("dita_dyn_tasks_total")
+                .add(results.len() as u64);
+            self.obs
+                .counter("dita_dyn_scheduled_bytes_total")
+                .add(workers.iter().map(|w| w.bytes_received).sum());
         }
         (results, JobStats { elapsed, workers })
     }
@@ -600,6 +654,127 @@ mod dynamic_tests {
         let total: f64 = stats.workers.iter().map(|w| w.compute.as_secs_f64()).sum();
         // Makespan close to the biggest single task, far below the serial sum.
         assert!(stats.makespan_sec() < total * 0.6);
+    }
+}
+
+#[cfg(test)]
+mod obs_tests {
+    use super::*;
+
+    #[test]
+    fn execute_records_worker_spans_and_task_metrics() {
+        let mut c = Cluster::new(ClusterConfig::with_workers(3));
+        let obs = Obs::enabled();
+        c.attach_obs(obs.clone());
+
+        let _root = obs.span("job");
+        let tasks: Vec<TaskSpec<u64>> = (0..4)
+            .map(|i| TaskSpec {
+                worker: (i % 2) as usize, // worker 2 stays idle
+                incoming_bytes: 100,
+                payload: i,
+            })
+            .collect();
+        let (results, _) = c.execute(tasks, |_w, i| i + 1);
+        assert_eq!(results, vec![1, 2, 3, 4]);
+        drop(_root);
+
+        let report = obs.report();
+        // Worker spans hang off the driver's `job` span; idle worker 2
+        // contributes neither spans nor metric series.
+        assert_eq!(report.profile.len(), 1);
+        assert_eq!(report.profile[0].name, "job");
+        let worker_spans = &report.profile[0].children;
+        assert_eq!(worker_spans.len(), 2);
+        assert!(worker_spans.iter().all(|w| w.name == "worker"));
+        assert!(worker_spans
+            .iter()
+            .all(|w| w.children.iter().any(|t| t.name == "task")));
+
+        let tasks_per_worker: Vec<f64> = report
+            .metrics
+            .iter()
+            .filter(|m| m.name == "dita_tasks_total")
+            .map(|m| m.value)
+            .collect();
+        assert_eq!(tasks_per_worker, vec![2.0, 2.0]);
+        let bytes: f64 = report
+            .metrics
+            .iter()
+            .filter(|m| m.name == "dita_network_bytes_total")
+            .map(|m| m.value)
+            .sum();
+        assert_eq!(bytes, 400.0);
+        // Per-task compute histogram saw every task.
+        let cpu_count: u64 = report
+            .metrics
+            .iter()
+            .filter(|m| m.name == "dita_task_compute_seconds")
+            .map(|m| m.count)
+            .sum();
+        assert_eq!(cpu_count, 4);
+        // The timeline carries one row per task plus the worker rows.
+        assert_eq!(
+            report.timeline.iter().filter(|r| r.name == "task").count(),
+            4
+        );
+    }
+
+    #[test]
+    fn retries_are_counted_in_metrics() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let mut c = Cluster::new(ClusterConfig::with_workers(1));
+        let obs = Obs::enabled();
+        c.attach_obs(obs.clone());
+        let failures = AtomicUsize::new(0);
+        let tasks = vec![TaskSpec { worker: 0, incoming_bytes: 0, payload: () }];
+        let _ = c.execute(tasks, |_w, ()| {
+            if failures.fetch_add(1, Ordering::SeqCst) < 1 {
+                panic!("transient");
+            }
+        });
+        let report = obs.report();
+        let retried: f64 = report
+            .metrics
+            .iter()
+            .filter(|m| m.name == "dita_task_retries_total")
+            .map(|m| m.value)
+            .sum();
+        assert_eq!(retried, 1.0);
+    }
+
+    #[test]
+    fn disabled_obs_records_nothing() {
+        let c = Cluster::new(ClusterConfig::with_workers(2));
+        assert!(!c.obs().is_enabled());
+        let tasks = vec![TaskSpec { worker: 0, incoming_bytes: 10, payload: () }];
+        let (_, stats) = c.execute(tasks, |_, ()| ());
+        assert_eq!(stats.workers[0].tasks, 1);
+        assert!(c.obs().report().metrics.is_empty());
+    }
+
+    #[test]
+    fn dynamic_jobs_nest_under_their_span() {
+        let mut c = Cluster::new(ClusterConfig::with_workers(2));
+        let obs = Obs::enabled();
+        c.attach_obs(obs.clone());
+        let tasks: Vec<DynTaskSpec<u64>> = (0..4)
+            .map(|n| DynTaskSpec {
+                shipped_bytes: 8,
+                home: None,
+                home_data_bytes: 0,
+                payload: n,
+            })
+            .collect();
+        let (results, _) = c.execute_dynamic(tasks, |n| n);
+        assert_eq!(results.len(), 4);
+        let report = obs.report();
+        assert_eq!(report.profile[0].name, "execute_dynamic");
+        assert!(report.profile[0].children.iter().any(|n| n.name == "worker"));
+        assert!(report
+            .metrics
+            .iter()
+            .any(|m| m.name == "dita_dyn_scheduled_bytes_total" && m.value == 32.0));
     }
 }
 

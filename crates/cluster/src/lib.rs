@@ -16,6 +16,9 @@
 //!   load-ratio and scale experiments (Figures 7–10, 16).
 //! * Stragglers are injected by per-worker slowdown factors, exercising the
 //!   division-based load balancing of §6.3.
+//! * Attaching a `dita_obs::Obs` context ([`Cluster::attach_obs`]) makes the
+//!   executor record per-worker task/retry/network/compute metrics and a
+//!   per-task span timeline, parented under whatever span the driver holds.
 
 #![warn(missing_docs)]
 

@@ -3,7 +3,17 @@
 use std::time::Duration;
 
 /// What one worker did during a job.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// # Invariant
+///
+/// `slowdown >= 1.0`: a slowdown factor is a *stretch* applied to compute
+/// time (1.0 = healthy, 10.0 = ten-times-slower straggler); factors below
+/// 1.0 would make a worker faster than its measured compute and are
+/// rejected by [`crate::Cluster::new`]. [`WorkerStats::total_sec`] keeps a
+/// defensive `.max(1.0)` clamp so a hand-built violating value cannot
+/// *shrink* compute, but constructing one is a bug — a debug assertion
+/// fires.
+#[derive(Debug, Clone, PartialEq)]
 pub struct WorkerStats {
     /// Measured compute time across the worker's tasks.
     pub compute: Duration,
@@ -15,14 +25,39 @@ pub struct WorkerStats {
     pub tasks: usize,
     /// Task attempts that panicked and were retried.
     pub retries: usize,
-    /// Slowdown factor applied to this worker (1.0 = healthy).
+    /// Slowdown factor applied to this worker (1.0 = healthy; always
+    /// `>= 1.0`, see the type-level invariant).
     pub slowdown: f64,
+}
+
+impl Default for WorkerStats {
+    /// A healthy idle worker — note `slowdown` defaults to 1.0, not 0.0,
+    /// upholding the `slowdown >= 1.0` invariant.
+    fn default() -> Self {
+        WorkerStats {
+            compute: Duration::ZERO,
+            network: Duration::ZERO,
+            bytes_received: 0,
+            tasks: 0,
+            retries: 0,
+            slowdown: 1.0,
+        }
+    }
 }
 
 impl WorkerStats {
     /// Effective total time: compute (stretched by the straggler slowdown)
     /// plus simulated network time.
+    ///
+    /// Debug builds assert the `slowdown >= 1.0` invariant; release builds
+    /// clamp so an invalid factor can never make a worker look faster than
+    /// its measured compute.
     pub fn total_sec(&self) -> f64 {
+        debug_assert!(
+            self.slowdown >= 1.0,
+            "WorkerStats invariant violated: slowdown {} < 1.0",
+            self.slowdown
+        );
         self.compute.as_secs_f64() * self.slowdown.max(1.0) + self.network.as_secs_f64()
     }
 }
@@ -46,23 +81,30 @@ impl JobStats {
             .fold(0.0, f64::max)
     }
 
-    /// The paper's un-balanced ratio (Figure 16): longest worker total over
-    /// shortest worker total, among workers that did any work.
+    /// The paper's unbalanced ratio (Figure 16): the busiest worker's
+    /// total time over the laziest worker's, across **all** workers of the
+    /// cluster — idle workers count with total 0.
+    ///
+    /// * Fewer than two workers, or no measurable work anywhere: `1.0`
+    ///   (perfectly balanced by definition).
+    /// * Some worker did measurable work while another did none:
+    ///   [`f64::INFINITY`] — maximal imbalance. This is the case the old
+    ///   implementation collapsed to `1.0` by filtering idle workers out,
+    ///   which hid exactly the skew Figure 16 is meant to expose (one hot
+    ///   partition, everyone else idle).
+    /// * Otherwise `max / min`.
     pub fn load_ratio(&self) -> f64 {
-        let busy: Vec<f64> = self
-            .workers
-            .iter()
-            .filter(|w| w.tasks > 0)
-            .map(WorkerStats::total_sec)
-            .collect();
-        if busy.is_empty() {
+        if self.workers.len() < 2 {
             return 1.0;
         }
-        let max = busy.iter().fold(0.0f64, |a, &b| a.max(b));
-        let min = busy.iter().fold(f64::INFINITY, |a, &b| a.min(b));
-        if min <= 0.0 {
-            // Sub-resolution tasks: treat as balanced.
+        let totals: Vec<f64> = self.workers.iter().map(WorkerStats::total_sec).collect();
+        let max = totals.iter().fold(0.0f64, |a, &b| a.max(b));
+        let min = totals.iter().fold(f64::INFINITY, |a, &b| a.min(b));
+        if max <= 0.0 {
+            // Nothing ran anywhere (or every task was sub-resolution).
             1.0
+        } else if min <= 0.0 {
+            f64::INFINITY
         } else {
             max / min
         }
@@ -108,21 +150,76 @@ mod tests {
     }
 
     #[test]
-    fn load_ratio_ignores_idle_workers() {
+    fn default_worker_upholds_slowdown_invariant() {
+        let ws = WorkerStats::default();
+        assert_eq!(ws.slowdown, 1.0);
+        assert_eq!(ws.total_sec(), 0.0);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "slowdown")]
+    fn sub_unit_slowdown_trips_debug_assertion() {
+        w(100, 0, 1, 0.5).total_sec();
+    }
+
+    /// Figure 16 semantics: the unbalanced ratio is busiest/laziest over
+    /// the whole cluster. One busy worker among idle ones is maximal
+    /// imbalance, not balance.
+    #[test]
+    fn load_ratio_pins_fig16_semantics() {
+        // Two busy workers: plain max/min.
+        let two = JobStats {
+            elapsed: Duration::from_millis(200),
+            workers: vec![w(200, 0, 2, 1.0), w(100, 0, 1, 1.0)],
+        };
+        assert!((two.load_ratio() - 2.0).abs() < 1e-9);
+
+        // A single busy worker next to an idle one must NOT collapse to
+        // 1.0 — that is the most unbalanced a cluster can be.
+        let skewed = JobStats {
+            elapsed: Duration::from_millis(200),
+            workers: vec![w(200, 0, 2, 1.0), w(0, 0, 0, 1.0)],
+        };
+        assert_eq!(skewed.load_ratio(), f64::INFINITY);
+
+        // Network-only time counts as load, too.
+        let net_only = JobStats {
+            elapsed: Duration::from_millis(40),
+            workers: vec![w(0, 40, 1, 1.0), w(0, 10, 1, 1.0)],
+        };
+        assert!((net_only.load_ratio() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn load_ratio_counts_idle_workers() {
         let stats = JobStats {
             elapsed: Duration::from_millis(200),
             workers: vec![w(200, 0, 2, 1.0), w(100, 0, 1, 1.0), w(0, 0, 0, 1.0)],
         };
-        assert!((stats.load_ratio() - 2.0).abs() < 1e-9);
+        assert_eq!(stats.load_ratio(), f64::INFINITY);
         assert!((stats.makespan_sec() - 0.2).abs() < 1e-9);
     }
 
     #[test]
-    fn empty_job_is_balanced() {
+    fn single_worker_and_empty_jobs_are_balanced() {
         let stats = JobStats::default();
         assert_eq!(stats.load_ratio(), 1.0);
         assert_eq!(stats.makespan_sec(), 0.0);
         assert_eq!(stats.total_bytes(), 0);
+
+        let solo = JobStats {
+            elapsed: Duration::from_millis(100),
+            workers: vec![w(100, 0, 1, 1.0)],
+        };
+        assert_eq!(solo.load_ratio(), 1.0);
+
+        // No measurable work anywhere: balanced, not infinite.
+        let quiet = JobStats {
+            elapsed: Duration::ZERO,
+            workers: vec![w(0, 0, 1, 1.0), w(0, 0, 1, 1.0)],
+        };
+        assert_eq!(quiet.load_ratio(), 1.0);
     }
 
     #[test]

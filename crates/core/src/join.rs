@@ -125,10 +125,19 @@ pub fn join(
     let mode = func.index_mode();
     let lambda = cluster.network().lambda(opts.delta_sec);
 
+    // Top-level operation span; the executor parents the dynamic-schedule
+    // and worker spans under it.
+    let obs = t_sys.obs();
+    let _join_span = dita_obs::span!(obs, "join", func = func, tau = tau);
+
     // --- 1. Build the bi-graph ---
-    let mut edges = build_edges(t_sys, q_sys, tau, mode, func, opts);
+    let mut edges = {
+        let _span = obs.span("build-edges");
+        build_edges(t_sys, q_sys, tau, mode, func, opts)
+    };
 
     // --- 2. Orient ---
+    let orient_span = obs.span("orient");
     match opts.balance {
         BalanceStrategy::None => {
             for e in &mut edges {
@@ -151,6 +160,7 @@ pub fn join(
         matches!(opts.balance, BalanceStrategy::Full),
         opts.division_percentile,
     );
+    drop(orient_span);
 
     // --- 4. Local joins: one task per destination replica slot, scheduled
     //        dynamically (Spark-style) onto the cluster ---
@@ -209,6 +219,8 @@ pub fn join(
         let mut pairs: Vec<(TrajectoryId, TrajectoryId, f64)> = Vec::new();
         let mut scratch = Scratch::new();
         for ei in eis {
+            // Nested under the executor's worker task span.
+            let _espan = obs.span("local-join");
             let e = &edges_ref[ei];
             let (src_sys, dst_sys, src_pid, dst_pid, shipped) = if e.forward {
                 (t_sys, q_sys, e.t_pid, e.q_pid, &e.ship_t)
@@ -251,10 +263,16 @@ pub fn join(
     }
     results.sort_by_key(|a| (a.0, a.1));
 
-    let shipped_bytes = edges
+    let shipped_bytes: u64 = edges
         .iter()
         .map(|e| if e.forward { e.trans_t2q as u64 } else { e.trans_q2t as u64 })
         .sum();
+    if obs.is_enabled() {
+        obs.counter("dita_join_shipped_bytes_total").add(shipped_bytes);
+        obs.counter("dita_join_candidates_total").add(candidates as u64);
+        obs.counter("dita_join_results_total").add(results.len() as u64);
+        obs.gauge("dita_join_replicas").set(replicas as f64);
+    }
     let stats = JoinStats {
         edges: edges.len(),
         forward_edges,

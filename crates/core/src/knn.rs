@@ -36,6 +36,8 @@ pub fn knn_search(
     func: &DistanceFunction,
 ) -> (Vec<(TrajectoryId, f64)>, KnnStats) {
     assert!(!q.is_empty(), "queries must contain at least one point");
+    // Each radius probe's `search` span nests under this one.
+    let _knn_span = dita_obs::span!(system.obs(), "knn", func = func, k = k);
     let mut stats = KnnStats {
         rounds: 0,
         final_radius: 0.0,

@@ -75,6 +75,11 @@ pub fn search_with_options(
 ) -> (Vec<(TrajectoryId, f64)>, SearchStats) {
     assert!(!q.is_empty(), "queries must contain at least one point");
 
+    // Top-level operation span: the executor captures the driver's current
+    // span before spawning workers, so worker/task spans nest under it.
+    let obs = system.obs();
+    let _search_span = dita_obs::span!(obs, "search", func = func, tau = tau);
+
     // Step 1 (driver): global pruning.
     let relevant = system.global().relevant_partitions(
         &q[0],
@@ -114,11 +119,19 @@ pub fn search_with_options(
         let mut candidates = 0usize;
         let mut funnel = FilterStats::default();
         let mut hits: Vec<(TrajectoryId, f64)> = Vec::new();
+        let obs = system.obs();
         for pid in pids {
             let trie = system.trie(pid);
-            let (cands, fs) = trie.candidates_with_stats(q_ctx.points(), tau, func);
-            funnel.merge(&fs);
+            // The executor opens a `task` span on this thread before calling
+            // us, so `filter` and `verify` nest search → worker → task → …
+            let cands = {
+                let _fspan = dita_obs::span!(obs, "filter", pid = pid);
+                let (cands, fs) = trie.candidates_with_stats(q_ctx.points(), tau, func);
+                funnel.merge(&fs);
+                cands
+            };
             candidates += cands.len();
+            let _vspan = dita_obs::span!(obs, "verify", pid = pid);
             hits.extend(verify_candidates(trie, &cands, q_ctx, tau, func, verify_threads));
         }
         (candidates, funnel, hits)
@@ -134,6 +147,13 @@ pub fn search_with_options(
         results.extend(hits);
     }
     results.sort_by_key(|&(id, _)| id);
+
+    if obs.is_enabled() {
+        filter.funnel().record(obs);
+        obs.counter("dita_search_queries_total").inc();
+        obs.counter("dita_search_candidates_total").add(candidates as u64);
+        obs.counter("dita_search_results_total").add(results.len() as u64);
+    }
 
     let stats = SearchStats {
         relevant_partitions: relevant.len(),

@@ -137,6 +137,21 @@ impl DitaSystem {
         &self.cluster
     }
 
+    /// Attaches an observability context: the executor starts recording
+    /// per-worker metrics and task spans, and the query operators
+    /// ([`crate::search`], [`crate::join`], [`crate::knn_search`]) wrap
+    /// themselves in top-level spans and mirror their statistics into the
+    /// context's registry. Systems start with a disabled (zero-cost)
+    /// context.
+    pub fn attach_obs(&mut self, obs: dita_obs::Obs) {
+        self.cluster.attach_obs(obs);
+    }
+
+    /// The observability context (disabled unless attached).
+    pub fn obs(&self) -> &dita_obs::Obs {
+        self.cluster.obs()
+    }
+
     /// The partitioning.
     pub fn partitioning(&self) -> &Partitioning {
         &self.partitioning

@@ -1,0 +1,49 @@
+//! Property test: the two places a trajectory crosses the simulated
+//! network — search's query broadcast ([`query_broadcast_bytes`]) and
+//! join's shipped-trajectory pricing ([`Trajectory::size_bytes`]) — must
+//! charge the identical per-point byte formula, or the cost model would
+//! value the same record differently depending on which operator moves it.
+
+use dita_core::query_broadcast_bytes;
+use dita_trajectory::{Point, Trajectory, TrajectoryId};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn broadcast_and_shipment_price_trajectories_identically(
+        coords in proptest::collection::vec(
+            (-180.0f64..180.0, -90.0f64..90.0),
+            1..64,
+        ),
+        id in 1u64..1_000_000,
+    ) {
+        let points: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let shipped = Trajectory::new(id, points.clone()).size_bytes() as u64;
+        prop_assert_eq!(query_broadcast_bytes(&points), shipped);
+    }
+
+    #[test]
+    fn both_formulas_are_linear_in_points(
+        coords in proptest::collection::vec(
+            (-180.0f64..180.0, -90.0f64..90.0),
+            2..64,
+        ),
+    ) {
+        let points: Vec<Point> = coords.iter().map(|&(x, y)| Point::new(x, y)).collect();
+        let per_point = std::mem::size_of::<Point>() as u64;
+        let envelope = std::mem::size_of::<TrajectoryId>() as u64;
+        prop_assert_eq!(
+            query_broadcast_bytes(&points),
+            envelope + per_point * points.len() as u64
+        );
+        // Dropping one point saves exactly one point's bytes in both.
+        let shorter = &points[..points.len() - 1];
+        prop_assert_eq!(
+            query_broadcast_bytes(&points) - query_broadcast_bytes(shorter),
+            per_point
+        );
+        let t_full = Trajectory::new(1, points.clone()).size_bytes() as u64;
+        let t_short = Trajectory::new(1, shorter.to_vec()).size_bytes() as u64;
+        prop_assert_eq!(t_full - t_short, per_point);
+    }
+}

@@ -116,26 +116,87 @@ struct TrieNode {
 }
 
 /// Filter-funnel statistics of one trie probe: how much work the filter
-/// did and how hard each stage pruned (the paper's "pruning power").
+/// did and how hard each stage pruned (the paper's "pruning power"),
+/// broken down per pruning stage in pipeline order:
+///
+/// 1. **node-length** — EDR length-interval subtree prune (Appendix A);
+/// 2. **node-budget** — the per-level `MinDist` budget cascade
+///    (§5.3.1/Lemma 5.1) over node MBRs;
+/// 3. **leaf-length** — the exact EDR length bound on stored members;
+/// 4. **leaf-opamd** — the exact OPAMD / edit-count test (Lemma 5.1) on a
+///    member's own indexing points.
+///
+/// Survivors of the last stage are exactly the emitted candidates.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FilterStats {
     /// Trie nodes whose level check was evaluated.
     pub nodes_visited: usize,
-    /// Of those, nodes pruned (subtree skipped).
-    pub nodes_pruned: usize,
+    /// Nodes pruned by the length-interval filter (EDR only).
+    pub nodes_pruned_length: usize,
+    /// Nodes pruned by the budget cascade over the level MBRs.
+    pub nodes_pruned_budget: usize,
     /// Stored trajectories reaching the exact per-trajectory check.
     pub members_checked: usize,
-    /// Of those, rejected by the OPAMD / edit-count leaf filter.
-    pub members_rejected: usize,
+    /// Members rejected by the exact length bound (EDR only).
+    pub members_pruned_length: usize,
+    /// Members rejected by the OPAMD / edit-count leaf filter.
+    pub members_pruned_opamd: usize,
 }
 
 impl FilterStats {
+    /// Nodes pruned across all node-level stages (subtree skipped).
+    pub fn nodes_pruned(&self) -> usize {
+        self.nodes_pruned_length + self.nodes_pruned_budget
+    }
+
+    /// Members rejected across all leaf-level stages.
+    pub fn members_rejected(&self) -> usize {
+        self.members_pruned_length + self.members_pruned_opamd
+    }
+
+    /// Candidates that survived the whole funnel.
+    pub fn candidates(&self) -> usize {
+        self.members_checked - self.members_rejected()
+    }
+
     /// Merges another probe's counters into this one.
     pub fn merge(&mut self, other: &FilterStats) {
         self.nodes_visited += other.nodes_visited;
-        self.nodes_pruned += other.nodes_pruned;
+        self.nodes_pruned_length += other.nodes_pruned_length;
+        self.nodes_pruned_budget += other.nodes_pruned_budget;
         self.members_checked += other.members_checked;
-        self.members_rejected += other.members_rejected;
+        self.members_pruned_length += other.members_pruned_length;
+        self.members_pruned_opamd += other.members_pruned_opamd;
+    }
+
+    /// The counters as an ordered `dita-obs` pruning funnel named
+    /// `trie-filter`. Each stage's `entered` is the previous stage's
+    /// survivor count (node stages count nodes, leaf stages count
+    /// members); the final stage's survivors equal
+    /// [`FilterStats::candidates`].
+    pub fn funnel(&self) -> dita_obs::Funnel {
+        let mut f = dita_obs::Funnel::new("trie-filter");
+        f.push_stage(
+            "node-length",
+            self.nodes_visited as u64,
+            self.nodes_pruned_length as u64,
+        );
+        f.push_stage(
+            "node-budget",
+            (self.nodes_visited - self.nodes_pruned_length) as u64,
+            self.nodes_pruned_budget as u64,
+        );
+        f.push_stage(
+            "leaf-length",
+            self.members_checked as u64,
+            self.members_pruned_length as u64,
+        );
+        f.push_stage(
+            "leaf-opamd",
+            (self.members_checked - self.members_pruned_length) as u64,
+            self.members_pruned_opamd as u64,
+        );
+        f
     }
 }
 
@@ -407,10 +468,7 @@ impl TrieIndex {
         // remaining budget and the query-suffix start for their children.
         let mut stack: Vec<(u32, f64, usize)> = Vec::new();
         for &r in &self.roots {
-            stats.nodes_visited += 1;
-            if !self.visit(r, q, tau, tau, 0, mode, lcss, edr, &mut stack) {
-                stats.nodes_pruned += 1;
-            }
+            self.visit(r, q, tau, tau, 0, mode, lcss, edr, &mut stats, &mut stack);
         }
         while let Some((node_id, budget, suffix)) = stack.pop() {
             let node = &self.nodes[node_id as usize];
@@ -426,20 +484,17 @@ impl TrieIndex {
                         tau,
                     )
                 {
-                    stats.members_rejected += 1;
+                    stats.members_pruned_length += 1;
                     continue;
                 }
                 if self.opamd_admits(m, q, tau, mode, func) {
                     out.push(m);
                 } else {
-                    stats.members_rejected += 1;
+                    stats.members_pruned_opamd += 1;
                 }
             }
             for &c in &node.children {
-                stats.nodes_visited += 1;
-                if !self.visit(c, q, tau, budget, suffix, mode, lcss, edr, &mut stack) {
-                    stats.nodes_pruned += 1;
-                }
+                self.visit(c, q, tau, budget, suffix, mode, lcss, edr, &mut stats, &mut stack);
             }
         }
         out.sort_unstable();
@@ -533,8 +588,8 @@ impl TrieIndex {
     }
 
     /// Evaluates one node against the query; if it survives its level check
-    /// it is pushed with its updated budget and suffix. Returns `false`
-    /// when the subtree was pruned.
+    /// it is pushed with its updated budget and suffix. Prunes are recorded
+    /// into `stats` under the stage that caused them.
     #[allow(clippy::too_many_arguments)]
     fn visit(
         &self,
@@ -546,8 +601,10 @@ impl TrieIndex {
         mode: IndexMode,
         lcss: bool,
         edr: bool,
+        stats: &mut FilterStats,
         stack: &mut Vec<(u32, f64, usize)>,
-    ) -> bool {
+    ) {
+        stats.nodes_visited += 1;
         let node = &self.nodes[node_id as usize];
         let n = q.len();
         // EDR length filter (Appendix A): every member of this subtree has
@@ -559,7 +616,8 @@ impl TrieIndex {
             && (node.min_len as f64 > n as f64 + tau
                 || (node.max_len as f64) < n as f64 - tau)
         {
-            return false;
+            stats.nodes_pruned_length += 1;
+            return;
         }
         // Distance of the query to this node's MBR, per level semantics.
         let (d, new_suffix) = match (node.depth, mode) {
@@ -607,13 +665,15 @@ impl TrieIndex {
         let new_budget = match mode {
             IndexMode::Additive => {
                 if d > budget {
-                    return false;
+                    stats.nodes_pruned_budget += 1;
+                    return;
                 }
                 budget - d
             }
             IndexMode::Max => {
                 if d > budget {
-                    return false;
+                    stats.nodes_pruned_budget += 1;
+                    return;
                 }
                 budget
             }
@@ -625,7 +685,8 @@ impl TrieIndex {
                     let charge = !lcss || (node.max_len as usize) <= n;
                     if charge {
                         if budget < 1.0 {
-                            return false;
+                            stats.nodes_pruned_budget += 1;
+                            return;
                         }
                         budget - 1.0
                     } else {
@@ -637,7 +698,6 @@ impl TrieIndex {
             }
         };
         stack.push((node_id, new_budget, new_suffix));
-        true
     }
 }
 
@@ -809,6 +869,94 @@ mod tests {
         assert!(cands.contains(&1));
         assert!(cands.contains(&2));
         assert!(!cands.contains(&3));
+    }
+
+    #[test]
+    fn filter_stats_stage_counts_are_consistent() {
+        let index = fig1_index(2, 2);
+        let ts = figure1_trajectories();
+        let fns = [
+            DistanceFunction::Dtw,
+            DistanceFunction::Frechet,
+            DistanceFunction::Edr { eps: 1.0 },
+            DistanceFunction::Lcss { eps: 1.0, delta: 2 },
+        ];
+        for f in &fns {
+            for q in &ts {
+                for tau in [0.5, 1.0, 3.0, 8.0] {
+                    let (cands, stats) = index.candidates_with_stats(q.points(), tau, f);
+                    // Survivors of the funnel are exactly the emitted
+                    // candidates (each member lives in one node, so no
+                    // dedup slack).
+                    assert_eq!(stats.candidates(), cands.len(), "{f} tau={tau}");
+                    let funnel = stats.funnel();
+                    assert_eq!(funnel.survivors() as usize, cands.len());
+                    assert_eq!(
+                        stats.nodes_pruned(),
+                        stats.nodes_pruned_length + stats.nodes_pruned_budget
+                    );
+                    assert_eq!(
+                        stats.members_rejected(),
+                        stats.members_pruned_length + stats.members_pruned_opamd
+                    );
+                    // Stage chaining: each stage enters what survived the
+                    // one before it.
+                    assert_eq!(
+                        funnel.stages[1].entered,
+                        funnel.stages[0].survivors()
+                    );
+                    assert_eq!(
+                        funnel.stages[3].entered,
+                        funnel.stages[2].survivors()
+                    );
+                    assert!(stats.members_checked <= index.len());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn non_edr_probes_never_use_length_stages() {
+        let index = fig1_index(2, 2);
+        let ts = figure1_trajectories();
+        let (_, stats) =
+            index.candidates_with_stats(ts[0].points(), 1.0, &DistanceFunction::Dtw);
+        assert_eq!(stats.nodes_pruned_length, 0);
+        assert_eq!(stats.members_pruned_length, 0);
+        assert!(stats.nodes_visited > 0);
+    }
+
+    #[test]
+    fn edr_length_pruning_shows_up_in_its_stage() {
+        // A query much longer than every indexed trajectory with tiny τ:
+        // the EDR length interval must prune at the node stage.
+        let index = fig1_index(2, 2);
+        let q: Vec<Point> = (0..200).map(|i| Point::new(i as f64, 0.0)).collect();
+        let (cands, stats) =
+            index.candidates_with_stats(&q, 1.0, &DistanceFunction::Edr { eps: 1.0 });
+        assert!(cands.is_empty());
+        assert!(
+            stats.nodes_pruned_length > 0,
+            "length stage silent: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn merged_stats_accumulate_all_stages() {
+        let index = fig1_index(2, 2);
+        let ts = figure1_trajectories();
+        let (_, a) = index.candidates_with_stats(ts[0].points(), 1.0, &DistanceFunction::Dtw);
+        let (_, b) = index.candidates_with_stats(ts[3].points(), 1.0, &DistanceFunction::Dtw);
+        let mut m = a;
+        m.merge(&b);
+        assert_eq!(m.nodes_visited, a.nodes_visited + b.nodes_visited);
+        assert_eq!(
+            m.members_pruned_opamd,
+            a.members_pruned_opamd + b.members_pruned_opamd
+        );
+        let mut f = a.funnel();
+        f.merge(&b.funnel());
+        assert_eq!(f, m.funnel());
     }
 
     #[test]

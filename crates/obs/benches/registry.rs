@@ -1,0 +1,67 @@
+//! Hot-path overhead of the metrics registry and tracer.
+//!
+//! The acceptance bar for `dita-obs`: a *disabled* context's counter
+//! increment must be within noise of not having a registry at all, and an
+//! *enabled* increment must stay a single relaxed `fetch_add`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dita_obs::Obs;
+use std::hint::black_box;
+
+fn bench_counter_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs/counter");
+
+    // No registry anywhere: the floor a disabled handle must match.
+    g.bench_function("baseline_no_registry", |b| {
+        let mut local = 0u64;
+        b.iter(|| {
+            local = local.wrapping_add(1);
+            black_box(local);
+        })
+    });
+
+    let disabled = Obs::disabled();
+    let off = disabled.counter("dita_bench_total");
+    g.bench_function("disabled_counter_inc", |b| {
+        b.iter(|| {
+            off.inc();
+            black_box(&off);
+        })
+    });
+
+    let enabled = Obs::enabled();
+    let on = enabled.counter("dita_bench_total");
+    g.bench_function("enabled_counter_inc", |b| {
+        b.iter(|| {
+            on.inc();
+            black_box(&on);
+        })
+    });
+
+    g.finish();
+}
+
+fn bench_span_hot_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("obs/span");
+
+    let disabled = Obs::disabled();
+    g.bench_function("disabled_span_open_close", |b| {
+        b.iter(|| {
+            let guard = disabled.span("bench");
+            black_box(&guard);
+        })
+    });
+
+    let enabled = Obs::enabled();
+    g.bench_function("enabled_span_open_close", |b| {
+        b.iter(|| {
+            let guard = enabled.span("bench");
+            black_box(&guard);
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_counter_hot_path, bench_span_hot_path);
+criterion_main!(benches);

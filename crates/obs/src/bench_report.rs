@@ -1,0 +1,154 @@
+//! Serde schema for the smoke-benchmark JSON artifacts
+//! (`results/BENCH_PR1.json` and successors).
+//!
+//! `bench_smoke` used to hand-concatenate this JSON; the schema now lives
+//! here so the artifact is produced by a serializer, consumed by a
+//! deserializer, and pinned by a golden-file test. All post-v0 fields are
+//! optional so historical artifacts keep deserializing.
+
+use crate::export::Report;
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::Path;
+
+/// Schema tag stamped into new smoke-benchmark artifacts.
+pub const BENCH_SCHEMA: &str = "dita-bench-smoke/v1";
+
+/// One AoS-vs-SoA kernel measurement.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct KernelMeasurement {
+    /// Kernel name, e.g. `dtw/dissimilar/early-abandon`.
+    pub name: String,
+    /// Mean ns/call for the AoS baseline kernel.
+    pub aos_ns: f64,
+    /// Mean ns/call for the SoA band-pruned kernel.
+    pub soa_ns: f64,
+    /// `aos_ns / soa_ns`.
+    pub speedup: f64,
+}
+
+/// Median end-to-end search latency, milliseconds.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SearchP50Ms {
+    /// Serial verification.
+    pub serial: f64,
+    /// Verification with a 4-thread rayon pool.
+    pub verify_threads_4: f64,
+}
+
+/// One point of the verification thread-scaling sweep.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ThreadScalingPoint {
+    /// Rayon verify threads.
+    pub threads: usize,
+    /// Verified pairs per second at that thread count.
+    pub pairs_per_sec: f64,
+}
+
+/// The complete `results/BENCH_*.json` artifact shape.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BenchSmokeReport {
+    /// Schema tag ([`BENCH_SCHEMA`]); absent in pre-schema artifacts.
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub schema: Option<String>,
+    /// AoS-vs-SoA kernel measurements.
+    pub kernels: Vec<KernelMeasurement>,
+    /// Mixed-workload DTW verification throughput.
+    pub verified_pairs_per_sec: f64,
+    /// Median end-to-end search latency.
+    pub search_p50_ms: SearchP50Ms,
+    /// Verification thread-scaling sweep.
+    pub thread_scaling: Vec<ThreadScalingPoint>,
+    /// `available_parallelism` of the host that produced the numbers.
+    pub host_cores: usize,
+    /// Free-form caveat for readers of the artifact.
+    pub note: String,
+    /// Optional observability profile of an instrumented search pass
+    /// (absent in pre-schema artifacts and when tracing is off).
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub search_profile: Option<Report>,
+}
+
+impl BenchSmokeReport {
+    /// Pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses an artifact from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<BenchSmokeReport> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes pretty JSON (with trailing newline) to `path`, creating
+    /// parent directories as needed.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        serde_json::to_writer_pretty(&mut file, self).map_err(io::Error::other)?;
+        io::Write::write_all(&mut file, b"\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchSmokeReport {
+        BenchSmokeReport {
+            schema: Some(BENCH_SCHEMA.to_string()),
+            kernels: vec![KernelMeasurement {
+                name: "dtw/dissimilar/early-abandon".into(),
+                aos_ns: 30039.0,
+                soa_ns: 440.0,
+                speedup: 68.27,
+            }],
+            verified_pairs_per_sec: 124730.0,
+            search_p50_ms: SearchP50Ms {
+                serial: 0.121,
+                verify_threads_4: 0.269,
+            },
+            thread_scaling: vec![ThreadScalingPoint {
+                threads: 1,
+                pairs_per_sec: 81927.0,
+            }],
+            host_cores: 1,
+            note: "test".into(),
+            search_profile: None,
+        }
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let report = sample();
+        let back = BenchSmokeReport::from_json(&report.to_json_pretty().unwrap()).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn json_pre_schema_artifacts_deserialize() {
+        // The exact shape written before the schema existed: no `schema`,
+        // no `search_profile`, integral numerics.
+        let old = r#"{
+            "kernels": [
+                {"name": "dtw", "aos_ns": 30039, "soa_ns": 440, "speedup": 68.22}
+            ],
+            "verified_pairs_per_sec": 124730,
+            "search_p50_ms": {"serial": 0.121, "verify_threads_4": 0.269},
+            "thread_scaling": [{"threads": 1, "pairs_per_sec": 81927}],
+            "host_cores": 1,
+            "note": "n"
+        }"#;
+        let report = BenchSmokeReport::from_json(old).unwrap();
+        assert!(report.schema.is_none());
+        assert!(report.search_profile.is_none());
+        assert_eq!(report.kernels[0].aos_ns, 30039.0);
+        // And absent Options stay absent on re-serialization.
+        let json = report.to_json_pretty().unwrap();
+        assert!(!json.contains("search_profile"));
+    }
+}

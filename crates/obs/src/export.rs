@@ -1,0 +1,267 @@
+//! Exporters: schema-versioned JSON, Prometheus text format, and a
+//! human-readable table.
+//!
+//! [`Report`] is the single exportable snapshot shape. Its JSON form is
+//! schema-versioned (see [`crate::SCHEMA`]) and stable under serde
+//! round-trips, so benchmark artifacts in `results/` can be diffed and
+//! re-read across PRs.
+
+use crate::funnel::Funnel;
+use crate::registry::{MetricKind, MetricSample};
+use crate::trace::{ProfileNode, TimelineRow};
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// A complete observability snapshot: metrics, profile forest, timeline
+/// and any explicitly attached funnels.
+///
+/// Every field defaults, so reports written by older schema revisions
+/// still deserialize.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Schema tag, e.g. `dita-obs/v1`.
+    #[serde(default)]
+    pub schema: String,
+    /// Metric snapshots, sorted by `(name, labels)`.
+    #[serde(default)]
+    pub metrics: Vec<MetricSample>,
+    /// Aggregated span forest.
+    #[serde(default)]
+    pub profile: Vec<ProfileNode>,
+    /// Flat chronological span list.
+    #[serde(default)]
+    pub timeline: Vec<TimelineRow>,
+    /// Pruning funnels attached via [`Report::attach_funnel`].
+    #[serde(default)]
+    pub funnels: Vec<Funnel>,
+}
+
+impl Report {
+    /// Attaches a pruning funnel to the report.
+    pub fn attach_funnel(&mut self, funnel: Funnel) {
+        self.funnels.push(funnel);
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> serde_json::Result<String> {
+        serde_json::to_string_pretty(self)
+    }
+
+    /// Parses a report from JSON.
+    pub fn from_json(s: &str) -> serde_json::Result<Report> {
+        serde_json::from_str(s)
+    }
+
+    /// Writes pretty JSON (with trailing newline) to `path`, creating
+    /// parent directories as needed.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        serde_json::to_writer_pretty(&mut file, self).map_err(io::Error::other)?;
+        io::Write::write_all(&mut file, b"\n")
+    }
+
+    /// Prometheus text exposition format (metrics only — spans and
+    /// funnels have no Prometheus shape).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        let mut last_family = "";
+        for m in &self.metrics {
+            if m.name != last_family {
+                let kind = match m.kind {
+                    MetricKind::Counter => "counter",
+                    MetricKind::Gauge => "gauge",
+                    MetricKind::Histogram => "histogram",
+                };
+                let _ = writeln!(out, "# TYPE {} {}", m.name, kind);
+                last_family = &m.name;
+            }
+            match m.kind {
+                MetricKind::Counter | MetricKind::Gauge => {
+                    let _ = writeln!(out, "{}{} {}", m.name, prom_labels(&m.labels, None), m.value);
+                }
+                MetricKind::Histogram => {
+                    for b in &m.buckets {
+                        let le = match b.le {
+                            Some(bound) => format!("{bound}"),
+                            None => "+Inf".to_string(),
+                        };
+                        let _ = writeln!(
+                            out,
+                            "{}_bucket{} {}",
+                            m.name,
+                            prom_labels(&m.labels, Some(&le)),
+                            b.count
+                        );
+                    }
+                    let _ = writeln!(out, "{}_sum{} {}", m.name, prom_labels(&m.labels, None), m.value);
+                    let _ = writeln!(out, "{}_count{} {}", m.name, prom_labels(&m.labels, None), m.count);
+                }
+            }
+        }
+        out
+    }
+
+    /// Human-readable rendering: metrics table, profile tree and funnel
+    /// tables.
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        if !self.metrics.is_empty() {
+            let _ = writeln!(out, "== metrics ==");
+            for m in &self.metrics {
+                let labels = if m.labels.is_empty() {
+                    String::new()
+                } else {
+                    prom_labels(&m.labels, None)
+                };
+                match m.kind {
+                    MetricKind::Histogram => {
+                        let mean = if m.count > 0 { m.value / m.count as f64 } else { 0.0 };
+                        let _ = writeln!(
+                            out,
+                            "{:<48} count={} sum={:.6} mean={:.6}",
+                            format!("{}{labels}", m.name),
+                            m.count,
+                            m.value,
+                            mean
+                        );
+                    }
+                    _ => {
+                        let _ = writeln!(out, "{:<48} {}", format!("{}{labels}", m.name), m.value);
+                    }
+                }
+            }
+        }
+        if !self.profile.is_empty() {
+            let _ = writeln!(out, "== profile ==");
+            let _ = writeln!(
+                out,
+                "{:<44} {:>7} {:>12} {:>12}",
+                "span", "count", "wall_ms", "cpu_ms"
+            );
+            for node in &self.profile {
+                render_node(&mut out, node, 0);
+            }
+        }
+        for funnel in &self.funnels {
+            let _ = writeln!(out, "== funnel: {} ==", funnel.name);
+            let _ = writeln!(
+                out,
+                "{:<24} {:>12} {:>12} {:>12}",
+                "stage", "entered", "pruned", "survivors"
+            );
+            for stage in &funnel.stages {
+                let _ = writeln!(
+                    out,
+                    "{:<24} {:>12} {:>12} {:>12}",
+                    stage.name,
+                    stage.entered,
+                    stage.pruned,
+                    stage.survivors()
+                );
+            }
+        }
+        out
+    }
+}
+
+fn render_node(out: &mut String, node: &ProfileNode, depth: usize) {
+    let mut title = format!("{}{}", "  ".repeat(depth), node.name);
+    if !node.label.is_empty() {
+        let _ = write!(title, " [{}]", node.label);
+    }
+    let _ = writeln!(
+        out,
+        "{:<44} {:>7} {:>12.3} {:>12.3}",
+        title,
+        node.count,
+        node.wall_sec * 1e3,
+        node.cpu_sec * 1e3
+    );
+    for child in &node.children {
+        render_node(out, child, depth + 1);
+    }
+}
+
+fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut parts: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", prom_escape(v)))
+        .collect();
+    if let Some(le) = le {
+        parts.push(format!("le=\"{le}\""));
+    }
+    format!("{{{}}}", parts.join(","))
+}
+
+fn prom_escape(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Obs;
+
+    fn sample_report() -> Report {
+        let obs = Obs::enabled();
+        obs.counter("dita_tasks_total").add(7);
+        obs.counter_labeled("dita_bytes_total", &[("worker", "0")]).add(64);
+        obs.histogram_seconds("dita_task_seconds").observe(0.02);
+        {
+            let _root = obs.span("search");
+            let _child = obs.span("filter");
+        }
+        let mut report = obs.report();
+        let mut funnel = Funnel::new("trie-filter");
+        funnel.push_stage("node-length", 10, 4);
+        report.attach_funnel(funnel);
+        report
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let report = sample_report();
+        let json = report.to_json_pretty().unwrap();
+        let back = Report::from_json(&json).unwrap();
+        assert_eq!(report, back);
+    }
+
+    #[test]
+    fn json_missing_fields_default() {
+        let back = Report::from_json("{\"schema\": \"dita-obs/v1\"}").unwrap();
+        assert_eq!(back.schema, crate::SCHEMA);
+        assert!(back.metrics.is_empty());
+        assert!(back.profile.is_empty());
+    }
+
+    #[test]
+    fn prometheus_output_has_type_lines_and_buckets() {
+        let text = sample_report().to_prometheus();
+        assert!(text.contains("# TYPE dita_tasks_total counter"));
+        assert!(text.contains("dita_tasks_total 7"));
+        assert!(text.contains("dita_bytes_total{worker=\"0\"} 64"));
+        assert!(text.contains("# TYPE dita_task_seconds histogram"));
+        assert!(text.contains("dita_task_seconds_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("dita_task_seconds_count 1"));
+    }
+
+    #[test]
+    fn table_lists_metrics_spans_and_funnels() {
+        let text = sample_report().render_table();
+        assert!(text.contains("== metrics =="));
+        assert!(text.contains("dita_tasks_total"));
+        assert!(text.contains("== profile =="));
+        assert!(text.contains("search"));
+        assert!(text.contains("  filter"));
+        assert!(text.contains("== funnel: trie-filter =="));
+        assert!(text.contains("node-length"));
+    }
+}

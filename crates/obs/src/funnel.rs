@@ -1,0 +1,167 @@
+//! Pruning-funnel accounting.
+//!
+//! A [`Funnel`] is an ordered list of filter stages, each counting how
+//! many items entered and how many were pruned there. The trie index
+//! reports its candidate-generation funnel this way (node length filter →
+//! node budget cascade → leaf length filter → leaf OPAMD bound), which is
+//! exactly the per-stage "pruning power" breakdown of DITA §7.
+
+use serde::{Deserialize, Serialize};
+
+/// One stage of a pruning funnel.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunnelStage {
+    /// Stage name, e.g. `leaf-opamd`.
+    pub name: String,
+    /// Items that reached this stage.
+    pub entered: u64,
+    /// Items pruned at this stage.
+    pub pruned: u64,
+}
+
+impl FunnelStage {
+    /// Items that passed through to the next stage.
+    pub fn survivors(&self) -> u64 {
+        self.entered.saturating_sub(self.pruned)
+    }
+}
+
+/// An ordered pruning funnel.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Funnel {
+    /// Funnel name, e.g. `trie-filter`.
+    pub name: String,
+    /// Stages in pipeline order.
+    pub stages: Vec<FunnelStage>,
+}
+
+impl Funnel {
+    /// An empty funnel with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Funnel {
+            name: name.into(),
+            stages: Vec::new(),
+        }
+    }
+
+    /// Appends a stage.
+    pub fn push_stage(&mut self, name: impl Into<String>, entered: u64, pruned: u64) {
+        self.stages.push(FunnelStage {
+            name: name.into(),
+            entered,
+            pruned,
+        });
+    }
+
+    /// Survivors of the final stage (0 for an empty funnel).
+    pub fn survivors(&self) -> u64 {
+        self.stages.last().map_or(0, FunnelStage::survivors)
+    }
+
+    /// Total pruned across all stages.
+    pub fn total_pruned(&self) -> u64 {
+        self.stages.iter().map(|s| s.pruned).sum()
+    }
+
+    /// Element-wise accumulation of another funnel with the same stage
+    /// layout. Panics on mismatched stage names (a wiring bug).
+    pub fn merge(&mut self, other: &Funnel) {
+        if self.stages.is_empty() {
+            self.stages = other.stages.clone();
+            if self.name.is_empty() {
+                self.name = other.name.clone();
+            }
+            return;
+        }
+        assert_eq!(
+            self.stages.len(),
+            other.stages.len(),
+            "funnel `{}`: stage count mismatch",
+            self.name
+        );
+        for (mine, theirs) in self.stages.iter_mut().zip(&other.stages) {
+            assert_eq!(
+                mine.name, theirs.name,
+                "funnel `{}`: stage name mismatch",
+                self.name
+            );
+            mine.entered += theirs.entered;
+            mine.pruned += theirs.pruned;
+        }
+    }
+
+    /// Mirrors the funnel into counters of an [`crate::Obs`] registry as
+    /// `dita_funnel_entered_total` / `dita_funnel_pruned_total`, labeled
+    /// by funnel and stage.
+    pub fn record(&self, obs: &crate::Obs) {
+        if !obs.is_enabled() {
+            return;
+        }
+        for stage in &self.stages {
+            let labels = [("funnel", self.name.as_str()), ("stage", stage.name.as_str())];
+            obs.counter_labeled("dita_funnel_entered_total", &labels)
+                .add(stage.entered);
+            obs.counter_labeled("dita_funnel_pruned_total", &labels)
+                .add(stage.pruned);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Funnel {
+        let mut f = Funnel::new("trie-filter");
+        f.push_stage("node-length", 100, 40);
+        f.push_stage("leaf-opamd", 60, 10);
+        f
+    }
+
+    #[test]
+    fn survivors_and_totals() {
+        let f = sample();
+        assert_eq!(f.survivors(), 50);
+        assert_eq!(f.total_pruned(), 50);
+        assert_eq!(f.stages[0].survivors(), 60);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = sample();
+        a.merge(&sample());
+        assert_eq!(a.stages[0].entered, 200);
+        assert_eq!(a.stages[1].pruned, 20);
+        assert_eq!(a.survivors(), 100);
+    }
+
+    #[test]
+    fn merge_into_empty_adopts_layout() {
+        let mut empty = Funnel::new("");
+        empty.merge(&sample());
+        assert_eq!(empty.name, "trie-filter");
+        assert_eq!(empty.stages.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stage name mismatch")]
+    fn merge_rejects_mismatched_stages() {
+        let mut a = sample();
+        let mut b = sample();
+        b.stages[1].name = "other".into();
+        a.merge(&b);
+    }
+
+    #[test]
+    fn record_mirrors_into_registry() {
+        let obs = crate::Obs::enabled();
+        sample().record(&obs);
+        let metrics = obs.report().metrics;
+        assert_eq!(metrics.len(), 4);
+        assert!(metrics.iter().any(|m| {
+            m.name == "dita_funnel_pruned_total"
+                && m.labels.iter().any(|(_, v)| v == "node-length")
+                && m.value == 40.0
+        }));
+    }
+}

@@ -1,0 +1,454 @@
+//! Thread-safe metrics registry: counters, gauges, fixed-bucket
+//! histograms.
+//!
+//! Handles ([`Counter`], [`Gauge`], [`Histogram`]) are obtained once from
+//! the [`Registry`] (which takes a lock) and then operate entirely on
+//! shared atomics — the hot path is a relaxed `fetch_add` or a short CAS
+//! loop. A *detached* handle (what a disabled [`crate::Obs`] hands out)
+//! holds no storage at all: every operation is a single `Option` branch.
+//!
+//! Metric naming follows the Prometheus convention used throughout the
+//! workspace: `snake_case`, unit-suffixed (`_total`, `_bytes`,
+//! `_seconds`), labels for per-worker/per-stage breakdowns.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// The kind of a metric, carried in snapshots so exporters can format
+/// each family correctly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MetricKind {
+    /// Monotonically increasing count.
+    Counter,
+    /// Arbitrary instantaneous value.
+    Gauge,
+    /// Fixed-bucket distribution with sum and count.
+    Histogram,
+}
+
+/// One cumulative histogram bucket in a snapshot. `le: None` is the
+/// `+Inf` bucket (kept out of the float so JSON stays valid — JSON has no
+/// infinity literal).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BucketSample {
+    /// Inclusive upper bound of the bucket; `None` means `+Inf`.
+    pub le: Option<f64>,
+    /// Number of observations `<=` the bound (cumulative).
+    pub count: u64,
+}
+
+/// A point-in-time snapshot of one metric, as emitted by
+/// [`Registry::snapshot`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricSample {
+    /// Metric family name, e.g. `dita_tasks_total`.
+    pub name: String,
+    /// Label pairs, sorted by key; empty for unlabeled metrics.
+    pub labels: Vec<(String, String)>,
+    /// Counter, gauge or histogram.
+    pub kind: MetricKind,
+    /// Counter/gauge value; for histograms, the sum of observations.
+    pub value: f64,
+    /// Total observation count (histograms only, otherwise 0).
+    pub count: u64,
+    /// Cumulative buckets (histograms only, otherwise empty).
+    pub buckets: Vec<BucketSample>,
+}
+
+/// Handle to a monotonic counter. Detached handles (from a disabled
+/// context) drop every update.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Option<Arc<AtomicU64>>);
+
+impl Counter {
+    /// A no-op handle bound to no registry.
+    pub fn detached() -> Self {
+        Counter(None)
+    }
+
+    /// Adds 1.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(cell) = &self.0 {
+            cell.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for detached handles).
+    pub fn value(&self) -> u64 {
+        self.0.as_ref().map_or(0, |c| c.load(Ordering::Relaxed))
+    }
+}
+
+/// Handle to a gauge storing an `f64` (as raw bits in an `AtomicU64`).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Option<Arc<AtomicU64>>);
+
+impl Gauge {
+    /// A no-op handle bound to no registry.
+    pub fn detached() -> Self {
+        Gauge(None)
+    }
+
+    /// Replaces the value.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(cell) = &self.0 {
+            cell.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `delta` (CAS loop; gauges are not hot-path objects).
+    pub fn add(&self, delta: f64) {
+        if let Some(cell) = &self.0 {
+            atomic_f64_add(cell, delta);
+        }
+    }
+
+    /// Current value (0.0 for detached handles).
+    pub fn value(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |c| f64::from_bits(c.load(Ordering::Relaxed)))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramInner {
+    /// Finite upper bounds, ascending; an implicit `+Inf` bucket follows.
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) observation counts, `bounds.len() + 1`.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Sum of observations as `f64` bits, updated by CAS.
+    sum_bits: AtomicU64,
+}
+
+/// Handle to a fixed-bucket histogram.
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Option<Arc<HistogramInner>>);
+
+impl Histogram {
+    /// A no-op handle bound to no registry.
+    pub fn detached() -> Self {
+        Histogram(None)
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        if let Some(h) = &self.0 {
+            let idx = h
+                .bounds
+                .iter()
+                .position(|b| v <= *b)
+                .unwrap_or(h.bounds.len());
+            h.buckets[idx].fetch_add(1, Ordering::Relaxed);
+            h.count.fetch_add(1, Ordering::Relaxed);
+            atomic_f64_add(&h.sum_bits, v);
+        }
+    }
+
+    /// Records a duration in seconds.
+    pub fn observe_duration(&self, d: Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Total observation count (0 for detached handles).
+    pub fn count(&self) -> u64 {
+        self.0.as_ref().map_or(0, |h| h.count.load(Ordering::Relaxed))
+    }
+
+    /// Sum of observations (0.0 for detached handles).
+    pub fn sum(&self) -> f64 {
+        self.0
+            .as_ref()
+            .map_or(0.0, |h| f64::from_bits(h.sum_bits.load(Ordering::Relaxed)))
+    }
+}
+
+fn atomic_f64_add(cell: &AtomicU64, delta: f64) {
+    let mut cur = cell.load(Ordering::Relaxed);
+    loop {
+        let next = (f64::from_bits(cur) + delta).to_bits();
+        match cell.compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed) {
+            Ok(_) => break,
+            Err(actual) => cur = actual,
+        }
+    }
+}
+
+/// Default histogram bounds for latencies in seconds: 1µs … 10s.
+pub fn default_seconds_buckets() -> Vec<f64> {
+    vec![
+        1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+    ]
+}
+
+#[derive(Debug)]
+enum Entry {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicU64>),
+    Histogram(Arc<HistogramInner>),
+}
+
+/// The metric store. Registration is idempotent — asking twice for the
+/// same `(name, labels)` returns handles over the same storage — and
+/// snapshotting is deterministic (sorted by name, then labels).
+#[derive(Debug, Default)]
+pub struct Registry {
+    entries: Mutex<BTreeMap<(String, String), Entry>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// An unlabeled counter handle.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.counter_labeled(name, &[])
+    }
+
+    /// A labeled counter handle.
+    pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
+        let key = key_of(name, labels);
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries
+            .entry(key)
+            .or_insert_with(|| Entry::Counter(Arc::new(AtomicU64::new(0))));
+        match entry {
+            Entry::Counter(cell) => Counter(Some(Arc::clone(cell))),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// An unlabeled gauge handle.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.gauge_labeled(name, &[])
+    }
+
+    /// A labeled gauge handle.
+    pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
+        let key = key_of(name, labels);
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries
+            .entry(key)
+            .or_insert_with(|| Entry::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))));
+        match entry {
+            Entry::Gauge(cell) => Gauge(Some(Arc::clone(cell))),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// An unlabeled histogram handle with the given finite bucket bounds
+    /// (ascending; an implicit `+Inf` bucket is appended).
+    pub fn histogram(&self, name: &str, bounds: Vec<f64>) -> Histogram {
+        self.histogram_labeled(name, &[], bounds)
+    }
+
+    /// A labeled histogram handle.
+    pub fn histogram_labeled(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        bounds: Vec<f64>,
+    ) -> Histogram {
+        debug_assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly ascending"
+        );
+        let key = key_of(name, labels);
+        let mut entries = self.entries.lock().unwrap();
+        let entry = entries.entry(key).or_insert_with(|| {
+            let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+            Entry::Histogram(Arc::new(HistogramInner {
+                bounds,
+                buckets,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0f64.to_bits()),
+            }))
+        });
+        match entry {
+            Entry::Histogram(h) => Histogram(Some(Arc::clone(h))),
+            _ => panic!("metric `{name}` already registered with a different kind"),
+        }
+    }
+
+    /// Snapshots every metric, sorted by `(name, labels)`.
+    pub fn snapshot(&self) -> Vec<MetricSample> {
+        let entries = self.entries.lock().unwrap();
+        entries
+            .iter()
+            .map(|((name, labels_repr), entry)| {
+                let labels = parse_labels(labels_repr);
+                match entry {
+                    Entry::Counter(cell) => MetricSample {
+                        name: name.clone(),
+                        labels,
+                        kind: MetricKind::Counter,
+                        value: cell.load(Ordering::Relaxed) as f64,
+                        count: 0,
+                        buckets: Vec::new(),
+                    },
+                    Entry::Gauge(cell) => MetricSample {
+                        name: name.clone(),
+                        labels,
+                        kind: MetricKind::Gauge,
+                        value: f64::from_bits(cell.load(Ordering::Relaxed)),
+                        count: 0,
+                        buckets: Vec::new(),
+                    },
+                    Entry::Histogram(h) => {
+                        let mut cumulative = 0u64;
+                        let mut buckets = Vec::with_capacity(h.buckets.len());
+                        for (i, cell) in h.buckets.iter().enumerate() {
+                            cumulative += cell.load(Ordering::Relaxed);
+                            buckets.push(BucketSample {
+                                le: h.bounds.get(i).copied(),
+                                count: cumulative,
+                            });
+                        }
+                        MetricSample {
+                            name: name.clone(),
+                            labels,
+                            kind: MetricKind::Histogram,
+                            value: f64::from_bits(h.sum_bits.load(Ordering::Relaxed)),
+                            count: h.count.load(Ordering::Relaxed),
+                            buckets,
+                        }
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+fn key_of(name: &str, labels: &[(&str, &str)]) -> (String, String) {
+    let mut sorted: Vec<_> = labels.to_vec();
+    sorted.sort_unstable();
+    let repr = sorted
+        .iter()
+        .map(|(k, v)| format!("{k}\u{1f}{v}"))
+        .collect::<Vec<_>>()
+        .join("\u{1e}");
+    (name.to_string(), repr)
+}
+
+fn parse_labels(repr: &str) -> Vec<(String, String)> {
+    if repr.is_empty() {
+        return Vec::new();
+    }
+    repr.split('\u{1e}')
+        .filter_map(|pair| {
+            pair.split_once('\u{1f}')
+                .map(|(k, v)| (k.to_string(), v.to_string()))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates_across_handles() {
+        let r = Registry::new();
+        let a = r.counter("hits_total");
+        let b = r.counter("hits_total");
+        a.add(2);
+        b.inc();
+        assert_eq!(a.value(), 3);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].value, 3.0);
+        assert_eq!(snap[0].kind, MetricKind::Counter);
+    }
+
+    #[test]
+    fn labels_distinguish_series_and_sort() {
+        let r = Registry::new();
+        r.counter_labeled("tasks_total", &[("worker", "1")]).inc();
+        r.counter_labeled("tasks_total", &[("worker", "0")]).add(5);
+        let snap = r.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].labels, vec![("worker".to_string(), "0".to_string())]);
+        assert_eq!(snap[0].value, 5.0);
+        assert_eq!(snap[1].labels, vec![("worker".to_string(), "1".to_string())]);
+    }
+
+    #[test]
+    fn label_order_is_canonicalized() {
+        let r = Registry::new();
+        let a = r.counter_labeled("m", &[("a", "1"), ("b", "2")]);
+        let b = r.counter_labeled("m", &[("b", "2"), ("a", "1")]);
+        a.inc();
+        b.inc();
+        assert_eq!(r.snapshot().len(), 1);
+        assert_eq!(a.value(), 2);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", vec![0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        assert_eq!(h.count(), 3);
+        assert!((h.sum() - 5.55).abs() < 1e-9);
+        let snap = r.snapshot();
+        let buckets = &snap[0].buckets;
+        assert_eq!(buckets.len(), 3);
+        assert_eq!(buckets[0], BucketSample { le: Some(0.1), count: 1 });
+        assert_eq!(buckets[1], BucketSample { le: Some(1.0), count: 2 });
+        assert_eq!(buckets[2], BucketSample { le: None, count: 3 });
+    }
+
+    #[test]
+    fn gauge_set_and_add() {
+        let r = Registry::new();
+        let g = r.gauge("depth");
+        g.set(2.0);
+        g.add(0.5);
+        assert!((g.value() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "different kind")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        r.counter("x");
+        r.gauge("x");
+    }
+
+    #[test]
+    fn concurrent_updates_do_not_lose_counts() {
+        let r = Registry::new();
+        let h = r.histogram("h", vec![10.0]);
+        let c = r.counter("c");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let h = h.clone();
+                let c = c.clone();
+                s.spawn(move || {
+                    for i in 0..1000 {
+                        c.inc();
+                        h.observe((i % 20) as f64);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.value(), 4000);
+        assert_eq!(h.count(), 4000);
+    }
+}

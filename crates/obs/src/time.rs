@@ -1,0 +1,43 @@
+//! Thread CPU-time measurement.
+//!
+//! Spans charge *compute* (CPU seconds actually burned by the thread)
+//! separately from wall time, using `CLOCK_THREAD_CPUTIME_ID`. This is
+//! the same clock the cluster executor uses to price task compute, so
+//! span CPU totals and `WorkerStats::compute` agree by construction.
+
+use std::time::Duration;
+
+/// CPU time consumed by the calling thread since it started.
+///
+/// Reads `CLOCK_THREAD_CPUTIME_ID`; falls back to `Duration::ZERO` if the
+/// clock is unavailable (it is available on every Linux target we run on).
+pub fn thread_cpu_time() -> Duration {
+    let mut ts = libc::timespec {
+        tv_sec: 0,
+        tv_nsec: 0,
+    };
+    let rc = unsafe { libc::clock_gettime(libc::CLOCK_THREAD_CPUTIME_ID, &mut ts) };
+    if rc == 0 {
+        Duration::new(ts.tv_sec as u64, ts.tv_nsec as u32)
+    } else {
+        Duration::ZERO
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_cpu_time_is_monotonic() {
+        let a = thread_cpu_time();
+        // Burn a little CPU so the clock visibly advances.
+        let mut acc = 0u64;
+        for i in 0..200_000u64 {
+            acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+        }
+        std::hint::black_box(acc);
+        let b = thread_cpu_time();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,449 @@
+//! Span-based tracing into a hierarchical profile tree.
+//!
+//! A [`SpanGuard`] (opened with [`crate::Obs::span`] or the
+//! [`span!`](crate::span) macro) measures its wall time and thread CPU
+//! time from open to drop, plus any compute explicitly charged with
+//! [`SpanGuard::add_cpu`] (how rayon helper-thread CPU gets attributed to
+//! the span that spawned the work).
+//!
+//! Nesting is automatic on a single thread via a thread-local span stack.
+//! Across threads — the driver opens `search`, workers run tasks — the
+//! driver captures [`crate::Obs::current_span`] and each worker opens its
+//! span with [`crate::Obs::span_under`], re-attaching to the driver's
+//! tree.
+//!
+//! [`Tracer::profile`] aggregates closed spans into [`ProfileNode`]s:
+//! siblings with the same `(name, label)` merge (count and times sum), so
+//! 40 repeated queries collapse into one `search` row with `count: 40`.
+
+use crate::time::thread_cpu_time;
+use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static NEXT_TRACER_UID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    /// Per-thread stack of open spans as `(tracer uid, span id)`.
+    static SPAN_STACK: RefCell<Vec<(u64, usize)>> = const { RefCell::new(Vec::new()) };
+}
+
+#[derive(Debug, Clone)]
+struct SpanRecord {
+    parent: Option<usize>,
+    name: &'static str,
+    label: String,
+    start: Duration,
+    wall: Duration,
+    cpu: Duration,
+    done: bool,
+}
+
+/// A handle identifying an open span, safe to send to another thread and
+/// use as an explicit parent with [`crate::Obs::span_under`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanHandle {
+    tracer_uid: u64,
+    id: usize,
+}
+
+/// Collects span records and assembles them into profile trees and
+/// timelines.
+#[derive(Debug)]
+pub struct Tracer {
+    uid: u64,
+    epoch: Instant,
+    spans: Mutex<Vec<SpanRecord>>,
+}
+
+impl Default for Tracer {
+    fn default() -> Self {
+        Tracer::new()
+    }
+}
+
+impl Tracer {
+    /// An empty tracer with its epoch set to now.
+    pub fn new() -> Self {
+        Tracer {
+            uid: NEXT_TRACER_UID.fetch_add(1, Ordering::Relaxed),
+            epoch: Instant::now(),
+            spans: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Opens a span parented to the calling thread's current span of this
+    /// tracer (a root span if there is none).
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        let parent = self.current().map(|h| h.id);
+        self.open(parent, name)
+    }
+
+    /// Opens a span under an explicit parent handle (cross-thread
+    /// parenting). A handle from a different tracer is ignored and the
+    /// span becomes a root.
+    pub fn span_under(&self, parent: Option<SpanHandle>, name: &'static str) -> SpanGuard<'_> {
+        let parent = parent.filter(|h| h.tracer_uid == self.uid).map(|h| h.id);
+        self.open(parent, name)
+    }
+
+    /// The calling thread's innermost open span of this tracer.
+    pub fn current(&self) -> Option<SpanHandle> {
+        SPAN_STACK.with(|stack| {
+            stack
+                .borrow()
+                .iter()
+                .rev()
+                .find(|(uid, _)| *uid == self.uid)
+                .map(|&(_, id)| SpanHandle {
+                    tracer_uid: self.uid,
+                    id,
+                })
+        })
+    }
+
+    fn open(&self, parent: Option<usize>, name: &'static str) -> SpanGuard<'_> {
+        let start = self.epoch.elapsed();
+        let id = {
+            let mut spans = self.spans.lock().unwrap();
+            spans.push(SpanRecord {
+                parent,
+                name,
+                label: String::new(),
+                start,
+                wall: Duration::ZERO,
+                cpu: Duration::ZERO,
+                done: false,
+            });
+            spans.len() - 1
+        };
+        SPAN_STACK.with(|stack| stack.borrow_mut().push((self.uid, id)));
+        SpanGuard {
+            tracer: Some(self),
+            id,
+            opened: Instant::now(),
+            cpu_start: thread_cpu_time(),
+            extra_cpu: Duration::ZERO,
+            label: None,
+        }
+    }
+
+    fn close(&self, id: usize, wall: Duration, cpu: Duration, label: Option<String>) {
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            if let Some(pos) = stack.iter().rposition(|&(uid, sid)| uid == self.uid && sid == id) {
+                stack.remove(pos);
+            }
+        });
+        let mut spans = self.spans.lock().unwrap();
+        let rec = &mut spans[id];
+        rec.wall = wall;
+        rec.cpu = cpu;
+        rec.done = true;
+        if let Some(label) = label {
+            rec.label = label;
+        }
+    }
+
+    /// Aggregates closed spans into a forest of [`ProfileNode`]s.
+    /// Siblings sharing `(name, label)` are merged; children are ordered
+    /// by first appearance.
+    pub fn profile(&self) -> Vec<ProfileNode> {
+        let spans = self.spans.lock().unwrap();
+        build_level(&spans, None)
+    }
+
+    /// Flat, chronological list of closed spans (the per-task timeline).
+    pub fn timeline(&self) -> Vec<TimelineRow> {
+        let spans = self.spans.lock().unwrap();
+        let mut rows: Vec<TimelineRow> = spans
+            .iter()
+            .filter(|r| r.done)
+            .map(|r| TimelineRow {
+                name: r.name.to_string(),
+                label: r.label.clone(),
+                start_sec: r.start.as_secs_f64(),
+                wall_sec: r.wall.as_secs_f64(),
+                cpu_sec: r.cpu.as_secs_f64(),
+            })
+            .collect();
+        rows.sort_by(|a, b| a.start_sec.total_cmp(&b.start_sec));
+        rows
+    }
+}
+
+fn build_level(spans: &[SpanRecord], parent: Option<usize>) -> Vec<ProfileNode> {
+    // Group this level's spans by (name, label), preserving first-seen order.
+    let mut groups: Vec<((&'static str, &str), Vec<usize>)> = Vec::new();
+    for (id, rec) in spans.iter().enumerate() {
+        if rec.parent != parent || !rec.done {
+            continue;
+        }
+        let key = (rec.name, rec.label.as_str());
+        match groups.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, ids)) => ids.push(id),
+            None => groups.push((key, vec![id])),
+        }
+    }
+    groups
+        .into_iter()
+        .map(|((name, label), ids)| {
+            let mut node = ProfileNode {
+                name: name.to_string(),
+                label: label.to_string(),
+                count: ids.len() as u64,
+                wall_sec: ids.iter().map(|&i| spans[i].wall.as_secs_f64()).sum(),
+                cpu_sec: ids.iter().map(|&i| spans[i].cpu.as_secs_f64()).sum(),
+                children: Vec::new(),
+            };
+            // Children of the merged node: spans whose parent is any member.
+            let mut children = Vec::new();
+            for &id in &ids {
+                children.extend(build_level(spans, Some(id)));
+            }
+            node.children = merge_nodes(children);
+            node
+        })
+        .collect()
+}
+
+/// Merges nodes with the same `(name, label)` (summing counts, times and
+/// recursively their children), preserving first-seen order.
+fn merge_nodes(nodes: Vec<ProfileNode>) -> Vec<ProfileNode> {
+    let mut merged: Vec<ProfileNode> = Vec::new();
+    for node in nodes {
+        match merged
+            .iter_mut()
+            .find(|m| m.name == node.name && m.label == node.label)
+        {
+            Some(m) => {
+                m.count += node.count;
+                m.wall_sec += node.wall_sec;
+                m.cpu_sec += node.cpu_sec;
+                let mut children = std::mem::take(&mut m.children);
+                children.extend(node.children);
+                m.children = merge_nodes(children);
+            }
+            None => merged.push(node),
+        }
+    }
+    merged
+}
+
+/// One aggregated node of the profile tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProfileNode {
+    /// Span name (the static string passed at open).
+    pub name: String,
+    /// Optional label, e.g. `worker=3`; empty when unlabeled.
+    pub label: String,
+    /// Number of merged span instances.
+    pub count: u64,
+    /// Total wall time across instances, seconds.
+    pub wall_sec: f64,
+    /// Total CPU time (thread CPU + charged compute), seconds.
+    pub cpu_sec: f64,
+    /// Aggregated child spans, in first-seen order.
+    pub children: Vec<ProfileNode>,
+}
+
+impl ProfileNode {
+    /// Depth-first search for the first node named `name` in this subtree.
+    pub fn find(&self, name: &str) -> Option<&ProfileNode> {
+        if self.name == name {
+            return Some(self);
+        }
+        self.children.iter().find_map(|c| c.find(name))
+    }
+}
+
+/// One row of the flat chronological timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimelineRow {
+    /// Span name.
+    pub name: String,
+    /// Span label (empty when unlabeled).
+    pub label: String,
+    /// Start offset from the tracer epoch, seconds.
+    pub start_sec: f64,
+    /// Wall duration, seconds.
+    pub wall_sec: f64,
+    /// CPU duration, seconds.
+    pub cpu_sec: f64,
+}
+
+/// RAII guard for an open span; closes and records it on drop.
+///
+/// The no-op form (from a disabled [`crate::Obs`]) records nothing.
+#[derive(Debug)]
+pub struct SpanGuard<'a> {
+    tracer: Option<&'a Tracer>,
+    id: usize,
+    opened: Instant,
+    cpu_start: Duration,
+    extra_cpu: Duration,
+    label: Option<String>,
+}
+
+impl<'a> SpanGuard<'a> {
+    /// A guard that records nothing.
+    pub fn noop() -> SpanGuard<'static> {
+        SpanGuard {
+            tracer: None,
+            id: 0,
+            opened: Instant::now(),
+            cpu_start: Duration::ZERO,
+            extra_cpu: Duration::ZERO,
+            label: None,
+        }
+    }
+
+    /// Sets or replaces the span's label.
+    pub fn set_label(&mut self, label: impl Into<String>) {
+        if self.tracer.is_some() {
+            self.label = Some(label.into());
+        }
+    }
+
+    /// Charges additional CPU time to this span — compute performed on
+    /// other threads on the span's behalf (e.g. a rayon verify pool).
+    pub fn add_cpu(&mut self, extra: Duration) {
+        self.extra_cpu += extra;
+    }
+
+    /// Handle for parenting spans on other threads under this one.
+    pub fn handle(&self) -> Option<SpanHandle> {
+        self.tracer.map(|t| SpanHandle {
+            tracer_uid: t.uid,
+            id: self.id,
+        })
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(tracer) = self.tracer {
+            let wall = self.opened.elapsed();
+            let cpu = thread_cpu_time().saturating_sub(self.cpu_start) + self.extra_cpu;
+            tracer.close(self.id, wall, cpu, self.label.take());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_thread_nesting() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("outer");
+            let _b = t.span("inner");
+        }
+        let profile = t.profile();
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].name, "outer");
+        assert_eq!(profile[0].children.len(), 1);
+        assert_eq!(profile[0].children[0].name, "inner");
+    }
+
+    #[test]
+    fn repeated_spans_merge_with_counts() {
+        let t = Tracer::new();
+        for _ in 0..3 {
+            let _a = t.span("op");
+            let _b = t.span("step");
+        }
+        let profile = t.profile();
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].count, 3);
+        assert_eq!(profile[0].children[0].count, 3);
+    }
+
+    #[test]
+    fn labels_keep_siblings_distinct() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("job");
+            for w in 0..2 {
+                let mut g = t.span("task");
+                g.set_label(format!("worker={w}"));
+            }
+        }
+        let profile = t.profile();
+        let children = &profile[0].children;
+        assert_eq!(children.len(), 2);
+        assert_eq!(children[0].label, "worker=0");
+        assert_eq!(children[1].label, "worker=1");
+    }
+
+    #[test]
+    fn cross_thread_parenting_via_handle() {
+        let t = Tracer::new();
+        {
+            let root = t.span("search");
+            let handle = root.handle();
+            std::thread::scope(|s| {
+                for w in 0..2 {
+                    let t = &t;
+                    s.spawn(move || {
+                        let mut g = t.span_under(handle, "worker");
+                        g.set_label(format!("worker={w}"));
+                        let _inner = t.span("filter");
+                    });
+                }
+            });
+        }
+        let profile = t.profile();
+        assert_eq!(profile.len(), 1);
+        assert_eq!(profile[0].name, "search");
+        assert_eq!(profile[0].children.len(), 2);
+        for child in &profile[0].children {
+            assert_eq!(child.name, "worker");
+            assert_eq!(child.children[0].name, "filter");
+        }
+        assert!(profile[0].find("filter").is_some());
+    }
+
+    #[test]
+    fn foreign_handles_are_ignored() {
+        let t1 = Tracer::new();
+        let t2 = Tracer::new();
+        let g1 = t1.span("a");
+        {
+            let _g2 = t2.span_under(g1.handle(), "b");
+        }
+        drop(g1);
+        // b must be a root of t2, not a child of t1's a.
+        assert_eq!(t1.profile()[0].children.len(), 0);
+        assert_eq!(t2.profile()[0].name, "b");
+    }
+
+    #[test]
+    fn add_cpu_is_charged() {
+        let t = Tracer::new();
+        {
+            let mut g = t.span("verify");
+            g.add_cpu(Duration::from_secs(2));
+        }
+        assert!(t.profile()[0].cpu_sec >= 2.0);
+    }
+
+    #[test]
+    fn timeline_is_chronological() {
+        let t = Tracer::new();
+        {
+            let _a = t.span("first");
+        }
+        {
+            let _b = t.span("second");
+        }
+        let rows = t.timeline();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[0].name, "first");
+        assert!(rows[0].start_sec <= rows[1].start_sec);
+    }
+}

@@ -1,0 +1,30 @@
+//! Golden-file test: the checked-in smoke-benchmark artifact must
+//! deserialize into [`dita_obs::bench_report::BenchSmokeReport`] and
+//! survive a serialize→deserialize round trip unchanged.
+
+use dita_obs::bench_report::BenchSmokeReport;
+use std::path::Path;
+
+#[test]
+fn json_golden_bench_artifact_round_trips() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_PR1.json");
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+
+    let report = BenchSmokeReport::from_json(&raw)
+        .unwrap_or_else(|e| panic!("{} does not match the schema: {e}", path.display()));
+
+    assert!(
+        !report.kernels.is_empty(),
+        "artifact should carry kernel measurements"
+    );
+    assert!(report.verified_pairs_per_sec > 0.0);
+    assert!(report.host_cores >= 1);
+    assert!(
+        report.thread_scaling.iter().all(|p| p.threads >= 1),
+        "thread counts must be positive"
+    );
+
+    let round = BenchSmokeReport::from_json(&report.to_json_pretty().unwrap()).unwrap();
+    assert_eq!(report, round, "schema must round-trip losslessly");
+}

@@ -47,9 +47,9 @@ fn main() {
     println!(
         "filter funnel: {} trie nodes visited ({} pruned), {} leaf checks ({} rejected)",
         stats.filter.nodes_visited,
-        stats.filter.nodes_pruned,
+        stats.filter.nodes_pruned(),
         stats.filter.members_checked,
-        stats.filter.members_rejected
+        stats.filter.members_rejected()
     );
 
     // A frequent route is one with many close historical trips.

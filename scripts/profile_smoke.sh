@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Runs the instrumented profile smoke (see OBSERVABILITY.md): a tiny search,
+# join and kNN probe with tracing on. The binary self-validates its span
+# tree and funnel; this script additionally checks the JSON export is
+# non-empty and parseable.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out="$(mktemp -d)/profile_smoke.json"
+trap 'rm -rf "$(dirname "$out")"' EXIT
+
+cargo run --release --bin profile_smoke -- "$out"
+
+[ -s "$out" ] || { echo "profile_smoke.sh: empty JSON report" >&2; exit 1; }
+python3 -m json.tool "$out" > /dev/null
+grep -q '"dita-obs/v1"' "$out" || {
+    echo "profile_smoke.sh: missing schema tag" >&2; exit 1;
+}
+echo "profile_smoke.sh: all green ($out valid)"
