@@ -46,6 +46,7 @@ fn bench_trie(c: &mut Criterion) {
         leaf_capacity: 16,
         strategy: PivotStrategy::NeighborDistance,
         cell_side: 0.002,
+        ..TrieConfig::default()
     };
     let mut g = c.benchmark_group("index/trie");
     g.sample_size(20);

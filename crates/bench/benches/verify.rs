@@ -24,6 +24,7 @@ fn bench_parallel_verify(c: &mut Criterion) {
             leaf_capacity: 8,
             strategy: PivotStrategy::NeighborDistance,
             cell_side: CELL_SIDE,
+            ..TrieConfig::default()
         },
     );
     let q = &sample_queries(&dataset, 1, 5)[0];

@@ -1,6 +1,6 @@
-//! PR-1 smoke benchmark: one fast, dependency-light run that produces
-//! `results/BENCH_PR1.json` with before/after numbers for the SoA
-//! band-pruned kernels and intra-worker parallel verification.
+//! Smoke benchmark: one fast, dependency-light run that produces a
+//! `results/BENCH_*.json` artifact (default `results/BENCH_PR3.json`,
+//! override with `--out <path>`) plus a repo-root copy of the same file.
 //!
 //! Unlike the Criterion benches this uses plain `Instant` timing (coarser,
 //! but runs in seconds). The artifact is emitted through the `dita-obs`
@@ -17,14 +17,16 @@
 //!    with 4 verify threads.
 //! 4. thread scaling — `verify_candidates` at 1/2/4 rayon threads. Flat on
 //!    a single-CPU host; near-linear where cores exist.
-//! 5. instrumented pass — after all timing, one search runs with tracing
+//! 5. cold path — trie index build wall clock at 1/2/4 build threads and
+//!    join planning at 1/2/4 plan threads (the PR-3 parallelized paths).
+//! 6. instrumented pass — after all timing, one search runs with tracing
 //!    attached; its profile tree and filter funnel ride along in the
 //!    artifact's `search_profile` field.
 
 use dita_cluster::{Cluster, ClusterConfig};
 use dita_core::{
-    search_with_options, verify_candidates, DitaConfig, DitaSystem, QueryContext,
-    SearchOptions,
+    join, search_with_options, verify_candidates, DitaConfig, DitaSystem, JoinOptions,
+    QueryContext, SearchOptions,
 };
 use dita_distance::{
     dtw_double_direction, dtw_soa, dtw_threshold, edr_soa, edr_threshold, erp_soa,
@@ -33,7 +35,8 @@ use dita_distance::{
 };
 use dita_index::{PivotStrategy, TrieConfig, TrieIndex};
 use dita_obs::bench_report::{
-    BenchSmokeReport, KernelMeasurement, SearchP50Ms, ThreadScalingPoint, BENCH_SCHEMA,
+    BenchSmokeReport, BuildScalingPoint, ColdPathScaling, KernelMeasurement, SearchP50Ms,
+    ThreadScalingPoint, BENCH_SCHEMA,
 };
 use dita_obs::Obs;
 use dita_trajectory::{Dataset, Point, SoaPoints, Trajectory};
@@ -319,6 +322,7 @@ fn main() {
         leaf_capacity: 8,
         strategy: PivotStrategy::NeighborDistance,
         cell_side: 0.05,
+        ..TrieConfig::default()
     };
     let mut sys = DitaSystem::build(
         &Dataset::new_unchecked("smoke", ts.clone()),
@@ -397,6 +401,50 @@ fn main() {
         scaling.push((threads, pps));
     }
 
+    // Cold path: index construction at 1/2/4 build threads. Wall clock of
+    // the whole trie build (preprocessing + tree assembly); best of 3 reps
+    // so a stray scheduler hiccup cannot invert the ratio.
+    println!("\nindex build ({} trajectories):", ts.len());
+    let mut build_points = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let cfg = TrieConfig {
+            build_threads: threads,
+            ..trie_config
+        };
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t0 = Instant::now();
+            let index = TrieIndex::build(ts.clone(), cfg);
+            best = best.min(t0.elapsed().as_secs_f64());
+            assert_eq!(index.len(), ts.len());
+        }
+        println!("  build_threads={threads}: {:.1} ms", best * 1e3);
+        build_points.push((threads, best));
+    }
+    let build_speedup_4t = build_points[0].1 / build_points[2].1;
+    println!("  build speedup 1t/4t: {build_speedup_4t:.2}x");
+
+    // Cold path: join planning (bi-graph edge weighting) at 1/2/4 plan
+    // threads, measured through a full self-join's JoinStats.
+    println!("join planning (self-join):");
+    let mut plan_points = Vec::new();
+    let mut edges_weighed = 0usize;
+    for threads in [1usize, 2, 4] {
+        let opts = JoinOptions {
+            plan_threads: threads,
+            ..JoinOptions::default()
+        };
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let (pairs, stats) = join(&sys, &sys, tau, &DistanceFunction::Dtw, &opts);
+            assert!(!pairs.is_empty(), "self-join must at least match itself");
+            best = best.min(stats.plan_secs);
+            edges_weighed = stats.edges_weighed;
+        }
+        println!("  plan_threads={threads}: {:.1} ms ({edges_weighed} edges weighed)", best * 1e3);
+        plan_points.push((threads, best));
+    }
+
     // Instrumented profiling pass — attached only now, after all timing,
     // so the sections above pay the disabled-context cost (one branch).
     sys.attach_obs(Obs::enabled());
@@ -415,6 +463,7 @@ fn main() {
     // Machine-readable output through the schema'd exporter.
     let round2 = |x: f64| (x * 100.0).round() / 100.0;
     let round3 = |x: f64| (x * 1000.0).round() / 1000.0;
+    let round4 = |x: f64| (x * 10000.0).round() / 10000.0;
     let report = BenchSmokeReport {
         schema: Some(BENCH_SCHEMA.to_string()),
         kernels: kernels
@@ -443,9 +492,47 @@ fn main() {
                cannot beat one CPU"
             .to_string(),
         search_profile: Some(search_profile),
+        cold_path: Some(ColdPathScaling {
+            trajectories: ts.len(),
+            build: build_points
+                .iter()
+                .map(|&(threads, secs)| BuildScalingPoint {
+                    threads,
+                    build_secs: round4(secs),
+                })
+                .collect(),
+            build_speedup_4t: round2(build_speedup_4t),
+            plan: plan_points
+                .iter()
+                .map(|&(threads, secs)| BuildScalingPoint {
+                    threads,
+                    build_secs: round4(secs),
+                })
+                .collect(),
+            edges_weighed,
+        }),
     };
-    match report.write_json(Path::new("results/BENCH_PR1.json")) {
-        Ok(()) => println!("wrote results/BENCH_PR1.json"),
-        Err(e) => eprintln!("warning: cannot write results/BENCH_PR1.json: {e}"),
+    // `--out <path>` overrides the artifact location; a copy with the same
+    // file name always lands in the repo root for at-a-glance diffing.
+    let mut out = String::from("results/BENCH_PR3.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            out = args.next().expect("--out needs a path");
+        }
+    }
+    let out = Path::new(&out);
+    match report.write_json(out) {
+        Ok(()) => println!("wrote {}", out.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", out.display()),
+    }
+    if let Some(name) = out.file_name() {
+        let root_copy = Path::new(name);
+        if root_copy != out {
+            match report.write_json(root_copy) {
+                Ok(()) => println!("wrote {}", root_copy.display()),
+                Err(e) => eprintln!("warning: cannot write {}: {e}", root_copy.display()),
+            }
+        }
     }
 }

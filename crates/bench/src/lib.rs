@@ -105,6 +105,7 @@ pub fn dita_config(ng: usize) -> DitaConfig {
             leaf_capacity: 16,
             strategy: PivotStrategy::NeighborDistance,
             cell_side: 0.002,
+            ..TrieConfig::default()
         },
     }
 }

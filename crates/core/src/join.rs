@@ -25,7 +25,11 @@ use dita_cluster::JobStats;
 use dita_distance::kernel::Scratch;
 use dita_distance::function::IndexMode;
 use dita_distance::DistanceFunction;
+use dita_index::ProbeScratch;
+use dita_obs::thread_cpu_time;
 use dita_trajectory::TrajectoryId;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// Which load-balancing stages to apply — the knob behind the Figure 16
 /// ablation ("Naive" = none).
@@ -40,6 +44,11 @@ pub enum BalanceStrategy {
     Full,
 }
 
+/// Host parallelism — the default for [`JoinOptions::plan_threads`].
+fn default_plan_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
 /// Join tuning knobs.
 #[derive(Debug, Clone)]
 pub struct JoinOptions {
@@ -51,6 +60,10 @@ pub struct JoinOptions {
     pub delta_sec: f64,
     /// Percentile defining the division threshold `TC_p` (§6.3 uses 0.98).
     pub division_percentile: f64,
+    /// Threads used to weigh bi-graph edges during planning; 1 plans
+    /// serially on the driver thread. Edge order and weights are identical
+    /// for every thread count.
+    pub plan_threads: usize,
 }
 
 impl Default for JoinOptions {
@@ -60,6 +73,7 @@ impl Default for JoinOptions {
             sample_size: 16,
             delta_sec: 2e-6,
             division_percentile: 0.98,
+            plan_threads: default_plan_threads(),
         }
     }
 }
@@ -82,6 +96,18 @@ pub struct JoinStats {
     /// The predicted bottleneck cost after optimization (in candidate-pair
     /// equivalents).
     pub predicted_tc_global: f64,
+    /// Wall-clock seconds spent planning: bi-graph construction, edge
+    /// weighting, orientation and division balancing.
+    pub plan_secs: f64,
+    /// CPU seconds burned by plan helper threads (zero when
+    /// [`JoinOptions::plan_threads`] ≤ 1). Planning runs on the driver,
+    /// outside any cluster task, so this cost is reported here instead of
+    /// being charged to a worker's compute account.
+    pub plan_cpu_secs: f64,
+    /// Bi-graph partition pairs that passed the compatibility check and had
+    /// their edge weights computed (a superset of `edges`: pairs whose
+    /// shipped sets both come back empty are dropped).
+    pub edges_weighed: usize,
     /// Cluster execution statistics.
     pub job: JobStats,
 }
@@ -131,7 +157,8 @@ pub fn join(
     let _join_span = dita_obs::span!(obs, "join", func = func, tau = tau);
 
     // --- 1. Build the bi-graph ---
-    let mut edges = {
+    let plan_start = std::time::Instant::now();
+    let (mut edges, edges_weighed, plan_helper_cpu) = {
         let _span = obs.span("build-edges");
         build_edges(t_sys, q_sys, tau, mode, func, opts)
     };
@@ -161,6 +188,8 @@ pub fn join(
         opts.division_percentile,
     );
     drop(orient_span);
+    let plan_secs = plan_start.elapsed().as_secs_f64();
+    let plan_cpu_secs = plan_helper_cpu.as_secs_f64();
 
     // --- 4. Local joins: one task per destination replica slot, scheduled
     //        dynamically (Spark-style) onto the cluster ---
@@ -272,6 +301,9 @@ pub fn join(
         obs.counter("dita_join_candidates_total").add(candidates as u64);
         obs.counter("dita_join_results_total").add(results.len() as u64);
         obs.gauge("dita_join_replicas").set(replicas as f64);
+        obs.histogram_seconds("dita_join_plan_seconds").observe(plan_secs);
+        obs.counter("dita_join_edges_weighted_total")
+            .add(edges_weighed as u64);
     }
     let stats = JoinStats {
         edges: edges.len(),
@@ -281,12 +313,23 @@ pub fn join(
         results: results.len(),
         replicas,
         predicted_tc_global: predicted,
+        plan_secs,
+        plan_cpu_secs,
+        edges_weighed,
         job,
     };
     (results, stats)
 }
 
-/// Builds the candidate partition pairs and their edge weights.
+/// Builds the candidate partition pairs and their edge weights, on
+/// [`JoinOptions::plan_threads`] threads. Returns the edges, the number of
+/// compatible pairs weighed, and the CPU time burned by helper threads.
+///
+/// The cheap MBR compatibility screen runs serially (it is O(1) per pair);
+/// the expensive part — `relevant_members` scans and `estimate_comp` trie
+/// probes per surviving pair — is chunked over a scoped pool with one
+/// [`ProbeScratch`] per chunk, results landing in pre-assigned slots so the
+/// edge list is identical for every thread count.
 fn build_edges(
     t_sys: &DitaSystem,
     q_sys: &DitaSystem,
@@ -294,11 +337,12 @@ fn build_edges(
     mode: IndexMode,
     func: &DistanceFunction,
     opts: &JoinOptions,
-) -> Vec<Edge> {
-    let mut edges = Vec::new();
+) -> (Vec<Edge>, usize, Duration) {
     if tau < 0.0 {
-        return edges;
+        return (Vec::new(), 0, Duration::ZERO);
     }
+    // --- Compatibility screen (serial, O(1) per pair) ---
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
     for tp in &t_sys.partitioning().partitions {
         for qp in &q_sys.partitioning().partitions {
             let df = tp.mbr_first.min_dist_mbr(&qp.mbr_first);
@@ -330,40 +374,87 @@ fn build_edges(
                 }
                 IndexMode::Scan => true,
             };
-            if !compatible {
-                continue;
+            if compatible {
+                pairs.push((tp.id, qp.id));
             }
-
-            // Exact shipped sets via the opposite side's global index MBRs
-            // (the paper's "check whether T has candidates in Q_j by
-            // querying the global index of Q").
-            let ship_t =
-                relevant_members(t_sys, tp.id, &qp.mbr_first, &qp.mbr_last, qp.min_len, tau, mode);
-            let ship_q =
-                relevant_members(q_sys, qp.id, &tp.mbr_first, &tp.mbr_last, tp.min_len, tau, mode);
-            if ship_t.is_empty() && ship_q.is_empty() {
-                continue;
-            }
-
-            let trans_t2q = shipped_bytes(t_sys, tp.id, &ship_t);
-            let trans_q2t = shipped_bytes(q_sys, qp.id, &ship_q);
-            let comp_t2q = estimate_comp(t_sys, tp.id, &ship_t, q_sys, qp.id, tau, func, opts);
-            let comp_q2t = estimate_comp(q_sys, qp.id, &ship_q, t_sys, tp.id, tau, func, opts);
-
-            edges.push(Edge {
-                t_pid: tp.id,
-                q_pid: qp.id,
-                ship_t,
-                ship_q,
-                trans_t2q,
-                comp_t2q,
-                trans_q2t,
-                comp_q2t,
-                forward: true,
-            });
         }
     }
-    edges
+    let weighed = pairs.len();
+
+    // --- Edge weighting (parallel across pairs) ---
+    let weigh = |&(t_pid, q_pid): &(usize, usize), scratch: &mut ProbeScratch| -> Option<Edge> {
+        let tp = &t_sys.partitioning().partitions[t_pid];
+        let qp = &q_sys.partitioning().partitions[q_pid];
+        // Exact shipped sets via the opposite side's global index MBRs
+        // (the paper's "check whether T has candidates in Q_j by
+        // querying the global index of Q").
+        let ship_t =
+            relevant_members(t_sys, t_pid, &qp.mbr_first, &qp.mbr_last, qp.min_len, tau, mode);
+        let ship_q =
+            relevant_members(q_sys, q_pid, &tp.mbr_first, &tp.mbr_last, tp.min_len, tau, mode);
+        if ship_t.is_empty() && ship_q.is_empty() {
+            return None;
+        }
+        let trans_t2q = shipped_bytes(t_sys, t_pid, &ship_t);
+        let trans_q2t = shipped_bytes(q_sys, q_pid, &ship_q);
+        let comp_t2q =
+            estimate_comp(t_sys, t_pid, &ship_t, q_sys, q_pid, tau, func, opts, scratch);
+        let comp_q2t =
+            estimate_comp(q_sys, q_pid, &ship_q, t_sys, t_pid, tau, func, opts, scratch);
+        Some(Edge {
+            t_pid,
+            q_pid,
+            ship_t,
+            ship_q,
+            trans_t2q,
+            comp_t2q,
+            trans_q2t,
+            comp_q2t,
+            forward: true,
+        })
+    };
+
+    let threads = opts.plan_threads.max(1);
+    let pool = if threads > 1 && pairs.len() > 1 {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .ok()
+    } else {
+        None
+    };
+    let edges: Vec<Edge>;
+    let mut helper_cpu = Duration::ZERO;
+    match pool {
+        None => {
+            let mut scratch = ProbeScratch::new();
+            edges = pairs.iter().filter_map(|p| weigh(p, &mut scratch)).collect();
+        }
+        Some(pool) => {
+            let chunk = pairs.len().div_ceil(threads * 4).max(1);
+            let mut slots: Vec<Option<Edge>> = Vec::new();
+            slots.resize_with(pairs.len(), || None);
+            let cpu_ns = AtomicU64::new(0);
+            pool.scope(|s| {
+                for (part, out) in pairs.chunks(chunk).zip(slots.chunks_mut(chunk)) {
+                    let cpu_ns = &cpu_ns;
+                    let weigh = &weigh;
+                    s.spawn(move |_| {
+                        let t0 = thread_cpu_time();
+                        let mut scratch = ProbeScratch::new();
+                        for (pair, slot) in part.iter().zip(out.iter_mut()) {
+                            *slot = weigh(pair, &mut scratch);
+                        }
+                        let dt = thread_cpu_time().saturating_sub(t0);
+                        cpu_ns.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+                    });
+                }
+            });
+            helper_cpu = Duration::from_nanos(cpu_ns.load(Ordering::Relaxed));
+            edges = slots.into_iter().flatten().collect();
+        }
+    }
+    (edges, weighed, helper_cpu)
 }
 
 /// Local ids in `sys`'s partition `pid` whose endpoints are compatible with
@@ -413,13 +504,23 @@ fn relevant_members(
 
 fn shipped_bytes(sys: &DitaSystem, pid: usize, ids: &[u32]) -> f64 {
     let trie = sys.trie(pid);
-    ids.iter()
-        .map(|&i| trie.get(i).traj.size_bytes() as f64)
-        .sum()
+    ids.iter().map(|&i| trie.get(i).size_bytes as f64).sum()
+}
+
+/// Positions sampled from a list of `len` entries when `sample_size` probes
+/// are allowed: `k * len / sample` for `k in 0..sample`, which is strictly
+/// increasing and spreads evenly across the whole list including the tail
+/// (a plain `k * (len / sample)` stride never reaches the last
+/// `len % sample` entries).
+fn sample_indices(len: usize, sample_size: usize) -> impl Iterator<Item = usize> {
+    let sample = sample_size.max(1).min(len);
+    (0..sample).map(move |k| k * len / sample)
 }
 
 /// Estimates the candidate-pair count for shipping `ids` from `src` to
-/// `dst` by probing the destination trie with a sample (§6.2).
+/// `dst` by probing the destination trie with a sample (§6.2). Uses
+/// [`TrieIndex::candidate_count`](dita_index::TrieIndex::candidate_count)
+/// so the probe allocates nothing beyond the reusable `scratch` stack.
 #[allow(clippy::too_many_arguments)]
 fn estimate_comp(
     src: &DitaSystem,
@@ -430,20 +531,18 @@ fn estimate_comp(
     tau: f64,
     func: &DistanceFunction,
     opts: &JoinOptions,
+    scratch: &mut ProbeScratch,
 ) -> f64 {
     if ids.is_empty() {
         return 0.0;
     }
     let src_trie = src.trie(src_pid);
     let dst_trie = dst.trie(dst_pid);
-    let sample = opts.sample_size.max(1).min(ids.len());
-    let stride = ids.len() / sample;
     let mut total = 0usize;
     let mut taken = 0usize;
-    for k in 0..sample {
-        let id = ids[k * stride.max(1)];
-        let t = src_trie.get(id);
-        total += dst_trie.candidates(t.traj.points(), tau, func).len();
+    for k in sample_indices(ids.len(), opts.sample_size) {
+        let t = src_trie.get(ids[k]);
+        total += dst_trie.candidate_count(t.traj.points(), tau, func, scratch);
         taken += 1;
     }
     total as f64 / taken as f64 * ids.len() as f64
@@ -591,6 +690,7 @@ mod tests {
                 leaf_capacity: 0,
                 strategy: PivotStrategy::NeighborDistance,
                 cell_side: 2.0,
+                ..TrieConfig::default()
             },
         }
     }
@@ -704,5 +804,52 @@ mod tests {
         let (_, s_none) = join(&t, &q, 3.0, &DistanceFunction::Dtw, &none);
         let (_, s_orient) = join(&t, &q, 3.0, &DistanceFunction::Dtw, &orient);
         assert!(s_orient.predicted_tc_global <= s_none.predicted_tc_global + 1e-9);
+    }
+
+    #[test]
+    fn sample_indices_cover_whole_list_evenly() {
+        let take = |len, sample| sample_indices(len, sample).collect::<Vec<_>>();
+        // Pinned: the old `len / sample` stride gave [0, 2, 4, 6] for
+        // (10, 4), never looking past index 6; the even formula reaches
+        // the tail.
+        assert_eq!(take(10, 4), vec![0, 2, 5, 7]);
+        assert_eq!(take(7, 3), vec![0, 2, 4]);
+        // Sample >= len degenerates to the identity.
+        assert_eq!(take(3, 16), vec![0, 1, 2]);
+        assert_eq!(take(1, 1), vec![0]);
+        // Strictly increasing and in range for a spread of shapes.
+        for len in 1..40usize {
+            for sample in 1..20usize {
+                let idx = take(len, sample);
+                assert_eq!(idx.len(), sample.min(len));
+                assert!(idx.windows(2).all(|w| w[0] < w[1]), "{len} {sample}");
+                assert!(*idx.last().unwrap() < len);
+                // The last sampled index lands in the final stride-sized
+                // chunk, i.e. the tail is represented.
+                assert!(*idx.last().unwrap() >= len - len.div_ceil(sample.min(len)));
+            }
+        }
+    }
+
+    #[test]
+    fn plan_threads_do_not_change_join_results() {
+        let t = fig1_system(2);
+        let q = fig1_system(2);
+        let serial = JoinOptions {
+            plan_threads: 1,
+            ..JoinOptions::default()
+        };
+        let par = JoinOptions {
+            plan_threads: 4,
+            ..JoinOptions::default()
+        };
+        for f in [DistanceFunction::Dtw, DistanceFunction::Frechet] {
+            let (r1, s1) = join(&t, &q, 2.0, &f, &serial);
+            let (r4, s4) = join(&t, &q, 2.0, &f, &par);
+            assert_eq!(r1, r4, "{f}");
+            assert_eq!(s1.edges, s4.edges, "{f}");
+            assert_eq!(s1.edges_weighed, s4.edges_weighed, "{f}");
+            assert!(s1.edges_weighed >= s1.edges, "{f}");
+        }
     }
 }

@@ -140,6 +140,7 @@ mod tests {
                     leaf_capacity: 0,
                     strategy: PivotStrategy::NeighborDistance,
                     cell_side: 2.0,
+                    ..TrieConfig::default()
                 },
             },
             Cluster::new(ClusterConfig::with_workers(2)),

@@ -1,7 +1,7 @@
 //! The indexed trajectory table: partitions, indexes and worker placement.
 
-use dita_cluster::{Cluster, TaskSpec};
-use dita_index::{str_partitioning, GlobalIndex, Partitioning, TrieConfig, TrieIndex};
+use dita_cluster::{charge_compute, Cluster, TaskSpec};
+use dita_index::{str_partitioning_par, GlobalIndex, Partitioning, TrieConfig, TrieIndex};
 use dita_trajectory::{Dataset, Trajectory};
 use std::time::{Duration, Instant};
 
@@ -70,8 +70,11 @@ impl DitaSystem {
     ) -> Self {
         let start = Instant::now();
         let trajectories = dataset.trajectories();
-        let partitioning =
-            partitioning.unwrap_or_else(|| str_partitioning(trajectories, config.ng));
+        // Partitioning runs on the driver, parallelized over the trie's
+        // build-thread budget (no cluster task to charge).
+        let partitioning = partitioning.unwrap_or_else(|| {
+            str_partitioning_par(trajectories, config.ng, config.trie.build_threads)
+        });
         let global = GlobalIndex::build(&partitioning);
         let placement: Vec<usize> = (0..partitioning.partitions.len())
             .map(|i| cluster.place(i))
@@ -93,8 +96,17 @@ impl DitaSystem {
             })
             .collect();
         let trie_cfg = config.trie;
+        let obs = cluster.obs().clone();
         let (mut built, _stats) = cluster.execute(tasks, move |_w, (pid, members)| {
-            (pid, TrieIndex::build(members, trie_cfg))
+            let _span = obs.span("index-build");
+            let t0 = Instant::now();
+            let (trie, helper_cpu) = TrieIndex::build_timed(members, trie_cfg);
+            // Fold the build pool's CPU time into this task's compute cost —
+            // same contract as parallel verification.
+            charge_compute(helper_cpu);
+            obs.histogram_seconds("dita_index_build_seconds")
+                .observe(t0.elapsed().as_secs_f64());
+            (pid, trie)
         });
         built.sort_by_key(|(pid, _)| *pid);
         let tries: Vec<TrieIndex> = built.into_iter().map(|(_, t)| t).collect();
@@ -273,6 +285,7 @@ mod tests {
                 leaf_capacity: 0,
                 strategy: dita_index::PivotStrategy::NeighborDistance,
                 cell_side: 2.0,
+                ..TrieConfig::default()
             },
         };
         DitaSystem::build(&dataset, config, Cluster::new(ClusterConfig::with_workers(2)))
@@ -331,6 +344,7 @@ mod persistence_tests {
                 leaf_capacity: 0,
                 strategy: dita_index::PivotStrategy::NeighborDistance,
                 cell_side: 2.0,
+                ..TrieConfig::default()
             },
         };
         let original =

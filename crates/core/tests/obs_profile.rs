@@ -26,6 +26,7 @@ fn instrumented_system(workers: usize) -> DitaSystem {
                 leaf_capacity: 0,
                 strategy: PivotStrategy::NeighborDistance,
                 cell_side: 2.0,
+                ..TrieConfig::default()
             },
         },
         Cluster::new(ClusterConfig::with_workers(workers)),
@@ -205,6 +206,7 @@ fn unattached_system_records_nothing() {
                 leaf_capacity: 0,
                 strategy: PivotStrategy::NeighborDistance,
                 cell_side: 2.0,
+                ..TrieConfig::default()
             },
         },
         Cluster::new(ClusterConfig::with_workers(2)),

@@ -59,6 +59,7 @@ fn build_system(ts: &[Trajectory], workers: usize) -> DitaSystem {
                 leaf_capacity: 4,
                 strategy: PivotStrategy::NeighborDistance,
                 cell_side: 1.0,
+                ..TrieConfig::default()
             },
         },
         Cluster::new(ClusterConfig::with_workers(workers)),

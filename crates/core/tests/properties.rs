@@ -33,6 +33,7 @@ fn build(ts: &[Trajectory], ng: usize, k: usize, workers: usize) -> DitaSystem {
                 leaf_capacity: 2,
                 strategy: PivotStrategy::NeighborDistance,
                 cell_side: 1.0,
+                ..TrieConfig::default()
             },
         },
         Cluster::new(ClusterConfig::with_workers(workers)),

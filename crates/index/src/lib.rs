@@ -17,6 +17,8 @@ pub mod pivot;
 pub mod trie;
 
 pub use global::GlobalIndex;
-pub use partitioner::{random_partitioning, str_partitioning, Partition, Partitioning};
+pub use partitioner::{
+    random_partitioning, str_partitioning, str_partitioning_par, Partition, Partitioning,
+};
 pub use pivot::{select_pivots, PivotStrategy};
-pub use trie::{FilterStats, IndexedTrajectory, TrieConfig, TrieIndex};
+pub use trie::{FilterStats, IndexedTrajectory, ProbeScratch, TrieConfig, TrieIndex};

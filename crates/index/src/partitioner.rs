@@ -11,6 +11,7 @@
 
 use dita_trajectory::{Mbr, Point, Trajectory};
 use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
 
 /// One partition: the indices of its trajectories within the source slice
 /// plus the two MBRs the global index stores for it.
@@ -75,6 +76,78 @@ fn str_tiles(keys: &[Point], idx: Vec<usize>, n: usize) -> Vec<Vec<usize>> {
     str_tiles_pub(keys, idx, n)
 }
 
+/// Stable sort of `idx` on a pool: chunks are sorted in parallel and merged
+/// pairwise with a left-run-first tie rule, which reproduces the exact
+/// permutation of a serial (stable) `sort_by` for every thread count.
+fn par_sort_stable<F>(idx: Vec<usize>, pool: &rayon::ThreadPool, threads: usize, cmp: &F) -> Vec<usize>
+where
+    F: Fn(usize, usize) -> Ordering + Sync,
+{
+    let n = idx.len();
+    let chunk = n.div_ceil(threads.max(1));
+    if chunk == 0 || chunk >= n {
+        let mut idx = idx;
+        idx.sort_by(|&a, &b| cmp(a, b));
+        return idx;
+    }
+    let mut runs: Vec<Vec<usize>> = idx.chunks(chunk).map(|c| c.to_vec()).collect();
+    pool.scope(|s| {
+        for run in runs.iter_mut() {
+            s.spawn(move |_| run.sort_by(|&a, &b| cmp(a, b)));
+        }
+    });
+    // Pairwise merges of adjacent runs keep the concatenation order, so
+    // stability (equal keys keep their original relative order) holds.
+    while runs.len() > 1 {
+        let mut next: Vec<Vec<usize>> = Vec::with_capacity(runs.len().div_ceil(2));
+        let mut iter = runs.into_iter();
+        while let Some(a) = iter.next() {
+            match iter.next() {
+                None => next.push(a),
+                Some(b) => {
+                    let mut out = Vec::with_capacity(a.len() + b.len());
+                    let (mut i, mut j) = (0usize, 0usize);
+                    while i < a.len() && j < b.len() {
+                        if cmp(a[i], b[j]) != Ordering::Greater {
+                            out.push(a[i]);
+                            i += 1;
+                        } else {
+                            out.push(b[j]);
+                            j += 1;
+                        }
+                    }
+                    out.extend_from_slice(&a[i..]);
+                    out.extend_from_slice(&b[j..]);
+                    next.push(out);
+                }
+            }
+        }
+        runs = next;
+    }
+    runs.pop().unwrap_or_default()
+}
+
+/// Sorts one x-slab by y and cuts it into `rows` row tiles, snapping cuts
+/// off equal-y runs.
+fn cut_slab(keys: &[Point], mut slab: Vec<usize>, rows: usize) -> Vec<Vec<usize>> {
+    slab.sort_by(|&a, &b| keys[a].y.total_cmp(&keys[b].y).then(keys[a].x.total_cmp(&keys[b].x)));
+    let mut out = Vec::with_capacity(rows);
+    let mut start = 0;
+    for r in 0..rows {
+        let end = if r + 1 == rows {
+            slab.len()
+        } else {
+            let remaining_rows = rows - r;
+            let ideal = start + (slab.len() - start).div_ceil(remaining_rows);
+            let max_shift = ((slab.len() - start) / remaining_rows / 4).max(1);
+            adjust_cut(&slab, |i| keys[i].y, ideal, max_shift).clamp(start, slab.len())
+        };
+        out.push(slab[start..end].to_vec());
+        start = end;
+    }
+    out
+}
+
 /// Moves a cut index off the middle of a run of equal key values: a tile
 /// boundary that splits identical coordinates produces overlapping MBRs, so
 /// the cut snaps to whichever run edge is nearer (keeping the original cut
@@ -117,7 +190,18 @@ fn adjust_cut(sorted: &[usize], key: impl Fn(usize) -> f64, b: usize, max_shift:
 
 /// STR tiling of indexed points into exactly `n` tiles; shared with the trie
 /// index, which tiles on per-level indexing points.
-pub fn str_tiles_pub(keys: &[Point], mut idx: Vec<usize>, n: usize) -> Vec<Vec<usize>> {
+pub fn str_tiles_pub(keys: &[Point], idx: Vec<usize>, n: usize) -> Vec<Vec<usize>> {
+    str_tiles_with(keys, idx, n, None)
+}
+
+/// [`str_tiles_pub`] with an optional `(pool, threads)` for the x-sort and
+/// the per-slab y-sorts. The output is identical with and without a pool.
+fn str_tiles_with(
+    keys: &[Point],
+    mut idx: Vec<usize>,
+    n: usize,
+    pool: Option<(&rayon::ThreadPool, usize)>,
+) -> Vec<Vec<usize>> {
     assert!(n >= 1);
     if n == 1 || idx.len() <= 1 {
         let mut out = vec![idx];
@@ -128,9 +212,18 @@ pub fn str_tiles_pub(keys: &[Point], mut idx: Vec<usize>, n: usize) -> Vec<Vec<u
     // Distribute n tiles over `slabs` slabs as evenly as possible.
     let base = n / slabs;
     let extra = n % slabs;
-    idx.sort_by(|&a, &b| keys[a].x.total_cmp(&keys[b].x).then(keys[a].y.total_cmp(&keys[b].y)));
-    let mut out: Vec<Vec<usize>> = Vec::with_capacity(n);
+    let cmp_x =
+        |a: usize, b: usize| keys[a].x.total_cmp(&keys[b].x).then(keys[a].y.total_cmp(&keys[b].y));
+    match pool {
+        Some((pool, threads)) if idx.len() > threads.max(1) => {
+            idx = par_sort_stable(idx, pool, threads, &cmp_x);
+        }
+        _ => idx.sort_by(|&a, &b| cmp_x(a, b)),
+    }
+    // Slab boundaries are sequential — each cut depends on the previous —
+    // but cheap: only the sorts below them dominate.
     let total = idx.len();
+    let mut slab_specs: Vec<(Vec<usize>, usize)> = Vec::with_capacity(slabs);
     let mut consumed = 0;
     let mut tiles_done = 0;
     for s in 0..slabs {
@@ -149,26 +242,33 @@ pub fn str_tiles_pub(keys: &[Point], mut idx: Vec<usize>, n: usize) -> Vec<Vec<u
             let max_shift = (remaining_items / remaining_tiles / 4).max(1);
             adjust_cut(&idx, |i| keys[i].x, ideal, max_shift).max(consumed) - consumed
         };
-        let mut slab: Vec<usize> = idx[consumed..consumed + items_here].to_vec();
+        let slab: Vec<usize> = idx[consumed..consumed + items_here].to_vec();
         consumed += items_here;
         tiles_done += tiles_here;
-        slab.sort_by(|&a, &b| keys[a].y.total_cmp(&keys[b].y).then(keys[a].x.total_cmp(&keys[b].x)));
-        // Cut the slab into `tiles_here` rows, snapping off equal-y runs.
-        let rows = tiles_here;
-        let mut start = 0;
-        for r in 0..rows {
-            let end = if r + 1 == rows {
-                slab.len()
-            } else {
-                let remaining_rows = rows - r;
-                let ideal = start + (slab.len() - start).div_ceil(remaining_rows);
-                let max_shift = ((slab.len() - start) / remaining_rows / 4).max(1);
-                adjust_cut(&slab, |i| keys[i].y, ideal, max_shift).clamp(start, slab.len())
-            };
-            out.push(slab[start..end].to_vec());
-            start = end;
-        }
+        slab_specs.push((slab, tiles_here));
     }
+    // Row cuts: slabs are disjoint, so their y-sorts run in parallel when a
+    // pool exists, landing in pre-assigned slots to keep slab order.
+    let groups: Vec<Vec<Vec<usize>>> = match pool {
+        Some((pool, _)) if slab_specs.len() > 1 => {
+            let mut slots: Vec<Option<Vec<Vec<usize>>>> = Vec::new();
+            slots.resize_with(slab_specs.len(), || None);
+            pool.scope(|s| {
+                for ((slab, rows), slot) in slab_specs.into_iter().zip(slots.iter_mut()) {
+                    s.spawn(move |_| *slot = Some(cut_slab(keys, slab, rows)));
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("slab slot left unfilled"))
+                .collect()
+        }
+        _ => slab_specs
+            .into_iter()
+            .map(|(slab, rows)| cut_slab(keys, slab, rows))
+            .collect(),
+    };
+    let out: Vec<Vec<usize>> = groups.into_iter().flatten().collect();
     debug_assert_eq!(out.len(), n);
     out
 }
@@ -180,32 +280,131 @@ pub fn str_tiles_pub(keys: &[Point], mut idx: Vec<usize>, n: usize) -> Vec<Vec<u
 /// # Panics
 /// Panics if `ng == 0`.
 pub fn str_partitioning(trajectories: &[Trajectory], ng: usize) -> Partitioning {
-    assert!(ng >= 1, "NG must be at least 1");
-    let firsts: Vec<Point> = trajectories.iter().map(|t| *t.first()).collect();
-    let lasts: Vec<Point> = trajectories.iter().map(|t| *t.last()).collect();
-    let all: Vec<usize> = (0..trajectories.len()).collect();
+    str_partitioning_par(trajectories, ng, 1)
+}
 
-    let mut partitions = Vec::new();
-    for bucket in str_tiles(&firsts, all, ng) {
-        if bucket.is_empty() {
+/// The sub-partitions of one first-point bucket (ids assigned later).
+fn split_bucket(
+    trajectories: &[Trajectory],
+    firsts: &[Point],
+    lasts: &[Point],
+    bucket: Vec<usize>,
+    ng: usize,
+) -> Vec<Partition> {
+    let mut out = Vec::new();
+    for sub in str_tiles(lasts, bucket, ng) {
+        if sub.is_empty() {
             continue;
         }
-        for sub in str_tiles(&lasts, bucket, ng) {
-            if sub.is_empty() {
-                continue;
-            }
-            let mbr_first = Mbr::from_points(sub.iter().map(|&i| &firsts[i]));
-            let mbr_last = Mbr::from_points(sub.iter().map(|&i| &lasts[i]));
-            let min_len = sub.iter().map(|&i| trajectories[i].len()).min().unwrap_or(0);
-            let max_len = sub.iter().map(|&i| trajectories[i].len()).max().unwrap_or(0);
-            partitions.push(Partition {
-                id: partitions.len(),
-                members: sub,
-                mbr_first,
-                mbr_last,
-                min_len,
-                max_len,
+        let mbr_first = Mbr::from_points(sub.iter().map(|&i| &firsts[i]));
+        let mbr_last = Mbr::from_points(sub.iter().map(|&i| &lasts[i]));
+        let min_len = sub.iter().map(|&i| trajectories[i].len()).min().unwrap_or(0);
+        let max_len = sub.iter().map(|&i| trajectories[i].len()).max().unwrap_or(0);
+        out.push(Partition {
+            id: 0, // dense ids assigned by the caller, in bucket order
+            members: sub,
+            mbr_first,
+            mbr_last,
+            min_len,
+            max_len,
+        });
+    }
+    out
+}
+
+/// [`str_partitioning`] on `threads` threads: key extraction, the top-level
+/// x-sort, slab y-sorts and the per-bucket second-level tilings all run on a
+/// scoped pool. The partitioning is identical for every thread count
+/// (results land in pre-assigned slots; the parallel sort is stable).
+///
+/// Partitioning runs on the driver, outside any cluster task, so — unlike
+/// `TrieIndex::build_timed` — there is no task to charge helper CPU back to.
+///
+/// # Panics
+/// Panics if `ng == 0`.
+pub fn str_partitioning_par(trajectories: &[Trajectory], ng: usize, threads: usize) -> Partitioning {
+    assert!(ng >= 1, "NG must be at least 1");
+    let threads = threads.max(1);
+    let n = trajectories.len();
+    let pool = if threads > 1 && n > 1 {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .ok()
+    } else {
+        None
+    };
+
+    // Key extraction: first/last point per trajectory.
+    let (firsts, lasts): (Vec<Point>, Vec<Point>) = match &pool {
+        None => (
+            trajectories.iter().map(|t| *t.first()).collect(),
+            trajectories.iter().map(|t| *t.last()).collect(),
+        ),
+        Some(pool) => {
+            let mut firsts = vec![Point::new(0.0, 0.0); n];
+            let mut lasts = vec![Point::new(0.0, 0.0); n];
+            let chunk = n.div_ceil(threads * 4).max(1);
+            pool.scope(|s| {
+                for ((ts, fs), ls) in trajectories
+                    .chunks(chunk)
+                    .zip(firsts.chunks_mut(chunk))
+                    .zip(lasts.chunks_mut(chunk))
+                {
+                    s.spawn(move |_| {
+                        for ((t, f), l) in ts.iter().zip(fs.iter_mut()).zip(ls.iter_mut()) {
+                            *f = *t.first();
+                            *l = *t.last();
+                        }
+                    });
+                }
             });
+            (firsts, lasts)
+        }
+    };
+
+    let all: Vec<usize> = (0..n).collect();
+    let buckets = str_tiles_with(&firsts, all, ng, pool.as_ref().map(|p| (p, threads)));
+
+    // Second level: buckets are independent of one another.
+    let groups: Vec<Vec<Partition>> = match &pool {
+        Some(pool) if buckets.iter().filter(|b| b.len() > 1).count() > 1 => {
+            let mut slots: Vec<Option<Vec<Partition>>> = Vec::new();
+            slots.resize_with(buckets.len(), || None);
+            let (ts, fs, ls) = (trajectories, firsts.as_slice(), lasts.as_slice());
+            pool.scope(|s| {
+                for (bucket, slot) in buckets.into_iter().zip(slots.iter_mut()) {
+                    s.spawn(move |_| {
+                        *slot = Some(if bucket.is_empty() {
+                            Vec::new()
+                        } else {
+                            split_bucket(ts, fs, ls, bucket, ng)
+                        });
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("bucket slot left unfilled"))
+                .collect()
+        }
+        _ => buckets
+            .into_iter()
+            .map(|bucket| {
+                if bucket.is_empty() {
+                    Vec::new()
+                } else {
+                    split_bucket(trajectories, &firsts, &lasts, bucket, ng)
+                }
+            })
+            .collect(),
+    };
+
+    let mut partitions = Vec::new();
+    for group in groups {
+        for mut p in group {
+            p.id = partitions.len();
+            partitions.push(p);
         }
     }
     Partitioning { partitions }

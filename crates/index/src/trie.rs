@@ -20,6 +20,13 @@ use dita_distance::function::IndexMode;
 use dita_distance::DistanceFunction;
 use dita_trajectory::{CellList, Mbr, Point, SoaPoints, Trajectory};
 use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Host parallelism — the default for [`TrieConfig::build_threads`].
+fn default_build_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
 
 /// Configuration of the local trie index.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -36,6 +43,13 @@ pub struct TrieConfig {
     pub strategy: PivotStrategy,
     /// Side length `D` of the verification cells (§5.3.3(2)).
     pub cell_side: f64,
+    /// Threads used for per-trajectory preprocessing and sibling-subtree
+    /// construction; 1 builds serially on the calling thread. The built
+    /// index is byte-identical for every thread count, so this knob is not
+    /// part of the serialized index (older snapshots load with the host
+    /// default).
+    #[serde(skip_serializing, default = "default_build_threads")]
+    pub build_threads: usize,
 }
 
 impl Default for TrieConfig {
@@ -46,6 +60,7 @@ impl Default for TrieConfig {
             leaf_capacity: 16,
             strategy: PivotStrategy::NeighborDistance,
             cell_side: 0.005,
+            build_threads: default_build_threads(),
         }
     }
 }
@@ -53,6 +68,7 @@ impl Default for TrieConfig {
 /// A trajectory as stored in the clustered index: the raw points plus every
 /// precomputed artifact verification needs (pivots, MBR, cells).
 #[derive(Debug, Clone, Serialize, Deserialize)]
+#[serde(from = "IndexedTrajectoryRepr")]
 pub struct IndexedTrajectory {
     /// The trajectory itself (leaves store data, not pointers — §2.3's
     /// "clustered index" argument).
@@ -68,6 +84,38 @@ pub struct IndexedTrajectory {
     /// Structure-of-arrays copy of the points, built once at indexing time
     /// so the verification kernels stream contiguous coordinates.
     pub soa: SoaPoints,
+    /// Cached `traj.size_bytes()` — the join planner reads it per edge when
+    /// pricing shipments, so it is computed once at indexing time. Derived,
+    /// hence not serialized.
+    #[serde(skip)]
+    pub size_bytes: usize,
+}
+
+/// Serialized form of [`IndexedTrajectory`]: the original six fields; the
+/// cached size is derived on load.
+#[derive(serde::Deserialize)]
+struct IndexedTrajectoryRepr {
+    traj: Trajectory,
+    pivots: Vec<usize>,
+    index_points: Vec<Point>,
+    mbr: Mbr,
+    cells: CellList,
+    soa: SoaPoints,
+}
+
+impl From<IndexedTrajectoryRepr> for IndexedTrajectory {
+    fn from(r: IndexedTrajectoryRepr) -> Self {
+        let size_bytes = r.traj.size_bytes();
+        IndexedTrajectory {
+            traj: r.traj,
+            pivots: r.pivots,
+            index_points: r.index_points,
+            mbr: r.mbr,
+            cells: r.cells,
+            soa: r.soa,
+            size_bytes,
+        }
+    }
 }
 
 impl IndexedTrajectory {
@@ -86,6 +134,7 @@ impl IndexedTrajectory {
         let mbr = traj.mbr();
         let cells = CellList::compress(&traj, cell_side);
         let soa = SoaPoints::from_points(traj.points());
+        let size_bytes = traj.size_bytes();
         IndexedTrajectory {
             traj,
             pivots,
@@ -93,6 +142,7 @@ impl IndexedTrajectory {
             mbr,
             cells,
             soa,
+            size_bytes,
         }
     }
 }
@@ -200,6 +250,21 @@ impl FilterStats {
     }
 }
 
+/// Reusable traversal state for repeated trie probes. Holding one across
+/// calls to [`TrieIndex::candidate_count`] makes the probe allocation-free
+/// once the stack has grown to its working size.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    stack: Vec<(u32, f64, usize)>,
+}
+
+impl ProbeScratch {
+    /// An empty scratch; the first probes grow it to working size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// The local trie index of one partition.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrieIndex {
@@ -209,93 +274,260 @@ pub struct TrieIndex {
     data: Vec<IndexedTrajectory>,
 }
 
-impl TrieIndex {
-    /// Builds the index over a partition's trajectories (Algorithm 1's
-    /// `LocalIndex`).
-    pub fn build(trajectories: Vec<Trajectory>, config: TrieConfig) -> Self {
-        let data: Vec<IndexedTrajectory> = trajectories
-            .into_iter()
-            .map(|t| IndexedTrajectory::new(t, config.k, config.strategy, config.cell_side))
-            .collect();
-        let mut index = TrieIndex {
-            config,
-            nodes: Vec::new(),
-            roots: Vec::new(),
-            data,
-        };
-        let all: Vec<usize> = (0..index.data.len()).collect();
-        index.roots = index.build_level(all, 1);
-        index
+/// One STR tile of a trie level, split but not yet recursed into: the node
+/// payload plus the member set that continues to the next level.
+struct TileSpec {
+    mbr: Mbr,
+    depth: u8,
+    /// Members stored at this node (all of them for leaves, the stopped
+    /// ones otherwise), as local ids.
+    node_members: Vec<u32>,
+    /// Members descending to the next level (empty for leaves).
+    deeper: Vec<usize>,
+    max_len: u32,
+    min_len: u32,
+}
+
+/// A fully built subtree in owned form. Subtrees are constructed
+/// independently (possibly on different threads) and flattened into the
+/// node arena afterwards in tile order, which makes the arena layout — and
+/// therefore the serialized index — independent of the thread count.
+struct PendingNode {
+    mbr: Mbr,
+    depth: u8,
+    children: Vec<PendingNode>,
+    members: Vec<u32>,
+    max_len: u32,
+    min_len: u32,
+}
+
+/// Splits `members` on their indexing point at `depth` (1-based) into STR
+/// tiles, deciding for each tile whether it becomes a leaf.
+fn split_tiles(
+    data: &[IndexedTrajectory],
+    config: &TrieConfig,
+    members: Vec<usize>,
+    depth: usize,
+) -> Vec<TileSpec> {
+    if members.is_empty() {
+        return Vec::new();
     }
-
-    /// Splits `members` on their indexing point at `depth` (1-based) and
-    /// returns the created node ids.
-    fn build_level(&mut self, members: Vec<usize>, depth: usize) -> Vec<u32> {
-        if members.is_empty() {
-            return Vec::new();
+    let keys: Vec<Point> = members
+        .iter()
+        .map(|&i| data[i].index_points[depth - 1])
+        .collect();
+    let local: Vec<usize> = (0..members.len()).collect();
+    let tiles = str_tiles(&keys, local, config.nl.min(members.len()));
+    let mut out = Vec::new();
+    for tile in tiles {
+        if tile.is_empty() {
+            continue;
         }
-        let keys: Vec<Point> = members
+        let mbr = Mbr::from_points(tile.iter().map(|&li| &keys[li]));
+        let tile_members: Vec<usize> = tile.iter().map(|&li| members[li]).collect();
+        let max_len = tile_members
             .iter()
-            .map(|&i| self.data[i].index_points[depth - 1])
-            .collect();
-        let local: Vec<usize> = (0..members.len()).collect();
-        let tiles = str_tiles(&keys, local, self.config.nl.min(members.len()));
-        let mut out = Vec::new();
-        for tile in tiles {
-            if tile.is_empty() {
-                continue;
-            }
-            let mbr = Mbr::from_points(tile.iter().map(|&li| &keys[li]));
-            let tile_members: Vec<usize> = tile.iter().map(|&li| members[li]).collect();
-            let max_len = tile_members
-                .iter()
-                .map(|&i| self.data[i].traj.len() as u32)
-                .max()
-                .unwrap_or(0);
-            let min_len = tile_members
-                .iter()
-                .map(|&i| self.data[i].traj.len() as u32)
-                .min()
-                .unwrap_or(0);
+            .map(|&i| data[i].traj.len() as u32)
+            .max()
+            .unwrap_or(0);
+        let min_len = tile_members
+            .iter()
+            .map(|&i| data[i].traj.len() as u32)
+            .min()
+            .unwrap_or(0);
 
-            // Members whose indexing points end here stay in this node; the
-            // rest continue to the next level unless the node is small
-            // enough to become a leaf.
-            let deeper: Vec<usize> = tile_members
+        // Members whose indexing points end here stay in this node; the
+        // rest continue to the next level unless the node is small enough
+        // to become a leaf.
+        let deeper: Vec<usize> = tile_members
+            .iter()
+            .copied()
+            .filter(|&i| data[i].index_points.len() > depth)
+            .collect();
+        let is_leaf = tile_members.len() <= config.leaf_capacity || deeper.is_empty();
+        let (node_members, deeper) = if is_leaf {
+            (tile_members.iter().map(|&i| i as u32).collect(), Vec::new())
+        } else {
+            let stopped: Vec<u32> = tile_members
                 .iter()
                 .copied()
-                .filter(|&i| self.data[i].index_points.len() > depth)
+                .filter(|&i| data[i].index_points.len() <= depth)
+                .map(|i| i as u32)
                 .collect();
-            let is_leaf =
-                tile_members.len() <= self.config.leaf_capacity || deeper.is_empty();
+            (stopped, deeper)
+        };
+        out.push(TileSpec {
+            mbr,
+            depth: depth as u8,
+            node_members,
+            deeper,
+            max_len,
+            min_len,
+        });
+    }
+    out
+}
 
-            let node_id = self.nodes.len() as u32;
-            self.nodes.push(TrieNode {
-                mbr,
-                depth: depth as u8,
-                children: Vec::new(),
-                members: Vec::new(),
-                max_len,
-                min_len,
-            });
-            if is_leaf {
-                self.nodes[node_id as usize].members =
-                    tile_members.iter().map(|&i| i as u32).collect();
-            } else {
-                let stopped: Vec<u32> = tile_members
-                    .iter()
-                    .copied()
-                    .filter(|&i| self.data[i].index_points.len() <= depth)
-                    .map(|i| i as u32)
-                    .collect();
-                let children = self.build_level(deeper, depth + 1);
-                let node = &mut self.nodes[node_id as usize];
-                node.members = stopped;
-                node.children = children;
+/// Recursively builds the subtree rooted at one tile.
+fn build_subtree(data: &[IndexedTrajectory], config: &TrieConfig, spec: TileSpec) -> PendingNode {
+    let depth = spec.depth as usize;
+    let children = split_tiles(data, config, spec.deeper, depth + 1)
+        .into_iter()
+        .map(|c| build_subtree(data, config, c))
+        .collect();
+    PendingNode {
+        mbr: spec.mbr,
+        depth: spec.depth,
+        children,
+        members: spec.node_members,
+        max_len: spec.max_len,
+        min_len: spec.min_len,
+    }
+}
+
+/// Flattens a pending subtree into the node arena in DFS preorder (parent
+/// before its subtree, siblings in tile order) — exactly the order the old
+/// serial recursion produced — and returns the root's node id.
+fn flatten(nodes: &mut Vec<TrieNode>, pending: PendingNode) -> u32 {
+    let id = nodes.len() as u32;
+    nodes.push(TrieNode {
+        mbr: pending.mbr,
+        depth: pending.depth,
+        children: Vec::new(),
+        members: pending.members,
+        max_len: pending.max_len,
+        min_len: pending.min_len,
+    });
+    let children: Vec<u32> = pending
+        .children
+        .into_iter()
+        .map(|c| flatten(nodes, c))
+        .collect();
+    nodes[id as usize].children = children;
+    id
+}
+
+impl TrieIndex {
+    /// Builds the index over a partition's trajectories (Algorithm 1's
+    /// `LocalIndex`), using [`TrieConfig::build_threads`] threads.
+    pub fn build(trajectories: Vec<Trajectory>, config: TrieConfig) -> Self {
+        Self::build_timed(trajectories, config).0
+    }
+
+    /// Like [`TrieIndex::build`], additionally returning the CPU time burned
+    /// by helper threads (zero for serial builds). Callers running inside a
+    /// cluster task charge it back via `dita_cluster::charge_compute` so the
+    /// simulated cost model sees the work, not the host parallelism — the
+    /// same contract as `verify_threads`.
+    pub fn build_timed(trajectories: Vec<Trajectory>, config: TrieConfig) -> (Self, Duration) {
+        let threads = config.build_threads.max(1);
+        let pool = if threads > 1 && trajectories.len() > 1 {
+            rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .ok()
+        } else {
+            None
+        };
+        let helper_ns = AtomicU64::new(0);
+
+        // --- 1. Per-trajectory preprocessing (pivots, cells, SoA) ---
+        let data: Vec<IndexedTrajectory> = match &pool {
+            None => trajectories
+                .into_iter()
+                .map(|t| IndexedTrajectory::new(t, config.k, config.strategy, config.cell_side))
+                .collect(),
+            Some(pool) => {
+                // ~4 chunks per thread, results landing in pre-assigned
+                // slots so the data order (and thus every local id) matches
+                // the serial build.
+                let n = trajectories.len();
+                let chunk = n.div_ceil(threads * 4).max(1);
+                let mut batches: Vec<Vec<Trajectory>> = Vec::with_capacity(n.div_ceil(chunk));
+                let mut it = trajectories.into_iter();
+                loop {
+                    let batch: Vec<Trajectory> = it.by_ref().take(chunk).collect();
+                    if batch.is_empty() {
+                        break;
+                    }
+                    batches.push(batch);
+                }
+                let mut slots: Vec<Option<Vec<IndexedTrajectory>>> = Vec::new();
+                slots.resize_with(batches.len(), || None);
+                let helper = &helper_ns;
+                pool.scope(|s| {
+                    for (batch, slot) in batches.into_iter().zip(slots.iter_mut()) {
+                        s.spawn(move |_| {
+                            let t0 = dita_obs::thread_cpu_time();
+                            *slot = Some(
+                                batch
+                                    .into_iter()
+                                    .map(|t| {
+                                        IndexedTrajectory::new(
+                                            t,
+                                            config.k,
+                                            config.strategy,
+                                            config.cell_side,
+                                        )
+                                    })
+                                    .collect(),
+                            );
+                            let dt = dita_obs::thread_cpu_time().saturating_sub(t0);
+                            helper.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .flat_map(|s| s.expect("preprocessing slot left unfilled"))
+                    .collect()
             }
-            out.push(node_id);
-        }
-        out
+        };
+
+        // --- 2. Tree construction ---
+        // The root level is split serially; each root tile's subtree is then
+        // built independently (in parallel when a pool exists — the spawns
+        // are non-nested, so per-spawn CPU deltas account every helper
+        // cycle exactly once) and flattened into the arena in tile order.
+        let all: Vec<usize> = (0..data.len()).collect();
+        let root_tiles = split_tiles(&data, &config, all, 1);
+        let pending: Vec<PendingNode> = match &pool {
+            None => root_tiles
+                .into_iter()
+                .map(|t| build_subtree(&data, &config, t))
+                .collect(),
+            Some(pool) => {
+                let mut slots: Vec<Option<PendingNode>> = Vec::new();
+                slots.resize_with(root_tiles.len(), || None);
+                let helper = &helper_ns;
+                let data_ref = &data;
+                let config_ref = &config;
+                pool.scope(|s| {
+                    for (tile, slot) in root_tiles.into_iter().zip(slots.iter_mut()) {
+                        s.spawn(move |_| {
+                            let t0 = dita_obs::thread_cpu_time();
+                            *slot = Some(build_subtree(data_ref, config_ref, tile));
+                            let dt = dita_obs::thread_cpu_time().saturating_sub(t0);
+                            helper.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+                        });
+                    }
+                });
+                slots
+                    .into_iter()
+                    .map(|s| s.expect("subtree slot left unfilled"))
+                    .collect()
+            }
+        };
+        let mut nodes = Vec::new();
+        let roots: Vec<u32> = pending.into_iter().map(|p| flatten(&mut nodes, p)).collect();
+
+        let index = TrieIndex {
+            config,
+            nodes,
+            roots,
+            data,
+        };
+        (index, Duration::from_nanos(helper_ns.load(Ordering::Relaxed)))
     }
 
     /// The configuration the index was built with.
@@ -347,7 +579,7 @@ impl TrieIndex {
 
     /// Total size including the clustered trajectory data.
     pub fn size_bytes(&self) -> usize {
-        self.index_size_bytes() + self.data.iter().map(|d| d.traj.size_bytes()).sum::<usize>()
+        self.index_size_bytes() + self.data.iter().map(|d| d.size_bytes).sum::<usize>()
     }
 
     /// Edit-family (EDR/LCSS) leaf filter. Both distances are bounded below
@@ -455,20 +687,61 @@ impl TrieIndex {
     ) -> (Vec<u32>, FilterStats) {
         let mut stats = FilterStats::default();
         let mut out = Vec::new();
+        let mut stack = Vec::new();
+        self.probe(q, tau, func, &mut stats, &mut stack, |m| out.push(m));
+        out.sort_unstable();
+        out.dedup();
+        (out, stats)
+    }
+
+    /// Counts the candidates [`TrieIndex::candidates`] would return without
+    /// materializing them — the allocation-free probe the join planner's
+    /// `comp` sampling (§6.2) runs per edge. Every stored trajectory lives
+    /// in exactly one trie node, so the emitted count needs no dedup and
+    /// always equals `candidates().len()`.
+    pub fn candidate_count(
+        &self,
+        q: &[Point],
+        tau: f64,
+        func: &DistanceFunction,
+        scratch: &mut ProbeScratch,
+    ) -> usize {
+        let mut stats = FilterStats::default();
+        let mut count = 0usize;
+        self.probe(q, tau, func, &mut stats, &mut scratch.stack, |_| count += 1);
+        count
+    }
+
+    /// The shared filter traversal behind [`TrieIndex::candidates_with_stats`]
+    /// and [`TrieIndex::candidate_count`]: walks the trie and calls `emit`
+    /// for every member that survives the whole funnel, in traversal order
+    /// (unsorted, but free of duplicates).
+    fn probe<F: FnMut(u32)>(
+        &self,
+        q: &[Point],
+        tau: f64,
+        func: &DistanceFunction,
+        stats: &mut FilterStats,
+        stack: &mut Vec<(u32, f64, usize)>,
+        mut emit: F,
+    ) {
+        stack.clear();
         if q.is_empty() || tau < 0.0 {
-            return (out, stats);
+            return;
         }
         let mode = func.index_mode();
         if matches!(mode, IndexMode::Scan) {
-            return ((0..self.data.len() as u32).collect(), stats);
+            for id in 0..self.data.len() as u32 {
+                emit(id);
+            }
+            return;
         }
         let lcss = matches!(func, DistanceFunction::Lcss { .. });
         let edr = matches!(func, DistanceFunction::Edr { .. });
         // Stack of nodes that survived their own level check, carrying the
         // remaining budget and the query-suffix start for their children.
-        let mut stack: Vec<(u32, f64, usize)> = Vec::new();
         for &r in &self.roots {
-            self.visit(r, q, tau, tau, 0, mode, lcss, edr, &mut stats, &mut stack);
+            self.visit(r, q, tau, tau, 0, mode, lcss, edr, stats, stack);
         }
         while let Some((node_id, budget, suffix)) = stack.pop() {
             let node = &self.nodes[node_id as usize];
@@ -488,18 +761,15 @@ impl TrieIndex {
                     continue;
                 }
                 if self.opamd_admits(m, q, tau, mode, func) {
-                    out.push(m);
+                    emit(m);
                 } else {
                     stats.members_pruned_opamd += 1;
                 }
             }
             for &c in &node.children {
-                self.visit(c, q, tau, budget, suffix, mode, lcss, edr, &mut stats, &mut stack);
+                self.visit(c, q, tau, budget, suffix, mode, lcss, edr, stats, stack);
             }
         }
-        out.sort_unstable();
-        out.dedup();
-        (out, stats)
     }
 
     /// The exact ordered-pivot accumulated-minimum-distance test of
@@ -715,6 +985,7 @@ mod tests {
                 leaf_capacity: 0,
                 strategy: PivotStrategy::NeighborDistance,
                 cell_side: 2.0,
+                ..TrieConfig::default()
             },
         )
     }
@@ -861,6 +1132,7 @@ mod tests {
                 leaf_capacity: 0,
                 strategy: PivotStrategy::NeighborDistance,
                 cell_side: 1.0,
+                ..TrieConfig::default()
             },
         );
         assert_eq!(index.len(), 3);

@@ -4,7 +4,7 @@
 //! true answer, for any distance function, threshold, or configuration.
 
 use dita_distance::DistanceFunction;
-use dita_index::{str_partitioning, GlobalIndex, PivotStrategy, TrieConfig, TrieIndex};
+use dita_index::{str_partitioning, GlobalIndex, PivotStrategy, ProbeScratch, TrieConfig, TrieIndex};
 use dita_trajectory::{Point, Trajectory};
 use proptest::prelude::*;
 
@@ -58,6 +58,7 @@ proptest! {
             leaf_capacity: 2,
             strategy: PivotStrategy::NeighborDistance,
             cell_side: 1.0,
+            ..TrieConfig::default()
         };
         let tries: Vec<TrieIndex> = parts
             .partitions
@@ -106,11 +107,44 @@ proptest! {
             leaf_capacity: 3,
             strategy: PivotStrategy::InflectionPoint,
             cell_side: 0.5,
+            ..TrieConfig::default()
         });
         prop_assert_eq!(index.len(), n);
         // A query with infinite-ish budget returns everything.
         let q = [Point::new(0.0, 0.0)];
         let cands = index.candidates(&q, 1e12, &DistanceFunction::Dtw);
         prop_assert_eq!(cands.len(), n);
+    }
+
+    /// The allocation-free counting probe agrees with the materializing one
+    /// for every index mode (additive, max, edit-count, scan).
+    #[test]
+    fn candidate_count_matches_candidates_len(
+        ts in arb_dataset(30),
+        q in arb_trajectory(1000),
+        tau in 0.0f64..30.0,
+        k in 0usize..4,
+        nl in 2usize..6,
+    ) {
+        let index = TrieIndex::build(ts, TrieConfig {
+            k,
+            nl,
+            leaf_capacity: 2,
+            strategy: PivotStrategy::NeighborDistance,
+            cell_side: 1.0,
+            ..TrieConfig::default()
+        });
+        let mut scratch = ProbeScratch::new();
+        for f in [
+            DistanceFunction::Dtw,
+            DistanceFunction::Frechet,
+            DistanceFunction::Edr { eps: 1.0 },
+            DistanceFunction::Lcss { eps: 1.0, delta: 2 },
+            DistanceFunction::Erp { gap: (0.0, 0.0) },
+        ] {
+            let cands = index.candidates(q.points(), tau, &f);
+            let count = index.candidate_count(q.points(), tau, &f, &mut scratch);
+            prop_assert_eq!(count, cands.len(), "{}", f);
+        }
     }
 }

@@ -45,6 +45,31 @@ pub struct ThreadScalingPoint {
     pub pairs_per_sec: f64,
 }
 
+/// One point of the index-build thread-scaling sweep.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct BuildScalingPoint {
+    /// `TrieConfig::build_threads` used for the build.
+    pub threads: usize,
+    /// Wall-clock seconds to build the index at that thread count.
+    pub build_secs: f64,
+}
+
+/// Cold-path (index-build and join-plan) timing section.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ColdPathScaling {
+    /// Trajectories in the built table.
+    pub trajectories: usize,
+    /// Index-build wall clock per thread count.
+    pub build: Vec<BuildScalingPoint>,
+    /// `build[threads=1] / build[threads=4]` — the ISSUE's headline ratio.
+    pub build_speedup_4t: f64,
+    /// Join planning (bi-graph edge weighting) wall clock per
+    /// `JoinOptions::plan_threads` count.
+    pub plan: Vec<BuildScalingPoint>,
+    /// Compatible partition pairs weighed during the measured plan.
+    pub edges_weighed: usize,
+}
+
 /// The complete `results/BENCH_*.json` artifact shape.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BenchSmokeReport {
@@ -69,6 +94,10 @@ pub struct BenchSmokeReport {
     #[serde(default)]
     #[serde(skip_serializing_if = "Option::is_none")]
     pub search_profile: Option<Report>,
+    /// Optional cold-path scaling section (absent in pre-PR3 artifacts).
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub cold_path: Option<ColdPathScaling>,
 }
 
 impl BenchSmokeReport {
@@ -119,6 +148,7 @@ mod tests {
             host_cores: 1,
             note: "test".into(),
             search_profile: None,
+            cold_path: None,
         }
     }
 

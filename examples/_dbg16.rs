@@ -8,7 +8,7 @@ fn main() {
     let mut cc = ClusterConfig::with_workers(8);
     cc.network.latency_sec = 5e-5;
     let config = DitaConfig { ng: 4, trie: TrieConfig { k: 4, nl: 8, leaf_capacity: 16,
-        strategy: PivotStrategy::NeighborDistance, cell_side: 0.002 } };
+        strategy: PivotStrategy::NeighborDistance, cell_side: 0.002, ..TrieConfig::default() } };
     let sys = DitaSystem::build(&dataset, config, Cluster::new(cc));
     println!("partitions {}", sys.num_partitions());
     for b in [BalanceStrategy::None, BalanceStrategy::Orientation, BalanceStrategy::Full] {

@@ -1,15 +1,22 @@
 #!/usr/bin/env bash
-# PR-1 smoke benchmark: builds the workspace in release mode, runs the
-# dependency-light Instant-based bench, and leaves results/BENCH_PR1.json
-# (kernel AoS-vs-SoA timings, verified-pairs/sec, p50 search latency,
-# rayon thread scaling). Runs in seconds; see EXPERIMENTS.md "Kernel
-# micro-benchmarks" for how to read the numbers.
+# Smoke benchmark: builds the workspace in release mode, runs the
+# dependency-light Instant-based bench, and leaves a results/BENCH_*.json
+# artifact (kernel AoS-vs-SoA timings, verified-pairs/sec, p50 search
+# latency, rayon thread scaling, index-build and join-plan scaling). Runs
+# in seconds; see EXPERIMENTS.md "Kernel micro-benchmarks" and "Build &
+# plan scaling" for how to read the numbers.
+#
+# Usage: scripts/bench_smoke.sh [artifact-path] [extra bench args...]
+# The artifact path defaults to results/BENCH_PR3.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+ARTIFACT="${1:-results/BENCH_PR3.json}"
+shift || true
+
 RUSTFLAGS="${RUSTFLAGS:--C target-cpu=native}" \
-    cargo run --release -p dita-bench --bin bench_smoke "$@"
+    cargo run --release -p dita-bench --bin bench_smoke -- --out "$ARTIFACT" "$@"
 
 echo
-echo "results/BENCH_PR1.json:"
-cat results/BENCH_PR1.json
+echo "$ARTIFACT:"
+cat "$ARTIFACT"

@@ -6,5 +6,6 @@ cd "$(dirname "$0")/.."
 
 cargo build --release
 cargo test -q
+cargo bench --no-run
 cargo clippy --workspace --all-targets -- -D warnings
 echo "check.sh: all green"

@@ -19,6 +19,7 @@ fn config() -> DitaConfig {
             leaf_capacity: 4,
             strategy: PivotStrategy::NeighborDistance,
             cell_side: 0.002,
+            ..TrieConfig::default()
         },
     }
 }

@@ -17,6 +17,7 @@ fn small_config() -> DitaConfig {
             leaf_capacity: 4,
             strategy: PivotStrategy::NeighborDistance,
             cell_side: 0.002,
+            ..TrieConfig::default()
         },
     }
 }
@@ -162,6 +163,7 @@ fn results_stable_across_cluster_sizes_and_configs() {
                         leaf_capacity: 2,
                         strategy: PivotStrategy::InflectionPoint,
                         cell_side: 0.002,
+                        ..TrieConfig::default()
                     },
                 };
                 let system = DitaSystem::build(

@@ -56,6 +56,7 @@ fn config() -> DitaConfig {
             leaf_capacity: 8,
             strategy: PivotStrategy::NeighborDistance,
             cell_side: 0.002,
+            ..TrieConfig::default()
         },
     }
 }

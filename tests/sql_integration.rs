@@ -19,6 +19,7 @@ fn engine_with(n: usize) -> Engine {
                 leaf_capacity: 4,
                 strategy: PivotStrategy::NeighborDistance,
                 cell_side: 0.002,
+                ..TrieConfig::default()
             },
         },
     );
