@@ -1,6 +1,7 @@
 //! Smoke benchmark: one fast, dependency-light run that produces a
-//! `results/BENCH_*.json` artifact (default `results/BENCH_PR3.json`,
-//! override with `--out <path>`) plus a repo-root copy of the same file.
+//! `results/BENCH_*.json` artifact (default `results/BENCH_PR4.json`,
+//! override with `--out <path>`). The artifact always lands where `--out`
+//! points — never in the repo root.
 //!
 //! Unlike the Criterion benches this uses plain `Instant` timing (coarser,
 //! but runs in seconds). The artifact is emitted through the `dita-obs`
@@ -19,14 +20,17 @@
 //!    a single-CPU host; near-linear where cores exist.
 //! 5. cold path — trie index build wall clock at 1/2/4 build threads and
 //!    join planning at 1/2/4 plan threads (the PR-3 parallelized paths).
-//! 6. instrumented pass — after all timing, one search runs with tracing
+//! 6. ingest — incremental delta ingestion (insert + flush) vs a
+//!    from-scratch rebuild over a sweep of delta ratios, reporting the
+//!    crossover ratio where rebuilding becomes the better deal.
+//! 7. instrumented pass — after all timing, one search runs with tracing
 //!    attached; its profile tree and filter funnel ride along in the
 //!    artifact's `search_profile` field.
 
 use dita_cluster::{Cluster, ClusterConfig};
 use dita_core::{
-    join, search_with_options, verify_candidates, DitaConfig, DitaSystem, JoinOptions,
-    QueryContext, SearchOptions,
+    join, search_with_options, verify_candidates, CompactionPolicy, DitaConfig, DitaSystem,
+    JoinOptions, QueryContext, SearchOptions,
 };
 use dita_distance::{
     dtw_double_direction, dtw_soa, dtw_threshold, edr_soa, edr_threshold, erp_soa,
@@ -35,8 +39,8 @@ use dita_distance::{
 };
 use dita_index::{PivotStrategy, TrieConfig, TrieIndex};
 use dita_obs::bench_report::{
-    BenchSmokeReport, BuildScalingPoint, ColdPathScaling, KernelMeasurement, SearchP50Ms,
-    ThreadScalingPoint, BENCH_SCHEMA,
+    BenchSmokeReport, BuildScalingPoint, ColdPathScaling, IngestPoint, IngestScaling,
+    KernelMeasurement, SearchP50Ms, ThreadScalingPoint, BENCH_SCHEMA,
 };
 use dita_obs::Obs;
 use dita_trajectory::{Dataset, Point, SoaPoints, Trajectory};
@@ -445,6 +449,87 @@ fn main() {
         plan_points.push((threads, best));
     }
 
+    // Incremental ingestion vs from-scratch rebuild. For each delta ratio,
+    // time (a) inserting the delta rows into a pre-built base index and
+    // flushing them into queryable delta segments, against (b) rebuilding
+    // the whole index from base + delta. Compaction is manual so the
+    // incremental side is pure delta work.
+    println!("\ningest: incremental vs rebuild ({} base rows):", ts.len());
+    let manual = CompactionPolicy {
+        auto: false,
+        ..CompactionPolicy::default()
+    };
+    let base_dataset = Dataset::new_unchecked("ingest-base", ts.clone());
+    let config = DitaConfig {
+        ng: 8,
+        trie: trie_config,
+    };
+    let mut ingest_points = Vec::new();
+    for ratio in [0.01f64, 0.02, 0.05, 0.10, 0.20, 0.50] {
+        let delta_rows = ((ts.len() as f64 * ratio).round() as usize).max(1);
+        let mut rng = XorShift(0xD317 ^ (delta_rows as u64));
+        let delta: Vec<Trajectory> = (0..delta_rows)
+            .map(|i| {
+                let len = 24 + (rng.next_u64() % 41) as usize;
+                let (x0, y0) = (rng.next_f64() * 2.0, rng.next_f64() * 2.0);
+                Trajectory::new(100_000 + i as u64, walk(&mut rng, len, x0, y0))
+            })
+            .collect();
+
+        // (a) incremental: base build is untimed, the delta path is.
+        let mut inc_sys = DitaSystem::build(
+            &base_dataset,
+            config,
+            Cluster::new(ClusterConfig::with_workers(4)),
+        );
+        inc_sys.set_compaction_policy(manual);
+        let t0 = Instant::now();
+        for t in &delta {
+            inc_sys.insert(t.clone());
+        }
+        inc_sys.flush();
+        let incremental_secs = t0.elapsed().as_secs_f64();
+        // Spot-check: the overlay sees every delta row.
+        assert_eq!(inc_sys.len(), ts.len() + delta_rows);
+        let (hits, _) = search_with_options(
+            &inc_sys,
+            delta[0].points(),
+            1e-9,
+            &DistanceFunction::Dtw,
+            SearchOptions { verify_threads: 1 },
+        );
+        assert!(
+            hits.iter().any(|&(id, _)| id == delta[0].id),
+            "flushed delta row must be searchable"
+        );
+
+        // (b) from-scratch rebuild on base + delta.
+        let mut combined = ts.clone();
+        combined.extend(delta.iter().cloned());
+        let t0 = Instant::now();
+        let rebuilt = DitaSystem::build(
+            &Dataset::new_unchecked("ingest-rebuild", combined),
+            config,
+            Cluster::new(ClusterConfig::with_workers(4)),
+        );
+        let rebuild_secs = t0.elapsed().as_secs_f64();
+        assert_eq!(rebuilt.len(), ts.len() + delta_rows);
+
+        let speedup = rebuild_secs / incremental_secs;
+        println!(
+            "  ratio {ratio:>5.2}: incremental {:>8.1} ms  rebuild {:>8.1} ms  speedup {speedup:>6.2}x",
+            incremental_secs * 1e3,
+            rebuild_secs * 1e3
+        );
+        ingest_points.push((ratio, delta_rows, incremental_secs, rebuild_secs, speedup));
+    }
+    let crossover_delta_ratio = ingest_points
+        .iter()
+        .filter(|&&(_, _, _, _, s)| s > 1.0)
+        .map(|&(r, ..)| r)
+        .fold(0.0f64, f64::max);
+    println!("  crossover: incremental wins up to ratio {crossover_delta_ratio:.2}");
+
     // Instrumented profiling pass — attached only now, after all timing,
     // so the sections above pay the disabled-context cost (one branch).
     sys.attach_obs(Obs::enabled());
@@ -511,10 +596,28 @@ fn main() {
                 .collect(),
             edges_weighed,
         }),
+        ingest: Some(IngestScaling {
+            base_rows: ts.len(),
+            points: ingest_points
+                .iter()
+                .map(
+                    |&(delta_ratio, delta_rows, incremental_secs, rebuild_secs, speedup)| {
+                        IngestPoint {
+                            delta_ratio,
+                            delta_rows,
+                            incremental_secs: round4(incremental_secs),
+                            rebuild_secs: round4(rebuild_secs),
+                            speedup: round2(speedup),
+                        }
+                    },
+                )
+                .collect(),
+            crossover_delta_ratio,
+        }),
     };
-    // `--out <path>` overrides the artifact location; a copy with the same
-    // file name always lands in the repo root for at-a-glance diffing.
-    let mut out = String::from("results/BENCH_PR3.json");
+    // `--out <path>` overrides the artifact location. The artifact is
+    // written only there — never copied to the repo root.
+    let mut out = String::from("results/BENCH_PR4.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--out" {
@@ -525,14 +628,5 @@ fn main() {
     match report.write_json(out) {
         Ok(()) => println!("wrote {}", out.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", out.display()),
-    }
-    if let Some(name) = out.file_name() {
-        let root_copy = Path::new(name);
-        if root_copy != out {
-            match report.write_json(root_copy) {
-                Ok(()) => println!("wrote {}", root_copy.display()),
-                Err(e) => eprintln!("warning: cannot write {}: {e}", root_copy.display()),
-            }
-        }
     }
 }

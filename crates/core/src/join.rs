@@ -133,9 +133,60 @@ struct Edge {
 /// Returns `(t_id, q_id, distance)` triples sorted lexicographically, plus
 /// execution statistics.
 ///
+/// When either table carries unmerged deltas, the base-index join is
+/// overlaid: pairs with a tombstoned side are dropped, and each delta-side
+/// row is joined via a broadcast [`crate::search`] against the opposite
+/// table (whose own overlay handles its tombstones and deltas). Distances
+/// are byte-identical to a join over from-scratch rebuilds because every
+/// supported distance function is exactly symmetric in IEEE arithmetic.
+/// [`JoinStats`] reflects the base-index pass; delta-side probes account
+/// their work through the search metrics.
+///
 /// # Panics
 /// Panics if the two systems live on clusters of different sizes.
 pub fn join(
+    t_sys: &DitaSystem,
+    q_sys: &DitaSystem,
+    tau: f64,
+    func: &DistanceFunction,
+    opts: &JoinOptions,
+) -> (Vec<(TrajectoryId, TrajectoryId, f64)>, JoinStats) {
+    let (pairs, mut stats) = join_base(t_sys, q_sys, tau, func, opts);
+    let td = t_sys.deltas();
+    let qd = q_sys.deltas();
+    if (!td.has_deltas() && !qd.has_deltas()) || tau < 0.0 {
+        return (pairs, stats);
+    }
+    let _span = t_sys.obs().span("join-delta-overlay");
+    let mut merged: std::collections::BTreeMap<(TrajectoryId, TrajectoryId), f64> = pairs
+        .into_iter()
+        .filter(|&(t, q, _)| !td.is_base_dead(t) && !qd.is_base_dead(q))
+        .map(|(t, q, d)| ((t, q), d))
+        .collect();
+    // Delta rows on the T side probe the whole Q table, and vice versa; a
+    // delta×delta pair is found by both loops with the exact same distance
+    // (symmetry), so the map insert is idempotent.
+    t_sys.for_each_delta_live(|t| {
+        let (hits, _) = crate::search::search(q_sys, t.points(), tau, func);
+        for (qid, d) in hits {
+            merged.insert((t.id, qid), d);
+        }
+    });
+    q_sys.for_each_delta_live(|q| {
+        let (hits, _) = crate::search::search(t_sys, q.points(), tau, func);
+        for (tid, d) in hits {
+            merged.insert((tid, q.id), d);
+        }
+    });
+    let results: Vec<(TrajectoryId, TrajectoryId, f64)> =
+        merged.into_iter().map(|((t, q), d)| (t, q, d)).collect();
+    stats.results = results.len();
+    (results, stats)
+}
+
+/// The base-index join: the four-stage pipeline over the frozen tries,
+/// blind to delta state.
+fn join_base(
     t_sys: &DitaSystem,
     q_sys: &DitaSystem,
     tau: f64,

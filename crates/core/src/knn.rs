@@ -107,14 +107,12 @@ pub fn knn_join(
     func: &DistanceFunction,
 ) -> Vec<(TrajectoryId, TrajectoryId, f64)> {
     let mut out = Vec::new();
-    for pid in 0..q_sys.num_partitions() {
-        let trie = q_sys.trie(pid);
-        for i in 0..trie.len() as u32 {
-            let q = &trie.get(i).traj;
-            let (hits, _) = knn_search(t_sys, q.points(), k, func);
-            out.extend(hits.into_iter().map(|(tid, d)| (q.id, tid, d)));
-        }
-    }
+    // Iterate the *live* view of the outer table so tombstoned rows drop
+    // out and delta inserts join in without a compaction.
+    q_sys.for_each_live(|q| {
+        let (hits, _) = knn_search(t_sys, q.points(), k, func);
+        out.extend(hits.into_iter().map(|(tid, d)| (q.id, tid, d)));
+    });
     out.sort_by_key(|a| (a.0, a.1));
     out
 }

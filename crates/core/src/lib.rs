@@ -16,15 +16,21 @@
 //!   rayon-parallel within each worker task.
 //! * [`knn`] — k-nearest-neighbor search and join (the paper's §8 future
 //!   work), by exact radius expansion over the threshold machinery.
+//! * [`ingest`] — the online write path: inserts/deletes land in
+//!   per-partition deltas (`dita-ingest`), queries overlay base + deltas
+//!   with tombstone suppression, and compaction folds deltas back into
+//!   rebuilt base tries.
 
 #![warn(missing_docs)]
 
+pub mod ingest;
 pub mod join;
 pub mod knn;
 pub mod search;
 pub mod system;
 pub mod verify;
 
+pub use dita_ingest::{CompactionPolicy, IngestStats};
 pub use join::{join, BalanceStrategy, JoinOptions, JoinStats};
 pub use knn::{knn_join, knn_search, KnnStats};
 pub use search::{

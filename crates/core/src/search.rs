@@ -23,6 +23,12 @@ pub struct SearchStats {
     pub results: usize,
     /// Aggregated trie filter funnel (nodes visited/pruned, leaf checks).
     pub filter: FilterStats,
+    /// Candidates produced by the delta overlay: live segment-trie
+    /// candidates plus exact-checked unflushed tail entries. Zero on a
+    /// clean (fully compacted) table.
+    pub delta_candidates: usize,
+    /// Aggregated delta-segment filter funnel.
+    pub delta_filter: FilterStats,
     /// Cluster-level execution statistics.
     pub job: JobStats,
 }
@@ -146,6 +152,58 @@ pub fn search_with_options(
         filter.merge(&fs);
         results.extend(hits);
     }
+
+    // Delta overlay (driver-side): suppress tombstoned base hits, then add
+    // matches from the flushed delta segments and the unflushed tails. The
+    // segment path reuses the exact trie filter + verify kernels; tail
+    // entries are exact-checked one by one (the compaction policy keeps
+    // them few). Nothing here runs when the table is clean, so a compacted
+    // table searches byte-for-byte like a freshly built one.
+    let deltas = system.deltas();
+    let mut delta_candidates = 0usize;
+    let mut delta_filter = FilterStats::default();
+    let mut tail_checked = 0u64;
+    let mut tail_hits = 0u64;
+    if deltas.has_deltas() {
+        let _dspan = dita_obs::span!(obs, "delta-overlay");
+        results.retain(|&(id, _)| !deltas.is_base_dead(id));
+        let mode = func.index_mode();
+        for pid in deltas.seg_relevant(&q[0], &q[q.len() - 1], q.len(), tau, mode) {
+            let seg = deltas
+                .part(pid)
+                .seg
+                .as_ref()
+                .expect("segment-relevant partition has a segment");
+            let (cands, fs) = seg.trie.candidates_with_stats(q_ctx.points(), tau, func);
+            delta_filter.merge(&fs);
+            let cands: Vec<u32> = cands
+                .into_iter()
+                .filter(|&c| !seg.dead.contains(&seg.trie.get(c).traj.id))
+                .collect();
+            delta_candidates += cands.len();
+            results.extend(verify_candidates(
+                &seg.trie,
+                &cands,
+                q_ctx,
+                tau,
+                func,
+                verify_threads,
+            ));
+        }
+        let mut scratch = dita_distance::kernel::Scratch::default();
+        for part in deltas.parts() {
+            for it in part.tail.values() {
+                tail_checked += 1;
+                if let Some(d) =
+                    crate::verify::verify_pair_soa(it, q_ctx, tau, func, &mut scratch)
+                {
+                    tail_hits += 1;
+                    results.push((it.traj.id, d));
+                }
+            }
+        }
+        delta_candidates += tail_checked as usize;
+    }
     results.sort_by_key(|&(id, _)| id);
 
     if obs.is_enabled() {
@@ -153,6 +211,11 @@ pub fn search_with_options(
         obs.counter("dita_search_queries_total").inc();
         obs.counter("dita_search_candidates_total").add(candidates as u64);
         obs.counter("dita_search_results_total").add(results.len() as u64);
+        if deltas.has_deltas() {
+            let mut funnel = delta_funnel(&delta_filter);
+            funnel.push_stage("tail-exact", tail_checked, tail_checked - tail_hits);
+            funnel.record(obs);
+        }
     }
 
     let stats = SearchStats {
@@ -160,9 +223,39 @@ pub fn search_with_options(
         candidates,
         results: results.len(),
         filter,
+        delta_candidates,
+        delta_filter,
         job,
     };
     (results, stats)
+}
+
+/// The delta-side mirror of [`FilterStats::funnel`]: identical stage math,
+/// recorded under its own name so the base and delta funnels stay
+/// distinguishable in the registry.
+fn delta_funnel(fs: &FilterStats) -> dita_obs::Funnel {
+    let mut f = dita_obs::Funnel::new("delta-filter");
+    f.push_stage(
+        "node-length",
+        fs.nodes_visited as u64,
+        fs.nodes_pruned_length as u64,
+    );
+    f.push_stage(
+        "node-budget",
+        (fs.nodes_visited - fs.nodes_pruned_length) as u64,
+        fs.nodes_pruned_budget as u64,
+    );
+    f.push_stage(
+        "leaf-length",
+        fs.members_checked as u64,
+        fs.members_pruned_length as u64,
+    );
+    f.push_stage(
+        "leaf-opamd",
+        (fs.members_checked - fs.members_pruned_length) as u64,
+        fs.members_pruned_opamd as u64,
+    );
+    f
 }
 
 #[cfg(test)]

@@ -2,7 +2,9 @@
 
 use dita_cluster::{charge_compute, Cluster, TaskSpec};
 use dita_index::{str_partitioning_par, GlobalIndex, Partitioning, TrieConfig, TrieIndex};
-use dita_trajectory::{Dataset, Trajectory};
+use dita_ingest::{CompactionPolicy, DeltaSet};
+use dita_trajectory::{Dataset, Trajectory, TrajectoryId};
+use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Top-level DITA configuration: the paper's tunables of Table 3.
@@ -42,16 +44,20 @@ pub struct BuildStats {
 /// table is STR-partitioned by endpoints, a global index is built on the
 /// driver, and each partition's trie index is built on its worker.
 pub struct DitaSystem {
-    name: String,
-    config: DitaConfig,
-    cluster: Cluster,
-    partitioning: Partitioning,
-    global: GlobalIndex,
+    pub(crate) name: String,
+    pub(crate) config: DitaConfig,
+    pub(crate) cluster: Cluster,
+    pub(crate) partitioning: Partitioning,
+    pub(crate) global: GlobalIndex,
     /// One trie per partition, indexed by partition id.
-    tries: Vec<TrieIndex>,
+    pub(crate) tries: Vec<TrieIndex>,
     /// Worker hosting each partition.
-    placement: Vec<usize>,
-    build_stats: BuildStats,
+    pub(crate) placement: Vec<usize>,
+    pub(crate) build_stats: BuildStats,
+    /// Mutable LSM-style delta state layered over the frozen base tries.
+    pub(crate) deltas: DeltaSet,
+    /// When the write path folds deltas back into the base index.
+    pub(crate) ingest_policy: CompactionPolicy,
 }
 
 impl DitaSystem {
@@ -117,6 +123,7 @@ impl DitaSystem {
         let total_size_bytes =
             global_size_bytes + tries.iter().map(TrieIndex::size_bytes).sum::<usize>();
 
+        let deltas = DeltaSet::new(tries.len(), Self::base_home(&tries), config.trie);
         DitaSystem {
             name: dataset.name.clone(),
             config,
@@ -131,7 +138,20 @@ impl DitaSystem {
                 local_size_bytes,
                 total_size_bytes,
             },
+            deltas,
+            ingest_policy: CompactionPolicy::default(),
         }
+    }
+
+    /// Base-residency map: the partition of every id stored in a base trie.
+    pub(crate) fn base_home(tries: &[TrieIndex]) -> BTreeMap<TrajectoryId, usize> {
+        let mut home = BTreeMap::new();
+        for (pid, trie) in tries.iter().enumerate() {
+            for it in trie.data() {
+                home.insert(it.traj.id, pid);
+            }
+        }
+        home
     }
 
     /// Table name (the dataset it was built from).
@@ -189,9 +209,17 @@ impl DitaSystem {
         self.placement[partition]
     }
 
-    /// Total number of indexed trajectories.
+    /// Number of live trajectories: base members minus tombstones plus
+    /// delta inserts.
     pub fn len(&self) -> usize {
-        self.tries.iter().map(TrieIndex::len).sum()
+        self.tries.iter().map(TrieIndex::len).sum::<usize>() - self.deltas.tombstones()
+            + self.deltas.delta_live()
+    }
+
+    /// The delta state (unflushed tails, flushed segments, tombstones)
+    /// layered over the base tries. See [`crate::ingest`].
+    pub fn deltas(&self) -> &DeltaSet {
+        &self.deltas
     }
 
     /// `true` when the table is empty.
@@ -208,6 +236,11 @@ impl DitaSystem {
     /// tries) to a writer as JSON. The cluster binding, placement and build
     /// statistics are runtime state and are re-derived at load.
     pub fn save_index<W: std::io::Write>(&self, w: W) -> std::io::Result<()> {
+        if self.deltas.has_deltas() {
+            return Err(std::io::Error::other(
+                "index has unmerged deltas; call compact() before save_index",
+            ));
+        }
         let snapshot = IndexSnapshot {
             name: self.name.clone(),
             config: self.config,
@@ -231,6 +264,11 @@ impl DitaSystem {
         let local_size_bytes = snapshot.tries.iter().map(TrieIndex::index_size_bytes).sum();
         let total_size_bytes = global_size_bytes
             + snapshot.tries.iter().map(TrieIndex::size_bytes).sum::<usize>();
+        let deltas = DeltaSet::new(
+            snapshot.tries.len(),
+            Self::base_home(&snapshot.tries),
+            snapshot.config.trie,
+        );
         Ok(DitaSystem {
             name: snapshot.name,
             config: snapshot.config,
@@ -245,6 +283,8 @@ impl DitaSystem {
                 local_size_bytes,
                 total_size_bytes,
             },
+            deltas,
+            ingest_policy: CompactionPolicy::default(),
         })
     }
 }

@@ -1,0 +1,552 @@
+//! Per-partition delta state: unflushed tails, flushed mini delta-tries,
+//! tombstones, and the bookkeeping that keeps every id single-homed.
+
+use crate::policy::IngestStats;
+use dita_distance::function::IndexMode;
+use dita_index::{GlobalIndex, IndexedTrajectory, Partition, Partitioning, TrieConfig, TrieIndex};
+use dita_trajectory::{Mbr, Point, Trajectory, TrajectoryId};
+use std::collections::{BTreeMap, BTreeSet};
+use std::time::Duration;
+
+/// Bytes charged to the network model for shipping one tombstone marker
+/// (a bare trajectory id).
+pub const TOMBSTONE_BYTES: u64 = std::mem::size_of::<TrajectoryId>() as u64;
+
+/// A flushed delta run: a mini trie over the partition's flushed inserts,
+/// plus the dead-set of entries superseded since the flush.
+#[derive(Debug)]
+pub struct DeltaSegment {
+    /// Mini trie over the flushed delta inserts (same `TrieConfig` as the
+    /// base trie, so filter semantics are identical).
+    pub trie: TrieIndex,
+    /// Segment entries deleted or overwritten after the flush. Hits from
+    /// `trie` with an id in here are suppressed at query time.
+    pub dead: BTreeSet<TrajectoryId>,
+    /// MBR of the flushed members' first points (superset of live).
+    pub mbr_first: Mbr,
+    /// MBR of the flushed members' last points (superset of live).
+    pub mbr_last: Mbr,
+    /// Shortest flushed member (lower bound over live members).
+    pub min_len: usize,
+    /// Longest flushed member (upper bound over live members).
+    pub max_len: usize,
+}
+
+impl DeltaSegment {
+    /// Builds a segment over `members` (must be non-empty), returning the
+    /// helper-CPU time of the trie build for cost charge-back.
+    pub fn build(members: Vec<Trajectory>, config: TrieConfig) -> (Self, Duration) {
+        assert!(!members.is_empty(), "a delta segment needs members");
+        let mbr_first = Mbr::from_points(members.iter().map(|t| t.first()));
+        let mbr_last = Mbr::from_points(members.iter().map(|t| t.last()));
+        let min_len = members.iter().map(Trajectory::len).min().unwrap();
+        let max_len = members.iter().map(Trajectory::len).max().unwrap();
+        let (trie, helper_cpu) = TrieIndex::build_timed(members, config);
+        (
+            DeltaSegment {
+                trie,
+                dead: BTreeSet::new(),
+                mbr_first,
+                mbr_last,
+                min_len,
+                max_len,
+            },
+            helper_cpu,
+        )
+    }
+
+    /// Live (not superseded) flushed members.
+    pub fn live(&self) -> impl Iterator<Item = &Trajectory> {
+        self.trie
+            .data()
+            .iter()
+            .map(|it| &it.traj)
+            .filter(move |t| !self.dead.contains(&t.id))
+    }
+
+    /// Number of live flushed members.
+    pub fn live_count(&self) -> usize {
+        self.trie.len() - self.dead.len()
+    }
+}
+
+/// Delta state of one partition.
+#[derive(Debug, Default)]
+pub struct PartitionDelta {
+    /// Unflushed live inserts, keyed by id (the memtable). Entries carry
+    /// their full clustered-index artifacts so query-time verification
+    /// runs through the exact same kernel path as base members.
+    pub tail: BTreeMap<TrajectoryId, IndexedTrajectory>,
+    /// The flushed delta run, if any.
+    pub seg: Option<DeltaSegment>,
+    /// Tombstone markers (base or segment dead-set entries) not yet
+    /// shipped to the partition's worker.
+    pub pending_tombstones: u64,
+    /// `true` once any operation has touched this partition since the
+    /// last compaction — compaction rebuilds exactly the dirty partitions.
+    pub dirty: bool,
+}
+
+impl PartitionDelta {
+    /// Live delta members (tail + segment).
+    pub fn live_count(&self) -> usize {
+        self.tail.len() + self.seg.as_ref().map_or(0, DeltaSegment::live_count)
+    }
+
+    /// Bytes of unflushed tail data (what the next flush ships).
+    pub fn tail_bytes(&self) -> u64 {
+        self.tail.values().map(|it| it.traj.size_bytes() as u64).sum()
+    }
+}
+
+/// One partition's share of a flush: the bytes to ship to its worker and,
+/// when the tail was non-empty, the member set for the rebuilt segment.
+#[derive(Debug, Clone)]
+pub struct FlushJob {
+    /// Partition id.
+    pub pid: usize,
+    /// Unflushed tail bytes plus pending tombstone markers.
+    pub ship_bytes: u64,
+    /// Members of the segment to (re)build — previous live segment entries
+    /// plus the drained tail, sorted by id. `None` when only tombstones
+    /// need shipping.
+    pub members: Option<Vec<Trajectory>>,
+}
+
+/// The mutable side of an indexed table: every partition's delta plus the
+/// id-residency maps that keep writes single-homed.
+#[derive(Debug)]
+pub struct DeltaSet {
+    parts: Vec<PartitionDelta>,
+    /// Base-trie ids logically deleted or overwritten.
+    base_dead: BTreeSet<TrajectoryId>,
+    /// Partition of every id stored in a base trie (frozen between
+    /// compactions).
+    base_home: BTreeMap<TrajectoryId, usize>,
+    /// Partition of every *live* delta insert.
+    delta_home: BTreeMap<TrajectoryId, usize>,
+    /// Trie configuration used for tails and segments (the base config).
+    config: TrieConfig,
+    /// Driver-side pruning index over the flushed segments; rebuilt on
+    /// flush/compact. `pids[i]` maps synthetic partition `i` back to the
+    /// real partition id.
+    seg_global: Option<(GlobalIndex, Vec<usize>)>,
+    ops_since_compact: u64,
+    stats: IngestStats,
+}
+
+impl DeltaSet {
+    /// Fresh, empty delta state over `num_partitions` partitions whose base
+    /// tries hold the ids in `base_home`.
+    pub fn new(
+        num_partitions: usize,
+        base_home: BTreeMap<TrajectoryId, usize>,
+        config: TrieConfig,
+    ) -> Self {
+        DeltaSet {
+            parts: (0..num_partitions).map(|_| PartitionDelta::default()).collect(),
+            base_dead: BTreeSet::new(),
+            base_home,
+            delta_home: BTreeMap::new(),
+            config,
+            seg_global: None,
+            ops_since_compact: 0,
+            stats: IngestStats::default(),
+        }
+    }
+
+    /// Deterministic insert routing: the partition whose endpoint MBRs are
+    /// jointly closest to the trajectory's first/last points (the same
+    /// geometry STR used to form the partitions), lowest id on ties.
+    pub fn route(partitioning: &Partitioning, t: &Trajectory) -> usize {
+        assert!(
+            !partitioning.partitions.is_empty(),
+            "cannot route into an empty partitioning"
+        );
+        let (first, last) = (t.first(), t.last());
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for p in &partitioning.partitions {
+            let d = p.mbr_first.min_dist_point(first) + p.mbr_last.min_dist_point(last);
+            if d < best_d {
+                best_d = d;
+                best = p.id;
+            }
+        }
+        best
+    }
+
+    /// Applies an insert routed to `pid`. Returns `true` when the id
+    /// overwrote an existing live trajectory (upsert semantics).
+    pub fn insert(&mut self, t: Trajectory, pid: usize) -> bool {
+        let replaced = self.unlink(t.id);
+        let it = IndexedTrajectory::new(t, self.config.k, self.config.strategy, self.config.cell_side);
+        let id = it.traj.id;
+        self.parts[pid].tail.insert(id, it);
+        self.parts[pid].dirty = true;
+        self.delta_home.insert(id, pid);
+        self.ops_since_compact += 1;
+        self.stats.inserts += 1;
+        replaced
+    }
+
+    /// Applies a delete. Returns `true` when a live trajectory was removed.
+    pub fn delete(&mut self, id: TrajectoryId) -> bool {
+        let existed = self.unlink(id);
+        if existed {
+            self.ops_since_compact += 1;
+            self.stats.deletes += 1;
+        }
+        existed
+    }
+
+    /// Removes the live copy of `id`, wherever it resides. Returns whether
+    /// one existed.
+    fn unlink(&mut self, id: TrajectoryId) -> bool {
+        if let Some(pid) = self.delta_home.remove(&id) {
+            let part = &mut self.parts[pid];
+            if part.tail.remove(&id).is_none() {
+                // Not in the tail, so it must be live in the segment.
+                let seg = part.seg.as_mut().expect("delta-homed id without tail or segment");
+                let fresh = seg.dead.insert(id);
+                debug_assert!(fresh, "segment dead-set already held a live id");
+                part.pending_tombstones += 1;
+            }
+            part.dirty = true;
+            true
+        } else if let Some(&pid) = self.base_home.get(&id) {
+            if self.base_dead.insert(id) {
+                self.parts[pid].pending_tombstones += 1;
+                self.parts[pid].dirty = true;
+                true
+            } else {
+                false
+            }
+        } else {
+            false
+        }
+    }
+
+    /// `true` when any partition holds unmerged delta state.
+    pub fn has_deltas(&self) -> bool {
+        self.parts.iter().any(|p| p.dirty)
+    }
+
+    /// Total live delta inserts across partitions.
+    pub fn delta_live(&self) -> usize {
+        self.delta_home.len()
+    }
+
+    /// Base-trie tombstone count.
+    pub fn tombstones(&self) -> usize {
+        self.base_dead.len()
+    }
+
+    /// `true` when `id`'s base copy is tombstoned.
+    pub fn is_base_dead(&self, id: TrajectoryId) -> bool {
+        self.base_dead.contains(&id)
+    }
+
+    /// The base tombstone set.
+    pub fn base_dead(&self) -> &BTreeSet<TrajectoryId> {
+        &self.base_dead
+    }
+
+    /// `true` when `id` has a live copy (base or delta).
+    pub fn contains(&self, id: TrajectoryId) -> bool {
+        self.delta_home.contains_key(&id)
+            || (self.base_home.contains_key(&id) && !self.base_dead.contains(&id))
+    }
+
+    /// One partition's delta.
+    pub fn part(&self, pid: usize) -> &PartitionDelta {
+        &self.parts[pid]
+    }
+
+    /// All partition deltas, in partition-id order.
+    pub fn parts(&self) -> &[PartitionDelta] {
+        &self.parts
+    }
+
+    /// Operations applied since the last compaction.
+    pub fn ops_since_compact(&self) -> u64 {
+        self.ops_since_compact
+    }
+
+    /// Ingestion counters.
+    pub fn stats(&self) -> &IngestStats {
+        &self.stats
+    }
+
+    /// Mutable ingestion counters (flush/compaction bookkeeping lives in
+    /// `dita-core`, which executes those phases).
+    pub fn stats_mut(&mut self) -> &mut IngestStats {
+        &mut self.stats
+    }
+
+    /// Plans a flush: drains every non-empty tail (and pending tombstone
+    /// counter) into per-partition jobs. The caller builds each job's
+    /// segment — on the partition's worker, charging `ship_bytes` — and
+    /// hands it back through [`DeltaSet::install_segment`].
+    pub fn plan_flush(&mut self) -> Vec<FlushJob> {
+        let mut jobs = Vec::new();
+        for (pid, part) in self.parts.iter_mut().enumerate() {
+            let seg_dead = part.seg.as_ref().is_some_and(|s| !s.dead.is_empty());
+            if part.tail.is_empty() && part.pending_tombstones == 0 && !seg_dead {
+                continue;
+            }
+            let ship_bytes = part.tail_bytes() + TOMBSTONE_BYTES * part.pending_tombstones;
+            part.pending_tombstones = 0;
+            let members = if part.tail.is_empty() && !seg_dead {
+                // Only base tombstones to ship; the segment is untouched.
+                None
+            } else {
+                let mut members: Vec<Trajectory> = part
+                    .seg
+                    .as_ref()
+                    .map(|seg| seg.live().cloned().collect())
+                    .unwrap_or_default();
+                members.extend(std::mem::take(&mut part.tail).into_values().map(|it| it.traj));
+                members.sort_by_key(|t| t.id);
+                if members.is_empty() {
+                    // Every flushed member died since the last run: drop the
+                    // segment outright rather than rebuild an empty trie.
+                    part.seg = None;
+                    None
+                } else {
+                    Some(members)
+                }
+            };
+            jobs.push(FlushJob { pid, ship_bytes, members });
+        }
+        jobs
+    }
+
+    /// Installs a freshly built segment for `pid`, replacing any previous
+    /// one (whose live members the new segment absorbed).
+    pub fn install_segment(&mut self, pid: usize, seg: DeltaSegment) {
+        self.parts[pid].seg = Some(seg);
+    }
+
+    /// Rebuilds the driver-side pruning index over the flushed segments.
+    /// Call after a round of [`DeltaSet::install_segment`].
+    pub fn rebuild_seg_global(&mut self) {
+        let mut pids = Vec::new();
+        let mut partitions = Vec::new();
+        for (pid, part) in self.parts.iter().enumerate() {
+            let Some(seg) = &part.seg else { continue };
+            if seg.live_count() == 0 {
+                continue;
+            }
+            partitions.push(Partition {
+                id: partitions.len(),
+                members: Vec::new(),
+                mbr_first: seg.mbr_first,
+                mbr_last: seg.mbr_last,
+                min_len: seg.min_len,
+                max_len: seg.max_len,
+            });
+            pids.push(pid);
+        }
+        self.seg_global = if pids.is_empty() {
+            None
+        } else {
+            Some((GlobalIndex::build(&Partitioning { partitions }), pids))
+        };
+    }
+
+    /// Partitions whose segment may contain query matches — the delta-side
+    /// mirror of `GlobalIndex::relevant_partitions`, with identical budget
+    /// semantics. Sorted by partition id.
+    pub fn seg_relevant(
+        &self,
+        first: &Point,
+        last: &Point,
+        query_len: usize,
+        tau: f64,
+        mode: IndexMode,
+    ) -> Vec<usize> {
+        let Some((global, pids)) = &self.seg_global else {
+            return Vec::new();
+        };
+        let mut out: Vec<usize> = global
+            .relevant_partitions(first, last, query_len, tau, mode)
+            .into_iter()
+            .map(|i| pids[i])
+            .collect();
+        out.sort_unstable();
+        out
+    }
+
+    /// Partitions needing a rebuild at compaction time.
+    pub fn dirty_partitions(&self) -> Vec<usize> {
+        (0..self.parts.len()).filter(|&i| self.parts[i].dirty).collect()
+    }
+
+    /// Live delta members of `pid` (segment + tail) and the not-yet-shipped
+    /// bytes the compaction task must charge, consumed at compaction time.
+    pub fn drain_for_compact(&mut self, pid: usize) -> (Vec<Trajectory>, u64) {
+        let part = &mut self.parts[pid];
+        let ship_bytes = part.tail_bytes() + TOMBSTONE_BYTES * part.pending_tombstones;
+        let mut members: Vec<Trajectory> = part
+            .seg
+            .as_ref()
+            .map(|seg| seg.live().cloned().collect())
+            .unwrap_or_default();
+        members.extend(std::mem::take(&mut part.tail).into_values().map(|it| it.traj));
+        (members, ship_bytes)
+    }
+
+    /// Resets to a clean post-compaction state over a (possibly new)
+    /// partition count and base residency map. Counters survive.
+    pub fn reset_after_compact(
+        &mut self,
+        num_partitions: usize,
+        base_home: BTreeMap<TrajectoryId, usize>,
+    ) {
+        let stats = self.stats;
+        *self = DeltaSet::new(num_partitions, base_home, self.config);
+        self.stats = stats;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dita_index::PivotStrategy;
+    use dita_trajectory::Point;
+
+    fn cfg() -> TrieConfig {
+        TrieConfig {
+            k: 2,
+            nl: 2,
+            leaf_capacity: 0,
+            strategy: PivotStrategy::NeighborDistance,
+            cell_side: 2.0,
+            ..TrieConfig::default()
+        }
+    }
+
+    fn traj(id: TrajectoryId, x: f64) -> Trajectory {
+        Trajectory::from_coords(id, &[(x, 0.0), (x + 1.0, 1.0)])
+    }
+
+    fn two_part() -> Partitioning {
+        let mk = |id: usize, x: f64| Partition {
+            id,
+            members: Vec::new(),
+            mbr_first: Mbr::from_point(Point::new(x, 0.0)),
+            mbr_last: Mbr::from_point(Point::new(x + 1.0, 1.0)),
+            min_len: 2,
+            max_len: 2,
+        };
+        Partitioning {
+            partitions: vec![mk(0, 0.0), mk(1, 10.0)],
+        }
+    }
+
+    #[test]
+    fn routing_is_nearest_partition_lowest_id_on_tie() {
+        let p = two_part();
+        assert_eq!(DeltaSet::route(&p, &traj(1, 0.1)), 0);
+        assert_eq!(DeltaSet::route(&p, &traj(2, 9.9)), 1);
+        // Exactly between the two tiles: lowest id wins.
+        assert_eq!(DeltaSet::route(&p, &traj(3, 5.0)), 0);
+    }
+
+    #[test]
+    fn upsert_shadows_base_then_tail_wins() {
+        let mut base_home = BTreeMap::new();
+        base_home.insert(7, 1usize);
+        let mut d = DeltaSet::new(2, base_home, cfg());
+        assert!(d.contains(7));
+        // Overwrite a base id: base copy tombstoned, tail copy live.
+        assert!(d.insert(traj(7, 3.0), 0));
+        assert!(d.is_base_dead(7));
+        assert!(d.contains(7));
+        assert_eq!(d.delta_live(), 1);
+        // Overwrite again: still exactly one live copy.
+        assert!(d.insert(traj(7, 4.0), 0));
+        assert_eq!(d.delta_live(), 1);
+        // Delete removes it everywhere.
+        assert!(d.delete(7));
+        assert!(!d.contains(7));
+        assert!(!d.delete(7));
+    }
+
+    #[test]
+    fn flush_drains_tails_and_prices_shipment() {
+        let mut d = DeltaSet::new(2, BTreeMap::new(), cfg());
+        d.insert(traj(1, 0.0), 0);
+        d.insert(traj(2, 0.5), 0);
+        let t_bytes: u64 = 2 * traj(1, 0.0).size_bytes() as u64;
+        let jobs = d.plan_flush();
+        assert_eq!(jobs.len(), 1);
+        assert_eq!(jobs[0].pid, 0);
+        assert_eq!(jobs[0].ship_bytes, t_bytes);
+        let members = jobs[0].members.as_ref().unwrap();
+        assert_eq!(members.iter().map(|t| t.id).collect::<Vec<_>>(), vec![1, 2]);
+        // Simulate the build and install; tail is gone, segment is live.
+        let (seg, _) = DeltaSegment::build(jobs.into_iter().next().unwrap().members.unwrap(), cfg());
+        d.install_segment(0, seg);
+        d.rebuild_seg_global();
+        assert_eq!(d.part(0).tail.len(), 0);
+        assert_eq!(d.delta_live(), 2);
+        assert_eq!(d.part(0).seg.as_ref().unwrap().live_count(), 2);
+        // Deleting a flushed id marks the segment dead-set and queues a
+        // tombstone shipment.
+        assert!(d.delete(1));
+        assert_eq!(d.part(0).seg.as_ref().unwrap().live_count(), 1);
+        let jobs = d.plan_flush();
+        assert_eq!(jobs[0].ship_bytes, TOMBSTONE_BYTES);
+        assert!(jobs[0].members.is_some()); // re-flush folds the dead entry out
+    }
+
+    #[test]
+    fn seg_relevance_maps_back_to_partition_ids() {
+        let mut d = DeltaSet::new(3, BTreeMap::new(), cfg());
+        d.insert(traj(1, 20.0), 2);
+        for job in d.plan_flush() {
+            let (seg, _) = DeltaSegment::build(job.members.unwrap(), cfg());
+            d.install_segment(job.pid, seg);
+        }
+        d.rebuild_seg_global();
+        let hits = d.seg_relevant(
+            &Point::new(20.0, 0.0),
+            &Point::new(21.0, 1.0),
+            2,
+            0.5,
+            IndexMode::Additive,
+        );
+        assert_eq!(hits, vec![2]);
+        let misses = d.seg_relevant(
+            &Point::new(-50.0, 0.0),
+            &Point::new(-49.0, 1.0),
+            2,
+            0.5,
+            IndexMode::Additive,
+        );
+        assert!(misses.is_empty());
+    }
+
+    #[test]
+    fn compact_drain_resets_state() {
+        let mut base_home = BTreeMap::new();
+        base_home.insert(9, 0usize);
+        let mut d = DeltaSet::new(1, base_home, cfg());
+        d.insert(traj(1, 0.0), 0);
+        d.delete(9);
+        assert!(d.has_deltas());
+        assert_eq!(d.dirty_partitions(), vec![0]);
+        let (members, bytes) = d.drain_for_compact(0);
+        assert_eq!(members.iter().map(|t| t.id).collect::<Vec<_>>(), vec![1]);
+        assert_eq!(bytes, traj(1, 0.0).size_bytes() as u64 + TOMBSTONE_BYTES);
+        let mut home = BTreeMap::new();
+        home.insert(1u64, 0usize);
+        d.reset_after_compact(1, home);
+        assert!(!d.has_deltas());
+        assert_eq!(d.stats().inserts, 1);
+        assert!(d.contains(1));
+        assert!(!d.contains(9));
+    }
+}

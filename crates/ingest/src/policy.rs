@@ -1,0 +1,107 @@
+//! Compaction triggers and ingestion counters.
+
+/// When the background merge folds deltas into the base index.
+///
+/// Compaction is triggered by whichever bound trips first: the live delta
+/// (inserts + tombstones) growing past `max_delta_ratio` of the logical
+/// table, or the raw operation count since the last compaction reaching
+/// `max_delta_ops`. After folding, a full STR repartition runs only when
+/// the per-partition size skew (max/avg member count) exceeds
+/// `skew_threshold` — i.e. when the first/last-point distribution has
+/// drifted enough that the original tiling no longer balances.
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct CompactionPolicy {
+    /// Fold deltas once `(delta inserts + tombstones) / logical size`
+    /// exceeds this. `0.0` compacts after every operation; an infinite
+    /// value disables the ratio trigger.
+    pub max_delta_ratio: f64,
+    /// Fold deltas once this many insert/delete operations have been
+    /// applied since the last compaction. `0` disables the ops trigger.
+    pub max_delta_ops: u64,
+    /// Re-run STR repartitioning after a fold when
+    /// [`dita_index::Partitioning::skew`] exceeds this.
+    pub skew_threshold: f64,
+    /// When `true` (the default), `insert`/`delete` transparently run the
+    /// fold as soon as a trigger trips — the "background" merge of an
+    /// LSM tree, made synchronous for determinism. When `false`, only
+    /// explicit `compact()` calls fold.
+    pub auto: bool,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            max_delta_ratio: 0.10,
+            max_delta_ops: 4096,
+            skew_threshold: 4.0,
+            auto: true,
+        }
+    }
+}
+
+impl CompactionPolicy {
+    /// `true` when the pending delta state warrants a fold.
+    pub fn should_compact(&self, delta_live: usize, tombstones: usize, logical_len: usize, ops: u64) -> bool {
+        if ops == 0 {
+            return false;
+        }
+        if self.max_delta_ops > 0 && ops >= self.max_delta_ops {
+            return true;
+        }
+        let pending = (delta_live + tombstones) as f64;
+        pending > self.max_delta_ratio * logical_len.max(1) as f64
+    }
+}
+
+/// Monotonic counters over the life of one ingestion state.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct IngestStats {
+    /// Insert operations applied (including overwrites).
+    pub inserts: u64,
+    /// Delete operations that removed a live trajectory.
+    pub deletes: u64,
+    /// Flushes that built or refreshed a delta segment.
+    pub flushes: u64,
+    /// Compactions that folded deltas into rebuilt base tries.
+    pub compactions: u64,
+    /// Compactions that escalated to a full STR repartition.
+    pub repartitions: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_trigger() {
+        let p = CompactionPolicy {
+            max_delta_ratio: 0.10,
+            max_delta_ops: 0,
+            ..CompactionPolicy::default()
+        };
+        assert!(!p.should_compact(0, 0, 100, 0));
+        assert!(!p.should_compact(10, 0, 100, 10)); // exactly 10% — not yet
+        assert!(p.should_compact(11, 0, 100, 11));
+        assert!(p.should_compact(6, 5, 100, 11)); // tombstones count too
+    }
+
+    #[test]
+    fn ops_trigger() {
+        let p = CompactionPolicy {
+            max_delta_ratio: f64::INFINITY,
+            max_delta_ops: 4,
+            ..CompactionPolicy::default()
+        };
+        assert!(!p.should_compact(3, 0, 10, 3));
+        assert!(p.should_compact(4, 0, 10, 4));
+    }
+
+    #[test]
+    fn no_ops_never_compacts() {
+        let p = CompactionPolicy {
+            max_delta_ratio: 0.0,
+            ..CompactionPolicy::default()
+        };
+        assert!(!p.should_compact(0, 0, 0, 0));
+    }
+}

@@ -70,6 +70,33 @@ pub struct ColdPathScaling {
     pub edges_weighed: usize,
 }
 
+/// One point of the incremental-vs-rebuild ingestion sweep.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IngestPoint {
+    /// Delta size as a fraction of the base table (`delta_rows / base_rows`).
+    pub delta_ratio: f64,
+    /// Rows inserted for this point.
+    pub delta_rows: usize,
+    /// Wall-clock seconds to apply the delta incrementally (inserts + flush).
+    pub incremental_secs: f64,
+    /// Wall-clock seconds to rebuild the index from scratch on base + delta.
+    pub rebuild_secs: f64,
+    /// `rebuild_secs / incremental_secs` (> 1 means incremental wins).
+    pub speedup: f64,
+}
+
+/// Incremental-ingestion vs from-scratch-rebuild timing section.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct IngestScaling {
+    /// Trajectories in the pre-built base table.
+    pub base_rows: usize,
+    /// One measurement per delta ratio, ascending.
+    pub points: Vec<IngestPoint>,
+    /// Largest measured delta ratio where incremental still beats rebuild,
+    /// or `0` when rebuild wins everywhere.
+    pub crossover_delta_ratio: f64,
+}
+
 /// The complete `results/BENCH_*.json` artifact shape.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BenchSmokeReport {
@@ -98,6 +125,10 @@ pub struct BenchSmokeReport {
     #[serde(default)]
     #[serde(skip_serializing_if = "Option::is_none")]
     pub cold_path: Option<ColdPathScaling>,
+    /// Optional incremental-ingestion section (absent in pre-PR4 artifacts).
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub ingest: Option<IngestScaling>,
 }
 
 impl BenchSmokeReport {
@@ -149,6 +180,7 @@ mod tests {
             note: "test".into(),
             search_profile: None,
             cold_path: None,
+            ingest: None,
         }
     }
 

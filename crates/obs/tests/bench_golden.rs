@@ -1,4 +1,4 @@
-//! Golden-file test: the checked-in smoke-benchmark artifact must
+//! Golden-file test: every checked-in smoke-benchmark artifact must
 //! deserialize into [`dita_obs::bench_report::BenchSmokeReport`] and
 //! survive a serialize→deserialize round trip unchanged.
 
@@ -6,25 +6,43 @@ use dita_obs::bench_report::BenchSmokeReport;
 use std::path::Path;
 
 #[test]
-fn json_golden_bench_artifact_round_trips() {
-    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/BENCH_PR1.json");
-    let raw = std::fs::read_to_string(&path)
-        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+fn json_golden_bench_artifacts_round_trip() {
+    let results = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    let mut checked = 0;
+    let mut entries: Vec<_> = std::fs::read_dir(&results)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", results.display()))
+        .map(|e| e.unwrap().path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if !name.starts_with("BENCH_PR") || !name.ends_with(".json") {
+            continue;
+        }
+        let raw = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
 
-    let report = BenchSmokeReport::from_json(&raw)
-        .unwrap_or_else(|e| panic!("{} does not match the schema: {e}", path.display()));
+        let report = BenchSmokeReport::from_json(&raw)
+            .unwrap_or_else(|e| panic!("{name} does not match the schema: {e}"));
 
-    assert!(
-        !report.kernels.is_empty(),
-        "artifact should carry kernel measurements"
-    );
-    assert!(report.verified_pairs_per_sec > 0.0);
-    assert!(report.host_cores >= 1);
-    assert!(
-        report.thread_scaling.iter().all(|p| p.threads >= 1),
-        "thread counts must be positive"
-    );
+        assert!(
+            !report.kernels.is_empty(),
+            "{name}: artifact should carry kernel measurements"
+        );
+        assert!(report.verified_pairs_per_sec > 0.0, "{name}");
+        assert!(report.host_cores >= 1, "{name}");
+        assert!(
+            report.thread_scaling.iter().all(|p| p.threads >= 1),
+            "{name}: thread counts must be positive"
+        );
+        if let Some(ingest) = &report.ingest {
+            assert!(ingest.base_rows > 0, "{name}");
+            assert!(!ingest.points.is_empty(), "{name}");
+        }
 
-    let round = BenchSmokeReport::from_json(&report.to_json_pretty().unwrap()).unwrap();
-    assert_eq!(report, round, "schema must round-trip losslessly");
+        let round = BenchSmokeReport::from_json(&report.to_json_pretty().unwrap()).unwrap();
+        assert_eq!(report, round, "{name}: schema must round-trip losslessly");
+        checked += 1;
+    }
+    assert!(checked >= 2, "expected BENCH_PR1 and successors, saw {checked}");
 }

@@ -81,6 +81,22 @@ pub enum Statement {
         /// The join predicate.
         predicate: SimilarityPredicate,
     },
+    /// `INSERT INTO t VALUES (id, TRAJECTORY((x, y), ...)), ...` — upsert
+    /// rows into a table (and its index, when one exists).
+    Insert {
+        /// The target table.
+        table: String,
+        /// `(id, points)` rows; an existing id is overwritten.
+        rows: Vec<(u64, Vec<(f64, f64)>)>,
+    },
+    /// `DELETE FROM t WHERE id = <id>` — delete one trajectory by id.
+    /// Bare `DELETE FROM t` (truncate) is intentionally not supported.
+    Delete {
+        /// The target table.
+        table: String,
+        /// The trajectory id to delete.
+        id: u64,
+    },
     /// `CREATE INDEX name ON t USE TRIE`.
     CreateIndex {
         /// Index name (informational).

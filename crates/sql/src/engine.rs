@@ -98,6 +98,12 @@ impl Engine {
             .ok_or_else(|| SqlError::UnknownTable { name: name.into() })
     }
 
+    fn entry_mut(&mut self, name: &str) -> Result<&mut TableEntry, SqlError> {
+        self.tables
+            .get_mut(&name.to_ascii_lowercase())
+            .ok_or_else(|| SqlError::UnknownTable { name: name.into() })
+    }
+
     /// Builds (or reuses) the trie index of a table and returns it.
     pub fn ensure_index(&mut self, name: &str) -> Result<&DitaSystem, SqlError> {
         let key = name.to_ascii_lowercase();
@@ -183,6 +189,56 @@ impl Engine {
                 let rsys = self.entry(&right)?.system.as_ref().expect("built");
                 let (pairs, _) = join(lsys, rsys, tau, &func, &JoinOptions::default());
                 Ok(QueryResult::JoinPairs(pairs))
+            }
+            PhysicalPlan::IngestInsert { table, rows } => {
+                for (_, pts) in &rows {
+                    if pts.iter().any(|p| !p.x.is_finite() || !p.y.is_finite()) {
+                        return Err(SqlError::Parse {
+                            message: "trajectory coordinates must be finite".into(),
+                        });
+                    }
+                }
+                let entry = self.entry_mut(&table)?;
+                let n = rows.len();
+                let name = entry.dataset.name.clone();
+                let mut trajectories = std::mem::replace(
+                    &mut entry.dataset,
+                    Dataset::new_unchecked(name.clone(), Vec::new()),
+                )
+                .into_trajectories();
+                for (id, pts) in rows {
+                    let t = Trajectory::new(id, pts);
+                    // Latest write wins, in the dataset mirror and the index.
+                    trajectories.retain(|x| x.id != id);
+                    trajectories.push(t.clone());
+                    if let Some(sys) = entry.system.as_mut() {
+                        sys.insert(t);
+                    }
+                }
+                trajectories.sort_by_key(|t| t.id);
+                entry.dataset = Dataset::new_unchecked(name, trajectories);
+                Ok(QueryResult::Ack(format!("inserted {n} row(s) into {table}")))
+            }
+            PhysicalPlan::IngestDelete { table, id } => {
+                let entry = self.entry_mut(&table)?;
+                let name = entry.dataset.name.clone();
+                let mut trajectories = std::mem::replace(
+                    &mut entry.dataset,
+                    Dataset::new_unchecked(name.clone(), Vec::new()),
+                )
+                .into_trajectories();
+                let before = trajectories.len();
+                trajectories.retain(|t| t.id != id);
+                let removed = before != trajectories.len();
+                entry.dataset = Dataset::new_unchecked(name, trajectories);
+                if let Some(sys) = entry.system.as_mut() {
+                    sys.delete(id);
+                }
+                Ok(QueryResult::Ack(if removed {
+                    format!("deleted id {id} from {table}")
+                } else {
+                    format!("id {id} not found in {table}")
+                }))
             }
             PhysicalPlan::BuildIndex { table } => {
                 self.ensure_index(&table)?;
@@ -359,6 +415,91 @@ mod tests {
     #[test]
     fn plain_select_returns_all_rows() {
         let mut e = engine();
+        match e.execute("SELECT * FROM taxi").unwrap() {
+            QueryResult::Rows(rows) => assert_eq!(rows.len(), 5),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_and_delete_flow_through_ingestion() {
+        let mut e = engine();
+        e.execute("CREATE INDEX i ON taxi USE TRIE").unwrap();
+        // Insert a new trajectory: visible to indexed search immediately.
+        e.execute("INSERT INTO taxi VALUES (9, TRAJECTORY((50, 50), (51, 51)))")
+            .unwrap();
+        match e
+            .execute("SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((50,50),(51,51))) <= 0")
+            .unwrap()
+        {
+            QueryResult::SearchHits(hits) => {
+                assert_eq!(hits.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![9]);
+            }
+            other => panic!("{other:?}"),
+        }
+        // The dataset mirror has it too (scan path).
+        match e.execute("SELECT * FROM taxi").unwrap() {
+            QueryResult::Rows(rows) => assert_eq!(rows.len(), 6),
+            other => panic!("{other:?}"),
+        }
+        // Delete tombstones it everywhere.
+        match e.execute("DELETE FROM taxi WHERE id = 9").unwrap() {
+            QueryResult::Ack(msg) => assert!(msg.contains("deleted id 9"), "{msg}"),
+            other => panic!("{other:?}"),
+        }
+        match e
+            .execute("SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((50,50),(51,51))) <= 0")
+            .unwrap()
+        {
+            QueryResult::SearchHits(hits) => assert!(hits.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        match e.execute("SELECT * FROM taxi").unwrap() {
+            QueryResult::Rows(rows) => assert_eq!(rows.len(), 5),
+            other => panic!("{other:?}"),
+        }
+        // Insert on an unindexed table updates the dataset only.
+        let mut e2 = engine();
+        e2.execute("INSERT INTO taxi VALUES (9, TRAJECTORY((50, 50)))")
+            .unwrap();
+        assert!(!e2.is_indexed("taxi"));
+        match e2.execute("SELECT * FROM taxi").unwrap() {
+            QueryResult::Rows(rows) => assert_eq!(rows.len(), 6),
+            other => panic!("{other:?}"),
+        }
+        assert!(e2
+            .explain("INSERT INTO taxi VALUES (1, TRAJECTORY((0,0)))")
+            .unwrap()
+            .contains("IngestInsert"));
+        assert!(e2
+            .explain("DELETE FROM taxi WHERE id = 1")
+            .unwrap()
+            .contains("IngestDelete"));
+    }
+
+    #[test]
+    fn sql_upsert_overwrites_by_id() {
+        let mut e = engine();
+        e.execute("CREATE INDEX i ON taxi USE TRIE").unwrap();
+        e.execute("INSERT INTO taxi VALUES (1, TRAJECTORY((80, 80), (81, 81)))")
+            .unwrap();
+        // The old T1 geometry no longer matches id 1...
+        let old = "SELECT * FROM taxi WHERE \
+                   DTW(taxi, TRAJECTORY((1,1),(1,2),(3,2),(4,4),(4,5),(5,5))) <= 0";
+        match e.execute(old).unwrap() {
+            QueryResult::SearchHits(hits) => assert!(hits.is_empty()),
+            other => panic!("{other:?}"),
+        }
+        // ...the new one does, and the row count is unchanged.
+        match e
+            .execute("SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((80,80),(81,81))) <= 0")
+            .unwrap()
+        {
+            QueryResult::SearchHits(hits) => {
+                assert_eq!(hits.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![1]);
+            }
+            other => panic!("{other:?}"),
+        }
         match e.execute("SELECT * FROM taxi").unwrap() {
             QueryResult::Rows(rows) => assert_eq!(rows.len(), 5),
             other => panic!("{other:?}"),

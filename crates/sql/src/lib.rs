@@ -10,6 +10,9 @@
 //! SELECT * FROM t TRA-JOIN q ON DTW(t, q) <= 0.005;
 //! -- index creation
 //! CREATE INDEX trie_idx ON t USE TRIE;
+//! -- online ingestion (routed through the delta write path, INGESTION.md)
+//! INSERT INTO t VALUES (42, TRAJECTORY((1,1),(2,2))), (43, TRAJECTORY((5,5)));
+//! DELETE FROM t WHERE id = 42;
 //! ```
 //!
 //! Queries flow through the same stages as §3's "Query Processing": SQL →

@@ -89,6 +89,10 @@ impl Parser {
         }
         if self.peek_kw("SELECT") {
             self.select()
+        } else if self.peek_kw("INSERT") {
+            self.insert()
+        } else if self.peek_kw("DELETE") {
+            self.delete()
         } else if self.peek_kw("CREATE") {
             self.create_index()
         } else if self.peek_kw("SHOW") {
@@ -96,7 +100,52 @@ impl Parser {
             self.expect_kw("TABLES")?;
             Ok(Statement::ShowTables)
         } else {
-            Err(self.err("expected SELECT, CREATE, SHOW or EXPLAIN"))
+            Err(self.err("expected SELECT, INSERT, DELETE, CREATE, SHOW or EXPLAIN"))
+        }
+    }
+
+    /// `INSERT INTO t VALUES (id, TRAJECTORY((x, y), ...)), ...`
+    fn insert(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("INSERT")?;
+        self.expect_kw("INTO")?;
+        let table = self.ident("table name")?;
+        self.expect_kw("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(&Token::LParen, "`(` of row")?;
+            let id = self.trajectory_id()?;
+            self.expect(&Token::Comma, "`,` after id")?;
+            self.expect_kw("TRAJECTORY")?;
+            let points = self.trajectory_literal()?;
+            self.expect(&Token::RParen, "`)` of row")?;
+            rows.push((id, points));
+            if !self.eat_if(&Token::Comma) {
+                break;
+            }
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    /// `DELETE FROM t WHERE id = <id>` — the only supported DELETE shape;
+    /// a bare `DELETE FROM t` (truncate) is rejected.
+    fn delete(&mut self) -> Result<Statement, SqlError> {
+        self.expect_kw("DELETE")?;
+        self.expect_kw("FROM")?;
+        let table = self.ident("table name")?;
+        self.expect_kw("WHERE")?;
+        let col = self.ident("column name")?;
+        if !col.eq_ignore_ascii_case("id") {
+            return Err(self.err("DELETE supports only `WHERE id = <integer>`"));
+        }
+        self.expect(&Token::Eq, "`=`")?;
+        let id = self.trajectory_id()?;
+        Ok(Statement::Delete { table, id })
+    }
+
+    fn trajectory_id(&mut self) -> Result<u64, SqlError> {
+        match self.next() {
+            Some(Token::Number(n)) if n >= 0.0 && n.fract() == 0.0 => Ok(n as u64),
+            _ => Err(self.err("expected a non-negative integer id")),
         }
     }
 
@@ -350,6 +399,48 @@ mod tests {
         }
         assert!(parse("SELECT * FROM t ORDER BY DTW(z, TRAJECTORY((1,1))) LIMIT 5").is_err());
         assert!(parse("SELECT * FROM t ORDER BY DTW(t, TRAJECTORY((1,1))) LIMIT 2.5").is_err());
+    }
+
+    #[test]
+    fn parses_insert() {
+        let s = parse(
+            "INSERT INTO taxi VALUES (7, TRAJECTORY((1, 1), (2, 2))), \
+             (8, TRAJECTORY((0, -1)))",
+        )
+        .unwrap();
+        match s {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "taxi");
+                assert_eq!(
+                    rows,
+                    vec![
+                        (7, vec![(1.0, 1.0), (2.0, 2.0)]),
+                        (8, vec![(0.0, -1.0)]),
+                    ]
+                );
+            }
+            other => panic!("wrong statement: {other:?}"),
+        }
+        // Ids must be non-negative integers; rows need the TRAJECTORY form.
+        assert!(parse("INSERT INTO t VALUES (1.5, TRAJECTORY((0,0)))").is_err());
+        assert!(parse("INSERT INTO t VALUES (-1, TRAJECTORY((0,0)))").is_err());
+        assert!(parse("INSERT INTO t VALUES (1, ((0,0)))").is_err());
+        assert!(parse("INSERT INTO t VALUES (1, TRAJECTORY())").is_err());
+    }
+
+    #[test]
+    fn parses_delete_by_id_only() {
+        assert_eq!(
+            parse("DELETE FROM taxi WHERE id = 3;").unwrap(),
+            Statement::Delete {
+                table: "taxi".into(),
+                id: 3
+            }
+        );
+        // Truncate and non-id predicates stay errors.
+        assert!(parse("DELETE FROM taxi").is_err());
+        assert!(parse("DELETE FROM taxi WHERE name = 3").is_err());
+        assert!(parse("DELETE FROM taxi WHERE id = 1.5").is_err());
     }
 
     #[test]

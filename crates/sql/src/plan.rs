@@ -47,6 +47,20 @@ pub enum LogicalPlan {
         /// Folded threshold.
         tau: f64,
     },
+    /// Row upserts.
+    Insert {
+        /// Target table.
+        table: String,
+        /// `(id, points)` rows to upsert.
+        rows: Vec<(u64, Vec<Point>)>,
+    },
+    /// Single-row delete by id.
+    Delete {
+        /// Target table.
+        table: String,
+        /// Trajectory id.
+        id: u64,
+    },
     /// Index creation.
     CreateIndex {
         /// Table to index.
@@ -127,6 +141,16 @@ pub fn logical_plan(stmt: Statement) -> Result<LogicalPlan, SqlError> {
             query: query.into_iter().map(|(x, y)| Point::new(x, y)).collect(),
             k,
         }),
+        Statement::Insert { table, rows } => Ok(LogicalPlan::Insert {
+            table,
+            rows: rows
+                .into_iter()
+                .map(|(id, pts)| {
+                    (id, pts.into_iter().map(|(x, y)| Point::new(x, y)).collect())
+                })
+                .collect(),
+        }),
+        Statement::Delete { table, id } => Ok(LogicalPlan::Delete { table, id }),
         Statement::CreateIndex { table, .. } => Ok(LogicalPlan::CreateIndex { table }),
         Statement::ShowTables => Ok(LogicalPlan::ShowTables),
         Statement::Explain(inner) => Ok(LogicalPlan::Explain(Box::new(logical_plan(*inner)?))),
@@ -187,6 +211,21 @@ pub enum PhysicalPlan {
         func: DistanceFunction,
         /// Threshold.
         tau: f64,
+    },
+    /// Upsert rows through the table's delta-ingestion path (and the plain
+    /// dataset when no index exists).
+    IngestInsert {
+        /// Table name.
+        table: String,
+        /// `(id, points)` rows to upsert.
+        rows: Vec<(u64, Vec<Point>)>,
+    },
+    /// Tombstone one row through the table's delta-ingestion path.
+    IngestDelete {
+        /// Table name.
+        table: String,
+        /// Trajectory id.
+        id: u64,
     },
     /// Build a trie index.
     BuildIndex {
@@ -250,6 +289,8 @@ pub fn physical_plan(
             func,
             tau,
         },
+        LogicalPlan::Insert { table, rows } => PhysicalPlan::IngestInsert { table, rows },
+        LogicalPlan::Delete { table, id } => PhysicalPlan::IngestDelete { table, id },
         LogicalPlan::CreateIndex { table } => PhysicalPlan::BuildIndex { table },
         LogicalPlan::ShowTables => PhysicalPlan::ListTables,
         LogicalPlan::Explain(inner) => {
@@ -274,6 +315,12 @@ impl PhysicalPlan {
             }
             PhysicalPlan::IndexJoin { left, right, func, tau } => {
                 format!("IndexJoin({left}, {right}, {func}, tau={tau}) [bi-graph + trie]")
+            }
+            PhysicalPlan::IngestInsert { table, rows } => {
+                format!("IngestInsert({table}, {} row(s)) [delta tail]", rows.len())
+            }
+            PhysicalPlan::IngestDelete { table, id } => {
+                format!("IngestDelete({table}, id={id}) [tombstone]")
             }
             PhysicalPlan::BuildIndex { table } => format!("BuildIndex({table}, TRIE)"),
             PhysicalPlan::ListTables => "ListTables".into(),

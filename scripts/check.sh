@@ -1,9 +1,10 @@
 #!/usr/bin/env bash
-# The local CI gate: release build, full test suite, clippy clean.
-# Run before every push.
+# The local CI gate: formatting, release build, full test suite, clippy
+# clean. Run before every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+cargo fmt --check
 cargo build --release
 cargo test -q
 cargo bench --no-run

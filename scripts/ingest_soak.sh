@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Ingestion soak: a seeded, deterministic, bounded randomized stream of
+# insert/overwrite/delete operations against a live index, with flushes
+# and compactions sprinkled in. At every checkpoint (and after a final
+# full compaction) the live base+delta view is checked for exact search,
+# kNN and structural equivalence against a from-scratch rebuild; any
+# divergence exits non-zero. Same seed → same op stream, always.
+#
+# Usage: scripts/ingest_soak.sh [--ops N] [--seed S] [--check-every K]
+# Defaults: 400 ops, seed 42, check every 100 ops (runs in seconds).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p dita-bench --bin ingest_soak -- "$@"

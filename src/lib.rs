@@ -11,6 +11,7 @@
 //! * [`rtree`] — STR-packed R-tree used by the global index and baselines.
 //! * [`index`] — pivot selection, partitioning, global + trie local indexes.
 //! * [`cluster`] — the simulated distributed in-memory runtime.
+//! * [`ingest`] — online ingestion: delta indexes, tombstones, compaction.
 //! * [`core`] — the DITA system: distributed similarity search and join.
 //! * [`baselines`] — Naive / Simba-style / DFT-style / MBE / VP-tree.
 //! * [`sql`] — SQL and DataFrame front-ends.
@@ -24,6 +25,7 @@ pub use dita_core as core;
 pub use dita_datagen as datagen;
 pub use dita_distance as distance;
 pub use dita_index as index;
+pub use dita_ingest as ingest;
 pub use dita_rtree as rtree;
 pub use dita_sql as sql;
 pub use dita_trajectory as trajectory;

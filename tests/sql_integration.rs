@@ -106,6 +106,58 @@ fn every_distance_function_usable_from_sql() {
 }
 
 #[test]
+fn sql_dml_round_trips_through_the_index() {
+    let mut e = engine_with(200);
+    e.execute("CREATE INDEX idx ON trips USE TRIE").unwrap();
+
+    // INSERT a trajectory far outside the Beijing-like extent; it must be
+    // visible to an indexed search immediately (delta overlay or compaction).
+    e.execute(
+        "INSERT INTO trips VALUES (900001, TRAJECTORY((95.0, 12.0), (95.001, 12.001)))",
+    )
+    .unwrap();
+    let probe = "SELECT * FROM trips WHERE DTW(trips, \
+                 TRAJECTORY((95.0, 12.0), (95.001, 12.001))) <= 0.0001";
+    match e.execute(probe).unwrap() {
+        QueryResult::SearchHits(hits) => {
+            assert_eq!(hits.iter().map(|&(id, _)| id).collect::<Vec<_>>(), vec![900001]);
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // DELETE it again: both the index and the scan path must forget it.
+    match e.execute("DELETE FROM trips WHERE id = 900001").unwrap() {
+        QueryResult::Ack(msg) => assert!(msg.contains("deleted id 900001"), "{msg}"),
+        other => panic!("{other:?}"),
+    }
+    match e.execute(probe).unwrap() {
+        QueryResult::SearchHits(hits) => assert!(hits.is_empty()),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(e.dataset("trips").unwrap().len(), 200);
+
+    // DELETE an original trip and check a self-match query no longer returns it.
+    let q = sample_queries(e.dataset("trips").unwrap(), 1, 4)[0].clone();
+    let self_probe = format!(
+        "SELECT * FROM trips WHERE DTW(trips, {}) <= 0.003",
+        literal_for(q.points())
+    );
+    match e.execute(&self_probe).unwrap() {
+        QueryResult::SearchHits(hits) => assert!(hits.iter().any(|&(id, _)| id == q.id)),
+        other => panic!("{other:?}"),
+    }
+    e.execute(&format!("DELETE FROM trips WHERE id = {}", q.id))
+        .unwrap();
+    match e.execute(&self_probe).unwrap() {
+        QueryResult::SearchHits(hits) => {
+            assert!(hits.iter().all(|&(id, _)| id != q.id));
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(e.dataset("trips").unwrap().len(), 199);
+}
+
+#[test]
 fn threshold_expressions_fold() {
     let mut e = engine_with(100);
     let q = sample_queries(e.dataset("trips").unwrap(), 1, 6)[0].clone();
