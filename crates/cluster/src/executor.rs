@@ -10,7 +10,7 @@
 
 use crate::network::NetworkModel;
 use crate::stats::{JobStats, WorkerStats};
-use dita_obs::Obs;
+use dita_obs::{names, Obs};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::time::{Duration, Instant};
@@ -23,9 +23,42 @@ use std::time::{Duration, Instant};
 /// tracer's span CPU accounting read the same clock.
 pub use dita_obs::thread_cpu_time;
 
-/// How many times a panicking task is retried before the job fails —
+/// How many times a failing task is retried before the job fails —
 /// mirroring Spark's `spark.task.maxFailures` (default 4 attempts total).
 pub const MAX_TASK_ATTEMPTS: usize = 4;
+
+/// A recoverable task failure.
+///
+/// Worker-executed code reports failures by returning `Err(TaskError)`
+/// from an [`Cluster::execute_try`] closure instead of panicking: the
+/// executor's retry path treats the error exactly like a task panic
+/// (retried up to [`MAX_TASK_ATTEMPTS`], then the job aborts), but the
+/// failure carries a message, costs no unwind, and — unlike a panic —
+/// is visible to `dita-lint`'s `worker-panic` rule as the sanctioned
+/// alternative.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TaskError {
+    /// Human-readable description, surfaced in the job-abort message
+    /// when every attempt fails.
+    pub message: String,
+}
+
+impl TaskError {
+    /// A task error with the given message.
+    pub fn new(message: impl Into<String>) -> Self {
+        TaskError {
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TaskError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "task error: {}", self.message)
+    }
+}
+
+impl std::error::Error for TaskError {}
 
 thread_local! {
     /// Compute time charged to the current worker task by helper threads it
@@ -101,7 +134,10 @@ impl Cluster {
     /// # Panics
     /// Panics if `num_workers == 0` or any slowdown factor is < 1.0.
     pub fn new(config: ClusterConfig) -> Self {
-        assert!(config.num_workers >= 1, "a cluster needs at least one worker");
+        assert!(
+            config.num_workers >= 1,
+            "a cluster needs at least one worker"
+        );
         assert!(
             config.slowdowns.iter().all(|&s| s >= 1.0),
             "slowdown factors must be >= 1.0"
@@ -150,6 +186,28 @@ impl Cluster {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
+        self.execute_try(tasks, move |w, t| Ok(f(w, t)))
+    }
+
+    /// [`Cluster::execute`] for fallible tasks: a closure returning
+    /// `Err(TaskError)` is retried with an identical (cloned) payload up
+    /// to [`MAX_TASK_ATTEMPTS`] times — the same fault-tolerance path
+    /// that covers task panics — and the job aborts only when the final
+    /// attempt still fails.
+    ///
+    /// Worker-executed code should prefer returning `TaskError` over
+    /// panicking: the failure is explicit, carries a message into the
+    /// abort diagnostics, and keeps unwinding out of the hot path.
+    ///
+    /// # Panics
+    /// Panics if any task names a worker `>= num_workers`, or when a task
+    /// fails all of its attempts (the job abort).
+    pub fn execute_try<T, R, F>(&self, tasks: Vec<TaskSpec<T>>, f: F) -> (Vec<R>, JobStats)
+    where
+        T: Send + Clone,
+        R: Send,
+        F: Fn(usize, T) -> Result<R, TaskError> + Sync,
+    {
         let nw = self.config.num_workers;
         for t in &tasks {
             assert!(t.worker < nw, "task pinned to unknown worker {}", t.worker);
@@ -184,7 +242,11 @@ impl Cluster {
                         let _worker_span = if queue.is_empty() {
                             dita_obs::SpanGuard::noop()
                         } else {
-                            obs.span_under_labeled(parent, "worker", format!("worker={wid}"))
+                            obs.span_under_labeled(
+                                parent,
+                                names::SPAN_WORKER,
+                                format!("worker={wid}"),
+                            )
                         };
                         let wlabel = wid.to_string();
                         let labels: &[(&str, &str)] = &[("worker", wlabel.as_str())];
@@ -192,11 +254,11 @@ impl Cluster {
                             Default::default()
                         } else {
                             (
-                                obs.counter_labeled("dita_tasks_total", labels),
-                                obs.counter_labeled("dita_task_retries_total", labels),
-                                obs.counter_labeled("dita_network_bytes_total", labels),
-                                obs.histogram_seconds_labeled("dita_task_network_seconds", labels),
-                                obs.histogram_seconds_labeled("dita_task_compute_seconds", labels),
+                                obs.counter_labeled(names::TASKS_TOTAL, labels),
+                                obs.counter_labeled(names::TASK_RETRIES_TOTAL, labels),
+                                obs.counter_labeled(names::NETWORK_BYTES_TOTAL, labels),
+                                obs.histogram_seconds_labeled(names::TASK_NETWORK_SECONDS, labels),
+                                obs.histogram_seconds_labeled(names::TASK_COMPUTE_SECONDS, labels),
                             )
                         };
                         for (i, task) in queue {
@@ -206,26 +268,35 @@ impl Cluster {
                             m_bytes.add(task.incoming_bytes);
                             h_net.observe(net_sec);
                             let mut task_span =
-                                obs.span_labeled("task", format!("worker={wid}"));
+                                obs.span_labeled(names::SPAN_TASK, format!("worker={wid}"));
                             let _ = take_extra_compute(); // discard stale charges
                             let t0 = thread_cpu_time();
-                            // Task-level fault tolerance: a panicking task
-                            // is retried up to MAX_TASK_ATTEMPTS times with
-                            // an identical (cloned) payload — Spark's
+                            // Task-level fault tolerance: a task that
+                            // panics *or* returns Err(TaskError) is retried
+                            // up to MAX_TASK_ATTEMPTS times with an
+                            // identical (cloned) payload — Spark's
                             // spark.task.maxFailures behaviour.
-                            let mut r = None;
+                            let mut outcome: Result<R, TaskError> =
+                                Err(TaskError::new("task never attempted"));
                             for attempt in 1..=MAX_TASK_ATTEMPTS {
                                 let payload = task.payload.clone();
                                 match catch_unwind(AssertUnwindSafe(|| f(wid, payload))) {
-                                    Ok(v) => {
-                                        r = Some(v);
+                                    Ok(Ok(v)) => {
+                                        outcome = Ok(v);
                                         break;
+                                    }
+                                    Ok(Err(e)) => {
+                                        outcome = Err(e);
+                                        if attempt < MAX_TASK_ATTEMPTS {
+                                            stats.retries += 1;
+                                            m_retries.inc();
+                                        }
                                     }
                                     Err(_) if attempt < MAX_TASK_ATTEMPTS => {
                                         stats.retries += 1;
                                         m_retries.inc();
                                     }
-                                    Err(e) => std::panic::resume_unwind(e),
+                                    Err(p) => std::panic::resume_unwind(p),
                                 }
                             }
                             let extra = take_extra_compute();
@@ -236,13 +307,28 @@ impl Cluster {
                             stats.tasks += 1;
                             m_tasks.inc();
                             h_cpu.observe(cpu.as_secs_f64());
-                            results.push((i, r.expect("task completed or job aborted")));
+                            let v = match outcome {
+                                Ok(v) => v,
+                                Err(e) => {
+                                    // The job abort: the worker thread's
+                                    // unwind reaches the driver's join and
+                                    // fails the whole job, mirroring Spark
+                                    // aborting a stage once a task exhausts
+                                    // its attempts.
+                                    // lint: allow(worker-panic, reason = "deliberate job abort after MAX_TASK_ATTEMPTS exhausted")
+                                    panic!("task failed after {MAX_TASK_ATTEMPTS} attempts: {e}");
+                                }
+                            };
+                            results.push((i, v));
                         }
                         (stats, results)
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect()
         });
 
         let elapsed = started.elapsed();
@@ -289,7 +375,7 @@ impl Cluster {
         let nw = self.config.num_workers;
         // Covers both the physical run (whose worker spans nest under it)
         // and the greedy list schedule that prices the assignment.
-        let _span = self.obs.span("execute_dynamic");
+        let _span = self.obs.span(names::SPAN_EXECUTE_DYNAMIC);
         let specs: Vec<(u64, Option<usize>, u64)> = tasks
             .iter()
             .map(|t| (t.shipped_bytes, t.home, t.home_data_bytes))
@@ -313,7 +399,10 @@ impl Cluster {
             let r = f(payload);
             // Include CPU time the task reported from helper threads so the
             // schedule below prices the task's real cost.
-            (r, thread_cpu_time().saturating_sub(t0) + take_extra_compute())
+            (
+                r,
+                thread_cpu_time().saturating_sub(t0) + take_extra_compute(),
+            )
         });
         let elapsed = started.elapsed();
 
@@ -352,10 +441,10 @@ impl Cluster {
         }
         if self.obs.is_enabled() {
             self.obs
-                .counter("dita_dyn_tasks_total")
+                .counter(names::DYN_TASKS_TOTAL)
                 .add(results.len() as u64);
             self.obs
-                .counter("dita_dyn_scheduled_bytes_total")
+                .counter(names::DYN_SCHEDULED_BYTES_TOTAL)
                 .add(workers.iter().map(|w| w.bytes_received).sum());
         }
         (results, JobStats { elapsed, workers })
@@ -428,9 +517,21 @@ mod tests {
     fn network_charges_accumulate() {
         let c = cluster(2);
         let tasks = vec![
-            TaskSpec { worker: 0, incoming_bytes: 1_000_000, payload: () },
-            TaskSpec { worker: 0, incoming_bytes: 1_000_000, payload: () },
-            TaskSpec { worker: 1, incoming_bytes: 0, payload: () },
+            TaskSpec {
+                worker: 0,
+                incoming_bytes: 1_000_000,
+                payload: (),
+            },
+            TaskSpec {
+                worker: 0,
+                incoming_bytes: 1_000_000,
+                payload: (),
+            },
+            TaskSpec {
+                worker: 1,
+                incoming_bytes: 0,
+                payload: (),
+            },
         ];
         let (_, stats) = c.execute(tasks, |_, _| ());
         assert_eq!(stats.workers[0].bytes_received, 2_000_000);
@@ -446,8 +547,16 @@ mod tests {
         cfg.slowdowns = vec![1.0, 10.0];
         let c = Cluster::new(cfg);
         let tasks = vec![
-            TaskSpec { worker: 0, incoming_bytes: 0, payload: 200_000u64 },
-            TaskSpec { worker: 1, incoming_bytes: 0, payload: 200_000u64 },
+            TaskSpec {
+                worker: 0,
+                incoming_bytes: 0,
+                payload: 200_000u64,
+            },
+            TaskSpec {
+                worker: 1,
+                incoming_bytes: 0,
+                payload: 200_000u64,
+            },
         ];
         let (_, stats) = c.execute(tasks, |_, spin| {
             // A tiny busy loop so compute time is measurable.
@@ -503,7 +612,11 @@ mod tests {
     fn unknown_worker_rejected() {
         let c = cluster(2);
         let _ = c.execute(
-            vec![TaskSpec { worker: 5, incoming_bytes: 0, payload: () }],
+            vec![TaskSpec {
+                worker: 5,
+                incoming_bytes: 0,
+                payload: (),
+            }],
             |_, _| (),
         );
     }
@@ -517,7 +630,11 @@ mod tests {
     #[test]
     fn charged_compute_reaches_worker_stats() {
         let c = cluster(1);
-        let tasks = vec![TaskSpec { worker: 0, incoming_bytes: 0, payload: () }];
+        let tasks = vec![TaskSpec {
+            worker: 0,
+            incoming_bytes: 0,
+            payload: (),
+        }];
         let (_, stats) = c.execute(tasks, |_, ()| {
             // Pretend helper threads burned 250ms of CPU on our behalf.
             charge_compute(Duration::from_millis(250));
@@ -535,7 +652,11 @@ mod tests {
         // leak into worker stats — and worker threads are fresh anyway.
         charge_compute(Duration::from_secs(500));
         let c = cluster(1);
-        let tasks = vec![TaskSpec { worker: 0, incoming_bytes: 0, payload: () }];
+        let tasks = vec![TaskSpec {
+            worker: 0,
+            incoming_bytes: 0,
+            payload: (),
+        }];
         let (_, stats) = c.execute(tasks, |_, ()| ());
         assert!(
             stats.workers[0].compute < Duration::from_secs(100),
@@ -648,7 +769,16 @@ mod dynamic_tests {
         // 8 tasks of very different sizes: dynamic list scheduling must
         // spread them better than the worst static pin (all on one worker).
         let c = cluster(4);
-        let sizes = [4_000_000u64, 100_000, 100_000, 100_000, 3_000_000, 100_000, 100_000, 100_000];
+        let sizes = [
+            4_000_000u64,
+            100_000,
+            100_000,
+            100_000,
+            3_000_000,
+            100_000,
+            100_000,
+            100_000,
+        ];
         let tasks: Vec<DynTaskSpec<u64>> = sizes.iter().map(|&s| spin_task(s)).collect();
         let (_, stats) = c.execute_dynamic(tasks, spin);
         let total: f64 = stats.workers.iter().map(|w| w.compute.as_secs_f64()).sum();
@@ -727,7 +857,11 @@ mod obs_tests {
         let obs = Obs::enabled();
         c.attach_obs(obs.clone());
         let failures = AtomicUsize::new(0);
-        let tasks = vec![TaskSpec { worker: 0, incoming_bytes: 0, payload: () }];
+        let tasks = vec![TaskSpec {
+            worker: 0,
+            incoming_bytes: 0,
+            payload: (),
+        }];
         let _ = c.execute(tasks, |_w, ()| {
             if failures.fetch_add(1, Ordering::SeqCst) < 1 {
                 panic!("transient");
@@ -747,7 +881,11 @@ mod obs_tests {
     fn disabled_obs_records_nothing() {
         let c = Cluster::new(ClusterConfig::with_workers(2));
         assert!(!c.obs().is_enabled());
-        let tasks = vec![TaskSpec { worker: 0, incoming_bytes: 10, payload: () }];
+        let tasks = vec![TaskSpec {
+            worker: 0,
+            incoming_bytes: 10,
+            payload: (),
+        }];
         let (_, stats) = c.execute(tasks, |_, ()| ());
         assert_eq!(stats.workers[0].tasks, 1);
         assert!(c.obs().report().metrics.is_empty());
@@ -770,7 +908,10 @@ mod obs_tests {
         assert_eq!(results.len(), 4);
         let report = obs.report();
         assert_eq!(report.profile[0].name, "execute_dynamic");
-        assert!(report.profile[0].children.iter().any(|n| n.name == "worker"));
+        assert!(report.profile[0]
+            .children
+            .iter()
+            .any(|n| n.name == "worker"));
         assert!(report
             .metrics
             .iter()
@@ -784,11 +925,86 @@ mod retry_tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
 
     #[test]
+    fn poisoned_task_error_is_retried_not_aborted() {
+        // Fault injection for the TaskError path: a task that *returns*
+        // an error (no panic, no unwind) on its first two attempts must be
+        // retried by the same path that covers panics and then succeed.
+        let c = Cluster::new(ClusterConfig::with_workers(1));
+        let failures = AtomicUsize::new(0);
+        let tasks = vec![TaskSpec {
+            worker: 0,
+            incoming_bytes: 0,
+            payload: (),
+        }];
+        let (results, stats) = c.execute_try(tasks, |_w, ()| {
+            if failures.fetch_add(1, Ordering::SeqCst) < 2 {
+                Err(TaskError::new("poisoned candidate list"))
+            } else {
+                Ok(7)
+            }
+        });
+        assert_eq!(results, vec![7]);
+        assert_eq!(stats.workers[0].retries, 2);
+        assert_eq!(stats.workers[0].tasks, 1);
+    }
+
+    #[test]
+    fn permanently_erroring_task_aborts_with_its_message() {
+        let c = Cluster::new(ClusterConfig::with_workers(1));
+        let tasks = vec![TaskSpec {
+            worker: 0,
+            incoming_bytes: 0,
+            payload: (),
+        }];
+        let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            c.execute_try(tasks, |_w, ()| -> Result<(), TaskError> {
+                Err(TaskError::new("bad shard"))
+            })
+        }));
+        assert!(
+            r.is_err(),
+            "a task erroring on all attempts must fail the job"
+        );
+    }
+
+    #[test]
+    fn task_error_retries_are_counted_in_metrics() {
+        let mut c = Cluster::new(ClusterConfig::with_workers(1));
+        let obs = Obs::enabled();
+        c.attach_obs(obs.clone());
+        let failures = AtomicUsize::new(0);
+        let tasks = vec![TaskSpec {
+            worker: 0,
+            incoming_bytes: 0,
+            payload: (),
+        }];
+        let _ = c.execute_try(tasks, |_w, ()| {
+            if failures.fetch_add(1, Ordering::SeqCst) < 1 {
+                Err(TaskError::new("transient"))
+            } else {
+                Ok(())
+            }
+        });
+        let report = obs.report();
+        let retried: f64 = report
+            .metrics
+            .iter()
+            .filter(|m| m.name == names::TASK_RETRIES_TOTAL)
+            .map(|m| m.value)
+            .sum();
+        assert_eq!(retried, 1.0);
+    }
+
+    #[test]
     fn flaky_task_is_retried_and_succeeds() {
         let c = Cluster::new(ClusterConfig::with_workers(2));
         let failures = AtomicUsize::new(0);
         let tasks: Vec<TaskSpec<usize>> = (0..4)
-            .map(|i| TaskSpec { worker: i % 2, incoming_bytes: 0, payload: i })
+            .map(|i| TaskSpec {
+                worker: i % 2,
+                incoming_bytes: 0,
+                payload: i,
+            })
             .collect();
         let (results, stats) = c.execute(tasks, |_w, i| {
             // Task 2 fails on its first two attempts.
@@ -804,7 +1020,11 @@ mod retry_tests {
     #[test]
     fn permanently_failing_task_aborts_the_job() {
         let c = Cluster::new(ClusterConfig::with_workers(1));
-        let tasks = vec![TaskSpec { worker: 0, incoming_bytes: 0, payload: () }];
+        let tasks = vec![TaskSpec {
+            worker: 0,
+            incoming_bytes: 0,
+            payload: (),
+        }];
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
             c.execute(tasks, |_w, ()| -> () { panic!("permanent failure") })
         }));

@@ -26,6 +26,9 @@ pub mod executor;
 pub mod network;
 pub mod stats;
 
-pub use executor::{charge_compute, thread_cpu_time, Cluster, ClusterConfig, DynTaskSpec, TaskSpec};
+pub use executor::{
+    charge_compute, thread_cpu_time, Cluster, ClusterConfig, DynTaskSpec, TaskError, TaskSpec,
+    MAX_TASK_ATTEMPTS,
+};
 pub use network::NetworkModel;
 pub use stats::{JobStats, WorkerStats};

@@ -33,6 +33,7 @@ use crate::system::DitaSystem;
 use dita_cluster::{charge_compute, TaskSpec};
 use dita_index::{GlobalIndex, TrieIndex};
 use dita_ingest::{CompactionPolicy, DeltaSegment, IngestStats};
+use dita_obs::names;
 use dita_trajectory::{Dataset, Mbr, Point, Trajectory, TrajectoryId};
 use std::time::Instant;
 
@@ -44,13 +45,13 @@ impl DitaSystem {
     pub fn insert(&mut self, t: Trajectory) {
         assert!(t.len() > 0, "cannot insert an empty trajectory");
         let obs = self.cluster.obs().clone();
-        let _span = dita_obs::span!(obs, "ingest", op = "insert", id = t.id);
+        let _span = dita_obs::span!(obs, names::SPAN_INGEST, op = "insert", id = t.id);
         let pid = dita_ingest::DeltaSet::route(&self.partitioning, &t);
         self.deltas.insert(t, pid);
         if obs.is_enabled() {
-            obs.counter_labeled("dita_ingest_applied_total", &[("op", "insert")])
+            obs.counter_labeled(names::INGEST_APPLIED_TOTAL, &[("op", "insert")])
                 .inc();
-            obs.gauge("dita_delta_ratio").set(self.delta_ratio());
+            obs.gauge(names::DELTA_RATIO).set(self.delta_ratio());
         }
         self.maybe_compact();
     }
@@ -60,12 +61,12 @@ impl DitaSystem {
     /// tombstoned until the next compaction physically drops it.
     pub fn delete(&mut self, id: TrajectoryId) -> bool {
         let obs = self.cluster.obs().clone();
-        let _span = dita_obs::span!(obs, "ingest", op = "delete", id = id);
+        let _span = dita_obs::span!(obs, names::SPAN_INGEST, op = "delete", id = id);
         let existed = self.deltas.delete(id);
         if existed && obs.is_enabled() {
-            obs.counter_labeled("dita_ingest_applied_total", &[("op", "delete")])
+            obs.counter_labeled(names::INGEST_APPLIED_TOTAL, &[("op", "delete")])
                 .inc();
-            obs.gauge("dita_delta_ratio").set(self.delta_ratio());
+            obs.gauge(names::DELTA_RATIO).set(self.delta_ratio());
         }
         if existed {
             self.maybe_compact();
@@ -83,7 +84,7 @@ impl DitaSystem {
             return;
         }
         let obs = self.cluster.obs().clone();
-        let _span = dita_obs::span!(obs, "ingest", op = "flush");
+        let _span = dita_obs::span!(obs, names::SPAN_INGEST, op = "flush");
         let trie_cfg = self.config.trie;
         let tasks: Vec<TaskSpec<dita_ingest::FlushJob>> = jobs
             .into_iter()
@@ -96,7 +97,7 @@ impl DitaSystem {
         let task_obs = obs.clone();
         let (mut built, _stats) = self.cluster.execute(tasks, move |_w, job| {
             let seg = job.members.map(|members| {
-                let _span = task_obs.span("segment-build");
+                let _span = task_obs.span(names::SPAN_SEGMENT_BUILD);
                 let (seg, helper_cpu) = DeltaSegment::build(members, trie_cfg);
                 charge_compute(helper_cpu);
                 seg
@@ -126,7 +127,7 @@ impl DitaSystem {
             return false;
         }
         let obs = self.cluster.obs().clone();
-        let _span = dita_obs::span!(obs, "compact");
+        let _span = dita_obs::span!(obs, names::SPAN_COMPACT);
         let wall = Instant::now();
 
         // Assemble each dirty partition's post-merge member set: live base
@@ -158,7 +159,7 @@ impl DitaSystem {
             // Per-partition rebuild time lands in the same histogram the
             // initial build uses; the whole fold is dita_compaction_seconds.
             task_obs
-                .histogram_seconds("dita_index_build_seconds")
+                .histogram_seconds(names::INDEX_BUILD_SECONDS)
                 .observe(t0.elapsed().as_secs_f64());
             (pid, trie)
         });
@@ -208,10 +209,10 @@ impl DitaSystem {
             self.repartition();
             self.deltas.stats_mut().repartitions += 1;
         }
-        obs.histogram_seconds("dita_compaction_seconds")
+        obs.histogram_seconds(names::COMPACTION_SECONDS)
             .observe(wall.elapsed().as_secs_f64());
         if obs.is_enabled() {
-            obs.gauge("dita_delta_ratio").set(0.0);
+            obs.gauge(names::DELTA_RATIO).set(0.0);
         }
         true
     }
@@ -373,9 +374,7 @@ mod tests {
         let mut sys = fig1_system(2);
         let ts = figure1_trajectories();
         let q = ts[2].points().to_vec(); // T3 queries itself
-        let probe = |sys: &DitaSystem| {
-            ids(&crate::search(sys, &q, 0.0, &DistanceFunction::Dtw).0)
-        };
+        let probe = |sys: &DitaSystem| ids(&crate::search(sys, &q, 0.0, &DistanceFunction::Dtw).0);
         assert_eq!(probe(&sys), vec![3]);
 
         // Tombstoned: invisible immediately.
@@ -410,9 +409,8 @@ mod tests {
         let t6 = Trajectory::from_coords(6, &[(0.5, 1.5), (2.0, 2.0), (4.5, 2.5)]);
         sys.insert(t6.clone());
         assert_eq!(sys.len(), 6);
-        let probe = |sys: &DitaSystem| {
-            ids(&crate::search(sys, t6.points(), 0.0, &DistanceFunction::Dtw).0)
-        };
+        let probe =
+            |sys: &DitaSystem| ids(&crate::search(sys, t6.points(), 0.0, &DistanceFunction::Dtw).0);
         assert_eq!(probe(&sys), vec![6]); // unflushed tail
         sys.flush();
         assert_eq!(probe(&sys), vec![6]); // flushed segment

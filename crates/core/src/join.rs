@@ -22,11 +22,11 @@
 use crate::system::DitaSystem;
 use crate::verify::{verify_pair_soa, QueryContext};
 use dita_cluster::JobStats;
-use dita_distance::kernel::Scratch;
 use dita_distance::function::IndexMode;
+use dita_distance::kernel::Scratch;
 use dita_distance::DistanceFunction;
 use dita_index::ProbeScratch;
-use dita_obs::thread_cpu_time;
+use dita_obs::{names, thread_cpu_time};
 use dita_trajectory::TrajectoryId;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -157,7 +157,7 @@ pub fn join(
     if (!td.has_deltas() && !qd.has_deltas()) || tau < 0.0 {
         return (pairs, stats);
     }
-    let _span = t_sys.obs().span("join-delta-overlay");
+    let _span = t_sys.obs().span(names::SPAN_JOIN_DELTA_OVERLAY);
     let mut merged: std::collections::BTreeMap<(TrajectoryId, TrajectoryId), f64> = pairs
         .into_iter()
         .filter(|&(t, q, _)| !td.is_base_dead(t) && !qd.is_base_dead(q))
@@ -205,17 +205,17 @@ fn join_base(
     // Top-level operation span; the executor parents the dynamic-schedule
     // and worker spans under it.
     let obs = t_sys.obs();
-    let _join_span = dita_obs::span!(obs, "join", func = func, tau = tau);
+    let _join_span = dita_obs::span!(obs, names::SPAN_JOIN, func = func, tau = tau);
 
     // --- 1. Build the bi-graph ---
     let plan_start = std::time::Instant::now();
     let (mut edges, edges_weighed, plan_helper_cpu) = {
-        let _span = obs.span("build-edges");
+        let _span = obs.span(names::SPAN_BUILD_EDGES);
         build_edges(t_sys, q_sys, tau, mode, func, opts)
     };
 
     // --- 2. Orient ---
-    let orient_span = obs.span("orient");
+    let orient_span = obs.span(names::SPAN_ORIENT);
     match opts.balance {
         BalanceStrategy::None => {
             for e in &mut edges {
@@ -223,7 +223,12 @@ fn join_base(
             }
         }
         BalanceStrategy::Orientation | BalanceStrategy::Full => {
-            orient(&mut edges, t_sys.num_partitions(), q_sys.num_partitions(), lambda);
+            orient(
+                &mut edges,
+                t_sys.num_partitions(),
+                q_sys.num_partitions(),
+                lambda,
+            );
         }
     }
     let forward_edges = edges.iter().filter(|e| e.forward).count();
@@ -300,7 +305,7 @@ fn join_base(
         let mut scratch = Scratch::new();
         for ei in eis {
             // Nested under the executor's worker task span.
-            let _espan = obs.span("local-join");
+            let _espan = obs.span(names::SPAN_LOCAL_JOIN);
             let e = &edges_ref[ei];
             let (src_sys, dst_sys, src_pid, dst_pid, shipped) = if e.forward {
                 (t_sys, q_sys, e.t_pid, e.q_pid, &e.ship_t)
@@ -313,11 +318,8 @@ fn join_base(
             let dst_trie = dst_sys.trie(dst_pid);
             for &sid in shipped.iter().skip(slot).step_by(nslots.max(1)) {
                 let s = src_trie.get(sid);
-                let ctx = QueryContext::from_parts(
-                    s.traj.points().to_vec(),
-                    s.mbr,
-                    s.cells.clone(),
-                );
+                let ctx =
+                    QueryContext::from_parts(s.traj.points().to_vec(), s.mbr, s.cells.clone());
                 let cands = dst_trie.candidates(s.traj.points(), tau, func);
                 candidates += cands.len();
                 for c in cands {
@@ -345,15 +347,25 @@ fn join_base(
 
     let shipped_bytes: u64 = edges
         .iter()
-        .map(|e| if e.forward { e.trans_t2q as u64 } else { e.trans_q2t as u64 })
+        .map(|e| {
+            if e.forward {
+                e.trans_t2q as u64
+            } else {
+                e.trans_q2t as u64
+            }
+        })
         .sum();
     if obs.is_enabled() {
-        obs.counter("dita_join_shipped_bytes_total").add(shipped_bytes);
-        obs.counter("dita_join_candidates_total").add(candidates as u64);
-        obs.counter("dita_join_results_total").add(results.len() as u64);
-        obs.gauge("dita_join_replicas").set(replicas as f64);
-        obs.histogram_seconds("dita_join_plan_seconds").observe(plan_secs);
-        obs.counter("dita_join_edges_weighted_total")
+        obs.counter(names::JOIN_SHIPPED_BYTES_TOTAL)
+            .add(shipped_bytes);
+        obs.counter(names::JOIN_CANDIDATES_TOTAL)
+            .add(candidates as u64);
+        obs.counter(names::JOIN_RESULTS_TOTAL)
+            .add(results.len() as u64);
+        obs.gauge(names::JOIN_REPLICAS).set(replicas as f64);
+        obs.histogram_seconds(names::JOIN_PLAN_SECONDS)
+            .observe(plan_secs);
+        obs.counter(names::JOIN_EDGES_WEIGHTED_TOTAL)
             .add(edges_weighed as u64);
     }
     let stats = JoinStats {
@@ -439,19 +451,35 @@ fn build_edges(
         // Exact shipped sets via the opposite side's global index MBRs
         // (the paper's "check whether T has candidates in Q_j by
         // querying the global index of Q").
-        let ship_t =
-            relevant_members(t_sys, t_pid, &qp.mbr_first, &qp.mbr_last, qp.min_len, tau, mode);
-        let ship_q =
-            relevant_members(q_sys, q_pid, &tp.mbr_first, &tp.mbr_last, tp.min_len, tau, mode);
+        let ship_t = relevant_members(
+            t_sys,
+            t_pid,
+            &qp.mbr_first,
+            &qp.mbr_last,
+            qp.min_len,
+            tau,
+            mode,
+        );
+        let ship_q = relevant_members(
+            q_sys,
+            q_pid,
+            &tp.mbr_first,
+            &tp.mbr_last,
+            tp.min_len,
+            tau,
+            mode,
+        );
         if ship_t.is_empty() && ship_q.is_empty() {
             return None;
         }
         let trans_t2q = shipped_bytes(t_sys, t_pid, &ship_t);
         let trans_q2t = shipped_bytes(q_sys, q_pid, &ship_q);
-        let comp_t2q =
-            estimate_comp(t_sys, t_pid, &ship_t, q_sys, q_pid, tau, func, opts, scratch);
-        let comp_q2t =
-            estimate_comp(q_sys, q_pid, &ship_q, t_sys, t_pid, tau, func, opts, scratch);
+        let comp_t2q = estimate_comp(
+            t_sys, t_pid, &ship_t, q_sys, q_pid, tau, func, opts, scratch,
+        );
+        let comp_q2t = estimate_comp(
+            q_sys, q_pid, &ship_q, t_sys, t_pid, tau, func, opts, scratch,
+        );
         Some(Edge {
             t_pid,
             q_pid,
@@ -479,7 +507,10 @@ fn build_edges(
     match pool {
         None => {
             let mut scratch = ProbeScratch::new();
-            edges = pairs.iter().filter_map(|p| weigh(p, &mut scratch)).collect();
+            edges = pairs
+                .iter()
+                .filter_map(|p| weigh(p, &mut scratch))
+                .collect();
         }
         Some(pool) => {
             let chunk = pairs.len().div_ceil(threads * 4).max(1);
@@ -626,8 +657,7 @@ fn orient(edges: &mut [Edge], nt: usize, nq: usize, lambda: f64) {
     }
 
     let tc = |i: usize, nc: &[f64], cc: &[f64]| lambda * nc[i] + cc[i];
-    let global =
-        |nc: &[f64], cc: &[f64]| (0..n).map(|i| tc(i, nc, cc)).fold(0.0f64, f64::max);
+    let global = |nc: &[f64], cc: &[f64]| (0..n).map(|i| tc(i, nc, cc)).fold(0.0f64, f64::max);
 
     let mut best_global = global(&nc, &cc);
     for _ in 0..edges.len().max(8) * 2 {
@@ -834,8 +864,13 @@ mod tests {
     fn negative_tau_empty() {
         let t = fig1_system(2);
         let q = fig1_system(2);
-        let (results, stats) =
-            join(&t, &q, -1.0, &DistanceFunction::Dtw, &JoinOptions::default());
+        let (results, stats) = join(
+            &t,
+            &q,
+            -1.0,
+            &DistanceFunction::Dtw,
+            &JoinOptions::default(),
+        );
         assert!(results.is_empty());
         assert_eq!(stats.edges, 0);
     }

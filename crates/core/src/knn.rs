@@ -37,7 +37,7 @@ pub fn knn_search(
 ) -> (Vec<(TrajectoryId, f64)>, KnnStats) {
     assert!(!q.is_empty(), "queries must contain at least one point");
     // Each radius probe's `search` span nests under this one.
-    let _knn_span = dita_obs::span!(system.obs(), "knn", func = func, k = k);
+    let _knn_span = dita_obs::span!(system.obs(), dita_obs::names::SPAN_KNN, func = func, k = k);
     let mut stats = KnnStats {
         rounds: 0,
         final_radius: 0.0,

@@ -33,8 +33,8 @@ pub mod verify;
 pub use dita_ingest::{CompactionPolicy, IngestStats};
 pub use join::{join, BalanceStrategy, JoinOptions, JoinStats};
 pub use knn::{knn_join, knn_search, KnnStats};
-pub use search::{
-    query_broadcast_bytes, search, search_with_options, SearchOptions, SearchStats,
-};
+pub use search::{query_broadcast_bytes, search, search_with_options, SearchOptions, SearchStats};
 pub use system::{BuildStats, DitaConfig, DitaSystem};
-pub use verify::{verify_candidates, verify_pair, verify_pair_soa, QueryContext};
+pub use verify::{
+    try_verify_candidates, verify_candidates, verify_pair, verify_pair_soa, QueryContext,
+};

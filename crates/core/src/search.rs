@@ -6,10 +6,11 @@
 //! clustered layout means no second lookup); the driver collects results.
 
 use crate::system::DitaSystem;
-use crate::verify::{verify_candidates, QueryContext};
+use crate::verify::{try_verify_candidates, verify_candidates, QueryContext};
 use dita_cluster::{JobStats, TaskSpec};
 use dita_distance::DistanceFunction;
 use dita_index::FilterStats;
+use dita_obs::names;
 use dita_trajectory::{Point, TrajectoryId};
 
 /// Statistics of one search execution.
@@ -84,7 +85,7 @@ pub fn search_with_options(
     // Top-level operation span: the executor captures the driver's current
     // span before spawning workers, so worker/task spans nest under it.
     let obs = system.obs();
-    let _search_span = dita_obs::span!(obs, "search", func = func, tau = tau);
+    let _search_span = dita_obs::span!(obs, names::SPAN_SEARCH, func = func, tau = tau);
 
     // Step 1 (driver): global pruning.
     let relevant = system.global().relevant_partitions(
@@ -108,7 +109,10 @@ pub fn search_with_options(
     let mut by_worker: std::collections::BTreeMap<usize, Vec<usize>> =
         std::collections::BTreeMap::new();
     for &pid in &relevant {
-        by_worker.entry(system.worker_of(pid)).or_default().push(pid);
+        by_worker
+            .entry(system.worker_of(pid))
+            .or_default()
+            .push(pid);
     }
     let tasks: Vec<TaskSpec<Vec<usize>>> = by_worker
         .into_iter()
@@ -121,7 +125,7 @@ pub fn search_with_options(
 
     let q_ctx = &q_ctx;
     let verify_threads = options.verify_threads;
-    let (per_worker, job) = system.cluster().execute(tasks, move |_w, pids| {
+    let (per_worker, job) = system.cluster().execute_try(tasks, move |_w, pids| {
         let mut candidates = 0usize;
         let mut funnel = FilterStats::default();
         let mut hits: Vec<(TrajectoryId, f64)> = Vec::new();
@@ -131,16 +135,23 @@ pub fn search_with_options(
             // The executor opens a `task` span on this thread before calling
             // us, so `filter` and `verify` nest search → worker → task → …
             let cands = {
-                let _fspan = dita_obs::span!(obs, "filter", pid = pid);
+                let _fspan = dita_obs::span!(obs, names::SPAN_FILTER, pid = pid);
                 let (cands, fs) = trie.candidates_with_stats(q_ctx.points(), tau, func);
                 funnel.merge(&fs);
                 cands
             };
             candidates += cands.len();
-            let _vspan = dita_obs::span!(obs, "verify", pid = pid);
-            hits.extend(verify_candidates(trie, &cands, q_ctx, tau, func, verify_threads));
+            let _vspan = dita_obs::span!(obs, names::SPAN_VERIFY, pid = pid);
+            hits.extend(try_verify_candidates(
+                trie,
+                &cands,
+                q_ctx,
+                tau,
+                func,
+                verify_threads,
+            )?);
         }
-        (candidates, funnel, hits)
+        Ok((candidates, funnel, hits))
     });
 
     // Step 3 (driver): collect.
@@ -165,7 +176,7 @@ pub fn search_with_options(
     let mut tail_checked = 0u64;
     let mut tail_hits = 0u64;
     if deltas.has_deltas() {
-        let _dspan = dita_obs::span!(obs, "delta-overlay");
+        let _dspan = dita_obs::span!(obs, names::SPAN_DELTA_OVERLAY);
         results.retain(|&(id, _)| !deltas.is_base_dead(id));
         let mode = func.index_mode();
         for pid in deltas.seg_relevant(&q[0], &q[q.len() - 1], q.len(), tau, mode) {
@@ -194,8 +205,7 @@ pub fn search_with_options(
         for part in deltas.parts() {
             for it in part.tail.values() {
                 tail_checked += 1;
-                if let Some(d) =
-                    crate::verify::verify_pair_soa(it, q_ctx, tau, func, &mut scratch)
+                if let Some(d) = crate::verify::verify_pair_soa(it, q_ctx, tau, func, &mut scratch)
                 {
                     tail_hits += 1;
                     results.push((it.traj.id, d));
@@ -208,12 +218,18 @@ pub fn search_with_options(
 
     if obs.is_enabled() {
         filter.funnel().record(obs);
-        obs.counter("dita_search_queries_total").inc();
-        obs.counter("dita_search_candidates_total").add(candidates as u64);
-        obs.counter("dita_search_results_total").add(results.len() as u64);
+        obs.counter(names::SEARCH_QUERIES_TOTAL).inc();
+        obs.counter(names::SEARCH_CANDIDATES_TOTAL)
+            .add(candidates as u64);
+        obs.counter(names::SEARCH_RESULTS_TOTAL)
+            .add(results.len() as u64);
         if deltas.has_deltas() {
             let mut funnel = delta_funnel(&delta_filter);
-            funnel.push_stage("tail-exact", tail_checked, tail_checked - tail_hits);
+            funnel.push_stage(
+                names::STAGE_TAIL_EXACT,
+                tail_checked,
+                tail_checked - tail_hits,
+            );
             funnel.record(obs);
         }
     }
@@ -234,24 +250,24 @@ pub fn search_with_options(
 /// recorded under its own name so the base and delta funnels stay
 /// distinguishable in the registry.
 fn delta_funnel(fs: &FilterStats) -> dita_obs::Funnel {
-    let mut f = dita_obs::Funnel::new("delta-filter");
+    let mut f = dita_obs::Funnel::new(names::FUNNEL_DELTA_FILTER);
     f.push_stage(
-        "node-length",
+        names::STAGE_NODE_LENGTH,
         fs.nodes_visited as u64,
         fs.nodes_pruned_length as u64,
     );
     f.push_stage(
-        "node-budget",
+        names::STAGE_NODE_BUDGET,
         (fs.nodes_visited - fs.nodes_pruned_length) as u64,
         fs.nodes_pruned_budget as u64,
     );
     f.push_stage(
-        "leaf-length",
+        names::STAGE_LEAF_LENGTH,
         fs.members_checked as u64,
         fs.members_pruned_length as u64,
     );
     f.push_stage(
-        "leaf-opamd",
+        names::STAGE_LEAF_OPAMD,
         (fs.members_checked - fs.members_pruned_length) as u64,
         fs.members_pruned_opamd as u64,
     );
@@ -291,8 +307,7 @@ mod tests {
         // Q = T1, τ = 3, DTW → {T1, T2}.
         let sys = tiny_system(2);
         let ts = figure1_trajectories();
-        let (results, stats) =
-            search(&sys, ts[0].points(), 3.0, &DistanceFunction::Dtw);
+        let (results, stats) = search(&sys, ts[0].points(), 3.0, &DistanceFunction::Dtw);
         let ids: Vec<u64> = results.iter().map(|&(id, _)| id).collect();
         assert_eq!(ids, vec![1, 2]);
         assert_eq!(results[0].1, 0.0);
@@ -383,7 +398,9 @@ mod tests {
                 ts[0].points(),
                 3.0,
                 &DistanceFunction::Dtw,
-                SearchOptions { verify_threads: threads },
+                SearchOptions {
+                    verify_threads: threads,
+                },
             )
             .0;
             assert_eq!(par, serial, "threads={threads}");

@@ -3,6 +3,7 @@
 use dita_cluster::{charge_compute, Cluster, TaskSpec};
 use dita_index::{str_partitioning_par, GlobalIndex, Partitioning, TrieConfig, TrieIndex};
 use dita_ingest::{CompactionPolicy, DeltaSet};
+use dita_obs::names;
 use dita_trajectory::{Dataset, Trajectory, TrajectoryId};
 use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
@@ -104,13 +105,13 @@ impl DitaSystem {
         let trie_cfg = config.trie;
         let obs = cluster.obs().clone();
         let (mut built, _stats) = cluster.execute(tasks, move |_w, (pid, members)| {
-            let _span = obs.span("index-build");
+            let _span = obs.span(names::SPAN_INDEX_BUILD);
             let t0 = Instant::now();
             let (trie, helper_cpu) = TrieIndex::build_timed(members, trie_cfg);
             // Fold the build pool's CPU time into this task's compute cost —
             // same contract as parallel verification.
             charge_compute(helper_cpu);
-            obs.histogram_seconds("dita_index_build_seconds")
+            obs.histogram_seconds(names::INDEX_BUILD_SECONDS)
                 .observe(t0.elapsed().as_secs_f64());
             (pid, trie)
         });
@@ -263,7 +264,11 @@ impl DitaSystem {
         let global_size_bytes = snapshot.global.size_bytes();
         let local_size_bytes = snapshot.tries.iter().map(TrieIndex::index_size_bytes).sum();
         let total_size_bytes = global_size_bytes
-            + snapshot.tries.iter().map(TrieIndex::size_bytes).sum::<usize>();
+            + snapshot
+                .tries
+                .iter()
+                .map(TrieIndex::size_bytes)
+                .sum::<usize>();
         let deltas = DeltaSet::new(
             snapshot.tries.len(),
             Self::base_home(&snapshot.tries),
@@ -328,7 +333,11 @@ mod tests {
                 ..TrieConfig::default()
             },
         };
-        DitaSystem::build(&dataset, config, Cluster::new(ClusterConfig::with_workers(2)))
+        DitaSystem::build(
+            &dataset,
+            config,
+            Cluster::new(ClusterConfig::with_workers(2)),
+        )
     }
 
     #[test]
@@ -387,17 +396,18 @@ mod persistence_tests {
                 ..TrieConfig::default()
             },
         };
-        let original =
-            DitaSystem::build(&dataset, config, Cluster::new(ClusterConfig::with_workers(2)));
+        let original = DitaSystem::build(
+            &dataset,
+            config,
+            Cluster::new(ClusterConfig::with_workers(2)),
+        );
 
         let mut buf = Vec::new();
         original.save_index(&mut buf).unwrap();
         // Load onto a *different* cluster shape.
-        let loaded = DitaSystem::load_index(
-            buf.as_slice(),
-            Cluster::new(ClusterConfig::with_workers(3)),
-        )
-        .unwrap();
+        let loaded =
+            DitaSystem::load_index(buf.as_slice(), Cluster::new(ClusterConfig::with_workers(3)))
+                .unwrap();
 
         assert_eq!(loaded.name(), original.name());
         assert_eq!(loaded.len(), original.len());

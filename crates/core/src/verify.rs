@@ -17,7 +17,7 @@
 //! the pipeline, optionally on a rayon pool scoped to the worker, with
 //! deterministic output order and honest CPU-time accounting.
 
-use dita_cluster::{charge_compute, thread_cpu_time};
+use dita_cluster::{charge_compute, thread_cpu_time, TaskError};
 use dita_distance::kernel::Scratch;
 use dita_distance::{bounds, DistanceFunction};
 use dita_index::{IndexedTrajectory, TrieIndex};
@@ -39,7 +39,10 @@ impl QueryContext {
     /// Builds the context; `cell_side` should match the index's cell side so
     /// bounds are comparable (any positive value is sound).
     pub fn new(points: &[Point], cell_side: f64) -> Self {
-        assert!(!points.is_empty(), "queries must contain at least one point");
+        assert!(
+            !points.is_empty(),
+            "queries must contain at least one point"
+        );
         let traj = Trajectory::new(u64::MAX, points.to_vec());
         QueryContext {
             mbr: traj.mbr(),
@@ -53,9 +56,17 @@ impl QueryContext {
     /// this to reuse the shipped trajectory's clustered-index entries
     /// instead of recompressing.
     pub fn from_parts(points: Vec<Point>, mbr: Mbr, cells: CellList) -> Self {
-        assert!(!points.is_empty(), "queries must contain at least one point");
+        assert!(
+            !points.is_empty(),
+            "queries must contain at least one point"
+        );
         let soa = SoaPoints::from_points(&points);
-        QueryContext { points, mbr, cells, soa }
+        QueryContext {
+            points,
+            mbr,
+            cells,
+            soa,
+        }
     }
 
     /// The query points.
@@ -148,7 +159,13 @@ pub fn verify_pair_soa(
 }
 
 /// Verifies a worker task's candidate list, returning `(id, distance)` hits
-/// in candidate order.
+/// in candidate order — the fallible form worker tasks run under
+/// [`dita_cluster::Cluster::execute_try`].
+///
+/// Candidate ids are validated up front: an out-of-range id (a corrupted
+/// candidate list) returns a [`TaskError`] that the executor's retry path
+/// treats like a task panic, instead of unwinding the worker thread. The
+/// hot loops below are panic-free by construction after that check.
 ///
 /// With `threads ≤ 1` the list is verified serially on the calling thread.
 /// With `threads > 1` it is split across a rayon pool scoped to this call
@@ -158,14 +175,20 @@ pub fn verify_pair_soa(
 /// work, not the host parallelism. The output is identical for every thread
 /// count: results land in pre-assigned slots, so ordering never depends on
 /// scheduling.
-pub fn verify_candidates(
+pub fn try_verify_candidates(
     trie: &TrieIndex,
     cands: &[u32],
     q: &QueryContext,
     tau: f64,
     func: &DistanceFunction,
     threads: usize,
-) -> Vec<(TrajectoryId, f64)> {
+) -> Result<Vec<(TrajectoryId, f64)>, TaskError> {
+    if let Some(&bad) = cands.iter().find(|&&c| trie.try_get(c).is_none()) {
+        return Err(TaskError::new(format!(
+            "candidate id {bad} out of range for a trie of {} entries",
+            trie.len()
+        )));
+    }
     let serial = |out: &mut Vec<(TrajectoryId, f64)>| {
         let mut scratch = Scratch::new();
         for &c in cands {
@@ -178,7 +201,7 @@ pub fn verify_candidates(
     if threads <= 1 || cands.len() < 2 {
         let mut out = Vec::new();
         serial(&mut out);
-        return out;
+        return Ok(out);
     }
     let pool = match rayon::ThreadPoolBuilder::new().num_threads(threads).build() {
         Ok(p) => p,
@@ -187,7 +210,7 @@ pub fn verify_candidates(
             // must still complete.
             let mut out = Vec::new();
             serial(&mut out);
-            return out;
+            return Ok(out);
         }
     };
 
@@ -215,7 +238,23 @@ pub fn verify_candidates(
     // Back on the worker thread: fold the pool's CPU time into this task's
     // compute cost.
     charge_compute(Duration::from_nanos(cpu_ns.load(Ordering::Relaxed)));
-    slots.into_iter().flatten().collect()
+    Ok(slots.into_iter().flatten().collect())
+}
+
+/// Infallible [`try_verify_candidates`] for driver-side overlays, benches
+/// and tests, where the candidate list comes straight from a trie probe
+/// and an out-of-range id is an immediate programming error.
+pub fn verify_candidates(
+    trie: &TrieIndex,
+    cands: &[u32],
+    q: &QueryContext,
+    tau: f64,
+    func: &DistanceFunction,
+    threads: usize,
+) -> Vec<(TrajectoryId, f64)> {
+    try_verify_candidates(trie, cands, q, tau, func, threads)
+        // lint: allow(worker-panic, reason = "driver-side wrapper; worker tasks call try_verify_candidates under execute_try")
+        .expect("candidate ids must be in range")
 }
 
 #[cfg(test)]
@@ -279,8 +318,15 @@ mod tests {
         );
         let (mbr, cells) = artifacts(&ts[4]);
         let qc = ctx(q.points());
-        assert!(verify_pair(ts[4].points(), &mbr, &cells, &qc, 3.0, &DistanceFunction::Dtw)
-            .is_none());
+        assert!(verify_pair(
+            ts[4].points(),
+            &mbr,
+            &cells,
+            &qc,
+            3.0,
+            &DistanceFunction::Dtw
+        )
+        .is_none());
     }
 
     #[test]
@@ -303,8 +349,15 @@ mod tests {
         );
         let (mbr, cells) = artifacts(&ts[0]);
         let qc = ctx(q.points());
-        assert!(verify_pair(ts[0].points(), &mbr, &cells, &qc, 3.0, &DistanceFunction::Dtw)
-            .is_none());
+        assert!(verify_pair(
+            ts[0].points(),
+            &mbr,
+            &cells,
+            &qc,
+            3.0,
+            &DistanceFunction::Dtw
+        )
+        .is_none());
     }
 
     #[test]
@@ -338,8 +391,7 @@ mod tests {
         let mut scratch = Scratch::new();
         for f in fns {
             for a in &ts {
-                let it =
-                    IndexedTrajectory::new(a.clone(), 2, PivotStrategy::NeighborDistance, 2.0);
+                let it = IndexedTrajectory::new(a.clone(), 2, PivotStrategy::NeighborDistance, 2.0);
                 for b in &ts {
                     let q = ctx(b.points());
                     for tau in [0.5, 1.5, 3.0, 6.0] {
@@ -362,12 +414,17 @@ mod tests {
         let ts = figure1_trajectories();
         let trie = TrieIndex::build(
             ts.clone(),
-            TrieConfig { k: 2, nl: 2, leaf_capacity: 0, cell_side: 2.0, ..TrieConfig::default() },
+            TrieConfig {
+                k: 2,
+                nl: 2,
+                leaf_capacity: 0,
+                cell_side: 2.0,
+                ..TrieConfig::default()
+            },
         );
         let q = ctx(ts[0].points());
         let cands: Vec<u32> = (0..ts.len() as u32).collect();
-        let baseline =
-            verify_candidates(&trie, &cands, &q, 3.0, &DistanceFunction::Dtw, 1);
+        let baseline = verify_candidates(&trie, &cands, &q, 3.0, &DistanceFunction::Dtw, 1);
         assert!(!baseline.is_empty());
         for threads in [2usize, 4, 8] {
             for _ in 0..3 {
@@ -376,5 +433,41 @@ mod tests {
                 assert_eq!(got, baseline, "threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn out_of_range_candidate_is_an_error_not_a_panic() {
+        use dita_index::{TrieConfig, TrieIndex};
+        let ts = figure1_trajectories();
+        let n = ts.len() as u32;
+        let trie = TrieIndex::build(
+            ts.clone(),
+            TrieConfig {
+                k: 2,
+                nl: 2,
+                leaf_capacity: 0,
+                cell_side: 2.0,
+                ..TrieConfig::default()
+            },
+        );
+        let q = ctx(ts[0].points());
+        // A corrupted candidate list (id past the end of the trie) must
+        // surface as a retryable TaskError, in both the serial and the
+        // rayon-pool paths, without unwinding the worker thread.
+        for threads in [1usize, 4] {
+            let cands: Vec<u32> = (0..=n).collect();
+            let err =
+                try_verify_candidates(&trie, &cands, &q, 3.0, &DistanceFunction::Dtw, threads)
+                    .expect_err("out-of-range candidate must be rejected");
+            assert!(err.to_string().contains("out of range"), "{err}");
+        }
+        // In-range ids still verify identically through the fallible path.
+        let cands: Vec<u32> = (0..n).collect();
+        let ok = try_verify_candidates(&trie, &cands, &q, 3.0, &DistanceFunction::Dtw, 1)
+            .expect("in-range candidates verify");
+        assert_eq!(
+            ok,
+            verify_candidates(&trie, &cands, &q, 3.0, &DistanceFunction::Dtw, 1)
+        );
     }
 }

@@ -1,0 +1,93 @@
+//! NaN discipline for the distance kernels.
+//!
+//! The lint rule `nan-ordering` (STATIC_ANALYSIS.md, L2) bans
+//! NaN-unsafe orderings like `partial_cmp(..).unwrap()` at compile
+//! scan time; these properties pin the complementary runtime half of
+//! the contract: for finite inputs, no kernel or lower bound ever
+//! emits NaN, so `f64::total_cmp` and `partial_cmp` agree wherever
+//! kernel outputs get ordered (kNN heaps, STR sort keys, pivot
+//! selection).
+
+use dita_distance::{
+    amd, dtw, dtw_double_direction, dtw_threshold, edr, edr_threshold, erp, erp_threshold, frechet,
+    frechet_threshold, lcss_distance, lcss_distance_threshold, pamd,
+};
+use dita_trajectory::Point;
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-50.0f64..50.0, -50.0f64..50.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_seq(max_len: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec(arb_point(), 1..max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn kernels_never_emit_nan_for_finite_inputs(
+        a in arb_seq(20),
+        b in arb_seq(20),
+        eps in 0.0f64..10.0,
+        delta in 0usize..8,
+    ) {
+        let gap = Point::new(0.0, 0.0);
+        let outs = [
+            dtw(&a, &b),
+            frechet(&a, &b),
+            edr(&a, &b, eps),
+            erp(&a, &b, &gap),
+            lcss_distance(&a, &b, eps, delta),
+            amd(&a, &b),
+        ];
+        for (i, v) in outs.iter().enumerate() {
+            prop_assert!(v.is_finite(), "kernel #{i} produced non-finite {v}");
+        }
+        if a.len() >= 4 {
+            let pivots: Vec<usize> = (1..a.len() - 1).step_by(2).collect();
+            let v = pamd(&a, &b, &pivots);
+            prop_assert!(v.is_finite(), "pamd produced non-finite {v}");
+        }
+    }
+
+    #[test]
+    fn threshold_kernels_never_emit_nan(
+        a in arb_seq(20),
+        b in arb_seq(20),
+        eps in 0.0f64..10.0,
+        tau in 0.0f64..200.0,
+        delta in 0usize..8,
+    ) {
+        let gap = Point::new(0.0, 0.0);
+        let outs = [
+            dtw_threshold(&a, &b, tau),
+            dtw_double_direction(&a, &b, tau),
+            frechet_threshold(&a, &b, tau),
+            edr_threshold(&a, &b, eps, tau),
+            erp_threshold(&a, &b, &gap, tau),
+            lcss_distance_threshold(&a, &b, eps, delta, tau),
+        ];
+        for (i, v) in outs.iter().enumerate() {
+            if let Some(v) = v {
+                prop_assert!(v.is_finite(), "threshold kernel #{i} produced non-finite {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn total_cmp_agrees_with_partial_cmp_on_kernel_outputs(
+        a in arb_seq(16),
+        b in arb_seq(16),
+        c in arb_seq(16),
+    ) {
+        // Kernel outputs are finite (above), so the two orderings must
+        // coincide — i.e. migrating sort keys from
+        // `partial_cmp(..).unwrap()` to `total_cmp` (rule L2) cannot
+        // reorder anything.
+        let x = dtw(&a, &c);
+        let y = dtw(&b, &c);
+        prop_assert_eq!(Some(x.total_cmp(&y)), x.partial_cmp(&y));
+    }
+}

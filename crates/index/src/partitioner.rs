@@ -79,7 +79,12 @@ fn str_tiles(keys: &[Point], idx: Vec<usize>, n: usize) -> Vec<Vec<usize>> {
 /// Stable sort of `idx` on a pool: chunks are sorted in parallel and merged
 /// pairwise with a left-run-first tie rule, which reproduces the exact
 /// permutation of a serial (stable) `sort_by` for every thread count.
-fn par_sort_stable<F>(idx: Vec<usize>, pool: &rayon::ThreadPool, threads: usize, cmp: &F) -> Vec<usize>
+fn par_sort_stable<F>(
+    idx: Vec<usize>,
+    pool: &rayon::ThreadPool,
+    threads: usize,
+    cmp: &F,
+) -> Vec<usize>
 where
     F: Fn(usize, usize) -> Ordering + Sync,
 {
@@ -130,7 +135,12 @@ where
 /// Sorts one x-slab by y and cuts it into `rows` row tiles, snapping cuts
 /// off equal-y runs.
 fn cut_slab(keys: &[Point], mut slab: Vec<usize>, rows: usize) -> Vec<Vec<usize>> {
-    slab.sort_by(|&a, &b| keys[a].y.total_cmp(&keys[b].y).then(keys[a].x.total_cmp(&keys[b].x)));
+    slab.sort_by(|&a, &b| {
+        keys[a]
+            .y
+            .total_cmp(&keys[b].y)
+            .then(keys[a].x.total_cmp(&keys[b].x))
+    });
     let mut out = Vec::with_capacity(rows);
     let mut start = 0;
     for r in 0..rows {
@@ -212,8 +222,12 @@ fn str_tiles_with(
     // Distribute n tiles over `slabs` slabs as evenly as possible.
     let base = n / slabs;
     let extra = n % slabs;
-    let cmp_x =
-        |a: usize, b: usize| keys[a].x.total_cmp(&keys[b].x).then(keys[a].y.total_cmp(&keys[b].y));
+    let cmp_x = |a: usize, b: usize| {
+        keys[a]
+            .x
+            .total_cmp(&keys[b].x)
+            .then(keys[a].y.total_cmp(&keys[b].y))
+    };
     match pool {
         Some((pool, threads)) if idx.len() > threads.max(1) => {
             idx = par_sort_stable(idx, pool, threads, &cmp_x);
@@ -298,8 +312,16 @@ fn split_bucket(
         }
         let mbr_first = Mbr::from_points(sub.iter().map(|&i| &firsts[i]));
         let mbr_last = Mbr::from_points(sub.iter().map(|&i| &lasts[i]));
-        let min_len = sub.iter().map(|&i| trajectories[i].len()).min().unwrap_or(0);
-        let max_len = sub.iter().map(|&i| trajectories[i].len()).max().unwrap_or(0);
+        let min_len = sub
+            .iter()
+            .map(|&i| trajectories[i].len())
+            .min()
+            .unwrap_or(0);
+        let max_len = sub
+            .iter()
+            .map(|&i| trajectories[i].len())
+            .max()
+            .unwrap_or(0);
         out.push(Partition {
             id: 0, // dense ids assigned by the caller, in bucket order
             members: sub,
@@ -322,7 +344,12 @@ fn split_bucket(
 ///
 /// # Panics
 /// Panics if `ng == 0`.
-pub fn str_partitioning_par(trajectories: &[Trajectory], ng: usize, threads: usize) -> Partitioning {
+// lint: allow(unpriced-parallelism, reason = "runs on the driver before any cluster task exists; there is no task to charge helper CPU back to")
+pub fn str_partitioning_par(
+    trajectories: &[Trajectory],
+    ng: usize,
+    threads: usize,
+) -> Partitioning {
     assert!(ng >= 1, "NG must be at least 1");
     let threads = threads.max(1);
     let n = trajectories.len();
@@ -542,13 +569,25 @@ mod tests {
         let b = random_partitioning(&ts, 8, 42);
         assert_eq!(a.total_members(), 200);
         assert_eq!(
-            a.partitions.iter().map(|p| p.members.clone()).collect::<Vec<_>>(),
-            b.partitions.iter().map(|p| p.members.clone()).collect::<Vec<_>>()
+            a.partitions
+                .iter()
+                .map(|p| p.members.clone())
+                .collect::<Vec<_>>(),
+            b.partitions
+                .iter()
+                .map(|p| p.members.clone())
+                .collect::<Vec<_>>()
         );
         let c = random_partitioning(&ts, 8, 7);
         assert_ne!(
-            a.partitions.iter().map(|p| p.members.clone()).collect::<Vec<_>>(),
-            c.partitions.iter().map(|p| p.members.clone()).collect::<Vec<_>>()
+            a.partitions
+                .iter()
+                .map(|p| p.members.clone())
+                .collect::<Vec<_>>(),
+            c.partitions
+                .iter()
+                .map(|p| p.members.clone())
+                .collect::<Vec<_>>()
         );
     }
 

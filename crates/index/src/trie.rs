@@ -225,24 +225,25 @@ impl FilterStats {
     /// members); the final stage's survivors equal
     /// [`FilterStats::candidates`].
     pub fn funnel(&self) -> dita_obs::Funnel {
-        let mut f = dita_obs::Funnel::new("trie-filter");
+        use dita_obs::names;
+        let mut f = dita_obs::Funnel::new(names::FUNNEL_TRIE_FILTER);
         f.push_stage(
-            "node-length",
+            names::STAGE_NODE_LENGTH,
             self.nodes_visited as u64,
             self.nodes_pruned_length as u64,
         );
         f.push_stage(
-            "node-budget",
+            names::STAGE_NODE_BUDGET,
             (self.nodes_visited - self.nodes_pruned_length) as u64,
             self.nodes_pruned_budget as u64,
         );
         f.push_stage(
-            "leaf-length",
+            names::STAGE_LEAF_LENGTH,
             self.members_checked as u64,
             self.members_pruned_length as u64,
         );
         f.push_stage(
-            "leaf-opamd",
+            names::STAGE_LEAF_OPAMD,
             (self.members_checked - self.members_pruned_length) as u64,
             self.members_pruned_opamd as u64,
         );
@@ -519,7 +520,10 @@ impl TrieIndex {
             }
         };
         let mut nodes = Vec::new();
-        let roots: Vec<u32> = pending.into_iter().map(|p| flatten(&mut nodes, p)).collect();
+        let roots: Vec<u32> = pending
+            .into_iter()
+            .map(|p| flatten(&mut nodes, p))
+            .collect();
 
         let index = TrieIndex {
             config,
@@ -527,7 +531,10 @@ impl TrieIndex {
             roots,
             data,
         };
-        (index, Duration::from_nanos(helper_ns.load(Ordering::Relaxed)))
+        (
+            index,
+            Duration::from_nanos(helper_ns.load(Ordering::Relaxed)),
+        )
     }
 
     /// The configuration the index was built with.
@@ -546,8 +553,20 @@ impl TrieIndex {
     }
 
     /// Access a stored trajectory by local id.
+    ///
+    /// # Panics
+    /// Panics when `id` is out of range; worker-executed code handed ids
+    /// from outside the trie should use [`TrieIndex::try_get`] instead.
     pub fn get(&self, id: u32) -> &IndexedTrajectory {
         &self.data[id as usize]
+    }
+
+    /// [`TrieIndex::get`] without the panic: `None` when `id` is out of
+    /// range. The checked form worker tasks use so a corrupted candidate
+    /// list surfaces as a retryable `TaskError` instead of unwinding the
+    /// worker.
+    pub fn try_get(&self, id: u32) -> Option<&IndexedTrajectory> {
+        self.data.get(id as usize)
     }
 
     /// All stored trajectories.
@@ -882,18 +901,13 @@ impl TrieIndex {
         // whole interval. Compared against the *original* τ — an edit
         // already charged for a missed pivot may be the very deletion that
         // explains the length gap, so the two budgets must not be combined.
-        if edr
-            && (node.min_len as f64 > n as f64 + tau
-                || (node.max_len as f64) < n as f64 - tau)
-        {
+        if edr && (node.min_len as f64 > n as f64 + tau || (node.max_len as f64) < n as f64 - tau) {
             stats.nodes_pruned_length += 1;
             return;
         }
         // Distance of the query to this node's MBR, per level semantics.
         let (d, new_suffix) = match (node.depth, mode) {
-            (1, IndexMode::Additive | IndexMode::Max) => {
-                (node.mbr.min_dist_point(&q[0]), suffix)
-            }
+            (1, IndexMode::Additive | IndexMode::Max) => (node.mbr.min_dist_point(&q[0]), suffix),
             (2, IndexMode::Additive | IndexMode::Max) => {
                 (node.mbr.min_dist_point(&q[n - 1]), suffix)
             }
@@ -906,6 +920,7 @@ impl TrieIndex {
                     .sqrt();
                 (d, 0)
             }
+            // lint: allow(worker-panic, reason = "candidates() returns before descending in Scan mode; this arm is dead by construction")
             (_, IndexMode::Scan) => unreachable!("Scan mode never descends the trie"),
             (_, IndexMode::Additive | IndexMode::Max) => {
                 // Pivot level: ordered-suffix scan (Lemma 5.1). Points of the
@@ -947,6 +962,7 @@ impl TrieIndex {
                 }
                 budget
             }
+            // lint: allow(worker-panic, reason = "candidates() returns before descending in Scan mode; this arm is dead by construction")
             IndexMode::Scan => unreachable!("Scan mode never descends the trie"),
             IndexMode::EditCount { eps, .. } => {
                 if d > eps {
@@ -1113,7 +1129,9 @@ mod tests {
         assert!(index
             .candidates(ts[0].points(), -1.0, &DistanceFunction::Dtw)
             .is_empty());
-        assert!(index.candidates(&[], 3.0, &DistanceFunction::Dtw).is_empty());
+        assert!(index
+            .candidates(&[], 3.0, &DistanceFunction::Dtw)
+            .is_empty());
     }
 
     #[test]
@@ -1137,7 +1155,10 @@ mod tests {
         );
         assert_eq!(index.len(), 3);
         let q = &ts[0];
-        let cands = ids_of(&index, &index.candidates(q.points(), 1.0, &DistanceFunction::Dtw));
+        let cands = ids_of(
+            &index,
+            &index.candidates(q.points(), 1.0, &DistanceFunction::Dtw),
+        );
         assert!(cands.contains(&1));
         assert!(cands.contains(&2));
         assert!(!cands.contains(&3));
@@ -1173,14 +1194,8 @@ mod tests {
                     );
                     // Stage chaining: each stage enters what survived the
                     // one before it.
-                    assert_eq!(
-                        funnel.stages[1].entered,
-                        funnel.stages[0].survivors()
-                    );
-                    assert_eq!(
-                        funnel.stages[3].entered,
-                        funnel.stages[2].survivors()
-                    );
+                    assert_eq!(funnel.stages[1].entered, funnel.stages[0].survivors());
+                    assert_eq!(funnel.stages[3].entered, funnel.stages[2].survivors());
                     assert!(stats.members_checked <= index.len());
                 }
             }
@@ -1191,8 +1206,7 @@ mod tests {
     fn non_edr_probes_never_use_length_stages() {
         let index = fig1_index(2, 2);
         let ts = figure1_trajectories();
-        let (_, stats) =
-            index.candidates_with_stats(ts[0].points(), 1.0, &DistanceFunction::Dtw);
+        let (_, stats) = index.candidates_with_stats(ts[0].points(), 1.0, &DistanceFunction::Dtw);
         assert_eq!(stats.nodes_pruned_length, 0);
         assert_eq!(stats.members_pruned_length, 0);
         assert!(stats.nodes_visited > 0);

@@ -1,0 +1,16 @@
+// Fixture proving well-formed allow comments suppress findings and
+// malformed ones do not. Never compiled.
+
+fn justified(cluster: &Cluster, tasks: Vec<TaskSpec<u32>>) {
+    let (results, _) = cluster.execute(tasks, |_w, payload| {
+        // lint: allow(worker-panic, reason = "fixture: deliberate abort")
+        lookup(payload).expect("fixture")
+    });
+    drop(results);
+}
+
+fn justified_sort(mut xs: Vec<f64>) -> Vec<f64> {
+    // lint: allow(nan-ordering, reason = "fixture: inputs pre-filtered finite")
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs
+}

@@ -1,0 +1,19 @@
+// Known-bad fixture for rule L1 (worker-panic). Never compiled; the
+// fixture tests lint it as if it lived at a worker-scoped path.
+
+fn broken_driver(cluster: &Cluster, tasks: Vec<TaskSpec<u32>>) {
+    let (results, _) = cluster.execute(tasks, |_w, payload| {
+        let v: Option<u32> = lookup(payload);
+        let extra = table.get(payload).expect("present");
+        v.unwrap() + extra
+    });
+    drop(results);
+}
+
+fn broken_dynamic(cluster: &Cluster, tasks: Vec<DynTaskSpec<u32>>) {
+    let (results, _) = cluster.execute_dynamic(tasks, |payload| match payload {
+        0 => unreachable!("zero tasks are filtered out"),
+        n => n,
+    });
+    drop(results);
+}

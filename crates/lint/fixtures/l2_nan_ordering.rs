@@ -1,0 +1,19 @@
+// Known-bad fixture for rule L2 (nan-ordering). Never compiled.
+
+fn broken_sort(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs
+}
+
+fn broken_min(xs: &[f64]) -> Option<&f64> {
+    xs.iter().min_by(|a, b| a.partial_cmp(b).expect("comparable"))
+}
+
+fn broken_chain(a: f64, b: f64) -> std::cmp::Ordering {
+    a.partial_cmp(&b).unwrap()
+}
+
+fn fine_sort(mut xs: Vec<f64>) -> Vec<f64> {
+    xs.sort_by(|a, b| a.total_cmp(b));
+    xs
+}

@@ -1,0 +1,17 @@
+// Known-bad fixture for rule L3's call-site half. Never compiled.
+
+fn broken_metrics(obs: &Obs) {
+    obs.counter("dita_rogue_total").inc();
+    obs.gauge("dita_rogue_gauge").set(1.0);
+    obs.histogram_seconds("dita_rogue_seconds").observe(0.1);
+    let _g = obs.span("rogue-span");
+    let _m = dita_obs::span!(obs, "rogue-macro-span", pid = 1);
+    let mut f = Funnel::new("rogue-funnel");
+    f.stage("rogue-stage", 10, 5);
+}
+
+fn fine_metrics(obs: &Obs) {
+    obs.counter(names::TASKS_TOTAL).inc();
+    let _g = obs.span(names::SPAN_SEARCH);
+    let _m = dita_obs::span!(obs, names::SPAN_FILTER, pid = 1);
+}

@@ -1,0 +1,22 @@
+// Known-bad fixture for rule L4 (unpriced-parallelism). Never
+// compiled; linted as if it lived in a cost-modeled crate.
+
+fn broken_pool(items: &[u64]) -> u64 {
+    let pool = rayon::ThreadPoolBuilder::new().num_threads(4).build().ok();
+    let total = std::sync::atomic::AtomicU64::new(0);
+    pool.unwrap().scope(|s| {
+        for chunk in items.chunks(8) {
+            s.spawn(|_| {
+                total.fetch_add(chunk.iter().sum::<u64>(), Relaxed);
+            });
+        }
+    });
+    total.into_inner()
+}
+
+fn priced_pool(items: &[u64]) -> u64 {
+    let t0 = thread_cpu_time();
+    let out = rayon::scope(|_s| items.iter().sum());
+    charge_compute(thread_cpu_time().saturating_sub(t0));
+    out
+}

@@ -1,0 +1,140 @@
+//! `dita-lint`: workspace-specific static analysis for DITA.
+//!
+//! Generic lints (clippy, rustc) can't see this workspace's contracts:
+//! that worker closures run under `catch_unwind` and must fail via
+//! `TaskError`, that float ordering feeds distance kernels where NaN
+//! means a broken pruning bound, that the observability registry and
+//! OBSERVABILITY.md must agree, and that helper-pool CPU time must be
+//! charged to the simulated cost model. This crate enforces those four
+//! invariants (rules L1–L4, see STATIC_ANALYSIS.md) with a
+//! dependency-free scanner over comment/string-masked source.
+//!
+//! `scripts/check.sh` runs `dita-lint --workspace --deny` as a hard
+//! gate after clippy.
+
+#![warn(missing_docs)]
+
+pub mod mask;
+pub mod registry;
+pub mod report;
+pub mod rules;
+
+pub use report::Report;
+pub use rules::{lint_source, FileLint};
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// One rule violation at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`worker-panic`, `nan-ordering`, `obs-names`,
+    /// `unpriced-parallelism`, `malformed-allow`).
+    pub rule: &'static str,
+    /// Workspace-relative path with `/` separators.
+    pub file: String,
+    /// 1-indexed line.
+    pub line: usize,
+    /// Human-readable explanation with the expected fix.
+    pub message: String,
+}
+
+/// Directory names never scanned: build output, VCS, test-support
+/// trees (tests are exempt from the rules) and the lint fixtures,
+/// which are rule-triggering by construction.
+const SKIP_DIRS: &[&str] = &[
+    "target", ".git", "tests", "benches", "examples", "fixtures", "related",
+];
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                collect_rs(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    out.sort();
+}
+
+/// Runs every rule over the workspace rooted at `root` and returns the
+/// aggregate report. IO errors on individual files become findings
+/// rather than aborting the run.
+pub fn run_workspace(root: &Path) -> Report {
+    let t0 = Instant::now();
+    let mut files = Vec::new();
+    collect_rs(&root.join("crates"), &mut files);
+    collect_rs(&root.join("src"), &mut files);
+
+    let mut findings = Vec::new();
+    let mut allowed = 0usize;
+    let files_scanned = files.len();
+    for path in &files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        match fs::read_to_string(path) {
+            Ok(src) => {
+                let r = lint_source(&rel, &src);
+                findings.extend(r.findings);
+                allowed += r.allowed;
+            }
+            Err(e) => findings.push(Finding {
+                rule: "io-error",
+                file: rel,
+                line: 0,
+                message: format!("unreadable source file: {e}"),
+            }),
+        }
+    }
+
+    // L3 registry/doc sync.
+    let names_path = root.join("crates/obs/src/names.rs");
+    let names_src = fs::read_to_string(&names_path).unwrap_or_default();
+    let reg = registry::parse_names(&names_src);
+    let doc = fs::read_to_string(root.join("OBSERVABILITY.md")).unwrap_or_default();
+    findings.extend(registry::check_docs(
+        &reg,
+        "crates/obs/src/names.rs",
+        !names_src.is_empty(),
+        "OBSERVABILITY.md",
+        &doc,
+    ));
+
+    findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
+    Report {
+        root: root.to_string_lossy().into_owned(),
+        files_scanned,
+        runtime_seconds: t0.elapsed().as_secs_f64(),
+        findings,
+        allowed,
+    }
+}
+
+/// Ascends from `start` to the first directory whose Cargo.toml
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(s) = fs::read_to_string(&manifest) {
+            if s.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,72 @@
+//! CLI for `dita-lint` (see STATIC_ANALYSIS.md).
+//!
+//! ```text
+//! dita-lint --workspace [--deny] [--root PATH] [--quiet]
+//! ```
+//!
+//! JSON (`dita-lint/v1`) goes to stdout; human-readable findings go to
+//! stderr. With `--deny`, a non-empty finding list exits 1 — this is
+//! the mode `scripts/check.sh` gates on.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut quiet = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--workspace" => {}
+            "--deny" => deny = true,
+            "--quiet" => quiet = true,
+            "--root" => match args.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("dita-lint: --root requires a path");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: dita-lint --workspace [--deny] [--root PATH] [--quiet]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("dita-lint: unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let root = root
+        .or_else(|| {
+            let cwd = std::env::current_dir().ok()?;
+            dita_lint::find_workspace_root(&cwd)
+        })
+        .unwrap_or_else(|| PathBuf::from("."));
+
+    let report = dita_lint::run_workspace(&root);
+    if !quiet {
+        for f in &report.findings {
+            eprintln!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        eprintln!(
+            "dita-lint: {} file(s), {} finding(s), {} allowed, {:.3}s",
+            report.files_scanned,
+            report.findings.len(),
+            report.allowed,
+            report.runtime_seconds
+        );
+    }
+    // Ignore stdout write errors so `dita-lint | head` exits cleanly
+    // on SIGPIPE instead of panicking; the exit code carries the gate.
+    use std::io::Write as _;
+    let _ = std::io::stdout().write_all(report.to_json().as_bytes());
+    let _ = writeln!(std::io::stdout());
+    if deny && !report.ok() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

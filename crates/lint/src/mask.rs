@@ -1,0 +1,382 @@
+//! Comment/string masking and light structural analysis.
+//!
+//! The lint rules match raw tokens (`.unwrap()`, `partial_cmp`, …), so
+//! before matching we blank out everything a token could hide inside:
+//! line and (nested) block comments, string/raw-string/byte-string
+//! literals and char literals. Masking replaces content bytes with
+//! spaces but keeps newlines and delimiter quotes, so byte offsets and
+//! line numbers in the masked text match the original exactly.
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Blanks a `"…"` string starting at the opening quote; returns the
+/// index one past the closing quote.
+fn mask_string(b: &[u8], out: &mut [u8], open: usize) -> usize {
+    let n = b.len();
+    let mut i = open + 1;
+    while i < n {
+        match b[i] {
+            b'\\' => {
+                out[i] = b' ';
+                if i + 1 < n && b[i + 1] != b'\n' {
+                    out[i + 1] = b' ';
+                }
+                i += 2;
+            }
+            b'"' => return i + 1,
+            b'\n' => i += 1,
+            _ => {
+                out[i] = b' ';
+                i += 1;
+            }
+        }
+    }
+    n
+}
+
+/// Blanks a raw string whose opening quote sits at `quote` with
+/// `hashes` leading `#`s; returns the index one past the final `#`.
+fn mask_raw(b: &[u8], out: &mut [u8], quote: usize, hashes: usize) -> usize {
+    let n = b.len();
+    let mut i = quote + 1;
+    while i < n {
+        if b[i] == b'"' {
+            let mut k = 0;
+            while k < hashes && i + 1 + k < n && b[i + 1 + k] == b'#' {
+                k += 1;
+            }
+            if k == hashes {
+                return i + 1 + hashes;
+            }
+        }
+        if b[i] != b'\n' {
+            out[i] = b' ';
+        }
+        i += 1;
+    }
+    n
+}
+
+/// Returns `src` with comments and literal contents blanked to spaces.
+///
+/// Newlines are preserved everywhere (so line numbers survive), and the
+/// `"` delimiters of ordinary strings are kept (so call-shape patterns
+/// like `.expect("` still match).
+pub fn mask(src: &str) -> String {
+    mask_impl(src, true)
+}
+
+/// Like [`mask`] but keeps comment text intact — only literal contents
+/// are blanked. This is the view the allow-comment parser reads:
+/// `lint: allow(...)` inside a string literal must not count, while the
+/// comment state machine still has to run so quotes inside comments
+/// don't desynchronise string masking.
+pub fn mask_literals(src: &str) -> String {
+    mask_impl(src, false)
+}
+
+fn mask_impl(src: &str, blank_comments: bool) -> String {
+    let b = src.as_bytes();
+    let mut out = b.to_vec();
+    let n = b.len();
+    let mut i = 0;
+    while i < n {
+        match b[i] {
+            b'/' if i + 1 < n && b[i + 1] == b'/' => {
+                while i < n && b[i] != b'\n' {
+                    if blank_comments {
+                        out[i] = b' ';
+                    }
+                    i += 1;
+                }
+            }
+            b'/' if i + 1 < n && b[i + 1] == b'*' => {
+                let mut depth = 1usize;
+                if blank_comments {
+                    out[i] = b' ';
+                    out[i + 1] = b' ';
+                }
+                i += 2;
+                while i < n && depth > 0 {
+                    if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                        depth += 1;
+                        if blank_comments {
+                            out[i] = b' ';
+                            out[i + 1] = b' ';
+                        }
+                        i += 2;
+                    } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                        depth -= 1;
+                        if blank_comments {
+                            out[i] = b' ';
+                            out[i + 1] = b' ';
+                        }
+                        i += 2;
+                    } else {
+                        if blank_comments && b[i] != b'\n' {
+                            out[i] = b' ';
+                        }
+                        i += 1;
+                    }
+                }
+            }
+            b'"' => i = mask_string(b, &mut out, i),
+            b'r' | b'b' => {
+                let start = i;
+                let preceded_by_ident = start > 0 && is_ident(b[start - 1]);
+                let mut j = i;
+                if b[j] == b'b' {
+                    j += 1;
+                }
+                let mut handled = false;
+                if !preceded_by_ident && j < n && b[j] == b'r' {
+                    let mut k = j + 1;
+                    let mut hashes = 0usize;
+                    while k < n && b[k] == b'#' {
+                        hashes += 1;
+                        k += 1;
+                    }
+                    if k < n && b[k] == b'"' {
+                        i = mask_raw(b, &mut out, k, hashes);
+                        handled = true;
+                    }
+                } else if !preceded_by_ident && b[start] == b'b' && j < n && b[j] == b'"' {
+                    i = mask_string(b, &mut out, j);
+                    handled = true;
+                }
+                if !handled {
+                    i += 1;
+                }
+            }
+            b'\'' => {
+                // Char literal vs lifetime. An escaped literal closes
+                // within a short window; `'x'` closes two bytes out;
+                // anything else (`'a`, `'static`) is a lifetime.
+                if i + 2 < n && b[i + 1] == b'\\' {
+                    let mut k = i + 2;
+                    while k < n && b[k] != b'\'' && k - i < 12 {
+                        k += 1;
+                    }
+                    if k < n && b[k] == b'\'' {
+                        for m in i + 1..k {
+                            if b[m] != b'\n' {
+                                out[m] = b' ';
+                            }
+                        }
+                        i = k + 1;
+                    } else {
+                        i += 1;
+                    }
+                } else if i + 2 < n && b[i + 2] == b'\'' && b[i + 1] != b'\'' {
+                    out[i + 1] = b' ';
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// Index of the `}` matching the `{` at `open` (brace depth only;
+/// call on masked text so literal braces cannot desynchronise it).
+pub fn matching_brace(m: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < m.len() {
+        match m[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Index of the `)` matching the `(` at `open` (paren depth only).
+pub fn matching_paren(m: &[u8], open: usize) -> Option<usize> {
+    let mut depth = 0i64;
+    let mut i = open;
+    while i < m.len() {
+        match m[i] {
+            b'(' => depth += 1,
+            b')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    None
+}
+
+/// 1-indexed line number of byte offset `idx`.
+pub fn line_of(src: &str, idx: usize) -> usize {
+    src.as_bytes()[..idx.min(src.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Every occurrence of `needle` in `hay[range]`, as absolute offsets.
+pub fn find_all(hay: &str, needle: &str, start: usize, end: usize) -> Vec<usize> {
+    let mut v = Vec::new();
+    let end = end.min(hay.len());
+    let mut at = start;
+    while at < end {
+        match hay[at..end].find(needle) {
+            Some(off) => {
+                v.push(at + off);
+                at += off + needle.len();
+            }
+            None => break,
+        }
+    }
+    v
+}
+
+/// Blanks `#[cfg(test)]`-gated items and `#[test]` functions out of the
+/// masked text so rules only see code that ships in release builds.
+pub fn blank_test_code(masked: &str) -> String {
+    let mut out = masked.as_bytes().to_vec();
+    for attr in ["#[cfg(test)]", "#[test]"] {
+        for at in find_all(masked, attr, 0, masked.len()) {
+            // The gated item's body is the next `{` block; blanking it
+            // (newlines kept) removes its tokens from every rule.
+            if let Some(open_off) = masked[at..].find('{') {
+                let open = at + open_off;
+                if let Some(close) = matching_brace(masked.as_bytes(), open) {
+                    for b in out.iter_mut().take(close + 1).skip(at) {
+                        if *b != b'\n' {
+                            *b = b' ';
+                        }
+                    }
+                }
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+/// A function item found in masked source.
+pub struct FnSpan {
+    /// Identifier after `fn`.
+    pub name: String,
+    /// Offset of the `fn` keyword.
+    pub start: usize,
+    /// Offset of the body's closing `}` (exclusive bound of the span).
+    pub end: usize,
+}
+
+/// Locates every `fn name(...) { … }` in the masked text (nested fns
+/// are reported separately). Bodyless trait methods are skipped.
+pub fn fn_spans(masked: &str) -> Vec<FnSpan> {
+    let b = masked.as_bytes();
+    let n = b.len();
+    let mut spans = Vec::new();
+    for at in find_all(masked, "fn ", 0, n) {
+        if at > 0 && is_ident(b[at - 1]) {
+            continue;
+        }
+        let mut i = at + 3;
+        while i < n && (b[i] == b' ' || b[i] == b'\n') {
+            i += 1;
+        }
+        let name_start = i;
+        while i < n && is_ident(b[i]) {
+            i += 1;
+        }
+        if i == name_start {
+            continue;
+        }
+        let name = masked[name_start..i].to_string();
+        // Find the body `{` at paren depth 0; `;` first means no body.
+        let mut depth = 0i64;
+        let mut open = None;
+        while i < n {
+            match b[i] {
+                b'(' => depth += 1,
+                b')' => depth -= 1,
+                b'{' if depth == 0 => {
+                    open = Some(i);
+                    break;
+                }
+                b';' if depth == 0 => break,
+                _ => {}
+            }
+            i += 1;
+        }
+        if let Some(open) = open {
+            if let Some(close) = matching_brace(b, open) {
+                spans.push(FnSpan {
+                    name,
+                    start: at,
+                    end: close + 1,
+                });
+            }
+        }
+    }
+    spans
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masks_comments_and_strings() {
+        let src = "let x = \"a.unwrap()\"; // .expect(\n/* panic!( */ let y = 1;";
+        let m = mask(src);
+        assert!(!m.contains(".unwrap()"));
+        assert!(!m.contains(".expect("));
+        assert!(!m.contains("panic!("));
+        assert!(m.contains("let y = 1;"));
+        assert_eq!(m.len(), src.len());
+    }
+
+    #[test]
+    fn masks_raw_strings_and_chars() {
+        let src = "let s = r#\"panic!(\"#; let c = '\\n'; let l: &'static str = \"\";";
+        let m = mask(src);
+        assert!(!m.contains("panic!("));
+        assert!(m.contains("&'static str"));
+    }
+
+    #[test]
+    fn preserves_line_numbers() {
+        let src = "a\n\"x\ny\"\nb";
+        let m = mask(src);
+        assert_eq!(m.matches('\n').count(), src.matches('\n').count());
+        assert_eq!(line_of(src, src.len() - 1), 4);
+    }
+
+    #[test]
+    fn finds_fn_spans() {
+        let src = "pub fn alpha(x: usize) -> usize { x }\nfn beta() { alpha(1); }";
+        let spans = fn_spans(&mask(src));
+        let names: Vec<_> = spans.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["alpha", "beta"]);
+    }
+
+    #[test]
+    fn blanks_test_modules() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn t() { x.unwrap() } }";
+        let cleaned = blank_test_code(&mask(src));
+        assert!(!cleaned.contains("unwrap"));
+        assert!(cleaned.contains("fn live"));
+    }
+}

@@ -1,0 +1,170 @@
+//! L3's registry half: `dita_obs::names` ↔ OBSERVABILITY.md sync.
+//!
+//! The compiler enforces code → registry (call sites must reference a
+//! `names::` const to exist, and rule L3's call-site half forbids raw
+//! literals). This module enforces the remaining two directions:
+//! every registered name must be documented, and every metric the doc
+//! mentions must still exist in the registry.
+
+use crate::rules::RULE_OBS_NAMES;
+use crate::Finding;
+use std::collections::HashSet;
+
+/// Names parsed out of `crates/obs/src/names.rs`.
+#[derive(Default)]
+pub struct NameRegistry {
+    /// Prometheus-style metric names (`dita_*`), with declaration line.
+    pub metrics: Vec<(String, usize)>,
+    /// Span, funnel and stage names, with declaration line.
+    pub others: Vec<(String, usize)>,
+}
+
+/// Parses `pub const NAME: &str = "value";` declarations.
+pub fn parse_names(src: &str) -> NameRegistry {
+    let mut reg = NameRegistry::default();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim_start();
+        if !line.starts_with("pub const ") || !line.contains(": &str") {
+            continue;
+        }
+        let mut parts = line.split('"');
+        let Some(_) = parts.next() else { continue };
+        let Some(value) = parts.next() else { continue };
+        let entry = (value.to_string(), idx + 1);
+        if value.starts_with("dita_") {
+            reg.metrics.push(entry);
+        } else {
+            reg.others.push(entry);
+        }
+    }
+    reg
+}
+
+/// Tokens a markdown doc "mentions": backtick-quoted spans anywhere,
+/// plus bare words inside fenced code blocks (the span-hierarchy
+/// diagram names spans without backticks).
+fn doc_tokens(doc: &str) -> HashSet<String> {
+    let mut tokens = HashSet::new();
+    let mut fenced = false;
+    for raw in doc.lines() {
+        if raw.trim_start().starts_with("```") {
+            fenced = !fenced;
+            continue;
+        }
+        let mut rest = raw;
+        while let Some(at) = rest.find('`') {
+            let tail = &rest[at + 1..];
+            match tail.find('`') {
+                Some(end) => {
+                    tokens.insert(tail[..end].to_string());
+                    rest = &tail[end + 1..];
+                }
+                None => break,
+            }
+        }
+        if fenced {
+            for word in raw.split(|c: char| !(c.is_ascii_alphanumeric() || c == '_' || c == '-')) {
+                if !word.is_empty() {
+                    tokens.insert(word.to_string());
+                }
+            }
+        }
+    }
+    tokens
+}
+
+/// Two-way registry ↔ doc check. `names_file` / `doc_file` are the
+/// workspace-relative paths used in findings.
+pub fn check_docs(
+    reg: &NameRegistry,
+    names_file: &str,
+    names_src_ok: bool,
+    doc_file: &str,
+    doc: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if !names_src_ok {
+        out.push(Finding {
+            rule: RULE_OBS_NAMES,
+            file: names_file.to_string(),
+            line: 1,
+            message: "central name registry crates/obs/src/names.rs is missing".to_string(),
+        });
+        return out;
+    }
+    let tokens = doc_tokens(doc);
+    for (value, line) in reg.metrics.iter().chain(reg.others.iter()) {
+        if !tokens.contains(value) {
+            out.push(Finding {
+                rule: RULE_OBS_NAMES,
+                file: names_file.to_string(),
+                line: *line,
+                message: format!("registered name `{value}` is not documented in {doc_file}"),
+            });
+        }
+    }
+    // Orphaned doc rows: a backticked `dita_*` token the registry no
+    // longer declares (wildcards like `dita_funnel_*` don't match).
+    let metric_values: HashSet<&str> = reg.metrics.iter().map(|(v, _)| v.as_str()).collect();
+    for (idx, raw) in doc.lines().enumerate() {
+        let mut rest = raw;
+        while let Some(at) = rest.find('`') {
+            let tail = &rest[at + 1..];
+            let Some(end) = tail.find('`') else { break };
+            let tok = &tail[..end];
+            let looks_like_metric = tok.starts_with("dita_")
+                && tok
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'_');
+            if looks_like_metric && !metric_values.contains(tok) {
+                out.push(Finding {
+                    rule: RULE_OBS_NAMES,
+                    file: doc_file.to_string(),
+                    line: idx + 1,
+                    message: format!(
+                        "{doc_file} documents `{tok}`, which is not in \
+                         dita_obs::names — stale doc row or missing const"
+                    ),
+                });
+            }
+            rest = &tail[end + 1..];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const NAMES: &str = "\
+pub const A: &str = \"dita_a_total\";
+pub const SPAN_X: &str = \"xspan\";
+";
+
+    #[test]
+    fn parses_consts() {
+        let reg = parse_names(NAMES);
+        assert_eq!(reg.metrics, vec![("dita_a_total".to_string(), 1)]);
+        assert_eq!(reg.others, vec![("xspan".to_string(), 2)]);
+    }
+
+    #[test]
+    fn flags_undocumented_and_orphaned() {
+        let reg = parse_names(NAMES);
+        let doc = "| `dita_a_total` | ok |\n| `dita_gone_total` | stale |\n";
+        let f = check_docs(&reg, "names.rs", true, "OBS.md", doc);
+        // xspan undocumented + dita_gone_total orphaned.
+        assert_eq!(f.len(), 2);
+        assert!(f.iter().any(|x| x.message.contains("xspan")));
+        assert!(f.iter().any(|x| x.message.contains("dita_gone_total")));
+    }
+
+    #[test]
+    fn fenced_blocks_document_span_names() {
+        let reg = parse_names(NAMES);
+        let doc = "| `dita_a_total` | ok |\n```\nsearch\n└─ xspan pid=3\n```\n";
+        let f = check_docs(&reg, "names.rs", true, "OBS.md", doc);
+        assert!(f.is_empty(), "{f:?}");
+    }
+}

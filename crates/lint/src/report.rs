@@ -1,0 +1,103 @@
+//! Machine-readable output (schema `dita-lint/v1`).
+//!
+//! Hand-rolled JSON emitter: the analyzer is dependency-free by
+//! design (see Cargo.toml), and the schema is flat enough that an
+//! escaping string writer is all we need.
+
+use crate::Finding;
+
+/// One full analyzer run.
+pub struct Report {
+    /// Workspace root that was scanned.
+    pub root: String,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Wall-clock runtime; check.sh budgets this under 5 s.
+    pub runtime_seconds: f64,
+    /// Findings that survived allow filtering, sorted by (file, line).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by well-formed allow comments.
+    pub allowed: usize,
+}
+
+impl Report {
+    /// True when the tree is clean (gate passes under `--deny`).
+    pub fn ok(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Serializes the report as `dita-lint/v1` JSON.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(1024);
+        s.push_str("{\n");
+        s.push_str("  \"schema\": \"dita-lint/v1\",\n");
+        s.push_str(&format!("  \"root\": \"{}\",\n", esc(&self.root)));
+        s.push_str(&format!("  \"files_scanned\": {},\n", self.files_scanned));
+        s.push_str(&format!(
+            "  \"runtime_seconds\": {:.4},\n",
+            self.runtime_seconds
+        ));
+        s.push_str(&format!("  \"allowed\": {},\n", self.allowed));
+        s.push_str(&format!("  \"ok\": {},\n", self.ok()));
+        s.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "\n    {{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}",
+                esc(f.rule),
+                esc(&f.file),
+                f.line,
+                esc(&f.message)
+            ));
+        }
+        if !self.findings.is_empty() {
+            s.push_str("\n  ");
+        }
+        s.push_str("]\n}\n");
+        s
+    }
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emits_valid_shape() {
+        let r = Report {
+            root: "/tmp/x".to_string(),
+            files_scanned: 2,
+            runtime_seconds: 0.01,
+            findings: vec![Finding {
+                rule: "worker-panic",
+                file: "a \"quoted\".rs".to_string(),
+                line: 3,
+                message: "bad\nthing".to_string(),
+            }],
+            allowed: 1,
+        };
+        let j = r.to_json();
+        assert!(j.contains("\"schema\": \"dita-lint/v1\""));
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("bad\\nthing"));
+        assert!(j.contains("\"ok\": false"));
+        assert!(!r.ok());
+    }
+}

@@ -1,0 +1,39 @@
+//! The shipped tree must be lint-clean: this is the same scan
+//! `scripts/check.sh` gates on, run as a cargo test so `cargo test`
+//! alone catches regressions.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    let report = dita_lint::run_workspace(root);
+    assert!(report.files_scanned > 20, "walker found too few files");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must be lint-clean:\n{}",
+        report
+            .findings
+            .iter()
+            .map(|f| format!("{}:{}: [{}] {}", f.file, f.line, f.rule, f.message))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn scan_stays_inside_runtime_budget() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(Path::parent)
+        .expect("crates/lint sits two levels under the workspace root");
+    let report = dita_lint::run_workspace(root);
+    assert!(
+        report.runtime_seconds < 5.0,
+        "lint gate budget is 5s, took {:.2}s",
+        report.runtime_seconds
+    );
+}

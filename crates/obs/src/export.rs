@@ -82,7 +82,13 @@ impl Report {
             }
             match m.kind {
                 MetricKind::Counter | MetricKind::Gauge => {
-                    let _ = writeln!(out, "{}{} {}", m.name, prom_labels(&m.labels, None), m.value);
+                    let _ = writeln!(
+                        out,
+                        "{}{} {}",
+                        m.name,
+                        prom_labels(&m.labels, None),
+                        m.value
+                    );
                 }
                 MetricKind::Histogram => {
                     for b in &m.buckets {
@@ -98,8 +104,20 @@ impl Report {
                             b.count
                         );
                     }
-                    let _ = writeln!(out, "{}_sum{} {}", m.name, prom_labels(&m.labels, None), m.value);
-                    let _ = writeln!(out, "{}_count{} {}", m.name, prom_labels(&m.labels, None), m.count);
+                    let _ = writeln!(
+                        out,
+                        "{}_sum{} {}",
+                        m.name,
+                        prom_labels(&m.labels, None),
+                        m.value
+                    );
+                    let _ = writeln!(
+                        out,
+                        "{}_count{} {}",
+                        m.name,
+                        prom_labels(&m.labels, None),
+                        m.count
+                    );
                 }
             }
         }
@@ -120,7 +138,11 @@ impl Report {
                 };
                 match m.kind {
                     MetricKind::Histogram => {
-                        let mean = if m.count > 0 { m.value / m.count as f64 } else { 0.0 };
+                        let mean = if m.count > 0 {
+                            m.value / m.count as f64
+                        } else {
+                            0.0
+                        };
                         let _ = writeln!(
                             out,
                             "{:<48} count={} sum={:.6} mean={:.6}",
@@ -202,7 +224,9 @@ fn prom_labels(labels: &[(String, String)], le: Option<&str>) -> String {
 }
 
 fn prom_escape(v: &str) -> String {
-    v.replace('\\', "\\\\").replace('"', "\\\"").replace('\n', "\\n")
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
 }
 
 #[cfg(test)]
@@ -213,7 +237,8 @@ mod tests {
     fn sample_report() -> Report {
         let obs = Obs::enabled();
         obs.counter("dita_tasks_total").add(7);
-        obs.counter_labeled("dita_bytes_total", &[("worker", "0")]).add(64);
+        obs.counter_labeled("dita_bytes_total", &[("worker", "0")])
+            .add(64);
         obs.histogram_seconds("dita_task_seconds").observe(0.02);
         {
             let _root = obs.span("search");

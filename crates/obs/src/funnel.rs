@@ -98,10 +98,13 @@ impl Funnel {
             return;
         }
         for stage in &self.stages {
-            let labels = [("funnel", self.name.as_str()), ("stage", stage.name.as_str())];
-            obs.counter_labeled("dita_funnel_entered_total", &labels)
+            let labels = [
+                ("funnel", self.name.as_str()),
+                ("stage", stage.name.as_str()),
+            ];
+            obs.counter_labeled(crate::names::FUNNEL_ENTERED_TOTAL, &labels)
                 .add(stage.entered);
-            obs.counter_labeled("dita_funnel_pruned_total", &labels)
+            obs.counter_labeled(crate::names::FUNNEL_PRUNED_TOTAL, &labels)
                 .add(stage.pruned);
         }
     }

@@ -16,6 +16,9 @@
 //! * [`funnel`] — the pruning-funnel abstraction: an ordered list of
 //!   filter stages with entered/pruned counts (the paper's "pruning
 //!   power" tables fall out of it).
+//! * [`names`] — the central registry of metric/span/funnel name consts;
+//!   call sites must use these instead of inline string literals (the
+//!   `dita-lint` `obs-names` rule enforces it).
 //! * [`export`] — exporters for the whole picture: human-readable table,
 //!   schema-versioned JSON (diffable against `results/BENCH_*.json`) and
 //!   Prometheus text format.
@@ -32,6 +35,7 @@
 pub mod bench_report;
 pub mod export;
 pub mod funnel;
+pub mod names;
 pub mod registry;
 pub mod time;
 pub mod trace;
@@ -150,7 +154,11 @@ impl Obs {
     }
 
     /// Opens a labeled span parented to the current span.
-    pub fn span_labeled(&self, name: &'static str, label: impl Into<String>) -> trace::SpanGuard<'_> {
+    pub fn span_labeled(
+        &self,
+        name: &'static str,
+        label: impl Into<String>,
+    ) -> trace::SpanGuard<'_> {
         let mut g = self.span(name);
         g.set_label(label);
         g

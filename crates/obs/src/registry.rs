@@ -164,7 +164,9 @@ impl Histogram {
 
     /// Total observation count (0 for detached handles).
     pub fn count(&self) -> u64 {
-        self.0.as_ref().map_or(0, |h| h.count.load(Ordering::Relaxed))
+        self.0
+            .as_ref()
+            .map_or(0, |h| h.count.load(Ordering::Relaxed))
     }
 
     /// Sum of observations (0.0 for detached handles).
@@ -381,9 +383,15 @@ mod tests {
         r.counter_labeled("tasks_total", &[("worker", "0")]).add(5);
         let snap = r.snapshot();
         assert_eq!(snap.len(), 2);
-        assert_eq!(snap[0].labels, vec![("worker".to_string(), "0".to_string())]);
+        assert_eq!(
+            snap[0].labels,
+            vec![("worker".to_string(), "0".to_string())]
+        );
         assert_eq!(snap[0].value, 5.0);
-        assert_eq!(snap[1].labels, vec![("worker".to_string(), "1".to_string())]);
+        assert_eq!(
+            snap[1].labels,
+            vec![("worker".to_string(), "1".to_string())]
+        );
     }
 
     #[test]
@@ -409,8 +417,20 @@ mod tests {
         let snap = r.snapshot();
         let buckets = &snap[0].buckets;
         assert_eq!(buckets.len(), 3);
-        assert_eq!(buckets[0], BucketSample { le: Some(0.1), count: 1 });
-        assert_eq!(buckets[1], BucketSample { le: Some(1.0), count: 2 });
+        assert_eq!(
+            buckets[0],
+            BucketSample {
+                le: Some(0.1),
+                count: 1
+            }
+        );
+        assert_eq!(
+            buckets[1],
+            BucketSample {
+                le: Some(1.0),
+                count: 2
+            }
+        );
         assert_eq!(buckets[2], BucketSample { le: None, count: 3 });
     }
 

@@ -133,7 +133,10 @@ impl Tracer {
     fn close(&self, id: usize, wall: Duration, cpu: Duration, label: Option<String>) {
         SPAN_STACK.with(|stack| {
             let mut stack = stack.borrow_mut();
-            if let Some(pos) = stack.iter().rposition(|&(uid, sid)| uid == self.uid && sid == id) {
+            if let Some(pos) = stack
+                .iter()
+                .rposition(|&(uid, sid)| uid == self.uid && sid == id)
+            {
                 stack.remove(pos);
             }
         });

@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # The local CI gate: formatting, release build, full test suite, clippy
-# clean. Run before every push.
+# clean, dita-lint clean. Run before every push.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -9,4 +9,12 @@ cargo build --release
 cargo test -q
 cargo bench --no-run
 cargo clippy --workspace --all-targets -- -D warnings
+
+# Workspace-specific invariants (STATIC_ANALYSIS.md): worker panics,
+# NaN-unsafe float ordering, obs-name registry sync, cost-model
+# charge-back. JSON report (schema dita-lint/v1) lands next to the
+# other artifacts; the scan itself is budgeted under 5 seconds and
+# reports its runtime in the JSON.
+mkdir -p results
+cargo run -p dita-lint --release --quiet -- --workspace --deny > results/lint.json
 echo "check.sh: all green"
