@@ -41,8 +41,7 @@ impl SimbaSystem {
             if tile.is_empty() {
                 continue;
             }
-            let members: Vec<Trajectory> =
-                tile.iter().map(|&i| trajectories[i].clone()).collect();
+            let members: Vec<Trajectory> = tile.iter().map(|&i| trajectories[i].clone()).collect();
             let mbr = Mbr::from_points(members.iter().map(|t| t.first()));
             global_entries.push((mbr, partitions.len()));
             locals.push(RTree::bulk_load(
@@ -203,8 +202,7 @@ impl SimbaSystem {
             for t in &self.partitions[ti] {
                 let mut cands: Vec<u32> = Vec::new();
                 if aligned {
-                    other.locals[qi]
-                        .for_each_within_point(t.first(), tau, |_, &li| cands.push(li));
+                    other.locals[qi].for_each_within_point(t.first(), tau, |_, &li| cands.push(li));
                 } else {
                     cands.extend(0..other.partitions[qi].len() as u32);
                 }

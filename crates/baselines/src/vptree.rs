@@ -187,9 +187,7 @@ mod tests {
                 let (res, computed) = tree.search(q, tau);
                 let expect: Vec<u64> = ts
                     .iter()
-                    .filter(|t| {
-                        DistanceFunction::Frechet.distance(t.points(), q.points()) <= tau
-                    })
+                    .filter(|t| DistanceFunction::Frechet.distance(t.points(), q.points()) <= tau)
                     .map(|t| t.id)
                     .collect();
                 let got: Vec<u64> = res.iter().map(|&(id, _)| id).collect();

@@ -4,8 +4,8 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use dita_datagen::{chengdu_like, sample_queries};
 use dita_distance::{
-    dtw, dtw_double_direction, dtw_soa, dtw_threshold, edr, erp, frechet,
-    frechet_soa, frechet_threshold, lcss_distance, Scratch,
+    dtw, dtw_double_direction, dtw_soa, dtw_threshold, edr, erp, frechet, frechet_soa,
+    frechet_threshold, lcss_distance, Scratch,
 };
 use dita_trajectory::{Point, SoaPoints, Trajectory};
 use std::hint::black_box;
@@ -13,9 +13,7 @@ use std::hint::black_box;
 fn pairs() -> Vec<(Trajectory, Trajectory)> {
     let d = chengdu_like(64, 99);
     let qs = sample_queries(&d, 16, 5);
-    qs.chunks(2)
-        .map(|c| (c[0].clone(), c[1].clone()))
-        .collect()
+    qs.chunks(2).map(|c| (c[0].clone(), c[1].clone())).collect()
 }
 
 fn bench_full_distances(c: &mut Criterion) {

@@ -5,7 +5,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use dita_datagen::{beijing_like, sample_queries};
 use dita_distance::DistanceFunction;
 use dita_index::{
-    random_partitioning, select_pivots, str_partitioning, GlobalIndex, PivotStrategy,
+    random_partitioning, select_pivots, str_partitioning, GlobalIndex, PivotStrategy, PointerTrie,
     TrieConfig, TrieIndex,
 };
 use std::hint::black_box;
@@ -72,6 +72,42 @@ fn bench_trie(c: &mut Criterion) {
     g.finish();
 }
 
+/// Flat succinct layout vs pointer reference layout on the identical
+/// probe workload — the two must return byte-identical candidate sets
+/// (pinned by `tests/flat_parity.rs`), so this measures pure layout cost.
+fn bench_trie_probe(c: &mut Criterion) {
+    let d = beijing_like(4_000, 6);
+    let config = TrieConfig {
+        k: 4,
+        nl: 8,
+        leaf_capacity: 16,
+        strategy: PivotStrategy::NeighborDistance,
+        cell_side: 0.002,
+        ..TrieConfig::default()
+    };
+    let flat = TrieIndex::build(d.trajectories().to_vec(), config);
+    let pointer = PointerTrie::build(d.trajectories().to_vec(), config);
+    let queries = sample_queries(&d, 32, 11);
+    let mut g = c.benchmark_group("index/trie-probe");
+    for f in [DistanceFunction::Dtw, DistanceFunction::Frechet] {
+        g.bench_function(format!("flat-{f}"), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(flat.candidates(q.points(), 0.003, &f));
+                }
+            })
+        });
+        g.bench_function(format!("pointer-{f}"), |b| {
+            b.iter(|| {
+                for q in &queries {
+                    black_box(pointer.candidates(q.points(), 0.003, &f));
+                }
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_global(c: &mut Criterion) {
     let d = beijing_like(8_000, 8);
     let parts = str_partitioning(d.trajectories(), 8);
@@ -94,5 +130,12 @@ fn bench_global(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_pivots, bench_partitioning, bench_trie, bench_global);
+criterion_group!(
+    benches,
+    bench_pivots,
+    bench_partitioning,
+    bench_trie,
+    bench_trie_probe,
+    bench_global
+);
 criterion_main!(benches);

@@ -22,7 +22,9 @@ fn bench_bounds(c: &mut Criterion) {
     let cq = CellList::compress(&q, 0.002);
 
     let mut g = c.benchmark_group("bounds");
-    g.bench_function("dtw-exact", |b| b.iter(|| black_box(dtw(t.points(), q.points()))));
+    g.bench_function("dtw-exact", |b| {
+        b.iter(|| black_box(dtw(t.points(), q.points())))
+    });
     g.bench_function("amd", |b| b.iter(|| black_box(amd(t.points(), q.points()))));
     g.bench_function("pamd", |b| {
         b.iter(|| black_box(pamd(t.points(), q.points(), &pivots)))

@@ -1,5 +1,5 @@
 //! Smoke benchmark: one fast, dependency-light run that produces a
-//! `results/BENCH_*.json` artifact (default `results/BENCH_PR4.json`,
+//! `results/BENCH_*.json` artifact (default `results/BENCH_PR6.json`,
 //! override with `--out <path>`). The artifact always lands where `--out`
 //! points — never in the repo root.
 //!
@@ -23,7 +23,10 @@
 //! 6. ingest — incremental delta ingestion (insert + flush) vs a
 //!    from-scratch rebuild over a sweep of delta ratios, reporting the
 //!    crossover ratio where rebuilding becomes the better deal.
-//! 7. instrumented pass — after all timing, one search runs with tracing
+//! 7. memory — index footprint of the succinct flat layout vs the pointer
+//!    reference layout over the same table (bytes, bytes/trajectory,
+//!    reduction ratio) plus a probe-throughput cross-check of the two.
+//! 8. instrumented pass — after all timing, one search runs with tracing
 //!    attached; its profile tree and filter funnel ride along in the
 //!    artifact's `search_profile` field.
 
@@ -33,14 +36,13 @@ use dita_core::{
     JoinOptions, QueryContext, SearchOptions,
 };
 use dita_distance::{
-    dtw_double_direction, dtw_soa, dtw_threshold, edr_soa, edr_threshold, erp_soa,
-    erp_threshold, frechet_soa, frechet_threshold, lcss_distance_threshold, lcss_soa,
-    DistanceFunction, Scratch,
+    dtw_double_direction, dtw_soa, dtw_threshold, edr_soa, edr_threshold, erp_soa, erp_threshold,
+    frechet_soa, frechet_threshold, lcss_distance_threshold, lcss_soa, DistanceFunction, Scratch,
 };
-use dita_index::{PivotStrategy, TrieConfig, TrieIndex};
+use dita_index::{PivotStrategy, PointerTrie, TrieConfig, TrieIndex};
 use dita_obs::bench_report::{
     BenchSmokeReport, BuildScalingPoint, ColdPathScaling, IngestPoint, IngestScaling,
-    KernelMeasurement, SearchP50Ms, ThreadScalingPoint, BENCH_SCHEMA,
+    KernelMeasurement, MemoryDensity, MemoryRepr, SearchP50Ms, ThreadScalingPoint, BENCH_SCHEMA,
 };
 use dita_obs::Obs;
 use dita_trajectory::{Dataset, Point, SoaPoints, Trajectory};
@@ -164,8 +166,10 @@ fn main() {
 
     bench_pair!(
         "dtw/dissimilar/early-abandon",
-        sum_over!(&dis, |a: &Vec<Point>, b: &Vec<Point>| dtw_threshold(a, b, tau_dis)
-            .is_some()),
+        sum_over!(&dis, |a: &Vec<Point>, b: &Vec<Point>| dtw_threshold(
+            a, b, tau_dis
+        )
+        .is_some()),
         sum_over!(&dis_soa, |a: &SoaPoints, b: &SoaPoints| dtw_soa(
             a.view(),
             b.view(),
@@ -266,10 +270,9 @@ fn main() {
     );
     bench_pair!(
         "lcss/similar",
-        sum_over!(&sim, |a: &Vec<Point>, b: &Vec<Point>| lcss_distance_threshold(
-            a, b, 0.005, 3, 16.0
-        )
-        .is_some()),
+        sum_over!(&sim, |a: &Vec<Point>, b: &Vec<Point>| {
+            lcss_distance_threshold(a, b, 0.005, 3, 16.0).is_some()
+        }),
         sum_over!(&sim_soa, |a: &SoaPoints, b: &SoaPoints| lcss_soa(
             a.view(),
             b.view(),
@@ -282,16 +285,14 @@ fn main() {
     );
 
     // Verified-pairs/sec with the SoA kernel, mixed workload.
-    let mixed: Vec<&(SoaPoints, SoaPoints)> =
-        dis_soa.iter().chain(sim_soa.iter()).collect();
+    let mixed: Vec<&(SoaPoints, SoaPoints)> = dis_soa.iter().chain(sim_soa.iter()).collect();
     let t0 = Instant::now();
     let reps = 4000usize;
     let mut hits = 0u64;
     for _ in 0..reps {
         for (a, b) in &mixed {
-            hits = hits.wrapping_add(
-                dtw_soa(a.view(), b.view(), tau_sim, &mut scratch).is_some() as u64,
-            );
+            hits = hits
+                .wrapping_add(dtw_soa(a.view(), b.view(), tau_sim, &mut scratch).is_some() as u64);
         }
     }
     let pairs_per_sec = (reps * mixed.len()) as f64 / t0.elapsed().as_secs_f64();
@@ -397,8 +398,15 @@ fn main() {
         let t0 = Instant::now();
         let mut n = 0usize;
         for _ in 0..reps {
-            n = verify_candidates(&trie, &cands, &ctx, loose_tau, &DistanceFunction::Dtw, threads)
-                .len();
+            n = verify_candidates(
+                &trie,
+                &cands,
+                &ctx,
+                loose_tau,
+                &DistanceFunction::Dtw,
+                threads,
+            )
+            .len();
         }
         let pps = (reps * cands.len()) as f64 / t0.elapsed().as_secs_f64();
         println!("  threads={threads}: {pps:.0} verified-pairs/sec ({n} hits)");
@@ -445,7 +453,10 @@ fn main() {
             best = best.min(stats.plan_secs);
             edges_weighed = stats.edges_weighed;
         }
-        println!("  plan_threads={threads}: {:.1} ms ({edges_weighed} edges weighed)", best * 1e3);
+        println!(
+            "  plan_threads={threads}: {:.1} ms ({edges_weighed} edges weighed)",
+            best * 1e3
+        );
         plan_points.push((threads, best));
     }
 
@@ -529,6 +540,59 @@ fn main() {
         .map(|&(r, ..)| r)
         .fold(0.0f64, f64::max);
     println!("  crossover: incremental wins up to ratio {crossover_delta_ratio:.2}");
+
+    // Memory density: the same table and configuration through both index
+    // layouts. `index_size_bytes` counts allocated capacity in both, so the
+    // ratio is an honest resident-bytes comparison, and a probe sweep over
+    // the search workload cross-checks that density did not cost speed.
+    let flat_index = TrieIndex::build(ts.clone(), trie_config);
+    let pointer_index = PointerTrie::build(ts.clone(), trie_config);
+    let total_points: usize = ts.iter().map(|t| t.len()).sum();
+    let (flat_ib, ptr_ib) = (
+        flat_index.index_size_bytes(),
+        pointer_index.index_size_bytes(),
+    );
+    let index_reduction = ptr_ib as f64 / flat_ib as f64;
+    let per_traj = |b: usize| b as f64 / ts.len() as f64;
+    let probe_ns = |probe: &dyn Fn(&[Point]) -> usize| -> f64 {
+        let reps = 20usize;
+        let mut survivors = 0usize;
+        let t0 = Instant::now();
+        for _ in 0..reps {
+            for q in &queries {
+                survivors += probe(q);
+            }
+        }
+        let ns = t0.elapsed().as_nanos() as f64 / (reps * queries.len()) as f64;
+        assert!(survivors > 0, "jittered queries always have survivors");
+        ns
+    };
+    let flat_probe_ns = probe_ns(&|q| flat_index.candidates(q, tau, &DistanceFunction::Dtw).len());
+    let pointer_probe_ns = probe_ns(&|q| {
+        pointer_index
+            .candidates(q, tau, &DistanceFunction::Dtw)
+            .len()
+    });
+    println!(
+        "\nmemory density ({} trajectories, {} points):",
+        ts.len(),
+        total_points
+    );
+    println!(
+        "  flat:    index {:>9} B  ({:>6.1} B/traj)  total {:>9} B  probe {:>8.0} ns",
+        flat_ib,
+        per_traj(flat_ib),
+        flat_index.size_bytes(),
+        flat_probe_ns
+    );
+    println!(
+        "  pointer: index {:>9} B  ({:>6.1} B/traj)  total {:>9} B  probe {:>8.0} ns",
+        ptr_ib,
+        per_traj(ptr_ib),
+        pointer_index.size_bytes(),
+        pointer_probe_ns
+    );
+    println!("  index reduction: {index_reduction:.2}x");
 
     // Instrumented profiling pass — attached only now, after all timing,
     // so the sections above pay the disabled-context cost (one branch).
@@ -614,10 +678,31 @@ fn main() {
                 .collect(),
             crossover_delta_ratio,
         }),
+        memory: Some(MemoryDensity {
+            trajectories: ts.len(),
+            points: total_points,
+            reprs: vec![
+                MemoryRepr {
+                    repr: "flat".to_string(),
+                    index_bytes: flat_ib,
+                    index_bytes_per_trajectory: round2(per_traj(flat_ib)),
+                    total_bytes: flat_index.size_bytes(),
+                },
+                MemoryRepr {
+                    repr: "pointer".to_string(),
+                    index_bytes: ptr_ib,
+                    index_bytes_per_trajectory: round2(per_traj(ptr_ib)),
+                    total_bytes: pointer_index.size_bytes(),
+                },
+            ],
+            index_reduction: round2(index_reduction),
+            flat_probe_ns: flat_probe_ns.round(),
+            pointer_probe_ns: pointer_probe_ns.round(),
+        }),
     };
     // `--out <path>` overrides the artifact location. The artifact is
     // written only there — never copied to the repo root.
-    let mut out = String::from("results/BENCH_PR4.json");
+    let mut out = String::from("results/BENCH_PR6.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--out" {

@@ -55,8 +55,20 @@ fn main() {
         }
         let brute_ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
 
-        sink.record("dita", &dataset.name, serde_json::json!({"k": k}), "knn_ms", dita_ms);
-        sink.record("brute", &dataset.name, serde_json::json!({"k": k}), "knn_ms", brute_ms);
+        sink.record(
+            "dita",
+            &dataset.name,
+            serde_json::json!({"k": k}),
+            "knn_ms",
+            dita_ms,
+        );
+        sink.record(
+            "brute",
+            &dataset.name,
+            serde_json::json!({"k": k}),
+            "knn_ms",
+            brute_ms,
+        );
         tbl.row(&[
             &k,
             &format!("{dita_ms:.3}"),

@@ -22,7 +22,10 @@ fn main() {
         // (a)/(c): search with all four systems.
         let systems = build_search_systems(&search_data, params::DEFAULT_WORKERS, ng);
         let mut tbl = Table::new(
-            format!("fig11 search on {} with {label} (ms/query)", search_data.name),
+            format!(
+                "fig11 search on {} with {label} (ms/query)",
+                search_data.name
+            ),
             &["tau", "Naive", "Simba", "DFT", "DITA"],
         );
         for tau in params::TAUS {
@@ -44,7 +47,11 @@ fn main() {
 
         // (b)/(d): join with DITA only (the baselines cannot complete the
         // paper's join either).
-        let dita = DitaSystem::build(&join_data, dita_config(ng), cluster(params::DEFAULT_WORKERS));
+        let dita = DitaSystem::build(
+            &join_data,
+            dita_config(ng),
+            cluster(params::DEFAULT_WORKERS),
+        );
         let mut tbl = Table::new(
             format!("fig11 join on {} with {label} (ms)", join_data.name),
             &["tau", "DITA", "pairs"],

@@ -15,7 +15,10 @@ fn main() {
 
         // (a)/(b): strategy sweep at the default K.
         let mut tbl = Table::new(
-            format!("fig12 pivot strategies on {} — join time (ms)", dataset.name),
+            format!(
+                "fig12 pivot strategies on {} — join time (ms)",
+                dataset.name
+            ),
             &["tau", "Inflection", "Neighbor", "First/Last"],
         );
         let builds: Vec<DitaSystem> = PivotStrategy::ALL

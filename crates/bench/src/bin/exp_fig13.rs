@@ -23,8 +23,17 @@ fn main() {
         );
 
         let mut tbl = Table::new(
-            format!("fig13 partitioning scheme on {} — join time (ms)", dataset.name),
-            &["tau", "DITA", "Random", "DITA_KB_shipped", "Random_KB_shipped"],
+            format!(
+                "fig13 partitioning scheme on {} — join time (ms)",
+                dataset.name
+            ),
+            &[
+                "tau",
+                "DITA",
+                "Random",
+                "DITA_KB_shipped",
+                "Random_KB_shipped",
+            ],
         );
         for tau in params::TAUS {
             let (_, d_ms, d_stats) = measure_dita_join(
@@ -41,8 +50,20 @@ fn main() {
                 &DistanceFunction::Dtw,
                 &JoinOptions::default(),
             );
-            sink.record("dita", &dataset.name, serde_json::json!({"tau": tau}), "join_ms", d_ms);
-            sink.record("random", &dataset.name, serde_json::json!({"tau": tau}), "join_ms", r_ms);
+            sink.record(
+                "dita",
+                &dataset.name,
+                serde_json::json!({"tau": tau}),
+                "join_ms",
+                d_ms,
+            );
+            sink.record(
+                "random",
+                &dataset.name,
+                serde_json::json!({"tau": tau}),
+                "join_ms",
+                r_ms,
+            );
             tbl.row(&[
                 &tau,
                 &format!("{d_ms:.1}"),

@@ -24,9 +24,14 @@ fn main() {
                 (DistanceFunction::Dtw, "dtw"),
                 (DistanceFunction::Frechet, "frechet"),
             ] {
-                let (_, ms, _) =
-                    measure_dita_join(&dita, &dita, tau, &f, &JoinOptions::default());
-                sink.record(label, &dataset.name, serde_json::json!({"tau": tau}), "join_ms", ms);
+                let (_, ms, _) = measure_dita_join(&dita, &dita, tau, &f, &JoinOptions::default());
+                sink.record(
+                    label,
+                    &dataset.name,
+                    serde_json::json!({"tau": tau}),
+                    "join_ms",
+                    ms,
+                );
                 cells.push(format!("{ms:.1}"));
             }
             tbl.row(&[&tau, &cells[0], &cells[1]]);
@@ -41,7 +46,10 @@ fn main() {
         let sampled = dataset.sample(0.3);
         let dita_s = DitaSystem::build(&sampled, dita_config(ng), cluster(params::DEFAULT_WORKERS));
         let mut tbl = Table::new(
-            format!("fig15(b) join on {} (30% sample) — EDR vs LCSS (ms)", dataset.name),
+            format!(
+                "fig15(b) join on {} (30% sample) — EDR vs LCSS (ms)",
+                dataset.name
+            ),
             &["tau", "EDR", "LCSS"],
         );
         for tau in [1.0, 3.0, 5.0] {
@@ -52,7 +60,13 @@ fn main() {
             ] {
                 let (_, ms, _) =
                     measure_dita_join(&dita_s, &dita_s, tau, &f, &JoinOptions::default());
-                sink.record(label, &dataset.name, serde_json::json!({"tau": tau}), "join_ms", ms);
+                sink.record(
+                    label,
+                    &dataset.name,
+                    serde_json::json!({"tau": tau}),
+                    "join_ms",
+                    ms,
+                );
                 cells.push(format!("{ms:.1}"));
             }
             tbl.row(&[&tau, &cells[0], &cells[1]]);

@@ -41,7 +41,14 @@ fn main() {
 
         let mut tbl = Table::new(
             format!("fig16 load balancing on {}", dataset.name),
-            &["tau", "ratio_naive", "ratio_dita", "total_naive_ms", "total_dita_ms", "replicas"],
+            &[
+                "tau",
+                "ratio_naive",
+                "ratio_dita",
+                "total_naive_ms",
+                "total_dita_ms",
+                "replicas",
+            ],
         );
         for tau in params::TAUS {
             let naive_opts = JoinOptions {
@@ -60,10 +67,34 @@ fn main() {
                 measure_dita_join(&dita, &dita, tau, &DistanceFunction::Dtw, &dita_opts);
             let n_ratio = n_stats.job.load_ratio();
             let d_ratio = d_stats.job.load_ratio();
-            sink.record("naive", &dataset.name, serde_json::json!({"tau": tau}), "load_ratio", n_ratio);
-            sink.record("dita", &dataset.name, serde_json::json!({"tau": tau}), "load_ratio", d_ratio);
-            sink.record("naive", &dataset.name, serde_json::json!({"tau": tau}), "join_ms", n_ms);
-            sink.record("dita", &dataset.name, serde_json::json!({"tau": tau}), "join_ms", d_ms);
+            sink.record(
+                "naive",
+                &dataset.name,
+                serde_json::json!({"tau": tau}),
+                "load_ratio",
+                n_ratio,
+            );
+            sink.record(
+                "dita",
+                &dataset.name,
+                serde_json::json!({"tau": tau}),
+                "load_ratio",
+                d_ratio,
+            );
+            sink.record(
+                "naive",
+                &dataset.name,
+                serde_json::json!({"tau": tau}),
+                "join_ms",
+                n_ms,
+            );
+            sink.record(
+                "dita",
+                &dataset.name,
+                serde_json::json!({"tau": tau}),
+                "join_ms",
+                d_ms,
+            );
             tbl.row(&[
                 &tau,
                 &format!("{n_ratio:.2}"),

@@ -26,7 +26,15 @@ fn main() {
     ] {
         let mut tbl = Table::new(
             format!("fig17 centralized search with {label}"),
-            &["tau", "cand_MBE", "cand_VP", "cand_DITA", "ms_MBE", "ms_VP", "ms_DITA"],
+            &[
+                "tau",
+                "cand_MBE",
+                "cand_VP",
+                "cand_DITA",
+                "ms_MBE",
+                "ms_VP",
+                "ms_DITA",
+            ],
         );
         for tau in params::TAUS {
             // MBE.
@@ -64,21 +72,65 @@ fn main() {
             let dita_ms = t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64;
 
             let nq = queries.len() as f64;
-            sink.record("mbe", &dataset.name, serde_json::json!({"tau": tau, "func": label}), "candidates", mbe_cands as f64 / nq);
-            sink.record("dita", &dataset.name, serde_json::json!({"tau": tau, "func": label}), "candidates", dita_cands as f64 / nq);
-            sink.record("mbe", &dataset.name, serde_json::json!({"tau": tau, "func": label}), "search_ms", mbe_ms);
-            sink.record("dita", &dataset.name, serde_json::json!({"tau": tau, "func": label}), "search_ms", dita_ms);
+            sink.record(
+                "mbe",
+                &dataset.name,
+                serde_json::json!({"tau": tau, "func": label}),
+                "candidates",
+                mbe_cands as f64 / nq,
+            );
+            sink.record(
+                "dita",
+                &dataset.name,
+                serde_json::json!({"tau": tau, "func": label}),
+                "candidates",
+                dita_cands as f64 / nq,
+            );
+            sink.record(
+                "mbe",
+                &dataset.name,
+                serde_json::json!({"tau": tau, "func": label}),
+                "search_ms",
+                mbe_ms,
+            );
+            sink.record(
+                "dita",
+                &dataset.name,
+                serde_json::json!({"tau": tau, "func": label}),
+                "search_ms",
+                dita_ms,
+            );
             if func.is_metric() {
-                sink.record("vptree", &dataset.name, serde_json::json!({"tau": tau, "func": label}), "candidates", vp_cands);
-                sink.record("vptree", &dataset.name, serde_json::json!({"tau": tau, "func": label}), "search_ms", vp_ms);
+                sink.record(
+                    "vptree",
+                    &dataset.name,
+                    serde_json::json!({"tau": tau, "func": label}),
+                    "candidates",
+                    vp_cands,
+                );
+                sink.record(
+                    "vptree",
+                    &dataset.name,
+                    serde_json::json!({"tau": tau, "func": label}),
+                    "search_ms",
+                    vp_ms,
+                );
             }
             tbl.row(&[
                 &tau,
                 &format!("{:.0}", mbe_cands as f64 / nq),
-                &(if vp_cands.is_nan() { "n/a".to_string() } else { format!("{vp_cands:.0}") }),
+                &(if vp_cands.is_nan() {
+                    "n/a".to_string()
+                } else {
+                    format!("{vp_cands:.0}")
+                }),
                 &format!("{:.0}", dita_cands as f64 / nq),
                 &format!("{mbe_ms:.3}"),
-                &(if vp_ms.is_nan() { "n/a".to_string() } else { format!("{vp_ms:.3}") }),
+                &(if vp_ms.is_nan() {
+                    "n/a".to_string()
+                } else {
+                    format!("{vp_ms:.3}")
+                }),
                 &format!("{dita_ms:.3}"),
             ]);
         }

@@ -17,7 +17,12 @@ fn main() {
         let cells: Vec<String> = t3.iter().map(|q| format!("{:.2}", p.dist(q))).collect();
         dist.row(&[
             &format!("t1_{}", i + 1),
-            &cells[0], &cells[1], &cells[2], &cells[3], &cells[4], &cells[5],
+            &cells[0],
+            &cells[1],
+            &cells[2],
+            &cells[3],
+            &cells[4],
+            &cells[5],
         ]);
     }
     dist.print();
@@ -33,7 +38,12 @@ fn main() {
             .collect();
         v.row(&[
             &format!("t1_{i}"),
-            &cells[0], &cells[1], &cells[2], &cells[3], &cells[4], &cells[5],
+            &cells[0],
+            &cells[1],
+            &cells[2],
+            &cells[3],
+            &cells[4],
+            &cells[5],
         ]);
     }
     v.print();

@@ -6,9 +6,22 @@ use dita_bench::{beijing, chengdu, chengdu_tiny, osm_join, osm_search, Table};
 fn main() {
     let mut tbl = Table::new(
         "Table 2: datasets (harness scale; paper scale in DESIGN.md)",
-        &["dataset", "cardinality", "avg_len", "min_len", "max_len", "size_MB"],
+        &[
+            "dataset",
+            "cardinality",
+            "avg_len",
+            "min_len",
+            "max_len",
+            "size_MB",
+        ],
     );
-    for d in [beijing(), chengdu(), osm_search(), osm_join(), chengdu_tiny()] {
+    for d in [
+        beijing(),
+        chengdu(),
+        osm_search(),
+        osm_join(),
+        chengdu_tiny(),
+    ] {
         let s = d.stats();
         tbl.row(&[
             &d.name,

@@ -1,8 +1,8 @@
 //! Table 4: the N_G (partition count) sweep — search and join time.
 
+use dita_baselines::{DftSystem, NaiveSystem, SimbaSystem};
 use dita_bench::runners::{measure_dita_join, measure_search, SearchSystems};
 use dita_bench::{cluster, dita_config, num_queries, params, Sink, Table};
-use dita_baselines::{DftSystem, NaiveSystem, SimbaSystem};
 use dita_core::{DitaSystem, JoinOptions};
 use dita_distance::DistanceFunction;
 
@@ -36,8 +36,20 @@ fn main() {
                 &DistanceFunction::Dtw,
                 &JoinOptions::default(),
             );
-            sink.record("dita", &dataset.name, serde_json::json!({"ng": ng}), "search_ms", search_ms);
-            sink.record("dita", &dataset.name, serde_json::json!({"ng": ng}), "join_ms", join_ms);
+            sink.record(
+                "dita",
+                &dataset.name,
+                serde_json::json!({"ng": ng}),
+                "search_ms",
+                search_ms,
+            );
+            sink.record(
+                "dita",
+                &dataset.name,
+                serde_json::json!({"ng": ng}),
+                "join_ms",
+                join_ms,
+            );
             tbl.row(&[
                 &ng,
                 &suite.dita.num_partitions(),

@@ -1,8 +1,8 @@
 //! Table 5: index construction time and size vs dataset sample rate,
 //! DITA vs DFT.
 
-use dita_bench::{cluster, default_ng, dita_config, params, Sink, Table};
 use dita_baselines::DftSystem;
+use dita_bench::{cluster, default_ng, dita_config, params, Sink, Table};
 use dita_core::DitaSystem;
 use std::time::Instant;
 
@@ -17,10 +17,23 @@ fn main() {
         );
         for rate in params::SAMPLE_RATES {
             let sampled = dataset.sample(rate);
-            let dita = DitaSystem::build(&sampled, dita_config(ng), cluster(params::DEFAULT_WORKERS));
+            let dita =
+                DitaSystem::build(&sampled, dita_config(ng), cluster(params::DEFAULT_WORKERS));
             let b = dita.build_stats();
-            sink.record("dita", &dataset.name, serde_json::json!({"rate": rate}), "build_ms", b.build_time.as_secs_f64() * 1e3);
-            sink.record("dita", &dataset.name, serde_json::json!({"rate": rate}), "local_kb", b.local_size_bytes as f64 / 1024.0);
+            sink.record(
+                "dita",
+                &dataset.name,
+                serde_json::json!({"rate": rate}),
+                "build_ms",
+                b.build_time.as_secs_f64() * 1e3,
+            );
+            sink.record(
+                "dita",
+                &dataset.name,
+                serde_json::json!({"rate": rate}),
+                "local_kb",
+                b.local_size_bytes as f64 / 1024.0,
+            );
             tbl.row(&[
                 &"DITA",
                 &rate,
@@ -32,10 +45,26 @@ fn main() {
         // DFT at full scale, as in the paper's last rows.
         let t0 = Instant::now();
         let parts = ng * ng;
-        let dft = DftSystem::build(dataset.trajectories(), parts, cluster(params::DEFAULT_WORKERS));
+        let dft = DftSystem::build(
+            dataset.trajectories(),
+            parts,
+            cluster(params::DEFAULT_WORKERS),
+        );
         let dft_ms = t0.elapsed().as_secs_f64() * 1e3;
-        sink.record("dft", &dataset.name, serde_json::json!({"rate": 1.0}), "build_ms", dft_ms);
-        sink.record("dft", &dataset.name, serde_json::json!({"rate": 1.0}), "local_kb", dft.index_size_bytes() as f64 / 1024.0);
+        sink.record(
+            "dft",
+            &dataset.name,
+            serde_json::json!({"rate": 1.0}),
+            "build_ms",
+            dft_ms,
+        );
+        sink.record(
+            "dft",
+            &dataset.name,
+            serde_json::json!({"rate": 1.0}),
+            "local_kb",
+            dft.index_size_bytes() as f64 / 1024.0,
+        );
         tbl.row(&[
             &"DFT",
             &1.0,

@@ -111,8 +111,8 @@ fn check(
             for tau in [0.5, 2.0, 8.0] {
                 let (mut a, _) = search(live, q.points(), tau, func);
                 let (mut b, _) = search(&fresh, q.points(), tau, func);
-                a.sort_by(|x, y| x.0.cmp(&y.0));
-                b.sort_by(|x, y| x.0.cmp(&y.0));
+                a.sort_by_key(|x| x.0);
+                b.sort_by_key(|x| x.0);
                 if a != b {
                     eprintln!(
                         "MISMATCH at op {op}: search({func}, tau={tau}, q={}) live {:?} != rebuild {:?}",
@@ -148,7 +148,9 @@ fn main() {
             "--ops" => ops = grab().parse().expect("--ops"),
             "--seed" => seed = grab().parse().expect("--seed"),
             "--check-every" => check_every = grab().parse().expect("--check-every"),
-            other => panic!("unknown flag {other}; usage: ingest_soak [--ops N] [--seed S] [--check-every K]"),
+            other => panic!(
+                "unknown flag {other}; usage: ingest_soak [--ops N] [--seed S] [--check-every K]"
+            ),
         }
     }
     let check_every = check_every.max(1);

@@ -48,7 +48,13 @@ fn main() {
     let ts = figure1_trajectories();
     let (hits, stats) = search(&sys, ts[0].points(), 3.0, &DistanceFunction::Dtw);
     assert!(!hits.is_empty(), "the Example 2/6 query must match");
-    let (pairs, _) = join(&sys, &sys, 3.0, &DistanceFunction::Dtw, &JoinOptions::default());
+    let (pairs, _) = join(
+        &sys,
+        &sys,
+        3.0,
+        &DistanceFunction::Dtw,
+        &JoinOptions::default(),
+    );
     assert!(!pairs.is_empty(), "the self-join must produce pairs");
     let (nn, _) = knn_search(&sys, ts[0].points(), 2, &DistanceFunction::Dtw);
     assert_eq!(nn.len(), 2, "kNN must return k results");

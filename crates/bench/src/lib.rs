@@ -159,7 +159,8 @@ impl Table {
     /// Appends one row (stringified cells).
     pub fn row(&mut self, cells: &[&dyn Display]) {
         assert_eq!(cells.len(), self.header.len());
-        self.rows.push(cells.iter().map(|c| c.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
     }
 
     /// Prints the table to stdout.
@@ -290,7 +291,13 @@ mod tests {
     #[test]
     fn sink_writes_json() {
         let mut s = Sink::new("unit-test-sink");
-        s.record("dita", "beijing", serde_json::json!({"tau": 0.001}), "ms", 1.0);
+        s.record(
+            "dita",
+            "beijing",
+            serde_json::json!({"tau": 0.001}),
+            "ms",
+            1.0,
+        );
         s.flush();
         let text = std::fs::read_to_string("results/unit-test-sink.json").unwrap();
         assert!(text.contains("unit-test-sink"));

@@ -134,7 +134,10 @@ pub fn run_search_figure(figure: &str, dataset: &Dataset, default_tau: f64) {
 
     // (a) Varying τ.
     let mut tbl = Table::new(
-        format!("{figure}(a): search on {} — varying tau (ms/query)", dataset.name),
+        format!(
+            "{figure}(a): search on {} — varying tau (ms/query)",
+            dataset.name
+        ),
         &["tau", "Naive", "Simba", "DFT", "DITA"],
     );
     let systems = build_search_systems(dataset, params::DEFAULT_WORKERS, ng);
@@ -163,7 +166,10 @@ pub fn run_search_figure(figure: &str, dataset: &Dataset, default_tau: f64) {
 
     // (b) Scalability: sample-rate sweep at the default τ.
     let mut tbl = Table::new(
-        format!("{figure}(b): search on {} — varying sample rate (ms/query)", dataset.name),
+        format!(
+            "{figure}(b): search on {} — varying sample rate (ms/query)",
+            dataset.name
+        ),
         &["rate", "Naive", "Simba", "DFT", "DITA"],
     );
     for rate in params::SAMPLE_RATES {
@@ -194,15 +200,23 @@ pub fn run_search_figure(figure: &str, dataset: &Dataset, default_tau: f64) {
 
     // (c) Scale-up: worker sweep.
     let mut tbl = Table::new(
-        format!("{figure}(c): search on {} — varying workers (ms/query)", dataset.name),
+        format!(
+            "{figure}(c): search on {} — varying workers (ms/query)",
+            dataset.name
+        ),
         &["workers", "Naive", "Simba", "DFT", "DITA"],
     );
     for workers in params::WORKERS {
         let systems = build_search_systems(dataset, workers, ng);
         let mut cells = Vec::new();
         for name in systems_names {
-            let (ms, _) =
-                measure_search(&systems, name, &queries, default_tau, &DistanceFunction::Dtw);
+            let (ms, _) = measure_search(
+                &systems,
+                name,
+                &queries,
+                default_tau,
+                &DistanceFunction::Dtw,
+            );
             sink.record(
                 name,
                 &dataset.name,
@@ -224,7 +238,10 @@ pub fn run_search_figure(figure: &str, dataset: &Dataset, default_tau: f64) {
 
     // (d) Scale-out: rate and workers grow together.
     let mut tbl = Table::new(
-        format!("{figure}(d): search on {} — scale-out (ms/query)", dataset.name),
+        format!(
+            "{figure}(d): search on {} — scale-out (ms/query)",
+            dataset.name
+        ),
         &["scale", "Naive", "Simba", "DFT", "DITA"],
     );
     for (rate, workers) in params::SAMPLE_RATES.iter().zip(params::WORKERS) {
@@ -284,8 +301,20 @@ pub fn run_join_figure(figure: &str, dataset: &Dataset, default_tau: f64) {
             &JoinOptions::default(),
         );
         let (_, simba_ms) = measure_simba_join(&simba, &simba, tau, &DistanceFunction::Dtw);
-        sink.record("dita", &dataset.name, serde_json::json!({"tau": tau, "panel": "a"}), "join_ms", dita_ms);
-        sink.record("simba", &dataset.name, serde_json::json!({"tau": tau, "panel": "a"}), "join_ms", simba_ms);
+        sink.record(
+            "dita",
+            &dataset.name,
+            serde_json::json!({"tau": tau, "panel": "a"}),
+            "join_ms",
+            dita_ms,
+        );
+        sink.record(
+            "simba",
+            &dataset.name,
+            serde_json::json!({"tau": tau, "panel": "a"}),
+            "join_ms",
+            simba_ms,
+        );
         tbl.row(&[
             &format!("{tau}"),
             &format!("{simba_ms:.1}"),
@@ -297,7 +326,10 @@ pub fn run_join_figure(figure: &str, dataset: &Dataset, default_tau: f64) {
 
     // (b) Sample-rate sweep.
     let mut tbl = Table::new(
-        format!("{figure}(b): join on {} — varying sample rate (ms)", dataset.name),
+        format!(
+            "{figure}(b): join on {} — varying sample rate (ms)",
+            dataset.name
+        ),
         &["rate", "Simba", "DITA"],
     );
     for rate in params::SAMPLE_RATES {
@@ -310,17 +342,35 @@ pub fn run_join_figure(figure: &str, dataset: &Dataset, default_tau: f64) {
             &DistanceFunction::Dtw,
             &JoinOptions::default(),
         );
-        let (_, simba_ms) =
-            measure_simba_join(&simba, &simba, default_tau, &DistanceFunction::Dtw);
-        sink.record("dita", &dataset.name, serde_json::json!({"rate": rate, "panel": "b"}), "join_ms", dita_ms);
-        sink.record("simba", &dataset.name, serde_json::json!({"rate": rate, "panel": "b"}), "join_ms", simba_ms);
-        tbl.row(&[&format!("{rate}"), &format!("{simba_ms:.1}"), &format!("{dita_ms:.1}")]);
+        let (_, simba_ms) = measure_simba_join(&simba, &simba, default_tau, &DistanceFunction::Dtw);
+        sink.record(
+            "dita",
+            &dataset.name,
+            serde_json::json!({"rate": rate, "panel": "b"}),
+            "join_ms",
+            dita_ms,
+        );
+        sink.record(
+            "simba",
+            &dataset.name,
+            serde_json::json!({"rate": rate, "panel": "b"}),
+            "join_ms",
+            simba_ms,
+        );
+        tbl.row(&[
+            &format!("{rate}"),
+            &format!("{simba_ms:.1}"),
+            &format!("{dita_ms:.1}"),
+        ]);
     }
     tbl.print();
 
     // (c) Scale-up.
     let mut tbl = Table::new(
-        format!("{figure}(c): join on {} — varying workers (ms)", dataset.name),
+        format!(
+            "{figure}(c): join on {} — varying workers (ms)",
+            dataset.name
+        ),
         &["workers", "Simba", "DITA"],
     );
     for workers in params::WORKERS {
@@ -332,11 +382,26 @@ pub fn run_join_figure(figure: &str, dataset: &Dataset, default_tau: f64) {
             &DistanceFunction::Dtw,
             &JoinOptions::default(),
         );
-        let (_, simba_ms) =
-            measure_simba_join(&simba, &simba, default_tau, &DistanceFunction::Dtw);
-        sink.record("dita", &dataset.name, serde_json::json!({"workers": workers, "panel": "c"}), "join_ms", dita_ms);
-        sink.record("simba", &dataset.name, serde_json::json!({"workers": workers, "panel": "c"}), "join_ms", simba_ms);
-        tbl.row(&[&workers, &format!("{simba_ms:.1}"), &format!("{dita_ms:.1}")]);
+        let (_, simba_ms) = measure_simba_join(&simba, &simba, default_tau, &DistanceFunction::Dtw);
+        sink.record(
+            "dita",
+            &dataset.name,
+            serde_json::json!({"workers": workers, "panel": "c"}),
+            "join_ms",
+            dita_ms,
+        );
+        sink.record(
+            "simba",
+            &dataset.name,
+            serde_json::json!({"workers": workers, "panel": "c"}),
+            "join_ms",
+            simba_ms,
+        );
+        tbl.row(&[
+            &workers,
+            &format!("{simba_ms:.1}"),
+            &format!("{dita_ms:.1}"),
+        ]);
     }
     tbl.print();
 
@@ -355,10 +420,21 @@ pub fn run_join_figure(figure: &str, dataset: &Dataset, default_tau: f64) {
             &DistanceFunction::Dtw,
             &JoinOptions::default(),
         );
-        let (_, simba_ms) =
-            measure_simba_join(&simba, &simba, default_tau, &DistanceFunction::Dtw);
-        sink.record("dita", &dataset.name, serde_json::json!({"rate": rate, "workers": workers, "panel": "d"}), "join_ms", dita_ms);
-        sink.record("simba", &dataset.name, serde_json::json!({"rate": rate, "workers": workers, "panel": "d"}), "join_ms", simba_ms);
+        let (_, simba_ms) = measure_simba_join(&simba, &simba, default_tau, &DistanceFunction::Dtw);
+        sink.record(
+            "dita",
+            &dataset.name,
+            serde_json::json!({"rate": rate, "workers": workers, "panel": "d"}),
+            "join_ms",
+            dita_ms,
+        );
+        sink.record(
+            "simba",
+            &dataset.name,
+            serde_json::json!({"rate": rate, "workers": workers, "panel": "d"}),
+            "join_ms",
+            simba_ms,
+        );
         tbl.row(&[
             &format!("{rate},{workers}w"),
             &format!("{simba_ms:.1}"),

@@ -43,7 +43,7 @@ impl DitaSystem {
     /// via [`DitaSystem::flush`] and [`DitaSystem::compact`], which the
     /// configured [`CompactionPolicy`] triggers automatically by default.
     pub fn insert(&mut self, t: Trajectory) {
-        assert!(t.len() > 0, "cannot insert an empty trajectory");
+        assert!(!t.is_empty(), "cannot insert an empty trajectory");
         let obs = self.cluster.obs().clone();
         let _span = dita_obs::span!(obs, names::SPAN_INGEST, op = "insert", id = t.id);
         let pid = dita_ingest::DeltaSet::route(&self.partitioning, &t);
@@ -136,11 +136,9 @@ impl DitaSystem {
         for pid in self.deltas.dirty_partitions() {
             let (delta_members, ship_bytes) = self.deltas.drain_for_compact(pid);
             let mut members: Vec<Trajectory> = self.tries[pid]
-                .data()
-                .iter()
-                .map(|it| &it.traj)
-                .filter(|t| !self.deltas.is_base_dead(t.id))
-                .cloned()
+                .entries()
+                .filter(|e| !self.deltas.is_base_dead(e.id()))
+                .map(|e| e.to_trajectory())
                 .collect();
             members.extend(delta_members);
             members.sort_by_key(|t| t.id);
@@ -169,8 +167,7 @@ impl DitaSystem {
         // global index and insert routing read.
         for (pid, trie) in built {
             let p = &mut self.partitioning.partitions[pid];
-            let data = trie.data();
-            if data.is_empty() {
+            if trie.is_empty() {
                 // A fully drained partition keeps a degenerate placeholder
                 // MBR; its empty trie can never produce candidates, so any
                 // coverage the global index keeps for it is sound.
@@ -179,15 +176,17 @@ impl DitaSystem {
                 p.min_len = 0;
                 p.max_len = 0;
             } else {
-                p.mbr_first = Mbr::from_points(data.iter().map(|it| it.traj.first()));
-                p.mbr_last = Mbr::from_points(data.iter().map(|it| it.traj.last()));
-                p.min_len = data.iter().map(|it| it.traj.len()).min().unwrap();
-                p.max_len = data.iter().map(|it| it.traj.len()).max().unwrap();
+                let firsts: Vec<Point> = trie.entries().map(|e| e.first()).collect();
+                let lasts: Vec<Point> = trie.entries().map(|e| e.last()).collect();
+                p.mbr_first = Mbr::from_points(firsts.iter());
+                p.mbr_last = Mbr::from_points(lasts.iter());
+                p.min_len = trie.entries().map(|e| e.len()).min().unwrap();
+                p.max_len = trie.entries().map(|e| e.len()).max().unwrap();
             }
             // Membership indices are positional within the rebuilt trie;
             // keeping them length-accurate keeps `Partitioning::skew` and
             // the trie/partitioning alignment invariant truthful.
-            p.members = (0..data.len()).collect();
+            p.members = (0..trie.len()).collect();
             self.tries[pid] = trie;
         }
         self.global = GlobalIndex::build(&self.partitioning);
@@ -205,7 +204,7 @@ impl DitaSystem {
         // Escalate to a full repartition only when the endpoint
         // distribution drifted enough to skew the original tiling.
         let skew = self.partitioning.skew();
-        if skew > self.ingest_policy.skew_threshold && self.len() > 0 {
+        if skew > self.ingest_policy.skew_threshold && !self.is_empty() {
             self.repartition();
             self.deltas.stats_mut().repartitions += 1;
         }
@@ -213,6 +212,8 @@ impl DitaSystem {
             .observe(wall.elapsed().as_secs_f64());
         if obs.is_enabled() {
             obs.gauge(names::DELTA_RATIO).set(0.0);
+            obs.gauge(names::INDEX_BYTES)
+                .set(self.build_stats.local_size_bytes as f64);
         }
         true
     }
@@ -282,15 +283,15 @@ impl DitaSystem {
     /// partition, deterministic across calls.
     pub fn for_each_live<F: FnMut(&Trajectory)>(&self, mut f: F) {
         for (pid, trie) in self.tries.iter().enumerate() {
-            for it in trie.data() {
-                if !self.deltas.is_base_dead(it.traj.id) {
-                    f(&it.traj);
+            for e in trie.entries() {
+                if !self.deltas.is_base_dead(e.id()) {
+                    f(&e.to_trajectory());
                 }
             }
             let part = self.deltas.part(pid);
             if let Some(seg) = &part.seg {
                 for t in seg.live() {
-                    f(t);
+                    f(&t);
                 }
             }
             for it in part.tail.values() {
@@ -305,7 +306,7 @@ impl DitaSystem {
         for part in self.deltas.parts() {
             if let Some(seg) = &part.seg {
                 for t in seg.live() {
-                    f(t);
+                    f(&t);
                 }
             }
             for it in part.tail.values() {

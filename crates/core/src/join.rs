@@ -27,7 +27,7 @@ use dita_distance::kernel::Scratch;
 use dita_distance::DistanceFunction;
 use dita_index::ProbeScratch;
 use dita_obs::{names, thread_cpu_time};
-use dita_trajectory::TrajectoryId;
+use dita_trajectory::{CellList, TrajectoryId};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -318,17 +318,22 @@ fn join_base(
             let dst_trie = dst_sys.trie(dst_pid);
             for &sid in shipped.iter().skip(slot).step_by(nslots.max(1)) {
                 let s = src_trie.get(sid);
-                let ctx =
-                    QueryContext::from_parts(s.traj.points().to_vec(), s.mbr, s.cells.clone());
-                let cands = dst_trie.candidates(s.traj.points(), tau, func);
+                // Reuse the shipped trajectory's clustered-index artifacts
+                // (MBR, cell compression) instead of recompressing.
+                let ctx = QueryContext::from_parts(
+                    s.points_vec(),
+                    *s.mbr(),
+                    CellList::from_cells(s.cells().to_vec(), src_trie.store().cell_side()),
+                );
+                let cands = dst_trie.candidates(ctx.points(), tau, func);
                 candidates += cands.len();
                 for c in cands {
                     let d = dst_trie.get(c);
-                    if let Some(dist) = verify_pair_soa(d, &ctx, tau, func, &mut scratch) {
+                    if let Some(dist) = verify_pair_soa(d.into(), &ctx, tau, func, &mut scratch) {
                         if e.forward {
-                            pairs.push((s.traj.id, d.traj.id, dist));
+                            pairs.push((s.id(), d.id(), dist));
                         } else {
-                            pairs.push((d.traj.id, s.traj.id, dist));
+                            pairs.push((d.id(), s.id(), dist));
                         }
                     }
                 }
@@ -555,11 +560,11 @@ fn relevant_members(
     (0..trie.len() as u32)
         .filter(|&i| {
             let t = trie.get(i);
-            let df = other_first.min_dist_point(t.traj.first());
-            let dl = other_last.min_dist_point(t.traj.last());
+            let df = other_first.min_dist_point(&t.first());
+            let dl = other_last.min_dist_point(&t.last());
             match mode {
                 IndexMode::Additive => {
-                    if t.traj.len() <= 1 && other_min_len <= 1 {
+                    if t.len() <= 1 && other_min_len <= 1 {
                         df.max(dl) <= tau
                     } else {
                         df + dl <= tau
@@ -569,13 +574,13 @@ fn relevant_members(
                 IndexMode::EditCount { eps, symmetric } => {
                     // LCSS: this trajectory's endpoint misses charge only
                     // when it is the shorter side of every possible pair.
-                    if !symmetric && t.traj.len() > other_min_len {
+                    if !symmetric && t.len() > other_min_len {
                         return true;
                     }
                     let (f, l) = (usize::from(df > eps), usize::from(dl > eps));
                     // A 1-point trajectory's endpoints coincide: cap at one
                     // edit.
-                    let edits = if t.traj.len() <= 1 { f.max(l) } else { f + l };
+                    let edits = if t.len() <= 1 { f.max(l) } else { f + l };
                     edits as f64 <= tau
                 }
                 IndexMode::Scan => true,
@@ -586,7 +591,7 @@ fn relevant_members(
 
 fn shipped_bytes(sys: &DitaSystem, pid: usize, ids: &[u32]) -> f64 {
     let trie = sys.trie(pid);
-    ids.iter().map(|&i| trie.get(i).size_bytes as f64).sum()
+    ids.iter().map(|&i| trie.get(i).size_bytes() as f64).sum()
 }
 
 /// Positions sampled from a list of `len` entries when `sample_size` probes
@@ -623,8 +628,8 @@ fn estimate_comp(
     let mut total = 0usize;
     let mut taken = 0usize;
     for k in sample_indices(ids.len(), opts.sample_size) {
-        let t = src_trie.get(ids[k]);
-        total += dst_trie.candidate_count(t.traj.points(), tau, func, scratch);
+        let pts = src_trie.get(ids[k]).points_vec();
+        total += dst_trie.candidate_count(&pts, tau, func, scratch);
         taken += 1;
     }
     total as f64 / taken as f64 * ids.len() as f64

@@ -189,7 +189,7 @@ pub fn search_with_options(
             delta_filter.merge(&fs);
             let cands: Vec<u32> = cands
                 .into_iter()
-                .filter(|&c| !seg.dead.contains(&seg.trie.get(c).traj.id))
+                .filter(|&c| !seg.dead.contains(&seg.trie.get(c).id()))
                 .collect();
             delta_candidates += cands.len();
             results.extend(verify_candidates(
@@ -205,7 +205,8 @@ pub fn search_with_options(
         for part in deltas.parts() {
             for it in part.tail.values() {
                 tail_checked += 1;
-                if let Some(d) = crate::verify::verify_pair_soa(it, q_ctx, tau, func, &mut scratch)
+                if let Some(d) =
+                    crate::verify::verify_pair_soa(it.into(), q_ctx, tau, func, &mut scratch)
                 {
                     tail_hits += 1;
                     results.push((it.traj.id, d));

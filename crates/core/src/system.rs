@@ -120,9 +120,15 @@ impl DitaSystem {
 
         let build_time = start.elapsed();
         let global_size_bytes = global.size_bytes();
-        let local_size_bytes = tries.iter().map(TrieIndex::index_size_bytes).sum();
+        let local_size_bytes: usize = tries.iter().map(TrieIndex::index_size_bytes).sum();
         let total_size_bytes =
             global_size_bytes + tries.iter().map(TrieIndex::size_bytes).sum::<usize>();
+        if cluster.obs().is_enabled() {
+            cluster
+                .obs()
+                .gauge(names::INDEX_BYTES)
+                .set(local_size_bytes as f64);
+        }
 
         let deltas = DeltaSet::new(tries.len(), Self::base_home(&tries), config.trie);
         DitaSystem {
@@ -148,8 +154,8 @@ impl DitaSystem {
     pub(crate) fn base_home(tries: &[TrieIndex]) -> BTreeMap<TrajectoryId, usize> {
         let mut home = BTreeMap::new();
         for (pid, trie) in tries.iter().enumerate() {
-            for it in trie.data() {
-                home.insert(it.traj.id, pid);
+            for e in trie.entries() {
+                home.insert(e.id(), pid);
             }
         }
         home

@@ -20,8 +20,11 @@
 use dita_cluster::{charge_compute, thread_cpu_time, TaskError};
 use dita_distance::kernel::Scratch;
 use dita_distance::{bounds, DistanceFunction};
-use dita_index::{IndexedTrajectory, TrieIndex};
-use dita_trajectory::{CellList, Mbr, Point, SoaPoints, Trajectory, TrajectoryId};
+use dita_index::{EntryRef, IndexedTrajectory, TrieIndex};
+use dita_trajectory::{
+    cell_bottleneck_bound, cell_lower_bound, Cell, CellList, Mbr, Point, SoaPoints, SoaView,
+    Trajectory, TrajectoryId,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -90,12 +93,50 @@ impl QueryContext {
     }
 }
 
+/// Borrowed candidate artifacts for verification — everything the filter
+/// stages and the SoA kernels need, independent of whether the candidate
+/// lives in a flat [`dita_index::TrajStore`] arena (borrow via
+/// [`EntryRef`]) or an owned [`IndexedTrajectory`] (delta tails).
+#[derive(Debug, Clone, Copy)]
+pub struct CandidateView<'a> {
+    /// The candidate's trajectory id.
+    pub id: TrajectoryId,
+    /// Whole-trajectory MBR (Lemma 5.4 coverage filtering).
+    pub mbr: &'a Mbr,
+    /// Cell compression (Lemma 5.6 bounds), side matching the index.
+    pub cells: &'a [Cell],
+    /// The point sequence in structure-of-arrays layout.
+    pub soa: SoaView<'a>,
+}
+
+impl<'a> From<&'a IndexedTrajectory> for CandidateView<'a> {
+    fn from(it: &'a IndexedTrajectory) -> Self {
+        CandidateView {
+            id: it.traj.id,
+            mbr: &it.mbr,
+            cells: it.cells.cells(),
+            soa: it.soa.view(),
+        }
+    }
+}
+
+impl<'a> From<EntryRef<'a>> for CandidateView<'a> {
+    fn from(e: EntryRef<'a>) -> Self {
+        CandidateView {
+            id: e.id(),
+            mbr: e.mbr(),
+            cells: e.cells(),
+            soa: e.soa(),
+        }
+    }
+}
+
 /// The cheap filter stages shared by both verification paths: returns true
 /// when the candidate is provably outside the threshold.
 fn prefiltered(
-    cand_points: &[Point],
+    cand_soa: SoaView<'_>,
     cand_mbr: &Mbr,
-    cand_cells: &CellList,
+    cand_cells: &[Cell],
     q: &QueryContext,
     tau: f64,
     func: &DistanceFunction,
@@ -103,21 +144,23 @@ fn prefiltered(
     match func {
         DistanceFunction::Dtw => {
             bounds::mbr_coverage_prune(cand_mbr, &q.mbr, tau)
-                || cand_cells.lower_bound(&q.cells) > tau
-                || q.cells.lower_bound(cand_cells) > tau
+                || cell_lower_bound(cand_cells, q.cells.cells()) > tau
+                || cell_lower_bound(q.cells.cells(), cand_cells) > tau
         }
         DistanceFunction::Frechet => {
             bounds::mbr_coverage_prune(cand_mbr, &q.mbr, tau)
-                || cand_cells.bottleneck_bound(&q.cells) > tau
-                || q.cells.bottleneck_bound(cand_cells) > tau
+                || cell_bottleneck_bound(cand_cells, q.cells.cells()) > tau
+                || cell_bottleneck_bound(q.cells.cells(), cand_cells) > tau
         }
         DistanceFunction::Edr { .. } => {
-            bounds::length_bound_edr(cand_points.len(), q.points.len(), tau)
+            bounds::length_bound_edr(cand_soa.len(), q.points.len(), tau)
         }
         DistanceFunction::Erp { gap } => {
             // Magnitude bound (Chen & Ng): ERP ≥ |Σ dist(t_i, g) − Σ dist(q_j, g)|.
             let g = Point::new(gap.0, gap.1);
-            let st: f64 = cand_points.iter().map(|p| p.dist(&g)).sum();
+            let st: f64 = (0..cand_soa.len())
+                .map(|i| cand_soa.point(i).dist(&g))
+                .sum();
             let sq: f64 = q.points.iter().map(|p| p.dist(&g)).sum();
             (st - sq).abs() > tau
         }
@@ -136,26 +179,27 @@ pub fn verify_pair(
     tau: f64,
     func: &DistanceFunction,
 ) -> Option<f64> {
-    if prefiltered(cand_points, cand_mbr, cand_cells, q, tau, func) {
+    let soa = SoaPoints::from_points(cand_points);
+    if prefiltered(soa.view(), cand_mbr, cand_cells.cells(), q, tau, func) {
         return None;
     }
     func.verify(cand_points, &q.points, tau)
 }
 
-/// Verifies one clustered-index entry against the query using the SoA
-/// band-pruned kernels — the allocation-free hot path. Same filter stages
-/// as [`verify_pair`]; `scratch` is reused across candidates.
+/// Verifies one candidate against the query using the SoA band-pruned
+/// kernels — the allocation-free hot path. Same filter stages as
+/// [`verify_pair`]; `scratch` is reused across candidates.
 pub fn verify_pair_soa(
-    cand: &IndexedTrajectory,
+    cand: CandidateView<'_>,
     q: &QueryContext,
     tau: f64,
     func: &DistanceFunction,
     scratch: &mut Scratch,
 ) -> Option<f64> {
-    if prefiltered(cand.traj.points(), &cand.mbr, &cand.cells, q, tau, func) {
+    if prefiltered(cand.soa, cand.mbr, cand.cells, q, tau, func) {
         return None;
     }
-    func.verify_soa(cand.soa.view(), q.soa.view(), tau, scratch)
+    func.verify_soa(cand.soa, q.soa.view(), tau, scratch)
 }
 
 /// Verifies a worker task's candidate list, returning `(id, distance)` hits
@@ -192,9 +236,9 @@ pub fn try_verify_candidates(
     let serial = |out: &mut Vec<(TrajectoryId, f64)>| {
         let mut scratch = Scratch::new();
         for &c in cands {
-            let it = trie.get(c);
-            if let Some(d) = verify_pair_soa(it, q, tau, func, &mut scratch) {
-                out.push((it.traj.id, d));
+            let e = trie.get(c);
+            if let Some(d) = verify_pair_soa(e.into(), q, tau, func, &mut scratch) {
+                out.push((e.id(), d));
             }
         }
     };
@@ -226,9 +270,9 @@ pub fn try_verify_candidates(
                 let t0 = thread_cpu_time();
                 let mut scratch = Scratch::new();
                 for (&c, slot) in part.iter().zip(out.iter_mut()) {
-                    let it = trie.get(c);
+                    let e = trie.get(c);
                     *slot =
-                        verify_pair_soa(it, q, tau, func, &mut scratch).map(|d| (it.traj.id, d));
+                        verify_pair_soa(e.into(), q, tau, func, &mut scratch).map(|d| (e.id(), d));
                 }
                 let dt = thread_cpu_time().saturating_sub(t0);
                 cpu_ns.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
@@ -396,7 +440,7 @@ mod tests {
                     let q = ctx(b.points());
                     for tau in [0.5, 1.5, 3.0, 6.0] {
                         let aos = verify_pair(a.points(), &it.mbr, &it.cells, &q, tau, &f);
-                        let soa = verify_pair_soa(&it, &q, tau, &f, &mut scratch);
+                        let soa = verify_pair_soa((&it).into(), &q, tau, &f, &mut scratch);
                         match (aos, soa) {
                             (Some(x), Some(y)) => assert!((x - y).abs() < 1e-9, "{f}"),
                             (None, None) => {}

@@ -9,9 +9,7 @@
 //! f64 distances.
 
 use dita_cluster::{Cluster, ClusterConfig};
-use dita_core::{
-    join, knn_search, search, CompactionPolicy, DitaConfig, DitaSystem, JoinOptions,
-};
+use dita_core::{join, knn_search, search, CompactionPolicy, DitaConfig, DitaSystem, JoinOptions};
 use dita_distance::DistanceFunction;
 use dita_index::{PivotStrategy, TrieConfig};
 use dita_trajectory::{Dataset, Point, Trajectory};
@@ -89,8 +87,8 @@ fn assert_read_equivalence(live: &DitaSystem, model: &BTreeMap<u64, Trajectory>,
             for tau in [0.25, 1.0, 4.0] {
                 let (mut a, _) = search(live, q.points(), tau, func);
                 let (mut b, _) = search(&fresh, q.points(), tau, func);
-                a.sort_by(|x, y| x.0.cmp(&y.0));
-                b.sort_by(|x, y| x.0.cmp(&y.0));
+                a.sort_by_key(|x| x.0);
+                b.sort_by_key(|x| x.0);
                 assert_eq!(a, b, "search seed={seed} q={qi} func={func} tau={tau}");
             }
         }
@@ -188,7 +186,7 @@ fn join_over_deltas_matches_rebuild() {
                 t_model.remove(&id);
                 assert!(t_sys.delete(id));
             }
-            if rng.next_u64() % 4 == 0 {
+            if rng.next_u64().is_multiple_of(4) {
                 t_sys.flush();
             }
         }

@@ -56,7 +56,11 @@ fn search_profile_has_expected_hierarchy() {
         .expect("top-level search span");
 
     // Per-worker child spans, one per worker that received a task.
-    let workers: Vec<_> = search.children.iter().filter(|c| c.name == "worker").collect();
+    let workers: Vec<_> = search
+        .children
+        .iter()
+        .filter(|c| c.name == "worker")
+        .collect();
     assert!(!workers.is_empty(), "search span has worker children");
     let tasks_under_workers: usize = workers
         .iter()
@@ -66,7 +70,10 @@ fn search_profile_has_expected_hierarchy() {
         .sum();
     assert!(tasks_under_workers >= 1, "worker spans contain task spans");
     let job_tasks: usize = stats.job.workers.iter().map(|w| w.tasks).sum();
-    assert_eq!(tasks_under_workers, job_tasks, "one task span per executed task");
+    assert_eq!(
+        tasks_under_workers, job_tasks,
+        "one task span per executed task"
+    );
 
     // filter and verify live somewhere below search (under worker → task).
     let filter = search.find("filter").expect("filter span under search");
@@ -98,7 +105,10 @@ fn filter_funnel_is_consistent_with_search_stats() {
     let funnel = stats.filter.funnel();
     assert_eq!(funnel.name, "trie-filter");
     let names: Vec<&str> = funnel.stages.iter().map(|s| s.name.as_str()).collect();
-    assert_eq!(names, ["node-length", "node-budget", "leaf-length", "leaf-opamd"]);
+    assert_eq!(
+        names,
+        ["node-length", "node-budget", "leaf-length", "leaf-opamd"]
+    );
 
     // The funnel's final survivors are exactly the candidates verification
     // received, and adjacent stages chain within each tier (node stages
@@ -160,7 +170,13 @@ fn join_and_knn_get_top_level_spans() {
     let sys = instrumented_system(2);
     let ts = figure1_trajectories();
 
-    let (pairs, jstats) = join(&sys, &sys, 3.0, &DistanceFunction::Dtw, &JoinOptions::default());
+    let (pairs, jstats) = join(
+        &sys,
+        &sys,
+        3.0,
+        &DistanceFunction::Dtw,
+        &JoinOptions::default(),
+    );
     assert!(!pairs.is_empty());
     let (hits, _) = knn_search(&sys, ts[0].points(), 2, &DistanceFunction::Dtw);
     assert_eq!(hits.len(), 2);
@@ -181,7 +197,9 @@ fn join_and_knn_get_top_level_spans() {
         .iter()
         .find(|n| n.name == "knn")
         .expect("top-level knn span");
-    let inner_search = knn_span.find("search").expect("knn probes via search spans");
+    let inner_search = knn_span
+        .find("search")
+        .expect("knn probes via search spans");
     assert!(inner_search.count >= 1);
 
     // Join metrics mirror JoinStats.

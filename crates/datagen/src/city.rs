@@ -69,15 +69,20 @@ fn walk<R: Rng>(rng: &mut R, cfg: &CityConfig, id: u64, len: usize) -> Trajector
         let hi = steps_per_axis * 3 / 5;
         (rng.gen_range(lo..=hi), rng.gen_range(lo..=hi))
     } else {
-        (rng.gen_range(0..=steps_per_axis), rng.gen_range(0..=steps_per_axis))
+        (
+            rng.gen_range(0..=steps_per_axis),
+            rng.gen_range(0..=steps_per_axis),
+        )
     };
     // Initial heading: one of the four grid directions.
     let mut dir = rng.gen_range(0..4u8);
     let mut coords = Vec::with_capacity(len);
     for _ in 0..len {
-        let lat = cfg.center.0 - half + gx as f64 * cfg.grid_step_deg
+        let lat = cfg.center.0 - half
+            + gx as f64 * cfg.grid_step_deg
             + rng.gen_range(-1.0..1.0) * cfg.gps_noise_deg;
-        let lon = cfg.center.1 - half + gy as f64 * cfg.grid_step_deg
+        let lon = cfg.center.1 - half
+            + gy as f64 * cfg.grid_step_deg
             + rng.gen_range(-1.0..1.0) * cfg.gps_noise_deg;
         coords.push((lat, lon));
         // Momentum: mostly keep going, sometimes turn (never U-turn), which

@@ -130,8 +130,7 @@ mod tests {
     #[test]
     fn worldwide_spread_exceeds_city_scale() {
         let d = world_dataset(&cfg(400));
-        let mbr =
-            dita_trajectory::Mbr::from_points(d.trajectories().iter().map(|t| t.first()));
+        let mbr = dita_trajectory::Mbr::from_points(d.trajectories().iter().map(|t| t.first()));
         // Clusters span continents, not one city.
         assert!(mbr.max.y - mbr.min.y > 50.0);
     }

@@ -51,7 +51,10 @@ pub fn pamd(t: &[Point], q: &[Point], pivots: &[usize]) -> f64 {
     }
     let mut sum = t[0].dist(&q[0]) + t[m - 1].dist(&q[q.len() - 1]);
     for &p in pivots {
-        assert!(p > 0 && p < m - 1, "pivot index {p} must be interior (m = {m})");
+        assert!(
+            p > 0 && p < m - 1,
+            "pivot index {p} must be interior (m = {m})"
+        );
         sum += min_dist_to_seq(&t[p], q);
     }
     sum

@@ -28,7 +28,10 @@ pub fn dtw_threshold(t: &[Point], q: &[Point], tau: f64) -> Option<f64> {
 }
 
 fn dtw_impl(t: &[Point], q: &[Point], tau: f64) -> Option<f64> {
-    assert!(!t.is_empty() && !q.is_empty(), "DTW requires non-empty sequences");
+    assert!(
+        !t.is_empty() && !q.is_empty(),
+        "DTW requires non-empty sequences"
+    );
     let (m, n) = (t.len(), q.len());
     // Keep the shorter sequence along the row to minimize the rolling buffer.
     if n > m {
@@ -91,7 +94,10 @@ fn dtw_impl(t: &[Point], q: &[Point], tau: f64) -> Option<f64> {
 ///
 /// Returns `Some(distance)` iff the distance is ≤ `tau`.
 pub fn dtw_double_direction(t: &[Point], q: &[Point], tau: f64) -> Option<f64> {
-    assert!(!t.is_empty() && !q.is_empty(), "DTW requires non-empty sequences");
+    assert!(
+        !t.is_empty() && !q.is_empty(),
+        "DTW requires non-empty sequences"
+    );
     let (m, n) = (t.len(), q.len());
     if m < 4 || n < 2 {
         return dtw_impl(t, q, tau);
@@ -147,7 +153,11 @@ pub fn dtw_double_direction(t: &[Point], q: &[Point], tau: f64) -> Option<f64> {
     // Join: forward path ends at (h-1, j) and continues to (h, j) or (h, j+1).
     let mut best = f64::INFINITY;
     for j in 0..n {
-        let cont = if j + 1 < n { bwd[j].min(bwd[j + 1]) } else { bwd[j] };
+        let cont = if j + 1 < n {
+            bwd[j].min(bwd[j + 1])
+        } else {
+            bwd[j]
+        };
         let v = fwd[j] + cont;
         if v < best {
             best = v;
@@ -244,7 +254,10 @@ mod tests {
                     let dd = dtw_double_direction(&ts[i], &ts[j], tau);
                     if full <= tau {
                         let v = dd.expect("double-direction must not prune true answers");
-                        assert!((v - full).abs() < 1e-9, "i={i} j={j} tau={tau}: {v} vs {full}");
+                        assert!(
+                            (v - full).abs() < 1e-9,
+                            "i={i} j={j} tau={tau}: {v} vs {full}"
+                        );
                     } else {
                         assert!(dd.is_none(), "i={i} j={j} tau={tau}");
                     }

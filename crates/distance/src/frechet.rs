@@ -25,16 +25,16 @@ pub fn frechet_threshold(t: &[Point], q: &[Point], tau: f64) -> Option<f64> {
 }
 
 fn frechet_impl(t: &[Point], q: &[Point], tau: f64) -> Option<f64> {
-    assert!(!t.is_empty() && !q.is_empty(), "Fréchet requires non-empty sequences");
+    assert!(
+        !t.is_empty() && !q.is_empty(),
+        "Fréchet requires non-empty sequences"
+    );
     let (m, n) = (t.len(), q.len());
     if n > m {
         return frechet_impl(q, t, tau);
     }
     if n == 1 {
-        let v = t
-            .iter()
-            .map(|p| p.dist(&q[0]))
-            .fold(0.0f64, f64::max);
+        let v = t.iter().map(|p| p.dist(&q[0])).fold(0.0f64, f64::max);
         return (v <= tau).then_some(v);
     }
 

@@ -75,7 +75,10 @@ impl DistanceFunction {
     /// ϵ = 1e-4, δ = 3.
     pub const PAPER_EDR: DistanceFunction = DistanceFunction::Edr { eps: 1e-4 };
     /// See [`DistanceFunction::PAPER_EDR`].
-    pub const PAPER_LCSS: DistanceFunction = DistanceFunction::Lcss { eps: 1e-4, delta: 3 };
+    pub const PAPER_LCSS: DistanceFunction = DistanceFunction::Lcss {
+        eps: 1e-4,
+        delta: 3,
+    };
 
     /// Short lowercase name (`dtw`, `frechet`, `edr`, `lcss`, `erp`).
     pub fn name(&self) -> &'static str {
@@ -90,7 +93,10 @@ impl DistanceFunction {
 
     /// Whether the function satisfies the triangle inequality.
     pub fn is_metric(&self) -> bool {
-        matches!(self, DistanceFunction::Frechet | DistanceFunction::Erp { .. })
+        matches!(
+            self,
+            DistanceFunction::Frechet | DistanceFunction::Erp { .. }
+        )
     }
 
     /// How the trie index consumes the budget for this function.
@@ -218,7 +224,10 @@ mod tests {
         let ts = figure1_trajectories();
         let (a, b) = (ts[0].points(), ts[2].points());
         assert_eq!(DistanceFunction::Dtw.distance(a, b), dtw::dtw(a, b));
-        assert_eq!(DistanceFunction::Frechet.distance(a, b), frechet::frechet(a, b));
+        assert_eq!(
+            DistanceFunction::Frechet.distance(a, b),
+            frechet::frechet(a, b)
+        );
         assert_eq!(
             DistanceFunction::Edr { eps: 1.0 }.distance(a, b),
             edr::edr(a, b, 1.0)
@@ -279,11 +288,17 @@ mod tests {
         assert_eq!(DistanceFunction::Frechet.index_mode(), IndexMode::Max);
         assert_eq!(
             DistanceFunction::Edr { eps: 0.5 }.index_mode(),
-            IndexMode::EditCount { eps: 0.5, symmetric: true }
+            IndexMode::EditCount {
+                eps: 0.5,
+                symmetric: true
+            }
         );
         assert_eq!(
             DistanceFunction::Lcss { eps: 0.5, delta: 2 }.index_mode(),
-            IndexMode::EditCount { eps: 0.5, symmetric: false }
+            IndexMode::EditCount {
+                eps: 0.5,
+                symmetric: false
+            }
         );
         assert_eq!(
             DistanceFunction::Erp { gap: (0.0, 0.0) }.index_mode(),
@@ -294,7 +309,10 @@ mod tests {
 
     #[test]
     fn parse_round_trip() {
-        assert_eq!("dtw".parse::<DistanceFunction>().unwrap(), DistanceFunction::Dtw);
+        assert_eq!(
+            "dtw".parse::<DistanceFunction>().unwrap(),
+            DistanceFunction::Dtw
+        );
         assert_eq!(
             "FRECHET".parse::<DistanceFunction>().unwrap(),
             DistanceFunction::Frechet

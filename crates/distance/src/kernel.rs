@@ -14,8 +14,8 @@
 //!    accepting path and may be treated as +∞. Each row tracks the window
 //!    `[lo, hi]` of columns still ≤ τ: the next row starts at `lo` (columns
 //!    left of it are provably > τ by induction) and stops as soon as it is
-//!    right of `hi` with a value > τ (every later cell's ancestors are all
-//!    > τ). This is strictly stronger than the whole-row-minimum abandon of
+//!    right of `hi` with a value > τ (every later cell's ancestors are
+//!    all > τ). This is strictly stronger than the whole-row-minimum abandon of
 //!    the scalar variants — dissimilar pairs shrink the window to a thin
 //!    diagonal corridor instead of paying full rows until the minimum
 //!    finally crosses τ. Values inside the window are exact DP values, so
@@ -28,15 +28,31 @@
 //! All kernels take a [`Scratch`] so steady-state verification performs no
 //! heap allocation at all; buffers are reused across candidates.
 //!
+//! 4. **Chunked distance precompute**: inside each DP row, the point
+//!    distances are hoisted out of the branchy recurrence into a separate
+//!    pass over a [`CHUNK`]-column slice — a straight-line
+//!    subtract/multiply/add (and for DTW/ERP, `sqrt`) loop with no data
+//!    dependences between lanes, which LLVM autovectorizes. The DP
+//!    recurrence then reads the precomputed slice. Chunking (rather than
+//!    precomputing whole rows) keeps the τ-abandon effective: when the band
+//!    window collapses mid-row, at most `CHUNK − 1` distances were computed
+//!    speculatively. The arithmetic per element is identical (same operand
+//!    order, merely hoisted), so results stay bit-identical.
+//!
 //! LCSS is already banded by its index constraint `|i − j| ≤ δ` (§B); its
 //! kernel keeps that band and gains the SoA layout, the squared-ϵ
-//! predicate and scratch reuse.
+//! predicate, a whole-band distance precompute (the band is at most
+//! `2δ + 1` wide) and scratch reuse.
 
 use dita_trajectory::SoaView;
 
 const INF: f64 = f64::INFINITY;
 /// Integer infinity for the EDR DP; large enough that `+ 1` cannot wrap.
 const IINF: u32 = u32::MAX / 2;
+/// Columns of point distances precomputed per vectorizable inner block.
+/// Two cache lines of `f64` — wide enough to fill AVX lanes, narrow enough
+/// that an early τ-abandon wastes little speculative work.
+const CHUNK: usize = 16;
 
 /// Reusable DP buffers for the SoA kernels.
 ///
@@ -49,6 +65,8 @@ pub struct Scratch {
     fb: Vec<f64>,
     /// Cached per-column costs (e.g. ERP's `dist(q_j, g)`).
     fc: Vec<f64>,
+    /// Per-row point distances, precomputed in branch-free chunks.
+    fd: Vec<f64>,
     ua: Vec<u32>,
     ub: Vec<u32>,
     za: Vec<usize>,
@@ -80,7 +98,10 @@ fn grow<T: Clone + Default>(v: &mut Vec<T>, n: usize) -> &mut [T] {
 /// # Panics
 /// Panics if either sequence is empty (Definition 2.2 requires m, n ≥ 1).
 pub fn dtw_soa(t: SoaView<'_>, q: SoaView<'_>, tau: f64, scratch: &mut Scratch) -> Option<f64> {
-    assert!(!t.is_empty() && !q.is_empty(), "DTW requires non-empty sequences");
+    assert!(
+        !t.is_empty() && !q.is_empty(),
+        "DTW requires non-empty sequences"
+    );
     // Keep the shorter sequence along the row, as the scalar kernel does.
     if q.len() > t.len() {
         return dtw_soa(q, t, tau, scratch);
@@ -101,14 +122,15 @@ pub fn dtw_soa(t: SoaView<'_>, q: SoaView<'_>, tau: f64, scratch: &mut Scratch) 
 
     let prev = grow(&mut scratch.fa, n);
     let cur = grow(&mut scratch.fb, n);
+    let row = grow(&mut scratch.fd, n);
 
     // Row 0: prefix sums of dist(t0, q_j) — monotone, so the feasible
     // window is [0, hi] and everything past the first crossing is +∞.
     let mut hi = n; // exclusive end of the feasible window
     let mut acc = 0.0;
-    for j in 0..n {
+    for (j, p) in prev.iter_mut().enumerate() {
         acc += t.dist(0, &q, j);
-        prev[j] = acc;
+        *p = acc;
         if acc > tau {
             hi = j;
             break;
@@ -133,30 +155,40 @@ pub fn dtw_soa(t: SoaView<'_>, q: SoaView<'_>, tau: f64, scratch: &mut Scratch) 
         if lo > 0 {
             cur[lo - 1] = INF;
         }
+        let (txi, tyi) = (t.xs[i], t.ys[i]);
         let mut new_lo = usize::MAX;
         let mut new_hi = 0usize;
         let mut left = INF;
         let mut stop = n;
-        for j in lo..n {
-            let d = t.dist(i, &q, j);
-            let best = if j == 0 {
-                prev[0]
-            } else {
-                prev[j - 1].min(prev[j]).min(left)
-            };
-            let v = d + best;
-            cur[j] = v;
-            left = v;
-            if v <= tau {
-                if new_lo == usize::MAX {
-                    new_lo = j;
+        'row: for cs in (lo..n).step_by(CHUNK) {
+            let ce = (cs + CHUNK).min(n);
+            // Hoisted distance pass: straight-line lanes LLVM vectorizes.
+            for (x, j) in row[cs..ce].iter_mut().zip(cs..ce) {
+                let dx = txi - q.xs[j];
+                let dy = tyi - q.ys[j];
+                *x = (dx * dx + dy * dy).sqrt();
+            }
+            for j in cs..ce {
+                let best = if j == 0 {
+                    prev[0]
+                } else {
+                    prev[j - 1].min(prev[j]).min(left)
+                };
+                let v = row[j] + best;
+                cur[j] = v;
+                left = v;
+                if v <= tau {
+                    if new_lo == usize::MAX {
+                        new_lo = j;
+                    }
+                    new_hi = j;
+                } else if j >= hi {
+                    // Right of the previous row's window with a value > τ:
+                    // all remaining ancestors are > τ, so the rest of the
+                    // row is too.
+                    stop = j + 1;
+                    break 'row;
                 }
-                new_hi = j;
-            } else if j >= hi {
-                // Right of the previous row's window with a value > τ: all
-                // remaining ancestors are > τ, so the rest of the row is too.
-                stop = j + 1;
-                break;
             }
         }
         if new_lo == usize::MAX {
@@ -185,7 +217,10 @@ pub fn dtw_soa(t: SoaView<'_>, q: SoaView<'_>, tau: f64, scratch: &mut Scratch) 
 /// # Panics
 /// Panics if either sequence is empty.
 pub fn frechet_soa(t: SoaView<'_>, q: SoaView<'_>, tau: f64, scratch: &mut Scratch) -> Option<f64> {
-    assert!(!t.is_empty() && !q.is_empty(), "Fréchet requires non-empty sequences");
+    assert!(
+        !t.is_empty() && !q.is_empty(),
+        "Fréchet requires non-empty sequences"
+    );
     if tau < 0.0 {
         return None;
     }
@@ -207,12 +242,13 @@ pub fn frechet_soa(t: SoaView<'_>, q: SoaView<'_>, tau: f64, scratch: &mut Scrat
 
     let prev = grow(&mut scratch.fa, n);
     let cur = grow(&mut scratch.fb, n);
+    let row = grow(&mut scratch.fd, n);
 
     let mut hi = n;
     let mut acc = 0.0f64;
-    for j in 0..n {
+    for (j, p) in prev.iter_mut().enumerate() {
         acc = acc.max(t.dist_sq(0, &q, j));
-        prev[j] = acc;
+        *p = acc;
         if acc > tau_sq {
             hi = j;
             break;
@@ -235,28 +271,37 @@ pub fn frechet_soa(t: SoaView<'_>, q: SoaView<'_>, tau: f64, scratch: &mut Scrat
         if lo > 0 {
             cur[lo - 1] = INF;
         }
+        let (txi, tyi) = (t.xs[i], t.ys[i]);
         let mut new_lo = usize::MAX;
         let mut new_hi = 0usize;
         let mut left = INF;
         let mut stop = n;
-        for j in lo..n {
-            let d = t.dist_sq(i, &q, j);
-            let best = if j == 0 {
-                prev[0]
-            } else {
-                prev[j - 1].min(prev[j]).min(left)
-            };
-            let v = best.max(d);
-            cur[j] = v;
-            left = v;
-            if v <= tau_sq {
-                if new_lo == usize::MAX {
-                    new_lo = j;
+        'row: for cs in (lo..n).step_by(CHUNK) {
+            let ce = (cs + CHUNK).min(n);
+            // Squared space: the hoisted pass needs no square root at all.
+            for (x, j) in row[cs..ce].iter_mut().zip(cs..ce) {
+                let dx = txi - q.xs[j];
+                let dy = tyi - q.ys[j];
+                *x = dx * dx + dy * dy;
+            }
+            for j in cs..ce {
+                let best = if j == 0 {
+                    prev[0]
+                } else {
+                    prev[j - 1].min(prev[j]).min(left)
+                };
+                let v = best.max(row[j]);
+                cur[j] = v;
+                left = v;
+                if v <= tau_sq {
+                    if new_lo == usize::MAX {
+                        new_lo = j;
+                    }
+                    new_hi = j;
+                } else if j >= hi {
+                    stop = j + 1;
+                    break 'row;
                 }
-                new_hi = j;
-            } else if j >= hi {
-                stop = j + 1;
-                break;
             }
         }
         if new_lo == usize::MAX {
@@ -307,6 +352,7 @@ pub fn edr_soa(
 
     let prev = grow(&mut scratch.ua, n + 1);
     let cur = grow(&mut scratch.ub, n + 1);
+    let row = grow(&mut scratch.fd, n + 1);
 
     // Row 0: EDR(∅, Q^j) = j; feasible while j ≤ τ.
     let mut hi = n + 1;
@@ -323,29 +369,41 @@ pub fn edr_soa(
         if lo > 0 {
             cur[lo - 1] = IINF;
         }
+        let (txi, tyi) = (t.xs[i], t.ys[i]);
         let mut new_lo = usize::MAX;
         let mut new_hi = 0usize;
         let mut left = IINF;
         let mut stop = n + 1;
-        for j in lo..=n {
-            let v = if j == 0 {
-                i as u32 + 1 // EDR(T^{i+1}, ∅)
-            } else {
-                let sub = u32::from(t.dist_sq(i, &q, j - 1) > eps_sq);
-                (prev[j - 1] + sub)
-                    .min(prev[j] + 1)
-                    .min(left.saturating_add(1))
-            };
-            cur[j] = v;
-            left = v;
-            if v <= tau_u {
-                if new_lo == usize::MAX {
-                    new_lo = j;
+        'row: for cs in (lo..=n).step_by(CHUNK) {
+            let ce = (cs + CHUNK).min(n + 1);
+            // Column j matches query point j − 1; column 0 is the
+            // empty-prefix base case and carries no distance.
+            let ds = cs.max(1);
+            for (x, j) in row[ds..ce].iter_mut().zip(ds..ce) {
+                let dx = txi - q.xs[j - 1];
+                let dy = tyi - q.ys[j - 1];
+                *x = dx * dx + dy * dy;
+            }
+            for j in cs..ce {
+                let v = if j == 0 {
+                    i as u32 + 1 // EDR(T^{i+1}, ∅)
+                } else {
+                    let sub = u32::from(row[j] > eps_sq);
+                    (prev[j - 1] + sub)
+                        .min(prev[j] + 1)
+                        .min(left.saturating_add(1))
+                };
+                cur[j] = v;
+                left = v;
+                if v <= tau_u {
+                    if new_lo == usize::MAX {
+                        new_lo = j;
+                    }
+                    new_hi = j;
+                } else if j >= hi {
+                    stop = j + 1;
+                    break 'row;
                 }
-                new_hi = j;
-            } else if j >= hi {
-                stop = j + 1;
-                break;
             }
         }
         if new_lo == usize::MAX {
@@ -407,6 +465,7 @@ pub fn erp_soa(
 
     let prev = grow(&mut scratch.fa, n + 1);
     let cur = grow(&mut scratch.fb, n + 1);
+    let row = grow(&mut scratch.fd, n + 1);
 
     // Row 0: deleting all of Q's prefix — monotone prefix sums.
     let mut hi = n + 1;
@@ -434,28 +493,39 @@ pub fn erp_soa(
         if lo > 0 {
             cur[lo - 1] = INF;
         }
+        let (txi, tyi) = (t.xs[i], t.ys[i]);
         let mut new_lo = usize::MAX;
         let mut new_hi = 0usize;
         let mut left = INF;
         let mut stop = n + 1;
-        for j in lo..=n {
-            let v = if j == 0 {
-                prev[0] + del_t
-            } else {
-                (prev[j - 1] + t.dist(i, &q, j - 1)) // match t_i with q_{j-1}
-                    .min(prev[j] + del_t) // delete t_i
-                    .min(left + gq[j - 1]) // delete q_{j-1}
-            };
-            cur[j] = v;
-            left = v;
-            if v <= tau {
-                if new_lo == usize::MAX {
-                    new_lo = j;
+        'row: for cs in (lo..=n).step_by(CHUNK) {
+            let ce = (cs + CHUNK).min(n + 1);
+            // Column j matches query point j − 1; column 0 only deletes.
+            let ds = cs.max(1);
+            for (x, j) in row[ds..ce].iter_mut().zip(ds..ce) {
+                let dx = txi - q.xs[j - 1];
+                let dy = tyi - q.ys[j - 1];
+                *x = (dx * dx + dy * dy).sqrt();
+            }
+            for j in cs..ce {
+                let v = if j == 0 {
+                    prev[0] + del_t
+                } else {
+                    (prev[j - 1] + row[j]) // match t_i with q_{j-1}
+                        .min(prev[j] + del_t) // delete t_i
+                        .min(left + gq[j - 1]) // delete q_{j-1}
+                };
+                cur[j] = v;
+                left = v;
+                if v <= tau {
+                    if new_lo == usize::MAX {
+                        new_lo = j;
+                    }
+                    new_hi = j;
+                } else if j >= hi {
+                    stop = j + 1;
+                    break 'row;
                 }
-                new_hi = j;
-            } else if j >= hi {
-                stop = j + 1;
-                break;
             }
         }
         if new_lo == usize::MAX {
@@ -500,6 +570,7 @@ pub fn lcss_soa(
     let width = 2 * delta + 1;
     let prev = grow(&mut scratch.za, width);
     let cur = grow(&mut scratch.zb, width);
+    let row = grow(&mut scratch.fd, n);
     prev.fill(0);
     cur.fill(0);
     let mut prev_left: isize = -(delta as isize);
@@ -527,10 +598,19 @@ pub fn lcss_soa(
         } else {
             band_get(prev, prev_left, lo - 1)
         };
+        // The band is at most 2δ + 1 wide: precompute its squared
+        // distances in one straight-line pass.
+        let (txi, tyi) = (t.xs[i], t.ys[i]);
+        let (jlo, jhi) = (lo.max(0) as usize, hi as usize);
+        for (x, j) in row[jlo..=jhi].iter_mut().zip(jlo..=jhi) {
+            let dx = txi - q.xs[j];
+            let dy = tyi - q.ys[j];
+            *x = dx * dx + dy * dy;
+        }
         let mut row_max = 0usize;
         let mut running_left = left_outside;
         for j in lo.max(0)..=hi {
-            let matched = t.dist_sq(i, &q, j as usize) <= eps_sq;
+            let matched = row[j as usize] <= eps_sq;
             let diag = if j - 1 < 0 {
                 0
             } else {
@@ -706,7 +786,10 @@ mod tests {
         let mut s = Scratch::new();
         assert_eq!(edr_soa(t.view(), e.view(), 1.0, 1.0, &mut s), Some(1.0));
         assert_eq!(edr_soa(e.view(), e.view(), 1.0, 0.0, &mut s), Some(0.0));
-        assert_eq!(erp_soa(t.view(), e.view(), 0.0, 0.0, 5.0, &mut s), Some(5.0));
+        assert_eq!(
+            erp_soa(t.view(), e.view(), 0.0, 0.0, 5.0, &mut s),
+            Some(5.0)
+        );
         assert_eq!(erp_soa(e.view(), t.view(), 0.0, 0.0, 4.9, &mut s), None);
         assert_eq!(lcss_soa(t.view(), e.view(), 1.0, 1, 0.0, &mut s), Some(0.0));
     }

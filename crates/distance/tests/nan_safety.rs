@@ -9,10 +9,11 @@
 //! selection).
 
 use dita_distance::{
-    amd, dtw, dtw_double_direction, dtw_threshold, edr, edr_threshold, erp, erp_threshold, frechet,
-    frechet_threshold, lcss_distance, lcss_distance_threshold, pamd,
+    amd, dtw, dtw_double_direction, dtw_soa, dtw_threshold, edr, edr_soa, edr_threshold, erp,
+    erp_soa, erp_threshold, frechet, frechet_soa, frechet_threshold, lcss_distance,
+    lcss_distance_threshold, lcss_soa, pamd, Scratch,
 };
-use dita_trajectory::Point;
+use dita_trajectory::{Point, SoaPoints};
 use proptest::prelude::*;
 
 fn arb_point() -> impl Strategy<Value = Point> {
@@ -89,5 +90,88 @@ proptest! {
         let x = dtw(&a, &c);
         let y = dtw(&b, &c);
         prop_assert_eq!(Some(x.total_cmp(&y)), x.partial_cmp(&y));
+    }
+
+    /// The chunked SoA kernels are bit-identical to the scalar references
+    /// under threshold semantics: `Some(full)` exactly when the full scalar
+    /// distance fits the budget, `None` otherwise, with the *same bits* in
+    /// the payload. The chunked per-row distance precompute is a hoisting
+    /// of the same expressions in the same operand order, so this must hold
+    /// exactly (ERP alone carries a documented 1e-12 tolerance because the
+    /// scalar reference accumulates gap mass in a different association
+    /// order).
+    #[test]
+    fn soa_kernels_bit_identical_to_scalar_references(
+        a in arb_seq(24),
+        b in arb_seq(24),
+        eps in 0.0f64..10.0,
+        tau in 0.0f64..300.0,
+        delta in 0usize..8,
+    ) {
+        let (sa, sb) = (SoaPoints::from_points(&a), SoaPoints::from_points(&b));
+        let (va, vb) = (sa.view(), sb.view());
+        let mut s = Scratch::new();
+
+        let full = dtw(&a, &b);
+        let expect = (full <= tau).then_some(full);
+        prop_assert_eq!(dtw_soa(va, vb, tau, &mut s), expect, "dtw tau={}", tau);
+
+        let full = frechet(&a, &b);
+        let expect = (full <= tau).then_some(full);
+        prop_assert_eq!(frechet_soa(va, vb, tau, &mut s), expect, "frechet tau={}", tau);
+
+        let full = edr(&a, &b, eps);
+        let expect = (full <= tau).then_some(full);
+        prop_assert_eq!(edr_soa(va, vb, eps, tau, &mut s), expect, "edr tau={}", tau);
+
+        let full = lcss_distance(&a, &b, eps, delta);
+        let expect = (full <= tau).then_some(full);
+        prop_assert_eq!(lcss_soa(va, vb, eps, delta, tau, &mut s), expect, "lcss tau={}", tau);
+
+        let g = Point::new(0.0, 0.0);
+        let full = erp(&a, &b, &g);
+        match erp_soa(va, vb, 0.0, 0.0, tau, &mut s) {
+            Some(v) => {
+                prop_assert!(full <= tau, "erp emitted {} above tau={}", v, tau);
+                prop_assert!((v - full).abs() < 1e-12, "erp {} vs {}", v, full);
+            }
+            None => prop_assert!(full > tau, "erp pruned a true answer {} <= {}", full, tau),
+        }
+    }
+
+    /// The SoA threshold kernels agree with the AoS threshold kernels —
+    /// the pair the probe/verify pipeline actually switches between.
+    #[test]
+    fn soa_kernels_match_aos_threshold_kernels(
+        a in arb_seq(20),
+        b in arb_seq(20),
+        eps in 0.0f64..10.0,
+        tau in 0.0f64..200.0,
+        delta in 0usize..8,
+    ) {
+        let (sa, sb) = (SoaPoints::from_points(&a), SoaPoints::from_points(&b));
+        let (va, vb) = (sa.view(), sb.view());
+        let mut s = Scratch::new();
+        prop_assert_eq!(dtw_soa(va, vb, tau, &mut s), dtw_threshold(&a, &b, tau));
+        prop_assert_eq!(frechet_soa(va, vb, tau, &mut s), frechet_threshold(&a, &b, tau));
+        prop_assert_eq!(edr_soa(va, vb, eps, tau, &mut s), edr_threshold(&a, &b, eps, tau));
+        prop_assert_eq!(
+            lcss_soa(va, vb, eps, delta, tau, &mut s),
+            lcss_distance_threshold(&a, &b, eps, delta, tau)
+        );
+        let gap = Point::new(0.0, 0.0);
+        let (soa, aos) = (erp_soa(va, vb, 0.0, 0.0, tau, &mut s), erp_threshold(&a, &b, &gap, tau));
+        match (soa, aos) {
+            (None, None) => {}
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-12, "erp {} vs {}", x, y),
+            _ => {
+                // Near the budget boundary the two accumulation orders may
+                // disagree on prune-vs-keep by a rounding ulp; both must
+                // still agree with the full scalar distance's side of tau
+                // within tolerance.
+                let full = erp(&a, &b, &gap);
+                prop_assert!((full - tau).abs() < 1e-9, "erp prune divergence far from tau");
+            }
+        }
     }
 }

@@ -124,7 +124,13 @@ fn kernels_agree_with_reference_on_random_pairs() {
 
             let r = frechet(&t, &q);
             let tau = pick_tau(&mut rng, r);
-            check("frechet", r, tau, frechet_soa(tv, qv, tau, &mut scratch), info);
+            check(
+                "frechet",
+                r,
+                tau,
+                frechet_soa(tv, qv, tau, &mut scratch),
+                info,
+            );
 
             let eps = 0.05 + rng.next_f64() * 0.5;
             let r = edr(&t, &q, eps);
@@ -145,7 +151,13 @@ fn kernels_agree_with_reference_on_random_pairs() {
             let (gx, gy) = (rng.next_f64() * 4.0, rng.next_f64() * 4.0);
             let r = erp(&t, &q, &Point::new(gx, gy));
             let tau = pick_tau(&mut rng, r);
-            check("erp", r, tau, erp_soa(tv, qv, gx, gy, tau, &mut scratch), info);
+            check(
+                "erp",
+                r,
+                tau,
+                erp_soa(tv, qv, gx, gy, tau, &mut scratch),
+                info,
+            );
         }
     }
 }
@@ -163,8 +175,14 @@ fn kernels_never_prune_with_generous_tau() {
         let big = 1e6;
 
         assert_eq!(dtw_soa(tv, qv, big, &mut scratch), Some(dtw(&t, &q)));
-        assert_eq!(frechet_soa(tv, qv, big, &mut scratch), Some(frechet(&t, &q)));
-        assert_eq!(edr_soa(tv, qv, 0.25, big, &mut scratch), Some(edr(&t, &q, 0.25)));
+        assert_eq!(
+            frechet_soa(tv, qv, big, &mut scratch),
+            Some(frechet(&t, &q))
+        );
+        assert_eq!(
+            edr_soa(tv, qv, 0.25, big, &mut scratch),
+            Some(edr(&t, &q, 0.25))
+        );
         assert_eq!(
             lcss_soa(tv, qv, 0.25, 2, big, &mut scratch),
             Some(lcss_distance(&t, &q, 0.25, 2))
@@ -183,7 +201,10 @@ fn kernels_match_verify_dispatch() {
         DistanceFunction::Dtw,
         DistanceFunction::Frechet,
         DistanceFunction::Edr { eps: 0.25 },
-        DistanceFunction::Lcss { eps: 0.25, delta: 2 },
+        DistanceFunction::Lcss {
+            eps: 0.25,
+            delta: 2,
+        },
         DistanceFunction::Erp { gap: (0.5, 0.5) },
     ];
     let mut rng = XorShift::new(1234);

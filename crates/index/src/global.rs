@@ -38,8 +38,7 @@ impl GlobalIndex {
         let max_lens: Vec<usize> = partitioning.partitions.iter().map(|p| p.max_len).collect();
         let rtree_first =
             RTree::bulk_load(mbrs.iter().enumerate().map(|(i, m)| (m.0, i)).collect());
-        let rtree_last =
-            RTree::bulk_load(mbrs.iter().enumerate().map(|(i, m)| (m.1, i)).collect());
+        let rtree_last = RTree::bulk_load(mbrs.iter().enumerate().map(|(i, m)| (m.1, i)).collect());
         GlobalIndex {
             rtree_first,
             rtree_last,
@@ -83,33 +82,35 @@ impl GlobalIndex {
             IndexMode::Scan => (0..self.mbrs.len()).collect(),
             IndexMode::Additive | IndexMode::Max => {
                 let mut first_hits = vec![f64::NAN; self.mbrs.len()];
-                self.rtree_first.for_each_within_point(first, tau, |mbr, &id| {
-                    first_hits[id] = mbr.min_dist_point(first);
-                });
+                self.rtree_first
+                    .for_each_within_point(first, tau, |mbr, &id| {
+                        first_hits[id] = mbr.min_dist_point(first);
+                    });
                 let mut out = Vec::new();
-                self.rtree_last.for_each_within_point(last, tau, |mbr, &id| {
-                    let df = first_hits[id];
-                    if df.is_nan() {
-                        return; // not in C_f
-                    }
-                    let dl = mbr.min_dist_point(last);
-                    let ok = match mode {
-                        // The endpoint sum uses two distinct DTW cells only
-                        // when some side has ≥ 2 points; a 1-point member
-                        // against a 1-point query shares the single cell.
-                        IndexMode::Additive => {
-                            if query_len <= 1 && self.min_lens[id] <= 1 {
-                                df.max(dl) <= tau
-                            } else {
-                                df + dl <= tau
-                            }
+                self.rtree_last
+                    .for_each_within_point(last, tau, |mbr, &id| {
+                        let df = first_hits[id];
+                        if df.is_nan() {
+                            return; // not in C_f
                         }
-                        _ => true, // Max: both already ≤ τ individually
-                    };
-                    if ok {
-                        out.push(id);
-                    }
-                });
+                        let dl = mbr.min_dist_point(last);
+                        let ok = match mode {
+                            // The endpoint sum uses two distinct DTW cells only
+                            // when some side has ≥ 2 points; a 1-point member
+                            // against a 1-point query shares the single cell.
+                            IndexMode::Additive => {
+                                if query_len <= 1 && self.min_lens[id] <= 1 {
+                                    df.max(dl) <= tau
+                                } else {
+                                    df + dl <= tau
+                                }
+                            }
+                            _ => true, // Max: both already ≤ τ individually
+                        };
+                        if ok {
+                            out.push(id);
+                        }
+                    });
                 out.sort_unstable();
                 out
             }
@@ -167,7 +168,11 @@ mod tests {
                 let dy = (i / 5) as f64 * 0.1;
                 ts.push(Trajectory::from_coords(
                     id,
-                    &[(fx + dx, fy + dy), (fx + 1.0, fy + 1.0), (fx + 2.0 + dx, fy + 2.0 + dy)],
+                    &[
+                        (fx + dx, fy + dy),
+                        (fx + 1.0, fy + 1.0),
+                        (fx + 2.0 + dx, fy + 2.0 + dy),
+                    ],
                 ));
                 id += 1;
             }
@@ -238,7 +243,10 @@ mod tests {
             &Point::new(0.0, 0.0),
             3,
             2.0,
-            IndexMode::EditCount { eps: 0.001, symmetric: true },
+            IndexMode::EditCount {
+                eps: 0.001,
+                symmetric: true,
+            },
         );
         assert_eq!(rel.len(), g.num_partitions());
         // Budget 0: only partitions whose both endpoint MBRs are within eps.
@@ -247,7 +255,10 @@ mod tests {
             &Point::new(500.0, 500.0),
             3,
             0.0,
-            IndexMode::EditCount { eps: 0.001, symmetric: true },
+            IndexMode::EditCount {
+                eps: 0.001,
+                symmetric: true,
+            },
         );
         assert!(rel0.is_empty());
     }
@@ -258,7 +269,13 @@ mod tests {
         let parts = str_partitioning(&ts, 2);
         let g = GlobalIndex::build(&parts);
         assert!(g
-            .relevant_partitions(&Point::new(0.0, 0.0), &Point::new(0.0, 0.0), 3, -1.0, IndexMode::Additive)
+            .relevant_partitions(
+                &Point::new(0.0, 0.0),
+                &Point::new(0.0, 0.0),
+                3,
+                -1.0,
+                IndexMode::Additive
+            )
             .is_empty());
     }
 

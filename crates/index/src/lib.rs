@@ -8,17 +8,26 @@
 //!   over last-point MBRs (§4.2.2, §5.2).
 //! * [`trie`] — the (K+2)-level trie local index with the accumulated-budget
 //!   filter and the ordered-suffix optimization (§4.2.3, §5.3).
+//! * [`flat`] — the succinct flat encoding the trie is stored in: a
+//!   fixed-width node arena with CSR children/members arrays plus pooled
+//!   trajectory storage.
+//! * [`pointer`] — the reference pointer-rich trie encoding, kept for parity
+//!   tests and memory-density comparisons.
 
 #![warn(missing_docs)]
 
+pub mod flat;
 pub mod global;
 pub mod partitioner;
 pub mod pivot;
+pub mod pointer;
 pub mod trie;
 
+pub use flat::{EntryRef, FlatNodes, NodeRec, TrajStore};
 pub use global::GlobalIndex;
 pub use partitioner::{
     random_partitioning, str_partitioning, str_partitioning_par, Partition, Partitioning,
 };
 pub use pivot::{select_pivots, PivotStrategy};
+pub use pointer::PointerTrie;
 pub use trie::{FilterStats, IndexedTrajectory, ProbeScratch, TrieConfig, TrieIndex};

@@ -62,7 +62,9 @@ impl PivotStrategy {
             PivotStrategy::NeighborDistance => points[i - 1].dist(&points[i]),
             PivotStrategy::FirstLastDistance => {
                 let m = points.len();
-                points[i].dist(&points[0]).max(points[i].dist(&points[m - 1]))
+                points[i]
+                    .dist(&points[0])
+                    .max(points[i].dist(&points[m - 1]))
             }
         }
     }
@@ -169,7 +171,10 @@ mod tests {
         let t = Trajectory::from_coords(1, &[(0.0, 0.0), (1.0, 1.0)]);
         assert!(select_pivots(&t, 3, PivotStrategy::NeighborDistance).is_empty());
         let t = Trajectory::from_coords(1, &[(0.0, 0.0), (1.0, 1.0), (2.0, 0.0)]);
-        assert_eq!(select_pivots(&t, 3, PivotStrategy::NeighborDistance), vec![1]);
+        assert_eq!(
+            select_pivots(&t, 3, PivotStrategy::NeighborDistance),
+            vec![1]
+        );
     }
 
     #[test]

@@ -8,17 +8,26 @@
 //! trajectories themselves — the *clustered* layout the paper contrasts
 //! with DFT's separated index/bitmap design.
 //!
+//! The built tree is encoded succinctly (see [`crate::flat`]): one
+//! contiguous arena of fixed-width node records with shared CSR-style
+//! children/members arrays, and all member trajectories pooled into shared
+//! coordinate/pivot/cell arenas. The probe walks that flat layout with an
+//! explicit traversal stack ([`ProbeScratch`]); the reference pointer-rich
+//! encoding survives as [`crate::pointer::PointerTrie`] for parity tests
+//! and memory-density comparisons.
+//!
 //! The filter search walks the trie depth-first, accumulating the per-level
 //! `MinDist` into the threshold budget (§5.3.1) with the ordered-suffix
 //! optimization of §5.3.2 (Lemma 5.1). Budget semantics follow the distance
 //! function (Appendix A): DTW/ERP subtract, Fréchet compares each level to
 //! the constant τ, EDR/LCSS count edits.
 
+use crate::flat::{EntryRef, FlatNodes, TrajStore};
 use crate::partitioner::str_tiles_pub as str_tiles;
 use crate::pivot::{select_pivots, PivotStrategy};
 use dita_distance::function::IndexMode;
 use dita_distance::DistanceFunction;
-use dita_trajectory::{CellList, Mbr, Point, SoaPoints, Trajectory};
+use dita_trajectory::{CellList, Mbr, Point, SoaPoints, SoaView, Trajectory};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
@@ -65,8 +74,14 @@ impl Default for TrieConfig {
     }
 }
 
-/// A trajectory as stored in the clustered index: the raw points plus every
-/// precomputed artifact verification needs (pivots, MBR, cells).
+/// A preprocessed trajectory: the raw points plus every precomputed
+/// artifact verification needs (pivots, MBR, cells).
+///
+/// This is the build-time intermediate (pooled into a [`TrajStore`] by
+/// [`TrieIndex::build`]) and the storage form of the unflushed ingestion
+/// tail, where per-row ownership matters more than packing density. The
+/// reference [`crate::pointer::PointerTrie`] stores members in this form
+/// permanently.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 #[serde(from = "IndexedTrajectoryRepr")]
 pub struct IndexedTrajectory {
@@ -145,24 +160,6 @@ impl IndexedTrajectory {
             size_bytes,
         }
     }
-}
-
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct TrieNode {
-    /// MBR of the members' indexing point at this node's depth.
-    mbr: Mbr,
-    /// Depth: 1 = first point, 2 = last point, 3.. = pivots.
-    depth: u8,
-    /// Child node indices (empty for leaves).
-    children: Vec<u32>,
-    /// Trajectories stored at this node: all members for leaves, plus any
-    /// member whose indexing-point sequence ends at this depth.
-    members: Vec<u32>,
-    /// Length bounds over every trajectory in this subtree: `max_len` backs
-    /// the LCSS budget rule, the pair backs the EDR length filter
-    /// (`EDR ≥ |m − n|`, Appendix A).
-    max_len: u32,
-    min_len: u32,
 }
 
 /// Filter-funnel statistics of one trie probe: how much work the filter
@@ -251,12 +248,14 @@ impl FilterStats {
     }
 }
 
-/// Reusable traversal state for repeated trie probes. Holding one across
-/// calls to [`TrieIndex::candidate_count`] makes the probe allocation-free
+/// Reusable traversal state for repeated trie probes: the explicit DFS
+/// stack the flat-layout walk runs on. Holding one across calls to
+/// [`TrieIndex::candidate_count`] or
+/// [`TrieIndex::candidates_with_scratch`] makes the probe allocation-free
 /// once the stack has grown to its working size.
 #[derive(Debug, Default)]
 pub struct ProbeScratch {
-    stack: Vec<(u32, f64, usize)>,
+    pub(crate) stack: Vec<(u32, f64, usize)>,
 }
 
 impl ProbeScratch {
@@ -266,18 +265,356 @@ impl ProbeScratch {
     }
 }
 
-/// The local trie index of one partition.
+/// Budget semantics of one probe, resolved once per probe from the
+/// [`DistanceFunction`] so the per-node and per-member matches carry no
+/// impossible `Scan` arm — Scan-mode probes return before any descent.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Walk {
+    /// DTW: per-level distances subtract from the τ budget.
+    Additive,
+    /// Fréchet: every level is compared against the constant τ.
+    Max,
+    /// EDR/LCSS: levels farther than ϵ cost one edit from a ⌊τ⌋ budget.
+    Edit {
+        /// The matching tolerance ϵ.
+        eps: f64,
+        /// LCSS band half-width δ; `None` for EDR.
+        delta: Option<usize>,
+        /// Whether length-interval pruning (EDR-only) applies.
+        edr: bool,
+    },
+}
+
+impl Walk {
+    /// The walk semantics for `func`; `None` when the function's index
+    /// mode is `Scan` (no trie descent — ERP's global alignment gives the
+    /// per-level budgets nothing sound to charge).
+    pub(crate) fn of(func: &DistanceFunction) -> Option<Walk> {
+        match func.index_mode() {
+            IndexMode::Scan => None,
+            IndexMode::Additive => Some(Walk::Additive),
+            IndexMode::Max => Some(Walk::Max),
+            IndexMode::EditCount { eps, .. } => Some(Walk::Edit {
+                eps,
+                delta: match func {
+                    DistanceFunction::Lcss { delta, .. } => Some(*delta),
+                    _ => None,
+                },
+                edr: matches!(func, DistanceFunction::Edr { .. }),
+            }),
+        }
+    }
+
+    /// Whether the EDR length filters apply.
+    #[inline]
+    pub(crate) fn is_edr(&self) -> bool {
+        matches!(self, Walk::Edit { edr: true, .. })
+    }
+}
+
+/// Evaluates one node's payload against the query; if the node survives
+/// its level check it is pushed with its updated budget and suffix.
+/// Prunes are recorded into `stats` under the stage that caused them.
+///
+/// Shared by the flat probe and the reference
+/// [`crate::pointer::PointerTrie`] probe, so the two layouts differ only
+/// in encoding, never in pruning decisions.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn visit_node(
+    node_id: u32,
+    mbr: &Mbr,
+    depth: u8,
+    node_min_len: u32,
+    node_max_len: u32,
+    q: &[Point],
+    tau: f64,
+    budget: f64,
+    suffix: usize,
+    walk: &Walk,
+    stats: &mut FilterStats,
+    stack: &mut Vec<(u32, f64, usize)>,
+) {
+    stats.nodes_visited += 1;
+    let n = q.len();
+    // EDR length filter (Appendix A): every member of this subtree has
+    // length in [min_len, max_len]; prune when |m − n| > τ holds for the
+    // whole interval. Compared against the *original* τ — an edit
+    // already charged for a missed pivot may be the very deletion that
+    // explains the length gap, so the two budgets must not be combined.
+    if walk.is_edr()
+        && (node_min_len as f64 > n as f64 + tau || (node_max_len as f64) < n as f64 - tau)
+    {
+        stats.nodes_pruned_length += 1;
+        return;
+    }
+    // Distance of the query to this node's MBR, per level semantics.
+    let (d, new_suffix) = match (depth, walk) {
+        (1, Walk::Additive | Walk::Max) => (mbr.min_dist_point(&q[0]), suffix),
+        (2, Walk::Additive | Walk::Max) => (mbr.min_dist_point(&q[n - 1]), suffix),
+        (_, Walk::Edit { .. }) => {
+            // Edit-family: any query point may absorb this element.
+            let d = q
+                .iter()
+                .map(|p| mbr.min_dist_point_sq(p))
+                .fold(f64::INFINITY, f64::min)
+                .sqrt();
+            (d, 0)
+        }
+        (_, Walk::Additive | Walk::Max) => {
+            // Pivot level: ordered-suffix scan (Lemma 5.1). Points of the
+            // suffix that cannot host this pivot within the current
+            // budget can be discarded for the deeper pivots too.
+            let mut best_sq = f64::INFINITY;
+            let mut first_ok = None;
+            let budget_sq = budget * budget;
+            for (j, p) in q.iter().enumerate().skip(suffix) {
+                let dsq = mbr.min_dist_point_sq(p);
+                if dsq < best_sq {
+                    best_sq = dsq;
+                }
+                if first_ok.is_none() && dsq <= budget_sq {
+                    first_ok = Some(j);
+                }
+                // The minimum cannot improve further and the suffix
+                // anchor is fixed: stop scanning.
+                if best_sq == 0.0 && first_ok.is_some() {
+                    break;
+                }
+            }
+            (best_sq.sqrt(), first_ok.unwrap_or(suffix))
+        }
+    };
+
+    let new_budget = match *walk {
+        Walk::Additive => {
+            if d > budget {
+                stats.nodes_pruned_budget += 1;
+                return;
+            }
+            budget - d
+        }
+        Walk::Max => {
+            if d > budget {
+                stats.nodes_pruned_budget += 1;
+                return;
+            }
+            budget
+        }
+        Walk::Edit { eps, delta, .. } => {
+            if d > eps {
+                // LCSS only pays for an unmatched T element when the
+                // trajectory is the shorter side (distance = min(m,n) − L).
+                let charge = delta.is_none() || (node_max_len as usize) <= n;
+                if charge {
+                    if budget < 1.0 {
+                        stats.nodes_pruned_budget += 1;
+                        return;
+                    }
+                    budget - 1.0
+                } else {
+                    budget
+                }
+            } else {
+                budget
+            }
+        }
+    };
+    stack.push((node_id, new_budget, new_suffix));
+}
+
+/// The exact per-member leaf filter, on the member's own precomputed
+/// artifacts: the ordered-pivot accumulated-minimum-distance test of
+/// Lemma 5.1 under Additive/Max budgets, or the edit-family bound under
+/// [`Walk::Edit`]. Sound: the tested bound never exceeds `f(T, Q)`.
+///
+/// Layout-agnostic (slices + an iterator of pivot positions), shared by
+/// the flat and pointer probes.
+pub(crate) fn member_admits<I: Iterator<Item = usize>>(
+    q: &[Point],
+    tau: f64,
+    walk: &Walk,
+    len: usize,
+    index_points: &[Point],
+    pivot_positions: I,
+    soa: SoaView<'_>,
+) -> bool {
+    let pts = index_points;
+    let n = q.len();
+    match *walk {
+        Walk::Additive => {
+            let mut budget = tau - pts[0].dist(&q[0]);
+            if budget < 0.0 {
+                return false;
+            }
+            if pts.len() > 1 {
+                budget -= pts[1].dist(&q[n - 1]);
+                if budget < 0.0 {
+                    return false;
+                }
+            }
+            // Ordered suffix scan over the pivots.
+            let mut suffix = 0usize;
+            for p in &pts[2.min(pts.len())..] {
+                let mut best_sq = f64::INFINITY;
+                let mut first_ok = None;
+                let budget_sq = budget * budget;
+                for (j, qj) in q.iter().enumerate().skip(suffix) {
+                    let d = p.dist_sq(qj);
+                    if d < best_sq {
+                        best_sq = d;
+                    }
+                    if first_ok.is_none() && d <= budget_sq {
+                        first_ok = Some(j);
+                    }
+                    if best_sq == 0.0 && first_ok.is_some() {
+                        break;
+                    }
+                }
+                budget -= best_sq.sqrt();
+                if budget < 0.0 {
+                    return false;
+                }
+                suffix = first_ok.unwrap_or(suffix);
+            }
+            true
+        }
+        Walk::Max => {
+            if pts[0].dist(&q[0]) > tau {
+                return false;
+            }
+            if pts.len() > 1 && pts[1].dist(&q[n - 1]) > tau {
+                return false;
+            }
+            let tau_sq = tau * tau;
+            let mut suffix = 0usize;
+            for p in &pts[2.min(pts.len())..] {
+                let mut best_sq = f64::INFINITY;
+                let mut first_ok = None;
+                for (j, qj) in q.iter().enumerate().skip(suffix) {
+                    let d = p.dist_sq(qj);
+                    if d < best_sq {
+                        best_sq = d;
+                    }
+                    if first_ok.is_none() && d <= tau_sq {
+                        first_ok = Some(j);
+                    }
+                }
+                if best_sq > tau_sq {
+                    return false;
+                }
+                suffix = first_ok.unwrap_or(suffix);
+            }
+            true
+        }
+        Walk::Edit { eps, delta, .. } => {
+            edit_family_admits(q, tau, eps, delta, len, pts, pivot_positions, soa)
+        }
+    }
+}
+
+/// Edit-family (EDR/LCSS) leaf filter. Both distances are bounded below
+/// by the number of *shorter-side* points with no admissible partner:
+///
+/// * EDR: every T point (and symmetrically every Q point) without an
+///   ϵ-close partner costs one edit.
+/// * LCSS distance `min(m, n) − L`: every shorter-side point without an
+///   (ϵ, δ)-band partner stays unmatched.
+///
+/// When the member is the shorter side its precomputed indexing points
+/// are checked (band-restricted for LCSS — the paper's "part of the
+/// query trajectory which fulfills the index constraint"); when the
+/// query is shorter, its points are scanned with an early exit after
+/// τ + 1 misses, so dissimilar pairs cost O(τ·δ) or O(τ·m), not a full
+/// DP.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn edit_family_admits<I: Iterator<Item = usize>>(
+    q: &[Point],
+    tau: f64,
+    eps: f64,
+    delta: Option<usize>,
+    len: usize,
+    index_points: &[Point],
+    pivot_positions: I,
+    soa: SoaView<'_>,
+) -> bool {
+    let m = len;
+    let n = q.len();
+    let eps_sq = eps * eps;
+    let lcss = delta.is_some();
+    let cap = tau.floor() as usize;
+
+    // Member-side bound: each indexing point (a distinct T point) with
+    // no admissible partner forces one unmatched T point. Sound for EDR
+    // always; for LCSS only when T is the shorter side.
+    if !lcss || m <= n {
+        let mut member_misses = 0usize;
+        let mut last_pos = usize::MAX;
+        let positions = std::iter::once(0)
+            .chain(std::iter::once(m - 1))
+            .chain(pivot_positions);
+        for (pos, p) in positions.zip(index_points.iter()) {
+            if pos == last_pos {
+                continue; // m == 1: first and last are the same point
+            }
+            last_pos = pos;
+            let range = match delta {
+                // The paper's LCSS adaptation: only the part of the
+                // query fulfilling the index constraint can match.
+                Some(d) => pos.saturating_sub(d)..(pos + d + 1).min(n),
+                None => 0..n,
+            };
+            let close = q[range].iter().any(|qj| p.dist_sq(qj) <= eps_sq);
+            if !close {
+                member_misses += 1;
+                if member_misses > cap {
+                    return false;
+                }
+            }
+        }
+    }
+
+    // Query-side bound: each query point with no admissible partner in
+    // T forces one unmatched Q point (an edit for EDR; an unmatched
+    // shorter-side point for LCSS when Q is shorter). NOT additive with
+    // the member-side count — one substitution covers one point of each
+    // side — so the two bounds are taken independently.
+    if n < m {
+        let mut query_misses = 0usize;
+        for (j, qj) in q.iter().enumerate() {
+            let range = match delta {
+                Some(d) => j.saturating_sub(d)..(j + d + 1).min(m),
+                None => 0..m,
+            };
+            let close = range.clone().any(|ti| {
+                let dx = soa.xs[ti] - qj.x;
+                let dy = soa.ys[ti] - qj.y;
+                dx * dx + dy * dy <= eps_sq
+            });
+            if !close {
+                query_misses += 1;
+                if query_misses > cap {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+/// The local trie index of one partition, in the succinct flat encoding:
+/// a [`FlatNodes`] arena for the tree and a [`TrajStore`] pooling every
+/// member's data.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct TrieIndex {
     config: TrieConfig,
-    nodes: Vec<TrieNode>,
+    nodes: FlatNodes,
     roots: Vec<u32>,
-    data: Vec<IndexedTrajectory>,
+    store: TrajStore,
 }
 
 /// One STR tile of a trie level, split but not yet recursed into: the node
 /// payload plus the member set that continues to the next level.
-struct TileSpec {
+pub(crate) struct TileSpec {
     mbr: Mbr,
     depth: u8,
     /// Members stored at this node (all of them for leaves, the stopped
@@ -293,18 +630,18 @@ struct TileSpec {
 /// independently (possibly on different threads) and flattened into the
 /// node arena afterwards in tile order, which makes the arena layout — and
 /// therefore the serialized index — independent of the thread count.
-struct PendingNode {
-    mbr: Mbr,
-    depth: u8,
-    children: Vec<PendingNode>,
-    members: Vec<u32>,
-    max_len: u32,
-    min_len: u32,
+pub(crate) struct PendingNode {
+    pub(crate) mbr: Mbr,
+    pub(crate) depth: u8,
+    pub(crate) children: Vec<PendingNode>,
+    pub(crate) members: Vec<u32>,
+    pub(crate) max_len: u32,
+    pub(crate) min_len: u32,
 }
 
 /// Splits `members` on their indexing point at `depth` (1-based) into STR
 /// tiles, deciding for each tile whether it becomes a leaf.
-fn split_tiles(
+pub(crate) fn split_tiles(
     data: &[IndexedTrajectory],
     config: &TrieConfig,
     members: Vec<usize>,
@@ -370,7 +707,11 @@ fn split_tiles(
 }
 
 /// Recursively builds the subtree rooted at one tile.
-fn build_subtree(data: &[IndexedTrajectory], config: &TrieConfig, spec: TileSpec) -> PendingNode {
+pub(crate) fn build_subtree(
+    data: &[IndexedTrajectory],
+    config: &TrieConfig,
+    spec: TileSpec,
+) -> PendingNode {
     let depth = spec.depth as usize;
     let children = split_tiles(data, config, spec.deeper, depth + 1)
         .into_iter()
@@ -386,25 +727,36 @@ fn build_subtree(data: &[IndexedTrajectory], config: &TrieConfig, spec: TileSpec
     }
 }
 
+/// Tallies the arena sizes a pending subtree will need, so the flat arrays
+/// can be allocated exactly once with exact capacities.
+fn count_pending(p: &PendingNode, recs: &mut usize, children: &mut usize, members: &mut usize) {
+    *recs += 1;
+    *children += p.children.len();
+    *members += p.members.len();
+    for c in &p.children {
+        count_pending(c, recs, children, members);
+    }
+}
+
 /// Flattens a pending subtree into the node arena in DFS preorder (parent
 /// before its subtree, siblings in tile order) — exactly the order the old
-/// serial recursion produced — and returns the root's node id.
-fn flatten(nodes: &mut Vec<TrieNode>, pending: PendingNode) -> u32 {
-    let id = nodes.len() as u32;
-    nodes.push(TrieNode {
-        mbr: pending.mbr,
-        depth: pending.depth,
-        children: Vec::new(),
-        members: pending.members,
-        max_len: pending.max_len,
-        min_len: pending.min_len,
-    });
-    let children: Vec<u32> = pending
+/// serial recursion produced — and returns the root's node id. Serial by
+/// construction, so the arena bytes cannot depend on the build thread
+/// count.
+fn flatten(nodes: &mut FlatNodes, pending: PendingNode) -> u32 {
+    let id = nodes.push(
+        pending.mbr,
+        pending.depth,
+        pending.min_len,
+        pending.max_len,
+        &pending.members,
+    );
+    let kids: Vec<u32> = pending
         .children
         .into_iter()
         .map(|c| flatten(nodes, c))
         .collect();
-    nodes[id as usize].children = children;
+    nodes.set_children(id, &kids);
     id
 }
 
@@ -421,120 +773,24 @@ impl TrieIndex {
     /// simulated cost model sees the work, not the host parallelism — the
     /// same contract as `verify_threads`.
     pub fn build_timed(trajectories: Vec<Trajectory>, config: TrieConfig) -> (Self, Duration) {
-        let threads = config.build_threads.max(1);
-        let pool = if threads > 1 && trajectories.len() > 1 {
-            rayon::ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .ok()
-        } else {
-            None
-        };
-        let helper_ns = AtomicU64::new(0);
-
-        // --- 1. Per-trajectory preprocessing (pivots, cells, SoA) ---
-        let data: Vec<IndexedTrajectory> = match &pool {
-            None => trajectories
-                .into_iter()
-                .map(|t| IndexedTrajectory::new(t, config.k, config.strategy, config.cell_side))
-                .collect(),
-            Some(pool) => {
-                // ~4 chunks per thread, results landing in pre-assigned
-                // slots so the data order (and thus every local id) matches
-                // the serial build.
-                let n = trajectories.len();
-                let chunk = n.div_ceil(threads * 4).max(1);
-                let mut batches: Vec<Vec<Trajectory>> = Vec::with_capacity(n.div_ceil(chunk));
-                let mut it = trajectories.into_iter();
-                loop {
-                    let batch: Vec<Trajectory> = it.by_ref().take(chunk).collect();
-                    if batch.is_empty() {
-                        break;
-                    }
-                    batches.push(batch);
-                }
-                let mut slots: Vec<Option<Vec<IndexedTrajectory>>> = Vec::new();
-                slots.resize_with(batches.len(), || None);
-                let helper = &helper_ns;
-                pool.scope(|s| {
-                    for (batch, slot) in batches.into_iter().zip(slots.iter_mut()) {
-                        s.spawn(move |_| {
-                            let t0 = dita_obs::thread_cpu_time();
-                            *slot = Some(
-                                batch
-                                    .into_iter()
-                                    .map(|t| {
-                                        IndexedTrajectory::new(
-                                            t,
-                                            config.k,
-                                            config.strategy,
-                                            config.cell_side,
-                                        )
-                                    })
-                                    .collect(),
-                            );
-                            let dt = dita_obs::thread_cpu_time().saturating_sub(t0);
-                            helper.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
-                        });
-                    }
-                });
-                slots
-                    .into_iter()
-                    .flat_map(|s| s.expect("preprocessing slot left unfilled"))
-                    .collect()
-            }
-        };
-
-        // --- 2. Tree construction ---
-        // The root level is split serially; each root tile's subtree is then
-        // built independently (in parallel when a pool exists — the spawns
-        // are non-nested, so per-spawn CPU deltas account every helper
-        // cycle exactly once) and flattened into the arena in tile order.
-        let all: Vec<usize> = (0..data.len()).collect();
-        let root_tiles = split_tiles(&data, &config, all, 1);
-        let pending: Vec<PendingNode> = match &pool {
-            None => root_tiles
-                .into_iter()
-                .map(|t| build_subtree(&data, &config, t))
-                .collect(),
-            Some(pool) => {
-                let mut slots: Vec<Option<PendingNode>> = Vec::new();
-                slots.resize_with(root_tiles.len(), || None);
-                let helper = &helper_ns;
-                let data_ref = &data;
-                let config_ref = &config;
-                pool.scope(|s| {
-                    for (tile, slot) in root_tiles.into_iter().zip(slots.iter_mut()) {
-                        s.spawn(move |_| {
-                            let t0 = dita_obs::thread_cpu_time();
-                            *slot = Some(build_subtree(data_ref, config_ref, tile));
-                            let dt = dita_obs::thread_cpu_time().saturating_sub(t0);
-                            helper.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
-                        });
-                    }
-                });
-                slots
-                    .into_iter()
-                    .map(|s| s.expect("subtree slot left unfilled"))
-                    .collect()
-            }
-        };
-        let mut nodes = Vec::new();
+        let (data, pending, helper) = build_pending(trajectories, &config);
+        let (mut recs, mut kids, mut mems) = (0usize, 0usize, 0usize);
+        for p in &pending {
+            count_pending(p, &mut recs, &mut kids, &mut mems);
+        }
+        let mut nodes = FlatNodes::with_capacity(recs, kids, mems);
         let roots: Vec<u32> = pending
             .into_iter()
             .map(|p| flatten(&mut nodes, p))
             .collect();
-
+        let store = TrajStore::from_indexed(data, config.cell_side);
         let index = TrieIndex {
             config,
             nodes,
             roots,
-            data,
+            store,
         };
-        (
-            index,
-            Duration::from_nanos(helper_ns.load(Ordering::Relaxed)),
-        )
+        (index, helper)
     }
 
     /// The configuration the index was built with.
@@ -544,148 +800,58 @@ impl TrieIndex {
 
     /// Number of indexed trajectories.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.store.len()
     }
 
     /// Returns `true` when no trajectories are indexed.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.store.is_empty()
     }
 
     /// Access a stored trajectory by local id.
     ///
     /// # Panics
-    /// Panics when `id` is out of range; worker-executed code handed ids
-    /// from outside the trie should use [`TrieIndex::try_get`] instead.
-    pub fn get(&self, id: u32) -> &IndexedTrajectory {
-        &self.data[id as usize]
+    /// Accessors of the returned handle panic when `id` is out of range;
+    /// worker-executed code handed ids from outside the trie should use
+    /// [`TrieIndex::try_get`] instead.
+    #[inline]
+    pub fn get(&self, id: u32) -> EntryRef<'_> {
+        self.store.entry(id as usize)
     }
 
     /// [`TrieIndex::get`] without the panic: `None` when `id` is out of
     /// range. The checked form worker tasks use so a corrupted candidate
     /// list surfaces as a retryable `TaskError` instead of unwinding the
     /// worker.
-    pub fn try_get(&self, id: u32) -> Option<&IndexedTrajectory> {
-        self.data.get(id as usize)
+    #[inline]
+    pub fn try_get(&self, id: u32) -> Option<EntryRef<'_>> {
+        self.store.try_entry(id as usize)
     }
 
-    /// All stored trajectories.
-    pub fn data(&self) -> &[IndexedTrajectory] {
-        &self.data
+    /// Iterates over all stored trajectories in local-id order.
+    pub fn entries(&self) -> impl Iterator<Item = EntryRef<'_>> {
+        self.store.iter()
     }
 
-    /// Approximate heap size in bytes, *excluding* the trajectory point data
-    /// itself (reported separately in the Table 5 experiment).
+    /// The pooled member store.
+    pub fn store(&self) -> &TrajStore {
+        &self.store
+    }
+
+    /// Allocated heap size in bytes (capacity, not length — reserve slack
+    /// is real memory), *excluding* the raw trajectory payload itself
+    /// (reported separately in the Table 5 experiment).
     pub fn index_size_bytes(&self) -> usize {
-        let nodes: usize = self
-            .nodes
-            .iter()
-            .map(|n| std::mem::size_of::<TrieNode>() + 4 * (n.children.len() + n.members.len()))
-            .sum();
-        let aux: usize = self
-            .data
-            .iter()
-            .map(|d| {
-                d.pivots.len() * std::mem::size_of::<usize>()
-                    + d.index_points.len() * std::mem::size_of::<Point>()
-                    + std::mem::size_of::<Mbr>()
-                    + d.cells.size_bytes()
-                    + d.soa.size_bytes()
-            })
-            .sum();
-        nodes + aux
+        self.nodes.size_bytes()
+            + self.roots.capacity() * std::mem::size_of::<u32>()
+            + (self.store.size_bytes() - self.store.data_bytes())
     }
 
-    /// Total size including the clustered trajectory data.
+    /// Total allocated size including the clustered trajectory payload.
     pub fn size_bytes(&self) -> usize {
-        self.index_size_bytes() + self.data.iter().map(|d| d.size_bytes).sum::<usize>()
-    }
-
-    /// Edit-family (EDR/LCSS) leaf filter. Both distances are bounded below
-    /// by the number of *shorter-side* points with no admissible partner:
-    ///
-    /// * EDR: every T point (and symmetrically every Q point) without an
-    ///   ϵ-close partner costs one edit.
-    /// * LCSS distance `min(m, n) − L`: every shorter-side point without an
-    ///   (ϵ, δ)-band partner stays unmatched.
-    ///
-    /// When the member is the shorter side its precomputed indexing points
-    /// are checked (band-restricted for LCSS — the paper's "part of the
-    /// query trajectory which fulfills the index constraint"); when the
-    /// query is shorter, its points are scanned with an early exit after
-    /// τ + 1 misses, so dissimilar pairs cost O(τ·δ) or O(τ·m), not a full
-    /// DP.
-    fn edit_family_admits(
-        &self,
-        it: &IndexedTrajectory,
-        q: &[Point],
-        tau: f64,
-        eps: f64,
-        func: &DistanceFunction,
-    ) -> bool {
-        let m = it.traj.len();
-        let n = q.len();
-        let eps_sq = eps * eps;
-        let delta = match func {
-            DistanceFunction::Lcss { delta, .. } => Some(*delta),
-            _ => None,
-        };
-        let lcss = delta.is_some();
-        let cap = tau.floor() as usize;
-
-        // Member-side bound: each indexing point (a distinct T point) with
-        // no admissible partner forces one unmatched T point. Sound for EDR
-        // always; for LCSS only when T is the shorter side.
-        let mut member_misses = 0usize;
-        if !lcss || m <= n {
-            let mut last_pos = usize::MAX;
-            let positions = std::iter::once(0)
-                .chain(std::iter::once(m - 1))
-                .chain(it.pivots.iter().copied());
-            for (pos, p) in positions.zip(it.index_points.iter()) {
-                if pos == last_pos {
-                    continue; // m == 1: first and last are the same point
-                }
-                last_pos = pos;
-                let range = match delta {
-                    // The paper's LCSS adaptation: only the part of the
-                    // query fulfilling the index constraint can match.
-                    Some(d) => pos.saturating_sub(d)..(pos + d + 1).min(n),
-                    None => 0..n,
-                };
-                let close = q[range].iter().any(|qj| p.dist_sq(qj) <= eps_sq);
-                if !close {
-                    member_misses += 1;
-                    if member_misses > cap {
-                        return false;
-                    }
-                }
-            }
-        }
-
-        // Query-side bound: each query point with no admissible partner in
-        // T forces one unmatched Q point (an edit for EDR; an unmatched
-        // shorter-side point for LCSS when Q is shorter). NOT additive with
-        // the member-side count — one substitution covers one point of each
-        // side — so the two bounds are taken independently.
-        if n < m {
-            let tpts = it.traj.points();
-            let mut query_misses = 0usize;
-            for (j, qj) in q.iter().enumerate() {
-                let range = match delta {
-                    Some(d) => j.saturating_sub(d)..(j + d + 1).min(m),
-                    None => 0..m,
-                };
-                let close = tpts[range].iter().any(|tp| tp.dist_sq(qj) <= eps_sq);
-                if !close {
-                    query_misses += 1;
-                    if query_misses > cap {
-                        return false;
-                    }
-                }
-            }
-        }
-        true
+        self.nodes.size_bytes()
+            + self.roots.capacity() * std::mem::size_of::<u32>()
+            + self.store.size_bytes()
     }
 
     /// The filter step (Algorithm 2's `DITA-Search-Filter`): local ids of
@@ -704,10 +870,24 @@ impl TrieIndex {
         tau: f64,
         func: &DistanceFunction,
     ) -> (Vec<u32>, FilterStats) {
+        let mut scratch = ProbeScratch::new();
+        self.candidates_with_scratch(q, tau, func, &mut scratch)
+    }
+
+    /// [`TrieIndex::candidates_with_stats`] with a caller-held
+    /// [`ProbeScratch`], so repeated probes reuse the traversal stack.
+    pub fn candidates_with_scratch(
+        &self,
+        q: &[Point],
+        tau: f64,
+        func: &DistanceFunction,
+        scratch: &mut ProbeScratch,
+    ) -> (Vec<u32>, FilterStats) {
         let mut stats = FilterStats::default();
         let mut out = Vec::new();
-        let mut stack = Vec::new();
-        self.probe(q, tau, func, &mut stats, &mut stack, |m| out.push(m));
+        self.probe(q, tau, func, &mut stats, &mut scratch.stack, |m| {
+            out.push(m)
+        });
         out.sort_unstable();
         out.dedup();
         (out, stats)
@@ -731,10 +911,10 @@ impl TrieIndex {
         count
     }
 
-    /// The shared filter traversal behind [`TrieIndex::candidates_with_stats`]
-    /// and [`TrieIndex::candidate_count`]: walks the trie and calls `emit`
-    /// for every member that survives the whole funnel, in traversal order
-    /// (unsorted, but free of duplicates).
+    /// The shared filter traversal behind [`TrieIndex::candidates_with_scratch`]
+    /// and [`TrieIndex::candidate_count`]: walks the flat node arena with an
+    /// explicit stack and calls `emit` for every member that survives the
+    /// whole funnel, in traversal order (unsorted, but free of duplicates).
     fn probe<F: FnMut(u32)>(
         &self,
         q: &[Point],
@@ -748,243 +928,194 @@ impl TrieIndex {
         if q.is_empty() || tau < 0.0 {
             return;
         }
-        let mode = func.index_mode();
-        if matches!(mode, IndexMode::Scan) {
-            for id in 0..self.data.len() as u32 {
+        let Some(walk) = Walk::of(func) else {
+            // Scan mode (ERP): the trie's per-level budgets are unsound, so
+            // every stored trajectory is a candidate and nothing descends.
+            for id in 0..self.store.len() as u32 {
                 emit(id);
             }
             return;
-        }
-        let lcss = matches!(func, DistanceFunction::Lcss { .. });
-        let edr = matches!(func, DistanceFunction::Edr { .. });
-        // Stack of nodes that survived their own level check, carrying the
-        // remaining budget and the query-suffix start for their children.
+        };
+        let edr = walk.is_edr();
         for &r in &self.roots {
-            self.visit(r, q, tau, tau, 0, mode, lcss, edr, stats, stack);
+            let rec = self.nodes.rec(r);
+            visit_node(
+                r,
+                &rec.mbr,
+                rec.depth,
+                rec.min_len,
+                rec.max_len,
+                q,
+                tau,
+                tau,
+                0,
+                &walk,
+                stats,
+                stack,
+            );
         }
         while let Some((node_id, budget, suffix)) = stack.pop() {
-            let node = &self.nodes[node_id as usize];
-            for &m in &node.members {
+            let rec = *self.nodes.rec(node_id);
+            for &m in self.nodes.members(&rec) {
                 // Leaf emission runs the exact per-trajectory OPAMD filter
                 // (Lemma 5.1) over the member's own indexing points — the
                 // node MBRs above only bounded groups.
                 stats.members_checked += 1;
-                if edr
-                    && dita_distance::bounds::length_bound_edr(
-                        self.data[m as usize].traj.len(),
-                        q.len(),
-                        tau,
-                    )
-                {
+                let e = self.store.entry(m as usize);
+                if edr && dita_distance::bounds::length_bound_edr(e.len(), q.len(), tau) {
                     stats.members_pruned_length += 1;
                     continue;
                 }
-                if self.opamd_admits(m, q, tau, mode, func) {
+                let admits = member_admits(
+                    q,
+                    tau,
+                    &walk,
+                    e.len(),
+                    e.index_points(),
+                    e.pivots().iter().map(|&p| p as usize),
+                    e.soa(),
+                );
+                if admits {
                     emit(m);
                 } else {
                     stats.members_pruned_opamd += 1;
                 }
             }
-            for &c in &node.children {
-                self.visit(c, q, tau, budget, suffix, mode, lcss, edr, stats, stack);
+            for &c in self.nodes.children(&rec) {
+                let crec = self.nodes.rec(c);
+                visit_node(
+                    c,
+                    &crec.mbr,
+                    crec.depth,
+                    crec.min_len,
+                    crec.max_len,
+                    q,
+                    tau,
+                    budget,
+                    suffix,
+                    &walk,
+                    stats,
+                    stack,
+                );
             }
         }
     }
+}
 
-    /// The exact ordered-pivot accumulated-minimum-distance test of
-    /// Lemma 5.1, evaluated on one trajectory's own indexing points under
-    /// the function's budget semantics. Sound: `OPAMD ≤ f(T, Q)`.
-    fn opamd_admits(
-        &self,
-        member: u32,
-        q: &[Point],
-        tau: f64,
-        mode: IndexMode,
-        func: &DistanceFunction,
-    ) -> bool {
-        let it = &self.data[member as usize];
-        let pts = &it.index_points;
-        let n = q.len();
-        match mode {
-            IndexMode::Scan => true,
-            IndexMode::Additive => {
-                let mut budget = tau - pts[0].dist(&q[0]);
-                if budget < 0.0 {
-                    return false;
+/// The layout-independent first half of a trie build: parallel
+/// per-trajectory preprocessing into order-preserving slots, then root-tile
+/// splitting with per-tile subtree construction (parallel when a pool
+/// exists). Returns the preprocessed members, the pending subtrees in tile
+/// order and the helper-thread CPU time to charge back.
+///
+/// Shared with [`crate::pointer::PointerTrie`] so both encodings flatten
+/// the *same* deterministic tree.
+pub(crate) fn build_pending(
+    trajectories: Vec<Trajectory>,
+    config: &TrieConfig,
+) -> (Vec<IndexedTrajectory>, Vec<PendingNode>, Duration) {
+    let threads = config.build_threads.max(1);
+    let pool = if threads > 1 && trajectories.len() > 1 {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .ok()
+    } else {
+        None
+    };
+    let helper_ns = AtomicU64::new(0);
+
+    // --- 1. Per-trajectory preprocessing (pivots, cells, SoA) ---
+    let data: Vec<IndexedTrajectory> = match &pool {
+        None => trajectories
+            .into_iter()
+            .map(|t| IndexedTrajectory::new(t, config.k, config.strategy, config.cell_side))
+            .collect(),
+        Some(pool) => {
+            // ~4 chunks per thread, results landing in pre-assigned
+            // slots so the data order (and thus every local id) matches
+            // the serial build.
+            let n = trajectories.len();
+            let chunk = n.div_ceil(threads * 4).max(1);
+            let mut batches: Vec<Vec<Trajectory>> = Vec::with_capacity(n.div_ceil(chunk));
+            let mut it = trajectories.into_iter();
+            loop {
+                let batch: Vec<Trajectory> = it.by_ref().take(chunk).collect();
+                if batch.is_empty() {
+                    break;
                 }
-                if pts.len() > 1 {
-                    budget -= pts[1].dist(&q[n - 1]);
-                    if budget < 0.0 {
-                        return false;
-                    }
-                }
-                // Ordered suffix scan over the pivots.
-                let mut suffix = 0usize;
-                for p in &pts[2.min(pts.len())..] {
-                    let mut best_sq = f64::INFINITY;
-                    let mut first_ok = None;
-                    let budget_sq = budget * budget;
-                    for (j, qj) in q.iter().enumerate().skip(suffix) {
-                        let d = p.dist_sq(qj);
-                        if d < best_sq {
-                            best_sq = d;
-                        }
-                        if first_ok.is_none() && d <= budget_sq {
-                            first_ok = Some(j);
-                        }
-                        if best_sq == 0.0 && first_ok.is_some() {
-                            break;
-                        }
-                    }
-                    budget -= best_sq.sqrt();
-                    if budget < 0.0 {
-                        return false;
-                    }
-                    suffix = first_ok.unwrap_or(suffix);
-                }
-                true
+                batches.push(batch);
             }
-            IndexMode::Max => {
-                if pts[0].dist(&q[0]) > tau {
-                    return false;
+            let mut slots: Vec<Option<Vec<IndexedTrajectory>>> = Vec::new();
+            slots.resize_with(batches.len(), || None);
+            let helper = &helper_ns;
+            pool.scope(|s| {
+                for (batch, slot) in batches.into_iter().zip(slots.iter_mut()) {
+                    s.spawn(move |_| {
+                        let t0 = dita_obs::thread_cpu_time();
+                        *slot = Some(
+                            batch
+                                .into_iter()
+                                .map(|t| {
+                                    IndexedTrajectory::new(
+                                        t,
+                                        config.k,
+                                        config.strategy,
+                                        config.cell_side,
+                                    )
+                                })
+                                .collect(),
+                        );
+                        let dt = dita_obs::thread_cpu_time().saturating_sub(t0);
+                        helper.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+                    });
                 }
-                if pts.len() > 1 && pts[1].dist(&q[n - 1]) > tau {
-                    return false;
-                }
-                let tau_sq = tau * tau;
-                let mut suffix = 0usize;
-                for p in &pts[2.min(pts.len())..] {
-                    let mut best_sq = f64::INFINITY;
-                    let mut first_ok = None;
-                    for (j, qj) in q.iter().enumerate().skip(suffix) {
-                        let d = p.dist_sq(qj);
-                        if d < best_sq {
-                            best_sq = d;
-                        }
-                        if first_ok.is_none() && d <= tau_sq {
-                            first_ok = Some(j);
-                        }
-                    }
-                    if best_sq > tau_sq {
-                        return false;
-                    }
-                    suffix = first_ok.unwrap_or(suffix);
-                }
-                true
-            }
-            IndexMode::EditCount { eps, .. } => self.edit_family_admits(it, q, tau, eps, func),
+            });
+            slots
+                .into_iter()
+                .flat_map(|s| s.expect("preprocessing slot left unfilled"))
+                .collect()
         }
-    }
+    };
 
-    /// Evaluates one node against the query; if it survives its level check
-    /// it is pushed with its updated budget and suffix. Prunes are recorded
-    /// into `stats` under the stage that caused them.
-    #[allow(clippy::too_many_arguments)]
-    fn visit(
-        &self,
-        node_id: u32,
-        q: &[Point],
-        tau: f64,
-        budget: f64,
-        suffix: usize,
-        mode: IndexMode,
-        lcss: bool,
-        edr: bool,
-        stats: &mut FilterStats,
-        stack: &mut Vec<(u32, f64, usize)>,
-    ) {
-        stats.nodes_visited += 1;
-        let node = &self.nodes[node_id as usize];
-        let n = q.len();
-        // EDR length filter (Appendix A): every member of this subtree has
-        // length in [min_len, max_len]; prune when |m − n| > τ holds for the
-        // whole interval. Compared against the *original* τ — an edit
-        // already charged for a missed pivot may be the very deletion that
-        // explains the length gap, so the two budgets must not be combined.
-        if edr && (node.min_len as f64 > n as f64 + tau || (node.max_len as f64) < n as f64 - tau) {
-            stats.nodes_pruned_length += 1;
-            return;
+    // --- 2. Tree construction ---
+    // The root level is split serially; each root tile's subtree is then
+    // built independently (in parallel when a pool exists — the spawns
+    // are non-nested, so per-spawn CPU deltas account every helper
+    // cycle exactly once) and flattened into the arena in tile order.
+    let all: Vec<usize> = (0..data.len()).collect();
+    let root_tiles = split_tiles(&data, config, all, 1);
+    let pending: Vec<PendingNode> = match &pool {
+        None => root_tiles
+            .into_iter()
+            .map(|t| build_subtree(&data, config, t))
+            .collect(),
+        Some(pool) => {
+            let mut slots: Vec<Option<PendingNode>> = Vec::new();
+            slots.resize_with(root_tiles.len(), || None);
+            let helper = &helper_ns;
+            let data_ref = &data;
+            pool.scope(|s| {
+                for (tile, slot) in root_tiles.into_iter().zip(slots.iter_mut()) {
+                    s.spawn(move |_| {
+                        let t0 = dita_obs::thread_cpu_time();
+                        *slot = Some(build_subtree(data_ref, config, tile));
+                        let dt = dita_obs::thread_cpu_time().saturating_sub(t0);
+                        helper.fetch_add(dt.as_nanos() as u64, Ordering::Relaxed);
+                    });
+                }
+            });
+            slots
+                .into_iter()
+                .map(|s| s.expect("subtree slot left unfilled"))
+                .collect()
         }
-        // Distance of the query to this node's MBR, per level semantics.
-        let (d, new_suffix) = match (node.depth, mode) {
-            (1, IndexMode::Additive | IndexMode::Max) => (node.mbr.min_dist_point(&q[0]), suffix),
-            (2, IndexMode::Additive | IndexMode::Max) => {
-                (node.mbr.min_dist_point(&q[n - 1]), suffix)
-            }
-            (_, IndexMode::EditCount { .. }) => {
-                // Edit-family: any query point may absorb this element.
-                let d = q
-                    .iter()
-                    .map(|p| node.mbr.min_dist_point_sq(p))
-                    .fold(f64::INFINITY, f64::min)
-                    .sqrt();
-                (d, 0)
-            }
-            // lint: allow(worker-panic, reason = "candidates() returns before descending in Scan mode; this arm is dead by construction")
-            (_, IndexMode::Scan) => unreachable!("Scan mode never descends the trie"),
-            (_, IndexMode::Additive | IndexMode::Max) => {
-                // Pivot level: ordered-suffix scan (Lemma 5.1). Points of the
-                // suffix that cannot host this pivot within the current
-                // budget can be discarded for the deeper pivots too.
-                let mut best_sq = f64::INFINITY;
-                let mut first_ok = None;
-                let budget_sq = budget * budget;
-                for (j, p) in q.iter().enumerate().skip(suffix) {
-                    let dsq = node.mbr.min_dist_point_sq(p);
-                    if dsq < best_sq {
-                        best_sq = dsq;
-                    }
-                    if first_ok.is_none() && dsq <= budget_sq {
-                        first_ok = Some(j);
-                    }
-                    // The minimum cannot improve further and the suffix
-                    // anchor is fixed: stop scanning.
-                    if best_sq == 0.0 && first_ok.is_some() {
-                        break;
-                    }
-                }
-                (best_sq.sqrt(), first_ok.unwrap_or(suffix))
-            }
-        };
-
-        let new_budget = match mode {
-            IndexMode::Additive => {
-                if d > budget {
-                    stats.nodes_pruned_budget += 1;
-                    return;
-                }
-                budget - d
-            }
-            IndexMode::Max => {
-                if d > budget {
-                    stats.nodes_pruned_budget += 1;
-                    return;
-                }
-                budget
-            }
-            // lint: allow(worker-panic, reason = "candidates() returns before descending in Scan mode; this arm is dead by construction")
-            IndexMode::Scan => unreachable!("Scan mode never descends the trie"),
-            IndexMode::EditCount { eps, .. } => {
-                if d > eps {
-                    // LCSS only pays for an unmatched T element when the
-                    // trajectory is the shorter side (distance = min(m,n) − L).
-                    let charge = !lcss || (node.max_len as usize) <= n;
-                    if charge {
-                        if budget < 1.0 {
-                            stats.nodes_pruned_budget += 1;
-                            return;
-                        }
-                        budget - 1.0
-                    } else {
-                        budget
-                    }
-                } else {
-                    budget
-                }
-            }
-        };
-        stack.push((node_id, new_budget, new_suffix));
-    }
+    };
+    (
+        data,
+        pending,
+        Duration::from_nanos(helper_ns.load(Ordering::Relaxed)),
+    )
 }
 
 #[cfg(test)]
@@ -1007,7 +1138,7 @@ mod tests {
     }
 
     fn ids_of(index: &TrieIndex, cands: &[u32]) -> Vec<u64> {
-        let mut v: Vec<u64> = cands.iter().map(|&c| index.get(c).traj.id).collect();
+        let mut v: Vec<u64> = cands.iter().map(|&c| index.get(c).id()).collect();
         v.sort_unstable();
         v
     }
@@ -1261,6 +1392,29 @@ mod tests {
                         assert!(cands.contains(&t.id), "k={k}");
                     }
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_reuse_matches_fresh_probes() {
+        let index = fig1_index(2, 2);
+        let ts = figure1_trajectories();
+        let mut scratch = ProbeScratch::new();
+        for q in &ts {
+            for tau in [0.5, 3.0] {
+                let fresh = index.candidates_with_stats(q.points(), tau, &DistanceFunction::Dtw);
+                let reused = index.candidates_with_scratch(
+                    q.points(),
+                    tau,
+                    &DistanceFunction::Dtw,
+                    &mut scratch,
+                );
+                assert_eq!(fresh, reused);
+                assert_eq!(
+                    index.candidate_count(q.points(), tau, &DistanceFunction::Dtw, &mut scratch),
+                    fresh.0.len()
+                );
             }
         }
     }

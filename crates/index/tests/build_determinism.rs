@@ -84,10 +84,7 @@ fn configs() -> Vec<TrieConfig> {
 /// the stored config, not index content, and serialization skips it.
 fn fingerprint(index: &TrieIndex, threads: usize) -> (String, String) {
     (
-        format!("{index:?}").replace(
-            &format!("build_threads: {threads}"),
-            "build_threads: _",
-        ),
+        format!("{index:?}").replace(&format!("build_threads: {threads}"), "build_threads: _"),
         serde_json::to_string(index).expect("serialize"),
     )
 }
@@ -182,9 +179,10 @@ fn parallel_partitioning_matches_serial() {
 #[test]
 fn cached_size_bytes_matches_recomputation() {
     let ts = random_trajectories(40, 0x5eed_6006);
-    let index = TrieIndex::build(ts, configs()[1]);
-    for i in 0..index.len() as u32 {
-        let t = index.get(i);
-        assert_eq!(t.size_bytes, t.traj.size_bytes());
+    let index = TrieIndex::build(ts.clone(), configs()[1]);
+    for (i, t) in ts.iter().enumerate() {
+        let e = index.get(i as u32);
+        assert_eq!(e.size_bytes(), e.to_trajectory().size_bytes());
+        assert_eq!(e.size_bytes(), t.size_bytes());
     }
 }

@@ -4,7 +4,9 @@
 //! true answer, for any distance function, threshold, or configuration.
 
 use dita_distance::DistanceFunction;
-use dita_index::{str_partitioning, GlobalIndex, PivotStrategy, ProbeScratch, TrieConfig, TrieIndex};
+use dita_index::{
+    str_partitioning, GlobalIndex, PivotStrategy, ProbeScratch, TrieConfig, TrieIndex,
+};
 use dita_trajectory::{Point, Trajectory};
 use proptest::prelude::*;
 
@@ -14,13 +16,16 @@ fn arb_trajectory(id: u64) -> impl Strategy<Value = Trajectory> {
 }
 
 fn arb_dataset(n: usize) -> impl Strategy<Value = Vec<Trajectory>> {
-    prop::collection::vec(prop::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 1..14), 2..n)
-        .prop_map(|all| {
-            all.into_iter()
-                .enumerate()
-                .map(|(i, coords)| Trajectory::from_coords(i as u64, &coords))
-                .collect()
-        })
+    prop::collection::vec(
+        prop::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 1..14),
+        2..n,
+    )
+    .prop_map(|all| {
+        all.into_iter()
+            .enumerate()
+            .map(|(i, coords)| Trajectory::from_coords(i as u64, &coords))
+            .collect()
+    })
 }
 
 proptest! {
@@ -81,7 +86,7 @@ proptest! {
             let mut cands: Vec<u64> = Vec::new();
             for &pid in &relevant {
                 for c in tries[pid].candidates(q.points(), tau, &f) {
-                    cands.push(tries[pid].get(c).traj.id);
+                    cands.push(tries[pid].get(c).id());
                 }
             }
             for t in &ts {

@@ -55,13 +55,13 @@ impl DeltaSegment {
         )
     }
 
-    /// Live (not superseded) flushed members.
-    pub fn live(&self) -> impl Iterator<Item = &Trajectory> {
+    /// Live (not superseded) flushed members, materialized out of the
+    /// trie's pooled store.
+    pub fn live(&self) -> impl Iterator<Item = Trajectory> + '_ {
         self.trie
-            .data()
-            .iter()
-            .map(|it| &it.traj)
-            .filter(move |t| !self.dead.contains(&t.id))
+            .entries()
+            .filter(move |e| !self.dead.contains(&e.id()))
+            .map(|e| e.to_trajectory())
     }
 
     /// Number of live flushed members.
@@ -95,7 +95,10 @@ impl PartitionDelta {
 
     /// Bytes of unflushed tail data (what the next flush ships).
     pub fn tail_bytes(&self) -> u64 {
-        self.tail.values().map(|it| it.traj.size_bytes() as u64).sum()
+        self.tail
+            .values()
+            .map(|it| it.traj.size_bytes() as u64)
+            .sum()
     }
 }
 
@@ -144,7 +147,9 @@ impl DeltaSet {
         config: TrieConfig,
     ) -> Self {
         DeltaSet {
-            parts: (0..num_partitions).map(|_| PartitionDelta::default()).collect(),
+            parts: (0..num_partitions)
+                .map(|_| PartitionDelta::default())
+                .collect(),
             base_dead: BTreeSet::new(),
             base_home,
             delta_home: BTreeMap::new(),
@@ -180,7 +185,12 @@ impl DeltaSet {
     /// overwrote an existing live trajectory (upsert semantics).
     pub fn insert(&mut self, t: Trajectory, pid: usize) -> bool {
         let replaced = self.unlink(t.id);
-        let it = IndexedTrajectory::new(t, self.config.k, self.config.strategy, self.config.cell_side);
+        let it = IndexedTrajectory::new(
+            t,
+            self.config.k,
+            self.config.strategy,
+            self.config.cell_side,
+        );
         let id = it.traj.id;
         self.parts[pid].tail.insert(id, it);
         self.parts[pid].dirty = true;
@@ -207,7 +217,10 @@ impl DeltaSet {
             let part = &mut self.parts[pid];
             if part.tail.remove(&id).is_none() {
                 // Not in the tail, so it must be live in the segment.
-                let seg = part.seg.as_mut().expect("delta-homed id without tail or segment");
+                let seg = part
+                    .seg
+                    .as_mut()
+                    .expect("delta-homed id without tail or segment");
                 let fresh = seg.dead.insert(id);
                 debug_assert!(fresh, "segment dead-set already held a live id");
                 part.pending_tombstones += 1;
@@ -304,9 +317,13 @@ impl DeltaSet {
                 let mut members: Vec<Trajectory> = part
                     .seg
                     .as_ref()
-                    .map(|seg| seg.live().cloned().collect())
+                    .map(|seg| seg.live().collect())
                     .unwrap_or_default();
-                members.extend(std::mem::take(&mut part.tail).into_values().map(|it| it.traj));
+                members.extend(
+                    std::mem::take(&mut part.tail)
+                        .into_values()
+                        .map(|it| it.traj),
+                );
                 members.sort_by_key(|t| t.id);
                 if members.is_empty() {
                     // Every flushed member died since the last run: drop the
@@ -317,7 +334,11 @@ impl DeltaSet {
                     Some(members)
                 }
             };
-            jobs.push(FlushJob { pid, ship_bytes, members });
+            jobs.push(FlushJob {
+                pid,
+                ship_bytes,
+                members,
+            });
         }
         jobs
     }
@@ -380,7 +401,9 @@ impl DeltaSet {
 
     /// Partitions needing a rebuild at compaction time.
     pub fn dirty_partitions(&self) -> Vec<usize> {
-        (0..self.parts.len()).filter(|&i| self.parts[i].dirty).collect()
+        (0..self.parts.len())
+            .filter(|&i| self.parts[i].dirty)
+            .collect()
     }
 
     /// Live delta members of `pid` (segment + tail) and the not-yet-shipped
@@ -391,9 +414,13 @@ impl DeltaSet {
         let mut members: Vec<Trajectory> = part
             .seg
             .as_ref()
-            .map(|seg| seg.live().cloned().collect())
+            .map(|seg| seg.live().collect())
             .unwrap_or_default();
-        members.extend(std::mem::take(&mut part.tail).into_values().map(|it| it.traj));
+        members.extend(
+            std::mem::take(&mut part.tail)
+                .into_values()
+                .map(|it| it.traj),
+        );
         (members, ship_bytes)
     }
 
@@ -487,7 +514,8 @@ mod tests {
         let members = jobs[0].members.as_ref().unwrap();
         assert_eq!(members.iter().map(|t| t.id).collect::<Vec<_>>(), vec![1, 2]);
         // Simulate the build and install; tail is gone, segment is live.
-        let (seg, _) = DeltaSegment::build(jobs.into_iter().next().unwrap().members.unwrap(), cfg());
+        let (seg, _) =
+            DeltaSegment::build(jobs.into_iter().next().unwrap().members.unwrap(), cfg());
         d.install_segment(0, seg);
         d.rebuild_seg_global();
         assert_eq!(d.part(0).tail.len(), 0);

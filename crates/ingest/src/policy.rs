@@ -41,7 +41,13 @@ impl Default for CompactionPolicy {
 
 impl CompactionPolicy {
     /// `true` when the pending delta state warrants a fold.
-    pub fn should_compact(&self, delta_live: usize, tombstones: usize, logical_len: usize, ops: u64) -> bool {
+    pub fn should_compact(
+        &self,
+        delta_live: usize,
+        tombstones: usize,
+        logical_len: usize,
+        ops: u64,
+    ) -> bool {
         if ops == 0 {
             return false;
         }

@@ -34,11 +34,14 @@ const PANIC_TOKENS: &[&str] = &[
 const TRIE_HOT_FNS: &[&str] = &[
     "candidates",
     "candidates_with_stats",
+    "candidates_with_scratch",
     "candidate_count",
     "probe",
     "opamd_admits",
     "edit_family_admits",
+    "member_admits",
     "visit",
+    "visit_node",
     "get",
     "try_get",
 ];
@@ -117,7 +120,12 @@ fn l1_worker_panic(rel: &str, src: &str, masked: &str, out: &mut Vec<Finding>) {
     if rel == "crates/core/src/verify.rs" {
         scopes.push((0..masked.len(), "core::verify worker path"));
     }
-    if rel == "crates/index/src/trie.rs" {
+    // The flat node arena / trajectory store is dereferenced on every
+    // probe and verification; all of it is worker-reachable.
+    if rel == "crates/index/src/flat.rs" {
+        scopes.push((0..masked.len(), "flat trie arena (probe hot path)"));
+    }
+    if rel == "crates/index/src/trie.rs" || rel == "crates/index/src/pointer.rs" {
         for f in fn_spans(masked) {
             if TRIE_HOT_FNS.contains(&f.name.as_str()) {
                 scopes.push((f.start..f.end, "trie filter hot path"));
@@ -251,8 +259,8 @@ fn l3_raw_names(rel: &str, src: &str, masked: &str, out: &mut Vec<Finding>) {
             // First comma at paren depth 1 separates arg 1 from arg 2.
             let mut depth = 0i64;
             let mut comma = None;
-            for i in open..close {
-                match b[i] {
+            for (i, &ch) in b.iter().enumerate().take(close).skip(open) {
+                match ch {
                     b'(' => depth += 1,
                     b')' => depth -= 1,
                     b',' if depth == 1 => {

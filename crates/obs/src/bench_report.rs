@@ -97,6 +97,38 @@ pub struct IngestScaling {
     pub crossover_delta_ratio: f64,
 }
 
+/// One index representation's footprint over the same stored table.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryRepr {
+    /// Representation name: `flat` (arena + CSR) or `pointer` (boxed nodes).
+    pub repr: String,
+    /// Index-structure bytes (nodes, child/member links, per-trajectory
+    /// metadata; coordinate payload excluded), counting allocated capacity.
+    pub index_bytes: usize,
+    /// `index_bytes / trajectories`.
+    pub index_bytes_per_trajectory: f64,
+    /// Index plus stored-trajectory payload bytes.
+    pub total_bytes: usize,
+}
+
+/// Memory-density section: the flat succinct layout vs the pointer
+/// reference layout over an identical table and configuration.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct MemoryDensity {
+    /// Trajectories in the measured table.
+    pub trajectories: usize,
+    /// Total points across the table.
+    pub points: usize,
+    /// One entry per representation.
+    pub reprs: Vec<MemoryRepr>,
+    /// `pointer.index_bytes / flat.index_bytes` — the headline reduction.
+    pub index_reduction: f64,
+    /// Mean flat-layout probe time over the query workload, ns.
+    pub flat_probe_ns: f64,
+    /// Mean pointer-layout probe time over the same workload, ns.
+    pub pointer_probe_ns: f64,
+}
+
 /// The complete `results/BENCH_*.json` artifact shape.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct BenchSmokeReport {
@@ -129,6 +161,10 @@ pub struct BenchSmokeReport {
     #[serde(default)]
     #[serde(skip_serializing_if = "Option::is_none")]
     pub ingest: Option<IngestScaling>,
+    /// Optional memory-density section (absent in pre-PR6 artifacts).
+    #[serde(default)]
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub memory: Option<MemoryDensity>,
 }
 
 impl BenchSmokeReport {
@@ -181,6 +217,7 @@ mod tests {
             search_profile: None,
             cold_path: None,
             ingest: None,
+            memory: None,
         }
     }
 

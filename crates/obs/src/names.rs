@@ -69,6 +69,10 @@ pub const JOIN_EDGES_WEIGHTED_TOTAL: &str = "dita_join_edges_weighted_total";
 /// Wall time per partition trie build (initial build and compaction
 /// rebuilds).
 pub const INDEX_BUILD_SECONDS: &str = "dita_index_build_seconds";
+/// Resident bytes of the local index structures (flat node arenas, CSR
+/// arrays and store metadata; trajectory payload excluded), summed over
+/// all partition tries. Refreshed after index build and after compaction.
+pub const INDEX_BYTES: &str = "dita_index_bytes";
 
 // ---------------------------------------------------------------------------
 // Ingestion metrics.
@@ -160,6 +164,7 @@ pub const ALL_METRICS: &[&str] = &[
     JOIN_PLAN_SECONDS,
     JOIN_EDGES_WEIGHTED_TOTAL,
     INDEX_BUILD_SECONDS,
+    INDEX_BYTES,
     INGEST_APPLIED_TOTAL,
     DELTA_RATIO,
     COMPACTION_SECONDS,

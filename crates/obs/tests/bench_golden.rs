@@ -44,5 +44,8 @@ fn json_golden_bench_artifacts_round_trip() {
         assert_eq!(report, round, "{name}: schema must round-trip losslessly");
         checked += 1;
     }
-    assert!(checked >= 2, "expected BENCH_PR1 and successors, saw {checked}");
+    assert!(
+        checked >= 2,
+        "expected BENCH_PR1 and successors, saw {checked}"
+    );
 }

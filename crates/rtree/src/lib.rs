@@ -141,7 +141,12 @@ impl<T> RTree<T> {
 
     /// Calls `visit` for every entry whose rectangle has
     /// `MinDist(p, mbr) ≤ tau` — the global-index predicate of §5.2.
-    pub fn for_each_within_point<'a>(&'a self, p: &Point, tau: f64, mut visit: impl FnMut(&'a Mbr, &'a T)) {
+    pub fn for_each_within_point<'a>(
+        &'a self,
+        p: &Point,
+        tau: f64,
+        mut visit: impl FnMut(&'a Mbr, &'a T),
+    ) {
         let Some(root) = self.root else { return };
         let tau_sq = tau * tau;
         let mut stack = vec![root];
@@ -195,7 +200,12 @@ impl<T> RTree<T> {
 
     /// Calls `visit` for every entry whose rectangle is within `tau` of
     /// `query` (rectangle-to-rectangle MinDist).
-    pub fn for_each_within_mbr<'a>(&'a self, query: &Mbr, tau: f64, mut visit: impl FnMut(&'a Mbr, &'a T)) {
+    pub fn for_each_within_mbr<'a>(
+        &'a self,
+        query: &Mbr,
+        tau: f64,
+        mut visit: impl FnMut(&'a Mbr, &'a T),
+    ) {
         let Some(root) = self.root else { return };
         let tau_sq = tau * tau;
         let mut stack = vec![root];

@@ -35,7 +35,10 @@ impl DataFrame<'_> {
 
     /// Number of rows.
     pub fn count(&mut self) -> usize {
-        match self.engine.execute(&format!("SELECT * FROM {}", self.table)) {
+        match self
+            .engine
+            .execute(&format!("SELECT * FROM {}", self.table))
+        {
             Ok(crate::engine::QueryResult::Rows(rows)) => rows.len(),
             _ => 0,
         }
@@ -43,7 +46,10 @@ impl DataFrame<'_> {
 
     /// Collects all rows.
     pub fn collect(&mut self) -> Result<Vec<Trajectory>, SqlError> {
-        match self.engine.execute(&format!("SELECT * FROM {}", self.table))? {
+        match self
+            .engine
+            .execute(&format!("SELECT * FROM {}", self.table))?
+        {
             crate::engine::QueryResult::Rows(rows) => Ok(rows),
             _ => unreachable!("SELECT * always yields rows"),
         }
@@ -125,8 +131,11 @@ mod tests {
                 },
             },
         );
-        e.register("taxi", Dataset::new("fig1", figure1_trajectories()).unwrap())
-            .unwrap();
+        e.register(
+            "taxi",
+            Dataset::new("fig1", figure1_trajectories()).unwrap(),
+        )
+        .unwrap();
         e
     }
 

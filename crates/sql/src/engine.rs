@@ -217,7 +217,9 @@ impl Engine {
                 }
                 trajectories.sort_by_key(|t| t.id);
                 entry.dataset = Dataset::new_unchecked(name, trajectories);
-                Ok(QueryResult::Ack(format!("inserted {n} row(s) into {table}")))
+                Ok(QueryResult::Ack(format!(
+                    "inserted {n} row(s) into {table}"
+                )))
             }
             PhysicalPlan::IngestDelete { table, id } => {
                 let entry = self.entry_mut(&table)?;
@@ -287,8 +289,11 @@ mod tests {
                 },
             },
         );
-        e.register("taxi", Dataset::new("fig1", figure1_trajectories()).unwrap())
-            .unwrap();
+        e.register(
+            "taxi",
+            Dataset::new("fig1", figure1_trajectories()).unwrap(),
+        )
+        .unwrap();
         e
     }
 
@@ -301,7 +306,8 @@ mod tests {
             other => panic!("{other:?}"),
         }
         // Unindexed search falls back to scanning.
-        assert!(e.explain("SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((1,1))) <= 1")
+        assert!(e
+            .explain("SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((1,1))) <= 1")
             .unwrap()
             .contains("ScanSearch"));
         // Build the index.
@@ -352,8 +358,11 @@ mod tests {
     #[test]
     fn sql_join_matches_ground_truth() {
         let mut e = engine();
-        e.register("taxi2", Dataset::new("fig1b", figure1_trajectories()).unwrap())
-            .unwrap();
+        e.register(
+            "taxi2",
+            Dataset::new("fig1b", figure1_trajectories()).unwrap(),
+        )
+        .unwrap();
         let pairs = match e
             .execute("SELECT * FROM taxi TRA-JOIN taxi2 ON DTW(taxi, taxi2) <= 3")
             .unwrap()

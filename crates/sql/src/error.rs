@@ -56,12 +56,27 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(SqlError::Lex { position: 3, found: '@' }.to_string().contains("'@'"));
-        assert!(SqlError::Parse { message: "boom".into() }.to_string().contains("boom"));
-        assert!(SqlError::UnknownTable { name: "t".into() }.to_string().contains("\"t\""));
+        assert!(SqlError::Lex {
+            position: 3,
+            found: '@'
+        }
+        .to_string()
+        .contains("'@'"));
+        assert!(SqlError::Parse {
+            message: "boom".into()
+        }
+        .to_string()
+        .contains("boom"));
+        assert!(SqlError::UnknownTable { name: "t".into() }
+            .to_string()
+            .contains("\"t\""));
         assert!(SqlError::DuplicateTable { name: "t".into() }
             .to_string()
             .contains("already"));
-        assert!(SqlError::Unsupported { message: "x".into() }.to_string().contains("x"));
+        assert!(SqlError::Unsupported {
+            message: "x".into()
+        }
+        .to_string()
+        .contains("x"));
     }
 }

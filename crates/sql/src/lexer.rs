@@ -196,6 +196,12 @@ mod tests {
     #[test]
     fn bad_character_reported_with_position() {
         let err = tokenize("SELECT @").unwrap_err();
-        assert_eq!(err, SqlError::Lex { position: 7, found: '@' });
+        assert_eq!(
+            err,
+            SqlError::Lex {
+                position: 7,
+                found: '@'
+            }
+        );
     }
 }

@@ -326,10 +326,9 @@ mod tests {
 
     #[test]
     fn parses_similarity_search() {
-        let s = parse(
-            "SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((1, 1), (2.5, -3))) <= 0.005;",
-        )
-        .unwrap();
+        let s =
+            parse("SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((1, 1), (2.5, -3))) <= 0.005;")
+                .unwrap();
         match s {
             Statement::Select { table, predicate } => {
                 assert_eq!(table, "taxi");
@@ -389,7 +388,12 @@ mod tests {
     fn parses_knn() {
         let s = parse("SELECT * FROM t ORDER BY DTW(t, TRAJECTORY((1,1),(2,2))) LIMIT 5").unwrap();
         match s {
-            Statement::Knn { table, func, query, k } => {
+            Statement::Knn {
+                table,
+                func,
+                query,
+                k,
+            } => {
                 assert_eq!(table, "t");
                 assert_eq!(func, DistanceFunction::Dtw);
                 assert_eq!(query, vec![(1.0, 1.0), (2.0, 2.0)]);
@@ -413,10 +417,7 @@ mod tests {
                 assert_eq!(table, "taxi");
                 assert_eq!(
                     rows,
-                    vec![
-                        (7, vec![(1.0, 1.0), (2.0, 2.0)]),
-                        (8, vec![(0.0, -1.0)]),
-                    ]
+                    vec![(7, vec![(1.0, 1.0), (2.0, 2.0)]), (8, vec![(0.0, -1.0)]),]
                 );
             }
             other => panic!("wrong statement: {other:?}"),
@@ -483,7 +484,10 @@ mod tests {
     #[test]
     fn threshold_arithmetic_with_parens() {
         let s = parse("SELECT * FROM t WHERE DTW(t, TRAJECTORY((0,0))) <= (1 + 2) * 0.5").unwrap();
-        if let Statement::Select { predicate: Some(p), .. } = s {
+        if let Statement::Select {
+            predicate: Some(p), ..
+        } = s
+        {
             assert!((p.threshold.fold() - 1.5).abs() < 1e-12);
         } else {
             panic!("wrong statement");

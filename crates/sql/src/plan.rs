@@ -76,7 +76,10 @@ pub enum LogicalPlan {
 /// constant-folding rewrite) and validating the predicate shape.
 pub fn logical_plan(stmt: Statement) -> Result<LogicalPlan, SqlError> {
     match stmt {
-        Statement::Select { table, predicate: None } => Ok(LogicalPlan::Scan { table }),
+        Statement::Select {
+            table,
+            predicate: None,
+        } => Ok(LogicalPlan::Scan { table }),
         Statement::Select {
             table,
             predicate: Some(p),
@@ -111,8 +114,7 @@ pub fn logical_plan(stmt: Statement) -> Result<LogicalPlan, SqlError> {
         } => {
             let ok_args = match &predicate.query {
                 QueryArg::Table(t) => {
-                    (predicate.left.eq_ignore_ascii_case(&left)
-                        && t.eq_ignore_ascii_case(&right))
+                    (predicate.left.eq_ignore_ascii_case(&left) && t.eq_ignore_ascii_case(&right))
                         || (predicate.left.eq_ignore_ascii_case(&right)
                             && t.eq_ignore_ascii_case(&left))
                 }
@@ -145,9 +147,7 @@ pub fn logical_plan(stmt: Statement) -> Result<LogicalPlan, SqlError> {
             table,
             rows: rows
                 .into_iter()
-                .map(|(id, pts)| {
-                    (id, pts.into_iter().map(|(x, y)| Point::new(x, y)).collect())
-                })
+                .map(|(id, pts)| (id, pts.into_iter().map(|(x, y)| Point::new(x, y)).collect()))
                 .collect(),
         }),
         Statement::Delete { table, id } => Ok(LogicalPlan::Delete { table, id }),
@@ -239,10 +239,7 @@ pub enum PhysicalPlan {
 }
 
 /// Chooses physical operators given which tables currently have indexes.
-pub fn physical_plan(
-    logical: LogicalPlan,
-    is_indexed: impl Fn(&str) -> bool,
-) -> PhysicalPlan {
+pub fn physical_plan(logical: LogicalPlan, is_indexed: impl Fn(&str) -> bool) -> PhysicalPlan {
     match logical {
         LogicalPlan::Scan { table } => PhysicalPlan::FullScan { table },
         LogicalPlan::Search {
@@ -304,16 +301,25 @@ impl PhysicalPlan {
     pub fn describe(&self) -> String {
         match self {
             PhysicalPlan::FullScan { table } => format!("FullScan({table})"),
-            PhysicalPlan::IndexSearch { table, func, tau, .. } => {
+            PhysicalPlan::IndexSearch {
+                table, func, tau, ..
+            } => {
                 format!("IndexSearch({table}, {func}, tau={tau}) [global + trie index]")
             }
-            PhysicalPlan::ScanSearch { table, func, tau, .. } => {
+            PhysicalPlan::ScanSearch {
+                table, func, tau, ..
+            } => {
                 format!("ScanSearch({table}, {func}, tau={tau}) [no index]")
             }
             PhysicalPlan::IndexKnn { table, func, k, .. } => {
                 format!("IndexKnn({table}, {func}, k={k}) [radius expansion]")
             }
-            PhysicalPlan::IndexJoin { left, right, func, tau } => {
+            PhysicalPlan::IndexJoin {
+                left,
+                right,
+                func,
+                tau,
+            } => {
                 format!("IndexJoin({left}, {right}, {func}, tau={tau}) [bi-graph + trie]")
             }
             PhysicalPlan::IngestInsert { table, rows } => {
@@ -336,8 +342,7 @@ mod tests {
 
     #[test]
     fn search_plan_folds_threshold() {
-        let stmt =
-            parse("SELECT * FROM t WHERE DTW(t, TRAJECTORY((1,2))) <= 0.001 * 5").unwrap();
+        let stmt = parse("SELECT * FROM t WHERE DTW(t, TRAJECTORY((1,2))) <= 0.001 * 5").unwrap();
         let lp = logical_plan(stmt).unwrap();
         match &lp {
             LogicalPlan::Search { tau, query, .. } => {

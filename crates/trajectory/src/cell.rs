@@ -80,6 +80,16 @@ impl CellList {
         CellList { cells, side }
     }
 
+    /// Wraps an already-compressed cell sequence (e.g. borrowed back out of
+    /// a pooled arena) with its side length.
+    ///
+    /// # Panics
+    /// Panics if `side` is not strictly positive.
+    pub fn from_cells(cells: Vec<Cell>, side: f64) -> Self {
+        assert!(side > 0.0, "cell side length must be positive");
+        CellList { cells, side }
+    }
+
     /// The cells in creation order.
     #[inline]
     pub fn cells(&self) -> &[Cell] {
@@ -103,23 +113,7 @@ impl CellList {
     /// `self` plays the role of `T` and `other` of `Q`. Calling it both ways
     /// and taking the max gives the strongest available bound.
     pub fn lower_bound(&self, other: &CellList) -> f64 {
-        let mut sum = 0.0;
-        for ct in &self.cells {
-            let mut best = f64::INFINITY;
-            for cq in &other.cells {
-                let d = ct.min_dist(cq);
-                if d < best {
-                    best = d;
-                    if best == 0.0 {
-                        break;
-                    }
-                }
-            }
-            if best.is_finite() {
-                sum += best * ct.count as f64;
-            }
-        }
-        sum
+        cell_lower_bound(&self.cells, &other.cells)
     }
 
     /// Bottleneck cell bound: `max_{c_T} min_{c_Q} dist(c_T, c_Q)`.
@@ -128,29 +122,57 @@ impl CellList {
     /// must be coupled to some point of `Q`, so the worst point's nearest
     /// cell distance cannot exceed `F(T, Q)`.
     pub fn bottleneck_bound(&self, other: &CellList) -> f64 {
-        let mut worst = 0.0f64;
-        for ct in &self.cells {
-            let mut best = f64::INFINITY;
-            for cq in &other.cells {
-                let d = ct.min_dist(cq);
-                if d < best {
-                    best = d;
-                    if best == 0.0 {
-                        break;
-                    }
-                }
-            }
-            if best.is_finite() && best > worst {
-                worst = best;
-            }
-        }
-        worst
+        cell_bottleneck_bound(&self.cells, &other.cells)
     }
 
-    /// Approximate in-memory size in bytes (for index size accounting).
+    /// Allocated heap size in bytes (capacity, not length — `compress`
+    /// grows its vector by pushing, and that slack is real memory).
     pub fn size_bytes(&self) -> usize {
-        self.cells.len() * std::mem::size_of::<Cell>() + std::mem::size_of::<f64>()
+        self.cells.capacity() * std::mem::size_of::<Cell>() + std::mem::size_of::<f64>()
     }
+}
+
+/// [`CellList::lower_bound`] on borrowed cell slices, so pooled layouts can
+/// evaluate Lemma 5.6 without materializing a `CellList`.
+pub fn cell_lower_bound(t: &[Cell], q: &[Cell]) -> f64 {
+    let mut sum = 0.0;
+    for ct in t {
+        let mut best = f64::INFINITY;
+        for cq in q {
+            let d = ct.min_dist(cq);
+            if d < best {
+                best = d;
+                if best == 0.0 {
+                    break;
+                }
+            }
+        }
+        if best.is_finite() {
+            sum += best * ct.count as f64;
+        }
+    }
+    sum
+}
+
+/// [`CellList::bottleneck_bound`] on borrowed cell slices.
+pub fn cell_bottleneck_bound(t: &[Cell], q: &[Cell]) -> f64 {
+    let mut worst = 0.0f64;
+    for ct in t {
+        let mut best = f64::INFINITY;
+        for cq in q {
+            let d = ct.min_dist(cq);
+            if d < best {
+                best = d;
+                if best == 0.0 {
+                    break;
+                }
+            }
+        }
+        if best.is_finite() && best > worst {
+            worst = best;
+        }
+    }
+    worst
 }
 
 #[cfg(test)]
@@ -216,10 +238,22 @@ mod tests {
 
     #[test]
     fn cell_min_dist_overlapping_is_zero() {
-        let a = Cell { center: Point::new(0.0, 0.0), count: 1, side: 2.0 };
-        let b = Cell { center: Point::new(1.5, 0.0), count: 1, side: 2.0 };
+        let a = Cell {
+            center: Point::new(0.0, 0.0),
+            count: 1,
+            side: 2.0,
+        };
+        let b = Cell {
+            center: Point::new(1.5, 0.0),
+            count: 1,
+            side: 2.0,
+        };
         assert_eq!(a.min_dist(&b), 0.0);
-        let c = Cell { center: Point::new(5.0, 0.0), count: 1, side: 2.0 };
+        let c = Cell {
+            center: Point::new(5.0, 0.0),
+            count: 1,
+            side: 2.0,
+        };
         assert_eq!(a.min_dist(&c), 3.0);
     }
 
@@ -228,5 +262,42 @@ mod tests {
     fn zero_side_rejected() {
         let t = Trajectory::from_coords(1, &[(0.0, 0.0)]);
         let _ = CellList::compress(&t, 0.0);
+    }
+
+    #[test]
+    fn slice_bounds_match_celllist_bounds() {
+        let ts = crate::trajectory::figure1_trajectories();
+        let lists: Vec<CellList> = ts.iter().map(|t| CellList::compress(t, 2.0)).collect();
+        for a in &lists {
+            for b in &lists {
+                assert_eq!(a.lower_bound(b), cell_lower_bound(a.cells(), b.cells()));
+                assert_eq!(
+                    a.bottleneck_bound(b),
+                    cell_bottleneck_bound(a.cells(), b.cells())
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn from_cells_round_trips() {
+        let t = Trajectory::from_coords(1, &[(0.0, 0.0), (5.0, 5.0)]);
+        let c = CellList::compress(&t, 2.0);
+        let rebuilt = CellList::from_cells(c.cells().to_vec(), c.side());
+        assert_eq!(rebuilt, c);
+    }
+
+    #[test]
+    fn size_bytes_counts_capacity_not_len() {
+        // compress() grows by pushing, so capacity can exceed len; the
+        // reported size must include that slack (it is allocated memory).
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (10.0 * i as f64, 0.0)).collect();
+        let t = Trajectory::from_coords(1, &pts);
+        let c = CellList::compress(&t, 1.0); // every point opens a cell
+        assert!(c.size_bytes() >= std::mem::size_of_val(c.cells()) + 8);
+        let exact = CellList::from_cells(c.cells().to_vec(), c.side());
+        // to_vec allocates exactly; compress's pushed vector cannot be
+        // smaller than that.
+        assert!(c.size_bytes() >= exact.size_bytes());
     }
 }

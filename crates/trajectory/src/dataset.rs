@@ -50,7 +50,10 @@ impl fmt::Display for DatasetStats {
 impl Dataset {
     /// Creates a dataset, validating that ids are unique, trajectories are
     /// non-empty and all coordinates are finite.
-    pub fn new(name: impl Into<String>, trajectories: Vec<Trajectory>) -> Result<Self, TrajectoryError> {
+    pub fn new(
+        name: impl Into<String>,
+        trajectories: Vec<Trajectory>,
+    ) -> Result<Self, TrajectoryError> {
         let mut seen = HashSet::with_capacity(trajectories.len());
         for t in &trajectories {
             if t.is_empty() {
@@ -171,14 +174,14 @@ impl Dataset {
                 continue;
             }
             let mut it = line.split_ascii_whitespace();
-            let id: TrajectoryId = it
-                .next()
-                .unwrap()
-                .parse()
-                .map_err(|_| TrajectoryError::Parse {
-                    line: lineno + 1,
-                    message: "invalid trajectory id".into(),
-                })?;
+            let id: TrajectoryId =
+                it.next()
+                    .unwrap()
+                    .parse()
+                    .map_err(|_| TrajectoryError::Parse {
+                        line: lineno + 1,
+                        message: "invalid trajectory id".into(),
+                    })?;
             let coords: Vec<f64> = it
                 .map(|s| {
                     s.parse().map_err(|_| TrajectoryError::Parse {

@@ -52,13 +52,21 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = TrajectoryError::Parse { line: 3, message: "bad float".into() };
+        let e = TrajectoryError::Parse {
+            line: 3,
+            message: "bad float".into(),
+        };
         assert_eq!(e.to_string(), "parse error on line 3: bad float");
-        assert_eq!(TrajectoryError::Empty { id: 9 }.to_string(), "trajectory 9 has no points");
+        assert_eq!(
+            TrajectoryError::Empty { id: 9 }.to_string(),
+            "trajectory 9 has no points"
+        );
         assert_eq!(
             TrajectoryError::DuplicateId { id: 2 }.to_string(),
             "duplicate trajectory id 2"
         );
-        assert!(TrajectoryError::NonFinite { id: 1 }.to_string().contains("non-finite"));
+        assert!(TrajectoryError::NonFinite { id: 1 }
+            .to_string()
+            .contains("non-finite"));
     }
 }

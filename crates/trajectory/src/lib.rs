@@ -29,7 +29,7 @@ pub mod preprocess;
 pub mod soa;
 pub mod trajectory;
 
-pub use cell::{Cell, CellList};
+pub use cell::{cell_bottleneck_bound, cell_lower_bound, Cell, CellList};
 pub use dataset::{Dataset, DatasetStats};
 pub use error::TrajectoryError;
 pub use mbr::Mbr;

@@ -159,8 +159,12 @@ impl Mbr {
         if self.is_empty() || other.is_empty() {
             return f64::INFINITY;
         }
-        let dx = (self.min.x - other.max.x).max(0.0).max(other.min.x - self.max.x);
-        let dy = (self.min.y - other.max.y).max(0.0).max(other.min.y - self.max.y);
+        let dx = (self.min.x - other.max.x)
+            .max(0.0)
+            .max(other.min.x - self.max.x);
+        let dy = (self.min.y - other.max.y)
+            .max(0.0)
+            .max(other.min.y - self.max.y);
         dx * dx + dy * dy
     }
 

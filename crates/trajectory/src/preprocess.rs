@@ -105,9 +105,16 @@ pub fn resample(t: &Trajectory, n: usize) -> Trajectory {
             seg += 1;
         }
         let span = cum[seg + 1] - cum[seg];
-        let frac = if span == 0.0 { 0.0 } else { (target - cum[seg]) / span };
+        let frac = if span == 0.0 {
+            0.0
+        } else {
+            (target - cum[seg]) / span
+        };
         let (a, b) = (&pts[seg], &pts[seg + 1]);
-        out.push(Point::new(a.x + (b.x - a.x) * frac, a.y + (b.y - a.y) * frac));
+        out.push(Point::new(
+            a.x + (b.x - a.x) * frac,
+            a.y + (b.y - a.y) * frac,
+        ));
     }
     Trajectory::new(t.id, out)
 }

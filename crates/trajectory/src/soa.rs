@@ -52,10 +52,10 @@ impl SoaPoints {
         }
     }
 
-    /// Approximate heap size in bytes (two `f64` per point).
+    /// Allocated heap size in bytes (capacity, not length).
     #[inline]
     pub fn size_bytes(&self) -> usize {
-        2 * self.xs.len() * std::mem::size_of::<f64>()
+        (self.xs.capacity() + self.ys.capacity()) * std::mem::size_of::<f64>()
     }
 }
 
@@ -136,9 +136,9 @@ mod tests {
         let a = [Point::new(0.1, 0.2), Point::new(-1.0, 7.0)];
         let b = [Point::new(2.5, -0.25)];
         let (sa, sb) = (SoaPoints::from_points(&a), SoaPoints::from_points(&b));
-        for i in 0..a.len() {
-            assert_eq!(sa.view().dist(i, &sb.view(), 0), a[i].dist(&b[0]));
-            assert_eq!(sa.view().dist_sq(i, &sb.view(), 0), a[i].dist_sq(&b[0]));
+        for (i, pa) in a.iter().enumerate() {
+            assert_eq!(sa.view().dist(i, &sb.view(), 0), pa.dist(&b[0]));
+            assert_eq!(sa.view().dist_sq(i, &sb.view(), 0), pa.dist_sq(&b[0]));
         }
     }
 

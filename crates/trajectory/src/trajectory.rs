@@ -24,7 +24,10 @@ impl Trajectory {
     /// Panics if `points` is empty: the paper's definitions (first/last point
     /// alignment, pivot selection) all assume at least one point.
     pub fn new(id: TrajectoryId, points: Vec<Point>) -> Self {
-        assert!(!points.is_empty(), "a trajectory must contain at least one point");
+        assert!(
+            !points.is_empty(),
+            "a trajectory must contain at least one point"
+        );
         Trajectory { id, points }
     }
 
@@ -107,7 +110,10 @@ impl Trajectory {
             }
             let id = *next_id;
             *next_id += 1;
-            out.push(Trajectory::new(id, self.points[start..end.min(start + max_len + 1)].to_vec()));
+            out.push(Trajectory::new(
+                id,
+                self.points[start..end.min(start + max_len + 1)].to_vec(),
+            ));
             start = end.min(start + max_len + 1);
         }
         out
@@ -131,11 +137,47 @@ impl fmt::Display for Trajectory {
 /// test suites to encode the worked examples.
 pub fn figure1_trajectories() -> Vec<Trajectory> {
     vec![
-        Trajectory::from_coords(1, &[(1.0, 1.0), (1.0, 2.0), (3.0, 2.0), (4.0, 4.0), (4.0, 5.0), (5.0, 5.0)]),
-        Trajectory::from_coords(2, &[(0.0, 1.0), (0.0, 2.0), (4.0, 2.0), (4.0, 4.0), (4.0, 5.0), (5.0, 5.0)]),
-        Trajectory::from_coords(3, &[(1.0, 1.0), (4.0, 1.0), (4.0, 3.0), (4.0, 5.0), (4.0, 6.0), (5.0, 6.0)]),
-        Trajectory::from_coords(4, &[(0.0, 4.0), (0.0, 5.0), (3.0, 3.0), (3.0, 7.0), (7.0, 5.0)]),
-        Trajectory::from_coords(5, &[(0.0, 4.0), (0.0, 5.0), (3.0, 7.0), (3.0, 3.0), (7.0, 5.0)]),
+        Trajectory::from_coords(
+            1,
+            &[
+                (1.0, 1.0),
+                (1.0, 2.0),
+                (3.0, 2.0),
+                (4.0, 4.0),
+                (4.0, 5.0),
+                (5.0, 5.0),
+            ],
+        ),
+        Trajectory::from_coords(
+            2,
+            &[
+                (0.0, 1.0),
+                (0.0, 2.0),
+                (4.0, 2.0),
+                (4.0, 4.0),
+                (4.0, 5.0),
+                (5.0, 5.0),
+            ],
+        ),
+        Trajectory::from_coords(
+            3,
+            &[
+                (1.0, 1.0),
+                (4.0, 1.0),
+                (4.0, 3.0),
+                (4.0, 5.0),
+                (4.0, 6.0),
+                (5.0, 6.0),
+            ],
+        ),
+        Trajectory::from_coords(
+            4,
+            &[(0.0, 4.0), (0.0, 5.0), (3.0, 3.0), (3.0, 7.0), (7.0, 5.0)],
+        ),
+        Trajectory::from_coords(
+            5,
+            &[(0.0, 4.0), (0.0, 5.0), (3.0, 7.0), (3.0, 3.0), (7.0, 5.0)],
+        ),
     ]
 }
 
@@ -218,6 +260,9 @@ mod tests {
         let a = Trajectory::from_coords(1, &[(0.0, 0.0), (1.0, 1.0)]);
         let b = Trajectory::from_coords(1, &[(0.0, 0.0), (1.0, 1.0), (2.0, 2.0), (3.0, 3.0)]);
         assert!(b.size_bytes() > a.size_bytes());
-        assert_eq!(b.size_bytes() - a.size_bytes(), 2 * std::mem::size_of::<Point>());
+        assert_eq!(
+            b.size_bytes() - a.size_bytes(),
+            2 * std::mem::size_of::<Point>()
+        );
     }
 }

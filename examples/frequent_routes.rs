@@ -32,7 +32,11 @@ fn main() {
 
     // The planned route: a real historical trip.
     let route = &sample_queries(&history, 1, 99)[0];
-    println!("planned route: T{} with {} GPS fixes", route.id, route.len());
+    println!(
+        "planned route: T{} with {} GPS fixes",
+        route.id,
+        route.len()
+    );
 
     // How the funnel narrows: partitions → candidates → answers.
     let tau = 0.0025;
@@ -67,8 +71,19 @@ fn main() {
         (DistanceFunction::Dtw, 0.0025),
         (DistanceFunction::Frechet, 0.0025),
         (DistanceFunction::Edr { eps: 5e-4 }, 6.0),
-        (DistanceFunction::Lcss { eps: 5e-4, delta: 3 }, 6.0),
-        (DistanceFunction::Erp { gap: (30.66, 104.06) }, 0.01),
+        (
+            DistanceFunction::Lcss {
+                eps: 5e-4,
+                delta: 3,
+            },
+            6.0,
+        ),
+        (
+            DistanceFunction::Erp {
+                gap: (30.66, 104.06),
+            },
+            0.01,
+        ),
     ] {
         let t0 = Instant::now();
         let (hits, stats) = search(&system, route.points(), tau, &f);

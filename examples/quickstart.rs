@@ -38,14 +38,23 @@ fn main() {
     let (hits, s) = search(&system, query.points(), tau, &DistanceFunction::Dtw);
     println!(
         "search(T{}, tau={tau}): {} hits from {} candidates in {} relevant partitions",
-        query.id, hits.len(), s.candidates, s.relevant_partitions
+        query.id,
+        hits.len(),
+        s.candidates,
+        s.relevant_partitions
     );
     for (id, d) in hits.iter().take(5) {
         println!("  T{id}  DTW = {d:.5}");
     }
 
     // 4. Self-join: every pair of similar trips (car-pooling style).
-    let (pairs, js) = join(&system, &system, tau, &DistanceFunction::Dtw, &JoinOptions::default());
+    let (pairs, js) = join(
+        &system,
+        &system,
+        tau,
+        &DistanceFunction::Dtw,
+        &JoinOptions::default(),
+    );
     println!(
         "self-join(tau={tau}): {} pairs; {} bi-graph edges, {} candidates, \
          {:.1} KB shipped, load ratio {:.2}",
@@ -60,7 +69,10 @@ fn main() {
     for f in [
         DistanceFunction::Frechet,
         DistanceFunction::Edr { eps: 1e-4 },
-        DistanceFunction::Lcss { eps: 1e-4, delta: 3 },
+        DistanceFunction::Lcss {
+            eps: 1e-4,
+            delta: 3,
+        },
     ] {
         let tau_f = match f {
             DistanceFunction::Frechet => 0.002,

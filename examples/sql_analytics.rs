@@ -34,9 +34,15 @@ fn main() {
     );
 
     // EXPLAIN before and after CREATE INDEX shows the cost-based choice.
-    println!("\nplan without index: {}", engine.explain(&search_sql).unwrap());
+    println!(
+        "\nplan without index: {}",
+        engine.explain(&search_sql).unwrap()
+    );
     run(&mut engine, "CREATE INDEX trie_idx ON taxi USE TRIE");
-    println!("plan with index:    {}", engine.explain(&search_sql).unwrap());
+    println!(
+        "plan with index:    {}",
+        engine.explain(&search_sql).unwrap()
+    );
 
     run(&mut engine, &search_sql);
     run(

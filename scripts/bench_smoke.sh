@@ -2,18 +2,18 @@
 # Smoke benchmark: builds the workspace in release mode, runs the
 # dependency-light Instant-based bench, and leaves a results/BENCH_*.json
 # artifact (kernel AoS-vs-SoA timings, verified-pairs/sec, p50 search
-# latency, rayon thread scaling, index-build/join-plan scaling, and the
-# incremental-ingest vs rebuild sweep). Writes only to the given path —
-# never to the repo root. Runs
-# in seconds; see EXPERIMENTS.md "Kernel micro-benchmarks" and "Build &
-# plan scaling" for how to read the numbers.
+# latency, rayon thread scaling, index-build/join-plan scaling, the
+# incremental-ingest vs rebuild sweep, and the flat-vs-pointer memory
+# density comparison). Writes only to the given path — never to the repo
+# root. Runs in seconds; see EXPERIMENTS.md "Kernel micro-benchmarks",
+# "Build & plan scaling" and "Memory density" for how to read the numbers.
 #
 # Usage: scripts/bench_smoke.sh [artifact-path] [extra bench args...]
-# The artifact path defaults to results/BENCH_PR4.json.
+# The artifact path defaults to results/BENCH_PR6.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ARTIFACT="${1:-results/BENCH_PR4.json}"
+ARTIFACT="${1:-results/BENCH_PR6.json}"
 shift || true
 
 RUSTFLAGS="${RUSTFLAGS:--C target-cpu=native}" \

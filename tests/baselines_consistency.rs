@@ -123,28 +123,32 @@ fn join_answers_agree_across_systems() {
 
     let tau = 0.003;
     let f = DistanceFunction::Dtw;
-    let (dita_pairs, _) = dita::core::join(
-        &dita,
-        &dita,
-        tau,
-        &f,
-        &dita::core::JoinOptions::default(),
-    );
+    let (dita_pairs, _) =
+        dita::core::join(&dita, &dita, tau, &f, &dita::core::JoinOptions::default());
     let reference: Vec<(u64, u64)> = dita_pairs.iter().map(|&(a, b, _)| (a, b)).collect();
 
     let (naive_pairs, _) = naive.join(&naive, tau, &f);
     assert_eq!(
-        naive_pairs.iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>(),
+        naive_pairs
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect::<Vec<_>>(),
         reference
     );
     let (simba_pairs, _, _) = simba.join(&simba, tau, &f);
     assert_eq!(
-        simba_pairs.iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>(),
+        simba_pairs
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect::<Vec<_>>(),
         reference
     );
     let (mbe_pairs, _) = mbe.join(&mbe, tau, &f);
     assert_eq!(
-        mbe_pairs.iter().map(|&(a, b, _)| (a, b)).collect::<Vec<_>>(),
+        mbe_pairs
+            .iter()
+            .map(|&(a, b, _)| (a, b))
+            .collect::<Vec<_>>(),
         reference
     );
 }

@@ -15,11 +15,17 @@ fn tmpfile(name: &str) -> PathBuf {
 
 fn gen_dataset(path: &PathBuf) {
     let out = dita()
-        .args(["gen", "--preset", "beijing", "--n", "300", "--seed", "7", "--out"])
+        .args([
+            "gen", "--preset", "beijing", "--n", "300", "--seed", "7", "--out",
+        ])
         .arg(path)
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 }
 
 #[test]
@@ -43,7 +49,11 @@ fn search_finds_query_itself() {
         .args(["--query-id", "5", "--tau", "0.001", "--workers", "2"])
         .output()
         .unwrap();
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8_lossy(&out.stdout);
     assert!(text.contains("5\t0.000000"), "{text}");
     let _ = std::fs::remove_file(&path);
@@ -61,7 +71,11 @@ fn knn_returns_k_rows() {
         .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert_eq!(text.lines().filter(|l| l.starts_with('#')).count(), 4, "{text}");
+    assert_eq!(
+        text.lines().filter(|l| l.starts_with('#')).count(),
+        4,
+        "{text}"
+    );
     assert!(text.contains("#1\t3\t0.000000"), "{text}");
     let _ = std::fs::remove_file(&path);
 }
@@ -95,7 +109,10 @@ fn preprocess_shrinks_points() {
         .unwrap();
     assert!(out.status.success());
     let text = String::from_utf8_lossy(&out.stdout);
-    assert!(text.contains("before:") && text.contains("after:"), "{text}");
+    assert!(
+        text.contains("before:") && text.contains("after:"),
+        "{text}"
+    );
     assert!(output.exists());
     let _ = std::fs::remove_file(&input);
     let _ = std::fs::remove_file(&output);

@@ -27,7 +27,13 @@ fn functions() -> Vec<(DistanceFunction, f64)> {
         (DistanceFunction::Dtw, 0.003),
         (DistanceFunction::Frechet, 0.002),
         (DistanceFunction::Edr { eps: 5e-4 }, 5.0),
-        (DistanceFunction::Lcss { eps: 5e-4, delta: 3 }, 5.0),
+        (
+            DistanceFunction::Lcss {
+                eps: 5e-4,
+                delta: 3,
+            },
+            5.0,
+        ),
         (DistanceFunction::Erp { gap: (39.9, 116.4) }, 0.01),
     ]
 }

@@ -28,7 +28,10 @@ fn engine_with(n: usize) -> Engine {
 }
 
 fn literal_for(points: &[dita::trajectory::Point]) -> String {
-    let coords: Vec<String> = points.iter().map(|p| format!("({},{})", p.x, p.y)).collect();
+    let coords: Vec<String> = points
+        .iter()
+        .map(|p| format!("({},{})", p.x, p.y))
+        .collect();
     format!("TRAJECTORY({})", coords.join(","))
 }
 
@@ -112,15 +115,16 @@ fn sql_dml_round_trips_through_the_index() {
 
     // INSERT a trajectory far outside the Beijing-like extent; it must be
     // visible to an indexed search immediately (delta overlay or compaction).
-    e.execute(
-        "INSERT INTO trips VALUES (900001, TRAJECTORY((95.0, 12.0), (95.001, 12.001)))",
-    )
-    .unwrap();
+    e.execute("INSERT INTO trips VALUES (900001, TRAJECTORY((95.0, 12.0), (95.001, 12.001)))")
+        .unwrap();
     let probe = "SELECT * FROM trips WHERE DTW(trips, \
                  TRAJECTORY((95.0, 12.0), (95.001, 12.001))) <= 0.0001";
     match e.execute(probe).unwrap() {
         QueryResult::SearchHits(hits) => {
-            assert_eq!(hits.iter().map(|&(id, _)| id).collect::<Vec<_>>(), vec![900001]);
+            assert_eq!(
+                hits.iter().map(|&(id, _)| id).collect::<Vec<_>>(),
+                vec![900001]
+            );
         }
         other => panic!("{other:?}"),
     }
@@ -163,7 +167,9 @@ fn threshold_expressions_fold() {
     let q = sample_queries(e.dataset("trips").unwrap(), 1, 6)[0].clone();
     let lit = literal_for(q.points());
     let a = match e
-        .execute(&format!("SELECT * FROM trips WHERE DTW(trips, {lit}) <= 0.003"))
+        .execute(&format!(
+            "SELECT * FROM trips WHERE DTW(trips, {lit}) <= 0.003"
+        ))
         .unwrap()
     {
         QueryResult::SearchHits(h) => h,
