@@ -130,6 +130,7 @@ impl DftSystem {
             .map(|pid| TaskSpec {
                 worker: self.cluster.place(pid),
                 incoming_bytes: q_bytes,
+                partition: Some(pid),
                 payload: pid,
             })
             .collect();
@@ -176,6 +177,7 @@ impl DftSystem {
             .map(|w| TaskSpec {
                 worker: w,
                 incoming_bytes: bitmap_bytes + q_bytes,
+                partition: None,
                 payload: w,
             })
             .collect();

@@ -51,6 +51,7 @@ impl NaiveSystem {
             .map(|w| TaskSpec {
                 worker: w,
                 incoming_bytes: q_bytes,
+                partition: None,
                 payload: w,
             })
             .collect();
@@ -83,6 +84,7 @@ impl NaiveSystem {
             .map(|w| TaskSpec {
                 worker: w,
                 incoming_bytes: other_bytes, // full broadcast of the right side
+                partition: None,
                 payload: w,
             })
             .collect();

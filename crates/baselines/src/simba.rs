@@ -119,6 +119,7 @@ impl SimbaSystem {
             .map(|&pid| TaskSpec {
                 worker: self.cluster.place(pid),
                 incoming_bytes: q_bytes,
+                partition: Some(pid),
                 payload: pid,
             })
             .collect();
@@ -191,6 +192,7 @@ impl SimbaSystem {
                 TaskSpec {
                     worker: dst_worker,
                     incoming_bytes: bytes,
+                    partition: Some(ti),
                     payload: (ti, qi),
                 }
             })

@@ -1,5 +1,5 @@
 //! Smoke benchmark: one fast, dependency-light run that produces a
-//! `results/BENCH_*.json` artifact (default `results/BENCH_PR6.json`,
+//! `results/BENCH_*.json` artifact (default `results/BENCH_PR7.json`,
 //! override with `--out <path>`). The artifact always lands where `--out`
 //! points — never in the repo root.
 //!
@@ -26,14 +26,19 @@
 //! 7. memory — index footprint of the succinct flat layout vs the pointer
 //!    reference layout over the same table (bytes, bytes/trajectory,
 //!    reduction ratio) plus a probe-throughput cross-check of the two.
-//! 8. instrumented pass — after all timing, one search runs with tracing
+//! 8. planning a/b — a skewed self-join run twice: once priced by the
+//!    sampled estimates alone, once replanned with the first run's
+//!    observed per-node costs (`JoinOptions::observed_costs`). The
+//!    observed-cost plan divides the underpriced hot partition and must
+//!    not lose to the estimated plan.
+//! 9. instrumented pass — after all timing, one search runs with tracing
 //!    attached; its profile tree and filter funnel ride along in the
 //!    artifact's `search_profile` field.
 
 use dita_cluster::{Cluster, ClusterConfig};
 use dita_core::{
     join, search_with_options, verify_candidates, CompactionPolicy, DitaConfig, DitaSystem,
-    JoinOptions, QueryContext, SearchOptions,
+    JoinOptions, JoinStats, QueryContext, SearchOptions,
 };
 use dita_distance::{
     dtw_double_direction, dtw_soa, dtw_threshold, edr_soa, edr_threshold, erp_soa, erp_threshold,
@@ -42,7 +47,8 @@ use dita_distance::{
 use dita_index::{PivotStrategy, PointerTrie, TrieConfig, TrieIndex};
 use dita_obs::bench_report::{
     BenchSmokeReport, BuildScalingPoint, ColdPathScaling, IngestPoint, IngestScaling,
-    KernelMeasurement, MemoryDensity, MemoryRepr, SearchP50Ms, ThreadScalingPoint, BENCH_SCHEMA,
+    KernelMeasurement, MemoryDensity, MemoryRepr, PlanArm, PlanningAb, SearchP50Ms,
+    ThreadScalingPoint, BENCH_SCHEMA,
 };
 use dita_obs::Obs;
 use dita_trajectory::{Dataset, Point, SoaPoints, Trajectory};
@@ -594,6 +600,109 @@ fn main() {
     );
     println!("  index reduction: {index_reduction:.2}x");
 
+    // Planning A/B: estimated vs observed costs on a skewed workload. One
+    // spatial cluster holds *long* trajectories (192 points) while seven
+    // hold short ones (12 points); the planner prices an edge by sampled
+    // candidate-pair counts with a constant per-pair Δ, so the long
+    // cluster's partition — fewer candidates, each ~16× the verify work —
+    // is underpriced and never divided. The second arm replans with the
+    // first run's measured per-node costs fed back through
+    // `JoinOptions::observed_costs`, which inflates the hot node past the
+    // division threshold and stripes it over replica slots.
+    println!("\nplanning a/b: estimated vs observed costs (skewed self-join)");
+    let mut rng = XorShift(0xAB5EED);
+    let mut skewed: Vec<Trajectory> = Vec::new();
+    let mut next_id = 1u64;
+    let short_clusters = [
+        (0.0, 0.0),
+        (2.0, 0.0),
+        (4.0, 0.0),
+        (0.0, 2.0),
+        (2.0, 2.0),
+        (4.0, 2.0),
+        (0.0, 4.0),
+    ];
+    let jittered = |base: &[Point], rng: &mut XorShift| -> Vec<Point> {
+        let mut r2 = XorShift(rng.next_u64() | 1);
+        base.iter()
+            .map(|p| {
+                Point::new(
+                    p.x + (r2.next_f64() - 0.5) * 0.002,
+                    p.y + (r2.next_f64() - 0.5) * 0.002,
+                )
+            })
+            .collect()
+    };
+    for &(cx, cy) in &short_clusters {
+        let base = walk(&mut rng, 12, cx, cy);
+        for _ in 0..45 {
+            skewed.push(Trajectory::new(next_id, jittered(&base, &mut rng)));
+            next_id += 1;
+        }
+    }
+    let long_base = walk(&mut rng, 192, 6.0, 6.0);
+    for _ in 0..40 {
+        skewed.push(Trajectory::new(next_id, jittered(&long_base, &mut rng)));
+        next_id += 1;
+    }
+    // ng = 2 → 4 STR partitions on 4 workers: the hot cluster lands in one
+    // partition whose local join is a single task, so only division
+    // replication (not dynamic scheduling) can shorten the makespan.
+    let ab_sys = DitaSystem::build(
+        &Dataset::new_unchecked("planning-ab", skewed.clone()),
+        DitaConfig {
+            ng: 2,
+            trie: trie_config,
+        },
+        Cluster::new(ClusterConfig::with_workers(4)),
+    );
+    // DTW jitter budget: 0.001/point × 192 points — τ = 0.3 keeps every
+    // cluster-mate pair a result while the clusters stay disjoint.
+    let ab_tau = 0.3;
+    let run_arm = |opts: &JoinOptions| -> (f64, JoinStats) {
+        let mut best: Option<(f64, JoinStats)> = None;
+        for _ in 0..3 {
+            let (pairs, stats) = join(&ab_sys, &ab_sys, ab_tau, &DistanceFunction::Dtw, opts);
+            assert!(!pairs.is_empty(), "cluster-mates must join");
+            let mk = stats.job.makespan_sec();
+            if best.as_ref().is_none_or(|&(b, _)| mk < b) {
+                best = Some((mk, stats));
+            }
+        }
+        best.unwrap()
+    };
+    let (est_makespan, est_stats) = run_arm(&JoinOptions::default());
+    let fb = est_stats.feedback.clone();
+    let hot_node = fb
+        .iter()
+        .max_by(|a, b| a.1.observed_comp_sec.total_cmp(&b.1.observed_comp_sec))
+        .map_or(0, |(n, _)| n);
+    let skewed_partition = hot_node % ab_sys.num_partitions();
+    let (fed_makespan, fed_stats) = run_arm(&JoinOptions {
+        observed_costs: Some(fb),
+        ..JoinOptions::default()
+    });
+    assert_eq!(
+        est_stats.results, fed_stats.results,
+        "feedback must change the plan, never the results"
+    );
+    let plan_speedup = est_makespan / fed_makespan.max(1e-12);
+    println!(
+        "  estimated: makespan {:>8.1} ms  predicted {:>12.0}  replicas {}",
+        est_makespan * 1e3,
+        est_stats.predicted_tc_global,
+        est_stats.replicas
+    );
+    println!(
+        "  observed:  makespan {:>8.1} ms  predicted {:>12.0}  replicas {}",
+        fed_makespan * 1e3,
+        fed_stats.predicted_tc_global,
+        fed_stats.replicas
+    );
+    println!(
+        "  speedup (estimated/observed): {plan_speedup:.2}x  (hot partition {skewed_partition})"
+    );
+
     // Instrumented profiling pass — attached only now, after all timing,
     // so the sections above pay the disabled-context cost (one branch).
     sys.attach_obs(Obs::enabled());
@@ -699,10 +808,27 @@ fn main() {
             flat_probe_ns: flat_probe_ns.round(),
             pointer_probe_ns: pointer_probe_ns.round(),
         }),
+        planning_ab: Some(PlanningAb {
+            trajectories: skewed.len(),
+            skewed_partition,
+            estimated: PlanArm {
+                makespan_sec: round4(est_makespan),
+                predicted_bottleneck: est_stats.predicted_tc_global.round(),
+                shipped_bytes: est_stats.shipped_bytes,
+                results: est_stats.results,
+            },
+            observed: PlanArm {
+                makespan_sec: round4(fed_makespan),
+                predicted_bottleneck: fed_stats.predicted_tc_global.round(),
+                shipped_bytes: fed_stats.shipped_bytes,
+                results: fed_stats.results,
+            },
+            speedup: round2(plan_speedup),
+        }),
     };
     // `--out <path>` overrides the artifact location. The artifact is
     // written only there — never copied to the repo root.
-    let mut out = String::from("results/BENCH_PR6.json");
+    let mut out = String::from("results/BENCH_PR7.json");
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--out" {

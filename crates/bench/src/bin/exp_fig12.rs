@@ -38,7 +38,7 @@ fn main() {
             let cells: Vec<String> = builds
                 .iter()
                 .zip(PivotStrategy::ALL)
-                .map(|(sys, strategy)| {
+                .map(|(sys, _strategy)| {
                     let (_, ms, _) = measure_dita_join(
                         sys,
                         sys,
@@ -49,7 +49,7 @@ fn main() {
                     sink.record(
                         "dita",
                         &dataset.name,
-                        serde_json::json!({"tau": tau, "strategy": strategy.name()}),
+                        serde_json::json!({"tau": tau, "strategy": _strategy.name()}),
                         "join_ms",
                         ms,
                     );
@@ -83,7 +83,7 @@ fn main() {
             let cells: Vec<String> = builds
                 .iter()
                 .zip(ks)
-                .map(|(sys, k)| {
+                .map(|(sys, _k)| {
                     let (_, ms, _) = measure_dita_join(
                         sys,
                         sys,
@@ -94,7 +94,7 @@ fn main() {
                     sink.record(
                         "dita",
                         &dataset.name,
-                        serde_json::json!({"tau": tau, "k": k}),
+                        serde_json::json!({"tau": tau, "k": _k}),
                         "join_ms",
                         ms,
                     );

@@ -33,7 +33,7 @@ fn main() {
             let cells: Vec<String> = builds
                 .iter()
                 .zip(nls)
-                .map(|(sys, nl)| {
+                .map(|(sys, _nl)| {
                     let (_, ms, _) = measure_dita_join(
                         sys,
                         sys,
@@ -44,7 +44,7 @@ fn main() {
                     sink.record(
                         "dita",
                         &dataset.name,
-                        serde_json::json!({"tau": tau, "nl": nl}),
+                        serde_json::json!({"tau": tau, "nl": _nl}),
                         "join_ms",
                         ms,
                     );

@@ -1,0 +1,86 @@
+//! Performance trajectory: aggregate every per-PR bench artifact into one
+//! cross-PR time series.
+//!
+//! Each benchmark PR leaves a `results/BENCH_PR<n>.json` smoke artifact
+//! behind. This binary scans the results directory for them, extracts the
+//! headline numbers from each ([`TrajectoryReport::point_from`]: verified
+//! pairs/s, serial search p50, best kernel speedup, host cores), and writes
+//! the ordered series to `results/TRAJECTORY.json` under the
+//! `dita-bench-trajectory/v1` schema so a regression between PRs is one
+//! `diff` away.
+//!
+//! Usage: `perf_trajectory [results_dir] [--out path]` (defaults:
+//! `results`, `results/TRAJECTORY.json`). Artifacts that fail to parse —
+//! e.g. a PR predating the current `dita-bench-smoke` schema — are skipped
+//! with a warning on stderr rather than sinking the whole series.
+
+use dita_obs::bench_report::{BenchSmokeReport, TrajectoryReport, TRAJECTORY_SCHEMA};
+use std::path::{Path, PathBuf};
+
+fn main() {
+    let mut dir = String::from("results");
+    let mut out = String::from("results/TRAJECTORY.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            out = args.next().expect("--out needs a path");
+        } else {
+            dir = a;
+        }
+    }
+
+    // `BENCH_PR<n>.json`, ordered by PR number — the series axis.
+    let mut artifacts: Vec<(u64, String, PathBuf)> = std::fs::read_dir(&dir)
+        .unwrap_or_else(|e| panic!("cannot read results dir `{dir}`: {e}"))
+        .flatten()
+        .filter_map(|entry| {
+            let name = entry.file_name().to_string_lossy().into_owned();
+            let pr = name
+                .strip_prefix("BENCH_PR")?
+                .strip_suffix(".json")?
+                .parse::<u64>()
+                .ok()?;
+            Some((pr, name, entry.path()))
+        })
+        .collect();
+    artifacts.sort();
+    assert!(
+        !artifacts.is_empty(),
+        "no BENCH_PR*.json artifacts under `{dir}` — run bench_smoke first"
+    );
+
+    let mut points = Vec::new();
+    println!("== performance trajectory ==");
+    for (_, name, path) in &artifacts {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+        match BenchSmokeReport::from_json(&text) {
+            Ok(report) => {
+                let p = TrajectoryReport::point_from(name, &report);
+                println!(
+                    "{:>16}  {:>12.0} pairs/s  p50 {:>8.3} ms  best kernel {:>6.2}x  {} cores",
+                    p.artifact,
+                    p.verified_pairs_per_sec,
+                    p.search_p50_ms_serial,
+                    p.best_kernel_speedup,
+                    p.host_cores
+                );
+                points.push(p);
+            }
+            Err(e) => eprintln!("warning: skipping {name} (schema drift?): {e}"),
+        }
+    }
+    assert!(
+        !points.is_empty(),
+        "every artifact under `{dir}` failed to parse"
+    );
+
+    let report = TrajectoryReport {
+        schema: TRAJECTORY_SCHEMA.to_string(),
+        points,
+    };
+    report
+        .write_json(Path::new(&out))
+        .unwrap_or_else(|e| panic!("cannot write {out}: {e}"));
+    println!("wrote {out} ({} points)", report.points.len());
+}

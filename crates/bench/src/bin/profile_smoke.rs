@@ -3,14 +3,16 @@
 //!
 //! Builds the Figure 1 example table with tracing attached, runs one
 //! search, one self-join and one kNN probe, then emits every exporter:
-//! the human-readable profile table and Prometheus text on stdout, and the
-//! schema-versioned JSON report to the path given as the first CLI
-//! argument (default `results/PROFILE_SMOKE.json`).
+//! the human-readable profile table (with per-operation critical-path
+//! attribution) and Prometheus text on stdout, and the schema-versioned
+//! JSON report to the path given as the first CLI argument (default
+//! `results/PROFILE_SMOKE.json`).
 //!
 //! The binary self-validates — it panics (non-zero exit) if the profile
-//! tree is missing the documented spans, the funnel is inconsistent, or
-//! the JSON does not round-trip — so `scripts/profile_smoke.sh` only has
-//! to check the exit code and re-parse the JSON.
+//! tree is missing the documented spans, the funnel is inconsistent, any
+//! operation's critical-path attribution fails to sum to ~100%, or the
+//! JSON does not round-trip — so `scripts/profile_smoke.sh` only has to
+//! check the exit code and re-parse the JSON.
 
 use dita_cluster::{Cluster, ClusterConfig};
 use dita_core::{join, knn_search, search, DitaConfig, DitaSystem, JoinOptions};
@@ -61,6 +63,7 @@ fn main() {
 
     let mut report = sys.obs().report();
     report.attach_funnel(stats.filter.funnel());
+    report.attach_critpath();
 
     // Self-check: the documented span hierarchy and a consistent funnel.
     for name in ["search", "join", "knn"] {
@@ -83,6 +86,23 @@ fn main() {
         stats.candidates,
         "funnel survivors must equal the search's candidate count"
     );
+    // Critical-path analyses: one per operation, attribution complete.
+    for op in ["search", "join", "knn"] {
+        let cp = report
+            .critpath
+            .iter()
+            .find(|c| c.op == op)
+            .unwrap_or_else(|| panic!("missing critical-path analysis for `{op}`"));
+        let pct: f64 = cp.attribution.iter().map(|s| s.pct).sum();
+        assert!(
+            (pct - 100.0).abs() < 0.5,
+            "`{op}` attribution must sum to ~100%, got {pct:.2}%"
+        );
+        assert!(
+            cp.makespan_sec > 0.0,
+            "`{op}` critical path has no makespan"
+        );
+    }
 
     println!("{}", report.render_table());
     println!("== prometheus ==");

@@ -9,7 +9,7 @@
 //! the network model.
 
 use crate::network::NetworkModel;
-use crate::stats::{JobStats, WorkerStats};
+use crate::stats::{JobStats, TaskCost, WorkerStats};
 use dita_obs::{names, Obs};
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -86,6 +86,33 @@ fn take_extra_compute() -> Duration {
     Duration::from_nanos(EXTRA_COMPUTE_NS.with(|c| c.replace(0)))
 }
 
+/// The compute time charged to a task given its CPU-clock delta and its
+/// wall-clock duration. Hosts without a usable per-thread CPU clock (where
+/// [`thread_cpu_time`] reads zero) fall back to wall time — workers run
+/// their queues sequentially, so the wall delta is a faithful stand-in
+/// there, and a priced task cost beats an unpriced one for the dynamic
+/// scheduler and the cost-feedback store.
+fn task_compute(cpu: Duration, wall: Duration) -> Duration {
+    if cpu.is_zero() {
+        wall
+    } else {
+        cpu
+    }
+}
+
+/// Whether the per-thread CPU clock actually advances on this host.
+///
+/// Probed once from the driver thread (which has burned plenty of CPU by
+/// the time a job runs): a broken clock reads zero forever. When it is
+/// broken, [`task_compute`] falls back to wall time, and co-running worker
+/// threads would bill each other's timeslices to every task — so
+/// `execute_impl` serializes task bodies in that case (see the `gate`
+/// there).
+fn cpu_clock_works() -> bool {
+    static WORKS: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *WORKS.get_or_init(|| !thread_cpu_time().is_zero())
+}
+
 /// Cluster configuration.
 #[derive(Debug, Clone)]
 pub struct ClusterConfig {
@@ -117,6 +144,10 @@ pub struct TaskSpec<T> {
     /// Bytes shipped to the worker for this task (charged to the network
     /// model before the task runs).
     pub incoming_bytes: u64,
+    /// Partition this task computes, when the job attributes one — it
+    /// flows into [`TaskCost::partition`] and onto the task's span, where
+    /// the cost-feedback store and the critical-path analyzer read it.
+    pub partition: Option<usize>,
     /// Task payload handed to the job function.
     pub payload: T,
 }
@@ -208,6 +239,25 @@ impl Cluster {
         R: Send,
         F: Fn(usize, T) -> Result<R, TaskError> + Sync,
     {
+        self.execute_impl(tasks, f, true)
+    }
+
+    /// Shared body of [`Cluster::execute_try`] and the physical run
+    /// inside [`Cluster::execute_dynamic`]. `record_wait` gates the
+    /// per-worker barrier-wait metric: the dynamic path prices waits from
+    /// its *scheduled* assignment instead, so its physical round-robin
+    /// run must not pollute the series.
+    fn execute_impl<T, R, F>(
+        &self,
+        tasks: Vec<TaskSpec<T>>,
+        f: F,
+        record_wait: bool,
+    ) -> (Vec<R>, JobStats)
+    where
+        T: Send + Clone,
+        R: Send,
+        F: Fn(usize, T) -> Result<R, TaskError> + Sync,
+    {
         let nw = self.config.num_workers;
         for t in &tasks {
             assert!(t.worker < nw, "task pinned to unknown worker {}", t.worker);
@@ -228,8 +278,17 @@ impl Cluster {
         // every worker span, stitching the per-worker subtrees into the
         // caller's operation span across the thread boundary.
         let parent = obs.current_span();
+        // Wall-clock measurement gate: with a dead CPU clock each task is
+        // billed by wall time, so task bodies must not co-run or every
+        // task absorbs its neighbours' timeslices. Logical workers keep
+        // their own queues, spans and stats — only the measured region is
+        // serialized.
+        let serialize = !cpu_clock_works();
+        let gate = std::sync::Mutex::new(());
+        let gate = &gate;
 
-        let mut per_worker: Vec<(WorkerStats, Vec<(usize, R)>)> = std::thread::scope(|scope| {
+        type TaskOut<R> = (usize, R, TaskCost);
+        let mut per_worker: Vec<(WorkerStats, Vec<TaskOut<R>>)> = std::thread::scope(|scope| {
             let handles: Vec<_> = queues
                 .into_iter()
                 .enumerate()
@@ -267,9 +326,20 @@ impl Cluster {
                             stats.network += Duration::from_secs_f64(net_sec);
                             m_bytes.add(task.incoming_bytes);
                             h_net.observe(net_sec);
-                            let mut task_span =
-                                obs.span_labeled(names::SPAN_TASK, format!("worker={wid}"));
+                            let label = match task.partition {
+                                Some(pid) => format!("worker={wid} pid={pid}"),
+                                None => format!("worker={wid}"),
+                            };
+                            let mut task_span = obs.span_labeled(names::SPAN_TASK, label);
+                            // Attribute the span for the critical-path
+                            // analyzer: which lane ran it and what its
+                            // shipment cost.
+                            task_span.set_worker(wid as u32);
+                            task_span.set_bytes(task.incoming_bytes);
+                            task_span.set_net_sec(net_sec);
+                            let _slot = serialize.then(|| gate.lock().unwrap());
                             let _ = take_extra_compute(); // discard stale charges
+                            let wall0 = Instant::now();
                             let t0 = thread_cpu_time();
                             // Task-level fault tolerance: a task that
                             // panics *or* returns Err(TaskError) is retried
@@ -300,7 +370,9 @@ impl Cluster {
                                 }
                             }
                             let extra = take_extra_compute();
-                            let cpu = thread_cpu_time().saturating_sub(t0) + extra;
+                            let cpu =
+                                task_compute(thread_cpu_time().saturating_sub(t0), wall0.elapsed())
+                                    + extra;
                             task_span.add_cpu(extra);
                             drop(task_span);
                             stats.compute += cpu;
@@ -319,7 +391,17 @@ impl Cluster {
                                     panic!("task failed after {MAX_TASK_ATTEMPTS} attempts: {e}");
                                 }
                             };
-                            results.push((i, v));
+                            results.push((
+                                i,
+                                v,
+                                TaskCost {
+                                    worker: wid,
+                                    partition: task.partition,
+                                    compute_sec: cpu.as_secs_f64(),
+                                    network_sec: net_sec,
+                                    bytes: task.incoming_bytes,
+                                },
+                            ));
                         }
                         (stats, results)
                     })
@@ -333,19 +415,50 @@ impl Cluster {
 
         let elapsed = started.elapsed();
         let mut workers = Vec::with_capacity(nw);
-        let mut slots: Vec<Option<R>> = (0..total).map(|_| None).collect();
+        let mut slots: Vec<Option<(R, TaskCost)>> = (0..total).map(|_| None).collect();
         for (wid, (mut stats, results)) in per_worker.drain(..).enumerate() {
             stats.slowdown = self.slowdown(wid);
             workers.push(stats);
-            for (i, r) in results {
-                slots[i] = Some(r);
+            for (i, r, cost) in results {
+                slots[i] = Some((r, cost));
             }
         }
-        let results = slots
-            .into_iter()
-            .map(|s| s.expect("every task produces a result"))
-            .collect();
-        (results, JobStats { elapsed, workers })
+        let mut results = Vec::with_capacity(total);
+        let mut task_costs = Vec::with_capacity(total);
+        for s in slots {
+            let (r, cost) = s.expect("every task produces a result");
+            results.push(r);
+            task_costs.push(cost);
+        }
+        let stats = JobStats {
+            elapsed,
+            workers,
+            task_costs,
+        };
+        if record_wait && self.obs.is_enabled() {
+            self.record_worker_waits(&stats);
+        }
+        (results, stats)
+    }
+
+    /// Mirrors each participating worker's barrier wait (makespan minus
+    /// its own total) into the `dita_worker_wait_seconds` histogram. Idle
+    /// workers record nothing, matching the executor's no-zero-series
+    /// convention.
+    fn record_worker_waits(&self, stats: &JobStats) {
+        let waits = stats.wait_secs();
+        for (wid, (ws, wait)) in stats.workers.iter().zip(waits).enumerate() {
+            if ws.tasks == 0 {
+                continue;
+            }
+            let wlabel = wid.to_string();
+            self.obs
+                .histogram_seconds_labeled(
+                    names::WORKER_WAIT_SECONDS,
+                    &[("worker", wlabel.as_str())],
+                )
+                .observe(wait);
+        }
     }
 
     /// Round-robin placement: maps item `i` of `n` to a worker. The default
@@ -376,9 +489,9 @@ impl Cluster {
         // Covers both the physical run (whose worker spans nest under it)
         // and the greedy list schedule that prices the assignment.
         let _span = self.obs.span(names::SPAN_EXECUTE_DYNAMIC);
-        let specs: Vec<(u64, Option<usize>, u64)> = tasks
+        let specs: Vec<(u64, Option<usize>, u64, Option<usize>)> = tasks
             .iter()
-            .map(|t| (t.shipped_bytes, t.home, t.home_data_bytes))
+            .map(|t| (t.shipped_bytes, t.home, t.home_data_bytes, t.partition))
             .collect();
 
         // Run every task (spread round-robin purely to use host cores),
@@ -390,20 +503,33 @@ impl Cluster {
             .map(|(i, t)| TaskSpec {
                 worker: i % nw,
                 incoming_bytes: 0,
+                partition: t.partition,
                 payload: t.payload,
             })
             .collect();
         let f = &f;
-        let (outcome, _raw) = self.execute(pinned, move |_w, payload| {
-            let t0 = thread_cpu_time();
-            let r = f(payload);
-            // Include CPU time the task reported from helper threads so the
-            // schedule below prices the task's real cost.
-            (
-                r,
-                thread_cpu_time().saturating_sub(t0) + take_extra_compute(),
-            )
-        });
+        let obs = &self.obs;
+        let (outcome, _raw) = self.execute_impl(
+            pinned,
+            move |_w, payload| {
+                // The task span is current while the closure runs; keep
+                // its handle so the schedule below can re-attribute the
+                // span to the worker the task is actually assigned to.
+                let span = obs.current_span();
+                let wall0 = Instant::now();
+                let t0 = thread_cpu_time();
+                let r = f(payload);
+                // Include CPU time the task reported from helper threads
+                // so the schedule below prices the task's real cost.
+                Ok((
+                    r,
+                    task_compute(thread_cpu_time().saturating_sub(t0), wall0.elapsed())
+                        + take_extra_compute(),
+                    span,
+                ))
+            },
+            false,
+        );
         let elapsed = started.elapsed();
 
         // Greedy list schedule: assign each task, in submission order, to
@@ -417,7 +543,10 @@ impl Cluster {
             })
             .collect();
         let mut results = Vec::with_capacity(outcome.len());
-        for ((r, cpu), (shipped, home, home_bytes)) in outcome.into_iter().zip(specs) {
+        let mut task_costs = Vec::with_capacity(specs.len());
+        for ((r, cpu, span), (shipped, home, home_bytes, partition)) in
+            outcome.into_iter().zip(specs)
+        {
             let mut best_w = 0;
             let mut best_done = f64::INFINITY;
             for (w, &busy_until) in clock.iter().enumerate() {
@@ -431,23 +560,42 @@ impl Cluster {
                 }
             }
             let bytes = shipped + if Some(best_w) == home { 0 } else { home_bytes };
+            let net_sec = net.transfer_sec(bytes);
             clock[best_w] = best_done;
             let ws = &mut workers[best_w];
             ws.bytes_received += bytes;
-            ws.network += Duration::from_secs_f64(net.transfer_sec(bytes));
+            ws.network += Duration::from_secs_f64(net_sec);
             ws.compute += cpu;
             ws.tasks += 1;
+            // Re-attribute the task's span from its physical round-robin
+            // lane to the scheduled assignment, with the priced shipment.
+            if let (Some(t), Some(handle)) = (self.obs.tracer(), span) {
+                t.annotate(handle, Some(best_w as u32), Some(bytes), Some(net_sec));
+            }
+            task_costs.push(TaskCost {
+                worker: best_w,
+                partition,
+                compute_sec: cpu.as_secs_f64(),
+                network_sec: net_sec,
+                bytes,
+            });
             results.push(r);
         }
+        let stats = JobStats {
+            elapsed,
+            workers,
+            task_costs,
+        };
         if self.obs.is_enabled() {
             self.obs
                 .counter(names::DYN_TASKS_TOTAL)
                 .add(results.len() as u64);
             self.obs
                 .counter(names::DYN_SCHEDULED_BYTES_TOTAL)
-                .add(workers.iter().map(|w| w.bytes_received).sum());
+                .add(stats.workers.iter().map(|w| w.bytes_received).sum());
+            self.record_worker_waits(&stats);
         }
-        (results, JobStats { elapsed, workers })
+        (results, stats)
     }
 }
 
@@ -462,6 +610,9 @@ pub struct DynTaskSpec<T> {
     pub home: Option<usize>,
     /// Size of that resident data; charged when scheduled off-home.
     pub home_data_bytes: u64,
+    /// Partition this task computes, when the job attributes one (see
+    /// [`TaskSpec::partition`]).
+    pub partition: Option<usize>,
     /// Task payload.
     pub payload: T,
 }
@@ -488,6 +639,7 @@ mod tests {
             .map(|i| TaskSpec {
                 worker: i % 3,
                 incoming_bytes: 0,
+                partition: None,
                 payload: i,
             })
             .collect();
@@ -504,6 +656,7 @@ mod tests {
             .map(|i| TaskSpec {
                 worker: i % 4,
                 incoming_bytes: 0,
+                partition: None,
                 payload: i,
             })
             .collect();
@@ -520,16 +673,19 @@ mod tests {
             TaskSpec {
                 worker: 0,
                 incoming_bytes: 1_000_000,
+                partition: None,
                 payload: (),
             },
             TaskSpec {
                 worker: 0,
                 incoming_bytes: 1_000_000,
+                partition: None,
                 payload: (),
             },
             TaskSpec {
                 worker: 1,
                 incoming_bytes: 0,
+                partition: None,
                 payload: (),
             },
         ];
@@ -550,11 +706,13 @@ mod tests {
             TaskSpec {
                 worker: 0,
                 incoming_bytes: 0,
+                partition: None,
                 payload: 200_000u64,
             },
             TaskSpec {
                 worker: 1,
                 incoming_bytes: 0,
+                partition: None,
                 payload: 200_000u64,
             },
         ];
@@ -590,6 +748,7 @@ mod tests {
                 .map(|i| TaskSpec {
                     worker: i % nw,
                     incoming_bytes: 0,
+                    partition: None,
                     payload: 3_000_000u64,
                 })
                 .collect::<Vec<_>>()
@@ -615,6 +774,7 @@ mod tests {
             vec![TaskSpec {
                 worker: 5,
                 incoming_bytes: 0,
+                partition: None,
                 payload: (),
             }],
             |_, _| (),
@@ -633,6 +793,7 @@ mod tests {
         let tasks = vec![TaskSpec {
             worker: 0,
             incoming_bytes: 0,
+            partition: None,
             payload: (),
         }];
         let (_, stats) = c.execute(tasks, |_, ()| {
@@ -655,6 +816,7 @@ mod tests {
         let tasks = vec![TaskSpec {
             worker: 0,
             incoming_bytes: 0,
+            partition: None,
             payload: (),
         }];
         let (_, stats) = c.execute(tasks, |_, ()| ());
@@ -694,6 +856,7 @@ mod dynamic_tests {
             shipped_bytes: 0,
             home: None,
             home_data_bytes: 0,
+            partition: None,
             payload: n,
         }
     }
@@ -755,6 +918,7 @@ mod dynamic_tests {
                 shipped_bytes: 0,
                 home: Some(1),
                 home_data_bytes: 50_000_000, // 50s to ship: stay home
+                partition: None,
                 payload: 100_000u64,
             },
         ];
@@ -802,6 +966,7 @@ mod obs_tests {
             .map(|i| TaskSpec {
                 worker: (i % 2) as usize, // worker 2 stays idle
                 incoming_bytes: 100,
+                partition: None,
                 payload: i,
             })
             .collect();
@@ -860,6 +1025,7 @@ mod obs_tests {
         let tasks = vec![TaskSpec {
             worker: 0,
             incoming_bytes: 0,
+            partition: None,
             payload: (),
         }];
         let _ = c.execute(tasks, |_w, ()| {
@@ -884,6 +1050,7 @@ mod obs_tests {
         let tasks = vec![TaskSpec {
             worker: 0,
             incoming_bytes: 10,
+            partition: None,
             payload: (),
         }];
         let (_, stats) = c.execute(tasks, |_, ()| ());
@@ -901,6 +1068,7 @@ mod obs_tests {
                 shipped_bytes: 8,
                 home: None,
                 home_data_bytes: 0,
+                partition: None,
                 payload: n,
             })
             .collect();
@@ -934,6 +1102,7 @@ mod retry_tests {
         let tasks = vec![TaskSpec {
             worker: 0,
             incoming_bytes: 0,
+            partition: None,
             payload: (),
         }];
         let (results, stats) = c.execute_try(tasks, |_w, ()| {
@@ -954,6 +1123,7 @@ mod retry_tests {
         let tasks = vec![TaskSpec {
             worker: 0,
             incoming_bytes: 0,
+            partition: None,
             payload: (),
         }];
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| {
@@ -976,6 +1146,7 @@ mod retry_tests {
         let tasks = vec![TaskSpec {
             worker: 0,
             incoming_bytes: 0,
+            partition: None,
             payload: (),
         }];
         let _ = c.execute_try(tasks, |_w, ()| {
@@ -1003,6 +1174,7 @@ mod retry_tests {
             .map(|i| TaskSpec {
                 worker: i % 2,
                 incoming_bytes: 0,
+                partition: None,
                 payload: i,
             })
             .collect();
@@ -1023,6 +1195,7 @@ mod retry_tests {
         let tasks = vec![TaskSpec {
             worker: 0,
             incoming_bytes: 0,
+            partition: None,
             payload: (),
         }];
         let r = std::panic::catch_unwind(AssertUnwindSafe(|| {

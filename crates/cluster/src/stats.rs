@@ -1,6 +1,30 @@
 //! Per-worker and per-job execution statistics.
 
+use std::collections::BTreeMap;
 use std::time::Duration;
+
+/// Observed cost of one executed task: which worker ran it, which
+/// partition it computed (when the job attributed one), and what it
+/// actually cost. This is the executor-side half of the cost-feedback
+/// loop — `dita-core`'s `CostFeedback` store consumes these to re-plan
+/// joins with observed instead of sampled per-partition costs, and the
+/// critical-path analyzer reads the same attribution off the span
+/// timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TaskCost {
+    /// Worker that executed (or, under dynamic scheduling, was assigned)
+    /// the task.
+    pub worker: usize,
+    /// Partition the task computed, when the submitting job labeled one.
+    pub partition: Option<usize>,
+    /// Measured CPU seconds (helper-thread charges included, straggler
+    /// slowdown *not* applied — this is the task's intrinsic cost).
+    pub compute_sec: f64,
+    /// Simulated shipment seconds charged for the task's incoming data.
+    pub network_sec: f64,
+    /// Bytes shipped to the executing worker for this task.
+    pub bytes: u64,
+}
 
 /// What one worker did during a job.
 ///
@@ -69,6 +93,8 @@ pub struct JobStats {
     pub elapsed: Duration,
     /// Per-worker breakdown.
     pub workers: Vec<WorkerStats>,
+    /// Per-task observed costs, in submission order.
+    pub task_costs: Vec<TaskCost>,
 }
 
 impl JobStats {
@@ -124,6 +150,49 @@ impl JobStats {
     pub fn total_compute_sec(&self) -> f64 {
         self.workers.iter().map(|w| w.compute.as_secs_f64()).sum()
     }
+
+    /// Observed per-partition costs, aggregated over
+    /// [`JobStats::task_costs`]: partition → accumulated
+    /// `(compute_sec, network_sec, bytes, tasks)`. Tasks without a
+    /// partition label are skipped.
+    pub fn partition_costs(&self) -> BTreeMap<usize, PartitionCost> {
+        let mut out: BTreeMap<usize, PartitionCost> = BTreeMap::new();
+        for tc in &self.task_costs {
+            let Some(pid) = tc.partition else { continue };
+            let c = out.entry(pid).or_default();
+            c.compute_sec += tc.compute_sec;
+            c.network_sec += tc.network_sec;
+            c.bytes += tc.bytes;
+            c.tasks += 1;
+        }
+        out
+    }
+
+    /// Per-worker barrier wait: the simulated makespan minus each
+    /// worker's own total — how long each worker idles at the job's
+    /// barrier while the straggler finishes. Zero for the straggler
+    /// itself.
+    pub fn wait_secs(&self) -> Vec<f64> {
+        let makespan = self.makespan_sec();
+        self.workers
+            .iter()
+            .map(|w| (makespan - w.total_sec()).max(0.0))
+            .collect()
+    }
+}
+
+/// Accumulated observed cost of one partition across a job's tasks (see
+/// [`JobStats::partition_costs`]).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PartitionCost {
+    /// Measured CPU seconds summed over the partition's tasks.
+    pub compute_sec: f64,
+    /// Simulated shipment seconds summed over the partition's tasks.
+    pub network_sec: f64,
+    /// Bytes shipped for the partition's tasks.
+    pub bytes: u64,
+    /// Number of tasks that computed this partition.
+    pub tasks: usize,
 }
 
 #[cfg(test)]
@@ -172,6 +241,7 @@ mod tests {
         let two = JobStats {
             elapsed: Duration::from_millis(200),
             workers: vec![w(200, 0, 2, 1.0), w(100, 0, 1, 1.0)],
+            task_costs: Vec::new(),
         };
         assert!((two.load_ratio() - 2.0).abs() < 1e-9);
 
@@ -180,6 +250,7 @@ mod tests {
         let skewed = JobStats {
             elapsed: Duration::from_millis(200),
             workers: vec![w(200, 0, 2, 1.0), w(0, 0, 0, 1.0)],
+            task_costs: Vec::new(),
         };
         assert_eq!(skewed.load_ratio(), f64::INFINITY);
 
@@ -187,6 +258,7 @@ mod tests {
         let net_only = JobStats {
             elapsed: Duration::from_millis(40),
             workers: vec![w(0, 40, 1, 1.0), w(0, 10, 1, 1.0)],
+            task_costs: Vec::new(),
         };
         assert!((net_only.load_ratio() - 4.0).abs() < 1e-9);
     }
@@ -196,6 +268,7 @@ mod tests {
         let stats = JobStats {
             elapsed: Duration::from_millis(200),
             workers: vec![w(200, 0, 2, 1.0), w(100, 0, 1, 1.0), w(0, 0, 0, 1.0)],
+            task_costs: Vec::new(),
         };
         assert_eq!(stats.load_ratio(), f64::INFINITY);
         assert!((stats.makespan_sec() - 0.2).abs() < 1e-9);
@@ -211,6 +284,7 @@ mod tests {
         let solo = JobStats {
             elapsed: Duration::from_millis(100),
             workers: vec![w(100, 0, 1, 1.0)],
+            task_costs: Vec::new(),
         };
         assert_eq!(solo.load_ratio(), 1.0);
 
@@ -218,8 +292,51 @@ mod tests {
         let quiet = JobStats {
             elapsed: Duration::ZERO,
             workers: vec![w(0, 0, 1, 1.0), w(0, 0, 1, 1.0)],
+            task_costs: Vec::new(),
         };
         assert_eq!(quiet.load_ratio(), 1.0);
+    }
+
+    #[test]
+    fn partition_costs_aggregate_labeled_tasks() {
+        let tc = |worker, partition, compute_sec, bytes| TaskCost {
+            worker,
+            partition,
+            compute_sec,
+            network_sec: 0.001,
+            bytes,
+        };
+        let stats = JobStats {
+            elapsed: Duration::ZERO,
+            workers: vec![w(10, 0, 2, 1.0), w(5, 0, 2, 1.0)],
+            task_costs: vec![
+                tc(0, Some(3), 0.004, 100),
+                tc(1, Some(3), 0.006, 50),
+                tc(0, Some(7), 0.002, 0),
+                tc(1, None, 9.0, 0), // unlabeled: skipped
+            ],
+        };
+        let costs = stats.partition_costs();
+        assert_eq!(costs.len(), 2);
+        let p3 = &costs[&3];
+        assert!((p3.compute_sec - 0.010).abs() < 1e-12);
+        assert!((p3.network_sec - 0.002).abs() < 1e-12);
+        assert_eq!(p3.bytes, 150);
+        assert_eq!(p3.tasks, 2);
+        assert_eq!(costs[&7].tasks, 1);
+    }
+
+    #[test]
+    fn wait_secs_measure_the_straggler_gap() {
+        let stats = JobStats {
+            elapsed: Duration::from_millis(200),
+            workers: vec![w(200, 0, 2, 1.0), w(50, 0, 1, 1.0)],
+            task_costs: Vec::new(),
+        };
+        let waits = stats.wait_secs();
+        assert_eq!(waits.len(), 2);
+        assert!((waits[0] - 0.0).abs() < 1e-12, "straggler waits for nobody");
+        assert!((waits[1] - 0.15).abs() < 1e-12);
     }
 
     #[test]
@@ -227,6 +344,7 @@ mod tests {
         let stats = JobStats {
             elapsed: Duration::ZERO,
             workers: vec![w(0, 10, 1, 1.0), w(0, 20, 1, 1.0)],
+            task_costs: Vec::new(),
         };
         assert_eq!(stats.total_bytes(), 30_000);
         assert!((stats.total_network_sec() - 0.03).abs() < 1e-9);

@@ -1,0 +1,224 @@
+//! Observed-cost feedback for the join planner (§6.2 extended).
+//!
+//! The planner prices each bi-graph edge with a *sampled* estimate of the
+//! candidate pairs the destination would examine ([`estimate_comp`]) and a
+//! constant per-pair verification cost `Δ`. Both assumptions go wrong in
+//! practice: small samples miss heavy hitters, and partitions holding long
+//! trajectories pay far more than `Δ` per candidate. A [`CostFeedback`]
+//! store closes the loop — a finished join records, per destination node,
+//! what the planner predicted and what the cluster actually observed
+//! (candidate pairs examined, compute seconds burned, bytes shipped), and
+//! a subsequent join passed the store via
+//! [`JoinOptions::observed_costs`](crate::JoinOptions) multiplies each
+//! edge's compute estimate by the node's observed/predicted ratio before
+//! orientation and division balancing run.
+//!
+//! [`estimate_comp`]: crate::join::JoinOptions::sample_size
+
+use std::collections::BTreeMap;
+
+/// Bounds on the correction factor: a single run's observation should bend
+/// the cost model, not let one noisy measurement dominate it outright.
+const FACTOR_CLAMP: f64 = 32.0;
+
+/// What one destination node predicted vs. delivered.
+///
+/// Node ids use the join's bi-graph numbering: T-partition `i` is node `i`,
+/// Q-partition `j` is node `nt + j`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct NodeObservation {
+    /// The planner's compute estimate for the node, in candidate-pair
+    /// equivalents (the unit `estimate_comp` produces).
+    pub predicted_comp: f64,
+    /// Candidate pairs the node's local joins actually examined.
+    pub observed_pairs: f64,
+    /// Compute seconds the cluster charged to the node's tasks.
+    pub observed_comp_sec: f64,
+    /// Bytes shipped to the node's tasks.
+    pub observed_bytes: u64,
+    /// Tasks that ran against the node.
+    pub tasks: usize,
+}
+
+/// Per-node observed execution costs from a finished join, keyed by
+/// bi-graph node id. Build one from [`JoinStats::feedback`], or assemble it
+/// by hand with [`CostFeedback::set_predicted`] / [`CostFeedback::observe`].
+///
+/// [`JoinStats::feedback`]: crate::JoinStats::feedback
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CostFeedback {
+    nodes: BTreeMap<usize, NodeObservation>,
+}
+
+impl CostFeedback {
+    /// An empty store (every factor is 1.0).
+    pub fn new() -> Self {
+        CostFeedback::default()
+    }
+
+    /// `true` when no node has been observed.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Number of nodes with recorded state.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The recorded observation for `node`, if any.
+    pub fn node(&self, node: usize) -> Option<&NodeObservation> {
+        self.nodes.get(&node)
+    }
+
+    /// Iterates over `(node, observation)` pairs in node order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &NodeObservation)> {
+        self.nodes.iter().map(|(&n, o)| (n, o))
+    }
+
+    /// Sets the planner's compute prediction for `node`.
+    pub fn set_predicted(&mut self, node: usize, predicted_comp: f64) {
+        self.nodes.entry(node).or_default().predicted_comp = predicted_comp;
+    }
+
+    /// Accumulates one task's observed costs against `node`.
+    pub fn observe(&mut self, node: usize, pairs: f64, comp_sec: f64, bytes: u64) {
+        let o = self.nodes.entry(node).or_default();
+        o.observed_pairs += pairs;
+        o.observed_comp_sec += comp_sec;
+        o.observed_bytes += bytes;
+        o.tasks += 1;
+    }
+
+    /// The multiplier to apply to a fresh compute estimate for `node`:
+    /// observed cost over predicted cost, clamped to
+    /// `[1/32, 32]`. `delta_sec` converts observed seconds into the
+    /// planner's candidate-pair unit; when the host clock measured nothing
+    /// the observed pair count stands in. Unobserved
+    /// or unpredicted nodes return 1.0 — feedback never touches what it has
+    /// no evidence about.
+    pub fn comp_factor(&self, node: usize, delta_sec: f64) -> f64 {
+        match self.nodes.get(&node) {
+            Some(o) => factor_of(o, delta_sec),
+            None => 1.0,
+        }
+    }
+
+    /// Like [`comp_factor`](CostFeedback::comp_factor), but pools the
+    /// predictions and observations of several nodes before forming the
+    /// ratio. A self-join names the same physical partition twice —
+    /// T-partition `p` is node `p`, Q-partition `p` is node `nt + p` — and
+    /// pricing the two ids separately lets greedy orientation dodge an
+    /// inflated destination by flipping its edges onto the cheap-looking
+    /// mirror. Pooling both ids prices the partition's *data*, whichever
+    /// side of the bi-graph ends up executing it.
+    pub fn comp_factor_pooled(&self, nodes: &[usize], delta_sec: f64) -> f64 {
+        let mut pooled = NodeObservation::default();
+        for &n in nodes {
+            if let Some(o) = self.nodes.get(&n) {
+                pooled.predicted_comp += o.predicted_comp;
+                pooled.observed_pairs += o.observed_pairs;
+                pooled.observed_comp_sec += o.observed_comp_sec;
+                pooled.observed_bytes += o.observed_bytes;
+                pooled.tasks += o.tasks;
+            }
+        }
+        factor_of(&pooled, delta_sec)
+    }
+}
+
+/// The observed/predicted ratio for one (possibly pooled) observation.
+fn factor_of(o: &NodeObservation, delta_sec: f64) -> f64 {
+    if o.predicted_comp <= 0.0 || o.tasks == 0 {
+        return 1.0;
+    }
+    let observed = if o.observed_comp_sec > 0.0 && delta_sec > 0.0 {
+        o.observed_comp_sec / delta_sec
+    } else {
+        o.observed_pairs
+    };
+    if observed <= 0.0 {
+        return 1.0;
+    }
+    (observed / o.predicted_comp).clamp(1.0 / FACTOR_CLAMP, FACTOR_CLAMP)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unobserved_nodes_are_untouched() {
+        let fb = CostFeedback::new();
+        assert!(fb.is_empty());
+        assert_eq!(fb.comp_factor(3, 1e-6), 1.0);
+    }
+
+    #[test]
+    fn factor_prefers_measured_seconds() {
+        let mut fb = CostFeedback::new();
+        fb.set_predicted(0, 100.0);
+        // 2 000 pair-equivalents of measured time vs 1 000 counted pairs:
+        // the clock wins.
+        fb.observe(0, 1_000.0, 2e-3, 64);
+        assert!((fb.comp_factor(0, 1e-6) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factor_falls_back_to_counted_pairs_without_a_clock() {
+        let mut fb = CostFeedback::new();
+        fb.set_predicted(7, 50.0);
+        fb.observe(7, 200.0, 0.0, 0);
+        assert!((fb.comp_factor(7, 1e-6) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn factor_is_clamped_both_ways() {
+        let mut fb = CostFeedback::new();
+        fb.set_predicted(0, 1.0);
+        fb.observe(0, 1e9, 0.0, 0);
+        assert_eq!(fb.comp_factor(0, 1e-6), FACTOR_CLAMP);
+        fb.set_predicted(1, 1e9);
+        fb.observe(1, 1.0, 0.0, 0);
+        assert_eq!(fb.comp_factor(1, 1e-6), 1.0 / FACTOR_CLAMP);
+    }
+
+    #[test]
+    fn observations_accumulate_across_tasks() {
+        let mut fb = CostFeedback::new();
+        fb.set_predicted(2, 10.0);
+        fb.observe(2, 5.0, 0.0, 100);
+        fb.observe(2, 15.0, 0.0, 300);
+        let o = fb.node(2).unwrap();
+        assert_eq!(o.tasks, 2);
+        assert_eq!(o.observed_bytes, 400);
+        assert!((fb.comp_factor(2, 1e-6) - 2.0).abs() < 1e-9);
+        assert_eq!(fb.len(), 1);
+        assert_eq!(fb.iter().count(), 1);
+    }
+
+    #[test]
+    fn prediction_without_observation_is_neutral() {
+        let mut fb = CostFeedback::new();
+        fb.set_predicted(0, 10.0);
+        assert_eq!(fb.comp_factor(0, 1e-6), 1.0);
+    }
+
+    #[test]
+    fn pooled_factor_merges_mirror_nodes() {
+        // Self-join shape: partition 3 of a 4-partition system is node 3
+        // (T-side) and node 7 (Q-side). The Q-side ran the heavy work; the
+        // T-side saw almost nothing — separately the T-side looks cheap,
+        // pooled both ids price the hot data.
+        let mut fb = CostFeedback::new();
+        fb.set_predicted(3, 100.0);
+        fb.observe(3, 10.0, 0.0, 0);
+        fb.set_predicted(7, 100.0);
+        fb.observe(7, 990.0, 0.0, 0);
+        assert!(fb.comp_factor(3, 1e-6) < 1.0);
+        let pooled = fb.comp_factor_pooled(&[3, 7], 1e-6);
+        assert!((pooled - 5.0).abs() < 1e-9);
+        // Pooling an unknown id contributes nothing.
+        assert_eq!(fb.comp_factor_pooled(&[11, 12], 1e-6), 1.0);
+    }
+}

@@ -91,6 +91,7 @@ impl DitaSystem {
             .map(|job| TaskSpec {
                 worker: self.placement[job.pid],
                 incoming_bytes: job.ship_bytes,
+                partition: Some(job.pid),
                 payload: job,
             })
             .collect();
@@ -145,6 +146,7 @@ impl DitaSystem {
             tasks.push(TaskSpec {
                 worker: self.placement[pid],
                 incoming_bytes: ship_bytes,
+                partition: Some(pid),
                 payload: (pid, members),
             });
         }

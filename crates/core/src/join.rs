@@ -19,6 +19,7 @@
 //!    trajectories are shipped to the destination's worker and probed
 //!    against the destination's trie index, verifying on the fly.
 
+use crate::feedback::CostFeedback;
 use crate::system::DitaSystem;
 use crate::verify::{verify_pair_soa, QueryContext};
 use dita_cluster::JobStats;
@@ -64,6 +65,13 @@ pub struct JoinOptions {
     /// serially on the driver thread. Edge order and weights are identical
     /// for every thread count.
     pub plan_threads: usize,
+    /// Observed per-node costs from a previous run (see
+    /// [`JoinStats::feedback`]). When set, every edge's sampled compute
+    /// estimate is multiplied by the destination node's
+    /// observed/predicted ratio before orientation and division balancing
+    /// consume it, so a partition the sample underpriced gets replicated
+    /// the next time around. Plans change; results never do.
+    pub observed_costs: Option<CostFeedback>,
 }
 
 impl Default for JoinOptions {
@@ -74,6 +82,7 @@ impl Default for JoinOptions {
             delta_sec: 2e-6,
             division_percentile: 0.98,
             plan_threads: default_plan_threads(),
+            observed_costs: None,
         }
     }
 }
@@ -108,6 +117,10 @@ pub struct JoinStats {
     /// their edge weights computed (a superset of `edges`: pairs whose
     /// shipped sets both come back empty are dropped).
     pub edges_weighed: usize,
+    /// Per-node predicted vs. observed costs from this run — feed it back
+    /// through [`JoinOptions::observed_costs`] to replan with measured
+    /// reality instead of sampled guesses.
+    pub feedback: CostFeedback,
     /// Cluster execution statistics.
     pub job: JobStats,
 }
@@ -294,6 +307,7 @@ fn join_base(
                 shipped_bytes: shipped as u64,
                 home: Some(home(dst)),
                 home_data_bytes: node_index_bytes(dst),
+                partition: Some(dst),
                 payload: (slot, eis),
             }
         })
@@ -305,35 +319,48 @@ fn join_base(
         let mut scratch = Scratch::new();
         for ei in eis {
             // Nested under the executor's worker task span.
-            let _espan = obs.span(names::SPAN_LOCAL_JOIN);
             let e = &edges_ref[ei];
             let (src_sys, dst_sys, src_pid, dst_pid, shipped) = if e.forward {
                 (t_sys, q_sys, e.t_pid, e.q_pid, &e.ship_t)
             } else {
                 (q_sys, t_sys, e.q_pid, e.t_pid, &e.ship_q)
             };
+            let _espan = dita_obs::span!(obs, names::SPAN_LOCAL_JOIN, pid = dst_pid);
             let dst_node = if e.forward { nt + e.q_pid } else { e.t_pid };
             let nslots = replica_counts_ref[dst_node];
             let src_trie = src_sys.trie(src_pid);
             let dst_trie = dst_sys.trie(dst_pid);
-            for &sid in shipped.iter().skip(slot).step_by(nslots.max(1)) {
-                let s = src_trie.get(sid);
-                // Reuse the shipped trajectory's clustered-index artifacts
-                // (MBR, cell compression) instead of recompressing.
-                let ctx = QueryContext::from_parts(
-                    s.points_vec(),
-                    *s.mbr(),
-                    CellList::from_cells(s.cells().to_vec(), src_trie.store().cell_side()),
-                );
-                let cands = dst_trie.candidates(ctx.points(), tau, func);
-                candidates += cands.len();
+            // Filter stage: probe the destination trie with every shipped
+            // trajectory, buffering the candidate lists so the verify
+            // stage gets its own span (mirroring the search task's
+            // filter → verify split for the critical-path analyzer).
+            let mut probes: Vec<(TrajectoryId, QueryContext, Vec<u32>)> = Vec::new();
+            {
+                let _fspan = dita_obs::span!(obs, names::SPAN_FILTER, pid = dst_pid);
+                for &sid in shipped.iter().skip(slot).step_by(nslots.max(1)) {
+                    let s = src_trie.get(sid);
+                    // Reuse the shipped trajectory's clustered-index
+                    // artifacts (MBR, cell compression) instead of
+                    // recompressing.
+                    let ctx = QueryContext::from_parts(
+                        s.points_vec(),
+                        *s.mbr(),
+                        CellList::from_cells(s.cells().to_vec(), src_trie.store().cell_side()),
+                    );
+                    let cands = dst_trie.candidates(ctx.points(), tau, func);
+                    candidates += cands.len();
+                    probes.push((s.id(), ctx, cands));
+                }
+            }
+            let _vspan = dita_obs::span!(obs, names::SPAN_VERIFY, pid = dst_pid);
+            for (s_id, ctx, cands) in probes {
                 for c in cands {
                     let d = dst_trie.get(c);
                     if let Some(dist) = verify_pair_soa(d.into(), &ctx, tau, func, &mut scratch) {
                         if e.forward {
-                            pairs.push((s.id(), d.id(), dist));
+                            pairs.push((s_id, d.id(), dist));
                         } else {
-                            pairs.push((d.id(), s.id(), dist));
+                            pairs.push((d.id(), s_id, dist));
                         }
                     }
                 }
@@ -342,9 +369,27 @@ fn join_base(
         (candidates, pairs)
     });
 
+    // Close the planning loop: per destination node, pair the compute the
+    // plan predicted (under the chosen orientation) with what the cluster
+    // measured. Task outputs and `job.task_costs` are both in submission
+    // order, and every join task carries its destination node as the
+    // partition attribution.
+    let mut feedback = CostFeedback::new();
+    for e in &edges {
+        let (node, comp) = if e.forward {
+            (nt + e.q_pid, e.comp_t2q)
+        } else {
+            (e.t_pid, e.comp_q2t)
+        };
+        let prior = feedback.node(node).map_or(0.0, |o| o.predicted_comp);
+        feedback.set_predicted(node, prior + comp);
+    }
     let mut candidates = 0usize;
     let mut results: Vec<(TrajectoryId, TrajectoryId, f64)> = Vec::new();
-    for (c, pairs) in outputs {
+    for ((c, pairs), cost) in outputs.into_iter().zip(&job.task_costs) {
+        if let Some(node) = cost.partition {
+            feedback.observe(node, c as f64, cost.compute_sec, cost.bytes);
+        }
         candidates += c;
         results.extend(pairs);
     }
@@ -384,6 +429,7 @@ fn join_base(
         plan_secs,
         plan_cpu_secs,
         edges_weighed,
+        feedback,
         job,
     };
     (results, stats)
@@ -450,6 +496,11 @@ fn build_edges(
     let weighed = pairs.len();
 
     // --- Edge weighting (parallel across pairs) ---
+    let nt = t_sys.num_partitions();
+    // In a self-join, T-partition p and Q-partition p are the same physical
+    // data under two node ids; observed-cost factors must pool both ids or
+    // orientation sidesteps an inflated destination via its mirror.
+    let self_join = std::ptr::eq(t_sys, q_sys);
     let weigh = |&(t_pid, q_pid): &(usize, usize), scratch: &mut ProbeScratch| -> Option<Edge> {
         let tp = &t_sys.partitioning().partitions[t_pid];
         let qp = &q_sys.partitioning().partitions[q_pid];
@@ -479,12 +530,25 @@ fn build_edges(
         }
         let trans_t2q = shipped_bytes(t_sys, t_pid, &ship_t);
         let trans_q2t = shipped_bytes(q_sys, q_pid, &ship_q);
-        let comp_t2q = estimate_comp(
+        let mut comp_t2q = estimate_comp(
             t_sys, t_pid, &ship_t, q_sys, q_pid, tau, func, opts, scratch,
         );
-        let comp_q2t = estimate_comp(
+        let mut comp_q2t = estimate_comp(
             q_sys, q_pid, &ship_q, t_sys, t_pid, tau, func, opts, scratch,
         );
+        // Observed-cost correction: scale each direction's sampled
+        // estimate by its *destination* node's measured ratio (T→Q
+        // computes on Q_j = node nt + q_pid, Q→T on T_i = node t_pid).
+        // Self-joins pool each partition's two node ids.
+        if let Some(fb) = &opts.observed_costs {
+            if self_join {
+                comp_t2q *= fb.comp_factor_pooled(&[q_pid, nt + q_pid], opts.delta_sec);
+                comp_q2t *= fb.comp_factor_pooled(&[t_pid, nt + t_pid], opts.delta_sec);
+            } else {
+                comp_t2q *= fb.comp_factor(nt + q_pid, opts.delta_sec);
+                comp_q2t *= fb.comp_factor(t_pid, opts.delta_sec);
+            }
+        }
         Some(Edge {
             t_pid,
             q_pid,
@@ -920,6 +984,45 @@ mod tests {
                 assert!(*idx.last().unwrap() >= len - len.div_ceil(sample.min(len)));
             }
         }
+    }
+
+    #[test]
+    fn join_records_cost_feedback() {
+        let t = fig1_system(2);
+        let q = fig1_system(2);
+        let (_, stats) = join(&t, &q, 3.0, &DistanceFunction::Dtw, &JoinOptions::default());
+        assert!(!stats.feedback.is_empty());
+        // Every task attributes its candidates to a destination node, so
+        // the per-node observations add back up to the job total.
+        let pairs: f64 = stats.feedback.iter().map(|(_, o)| o.observed_pairs).sum();
+        assert_eq!(pairs as usize, stats.candidates);
+        // Predictions were recorded for the nodes that received work.
+        assert!(stats
+            .feedback
+            .iter()
+            .any(|(_, o)| o.predicted_comp > 0.0 && o.tasks > 0));
+    }
+
+    #[test]
+    fn observed_costs_change_the_plan_not_the_results() {
+        let t = fig1_system(3);
+        let q = fig1_system(3);
+        let (r_base, s_base) = join(&t, &q, 3.0, &DistanceFunction::Dtw, &JoinOptions::default());
+        // A store claiming every node massively underpredicted: all comps
+        // scale by the clamp maximum, so the predicted bottleneck must
+        // rise — while the result set stays bit-identical.
+        let mut fb = CostFeedback::new();
+        for node in 0..t.num_partitions() + q.num_partitions() {
+            fb.set_predicted(node, 1.0);
+            fb.observe(node, 1e9, 0.0, 0);
+        }
+        let opts = JoinOptions {
+            observed_costs: Some(fb),
+            ..JoinOptions::default()
+        };
+        let (r_fb, s_fb) = join(&t, &q, 3.0, &DistanceFunction::Dtw, &opts);
+        assert_eq!(r_base, r_fb);
+        assert!(s_fb.predicted_tc_global > s_base.predicted_tc_global);
     }
 
     #[test]

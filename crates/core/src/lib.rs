@@ -16,6 +16,9 @@
 //!   rayon-parallel within each worker task.
 //! * [`knn`] — k-nearest-neighbor search and join (the paper's §8 future
 //!   work), by exact radius expansion over the threshold machinery.
+//! * [`feedback`] — observed-cost feedback: a finished join records each
+//!   destination node's predicted vs. observed costs; the next plan
+//!   consumes them via [`JoinOptions::observed_costs`].
 //! * [`ingest`] — the online write path: inserts/deletes land in
 //!   per-partition deltas (`dita-ingest`), queries overlay base + deltas
 //!   with tombstone suppression, and compaction folds deltas back into
@@ -23,6 +26,7 @@
 
 #![warn(missing_docs)]
 
+pub mod feedback;
 pub mod ingest;
 pub mod join;
 pub mod knn;
@@ -31,6 +35,7 @@ pub mod system;
 pub mod verify;
 
 pub use dita_ingest::{CompactionPolicy, IngestStats};
+pub use feedback::{CostFeedback, NodeObservation};
 pub use join::{join, BalanceStrategy, JoinOptions, JoinStats};
 pub use knn::{knn_join, knn_search, KnnStats};
 pub use search::{query_broadcast_bytes, search, search_with_options, SearchOptions, SearchStats};

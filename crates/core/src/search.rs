@@ -119,6 +119,9 @@ pub fn search_with_options(
         .map(|(worker, pids)| TaskSpec {
             worker,
             incoming_bytes: q_bytes,
+            // A search task scans several partitions; per-partition
+            // attribution happens on its filter/verify child spans instead.
+            partition: None,
             payload: pids,
         })
         .collect();

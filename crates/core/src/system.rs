@@ -98,6 +98,7 @@ impl DitaSystem {
                 TaskSpec {
                     worker: placement[p.id],
                     incoming_bytes: members.iter().map(|t| t.size_bytes() as u64).sum(),
+                    partition: Some(p.id),
                     payload: (p.id, members),
                 }
             })
@@ -301,7 +302,10 @@ impl DitaSystem {
 }
 
 /// Borrowing snapshot used by [`DitaSystem::save_index`].
+// The fields are read only by the serde derive; the offline stub's derive
+// expands to nothing, so rustc cannot see those reads.
 #[derive(serde::Serialize)]
+#[allow(dead_code)]
 struct IndexSnapshot<'a> {
     name: String,
     config: DitaConfig,

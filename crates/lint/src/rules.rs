@@ -1,4 +1,4 @@
-//! The four DITA-specific rules (see STATIC_ANALYSIS.md).
+//! The five DITA-specific rules (see STATIC_ANALYSIS.md).
 //!
 //! All matchers run on masked, test-stripped source (see
 //! [`crate::mask`]), so tokens inside comments, literals and
@@ -17,6 +17,8 @@ pub const RULE_NAN_ORDERING: &str = "nan-ordering";
 pub const RULE_OBS_NAMES: &str = "obs-names";
 /// L4: helper-pool parallelism must charge the cost model.
 pub const RULE_UNPRICED_PARALLELISM: &str = "unpriced-parallelism";
+/// L5: span/task transfer attribution must be priced by the network model.
+pub const RULE_UNPRICED_TRANSFER: &str = "unpriced-transfer";
 /// An allow comment that is unparsable or missing its reason.
 pub const RULE_MALFORMED_ALLOW: &str = "malformed-allow";
 
@@ -66,6 +68,17 @@ const POOL_TOKENS: &[&str] = &[
 ];
 const CHARGE_TOKENS: &[&str] = &["charge_compute(", "thread_cpu_time("];
 
+/// The crate owning the simulated network: a fn here that attaches
+/// shipment facts to spans or task costs feeds the critical-path
+/// analyzer and the dynamic scheduler, so the numbers must come from
+/// the network model, not ad-hoc arithmetic.
+const TRANSFER_MODELED_PREFIX: &str = "crates/cluster/src";
+
+/// APIs that attribute transfer facts to a span or a scheduled task.
+const TRANSFER_ATTR_TOKENS: &[&str] = &[".set_bytes(", ".set_net_sec(", ".annotate("];
+/// The network model's pricing call.
+const TRANSFER_PRICE_TOKEN: &str = "transfer_sec(";
+
 /// Obs APIs whose FIRST argument is a metric/span/funnel name.
 const OBS_FIRST_ARG: &[&str] = &[
     ".counter(",
@@ -101,6 +114,7 @@ pub fn lint_source(rel: &str, src: &str) -> FileLint {
     l2_nan_ordering(rel, src, &masked, &mut findings);
     l3_raw_names(rel, src, &masked, &mut findings);
     l4_unpriced_parallelism(rel, src, &masked, &mut findings);
+    l5_unpriced_transfer(rel, src, &masked, &mut findings);
     findings.sort_by_key(|f| (f.line, f.rule));
     findings.dedup_by(|a, b| a.line == b.line && a.rule == b.rule);
     // Allow comments are read from a literals-masked, test-stripped
@@ -314,6 +328,37 @@ fn l4_unpriced_parallelism(rel: &str, src: &str, masked: &str, out: &mut Vec<Fin
     }
 }
 
+// ---------------------------------------------------------------- L5
+
+fn l5_unpriced_transfer(rel: &str, src: &str, masked: &str, out: &mut Vec<Finding>) {
+    if !rel.starts_with(TRANSFER_MODELED_PREFIX) {
+        return;
+    }
+    for f in fn_spans(masked) {
+        let attributes = TRANSFER_ATTR_TOKENS
+            .iter()
+            .any(|t| !find_all(masked, t, f.start, f.end).is_empty());
+        if !attributes {
+            continue;
+        }
+        let priced = !find_all(masked, TRANSFER_PRICE_TOKEN, f.start, f.end).is_empty();
+        if !priced {
+            out.push(Finding {
+                rule: RULE_UNPRICED_TRANSFER,
+                file: rel.to_string(),
+                line: line_of(src, f.start),
+                message: format!(
+                    "fn `{}` attaches shipment bytes/seconds to spans or task \
+                     costs without pricing them via `transfer_sec` — transfer \
+                     edges would reach the critical-path analyzer and the \
+                     scheduler unpriced",
+                    f.name
+                ),
+            });
+        }
+    }
+}
+
 // ---------------------------------------------------- allow comments
 
 /// Parses `// lint: allow(RULE, reason = "...")` comments. A
@@ -347,6 +392,7 @@ fn apply_allows(rel: &str, src: &str, findings: Vec<Finding>) -> FileLint {
             RULE_NAN_ORDERING,
             RULE_OBS_NAMES,
             RULE_UNPRICED_PARALLELISM,
+            RULE_UNPRICED_TRANSFER,
         ]
         .contains(&rule.as_str());
         let has_reason = rest[rule_end..].contains("reason");
@@ -432,6 +478,43 @@ fn f(c: &Cluster) {
             .findings
             .iter()
             .any(|f| f.rule == RULE_WORKER_PANIC && f.line == 3));
+    }
+
+    #[test]
+    fn unpriced_transfer_fires_only_in_cluster() {
+        let src = "\
+fn attribute(span: &mut SpanGuard, bytes: u64) {
+    span.set_bytes(bytes);
+    span.set_net_sec(bytes as f64 / 1e8);
+}
+";
+        let r = lint_source("crates/cluster/src/x.rs", src);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == RULE_UNPRICED_TRANSFER && f.line == 1),
+            "hand-rolled pricing must be flagged: {:?}",
+            r.findings
+        );
+        // Same source outside the cluster crate: out of scope.
+        assert!(lint_source("crates/obs/src/x.rs", src).findings.is_empty());
+    }
+
+    #[test]
+    fn transfer_priced_by_the_network_model_is_clean() {
+        let src = "\
+fn attribute(span: &mut SpanGuard, net: &NetworkModel, bytes: u64) {
+    let net_sec = net.transfer_sec(bytes);
+    span.set_bytes(bytes);
+    span.set_net_sec(net_sec);
+}
+";
+        let r = lint_source("crates/cluster/src/x.rs", src);
+        assert!(
+            !r.findings.iter().any(|f| f.rule == RULE_UNPRICED_TRANSFER),
+            "{:?}",
+            r.findings
+        );
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! Serde schema for the smoke-benchmark JSON artifacts
-//! (`results/BENCH_PR1.json` and successors).
+//! JSON schema of the smoke-benchmark artifacts
+//! (`results/BENCH_PR1.json` and successors) and of the cross-PR
+//! performance trajectory (`results/TRAJECTORY.json`).
 //!
 //! `bench_smoke` used to hand-concatenate this JSON; the schema now lives
 //! here so the artifact is produced by a serializer, consumed by a
@@ -7,15 +8,18 @@
 //! optional so historical artifacts keep deserializing.
 
 use crate::export::Report;
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Obj, Result as JsonResult, ToJson, Value};
 use std::io;
 use std::path::Path;
 
 /// Schema tag stamped into new smoke-benchmark artifacts.
 pub const BENCH_SCHEMA: &str = "dita-bench-smoke/v1";
 
+/// Schema tag of the aggregated cross-PR trajectory artifact.
+pub const TRAJECTORY_SCHEMA: &str = "dita-bench-trajectory/v1";
+
 /// One AoS-vs-SoA kernel measurement.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct KernelMeasurement {
     /// Kernel name, e.g. `dtw/dissimilar/early-abandon`.
     pub name: String,
@@ -27,8 +31,30 @@ pub struct KernelMeasurement {
     pub speedup: f64,
 }
 
+impl ToJson for KernelMeasurement {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("name", &self.name)
+            .field("aos_ns", &self.aos_ns)
+            .field("soa_ns", &self.soa_ns)
+            .field("speedup", &self.speedup)
+            .build()
+    }
+}
+
+impl FromJson for KernelMeasurement {
+    fn from_json(v: &Value) -> JsonResult<KernelMeasurement> {
+        Ok(KernelMeasurement {
+            name: v.or_default("name")?,
+            aos_ns: v.or_default("aos_ns")?,
+            soa_ns: v.or_default("soa_ns")?,
+            speedup: v.or_default("speedup")?,
+        })
+    }
+}
+
 /// Median end-to-end search latency, milliseconds.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SearchP50Ms {
     /// Serial verification.
     pub serial: f64,
@@ -36,8 +62,26 @@ pub struct SearchP50Ms {
     pub verify_threads_4: f64,
 }
 
+impl ToJson for SearchP50Ms {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("serial", &self.serial)
+            .field("verify_threads_4", &self.verify_threads_4)
+            .build()
+    }
+}
+
+impl FromJson for SearchP50Ms {
+    fn from_json(v: &Value) -> JsonResult<SearchP50Ms> {
+        Ok(SearchP50Ms {
+            serial: v.or_default("serial")?,
+            verify_threads_4: v.or_default("verify_threads_4")?,
+        })
+    }
+}
+
 /// One point of the verification thread-scaling sweep.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ThreadScalingPoint {
     /// Rayon verify threads.
     pub threads: usize,
@@ -45,8 +89,26 @@ pub struct ThreadScalingPoint {
     pub pairs_per_sec: f64,
 }
 
+impl ToJson for ThreadScalingPoint {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("threads", &self.threads)
+            .field("pairs_per_sec", &self.pairs_per_sec)
+            .build()
+    }
+}
+
+impl FromJson for ThreadScalingPoint {
+    fn from_json(v: &Value) -> JsonResult<ThreadScalingPoint> {
+        Ok(ThreadScalingPoint {
+            threads: v.or_default("threads")?,
+            pairs_per_sec: v.or_default("pairs_per_sec")?,
+        })
+    }
+}
+
 /// One point of the index-build thread-scaling sweep.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BuildScalingPoint {
     /// `TrieConfig::build_threads` used for the build.
     pub threads: usize,
@@ -54,8 +116,26 @@ pub struct BuildScalingPoint {
     pub build_secs: f64,
 }
 
+impl ToJson for BuildScalingPoint {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("threads", &self.threads)
+            .field("build_secs", &self.build_secs)
+            .build()
+    }
+}
+
+impl FromJson for BuildScalingPoint {
+    fn from_json(v: &Value) -> JsonResult<BuildScalingPoint> {
+        Ok(BuildScalingPoint {
+            threads: v.or_default("threads")?,
+            build_secs: v.or_default("build_secs")?,
+        })
+    }
+}
+
 /// Cold-path (index-build and join-plan) timing section.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct ColdPathScaling {
     /// Trajectories in the built table.
     pub trajectories: usize,
@@ -70,8 +150,32 @@ pub struct ColdPathScaling {
     pub edges_weighed: usize,
 }
 
+impl ToJson for ColdPathScaling {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("trajectories", &self.trajectories)
+            .field("build", &self.build)
+            .field("build_speedup_4t", &self.build_speedup_4t)
+            .field("plan", &self.plan)
+            .field("edges_weighed", &self.edges_weighed)
+            .build()
+    }
+}
+
+impl FromJson for ColdPathScaling {
+    fn from_json(v: &Value) -> JsonResult<ColdPathScaling> {
+        Ok(ColdPathScaling {
+            trajectories: v.or_default("trajectories")?,
+            build: v.or_default("build")?,
+            build_speedup_4t: v.or_default("build_speedup_4t")?,
+            plan: v.or_default("plan")?,
+            edges_weighed: v.or_default("edges_weighed")?,
+        })
+    }
+}
+
 /// One point of the incremental-vs-rebuild ingestion sweep.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IngestPoint {
     /// Delta size as a fraction of the base table (`delta_rows / base_rows`).
     pub delta_ratio: f64,
@@ -85,8 +189,32 @@ pub struct IngestPoint {
     pub speedup: f64,
 }
 
+impl ToJson for IngestPoint {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("delta_ratio", &self.delta_ratio)
+            .field("delta_rows", &self.delta_rows)
+            .field("incremental_secs", &self.incremental_secs)
+            .field("rebuild_secs", &self.rebuild_secs)
+            .field("speedup", &self.speedup)
+            .build()
+    }
+}
+
+impl FromJson for IngestPoint {
+    fn from_json(v: &Value) -> JsonResult<IngestPoint> {
+        Ok(IngestPoint {
+            delta_ratio: v.or_default("delta_ratio")?,
+            delta_rows: v.or_default("delta_rows")?,
+            incremental_secs: v.or_default("incremental_secs")?,
+            rebuild_secs: v.or_default("rebuild_secs")?,
+            speedup: v.or_default("speedup")?,
+        })
+    }
+}
+
 /// Incremental-ingestion vs from-scratch-rebuild timing section.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IngestScaling {
     /// Trajectories in the pre-built base table.
     pub base_rows: usize,
@@ -97,8 +225,28 @@ pub struct IngestScaling {
     pub crossover_delta_ratio: f64,
 }
 
+impl ToJson for IngestScaling {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("base_rows", &self.base_rows)
+            .field("points", &self.points)
+            .field("crossover_delta_ratio", &self.crossover_delta_ratio)
+            .build()
+    }
+}
+
+impl FromJson for IngestScaling {
+    fn from_json(v: &Value) -> JsonResult<IngestScaling> {
+        Ok(IngestScaling {
+            base_rows: v.or_default("base_rows")?,
+            points: v.or_default("points")?,
+            crossover_delta_ratio: v.or_default("crossover_delta_ratio")?,
+        })
+    }
+}
+
 /// One index representation's footprint over the same stored table.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemoryRepr {
     /// Representation name: `flat` (arena + CSR) or `pointer` (boxed nodes).
     pub repr: String,
@@ -111,9 +259,34 @@ pub struct MemoryRepr {
     pub total_bytes: usize,
 }
 
+impl ToJson for MemoryRepr {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("repr", &self.repr)
+            .field("index_bytes", &self.index_bytes)
+            .field(
+                "index_bytes_per_trajectory",
+                &self.index_bytes_per_trajectory,
+            )
+            .field("total_bytes", &self.total_bytes)
+            .build()
+    }
+}
+
+impl FromJson for MemoryRepr {
+    fn from_json(v: &Value) -> JsonResult<MemoryRepr> {
+        Ok(MemoryRepr {
+            repr: v.or_default("repr")?,
+            index_bytes: v.or_default("index_bytes")?,
+            index_bytes_per_trajectory: v.or_default("index_bytes_per_trajectory")?,
+            total_bytes: v.or_default("total_bytes")?,
+        })
+    }
+}
+
 /// Memory-density section: the flat succinct layout vs the pointer
 /// reference layout over an identical table and configuration.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct MemoryDensity {
     /// Trajectories in the measured table.
     pub trajectories: usize,
@@ -129,12 +302,115 @@ pub struct MemoryDensity {
     pub pointer_probe_ns: f64,
 }
 
+impl ToJson for MemoryDensity {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("trajectories", &self.trajectories)
+            .field("points", &self.points)
+            .field("reprs", &self.reprs)
+            .field("index_reduction", &self.index_reduction)
+            .field("flat_probe_ns", &self.flat_probe_ns)
+            .field("pointer_probe_ns", &self.pointer_probe_ns)
+            .build()
+    }
+}
+
+impl FromJson for MemoryDensity {
+    fn from_json(v: &Value) -> JsonResult<MemoryDensity> {
+        Ok(MemoryDensity {
+            trajectories: v.or_default("trajectories")?,
+            points: v.or_default("points")?,
+            reprs: v.or_default("reprs")?,
+            index_reduction: v.or_default("index_reduction")?,
+            flat_probe_ns: v.or_default("flat_probe_ns")?,
+            pointer_probe_ns: v.or_default("pointer_probe_ns")?,
+        })
+    }
+}
+
+/// One arm of the observed-vs-estimated planning A/B.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanArm {
+    /// Simulated job makespan of the join under this plan, seconds.
+    pub makespan_sec: f64,
+    /// The planner's own predicted bottleneck cost.
+    pub predicted_bottleneck: f64,
+    /// Bytes shipped by the chosen orientation.
+    pub shipped_bytes: u64,
+    /// Join result pairs (must match across arms).
+    pub results: usize,
+}
+
+impl ToJson for PlanArm {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("makespan_sec", &self.makespan_sec)
+            .field("predicted_bottleneck", &self.predicted_bottleneck)
+            .field("shipped_bytes", &self.shipped_bytes)
+            .field("results", &self.results)
+            .build()
+    }
+}
+
+impl FromJson for PlanArm {
+    fn from_json(v: &Value) -> JsonResult<PlanArm> {
+        Ok(PlanArm {
+            makespan_sec: v.or_default("makespan_sec")?,
+            predicted_bottleneck: v.or_default("predicted_bottleneck")?,
+            shipped_bytes: v.or_default("shipped_bytes")?,
+            results: v.or_default("results")?,
+        })
+    }
+}
+
+/// Observed-vs-estimated join planning A/B on a skewed workload: the
+/// first join runs on sampling-estimated costs, its per-partition
+/// observed costs feed a `CostFeedback` store, and the second join
+/// re-plans with them.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PlanningAb {
+    /// Trajectories in the joined table.
+    pub trajectories: usize,
+    /// The partition whose trajectories are skewed long (where sampling
+    /// underestimates per-candidate verify cost).
+    pub skewed_partition: usize,
+    /// The estimated-cost (cold) arm.
+    pub estimated: PlanArm,
+    /// The observed-cost (fed-back) arm.
+    pub observed: PlanArm,
+    /// `estimated.makespan_sec / observed.makespan_sec` (≥ 1 means
+    /// feedback won).
+    pub speedup: f64,
+}
+
+impl ToJson for PlanningAb {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("trajectories", &self.trajectories)
+            .field("skewed_partition", &self.skewed_partition)
+            .field("estimated", &self.estimated)
+            .field("observed", &self.observed)
+            .field("speedup", &self.speedup)
+            .build()
+    }
+}
+
+impl FromJson for PlanningAb {
+    fn from_json(v: &Value) -> JsonResult<PlanningAb> {
+        Ok(PlanningAb {
+            trajectories: v.or_default("trajectories")?,
+            skewed_partition: v.or_default("skewed_partition")?,
+            estimated: v.or_default("estimated")?,
+            observed: v.or_default("observed")?,
+            speedup: v.or_default("speedup")?,
+        })
+    }
+}
+
 /// The complete `results/BENCH_*.json` artifact shape.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct BenchSmokeReport {
     /// Schema tag ([`BENCH_SCHEMA`]); absent in pre-schema artifacts.
-    #[serde(default)]
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub schema: Option<String>,
     /// AoS-vs-SoA kernel measurements.
     pub kernels: Vec<KernelMeasurement>,
@@ -150,32 +426,69 @@ pub struct BenchSmokeReport {
     pub note: String,
     /// Optional observability profile of an instrumented search pass
     /// (absent in pre-schema artifacts and when tracing is off).
-    #[serde(default)]
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub search_profile: Option<Report>,
     /// Optional cold-path scaling section (absent in pre-PR3 artifacts).
-    #[serde(default)]
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub cold_path: Option<ColdPathScaling>,
     /// Optional incremental-ingestion section (absent in pre-PR4 artifacts).
-    #[serde(default)]
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub ingest: Option<IngestScaling>,
     /// Optional memory-density section (absent in pre-PR6 artifacts).
-    #[serde(default)]
-    #[serde(skip_serializing_if = "Option::is_none")]
     pub memory: Option<MemoryDensity>,
+    /// Optional observed-vs-estimated planning A/B (absent in pre-PR7
+    /// artifacts).
+    pub planning_ab: Option<PlanningAb>,
+}
+
+impl ToJson for BenchSmokeReport {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field_if(self.schema.is_some(), "schema", &self.schema)
+            .field("kernels", &self.kernels)
+            .field("verified_pairs_per_sec", &self.verified_pairs_per_sec)
+            .field("search_p50_ms", &self.search_p50_ms)
+            .field("thread_scaling", &self.thread_scaling)
+            .field("host_cores", &self.host_cores)
+            .field("note", &self.note)
+            .field_if(
+                self.search_profile.is_some(),
+                "search_profile",
+                &self.search_profile,
+            )
+            .field_if(self.cold_path.is_some(), "cold_path", &self.cold_path)
+            .field_if(self.ingest.is_some(), "ingest", &self.ingest)
+            .field_if(self.memory.is_some(), "memory", &self.memory)
+            .field_if(self.planning_ab.is_some(), "planning_ab", &self.planning_ab)
+            .build()
+    }
+}
+
+impl FromJson for BenchSmokeReport {
+    fn from_json(v: &Value) -> JsonResult<BenchSmokeReport> {
+        Ok(BenchSmokeReport {
+            schema: v.opt("schema")?,
+            kernels: v.or_default("kernels")?,
+            verified_pairs_per_sec: v.or_default("verified_pairs_per_sec")?,
+            search_p50_ms: v.or_default("search_p50_ms")?,
+            thread_scaling: v.or_default("thread_scaling")?,
+            host_cores: v.or_default("host_cores")?,
+            note: v.or_default("note")?,
+            search_profile: v.opt("search_profile")?,
+            cold_path: v.opt("cold_path")?,
+            ingest: v.opt("ingest")?,
+            memory: v.opt("memory")?,
+            planning_ab: v.opt("planning_ab")?,
+        })
+    }
 }
 
 impl BenchSmokeReport {
     /// Pretty-printed JSON.
-    pub fn to_json_pretty(&self) -> serde_json::Result<String> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json_pretty(&self) -> crate::json::Result<String> {
+        Ok(self.to_json().pretty())
     }
 
     /// Parses an artifact from JSON.
-    pub fn from_json(s: &str) -> serde_json::Result<BenchSmokeReport> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> crate::json::Result<BenchSmokeReport> {
+        FromJson::from_json(&Value::parse(s)?)
     }
 
     /// Writes pretty JSON (with trailing newline) to `path`, creating
@@ -184,9 +497,113 @@ impl BenchSmokeReport {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let mut file = std::fs::File::create(path)?;
-        serde_json::to_writer_pretty(&mut file, self).map_err(io::Error::other)?;
-        io::Write::write_all(&mut file, b"\n")
+        let json = self.to_json().pretty();
+        std::fs::write(path, format!("{json}\n"))
+    }
+}
+
+/// One PR's worth of headline numbers in the cross-PR trajectory.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrajectoryPoint {
+    /// Source artifact file name, e.g. `BENCH_PR3.json`.
+    pub artifact: String,
+    /// Mixed-workload verification throughput at that PR.
+    pub verified_pairs_per_sec: f64,
+    /// Median serial search latency, ms.
+    pub search_p50_ms_serial: f64,
+    /// Best AoS-vs-SoA kernel speedup in the artifact.
+    pub best_kernel_speedup: f64,
+    /// Cores of the producing host (points are only comparable within a
+    /// host class).
+    pub host_cores: usize,
+}
+
+impl ToJson for TrajectoryPoint {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("artifact", &self.artifact)
+            .field("verified_pairs_per_sec", &self.verified_pairs_per_sec)
+            .field("search_p50_ms_serial", &self.search_p50_ms_serial)
+            .field("best_kernel_speedup", &self.best_kernel_speedup)
+            .field("host_cores", &self.host_cores)
+            .build()
+    }
+}
+
+impl FromJson for TrajectoryPoint {
+    fn from_json(v: &Value) -> JsonResult<TrajectoryPoint> {
+        Ok(TrajectoryPoint {
+            artifact: v.or_default("artifact")?,
+            verified_pairs_per_sec: v.or_default("verified_pairs_per_sec")?,
+            search_p50_ms_serial: v.or_default("search_p50_ms_serial")?,
+            best_kernel_speedup: v.or_default("best_kernel_speedup")?,
+            host_cores: v.or_default("host_cores")?,
+        })
+    }
+}
+
+/// The aggregated `results/TRAJECTORY.json` artifact: one point per
+/// `BENCH_PR*.json`, in PR order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TrajectoryReport {
+    /// Schema tag ([`TRAJECTORY_SCHEMA`]).
+    pub schema: String,
+    /// One point per aggregated artifact.
+    pub points: Vec<TrajectoryPoint>,
+}
+
+impl ToJson for TrajectoryReport {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("schema", &self.schema)
+            .field("points", &self.points)
+            .build()
+    }
+}
+
+impl FromJson for TrajectoryReport {
+    fn from_json(v: &Value) -> JsonResult<TrajectoryReport> {
+        Ok(TrajectoryReport {
+            schema: v.or_default("schema")?,
+            points: v.or_default("points")?,
+        })
+    }
+}
+
+impl TrajectoryReport {
+    /// Extracts one trajectory point from a parsed smoke artifact.
+    pub fn point_from(artifact: &str, report: &BenchSmokeReport) -> TrajectoryPoint {
+        TrajectoryPoint {
+            artifact: artifact.to_string(),
+            verified_pairs_per_sec: report.verified_pairs_per_sec,
+            search_p50_ms_serial: report.search_p50_ms.serial,
+            best_kernel_speedup: report
+                .kernels
+                .iter()
+                .map(|k| k.speedup)
+                .fold(0.0f64, f64::max),
+            host_cores: report.host_cores,
+        }
+    }
+
+    /// Pretty-printed JSON.
+    pub fn to_json_pretty(&self) -> crate::json::Result<String> {
+        Ok(self.to_json().pretty())
+    }
+
+    /// Parses an artifact from JSON.
+    pub fn from_json(s: &str) -> crate::json::Result<TrajectoryReport> {
+        FromJson::from_json(&Value::parse(s)?)
+    }
+
+    /// Writes pretty JSON (with trailing newline) to `path`, creating
+    /// parent directories as needed.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let json = self.to_json().pretty();
+        std::fs::write(path, format!("{json}\n"))
     }
 }
 
@@ -218,6 +635,23 @@ mod tests {
             cold_path: None,
             ingest: None,
             memory: None,
+            planning_ab: Some(PlanningAb {
+                trajectories: 600,
+                skewed_partition: 3,
+                estimated: PlanArm {
+                    makespan_sec: 0.021,
+                    predicted_bottleneck: 910.0,
+                    shipped_bytes: 20000,
+                    results: 44,
+                },
+                observed: PlanArm {
+                    makespan_sec: 0.014,
+                    predicted_bottleneck: 1400.0,
+                    shipped_bytes: 21000,
+                    results: 44,
+                },
+                speedup: 1.5,
+            }),
         }
     }
 
@@ -245,9 +679,25 @@ mod tests {
         let report = BenchSmokeReport::from_json(old).unwrap();
         assert!(report.schema.is_none());
         assert!(report.search_profile.is_none());
+        assert!(report.planning_ab.is_none());
         assert_eq!(report.kernels[0].aos_ns, 30039.0);
         // And absent Options stay absent on re-serialization.
         let json = report.to_json_pretty().unwrap();
         assert!(!json.contains("search_profile"));
+        assert!(!json.contains("planning_ab"));
+    }
+
+    #[test]
+    fn trajectory_aggregates_headline_numbers() {
+        let smoke = sample();
+        let point = TrajectoryReport::point_from("BENCH_PR7.json", &smoke);
+        assert_eq!(point.artifact, "BENCH_PR7.json");
+        assert_eq!(point.best_kernel_speedup, 68.27);
+        let traj = TrajectoryReport {
+            schema: TRAJECTORY_SCHEMA.to_string(),
+            points: vec![point],
+        };
+        let back = TrajectoryReport::from_json(&traj.to_json_pretty().unwrap()).unwrap();
+        assert_eq!(traj, back);
     }
 }

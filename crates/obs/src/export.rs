@@ -2,40 +2,65 @@
 //! human-readable table.
 //!
 //! [`Report`] is the single exportable snapshot shape. Its JSON form is
-//! schema-versioned (see [`crate::SCHEMA`]) and stable under serde
-//! round-trips, so benchmark artifacts in `results/` can be diffed and
-//! re-read across PRs.
+//! schema-versioned (see [`crate::SCHEMA`]) and stable under
+//! [`crate::json`] round-trips, so benchmark artifacts in `results/` can
+//! be diffed and re-read across PRs.
 
+use crate::critpath::CritPathReport;
 use crate::funnel::Funnel;
+use crate::json::{FromJson, Obj, Result as JsonResult, ToJson, Value};
 use crate::registry::{MetricKind, MetricSample};
 use crate::trace::{ProfileNode, TimelineRow};
-use serde::{Deserialize, Serialize};
 use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 
 /// A complete observability snapshot: metrics, profile forest, timeline
-/// and any explicitly attached funnels.
+/// and any explicitly attached funnels and critical-path analyses.
 ///
 /// Every field defaults, so reports written by older schema revisions
 /// still deserialize.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct Report {
     /// Schema tag, e.g. `dita-obs/v1`.
-    #[serde(default)]
     pub schema: String,
     /// Metric snapshots, sorted by `(name, labels)`.
-    #[serde(default)]
     pub metrics: Vec<MetricSample>,
     /// Aggregated span forest.
-    #[serde(default)]
     pub profile: Vec<ProfileNode>,
     /// Flat chronological span list.
-    #[serde(default)]
     pub timeline: Vec<TimelineRow>,
     /// Pruning funnels attached via [`Report::attach_funnel`].
-    #[serde(default)]
     pub funnels: Vec<Funnel>,
+    /// Critical-path analyses attached via [`Report::attach_critpath`]
+    /// (one per analyzed operation, schema `dita-obs/critpath/v1`).
+    pub critpath: Vec<CritPathReport>,
+}
+
+impl ToJson for Report {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("schema", &self.schema)
+            .field("metrics", &self.metrics)
+            .field("profile", &self.profile)
+            .field("timeline", &self.timeline)
+            .field("funnels", &self.funnels)
+            .field_if(!self.critpath.is_empty(), "critpath", &self.critpath)
+            .build()
+    }
+}
+
+impl FromJson for Report {
+    fn from_json(v: &Value) -> JsonResult<Report> {
+        Ok(Report {
+            schema: v.or_default("schema")?,
+            metrics: v.or_default("metrics")?,
+            profile: v.or_default("profile")?,
+            timeline: v.or_default("timeline")?,
+            funnels: v.or_default("funnels")?,
+            critpath: v.or_default("critpath")?,
+        })
+    }
 }
 
 impl Report {
@@ -44,14 +69,20 @@ impl Report {
         self.funnels.push(funnel);
     }
 
+    /// Runs the critical-path analysis over the recorded timeline and
+    /// attaches the per-operation results (replacing any prior analyses).
+    pub fn attach_critpath(&mut self) {
+        self.critpath = crate::critpath::analyze_report(self);
+    }
+
     /// Pretty-printed JSON.
-    pub fn to_json_pretty(&self) -> serde_json::Result<String> {
-        serde_json::to_string_pretty(self)
+    pub fn to_json_pretty(&self) -> crate::json::Result<String> {
+        Ok(self.to_json().pretty())
     }
 
     /// Parses a report from JSON.
-    pub fn from_json(s: &str) -> serde_json::Result<Report> {
-        serde_json::from_str(s)
+    pub fn from_json(s: &str) -> crate::json::Result<Report> {
+        FromJson::from_json(&Value::parse(s)?)
     }
 
     /// Writes pretty JSON (with trailing newline) to `path`, creating
@@ -60,9 +91,8 @@ impl Report {
         if let Some(parent) = path.parent() {
             std::fs::create_dir_all(parent)?;
         }
-        let mut file = std::fs::File::create(path)?;
-        serde_json::to_writer_pretty(&mut file, self).map_err(io::Error::other)?;
-        io::Write::write_all(&mut file, b"\n")
+        let json = self.to_json().pretty();
+        std::fs::write(path, format!("{json}\n"))
     }
 
     /// Prometheus text exposition format (metrics only — spans and
@@ -187,6 +217,53 @@ impl Report {
                 );
             }
         }
+        for cp in &self.critpath {
+            let title = if cp.label.is_empty() {
+                cp.op.clone()
+            } else {
+                format!("{} [{}]", cp.op, cp.label)
+            };
+            let _ = writeln!(
+                out,
+                "== critical path: {title} (makespan {:.3} ms) ==",
+                cp.makespan_sec * 1e3
+            );
+            let _ = writeln!(out, "{:<16} {:>12} {:>8}", "class", "seconds", "pct");
+            for share in &cp.attribution {
+                let _ = writeln!(
+                    out,
+                    "{:<16} {:>12.6} {:>7.2}%",
+                    share.class.as_str(),
+                    share.seconds,
+                    share.pct
+                );
+            }
+            if !cp.path.is_empty() {
+                let _ = writeln!(out, "path:");
+                for step in &cp.path {
+                    let worker = match step.worker {
+                        Some(w) => format!(" w{w}"),
+                        None => String::new(),
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  {:<14} {:<16}{worker:<4} {:>12.3} ms",
+                        step.class.as_str(),
+                        step.name,
+                        step.dur_sec * 1e3
+                    );
+                }
+            }
+            for lane in &cp.workers {
+                let _ = writeln!(
+                    out,
+                    "worker {:<4} busy {:>10.3} ms  wait {:>10.3} ms",
+                    lane.worker,
+                    lane.busy_sec * 1e3,
+                    lane.wait_sec * 1e3
+                );
+            }
+        }
         out
     }
 }
@@ -288,5 +365,19 @@ mod tests {
         assert!(text.contains("  filter"));
         assert!(text.contains("== funnel: trie-filter =="));
         assert!(text.contains("node-length"));
+    }
+
+    #[test]
+    fn table_renders_critical_path_section() {
+        let mut report = sample_report();
+        report.attach_critpath();
+        assert!(!report.critpath.is_empty());
+        let text = report.render_table();
+        assert!(text.contains("== critical path: search"));
+        assert!(text.contains("straggler-wait"));
+        assert!(text.contains("path:"));
+        // Attached analyses survive the JSON round trip.
+        let back = Report::from_json(&report.to_json_pretty().unwrap()).unwrap();
+        assert_eq!(report, back);
     }
 }

@@ -6,10 +6,10 @@
 //! node budget cascade → leaf length filter → leaf OPAMD bound), which is
 //! exactly the per-stage "pruning power" breakdown of DITA §7.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{FromJson, Obj, Result as JsonResult, ToJson, Value};
 
 /// One stage of a pruning funnel.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FunnelStage {
     /// Stage name, e.g. `leaf-opamd`.
     pub name: String,
@@ -26,13 +26,51 @@ impl FunnelStage {
     }
 }
 
+impl ToJson for FunnelStage {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("name", &self.name)
+            .field("entered", &self.entered)
+            .field("pruned", &self.pruned)
+            .build()
+    }
+}
+
+impl FromJson for FunnelStage {
+    fn from_json(v: &Value) -> JsonResult<FunnelStage> {
+        Ok(FunnelStage {
+            name: v.or_default("name")?,
+            entered: v.or_default("entered")?,
+            pruned: v.or_default("pruned")?,
+        })
+    }
+}
+
 /// An ordered pruning funnel.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Funnel {
     /// Funnel name, e.g. `trie-filter`.
     pub name: String,
     /// Stages in pipeline order.
     pub stages: Vec<FunnelStage>,
+}
+
+impl ToJson for Funnel {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("name", &self.name)
+            .field("stages", &self.stages)
+            .build()
+    }
+}
+
+impl FromJson for Funnel {
+    fn from_json(v: &Value) -> JsonResult<Funnel> {
+        Ok(Funnel {
+            name: v.or_default("name")?,
+            stages: v.or_default("stages")?,
+        })
+    }
 }
 
 impl Funnel {

@@ -19,11 +19,19 @@
 //! * [`names`] — the central registry of metric/span/funnel name consts;
 //!   call sites must use these instead of inline string literals (the
 //!   `dita-lint` `obs-names` rule enforces it).
+//! * [`json`] — a small self-contained JSON value/parser/printer with
+//!   `ToJson`/`FromJson` traits; every schema in this crate serializes
+//!   through it.
 //! * [`export`] — exporters for the whole picture: human-readable table,
 //!   schema-versioned JSON (diffable against `results/BENCH_*.json`) and
 //!   Prometheus text format.
-//! * [`bench_report`] — the serde schema of the smoke-benchmark JSON
-//!   artifacts (`results/BENCH_PR1.json` and successors).
+//! * [`critpath`] — post-job critical-path analysis: assembles a
+//!   program-activity graph from spans, worker timelines and network
+//!   charges, extracts the critical path and attributes the makespan to
+//!   activity classes (`dita-obs/critpath/v1`).
+//! * [`bench_report`] — the JSON schema of the smoke-benchmark artifacts
+//!   (`results/BENCH_PR1.json` and successors) and the cross-PR
+//!   trajectory aggregate.
 //!
 //! The entry point is [`Obs`]: a cheap, clonable context that is either
 //! disabled (the default — every operation is a no-op costing one branch)
@@ -33,13 +41,16 @@
 #![warn(missing_docs)]
 
 pub mod bench_report;
+pub mod critpath;
 pub mod export;
 pub mod funnel;
+pub mod json;
 pub mod names;
 pub mod registry;
 pub mod time;
 pub mod trace;
 
+pub use critpath::{ActivityClass, ActivityTimeline, CritPathReport};
 pub use export::Report;
 pub use funnel::{Funnel, FunnelStage};
 pub use registry::{Counter, Gauge, Histogram, Registry};

@@ -34,6 +34,9 @@ pub const TASK_COMPUTE_SECONDS: &str = "dita_task_compute_seconds";
 pub const DYN_TASKS_TOTAL: &str = "dita_dyn_tasks_total";
 /// Bytes the dynamic schedule priced.
 pub const DYN_SCHEDULED_BYTES_TOTAL: &str = "dita_dyn_scheduled_bytes_total";
+/// Per-job barrier wait (makespan minus a worker's busy time), labeled by
+/// worker — the straggler gap the critical-path analyzer attributes.
+pub const WORKER_WAIT_SECONDS: &str = "dita_worker_wait_seconds";
 
 // ---------------------------------------------------------------------------
 // Funnel mirror metrics (labeled by funnel and stage).
@@ -152,6 +155,7 @@ pub const ALL_METRICS: &[&str] = &[
     TASK_COMPUTE_SECONDS,
     DYN_TASKS_TOTAL,
     DYN_SCHEDULED_BYTES_TOTAL,
+    WORKER_WAIT_SECONDS,
     FUNNEL_ENTERED_TOTAL,
     FUNNEL_PRUNED_TOTAL,
     SEARCH_QUERIES_TOTAL,

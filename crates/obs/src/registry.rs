@@ -11,7 +11,7 @@
 //! workspace: `snake_case`, unit-suffixed (`_total`, `_bytes`,
 //! `_seconds`), labels for per-worker/per-stage breakdowns.
 
-use serde::{Deserialize, Serialize};
+use crate::json::{Error as JsonError, FromJson, Obj, Result as JsonResult, ToJson, Value};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -19,7 +19,7 @@ use std::time::Duration;
 
 /// The kind of a metric, carried in snapshots so exporters can format
 /// each family correctly.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetricKind {
     /// Monotonically increasing count.
     Counter,
@@ -32,7 +32,7 @@ pub enum MetricKind {
 /// One cumulative histogram bucket in a snapshot. `le: None` is the
 /// `+Inf` bucket (kept out of the float so JSON stays valid — JSON has no
 /// infinity literal).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BucketSample {
     /// Inclusive upper bound of the bucket; `None` means `+Inf`.
     pub le: Option<f64>,
@@ -42,7 +42,7 @@ pub struct BucketSample {
 
 /// A point-in-time snapshot of one metric, as emitted by
 /// [`Registry::snapshot`].
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetricSample {
     /// Metric family name, e.g. `dita_tasks_total`.
     pub name: String,
@@ -56,6 +56,75 @@ pub struct MetricSample {
     pub count: u64,
     /// Cumulative buckets (histograms only, otherwise empty).
     pub buckets: Vec<BucketSample>,
+}
+
+impl ToJson for MetricKind {
+    fn to_json(&self) -> Value {
+        let s = match self {
+            MetricKind::Counter => "Counter",
+            MetricKind::Gauge => "Gauge",
+            MetricKind::Histogram => "Histogram",
+        };
+        Value::Str(s.to_string())
+    }
+}
+
+impl FromJson for MetricKind {
+    fn from_json(v: &Value) -> JsonResult<MetricKind> {
+        match v {
+            Value::Str(s) => match s.as_str() {
+                "Counter" => Ok(MetricKind::Counter),
+                "Gauge" => Ok(MetricKind::Gauge),
+                "Histogram" => Ok(MetricKind::Histogram),
+                other => Err(JsonError::msg(format!("unknown metric kind `{other}`"))),
+            },
+            _ => Err(JsonError::msg("expected a metric-kind string")),
+        }
+    }
+}
+
+impl ToJson for BucketSample {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("le", &self.le)
+            .field("count", &self.count)
+            .build()
+    }
+}
+
+impl FromJson for BucketSample {
+    fn from_json(v: &Value) -> JsonResult<BucketSample> {
+        Ok(BucketSample {
+            le: v.opt("le")?,
+            count: v.or_default("count")?,
+        })
+    }
+}
+
+impl ToJson for MetricSample {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("name", &self.name)
+            .field("labels", &self.labels)
+            .field("kind", &self.kind)
+            .field("value", &self.value)
+            .field("count", &self.count)
+            .field("buckets", &self.buckets)
+            .build()
+    }
+}
+
+impl FromJson for MetricSample {
+    fn from_json(v: &Value) -> JsonResult<MetricSample> {
+        Ok(MetricSample {
+            name: v.or_default("name")?,
+            labels: v.or_default("labels")?,
+            kind: v.req("kind")?,
+            value: v.or_default("value")?,
+            count: v.or_default("count")?,
+            buckets: v.or_default("buckets")?,
+        })
+    }
 }
 
 /// Handle to a monotonic counter. Detached handles (from a disabled

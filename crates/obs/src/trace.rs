@@ -16,8 +16,8 @@
 //! siblings with the same `(name, label)` merge (count and times sum), so
 //! 40 repeated queries collapse into one `search` row with `count: 40`.
 
+use crate::json::{FromJson, Obj, Result as JsonResult, ToJson, Value};
 use crate::time::thread_cpu_time;
-use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
@@ -39,6 +39,13 @@ struct SpanRecord {
     wall: Duration,
     cpu: Duration,
     done: bool,
+    /// Cluster worker this span ran on (inherited by descendants at
+    /// [`Tracer::timeline`] time when unset).
+    worker: Option<u32>,
+    /// Bytes shipped to start this span (task spans).
+    bytes: u64,
+    /// Modeled network seconds for that shipment.
+    net_sec: f64,
 }
 
 /// A handle identifying an open span, safe to send to another thread and
@@ -116,6 +123,9 @@ impl Tracer {
                 wall: Duration::ZERO,
                 cpu: Duration::ZERO,
                 done: false,
+                worker: None,
+                bytes: 0,
+                net_sec: 0.0,
             });
             spans.len() - 1
         };
@@ -150,6 +160,40 @@ impl Tracer {
         }
     }
 
+    fn with_record(&self, id: usize, f: impl FnOnce(&mut SpanRecord)) {
+        let mut spans = self.spans.lock().unwrap();
+        if let Some(rec) = spans.get_mut(id) {
+            f(rec);
+        }
+    }
+
+    /// Post-hoc attribution of a (possibly already closed) span: the
+    /// dynamic scheduler decides worker placement and shipment *after* the
+    /// measuring run, then annotates each task span with the scheduled
+    /// assignment. `None` arguments leave the existing value untouched.
+    pub fn annotate(
+        &self,
+        handle: SpanHandle,
+        worker: Option<u32>,
+        bytes: Option<u64>,
+        net_sec: Option<f64>,
+    ) {
+        if handle.tracer_uid != self.uid {
+            return;
+        }
+        self.with_record(handle.id, |rec| {
+            if worker.is_some() {
+                rec.worker = worker;
+            }
+            if let Some(bytes) = bytes {
+                rec.bytes = bytes;
+            }
+            if let Some(net_sec) = net_sec {
+                rec.net_sec = net_sec;
+            }
+        });
+    }
+
     /// Aggregates closed spans into a forest of [`ProfileNode`]s.
     /// Siblings sharing `(name, label)` are merged; children are ordered
     /// by first appearance.
@@ -159,20 +203,44 @@ impl Tracer {
     }
 
     /// Flat, chronological list of closed spans (the per-task timeline).
+    ///
+    /// Each row carries its span `id` and `parent` id so consumers (the
+    /// critical-path analyzer) can rebuild the span tree, and a resolved
+    /// `worker`: a span without its own worker attribution inherits the
+    /// nearest annotated ancestor's, so cross-thread child spans (a
+    /// `filter` inside a worker task) always land on the right lane.
     pub fn timeline(&self) -> Vec<TimelineRow> {
         let spans = self.spans.lock().unwrap();
+        let resolve_worker = |mut id: usize| -> Option<u32> {
+            loop {
+                let rec = &spans[id];
+                if rec.worker.is_some() {
+                    return rec.worker;
+                }
+                match rec.parent {
+                    Some(p) => id = p,
+                    None => return None,
+                }
+            }
+        };
         let mut rows: Vec<TimelineRow> = spans
             .iter()
-            .filter(|r| r.done)
-            .map(|r| TimelineRow {
+            .enumerate()
+            .filter(|(_, r)| r.done)
+            .map(|(id, r)| TimelineRow {
+                id,
+                parent: r.parent,
                 name: r.name.to_string(),
                 label: r.label.clone(),
                 start_sec: r.start.as_secs_f64(),
                 wall_sec: r.wall.as_secs_f64(),
                 cpu_sec: r.cpu.as_secs_f64(),
+                worker: resolve_worker(id),
+                bytes: r.bytes,
+                net_sec: r.net_sec,
             })
             .collect();
-        rows.sort_by(|a, b| a.start_sec.total_cmp(&b.start_sec));
+        rows.sort_by(|a, b| a.start_sec.total_cmp(&b.start_sec).then(a.id.cmp(&b.id)));
         rows
     }
 }
@@ -236,7 +304,7 @@ fn merge_nodes(nodes: Vec<ProfileNode>) -> Vec<ProfileNode> {
 }
 
 /// One aggregated node of the profile tree.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfileNode {
     /// Span name (the static string passed at open).
     pub name: String,
@@ -263,8 +331,13 @@ impl ProfileNode {
 }
 
 /// One row of the flat chronological timeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct TimelineRow {
+    /// Span id — the index of the record inside its tracer; with
+    /// [`TimelineRow::parent`] it reconstructs the span tree.
+    pub id: usize,
+    /// Parent span id, `None` for roots.
+    pub parent: Option<usize>,
     /// Span name.
     pub name: String,
     /// Span label (empty when unlabeled).
@@ -275,6 +348,73 @@ pub struct TimelineRow {
     pub wall_sec: f64,
     /// CPU duration, seconds.
     pub cpu_sec: f64,
+    /// Cluster worker the span ran on, inherited from the nearest
+    /// annotated ancestor when the span itself carries none.
+    pub worker: Option<u32>,
+    /// Bytes shipped to start this span (task spans; 0 otherwise).
+    pub bytes: u64,
+    /// Modeled network seconds for that shipment.
+    pub net_sec: f64,
+}
+
+impl ToJson for ProfileNode {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("name", &self.name)
+            .field("label", &self.label)
+            .field("count", &self.count)
+            .field("wall_sec", &self.wall_sec)
+            .field("cpu_sec", &self.cpu_sec)
+            .field("children", &self.children)
+            .build()
+    }
+}
+
+impl FromJson for ProfileNode {
+    fn from_json(v: &Value) -> JsonResult<ProfileNode> {
+        Ok(ProfileNode {
+            name: v.or_default("name")?,
+            label: v.or_default("label")?,
+            count: v.or_default("count")?,
+            wall_sec: v.or_default("wall_sec")?,
+            cpu_sec: v.or_default("cpu_sec")?,
+            children: v.or_default("children")?,
+        })
+    }
+}
+
+impl ToJson for TimelineRow {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("id", &self.id)
+            .field_if(self.parent.is_some(), "parent", &self.parent)
+            .field("name", &self.name)
+            .field("label", &self.label)
+            .field("start_sec", &self.start_sec)
+            .field("wall_sec", &self.wall_sec)
+            .field("cpu_sec", &self.cpu_sec)
+            .field_if(self.worker.is_some(), "worker", &self.worker)
+            .field_if(self.bytes != 0, "bytes", &self.bytes)
+            .field_if(self.net_sec != 0.0, "net_sec", &self.net_sec)
+            .build()
+    }
+}
+
+impl FromJson for TimelineRow {
+    fn from_json(v: &Value) -> JsonResult<TimelineRow> {
+        Ok(TimelineRow {
+            id: v.or_default("id")?,
+            parent: v.opt("parent")?,
+            name: v.or_default("name")?,
+            label: v.or_default("label")?,
+            start_sec: v.or_default("start_sec")?,
+            wall_sec: v.or_default("wall_sec")?,
+            cpu_sec: v.or_default("cpu_sec")?,
+            worker: v.opt("worker")?,
+            bytes: v.or_default("bytes")?,
+            net_sec: v.or_default("net_sec")?,
+        })
+    }
 }
 
 /// RAII guard for an open span; closes and records it on drop.
@@ -314,6 +454,28 @@ impl<'a> SpanGuard<'a> {
     /// other threads on the span's behalf (e.g. a rayon verify pool).
     pub fn add_cpu(&mut self, extra: Duration) {
         self.extra_cpu += extra;
+    }
+
+    /// Attributes this span (and, via timeline inheritance, its
+    /// descendants) to a cluster worker.
+    pub fn set_worker(&mut self, worker: u32) {
+        if let Some(t) = self.tracer {
+            t.with_record(self.id, |rec| rec.worker = Some(worker));
+        }
+    }
+
+    /// Records the bytes shipped to start this span (task spans).
+    pub fn set_bytes(&mut self, bytes: u64) {
+        if let Some(t) = self.tracer {
+            t.with_record(self.id, |rec| rec.bytes = bytes);
+        }
+    }
+
+    /// Records the modeled network seconds paid for that shipment.
+    pub fn set_net_sec(&mut self, net_sec: f64) {
+        if let Some(t) = self.tracer {
+            t.with_record(self.id, |rec| rec.net_sec = net_sec);
+        }
     }
 
     /// Handle for parenting spans on other threads under this one.
@@ -433,6 +595,49 @@ mod tests {
             g.add_cpu(Duration::from_secs(2));
         }
         assert!(t.profile()[0].cpu_sec >= 2.0);
+    }
+
+    #[test]
+    fn timeline_inherits_worker_from_ancestors() {
+        let t = Tracer::new();
+        {
+            let root = t.span("join");
+            let handle = root.handle();
+            let mut task = t.span_under(handle, "task");
+            task.set_worker(3);
+            task.set_bytes(128);
+            task.set_net_sec(0.25);
+            let _child = t.span("verify");
+        }
+        let rows = t.timeline();
+        let task = rows.iter().find(|r| r.name == "task").unwrap();
+        assert_eq!(task.worker, Some(3));
+        assert_eq!(task.bytes, 128);
+        assert_eq!(task.net_sec, 0.25);
+        // The child span carries no worker of its own but inherits the
+        // task's; the root has none to inherit.
+        let child = rows.iter().find(|r| r.name == "verify").unwrap();
+        assert_eq!(child.worker, Some(3));
+        assert_eq!(child.parent, Some(task.id));
+        assert_eq!(rows.iter().find(|r| r.name == "join").unwrap().worker, None);
+    }
+
+    #[test]
+    fn annotate_rewrites_closed_spans() {
+        let t = Tracer::new();
+        let handle = {
+            let g = t.span("task");
+            g.handle().unwrap()
+        };
+        t.annotate(handle, Some(2), Some(64), Some(0.5));
+        let rows = t.timeline();
+        assert_eq!(rows[0].worker, Some(2));
+        assert_eq!(rows[0].bytes, 64);
+        assert_eq!(rows[0].net_sec, 0.5);
+        // A handle from another tracer is ignored.
+        let other = Tracer::new();
+        other.annotate(handle, Some(9), None, None);
+        assert_eq!(t.timeline()[0].worker, Some(2));
     }
 
     #[test]

@@ -1,0 +1,86 @@
+//! Golden-file tests for the `dita-obs/critpath/v1` schema.
+//!
+//! Two pins: the checked-in profile-smoke artifact must carry a
+//! critical-path analysis per operation that parses, attributes ~100% of
+//! its makespan and round-trips losslessly; and a hand-built report must
+//! serialize to an exact JSON string, so any field rename or reorder in
+//! the v1 schema fails a test instead of silently breaking downstream
+//! consumers of the artifact.
+
+use dita_obs::critpath::{ClassShare, CritPathReport, PathStep, WorkerLane, CRITPATH_SCHEMA};
+use dita_obs::json::{ToJson, Value};
+use dita_obs::{ActivityClass, Report};
+use std::path::Path;
+
+#[test]
+fn profile_smoke_artifact_pins_the_critpath_schema() {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/PROFILE_SMOKE.json");
+    let raw = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    let report = Report::from_json(&raw)
+        .unwrap_or_else(|e| panic!("PROFILE_SMOKE.json does not match the schema: {e}"));
+
+    for op in ["search", "join", "knn"] {
+        let cp = report
+            .critpath
+            .iter()
+            .find(|c| c.op == op)
+            .unwrap_or_else(|| panic!("artifact is missing the `{op}` critical path"));
+        assert_eq!(cp.schema, CRITPATH_SCHEMA, "{op}");
+        assert!(cp.makespan_sec > 0.0, "{op}: empty makespan");
+        let pct: f64 = cp.attribution.iter().map(|s| s.pct).sum();
+        assert!(
+            (pct - 100.0).abs() < 0.5,
+            "{op}: attribution sums to {pct:.2}%, not ~100%"
+        );
+        assert_eq!(
+            cp.attribution.len(),
+            ActivityClass::ALL.len(),
+            "{op}: every class must appear, zero or not"
+        );
+        assert!(!cp.path.is_empty(), "{op}: critical path has no steps");
+    }
+
+    let round = Report::from_json(&report.to_json_pretty().unwrap()).unwrap();
+    assert_eq!(round, report, "artifact must round-trip losslessly");
+}
+
+#[test]
+fn critpath_v1_field_names_are_pinned() {
+    let cp = CritPathReport {
+        schema: CRITPATH_SCHEMA.to_string(),
+        op: "join".to_string(),
+        label: "join [tau=0.5]".to_string(),
+        makespan_sec: 0.25,
+        wall_sec: 0.3,
+        attribution: vec![ClassShare {
+            class: ActivityClass::Verify,
+            seconds: 0.25,
+            pct: 100.0,
+        }],
+        path: vec![PathStep {
+            class: ActivityClass::Verify,
+            name: "verify".to_string(),
+            worker: Some(1),
+            dur_sec: 0.25,
+        }],
+        workers: vec![WorkerLane {
+            worker: 1,
+            busy_sec: 0.25,
+            wait_sec: 0.0,
+        }],
+    };
+    let expected = Value::parse(concat!(
+        r#"{"schema":"dita-obs/critpath/v1","op":"join","label":"join [tau=0.5]","#,
+        r#""makespan_sec":0.25,"wall_sec":0.3,"#,
+        r#""attribution":[{"class":"verify","seconds":0.25,"pct":100}],"#,
+        r#""path":[{"class":"verify","name":"verify","worker":1,"dur_sec":0.25}],"#,
+        r#""workers":[{"worker":1,"busy_sec":0.25,"wait_sec":0}]}"#,
+    ))
+    .unwrap();
+    assert_eq!(
+        cp.to_json(),
+        expected,
+        "a v1 field was renamed or dropped — bump the schema instead"
+    );
+}

@@ -9,11 +9,11 @@
 # "Build & plan scaling" and "Memory density" for how to read the numbers.
 #
 # Usage: scripts/bench_smoke.sh [artifact-path] [extra bench args...]
-# The artifact path defaults to results/BENCH_PR6.json.
+# The artifact path defaults to results/BENCH_PR7.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-ARTIFACT="${1:-results/BENCH_PR6.json}"
+ARTIFACT="${1:-results/BENCH_PR7.json}"
 shift || true
 
 RUSTFLAGS="${RUSTFLAGS:--C target-cpu=native}" \

@@ -12,9 +12,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 
 # Workspace-specific invariants (STATIC_ANALYSIS.md): worker panics,
 # NaN-unsafe float ordering, obs-name registry sync, cost-model
-# charge-back. JSON report (schema dita-lint/v1) lands next to the
-# other artifacts; the scan itself is budgeted under 5 seconds and
-# reports its runtime in the JSON.
+# charge-back, transfer pricing. JSON report (schema dita-lint/v1)
+# lands next to the other artifacts; the scan itself is budgeted under
+# 5 seconds and reports its runtime in the JSON.
 mkdir -p results
 cargo run -p dita-lint --release --quiet -- --workspace --deny > results/lint.json
+
+# End-to-end observability smoke: runs an instrumented search/join/kNN,
+# self-validates the span hierarchy, funnel consistency and per-op
+# critical-path attribution (~100%), and refreshes the checked-in
+# artifact the critpath golden test pins.
+scripts/profile_smoke.sh results/PROFILE_SMOKE.json > /dev/null
 echo "check.sh: all green"

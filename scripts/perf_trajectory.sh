@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Performance trajectory: aggregate every results/BENCH_PR*.json smoke
+# artifact into the cross-PR series results/TRAJECTORY.json
+# (dita-bench-trajectory/v1). Each point carries the PR's headline numbers
+# — verified pairs/s, serial search p50, best kernel speedup, host cores —
+# so a perf regression between PRs shows up as one diff line. Artifacts
+# from PRs that predate the current bench schema are skipped with a
+# warning, not an error.
+#
+# Usage: scripts/perf_trajectory.sh [results-dir] [--out path]
+# Defaults: results, results/TRAJECTORY.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo run --release -p dita-bench --bin perf_trajectory -- "$@"
