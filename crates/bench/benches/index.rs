@@ -10,6 +10,32 @@ use dita_index::{
 };
 use std::hint::black_box;
 
+/// System allocator passthrough that counts allocations, so the probe
+/// benches can *assert* steady-state allocation-freedom instead of hoping
+/// for it. Counting is a single relaxed increment — noise-free for the
+/// timed sections.
+struct CountingAlloc;
+
+static ALLOCS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+// SAFETY: defers entirely to the system allocator; the counter has no
+// effect on the returned memory.
+unsafe impl std::alloc::GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: std::alloc::Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        // SAFETY: forwarded verbatim to the system allocator.
+        unsafe { std::alloc::System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: std::alloc::Layout) {
+        // SAFETY: `ptr` was produced by the matching `alloc` above.
+        unsafe { std::alloc::System.dealloc(ptr, layout) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
 fn bench_pivots(c: &mut Criterion) {
     let d = beijing_like(256, 4);
     let mut g = c.benchmark_group("index/pivot-selection");
@@ -88,6 +114,32 @@ fn bench_trie_probe(c: &mut Criterion) {
     let flat = TrieIndex::build(d.trajectories().to_vec(), config);
     let pointer = PointerTrie::build(d.trajectories().to_vec(), config);
     let queries = sample_queries(&d, 32, 11);
+
+    // Steady-state probes must be allocation-free: after one warmup pass
+    // grows the reused `ProbeScratch` stack to the workload's high-water
+    // mark, a full second pass over every query may not allocate at all.
+    // `candidate_count` is the non-materializing probe (the planner's
+    // sampling path), so the only possible allocations are scratch growth —
+    // which warmup has already paid.
+    let mut scratch = dita_index::ProbeScratch::new();
+    let mut count = 0usize;
+    for q in &queries {
+        count += flat.candidate_count(q.points(), 0.003, &DistanceFunction::Dtw, &mut scratch);
+    }
+    assert!(count > 0, "probe workload must touch candidates");
+    let before = ALLOCS.load(std::sync::atomic::Ordering::Relaxed);
+    let mut warmed = 0usize;
+    for q in &queries {
+        warmed += flat.candidate_count(q.points(), 0.003, &DistanceFunction::Dtw, &mut scratch);
+    }
+    let after = ALLOCS.load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(warmed, count, "probe must be deterministic");
+    assert_eq!(
+        after - before,
+        0,
+        "warmed trie probe allocated — ProbeScratch reuse regressed"
+    );
+
     let mut g = c.benchmark_group("index/trie-probe");
     for f in [DistanceFunction::Dtw, DistanceFunction::Frechet] {
         g.bench_function(format!("flat-{f}"), |b| {

@@ -825,6 +825,8 @@ fn main() {
             },
             speedup: round2(plan_speedup),
         }),
+        // The throughput section belongs to throughput_smoke's artifact.
+        throughput: None,
     };
     // `--out <path>` overrides the artifact location. The artifact is
     // written only there — never copied to the repo root.

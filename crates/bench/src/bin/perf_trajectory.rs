@@ -9,10 +9,13 @@
 //! `dita-bench-trajectory/v1` schema so a regression between PRs is one
 //! `diff` away.
 //!
-//! Usage: `perf_trajectory [results_dir] [--out path]` (defaults:
-//! `results`, `results/TRAJECTORY.json`). Artifacts that fail to parse —
-//! e.g. a PR predating the current `dita-bench-smoke` schema — are skipped
-//! with a warning on stderr rather than sinking the whole series.
+//! Usage: `perf_trajectory [results_dir] [--out path] [--require name]...`
+//! (defaults: `results`, `results/TRAJECTORY.json`). Artifacts that fail
+//! to parse — e.g. a PR predating the current `dita-bench-smoke` schema —
+//! are skipped with a warning on stderr rather than sinking the whole
+//! series, **unless** named by a `--require` flag: a required artifact
+//! that is missing or unparsable fails the run loudly (named error,
+//! non-zero exit) instead of silently producing a shorter series.
 
 use dita_obs::bench_report::{BenchSmokeReport, TrajectoryReport, TRAJECTORY_SCHEMA};
 use std::path::{Path, PathBuf};
@@ -20,10 +23,13 @@ use std::path::{Path, PathBuf};
 fn main() {
     let mut dir = String::from("results");
     let mut out = String::from("results/TRAJECTORY.json");
+    let mut required: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         if a == "--out" {
             out = args.next().expect("--out needs a path");
+        } else if a == "--require" {
+            required.push(args.next().expect("--require needs an artifact name"));
         } else {
             dir = a;
         }
@@ -74,6 +80,22 @@ fn main() {
         !points.is_empty(),
         "every artifact under `{dir}` failed to parse"
     );
+
+    // Required artifacts must have made it into the series — a missing or
+    // schema-drifted BENCH_PR<n>.json is a broken benchmark gate, not a
+    // silently shorter trajectory.
+    let missing: Vec<&String> = required
+        .iter()
+        .filter(|name| !points.iter().any(|p| &p.artifact == *name))
+        .collect();
+    if !missing.is_empty() {
+        for name in &missing {
+            eprintln!(
+                "error: required artifact `{name}` is missing from `{dir}` or failed to parse"
+            );
+        }
+        std::process::exit(1);
+    }
 
     let report = TrajectoryReport {
         schema: TRAJECTORY_SCHEMA.to_string(),

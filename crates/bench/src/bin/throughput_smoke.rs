@@ -1,0 +1,423 @@
+//! Throughput smoke: closed- and open-loop load generation over the
+//! batched execution path, producing `results/BENCH_PR8.json` (override
+//! with `--out <path>`).
+//!
+//! Sections:
+//! 1. closed loop — the same query stream answered twice: once by the
+//!    sequential per-query `search` loop, once by `search_batch` at a
+//!    fixed batch size. Reports qps and p50/p95/p99 per-query latency for
+//!    both arms (a batched query reports its batch's wall time) and
+//!    asserts the batched arm clears 2x the sequential throughput: the
+//!    batch shares one trie traversal per partition and one task dispatch
+//!    per worker across all its members, so per-query overhead amortizes.
+//! 2. open loop — queries arrive in bursts faster than service through
+//!    the bounded `QueryScheduler`: admission stays capped at the queue
+//!    capacity, overflow is shed (counted, never queued), and everything
+//!    admitted is dispatched in fair-share batches and answered.
+//! 3. headline numbers — one kernel pair, verified-pairs/sec, and search
+//!    p50s, so `perf_trajectory` can fold this artifact into the cross-PR
+//!    series alongside the bench_smoke artifacts.
+//!
+//! Data is the same seeded synthetic city as bench_smoke: deterministic
+//! xorshift walks, queries are jittered members so every query has a
+//! non-empty answer to verify against.
+
+use dita_cluster::{Cluster, ClusterConfig, QueryScheduler, SchedulerConfig};
+use dita_core::{price_query, search, search_batch, DitaConfig, DitaSystem, SearchOptions};
+use dita_distance::{dtw_soa, dtw_threshold, DistanceFunction, Scratch};
+use dita_index::{PivotStrategy, TrieConfig};
+use dita_obs::bench_report::{
+    BenchSmokeReport, KernelMeasurement, LatencySummaryMs, OpenLoopRun, SearchP50Ms,
+    ThreadScalingPoint, ThroughputArm, ThroughputSection, BENCH_SCHEMA,
+};
+use dita_trajectory::{Dataset, Point, SoaPoints, Trajectory, TrajectoryId};
+use std::path::Path;
+use std::time::Instant;
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn walk(rng: &mut XorShift, len: usize, x0: f64, y0: f64) -> Vec<Point> {
+    let mut pts = Vec::with_capacity(len);
+    let (mut x, mut y) = (x0, y0);
+    for _ in 0..len {
+        x += (rng.next_f64() - 0.5) * 0.01;
+        y += (rng.next_f64() - 0.5) * 0.01;
+        pts.push(Point::new(x, y));
+    }
+    pts
+}
+
+/// Index of percentile `p` (0..=1) in an ascending-sorted latency list.
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    assert!(!sorted_ms.is_empty());
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn summarize(latencies_ms: &mut [f64]) -> LatencySummaryMs {
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let round3 = |x: f64| (x * 1000.0).round() / 1000.0;
+    LatencySummaryMs {
+        p50: round3(percentile(latencies_ms, 0.50)),
+        p95: round3(percentile(latencies_ms, 0.95)),
+        p99: round3(percentile(latencies_ms, 0.99)),
+    }
+}
+
+const BATCH: usize = 16;
+const NQ: usize = 256;
+
+fn main() {
+    // The bench_smoke synthetic city: 2000 walks over a 2x2 box.
+    let mut rng = XorShift(0xC17F);
+    let ts: Vec<Trajectory> = (0..2000)
+        .map(|i| {
+            let len = 24 + (rng.next_u64() % 41) as usize;
+            let (x0, y0) = (rng.next_f64() * 2.0, rng.next_f64() * 2.0);
+            Trajectory::new(i + 1, walk(&mut rng, len, x0, y0))
+        })
+        .collect();
+    let trie_config = TrieConfig {
+        k: 3,
+        nl: 4,
+        leaf_capacity: 8,
+        strategy: PivotStrategy::NeighborDistance,
+        cell_side: 0.05,
+        ..TrieConfig::default()
+    };
+    let sys = DitaSystem::build(
+        &Dataset::new_unchecked("throughput", ts.clone()),
+        DitaConfig {
+            ng: 8,
+            trie: trie_config,
+        },
+        Cluster::new(ClusterConfig::with_workers(4)),
+    );
+    // Jittered members: the per-point jitter sums below tau = 0.2 under
+    // additive DTW, so every query recovers its source.
+    let queries: Vec<Vec<Point>> = (0..NQ)
+        .map(|i| {
+            let t = ts[(i * 47) % ts.len()].points();
+            let mut r2 = XorShift(
+                (t.len() as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64 * 0x1234_5677)
+                    | 1,
+            );
+            t.iter()
+                .map(|p| {
+                    Point::new(
+                        p.x + (r2.next_f64() - 0.5) * 0.004,
+                        p.y + (r2.next_f64() - 0.5) * 0.004,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+    let q_slices: Vec<&[Point]> = queries.iter().map(|q| q.as_slice()).collect();
+    let tau = 0.2;
+    let func = DistanceFunction::Dtw;
+    let taus = vec![tau; NQ];
+
+    // -- closed loop: sequential per-query arm vs batched arm, best of 3 --
+    println!(
+        "== closed loop: {NQ} queries over {} trajectories, batch {BATCH} ==",
+        ts.len()
+    );
+    let mut expected: Vec<Vec<(TrajectoryId, f64)>> = Vec::new();
+    let mut seq_best: Option<(f64, Vec<f64>)> = None;
+    for rep in 0..3 {
+        let mut lats = Vec::with_capacity(NQ);
+        let t0 = Instant::now();
+        let mut answers = Vec::with_capacity(NQ);
+        for (qi, q) in q_slices.iter().enumerate() {
+            let tq = Instant::now();
+            let (hits, _) = search(&sys, q, taus[qi], &func);
+            lats.push(tq.elapsed().as_secs_f64() * 1e3);
+            answers.push(hits);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let qps = NQ as f64 / wall;
+        if rep == 0 {
+            for (qi, hits) in answers.iter().enumerate() {
+                assert!(!hits.is_empty(), "query {qi} is a jittered member");
+            }
+            expected = answers;
+        }
+        if seq_best.as_ref().is_none_or(|&(b, _)| qps > b) {
+            seq_best = Some((qps, lats));
+        }
+    }
+    let (seq_qps, mut seq_lats) = seq_best.unwrap();
+
+    let mut bat_best: Option<(f64, Vec<f64>)> = None;
+    for _ in 0..3 {
+        let mut lats = Vec::with_capacity(NQ);
+        let t0 = Instant::now();
+        let mut answers = Vec::with_capacity(NQ);
+        for chunk_start in (0..NQ).step_by(BATCH) {
+            let end = (chunk_start + BATCH).min(NQ);
+            let tb = Instant::now();
+            let (hits, _) = search_batch(
+                &sys,
+                &q_slices[chunk_start..end],
+                &taus[chunk_start..end],
+                &func,
+                SearchOptions::default(),
+            );
+            let batch_ms = tb.elapsed().as_secs_f64() * 1e3;
+            // Every query in a batch observes its batch's wall clock.
+            lats.extend(std::iter::repeat_n(batch_ms, end - chunk_start));
+            answers.extend(hits);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let qps = NQ as f64 / wall;
+        assert_eq!(answers, expected, "batched answers must match sequential");
+        if bat_best.as_ref().is_none_or(|&(b, _)| qps > b) {
+            bat_best = Some((qps, lats));
+        }
+    }
+    let (bat_qps, mut bat_lats) = bat_best.unwrap();
+
+    let seq_summary = summarize(&mut seq_lats);
+    let bat_summary = summarize(&mut bat_lats);
+    let speedup = bat_qps / seq_qps;
+    println!(
+        "  sequential: {seq_qps:>8.0} qps  p50 {:>7.3} ms  p95 {:>7.3} ms  p99 {:>7.3} ms",
+        seq_summary.p50, seq_summary.p95, seq_summary.p99
+    );
+    println!(
+        "  batched:    {bat_qps:>8.0} qps  p50 {:>7.3} ms  p95 {:>7.3} ms  p99 {:>7.3} ms",
+        bat_summary.p50, bat_summary.p95, bat_summary.p99
+    );
+    println!("  speedup (batched/sequential): {speedup:.2}x");
+    assert!(
+        speedup >= 2.0,
+        "batched execution must clear 2x sequential throughput at batch \
+         {BATCH}, got {speedup:.2}x ({bat_qps:.0} vs {seq_qps:.0} qps)"
+    );
+
+    // -- open loop: bursty arrivals through the bounded scheduler --
+    // Bursts of 64 arrive against a 64-slot queue with one batch serviced
+    // per burst: arrivals outrun service, so the queue saturates and the
+    // overflow is shed at admission instead of growing the queue.
+    const CAPACITY: usize = 64;
+    const BURSTS: usize = 16;
+    const BURST: usize = 64;
+    println!("\n== open loop: {BURSTS} bursts of {BURST}, queue capacity {CAPACITY} ==");
+    let scheduler: QueryScheduler<usize> = QueryScheduler::new(SchedulerConfig {
+        queue_capacity: CAPACITY,
+        max_batch: BATCH,
+        ..SchedulerConfig::default()
+    });
+    let mut offered = 0usize;
+    let mut completed = 0usize;
+    let mut max_depth = 0usize;
+    let serve = |batch: dita_cluster::QueryBatch<usize>, completed: &mut usize| {
+        assert!(batch.payloads.len() <= BATCH);
+        let qs: Vec<&[Point]> = batch.payloads.iter().map(|&qi| q_slices[qi]).collect();
+        let bt: Vec<f64> = batch.payloads.iter().map(|&qi| taus[qi]).collect();
+        let (hits, _) = search_batch(&sys, &qs, &bt, &func, SearchOptions::default());
+        for (slot, &qi) in batch.payloads.iter().enumerate() {
+            assert_eq!(hits[slot], expected[qi], "open-loop answer diverges");
+        }
+        *completed += batch.payloads.len();
+    };
+    for burst in 0..BURSTS {
+        for i in 0..BURST {
+            let qi = (burst * BURST + i) % NQ;
+            let cost = price_query(&sys, q_slices[qi], taus[qi], &func, None);
+            // Two admission classes so batch formation round-robins.
+            let _ = scheduler.submit((qi % 2) as u64, cost, qi);
+            offered += 1;
+        }
+        max_depth = max_depth.max(scheduler.queue_depth());
+        if let Some(batch) = scheduler.next_batch() {
+            serve(batch, &mut completed);
+        }
+    }
+    for batch in scheduler.drain() {
+        serve(batch, &mut completed);
+    }
+    let counters = scheduler.counters();
+    println!(
+        "  offered {offered}  admitted {}  shed {}  completed {completed}  max depth {max_depth}",
+        counters.admitted, counters.shed
+    );
+    assert!(max_depth <= CAPACITY, "queue depth must stay capped");
+    assert!(counters.shed > 0, "overload must shed");
+    assert_eq!(counters.admitted + counters.shed, offered);
+    assert_eq!(
+        completed, counters.admitted,
+        "every admitted query answered"
+    );
+    assert_eq!(scheduler.queue_depth(), 0, "drain empties the queue");
+
+    // -- headline numbers for the cross-PR trajectory --
+    let mut rng = XorShift(0x5EED);
+    let dis: Vec<(Vec<Point>, Vec<Point>)> = (0..16)
+        .map(|_| (walk(&mut rng, 64, 0.0, 0.0), walk(&mut rng, 64, 1.0, 1.0)))
+        .collect();
+    // Similar pairs (jittered copies) force the full DP, so the
+    // verified-pairs/sec figure measures the same mixed workload as
+    // bench_smoke rather than pure early-abandon calls.
+    let sim: Vec<(Vec<Point>, Vec<Point>)> = (0..16)
+        .map(|_| {
+            let t = walk(&mut rng, 64, 0.0, 0.0);
+            let mut r2 = XorShift(rng.next_u64() | 1);
+            let q = t
+                .iter()
+                .map(|p| {
+                    Point::new(
+                        p.x + (r2.next_f64() - 0.5) * 0.002,
+                        p.y + (r2.next_f64() - 0.5) * 0.002,
+                    )
+                })
+                .collect();
+            (t, q)
+        })
+        .collect();
+    let to_soa = |ps: &[(Vec<Point>, Vec<Point>)]| -> Vec<(SoaPoints, SoaPoints)> {
+        ps.iter()
+            .map(|(a, b)| (SoaPoints::from_points(a), SoaPoints::from_points(b)))
+            .collect()
+    };
+    let (dis_soa, sim_soa) = (to_soa(&dis), to_soa(&sim));
+    let mut scratch = Scratch::new();
+    let time_ns = |f: &mut dyn FnMut() -> u64| -> f64 {
+        let iters = 400usize;
+        let mut sink = 0u64;
+        for _ in 0..iters / 10 {
+            sink = sink.wrapping_add(f());
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            sink = sink.wrapping_add(f());
+        }
+        assert!(sink != u64::MAX);
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    };
+    let kernel_tau = 0.05;
+    let aos_ns = time_ns(&mut || {
+        dis.iter()
+            .map(|(a, b)| dtw_threshold(a, b, kernel_tau).is_some() as u64)
+            .sum()
+    });
+    let soa_ns = time_ns(&mut || {
+        dis_soa
+            .iter()
+            .map(|(a, b)| dtw_soa(a.view(), b.view(), kernel_tau, &mut scratch).is_some() as u64)
+            .sum()
+    });
+    let mixed: Vec<&(SoaPoints, SoaPoints)> = dis_soa.iter().chain(sim_soa.iter()).collect();
+    let t0 = Instant::now();
+    let reps = 400usize;
+    let mut verified = 0u64;
+    for _ in 0..reps {
+        for (a, b) in &mixed {
+            verified += dtw_soa(a.view(), b.view(), 0.5, &mut scratch).is_some() as u64;
+        }
+    }
+    std::hint::black_box(verified);
+    let pairs_per_sec = (reps * mixed.len()) as f64 / t0.elapsed().as_secs_f64();
+    let p50_threads4 = {
+        let mut ms: Vec<f64> = q_slices
+            .iter()
+            .take(40)
+            .map(|q| {
+                let t0 = Instant::now();
+                let (r, _) = dita_core::search_with_options(
+                    &sys,
+                    q,
+                    tau,
+                    &func,
+                    SearchOptions { verify_threads: 4 },
+                );
+                assert!(!r.is_empty());
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        ms.sort_by(|a, b| a.total_cmp(b));
+        ms[ms.len() / 2]
+    };
+
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    let report = BenchSmokeReport {
+        schema: Some(BENCH_SCHEMA.to_string()),
+        kernels: vec![KernelMeasurement {
+            name: "dtw/dissimilar/early-abandon".to_string(),
+            aos_ns: aos_ns.round(),
+            soa_ns: soa_ns.round(),
+            speedup: round2(aos_ns / soa_ns),
+        }],
+        verified_pairs_per_sec: pairs_per_sec.round(),
+        search_p50_ms: SearchP50Ms {
+            serial: seq_summary.p50,
+            verify_threads_4: (p50_threads4 * 1000.0).round() / 1000.0,
+        },
+        thread_scaling: vec![ThreadScalingPoint {
+            threads: 1,
+            pairs_per_sec: pairs_per_sec.round(),
+        }],
+        host_cores: std::thread::available_parallelism().map_or(0, |n| n.get()),
+        note: "throughput smoke: closed-loop sequential vs batched qps and \
+               open-loop scheduler overload; kernel/p50 headline numbers \
+               ride along for the cross-PR trajectory"
+            .to_string(),
+        search_profile: None,
+        cold_path: None,
+        ingest: None,
+        memory: None,
+        planning_ab: None,
+        throughput: Some(ThroughputSection {
+            batch_size: BATCH,
+            sequential: ThroughputArm {
+                qps: seq_qps.round(),
+                latency_ms: seq_summary,
+                queries: NQ,
+            },
+            batched: ThroughputArm {
+                qps: bat_qps.round(),
+                latency_ms: bat_summary,
+                queries: NQ,
+            },
+            speedup: round2(speedup),
+            open_loop: OpenLoopRun {
+                offered,
+                admitted: counters.admitted,
+                shed: counters.shed,
+                queue_capacity: CAPACITY,
+                max_queue_depth: max_depth,
+                completed,
+            },
+        }),
+    };
+
+    let mut out = String::from("results/BENCH_PR8.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            out = args.next().expect("--out needs a path");
+        }
+    }
+    let out = Path::new(&out);
+    match report.write_json(out) {
+        Ok(()) => println!("\nwrote {}", out.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", out.display()),
+    }
+}

@@ -24,6 +24,7 @@
 
 pub mod executor;
 pub mod network;
+pub mod scheduler;
 pub mod stats;
 
 pub use executor::{
@@ -31,4 +32,7 @@ pub use executor::{
     MAX_TASK_ATTEMPTS,
 };
 pub use network::NetworkModel;
+pub use scheduler::{
+    AdmitError, CancelToken, QueryBatch, QueryScheduler, SchedulerConfig, SchedulerCounters,
+};
 pub use stats::{JobStats, WorkerStats};

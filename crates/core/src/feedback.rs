@@ -127,6 +127,45 @@ impl CostFeedback {
     }
 }
 
+/// Prices one search query for admission control, in candidate-pair
+/// equivalents — the same unit the join planner estimates in.
+///
+/// The base estimate is `|partition| × |q|` summed over the partitions the
+/// global index cannot prune (every stored point might pair with every
+/// query point in the worst case); each partition's term is then bent by
+/// its observed/predicted [`CostFeedback`] factor (T-partition `i` is node
+/// `i`, matching the join's bi-graph numbering), so a partition that
+/// historically ran hotter than modeled prices future queries against it
+/// higher. With no feedback — or an empty store — this is the pure
+/// structural estimate. Feed the result to
+/// [`dita_cluster::QueryScheduler::submit`] as the query's cost.
+pub fn price_query(
+    system: &crate::DitaSystem,
+    q: &[dita_trajectory::Point],
+    tau: f64,
+    func: &dita_distance::DistanceFunction,
+    feedback: Option<&CostFeedback>,
+) -> f64 {
+    if q.is_empty() {
+        return 0.0;
+    }
+    let relevant = system.global().relevant_partitions(
+        &q[0],
+        &q[q.len() - 1],
+        q.len(),
+        tau,
+        func.index_mode(),
+    );
+    relevant
+        .into_iter()
+        .map(|pid| {
+            let pairs = system.trie(pid).len() as f64 * q.len() as f64;
+            let factor = feedback.map_or(1.0, |fb| fb.comp_factor(pid, 0.0));
+            pairs * factor
+        })
+        .sum()
+}
+
 /// The observed/predicted ratio for one (possibly pooled) observation.
 fn factor_of(o: &NodeObservation, delta_sec: f64) -> f64 {
     if o.predicted_comp <= 0.0 || o.tasks == 0 {
@@ -195,6 +234,54 @@ mod tests {
         assert!((fb.comp_factor(2, 1e-6) - 2.0).abs() < 1e-9);
         assert_eq!(fb.len(), 1);
         assert_eq!(fb.iter().count(), 1);
+    }
+
+    #[test]
+    fn price_query_scales_with_observed_cost() {
+        use crate::system::DitaConfig;
+        use dita_cluster::{Cluster, ClusterConfig};
+        use dita_distance::DistanceFunction;
+        use dita_index::{PivotStrategy, TrieConfig};
+        use dita_trajectory::trajectory::figure1_trajectories;
+        use dita_trajectory::Dataset;
+
+        let dataset = Dataset::new("fig1", figure1_trajectories()).unwrap();
+        let sys = crate::DitaSystem::build(
+            &dataset,
+            DitaConfig {
+                ng: 2,
+                trie: TrieConfig {
+                    k: 2,
+                    nl: 2,
+                    leaf_capacity: 0,
+                    strategy: PivotStrategy::NeighborDistance,
+                    cell_side: 2.0,
+                    ..TrieConfig::default()
+                },
+            },
+            Cluster::new(ClusterConfig::with_workers(2)),
+        );
+        let ts = figure1_trajectories();
+        let q = ts[0].points();
+        let base = price_query(&sys, q, 3.0, &DistanceFunction::Dtw, None);
+        assert!(base > 0.0, "a reachable query must price positive");
+        // A far-away query prunes everything and prices to zero.
+        let far = [
+            dita_trajectory::Point::new(500.0, 500.0),
+            dita_trajectory::Point::new(501.0, 500.0),
+        ];
+        assert_eq!(
+            price_query(&sys, &far, 1.0, &DistanceFunction::Dtw, None),
+            0.0
+        );
+        // Feedback that says every partition ran 4x hot raises the price 4x.
+        let mut fb = CostFeedback::new();
+        for pid in 0..sys.num_partitions() {
+            fb.set_predicted(pid, 100.0);
+            fb.observe(pid, 400.0, 0.0, 0);
+        }
+        let adjusted = price_query(&sys, q, 3.0, &DistanceFunction::Dtw, Some(&fb));
+        assert!((adjusted - base * 4.0).abs() < 1e-6 * base);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! dense regions converge in one or two probes and empty regions expand
 //! geometrically instead of scanning.
 
-use crate::search::search;
+use crate::search::{search_batch_with_scratch, search_with_scratch, SearchOptions, SearchScratch};
 use crate::system::DitaSystem;
 use dita_distance::DistanceFunction;
 use dita_trajectory::{Point, TrajectoryId};
@@ -35,6 +35,22 @@ pub fn knn_search(
     k: usize,
     func: &DistanceFunction,
 ) -> (Vec<(TrajectoryId, f64)>, KnnStats) {
+    let mut scratch = SearchScratch::new();
+    knn_search_with_scratch(system, q, k, func, &mut scratch)
+}
+
+/// [`knn_search`] with caller-held scratch: the bound-tightening rounds
+/// reuse one set of probe stacks and kernel buffers instead of
+/// reallocating them per radius probe, and a caller issuing many kNN
+/// queries (the kNN join, benchmark loops) can share one scratch across
+/// all of them. Results are identical.
+pub fn knn_search_with_scratch(
+    system: &DitaSystem,
+    q: &[Point],
+    k: usize,
+    func: &DistanceFunction,
+    scratch: &mut SearchScratch,
+) -> (Vec<(TrajectoryId, f64)>, KnnStats) {
     assert!(!q.is_empty(), "queries must contain at least one point");
     // Each radius probe's `search` span nests under this one.
     let _knn_span = dita_obs::span!(system.obs(), dita_obs::names::SPAN_KNN, func = func, k = k);
@@ -52,7 +68,8 @@ pub fn knn_search(
     loop {
         stats.rounds += 1;
         stats.final_radius = radius;
-        let (hits, s) = search(system, q, radius, func);
+        let (hits, s) =
+            search_with_scratch(system, q, radius, func, SearchOptions::default(), scratch);
         stats.candidates += s.candidates;
         if hits.len() >= k {
             let mut hits = hits;
@@ -63,7 +80,14 @@ pub fn knn_search(
         radius = if radius > 0.0 { radius * 2.0 } else { 1e-6 };
         // Safety valve: beyond any plausible geographic scale, scan all.
         if radius > 1e6 {
-            let (hits, s) = search(system, q, f64::INFINITY, func);
+            let (hits, s) = search_with_scratch(
+                system,
+                q,
+                f64::INFINITY,
+                func,
+                SearchOptions::default(),
+                scratch,
+            );
             stats.rounds += 1;
             stats.candidates += s.candidates;
             let mut hits = hits;
@@ -72,6 +96,119 @@ pub fn knn_search(
             return (hits, stats);
         }
     }
+}
+
+/// Per-query expansion state for [`knn_batch`].
+struct KnnState {
+    radius: f64,
+    /// The next probe is the full-scan safety valve.
+    infinity: bool,
+    done: bool,
+    result: Vec<(TrajectoryId, f64)>,
+    stats: KnnStats,
+}
+
+/// Batched kNN: answers one kNN search per query, sharing radius probes.
+///
+/// Each round, every query still tightening its bound joins a single
+/// [`crate::search_batch`] probe, so the round's trie traversal and
+/// verification are shared across the whole batch. Queries keep fully
+/// independent radius schedules (seed, doubling, safety valve), so the
+/// per-query results *and* [`KnnStats`] are byte-identical to running
+/// [`knn_search`] on each query alone — a query finishing early simply
+/// drops out of later rounds.
+pub fn knn_batch(
+    system: &DitaSystem,
+    queries: &[&[Point]],
+    k: usize,
+    func: &DistanceFunction,
+) -> Vec<(Vec<(TrajectoryId, f64)>, KnnStats)> {
+    let obs = system.obs();
+    let _span = dita_obs::span!(
+        obs,
+        dita_obs::names::SPAN_KNN_BATCH,
+        func = func,
+        k = k,
+        queries = queries.len()
+    );
+    for q in queries {
+        assert!(!q.is_empty(), "queries must contain at least one point");
+    }
+    let empty = k == 0 || system.is_empty();
+    let k = k.min(system.len());
+    let mut scratch = SearchScratch::new();
+    let mut states: Vec<KnnState> = queries
+        .iter()
+        .map(|q| KnnState {
+            radius: if empty {
+                0.0
+            } else {
+                seed_radius(system, q, func)
+            },
+            infinity: false,
+            done: empty,
+            result: Vec::new(),
+            stats: KnnStats {
+                rounds: 0,
+                final_radius: 0.0,
+                candidates: 0,
+            },
+        })
+        .collect();
+
+    loop {
+        let active: Vec<usize> = states
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.done)
+            .map(|(i, _)| i)
+            .collect();
+        if active.is_empty() {
+            break;
+        }
+        let qs: Vec<&[Point]> = active.iter().map(|&i| queries[i]).collect();
+        let taus: Vec<f64> = active
+            .iter()
+            .map(|&i| {
+                let s = &mut states[i];
+                s.stats.rounds += 1;
+                if s.infinity {
+                    // The safety valve counts as a round but does not move
+                    // `final_radius`, exactly like the sequential path.
+                    f64::INFINITY
+                } else {
+                    s.stats.final_radius = s.radius;
+                    s.radius
+                }
+            })
+            .collect();
+        let (mut hits, bstats) = search_batch_with_scratch(
+            system,
+            &qs,
+            &taus,
+            func,
+            SearchOptions::default(),
+            &mut scratch,
+        );
+        for (slot, &i) in active.iter().enumerate() {
+            let s = &mut states[i];
+            s.stats.candidates += bstats.queries[slot].candidates;
+            let h = std::mem::take(&mut hits[slot]);
+            if s.infinity || h.len() >= k {
+                let mut h = h;
+                h.sort_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)));
+                h.truncate(k);
+                s.result = h;
+                s.done = true;
+            } else {
+                s.radius = if s.radius > 0.0 { s.radius * 2.0 } else { 1e-6 };
+                if s.radius > 1e6 {
+                    s.infinity = true;
+                }
+            }
+        }
+    }
+    states.into_iter().map(|s| (s.result, s.stats)).collect()
 }
 
 /// A data-driven starting radius: the larger of the endpoint distances to
@@ -107,10 +244,13 @@ pub fn knn_join(
     func: &DistanceFunction,
 ) -> Vec<(TrajectoryId, TrajectoryId, f64)> {
     let mut out = Vec::new();
+    // One scratch across every outer row: each kNN's radius probes reuse
+    // the same probe stacks and kernel buffers.
+    let mut scratch = SearchScratch::new();
     // Iterate the *live* view of the outer table so tombstoned rows drop
     // out and delta inserts join in without a compaction.
     q_sys.for_each_live(|q| {
-        let (hits, _) = knn_search(t_sys, q.points(), k, func);
+        let (hits, _) = knn_search_with_scratch(t_sys, q.points(), k, func, &mut scratch);
         out.extend(hits.into_iter().map(|(tid, d)| (q.id, tid, d)));
     });
     out.sort_by_key(|a| (a.0, a.1));

@@ -35,10 +35,13 @@ pub mod system;
 pub mod verify;
 
 pub use dita_ingest::{CompactionPolicy, IngestStats};
-pub use feedback::{CostFeedback, NodeObservation};
+pub use feedback::{price_query, CostFeedback, NodeObservation};
 pub use join::{join, BalanceStrategy, JoinOptions, JoinStats};
-pub use knn::{knn_join, knn_search, KnnStats};
-pub use search::{query_broadcast_bytes, search, search_with_options, SearchOptions, SearchStats};
+pub use knn::{knn_batch, knn_join, knn_search, knn_search_with_scratch, KnnStats};
+pub use search::{
+    query_broadcast_bytes, search, search_batch, search_batch_with_scratch, search_with_options,
+    search_with_scratch, BatchSearchStats, QueryStats, SearchOptions, SearchScratch, SearchStats,
+};
 pub use system::{BuildStats, DitaConfig, DitaSystem};
 pub use verify::{
     try_verify_candidates, verify_candidates, verify_pair, verify_pair_soa, QueryContext,

@@ -6,12 +6,13 @@
 //! clustered layout means no second lookup); the driver collects results.
 
 use crate::system::DitaSystem;
-use crate::verify::{try_verify_candidates, verify_candidates, QueryContext};
-use dita_cluster::{JobStats, TaskSpec};
+use crate::verify::{try_verify_candidates, verify_candidates, CandidateView, QueryContext};
+use dita_cluster::{JobStats, TaskError, TaskSpec};
 use dita_distance::DistanceFunction;
-use dita_index::FilterStats;
+use dita_index::{BatchProbeScratch, FilterStats, ProbeScratch};
 use dita_obs::names;
 use dita_trajectory::{Point, TrajectoryId};
+use std::sync::Mutex;
 
 /// Statistics of one search execution.
 #[derive(Debug, Clone)]
@@ -50,6 +51,95 @@ impl Default for SearchOptions {
     }
 }
 
+/// Reusable allocations for repeated searches.
+///
+/// Worker tasks run concurrently and each needs its own probe stack, so the
+/// probe scratches live in small `Mutex`-guarded pools: a task pops one on
+/// entry and returns it on exit, and by the second call every pool hit is
+/// allocation-free. The kernel scratch is driver-only (delta tail checks).
+/// [`knn_search`](crate::knn_search) holds one of these across its
+/// bound-tightening rounds, and the batch drivers across whole batches.
+pub struct SearchScratch {
+    probes: Mutex<Vec<ProbeScratch>>,
+    batches: Mutex<Vec<BatchProbeScratch>>,
+    kernel: dita_distance::kernel::Scratch,
+}
+
+impl SearchScratch {
+    /// Creates an empty scratch; the pools fill lazily as tasks run.
+    pub fn new() -> Self {
+        SearchScratch {
+            probes: Mutex::new(Vec::new()),
+            batches: Mutex::new(Vec::new()),
+            kernel: dita_distance::kernel::Scratch::default(),
+        }
+    }
+
+    fn take_probe(&self) -> ProbeScratch {
+        self.probes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_probe(&self, s: ProbeScratch) {
+        self.probes
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(s);
+    }
+
+    fn take_batch(&self) -> BatchProbeScratch {
+        self.batches
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .pop()
+            .unwrap_or_default()
+    }
+
+    fn put_batch(&self, s: BatchProbeScratch) {
+        self.batches
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(s);
+    }
+}
+
+impl Default for SearchScratch {
+    fn default() -> Self {
+        SearchScratch::new()
+    }
+}
+
+/// Per-query statistics of one [`search_batch`] execution — the same funnel
+/// breakdown [`SearchStats`] reports for a standalone search, minus the
+/// job-level fields that are shared by the whole batch.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// Partitions the global index could not prune for this query.
+    pub relevant_partitions: usize,
+    /// Candidates the trie filters produced for this query.
+    pub candidates: usize,
+    /// Final result count for this query.
+    pub results: usize,
+    /// This query's trie filter funnel.
+    pub filter: FilterStats,
+    /// Delta-overlay candidates (segments + exact-checked tails).
+    pub delta_candidates: usize,
+    /// This query's delta-segment filter funnel.
+    pub delta_filter: FilterStats,
+}
+
+/// Statistics of one [`search_batch`] execution.
+#[derive(Debug, Clone)]
+pub struct BatchSearchStats {
+    /// Per-query funnels, parallel to the input query slice.
+    pub queries: Vec<QueryStats>,
+    /// Cluster-level execution statistics for the whole batch job.
+    pub job: JobStats,
+}
+
 /// Bytes shipped when a query trajectory is sent to a worker.
 ///
 /// Priced exactly like [`dita_trajectory::Trajectory::size_bytes`] (id
@@ -79,6 +169,21 @@ pub fn search_with_options(
     tau: f64,
     func: &DistanceFunction,
     options: SearchOptions,
+) -> (Vec<(TrajectoryId, f64)>, SearchStats) {
+    let mut scratch = SearchScratch::new();
+    search_with_scratch(system, q, tau, func, options, &mut scratch)
+}
+
+/// [`search_with_options`] with caller-held scratch: repeated calls (kNN
+/// bound tightening, benchmark loops) reuse probe stacks and kernel buffers
+/// instead of reallocating them per query. Results are identical.
+pub fn search_with_scratch(
+    system: &DitaSystem,
+    q: &[Point],
+    tau: f64,
+    func: &DistanceFunction,
+    options: SearchOptions,
+    scratch: &mut SearchScratch,
 ) -> (Vec<(TrajectoryId, f64)>, SearchStats) {
     assert!(!q.is_empty(), "queries must contain at least one point");
 
@@ -128,18 +233,21 @@ pub fn search_with_options(
 
     let q_ctx = &q_ctx;
     let verify_threads = options.verify_threads;
+    let scratch_ref: &SearchScratch = scratch;
     let (per_worker, job) = system.cluster().execute_try(tasks, move |_w, pids| {
         let mut candidates = 0usize;
         let mut funnel = FilterStats::default();
         let mut hits: Vec<(TrajectoryId, f64)> = Vec::new();
         let obs = system.obs();
+        let mut probe = scratch_ref.take_probe();
         for pid in pids {
             let trie = system.trie(pid);
             // The executor opens a `task` span on this thread before calling
             // us, so `filter` and `verify` nest search → worker → task → …
             let cands = {
                 let _fspan = dita_obs::span!(obs, names::SPAN_FILTER, pid = pid);
-                let (cands, fs) = trie.candidates_with_stats(q_ctx.points(), tau, func);
+                let (cands, fs) =
+                    trie.candidates_with_scratch(q_ctx.points(), tau, func, &mut probe);
                 funnel.merge(&fs);
                 cands
             };
@@ -154,6 +262,7 @@ pub fn search_with_options(
                 verify_threads,
             )?);
         }
+        scratch_ref.put_probe(probe);
         Ok((candidates, funnel, hits))
     });
 
@@ -167,58 +276,18 @@ pub fn search_with_options(
         results.extend(hits);
     }
 
-    // Delta overlay (driver-side): suppress tombstoned base hits, then add
-    // matches from the flushed delta segments and the unflushed tails. The
-    // segment path reuses the exact trie filter + verify kernels; tail
-    // entries are exact-checked one by one (the compaction policy keeps
-    // them few). Nothing here runs when the table is clean, so a compacted
-    // table searches byte-for-byte like a freshly built one.
-    let deltas = system.deltas();
-    let mut delta_candidates = 0usize;
-    let mut delta_filter = FilterStats::default();
-    let mut tail_checked = 0u64;
-    let mut tail_hits = 0u64;
-    if deltas.has_deltas() {
-        let _dspan = dita_obs::span!(obs, names::SPAN_DELTA_OVERLAY);
-        results.retain(|&(id, _)| !deltas.is_base_dead(id));
-        let mode = func.index_mode();
-        for pid in deltas.seg_relevant(&q[0], &q[q.len() - 1], q.len(), tau, mode) {
-            let seg = deltas
-                .part(pid)
-                .seg
-                .as_ref()
-                .expect("segment-relevant partition has a segment");
-            let (cands, fs) = seg.trie.candidates_with_stats(q_ctx.points(), tau, func);
-            delta_filter.merge(&fs);
-            let cands: Vec<u32> = cands
-                .into_iter()
-                .filter(|&c| !seg.dead.contains(&seg.trie.get(c).id()))
-                .collect();
-            delta_candidates += cands.len();
-            results.extend(verify_candidates(
-                &seg.trie,
-                &cands,
-                q_ctx,
-                tau,
-                func,
-                verify_threads,
-            ));
-        }
-        let mut scratch = dita_distance::kernel::Scratch::default();
-        for part in deltas.parts() {
-            for it in part.tail.values() {
-                tail_checked += 1;
-                if let Some(d) =
-                    crate::verify::verify_pair_soa(it.into(), q_ctx, tau, func, &mut scratch)
-                {
-                    tail_hits += 1;
-                    results.push((it.traj.id, d));
-                }
-            }
-        }
-        delta_candidates += tail_checked as usize;
-    }
+    let (delta_candidates, delta_filter, tail_checked, tail_hits) = overlay_deltas(
+        system,
+        q,
+        q_ctx,
+        tau,
+        func,
+        verify_threads,
+        &mut results,
+        scratch,
+    );
     results.sort_by_key(|&(id, _)| id);
+    let deltas = system.deltas();
 
     if obs.is_enabled() {
         filter.funnel().record(obs);
@@ -248,6 +317,324 @@ pub fn search_with_options(
         job,
     };
     (results, stats)
+}
+
+/// Delta overlay (driver-side): suppresses tombstoned base hits in
+/// `results`, then adds matches from the flushed delta segments and the
+/// unflushed tails. The segment path reuses the exact trie filter + verify
+/// kernels; tail entries are exact-checked one by one (the compaction
+/// policy keeps them few). Nothing here runs when the table is clean, so a
+/// compacted table searches byte-for-byte like a freshly built one.
+///
+/// Returns `(delta_candidates, delta_filter, tail_checked, tail_hits)`.
+#[allow(clippy::too_many_arguments)]
+fn overlay_deltas(
+    system: &DitaSystem,
+    q: &[Point],
+    q_ctx: &QueryContext,
+    tau: f64,
+    func: &DistanceFunction,
+    verify_threads: usize,
+    results: &mut Vec<(TrajectoryId, f64)>,
+    scratch: &mut SearchScratch,
+) -> (usize, FilterStats, u64, u64) {
+    let deltas = system.deltas();
+    let mut delta_filter = FilterStats::default();
+    if !deltas.has_deltas() {
+        return (0, delta_filter, 0, 0);
+    }
+    let obs = system.obs();
+    let _dspan = dita_obs::span!(obs, names::SPAN_DELTA_OVERLAY);
+    let mut delta_candidates = 0usize;
+    let mut tail_checked = 0u64;
+    let mut tail_hits = 0u64;
+    results.retain(|&(id, _)| !deltas.is_base_dead(id));
+    let mode = func.index_mode();
+    let mut probe = scratch.take_probe();
+    for pid in deltas.seg_relevant(&q[0], &q[q.len() - 1], q.len(), tau, mode) {
+        let seg = deltas
+            .part(pid)
+            .seg
+            .as_ref()
+            .expect("segment-relevant partition has a segment");
+        let (cands, fs) = seg
+            .trie
+            .candidates_with_scratch(q_ctx.points(), tau, func, &mut probe);
+        delta_filter.merge(&fs);
+        let cands: Vec<u32> = cands
+            .into_iter()
+            .filter(|&c| !seg.dead.contains(&seg.trie.get(c).id()))
+            .collect();
+        delta_candidates += cands.len();
+        results.extend(verify_candidates(
+            &seg.trie,
+            &cands,
+            q_ctx,
+            tau,
+            func,
+            verify_threads,
+        ));
+    }
+    scratch.put_probe(probe);
+    for part in deltas.parts() {
+        for it in part.tail.values() {
+            tail_checked += 1;
+            if let Some(d) =
+                crate::verify::verify_pair_soa(it.into(), q_ctx, tau, func, &mut scratch.kernel)
+            {
+                tail_hits += 1;
+                results.push((it.traj.id, d));
+            }
+        }
+    }
+    delta_candidates += tail_checked as usize;
+    (delta_candidates, delta_filter, tail_checked, tail_hits)
+}
+
+/// Finds, for every query `queries[i]`, all trajectories within `taus[i]`
+/// — answering the whole batch with one shared pass instead of a per-query
+/// loop.
+///
+/// Three batching levers, each preserving byte-identical results:
+///
+/// * **One task per worker per batch.** Every query's relevant partitions
+///   are computed up front; a worker receives a single task carrying every
+///   query that reaches it, priced at one broadcast per distinct query —
+///   the batch charges the network exactly what the per-query loop would.
+/// * **Shared trie traversal.** Each partition's arena is walked once for
+///   all of its queries via [`TrieIndex::candidates_batch`], per-query
+///   funnels intact.
+/// * **Partition-major verification.** The per-query candidate lists are
+///   inverted so each stored trajectory is decoded once and checked
+///   against every query that reached it through the SoA kernels.
+///
+/// Returns per-query result vectors (each sorted by id, exactly what
+/// [`search`] returns for that query alone) plus per-query statistics.
+pub fn search_batch(
+    system: &DitaSystem,
+    queries: &[&[Point]],
+    taus: &[f64],
+    func: &DistanceFunction,
+    options: SearchOptions,
+) -> (Vec<Vec<(TrajectoryId, f64)>>, BatchSearchStats) {
+    let mut scratch = SearchScratch::new();
+    search_batch_with_scratch(system, queries, taus, func, options, &mut scratch)
+}
+
+/// [`search_batch`] with caller-held scratch (see [`SearchScratch`]).
+pub fn search_batch_with_scratch(
+    system: &DitaSystem,
+    queries: &[&[Point]],
+    taus: &[f64],
+    func: &DistanceFunction,
+    options: SearchOptions,
+    scratch: &mut SearchScratch,
+) -> (Vec<Vec<(TrajectoryId, f64)>>, BatchSearchStats) {
+    assert_eq!(queries.len(), taus.len(), "one tau per query");
+    for q in queries {
+        assert!(!q.is_empty(), "queries must contain at least one point");
+    }
+    let nq = queries.len();
+    let obs = system.obs();
+    let _batch_span = dita_obs::span!(obs, names::SPAN_SEARCH_BATCH, queries = nq, func = func);
+
+    // Step 1 (driver): global pruning per query, grouped worker-major.
+    let ctxs: Vec<QueryContext> = queries
+        .iter()
+        .map(|q| QueryContext::new(q, system.config().trie.cell_side))
+        .collect();
+    let mut relevant_counts = vec![0usize; nq];
+    let mut by_worker: std::collections::BTreeMap<
+        usize,
+        std::collections::BTreeMap<usize, Vec<u32>>,
+    > = std::collections::BTreeMap::new();
+    for (qi, q) in queries.iter().enumerate() {
+        let relevant = system.global().relevant_partitions(
+            &q[0],
+            &q[q.len() - 1],
+            q.len(),
+            taus[qi],
+            func.index_mode(),
+        );
+        relevant_counts[qi] = relevant.len();
+        for pid in relevant {
+            by_worker
+                .entry(system.worker_of(pid))
+                .or_default()
+                .entry(pid)
+                .or_default()
+                .push(qi as u32);
+        }
+    }
+
+    // Step 2 (workers): one task per worker. Broadcast accounting: the task
+    // is charged one `query_broadcast_bytes` shipment per *distinct* query
+    // reaching that worker — summed over the batch this equals exactly what
+    // the sequential per-query loop charges, and a query never pays twice
+    // for two partitions on the same worker.
+    // One task payload: this worker's `(partition, query indexes)` list.
+    type BatchPayload = Vec<(usize, Vec<u32>)>;
+    let tasks: Vec<TaskSpec<BatchPayload>> = by_worker
+        .into_iter()
+        .map(|(worker, pids)| {
+            let mut qset: Vec<u32> = pids.values().flatten().copied().collect();
+            qset.sort_unstable();
+            qset.dedup();
+            let incoming_bytes = qset
+                .iter()
+                .map(|&qi| query_broadcast_bytes(queries[qi as usize]))
+                .sum();
+            TaskSpec {
+                worker,
+                incoming_bytes,
+                partition: None,
+                payload: pids.into_iter().collect(),
+            }
+        })
+        .collect();
+
+    let ctxs_ref = &ctxs;
+    let scratch_ref: &SearchScratch = scratch;
+    type WorkerOut = Vec<(u32, usize, FilterStats, Vec<(TrajectoryId, f64)>)>;
+    let (per_worker, job) = system.cluster().execute_try(tasks, move |_w, pids| {
+        let obs = system.obs();
+        let mut probe = scratch_ref.take_batch();
+        let mut kernel = dita_distance::kernel::Scratch::new();
+        let mut out: WorkerOut = Vec::new();
+        let mut slot: std::collections::BTreeMap<u32, usize> = std::collections::BTreeMap::new();
+        for (pid, qidxs) in pids {
+            let trie = system.trie(pid);
+            let batch = {
+                let _fspan = dita_obs::span!(obs, names::SPAN_FILTER, pid = pid);
+                let qs: Vec<&[Point]> = qidxs
+                    .iter()
+                    .map(|&qi| ctxs_ref[qi as usize].points())
+                    .collect();
+                let ts: Vec<f64> = qidxs.iter().map(|&qi| taus[qi as usize]).collect();
+                trie.candidates_batch(&qs, &ts, func, &mut probe)
+            };
+            let _vspan = dita_obs::span!(obs, names::SPAN_VERIFY, pid = pid);
+            // Partition-major verify: invert the per-query candidate lists
+            // so each trajectory is decoded once for every query that
+            // reached it. Ids are validated first, mirroring
+            // `try_verify_candidates`.
+            let mut by_cand: std::collections::BTreeMap<u32, Vec<usize>> =
+                std::collections::BTreeMap::new();
+            for (local, (ids, _)) in batch.iter().enumerate() {
+                for &c in ids {
+                    if trie.try_get(c).is_none() {
+                        return Err(TaskError::new(format!(
+                            "candidate id {c} out of range for a trie of {} entries",
+                            trie.len()
+                        )));
+                    }
+                    by_cand.entry(c).or_default().push(local);
+                }
+            }
+            let mut hits: Vec<Vec<(TrajectoryId, f64)>> = vec![Vec::new(); qidxs.len()];
+            for (&c, locals) in &by_cand {
+                let view = CandidateView::from(trie.get(c));
+                for &local in locals {
+                    let qi = qidxs[local] as usize;
+                    if let Some(d) = crate::verify::verify_pair_soa(
+                        view,
+                        &ctxs_ref[qi],
+                        taus[qi],
+                        func,
+                        &mut kernel,
+                    ) {
+                        hits[local].push((view.id, d));
+                    }
+                }
+            }
+            for (local, (ids, fs)) in batch.into_iter().enumerate() {
+                let qi = qidxs[local];
+                // Per-query child span under the batch task, so critical-
+                // path attribution can split the task's wall time by query.
+                let _qspan = dita_obs::span!(obs, names::SPAN_BATCH_QUERY, query = qi, pid = pid);
+                let h = std::mem::take(&mut hits[local]);
+                match slot.get(&qi) {
+                    Some(&s) => {
+                        out[s].1 += ids.len();
+                        out[s].2.merge(&fs);
+                        out[s].3.extend(h);
+                    }
+                    None => {
+                        slot.insert(qi, out.len());
+                        out.push((qi, ids.len(), fs, h));
+                    }
+                }
+            }
+        }
+        scratch_ref.put_batch(probe);
+        Ok(out)
+    });
+
+    // Step 3 (driver): collect per query, then run each query's delta
+    // overlay + sort + obs accounting exactly as the sequential path would.
+    let mut results: Vec<Vec<(TrajectoryId, f64)>> = vec![Vec::new(); nq];
+    let mut stats: Vec<QueryStats> = relevant_counts
+        .iter()
+        .map(|&r| QueryStats {
+            relevant_partitions: r,
+            candidates: 0,
+            results: 0,
+            filter: FilterStats::default(),
+            delta_candidates: 0,
+            delta_filter: FilterStats::default(),
+        })
+        .collect();
+    for worker_out in per_worker {
+        for (qi, cands, fs, hits) in worker_out {
+            let qi = qi as usize;
+            stats[qi].candidates += cands;
+            stats[qi].filter.merge(&fs);
+            results[qi].extend(hits);
+        }
+    }
+    let deltas = system.deltas();
+    for qi in 0..nq {
+        let _qspan = dita_obs::span!(obs, names::SPAN_BATCH_QUERY, query = qi);
+        let (dc, df, tail_checked, tail_hits) = overlay_deltas(
+            system,
+            queries[qi],
+            &ctxs[qi],
+            taus[qi],
+            func,
+            options.verify_threads,
+            &mut results[qi],
+            scratch,
+        );
+        results[qi].sort_by_key(|&(id, _)| id);
+        stats[qi].delta_candidates = dc;
+        stats[qi].delta_filter = df;
+        stats[qi].results = results[qi].len();
+        if obs.is_enabled() {
+            stats[qi].filter.funnel().record(obs);
+            obs.counter(names::SEARCH_QUERIES_TOTAL).inc();
+            obs.counter(names::SEARCH_CANDIDATES_TOTAL)
+                .add(stats[qi].candidates as u64);
+            obs.counter(names::SEARCH_RESULTS_TOTAL)
+                .add(results[qi].len() as u64);
+            if deltas.has_deltas() {
+                let mut funnel = delta_funnel(&stats[qi].delta_filter);
+                funnel.push_stage(
+                    names::STAGE_TAIL_EXACT,
+                    tail_checked,
+                    tail_checked - tail_hits,
+                );
+                funnel.record(obs);
+            }
+        }
+    }
+
+    (
+        results,
+        BatchSearchStats {
+            queries: stats,
+            job,
+        },
+    )
 }
 
 /// The delta-side mirror of [`FilterStats::funnel`]: identical stage math,

@@ -30,4 +30,6 @@ pub use partitioner::{
 };
 pub use pivot::{select_pivots, PivotStrategy};
 pub use pointer::PointerTrie;
-pub use trie::{FilterStats, IndexedTrajectory, ProbeScratch, TrieConfig, TrieIndex};
+pub use trie::{
+    BatchProbeScratch, FilterStats, IndexedTrajectory, ProbeScratch, TrieConfig, TrieIndex,
+};

@@ -265,6 +265,30 @@ impl ProbeScratch {
     }
 }
 
+/// Reusable traversal state for [`TrieIndex::candidates_batch`]: the DFS
+/// frame stack plus the stacked per-frame active-query lists. One scratch
+/// serves a whole batch (and, held across calls, a whole query stream)
+/// without reallocating once grown to working size.
+#[derive(Debug, Default)]
+pub struct BatchProbeScratch {
+    /// DFS frames: `(node_id, start)` where `start` indexes the first of
+    /// this frame's active-query states in `states`.
+    frames: Vec<(u32, u32)>,
+    /// Active-query states of every live frame, stacked in push order:
+    /// `(query index, remaining budget, ordered-suffix anchor)`. The
+    /// topmost frame's states are always the suffix `states[start..]`.
+    states: Vec<(u32, f64, u32)>,
+    /// The popped frame's states, copied out before `states` is truncated.
+    cur: Vec<(u32, f64, u32)>,
+}
+
+impl BatchProbeScratch {
+    /// An empty scratch; the first batches grow it to working size.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// Budget semantics of one probe, resolved once per probe from the
 /// [`DistanceFunction`] so the per-node and per-member matches carry no
 /// impossible `Scan` arm — Scan-mode probes return before any descent.
@@ -334,6 +358,43 @@ pub(crate) fn visit_node(
     stats: &mut FilterStats,
     stack: &mut Vec<(u32, f64, usize)>,
 ) {
+    if let Some((new_budget, new_suffix)) = node_admits(
+        mbr,
+        depth,
+        node_min_len,
+        node_max_len,
+        q,
+        tau,
+        budget,
+        suffix,
+        walk,
+        stats,
+    ) {
+        stack.push((node_id, new_budget, new_suffix));
+    }
+}
+
+/// The node-level admission predicate behind [`visit_node`] and the
+/// batched probe: the EDR length-interval prune, the per-level MinDist
+/// (with the Lemma 5.1 ordered-suffix scan on pivot levels) and the
+/// per-walk budget update. Returns the `(budget, suffix)` to carry into
+/// the subtree, or `None` when the node is pruned for this query.
+///
+/// Single-query and batched walks both route through here, so a batch of
+/// one query makes byte-identical decisions to a plain probe.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn node_admits(
+    mbr: &Mbr,
+    depth: u8,
+    node_min_len: u32,
+    node_max_len: u32,
+    q: &[Point],
+    tau: f64,
+    budget: f64,
+    suffix: usize,
+    walk: &Walk,
+    stats: &mut FilterStats,
+) -> Option<(f64, usize)> {
     stats.nodes_visited += 1;
     let n = q.len();
     // EDR length filter (Appendix A): every member of this subtree has
@@ -345,7 +406,7 @@ pub(crate) fn visit_node(
         && (node_min_len as f64 > n as f64 + tau || (node_max_len as f64) < n as f64 - tau)
     {
         stats.nodes_pruned_length += 1;
-        return;
+        return None;
     }
     // Distance of the query to this node's MBR, per level semantics.
     let (d, new_suffix) = match (depth, walk) {
@@ -389,14 +450,14 @@ pub(crate) fn visit_node(
         Walk::Additive => {
             if d > budget {
                 stats.nodes_pruned_budget += 1;
-                return;
+                return None;
             }
             budget - d
         }
         Walk::Max => {
             if d > budget {
                 stats.nodes_pruned_budget += 1;
-                return;
+                return None;
             }
             budget
         }
@@ -408,7 +469,7 @@ pub(crate) fn visit_node(
                 if charge {
                     if budget < 1.0 {
                         stats.nodes_pruned_budget += 1;
-                        return;
+                        return None;
                     }
                     budget - 1.0
                 } else {
@@ -419,7 +480,7 @@ pub(crate) fn visit_node(
             }
         }
     };
-    stack.push((node_id, new_budget, new_suffix));
+    Some((new_budget, new_suffix))
 }
 
 /// The exact per-member leaf filter, on the member's own precomputed
@@ -909,6 +970,144 @@ impl TrieIndex {
         let mut count = 0usize;
         self.probe(q, tau, func, &mut stats, &mut scratch.stack, |_| count += 1);
         count
+    }
+
+    /// Batched filter (Algorithm 2, amortized): one walk of the flat arena
+    /// answers a whole batch of queries. Each DFS frame carries the list of
+    /// queries still active at that node; the list shrinks as the
+    /// node-level prunes (EDR length interval, MinDist budget) reject
+    /// queries per node, and a subtree is descended only while at least one
+    /// query survives — so each [`FlatNodes`] record and each member's SoA
+    /// block is touched once for all queries that reach it instead of once
+    /// per query.
+    ///
+    /// Returns one `(candidate ids, filter funnel)` pair per query, each
+    /// byte-identical to what [`TrieIndex::candidates_with_stats`] returns
+    /// for that query alone: both paths route node decisions through
+    /// [`node_admits`] and member decisions through [`member_admits`] with
+    /// identical budgets, so pruning never diverges. Queries with an empty
+    /// point list or a negative `tau` yield empty results, matching the
+    /// single-query probe. Scan-mode functions (ERP) emit every stored id
+    /// per query with no descent, as in the single-query path.
+    pub fn candidates_batch(
+        &self,
+        queries: &[&[Point]],
+        taus: &[f64],
+        func: &DistanceFunction,
+        scratch: &mut BatchProbeScratch,
+    ) -> Vec<(Vec<u32>, FilterStats)> {
+        assert_eq!(queries.len(), taus.len(), "one tau per query");
+        let mut out: Vec<(Vec<u32>, FilterStats)> = queries
+            .iter()
+            .map(|_| (Vec::new(), FilterStats::default()))
+            .collect();
+        let Some(walk) = Walk::of(func) else {
+            // Scan mode: every stored trajectory, for every live query.
+            for (qi, q) in queries.iter().enumerate() {
+                if q.is_empty() || taus[qi] < 0.0 {
+                    continue;
+                }
+                out[qi].0.extend(0..self.store.len() as u32);
+            }
+            return out;
+        };
+        let edr = walk.is_edr();
+        scratch.frames.clear();
+        scratch.states.clear();
+        for &r in &self.roots {
+            let rec = self.nodes.rec(r);
+            let start = scratch.states.len() as u32;
+            for (qi, q) in queries.iter().enumerate() {
+                if q.is_empty() || taus[qi] < 0.0 {
+                    continue;
+                }
+                let tau = taus[qi];
+                if let Some((b, s)) = node_admits(
+                    &rec.mbr,
+                    rec.depth,
+                    rec.min_len,
+                    rec.max_len,
+                    q,
+                    tau,
+                    tau,
+                    0,
+                    &walk,
+                    &mut out[qi].1,
+                ) {
+                    scratch.states.push((qi as u32, b, s as u32));
+                }
+            }
+            if scratch.states.len() as u32 > start {
+                scratch.frames.push((r, start));
+            }
+        }
+        while let Some((node_id, start)) = scratch.frames.pop() {
+            // The popped frame is the most recently pushed, so its states
+            // are exactly the stack suffix `[start..]`; truncating restores
+            // the parent frames' ranges untouched.
+            let start = start as usize;
+            scratch.cur.clear();
+            scratch.cur.extend_from_slice(&scratch.states[start..]);
+            scratch.states.truncate(start);
+            let rec = *self.nodes.rec(node_id);
+            for &m in self.nodes.members(&rec) {
+                let e = self.store.entry(m as usize);
+                for &(qi, _, _) in &scratch.cur {
+                    let qi = qi as usize;
+                    let q = queries[qi];
+                    let tau = taus[qi];
+                    let (ids, stats) = &mut out[qi];
+                    stats.members_checked += 1;
+                    if edr && dita_distance::bounds::length_bound_edr(e.len(), q.len(), tau) {
+                        stats.members_pruned_length += 1;
+                        continue;
+                    }
+                    let admits = member_admits(
+                        q,
+                        tau,
+                        &walk,
+                        e.len(),
+                        e.index_points(),
+                        e.pivots().iter().map(|&p| p as usize),
+                        e.soa(),
+                    );
+                    if admits {
+                        ids.push(m);
+                    } else {
+                        stats.members_pruned_opamd += 1;
+                    }
+                }
+            }
+            for &c in self.nodes.children(&rec) {
+                let crec = self.nodes.rec(c);
+                let cstart = scratch.states.len() as u32;
+                for &(qi, budget, suffix) in &scratch.cur {
+                    let qiu = qi as usize;
+                    if let Some((b, s)) = node_admits(
+                        &crec.mbr,
+                        crec.depth,
+                        crec.min_len,
+                        crec.max_len,
+                        queries[qiu],
+                        taus[qiu],
+                        budget,
+                        suffix as usize,
+                        &walk,
+                        &mut out[qiu].1,
+                    ) {
+                        scratch.states.push((qi, b, s as u32));
+                    }
+                }
+                if scratch.states.len() as u32 > cstart {
+                    scratch.frames.push((c, cstart));
+                }
+            }
+        }
+        for (ids, _) in &mut out {
+            ids.sort_unstable();
+            ids.dedup();
+        }
+        out
     }
 
     /// The shared filter traversal behind [`TrieIndex::candidates_with_scratch`]

@@ -10,7 +10,9 @@
 //! actually smaller, which is the whole point of carrying two layouts.
 
 use dita_distance::DistanceFunction;
-use dita_index::{PivotStrategy, PointerTrie, ProbeScratch, TrieConfig, TrieIndex};
+use dita_index::{
+    BatchProbeScratch, PivotStrategy, PointerTrie, ProbeScratch, TrieConfig, TrieIndex,
+};
 use dita_trajectory::{Point, Trajectory};
 use proptest::prelude::*;
 
@@ -78,6 +80,52 @@ proptest! {
                 pointer.candidate_count(q.points(), tau, &f, &mut ps),
                 "{} counting probes diverge", f
             );
+        }
+    }
+
+    /// One shared arena walk answers a whole batch byte-identically to
+    /// per-query probes: candidate ids AND per-query filter funnels match
+    /// for every distance function, mixed taus included (negative taus
+    /// make a query inert, as in the single-query path). One scratch is
+    /// reused across every function, pinning that stale state cannot leak
+    /// between batches.
+    #[test]
+    fn batch_probe_matches_per_query_probes(
+        ts in arb_dataset(30),
+        queries in prop::collection::vec(
+            (prop::collection::vec((-20.0f64..20.0, -20.0f64..20.0), 1..14), -1.0f64..30.0),
+            1..6,
+        ),
+        k in 0usize..4,
+        nl in 2usize..6,
+        leaf_capacity in 0usize..4,
+    ) {
+        let config = TrieConfig {
+            k,
+            nl,
+            leaf_capacity,
+            strategy: PivotStrategy::NeighborDistance,
+            cell_side: 1.0,
+            ..TrieConfig::default()
+        };
+        let trie = TrieIndex::build(ts, config);
+        let qs: Vec<Trajectory> = queries
+            .iter()
+            .enumerate()
+            .map(|(i, (coords, _))| Trajectory::from_coords(1000 + i as u64, coords))
+            .collect();
+        let q_slices: Vec<&[Point]> = qs.iter().map(|t| t.points()).collect();
+        let taus: Vec<f64> = queries.iter().map(|&(_, tau)| tau).collect();
+        let mut scratch = BatchProbeScratch::new();
+        for f in all_functions() {
+            let batch = trie.candidates_batch(&q_slices, &taus, &f, &mut scratch);
+            prop_assert_eq!(batch.len(), qs.len());
+            for (qi, (ids, stats)) in batch.iter().enumerate() {
+                let (solo_ids, solo_stats) =
+                    trie.candidates_with_stats(q_slices[qi], taus[qi], &f);
+                prop_assert_eq!(ids, &solo_ids, "{} q={} candidate sets diverge", f, qi);
+                prop_assert_eq!(stats, &solo_stats, "{} q={} filter stats diverge", f, qi);
+            }
         }
     }
 

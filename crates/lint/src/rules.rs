@@ -38,6 +38,8 @@ const TRIE_HOT_FNS: &[&str] = &[
     "candidates_with_stats",
     "candidates_with_scratch",
     "candidate_count",
+    "candidates_batch",
+    "node_admits",
     "probe",
     "opamd_admits",
     "edit_family_admits",
@@ -138,6 +140,11 @@ fn l1_worker_panic(rel: &str, src: &str, masked: &str, out: &mut Vec<Finding>) {
     // probe and verification; all of it is worker-reachable.
     if rel == "crates/index/src/flat.rs" {
         scopes.push((0..masked.len(), "flat trie arena (probe hot path)"));
+    }
+    // The admission scheduler sits on every query's path; a panic here
+    // takes down the whole intake loop, not one query.
+    if rel == "crates/cluster/src/scheduler.rs" {
+        scopes.push((0..masked.len(), "query scheduler admission path"));
     }
     if rel == "crates/index/src/trie.rs" || rel == "crates/index/src/pointer.rs" {
         for f in fn_spans(masked) {

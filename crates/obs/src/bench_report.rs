@@ -407,6 +407,154 @@ impl FromJson for PlanningAb {
     }
 }
 
+/// Per-operation latency summary, milliseconds.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LatencySummaryMs {
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl ToJson for LatencySummaryMs {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("p50", &self.p50)
+            .field("p95", &self.p95)
+            .field("p99", &self.p99)
+            .build()
+    }
+}
+
+impl FromJson for LatencySummaryMs {
+    fn from_json(v: &Value) -> JsonResult<LatencySummaryMs> {
+        Ok(LatencySummaryMs {
+            p50: v.or_default("p50")?,
+            p95: v.or_default("p95")?,
+            p99: v.or_default("p99")?,
+        })
+    }
+}
+
+/// One closed-loop throughput arm (sequential loop or batched execution).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThroughputArm {
+    /// Completed queries per second.
+    pub qps: f64,
+    /// Per-query latency summary; for the batched arm every query in a
+    /// batch reports its batch's wall time.
+    pub latency_ms: LatencySummaryMs,
+    /// Queries answered in the measured window.
+    pub queries: usize,
+}
+
+impl ToJson for ThroughputArm {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("qps", &self.qps)
+            .field("latency_ms", &self.latency_ms)
+            .field("queries", &self.queries)
+            .build()
+    }
+}
+
+impl FromJson for ThroughputArm {
+    fn from_json(v: &Value) -> JsonResult<ThroughputArm> {
+        Ok(ThroughputArm {
+            qps: v.or_default("qps")?,
+            latency_ms: v.or_default("latency_ms")?,
+            queries: v.or_default("queries")?,
+        })
+    }
+}
+
+/// Open-loop overload run through the query scheduler: arrivals are
+/// offered faster than service, so the bounded admission queue must shed.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct OpenLoopRun {
+    /// Queries offered to the scheduler.
+    pub offered: usize,
+    /// Queries admitted into the queue.
+    pub admitted: usize,
+    /// Queries shed by admission control (queue full).
+    pub shed: usize,
+    /// The configured admission queue capacity.
+    pub queue_capacity: usize,
+    /// The largest queue depth observed — never exceeds the capacity.
+    pub max_queue_depth: usize,
+    /// Queries answered (admitted and dispatched in batches).
+    pub completed: usize,
+}
+
+impl ToJson for OpenLoopRun {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("offered", &self.offered)
+            .field("admitted", &self.admitted)
+            .field("shed", &self.shed)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("max_queue_depth", &self.max_queue_depth)
+            .field("completed", &self.completed)
+            .build()
+    }
+}
+
+impl FromJson for OpenLoopRun {
+    fn from_json(v: &Value) -> JsonResult<OpenLoopRun> {
+        Ok(OpenLoopRun {
+            offered: v.or_default("offered")?,
+            admitted: v.or_default("admitted")?,
+            shed: v.or_default("shed")?,
+            queue_capacity: v.or_default("queue_capacity")?,
+            max_queue_depth: v.or_default("max_queue_depth")?,
+            completed: v.or_default("completed")?,
+        })
+    }
+}
+
+/// Batched-execution throughput section: the same query stream answered by
+/// the sequential per-query loop and by `search_batch` at a fixed batch
+/// size, plus an open-loop overload run through the query scheduler.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ThroughputSection {
+    /// Queries per batch in the batched arm.
+    pub batch_size: usize,
+    /// The per-query loop arm.
+    pub sequential: ThroughputArm,
+    /// The batched arm.
+    pub batched: ThroughputArm,
+    /// `batched.qps / sequential.qps`.
+    pub speedup: f64,
+    /// Scheduler overload behaviour.
+    pub open_loop: OpenLoopRun,
+}
+
+impl ToJson for ThroughputSection {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("batch_size", &self.batch_size)
+            .field("sequential", &self.sequential)
+            .field("batched", &self.batched)
+            .field("speedup", &self.speedup)
+            .field("open_loop", &self.open_loop)
+            .build()
+    }
+}
+
+impl FromJson for ThroughputSection {
+    fn from_json(v: &Value) -> JsonResult<ThroughputSection> {
+        Ok(ThroughputSection {
+            batch_size: v.or_default("batch_size")?,
+            sequential: v.or_default("sequential")?,
+            batched: v.or_default("batched")?,
+            speedup: v.or_default("speedup")?,
+            open_loop: v.or_default("open_loop")?,
+        })
+    }
+}
+
 /// The complete `results/BENCH_*.json` artifact shape.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BenchSmokeReport {
@@ -436,6 +584,9 @@ pub struct BenchSmokeReport {
     /// Optional observed-vs-estimated planning A/B (absent in pre-PR7
     /// artifacts).
     pub planning_ab: Option<PlanningAb>,
+    /// Optional batched-execution throughput section (absent in pre-PR8
+    /// artifacts).
+    pub throughput: Option<ThroughputSection>,
 }
 
 impl ToJson for BenchSmokeReport {
@@ -457,6 +608,7 @@ impl ToJson for BenchSmokeReport {
             .field_if(self.ingest.is_some(), "ingest", &self.ingest)
             .field_if(self.memory.is_some(), "memory", &self.memory)
             .field_if(self.planning_ab.is_some(), "planning_ab", &self.planning_ab)
+            .field_if(self.throughput.is_some(), "throughput", &self.throughput)
             .build()
     }
 }
@@ -476,6 +628,7 @@ impl FromJson for BenchSmokeReport {
             ingest: v.opt("ingest")?,
             memory: v.opt("memory")?,
             planning_ab: v.opt("planning_ab")?,
+            throughput: v.opt("throughput")?,
         })
     }
 }
@@ -652,6 +805,36 @@ mod tests {
                 },
                 speedup: 1.5,
             }),
+            throughput: Some(ThroughputSection {
+                batch_size: 16,
+                sequential: ThroughputArm {
+                    qps: 1200.0,
+                    latency_ms: LatencySummaryMs {
+                        p50: 0.7,
+                        p95: 1.4,
+                        p99: 2.1,
+                    },
+                    queries: 640,
+                },
+                batched: ThroughputArm {
+                    qps: 3100.0,
+                    latency_ms: LatencySummaryMs {
+                        p50: 4.8,
+                        p95: 5.9,
+                        p99: 6.3,
+                    },
+                    queries: 640,
+                },
+                speedup: 2.58,
+                open_loop: OpenLoopRun {
+                    offered: 1024,
+                    admitted: 800,
+                    shed: 224,
+                    queue_capacity: 64,
+                    max_queue_depth: 64,
+                    completed: 800,
+                },
+            }),
         }
     }
 
@@ -680,11 +863,13 @@ mod tests {
         assert!(report.schema.is_none());
         assert!(report.search_profile.is_none());
         assert!(report.planning_ab.is_none());
+        assert!(report.throughput.is_none());
         assert_eq!(report.kernels[0].aos_ns, 30039.0);
         // And absent Options stay absent on re-serialization.
         let json = report.to_json_pretty().unwrap();
         assert!(!json.contains("search_profile"));
         assert!(!json.contains("planning_ab"));
+        assert!(!json.contains("throughput"));
     }
 
     #[test]

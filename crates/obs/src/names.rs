@@ -78,6 +78,25 @@ pub const INDEX_BUILD_SECONDS: &str = "dita_index_build_seconds";
 pub const INDEX_BYTES: &str = "dita_index_bytes";
 
 // ---------------------------------------------------------------------------
+// Query scheduler metrics.
+// ---------------------------------------------------------------------------
+
+/// Queries waiting in the scheduler's bounded admission queue, sampled on
+/// every submit and batch formation.
+pub const QUERY_QUEUE_DEPTH: &str = "dita_query_queue_depth";
+/// Seconds a query waited between admission and batch formation.
+pub const ADMISSION_WAIT_SECONDS: &str = "dita_admission_wait_seconds";
+/// Queries rejected at admission (queue full or over cost budget).
+pub const QUERIES_SHED_TOTAL: &str = "dita_queries_shed_total";
+/// Queries whose cancellation token fired before execution; their queue
+/// and worker slots are reclaimed.
+pub const QUERIES_CANCELLED_TOTAL: &str = "dita_queries_cancelled_total";
+/// Batches formed by fair-share batch formation.
+pub const BATCHES_FORMED_TOTAL: &str = "dita_batches_formed_total";
+/// Queries dispatched inside formed batches.
+pub const BATCHED_QUERIES_TOTAL: &str = "dita_batched_queries_total";
+
+// ---------------------------------------------------------------------------
 // Ingestion metrics.
 // ---------------------------------------------------------------------------
 
@@ -114,6 +133,16 @@ pub const SPAN_EXECUTE_DYNAMIC: &str = "execute_dynamic";
 pub const SPAN_LOCAL_JOIN: &str = "local-join";
 /// Driver-side kNN operation span (one `search` child per radius probe).
 pub const SPAN_KNN: &str = "knn";
+/// Driver-side batched-search operation span: one broadcast, one shared
+/// arena walk and one partition-major verify for a whole query batch.
+pub const SPAN_SEARCH_BATCH: &str = "search-batch";
+/// Driver-side batched-kNN operation span (one `search-batch` child per
+/// radius round over the still-active queries).
+pub const SPAN_KNN_BATCH: &str = "knn-batch";
+/// Per-query child span under a batch task (and under the batch driver
+/// span for overlay/finalize), so critical-path attribution still sees
+/// individual queries inside a shared batch.
+pub const SPAN_BATCH_QUERY: &str = "batch-query";
 /// One trie build per partition, inside a build task.
 pub const SPAN_INDEX_BUILD: &str = "index-build";
 /// One ingestion operation (insert/delete/flush).
@@ -169,6 +198,12 @@ pub const ALL_METRICS: &[&str] = &[
     JOIN_EDGES_WEIGHTED_TOTAL,
     INDEX_BUILD_SECONDS,
     INDEX_BYTES,
+    QUERY_QUEUE_DEPTH,
+    ADMISSION_WAIT_SECONDS,
+    QUERIES_SHED_TOTAL,
+    QUERIES_CANCELLED_TOTAL,
+    BATCHES_FORMED_TOTAL,
+    BATCHED_QUERIES_TOTAL,
     INGEST_APPLIED_TOTAL,
     DELTA_RATIO,
     COMPACTION_SECONDS,
@@ -187,6 +222,9 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_EXECUTE_DYNAMIC,
     SPAN_LOCAL_JOIN,
     SPAN_KNN,
+    SPAN_SEARCH_BATCH,
+    SPAN_KNN_BATCH,
+    SPAN_BATCH_QUERY,
     SPAN_INDEX_BUILD,
     SPAN_INGEST,
     SPAN_SEGMENT_BUILD,

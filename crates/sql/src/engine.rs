@@ -4,7 +4,9 @@ use crate::error::SqlError;
 use crate::parser::parse;
 use crate::plan::{logical_plan, physical_plan, PhysicalPlan};
 use dita_cluster::Cluster;
-use dita_core::{join, knn_search, search, DitaConfig, DitaSystem, JoinOptions};
+use dita_core::{
+    join, knn_search, search, search_batch, DitaConfig, DitaSystem, JoinOptions, SearchOptions,
+};
 use dita_distance::DistanceFunction;
 use dita_trajectory::{Dataset, Point, Trajectory, TrajectoryId};
 use std::collections::BTreeMap;
@@ -127,6 +129,72 @@ impl Engine {
         let lp = logical_plan(stmt)?;
         let pp = physical_plan(lp, |t| self.is_indexed(t));
         Ok(pp.describe())
+    }
+
+    /// Parses, plans and executes several statements in order, answering
+    /// runs of compatible indexed searches with one batched cluster job.
+    ///
+    /// Consecutive statements that plan to
+    /// [`PhysicalPlan::IndexSearch`] on the same table and distance
+    /// function are executed through `dita-core`'s `search_batch` — one
+    /// shared trie traversal and one task per worker for the whole run —
+    /// instead of a per-statement loop. Results are identical to calling
+    /// [`Engine::execute`] on each statement (pinned by test); any other
+    /// statement (or an unparsable one) closes the current run and executes
+    /// normally, so ordering and error positions are preserved. The first
+    /// error aborts the batch.
+    pub fn execute_batch(&mut self, stmts: &[&str]) -> Result<Vec<QueryResult>, SqlError> {
+        let mut out = Vec::with_capacity(stmts.len());
+        let mut i = 0;
+        while i < stmts.len() {
+            // A statement that is not an indexed search (or fails to plan —
+            // its error surfaces in order below) runs through the normal
+            // single-statement path.
+            let Ok(PhysicalPlan::IndexSearch {
+                table,
+                func,
+                query,
+                tau,
+            }) = self.plan(stmts[i])
+            else {
+                out.push(self.execute(stmts[i])?);
+                i += 1;
+                continue;
+            };
+            // Extend the run while the following statements plan to a
+            // compatible search. Searches are read-only, so planning ahead
+            // under the current catalog state is sound.
+            let mut queries: Vec<(Vec<Point>, f64)> = vec![(query, tau)];
+            let mut j = i + 1;
+            while j < stmts.len() {
+                match self.plan(stmts[j]) {
+                    Ok(PhysicalPlan::IndexSearch {
+                        table: t2,
+                        func: f2,
+                        query: q2,
+                        tau: tau2,
+                    }) if t2 == table && f2 == func => {
+                        queries.push((q2, tau2));
+                        j += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let entry = self.entry(&table)?;
+            let system = entry.system.as_ref().expect("planner checked the index");
+            let qs: Vec<&[Point]> = queries.iter().map(|(q, _)| q.as_slice()).collect();
+            let taus: Vec<f64> = queries.iter().map(|&(_, tau)| tau).collect();
+            let (results, _) = search_batch(system, &qs, &taus, &func, SearchOptions::default());
+            out.extend(results.into_iter().map(QueryResult::SearchHits));
+            i = j;
+        }
+        Ok(out)
+    }
+
+    fn plan(&self, sql: &str) -> Result<PhysicalPlan, SqlError> {
+        let stmt = parse(sql)?;
+        let lp = logical_plan(stmt)?;
+        Ok(physical_plan(lp, |t| self.is_indexed(t)))
     }
 
     /// Parses, plans and executes one statement.
@@ -513,6 +581,48 @@ mod tests {
             QueryResult::Rows(rows) => assert_eq!(rows.len(), 5),
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn execute_batch_matches_per_statement_execution() {
+        let mk = |indexed: bool| {
+            let mut e = engine();
+            if indexed {
+                e.execute("CREATE INDEX i ON taxi USE TRIE").unwrap();
+            }
+            e
+        };
+        // A mixed script: a run of three compatible DTW searches (batched),
+        // a FRECHET search (closes the run, starts its own), a full scan,
+        // then one more DTW search.
+        let stmts = [
+            "SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((1,1),(1,2),(3,2))) <= 3",
+            "SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((4,4),(4,5),(5,5))) <= 2",
+            "SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((0,0))) <= 10",
+            "SELECT * FROM taxi WHERE FRECHET(taxi, TRAJECTORY((1,1),(1,2))) <= 1.5",
+            "SELECT * FROM taxi",
+            "SELECT * FROM taxi WHERE DTW(taxi, TRAJECTORY((2,2),(3,3))) <= 4",
+        ];
+        let mut batch_engine = mk(true);
+        let batched = batch_engine.execute_batch(&stmts).unwrap();
+        let mut serial_engine = mk(true);
+        for (got, sql) in batched.iter().zip(stmts) {
+            let expect = serial_engine.execute(sql).unwrap();
+            match (got, expect) {
+                (QueryResult::SearchHits(b), QueryResult::SearchHits(s)) => {
+                    assert_eq!(b, &s, "{sql}")
+                }
+                (QueryResult::Rows(b), QueryResult::Rows(s)) => assert_eq!(b.len(), s.len()),
+                (b, s) => panic!("variant mismatch for {sql}: {b:?} vs {s:?}"),
+            }
+        }
+        // Unindexed searches are not batched but still answer identically.
+        let mut e = mk(false);
+        let results = e.execute_batch(&stmts[..2]).unwrap();
+        assert_eq!(results.len(), 2);
+        // Errors abort the batch in statement order.
+        let mut e = mk(true);
+        assert!(e.execute_batch(&[stmts[0], "SELECT * FROM nope"]).is_err());
     }
 
     #[test]

@@ -5,11 +5,27 @@
 # — verified pairs/s, serial search p50, best kernel speedup, host cores —
 # so a perf regression between PRs shows up as one diff line. Artifacts
 # from PRs that predate the current bench schema are skipped with a
-# warning, not an error.
+# warning — but the canonical artifacts listed below are --require'd:
+# if one is missing or unparsable the run fails loudly instead of
+# emitting a silently shorter series. (PR 2 and PR 5 never produced a
+# bench artifact, so they are legitimately absent.)
 #
 # Usage: scripts/perf_trajectory.sh [results-dir] [--out path]
 # Defaults: results, results/TRAJECTORY.json.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo run --release -p dita-bench --bin perf_trajectory -- "$@"
+REQUIRED=(
+  BENCH_PR1.json
+  BENCH_PR3.json
+  BENCH_PR4.json
+  BENCH_PR6.json
+  BENCH_PR7.json
+  BENCH_PR8.json
+)
+require_flags=()
+for name in "${REQUIRED[@]}"; do
+  require_flags+=(--require "$name")
+done
+
+cargo run --release -p dita-bench --bin perf_trajectory -- "${require_flags[@]}" "$@"
