@@ -827,6 +827,7 @@ fn main() {
         }),
         // The throughput section belongs to throughput_smoke's artifact.
         throughput: None,
+        serve: None,
     };
     // `--out <path>` overrides the artifact location. The artifact is
     // written only there — never copied to the repo root.

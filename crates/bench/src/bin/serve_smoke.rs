@@ -1,0 +1,654 @@
+//! Serve smoke: load harness against the wire-protocol service
+//! (`dita-server`), producing `results/BENCH_PR9.json` (override with
+//! `--out <path>`). The server runs in-process but every request
+//! travels over a real TCP socket through the full HTTP stack —
+//! framing, admission, batching, reply wakeup.
+//!
+//! Sections:
+//! 1. closed loop — a fixed pool of keep-alive clients, each sending
+//!    its next `/search` only after the previous answer. Concurrency
+//!    stays below the admission queue capacity, so nothing sheds;
+//!    reports qps and client-observed p50/p95/p99.
+//! 2. open loop — more clients than queue slots, arriving on a
+//!    seeded-RNG exponential (Poisson-ish) schedule at a multiple of
+//!    the measured closed-loop throughput, each request carrying a
+//!    deadline header. Midway the harness injects a dispatch stall
+//!    longer than that deadline — the operator-hiccup scenario — so
+//!    the run demonstrates all three overload outcomes: bounded queue
+//!    depth, 429 shedding, and cooperative 504 cancellation.
+//! 3. parity — every 200 body from either loop is byte-compared
+//!    against the shared `dita_server::wire` encoding of a direct
+//!    `search_batch` answer: the HTTP layer adds transport, not
+//!    semantics.
+//! 4. headline numbers — one kernel pair, verified-pairs/sec, and
+//!    search p50s, so `perf_trajectory` folds this artifact into the
+//!    cross-PR series.
+//!
+//! Data is the bench_smoke synthetic city (seeded xorshift walks);
+//! queries are jittered members so every answer is non-empty.
+
+use dita_cluster::{Cluster, ClusterConfig, SchedulerConfig};
+use dita_core::{search_batch, DitaConfig, SearchOptions};
+use dita_distance::{dtw_soa, dtw_threshold, DistanceFunction, Scratch};
+use dita_index::{PivotStrategy, TrieConfig};
+use dita_obs::bench_report::{
+    BenchSmokeReport, KernelMeasurement, LatencySummaryMs, SearchP50Ms, ServeLoopRun, ServeSection,
+    ThreadScalingPoint, BENCH_SCHEMA,
+};
+use dita_server::{wire, Server, ServerConfig};
+use dita_sql::Engine;
+use dita_trajectory::{Dataset, Point, SoaPoints, Trajectory};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::thread;
+use std::time::{Duration, Instant};
+
+struct XorShift(u64);
+
+impl XorShift {
+    fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.0 = x;
+        x.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+fn walk(rng: &mut XorShift, len: usize, x0: f64, y0: f64) -> Vec<Point> {
+    let mut pts = Vec::with_capacity(len);
+    let (mut x, mut y) = (x0, y0);
+    for _ in 0..len {
+        x += (rng.next_f64() - 0.5) * 0.01;
+        y += (rng.next_f64() - 0.5) * 0.01;
+        pts.push(Point::new(x, y));
+    }
+    pts
+}
+
+fn percentile(sorted_ms: &[f64], p: f64) -> f64 {
+    assert!(!sorted_ms.is_empty());
+    let idx = ((sorted_ms.len() - 1) as f64 * p).round() as usize;
+    sorted_ms[idx]
+}
+
+fn summarize(latencies_ms: &mut [f64]) -> LatencySummaryMs {
+    latencies_ms.sort_by(|a, b| a.total_cmp(b));
+    let round3 = |x: f64| (x * 1000.0).round() / 1000.0;
+    LatencySummaryMs {
+        p50: round3(percentile(latencies_ms, 0.50)),
+        p95: round3(percentile(latencies_ms, 0.95)),
+        p99: round3(percentile(latencies_ms, 0.99)),
+    }
+}
+
+/// A blocking keep-alive HTTP/1.1 client over one `TcpStream`.
+struct HttpClient {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl HttpClient {
+    fn connect(addr: SocketAddr) -> HttpClient {
+        let stream = TcpStream::connect(addr).expect("connect to in-process server");
+        stream.set_nodelay(true).ok();
+        HttpClient {
+            stream,
+            buf: Vec::new(),
+        }
+    }
+
+    /// One POST on the persistent connection; returns (status, body).
+    fn post(&mut self, path: &str, body: &str, headers: &[(&str, &str)]) -> (u16, Vec<u8>) {
+        let mut extra = String::new();
+        for (k, v) in headers {
+            extra.push_str(&format!("{k}: {v}\r\n"));
+        }
+        let req = format!(
+            "POST {path} HTTP/1.1\r\nhost: smoke\r\ncontent-length: {}\r\n{extra}\r\n{body}",
+            body.len()
+        );
+        self.stream
+            .write_all(req.as_bytes())
+            .expect("write request");
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> (u16, Vec<u8>) {
+        let mut chunk = [0u8; 4096];
+        loop {
+            if let Some(end) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                let head = String::from_utf8_lossy(&self.buf[..end]).to_string();
+                let status: u16 = head
+                    .split(' ')
+                    .nth(1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| panic!("bad response head: {head}"));
+                let len: usize = head
+                    .lines()
+                    .find_map(|l| {
+                        let (k, v) = l.split_once(':')?;
+                        k.eq_ignore_ascii_case("content-length")
+                            .then(|| v.trim().parse().ok())?
+                    })
+                    .expect("content-length header");
+                let total = end + 4 + len;
+                while self.buf.len() < total {
+                    let n = self.stream.read(&mut chunk).expect("read body");
+                    assert!(n > 0, "server closed mid-body");
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                let body = self.buf[end + 4..total].to_vec();
+                self.buf.drain(..total);
+                return (status, body);
+            }
+            let n = self.stream.read(&mut chunk).expect("read head");
+            assert!(n > 0, "server closed before response head");
+            self.buf.extend_from_slice(&chunk[..n]);
+        }
+    }
+}
+
+/// What one load client observed over its run.
+#[derive(Default)]
+struct ClientStats {
+    offered: usize,
+    completed: usize,
+    shed: usize,
+    cancelled: usize,
+    parity: usize,
+    lat_ms: Vec<f64>,
+}
+
+impl ClientStats {
+    fn absorb(&mut self, other: ClientStats) {
+        self.offered += other.offered;
+        self.completed += other.completed;
+        self.shed += other.shed;
+        self.cancelled += other.cancelled;
+        self.parity += other.parity;
+        self.lat_ms.extend(other.lat_ms);
+    }
+
+    /// Records one response; parity-checks 200 bodies against the
+    /// direct-library expectation.
+    fn record(&mut self, status: u16, body: &[u8], expect: &[u8], ms: f64) {
+        self.offered += 1;
+        match status {
+            200 => {
+                assert_eq!(
+                    body, expect,
+                    "HTTP answer must be byte-identical to the direct library call"
+                );
+                self.parity += 1;
+                self.completed += 1;
+                self.lat_ms.push(ms);
+            }
+            429 => self.shed += 1,
+            504 => self.cancelled += 1,
+            other => panic!(
+                "unexpected status {other}: {}",
+                String::from_utf8_lossy(body)
+            ),
+        }
+    }
+}
+
+const NT: usize = 1500;
+const NQ: usize = 64;
+const TAU: f64 = 0.2;
+const HTTP_WORKERS: usize = 32;
+const QUEUE_CAPACITY: usize = 8;
+const CLOSED_CLIENTS: usize = 4;
+const CLOSED_PER_CLIENT: usize = 150;
+const OPEN_CLIENTS: usize = 24;
+const OPEN_PER_CLIENT: usize = 100;
+/// Per-request deadline of the open-loop clients, milliseconds.
+const OPEN_DEADLINE_MS: u64 = 40;
+/// The injected mid-run dispatch stall; must exceed the deadline so
+/// queued requests cancel instead of merely waiting.
+const STALL: Duration = Duration::from_millis(120);
+
+fn main() {
+    // -- data and the direct-library reference answers --
+    let mut rng = XorShift(0x5E17E);
+    let ts: Vec<Trajectory> = (0..NT as u64)
+        .map(|i| {
+            let len = 24 + (rng.next_u64() % 41) as usize;
+            let (x0, y0) = (rng.next_f64() * 2.0, rng.next_f64() * 2.0);
+            Trajectory::new(i + 1, walk(&mut rng, len, x0, y0))
+        })
+        .collect();
+    let config = DitaConfig {
+        ng: 8,
+        trie: TrieConfig {
+            k: 3,
+            nl: 4,
+            leaf_capacity: 8,
+            strategy: PivotStrategy::NeighborDistance,
+            cell_side: 0.05,
+            ..TrieConfig::default()
+        },
+    };
+    let queries: Vec<Vec<Point>> = (0..NQ)
+        .map(|i| {
+            let t = ts[(i * 47) % ts.len()].points();
+            let mut r2 = XorShift(
+                (t.len() as u64)
+                    .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                    .wrapping_add(i as u64 * 0x1234_5677)
+                    | 1,
+            );
+            t.iter()
+                .map(|p| {
+                    Point::new(
+                        p.x + (r2.next_f64() - 0.5) * 0.004,
+                        p.y + (r2.next_f64() - 0.5) * 0.004,
+                    )
+                })
+                .collect()
+        })
+        .collect();
+
+    // The reference engine is built identically to the served one and
+    // answers directly; `wire` encodes those answers to the exact bytes
+    // the server must produce. (Rust float Display is shortest
+    // round-trip, so the request bodies parse back to identical f64s.)
+    let mut direct = Engine::new(Cluster::new(ClusterConfig::with_workers(4)), config);
+    direct
+        .register("city", Dataset::new_unchecked("city", ts.clone()))
+        .expect("fresh catalog");
+    direct.ensure_index("city").expect("index build");
+    let q_slices: Vec<&[Point]> = queries.iter().map(|q| q.as_slice()).collect();
+    let taus = vec![TAU; NQ];
+    let (expected_hits, _) = search_batch(
+        direct.system("city").expect("indexed table"),
+        &q_slices,
+        &taus,
+        &DistanceFunction::Dtw,
+        SearchOptions::default(),
+    );
+    let expected: Vec<Vec<u8>> = expected_hits
+        .iter()
+        .map(|hits| wire::body_bytes(&wire::hits_value(hits)))
+        .collect();
+    for (qi, hits) in expected_hits.iter().enumerate() {
+        assert!(!hits.is_empty(), "query {qi} is a jittered member");
+    }
+    let bodies: Vec<String> = queries
+        .iter()
+        .map(|q| {
+            let pts: Vec<String> = q.iter().map(|p| format!("[{},{}]", p.x, p.y)).collect();
+            format!(
+                "{{\"table\": \"city\", \"query\": [{}], \"tau\": {TAU}}}",
+                pts.join(",")
+            )
+        })
+        .collect();
+
+    // -- the served engine --
+    let mut engine = Engine::new(Cluster::new(ClusterConfig::with_workers(4)), config);
+    engine
+        .register("city", Dataset::new_unchecked("city", ts.clone()))
+        .expect("fresh catalog");
+    let server = Server::start(
+        engine,
+        ServerConfig {
+            http_workers: HTTP_WORKERS,
+            scheduler: SchedulerConfig {
+                queue_capacity: QUEUE_CAPACITY,
+                max_batch: 4,
+                ..SchedulerConfig::default()
+            },
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind in-process server");
+    let addr = server.addr();
+    println!("serving on {addr} (workers {HTTP_WORKERS}, queue {QUEUE_CAPACITY})");
+
+    // -- closed loop: CLOSED_CLIENTS keep-alive connections --
+    println!("\n== closed loop: {CLOSED_CLIENTS} clients x {CLOSED_PER_CLIENT} requests ==");
+    let c0 = server.scheduler_counters();
+    let (mut closed, closed_wall, closed_depth) = run_loop(&server, CLOSED_CLIENTS, |client| {
+        let mut http = HttpClient::connect(addr);
+        let mut stats = ClientStats::default();
+        for i in 0..CLOSED_PER_CLIENT {
+            let qi = (client * CLOSED_PER_CLIENT + i) % NQ;
+            let t0 = Instant::now();
+            let (status, body) = http.post("/search", &bodies[qi], &[]);
+            stats.record(
+                status,
+                &body,
+                &expected[qi],
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+        }
+        stats
+    });
+    let c1 = server.scheduler_counters();
+    let closed_cancelled = (c1.cancelled + c1.expired) - (c0.cancelled + c0.expired);
+    let closed_qps = closed.completed as f64 / closed_wall;
+    let closed_lat = summarize(&mut closed.lat_ms);
+    println!(
+        "  {closed_qps:>7.0} qps  p50 {:>7.3} ms  p95 {:>7.3} ms  p99 {:>7.3} ms  \
+         shed {}  max depth {closed_depth}",
+        closed_lat.p50, closed_lat.p95, closed_lat.p99, closed.shed
+    );
+    assert_eq!(
+        closed.shed, 0,
+        "closed-loop concurrency {CLOSED_CLIENTS} stays below capacity {QUEUE_CAPACITY}"
+    );
+    assert_eq!(closed_cancelled, 0, "no deadline pressure in closed loop");
+    assert!(closed_qps > 0.0);
+
+    // -- open loop: overload at a multiple of the measured capacity --
+    // Exponential (Poisson-ish) arrivals per client; a client behind
+    // schedule fires immediately, so the offered rate is an upper target.
+    let offered_qps = (closed_qps * 4.0).max(2000.0);
+    let per_client_mean_s = OPEN_CLIENTS as f64 / offered_qps;
+    println!(
+        "\n== open loop: {OPEN_CLIENTS} clients x {OPEN_PER_CLIENT} requests, \
+         offered ~{offered_qps:.0} rps, deadline {OPEN_DEADLINE_MS} ms, \
+         {} ms stall injected ==",
+        STALL.as_millis()
+    );
+    let o0 = server.scheduler_counters();
+    let deadline_ms = OPEN_DEADLINE_MS.to_string();
+    let deadline_header = [("x-dita-deadline-ms", deadline_ms.as_str())];
+    let start_gate = Instant::now();
+    let stalled = AtomicBool::new(false);
+    let (mut open, open_wall, open_depth) = run_loop(&server, OPEN_CLIENTS + 1, |client| {
+        if client == OPEN_CLIENTS {
+            // The hiccup injector: midway, stall dispatch for longer
+            // than the client deadline, then resume.
+            thread::sleep(Duration::from_secs_f64(
+                per_client_mean_s * OPEN_PER_CLIENT as f64 * 0.5,
+            ));
+            server.pause_dispatch();
+            thread::sleep(STALL);
+            server.resume_dispatch();
+            stalled.store(true, Ordering::Relaxed);
+            return ClientStats::default();
+        }
+        let mut http = HttpClient::connect(addr);
+        let mut stats = ClientStats::default();
+        let mut arrival = XorShift(0xA11CE + client as u64 * 0x9E37_79B9 + 1);
+        let mut next_at = 0.0f64;
+        for i in 0..OPEN_PER_CLIENT {
+            next_at += -per_client_mean_s * (1.0 - arrival.next_f64()).ln();
+            let wait = next_at - start_gate.elapsed().as_secs_f64();
+            if wait > 0.0 {
+                thread::sleep(Duration::from_secs_f64(wait));
+            }
+            let qi = (client * OPEN_PER_CLIENT + i) % NQ;
+            let t0 = Instant::now();
+            let (status, body) = http.post("/search", &bodies[qi], &deadline_header);
+            stats.record(
+                status,
+                &body,
+                &expected[qi],
+                t0.elapsed().as_secs_f64() * 1e3,
+            );
+        }
+        stats
+    });
+    assert!(stalled.load(Ordering::Relaxed), "injector ran");
+    // Quiesce: the dispatcher reaps cancelled queue entries on its next
+    // batch formation (within a poll tick), so give it a beat before
+    // reading the final ledger.
+    let tq = Instant::now();
+    while (server.queue_depth() > 0 || server.inflight() > 0)
+        && tq.elapsed() < Duration::from_secs(5)
+    {
+        thread::sleep(Duration::from_millis(2));
+    }
+    thread::sleep(Duration::from_millis(25));
+    let o1 = server.scheduler_counters();
+    let open_cancelled = (o1.cancelled + o1.expired) - (o0.cancelled + o0.expired);
+    let open_qps = open.completed as f64 / open_wall;
+    let open_lat = summarize(&mut open.lat_ms);
+    println!(
+        "  {open_qps:>7.0} qps  p50 {:>7.3} ms  p95 {:>7.3} ms  p99 {:>7.3} ms  \
+         shed {}  cancelled {open_cancelled}  max depth {open_depth}",
+        open_lat.p50, open_lat.p95, open_lat.p99, open.shed
+    );
+    assert!(open.shed > 0, "overload must shed with 429");
+    assert!(
+        open_cancelled > 0,
+        "the injected stall must cancel queued requests past their deadline"
+    );
+    assert!(
+        open_cancelled >= open.cancelled,
+        "every client-observed 504 is a scheduler cancel"
+    );
+    assert!(
+        closed_depth.max(open_depth) <= QUEUE_CAPACITY,
+        "queue depth stays bounded by capacity"
+    );
+    assert!(open.completed > 0, "service continues under overload");
+
+    // The scheduler's lifetime ledger must balance once quiescent.
+    assert_eq!(
+        o1.admitted,
+        o1.dispatched + o1.cancelled + o1.expired,
+        "admitted splits exactly into dispatched + cancelled + expired"
+    );
+    let parity_checked = closed.parity + open.parity;
+    println!("  parity: {parity_checked} responses byte-identical to direct calls");
+
+    let serve = ServeSection {
+        http_workers: HTTP_WORKERS,
+        queue_capacity: QUEUE_CAPACITY,
+        closed_loop_clients: CLOSED_CLIENTS,
+        closed_loop: ServeLoopRun {
+            offered: closed.offered,
+            completed: closed.completed,
+            shed: closed.shed,
+            cancelled: closed_cancelled,
+            qps: closed_qps.round(),
+            latency_ms: closed_lat,
+            max_queue_depth: closed_depth,
+        },
+        open_loop_offered_qps: offered_qps.round(),
+        open_loop: ServeLoopRun {
+            offered: open.offered,
+            completed: open.completed,
+            shed: open.shed,
+            cancelled: open_cancelled,
+            qps: open_qps.round(),
+            latency_ms: open_lat,
+            max_queue_depth: open_depth,
+        },
+        parity_checked,
+    };
+    server.shutdown();
+
+    // -- headline numbers for the cross-PR trajectory --
+    let (kernel, pairs_per_sec) = headline_kernels();
+    let (p50_serial, p50_threads4) = headline_search_p50(&direct, &q_slices);
+    let report = BenchSmokeReport {
+        schema: Some(BENCH_SCHEMA.to_string()),
+        kernels: vec![kernel],
+        verified_pairs_per_sec: pairs_per_sec.round(),
+        search_p50_ms: SearchP50Ms {
+            serial: p50_serial,
+            verify_threads_4: p50_threads4,
+        },
+        thread_scaling: vec![ThreadScalingPoint {
+            threads: 1,
+            pairs_per_sec: pairs_per_sec.round(),
+        }],
+        host_cores: std::thread::available_parallelism().map_or(0, |n| n.get()),
+        note: "serve smoke: closed- and open-loop HTTP load over real sockets \
+               with byte-parity against direct library calls; the open loop \
+               injects a dispatch stall to exercise 429 shedding and deadline \
+               cancellation; kernel/p50 headline numbers ride along for the \
+               cross-PR trajectory"
+            .to_string(),
+        search_profile: None,
+        cold_path: None,
+        ingest: None,
+        memory: None,
+        planning_ab: None,
+        throughput: None,
+        serve: Some(serve),
+    };
+
+    let mut out = String::from("results/BENCH_PR9.json");
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--out" {
+            out = args.next().expect("--out needs a path");
+        }
+    }
+    let out = Path::new(&out);
+    match report.write_json(out) {
+        Ok(()) => println!("\nwrote {}", out.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", out.display()),
+    }
+}
+
+/// Runs `clients` threads of `body` plus a queue-depth sampler; returns
+/// (merged stats, wall seconds, max sampled queue depth).
+fn run_loop<F>(server: &Server, clients: usize, body: F) -> (ClientStats, f64, usize)
+where
+    F: Fn(usize) -> ClientStats + Sync,
+{
+    let stop = AtomicBool::new(false);
+    let max_depth = AtomicUsize::new(0);
+    let t0 = Instant::now();
+    let merged = thread::scope(|s| {
+        let sampler = s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                max_depth.fetch_max(server.queue_depth(), Ordering::Relaxed);
+                thread::sleep(Duration::from_micros(500));
+            }
+        });
+        let body = &body;
+        let handles: Vec<_> = (0..clients).map(|c| s.spawn(move || body(c))).collect();
+        let mut merged = ClientStats::default();
+        for h in handles {
+            merged.absorb(h.join().expect("client thread"));
+        }
+        stop.store(true, Ordering::Relaxed);
+        sampler.join().expect("sampler thread");
+        merged
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    (merged, wall, max_depth.load(Ordering::Relaxed))
+}
+
+/// One AoS-vs-SoA kernel pair and the mixed verified-pairs/sec figure,
+/// identical in shape to the other smoke artifacts.
+fn headline_kernels() -> (KernelMeasurement, f64) {
+    let mut rng = XorShift(0x5EED);
+    let dis: Vec<(Vec<Point>, Vec<Point>)> = (0..16)
+        .map(|_| (walk(&mut rng, 64, 0.0, 0.0), walk(&mut rng, 64, 1.0, 1.0)))
+        .collect();
+    let sim: Vec<(Vec<Point>, Vec<Point>)> = (0..16)
+        .map(|_| {
+            let t = walk(&mut rng, 64, 0.0, 0.0);
+            let mut r2 = XorShift(rng.next_u64() | 1);
+            let q = t
+                .iter()
+                .map(|p| {
+                    Point::new(
+                        p.x + (r2.next_f64() - 0.5) * 0.002,
+                        p.y + (r2.next_f64() - 0.5) * 0.002,
+                    )
+                })
+                .collect();
+            (t, q)
+        })
+        .collect();
+    let to_soa = |ps: &[(Vec<Point>, Vec<Point>)]| -> Vec<(SoaPoints, SoaPoints)> {
+        ps.iter()
+            .map(|(a, b)| (SoaPoints::from_points(a), SoaPoints::from_points(b)))
+            .collect()
+    };
+    let (dis_soa, sim_soa) = (to_soa(&dis), to_soa(&sim));
+    let mut scratch = Scratch::new();
+    let time_ns = |f: &mut dyn FnMut() -> u64| -> f64 {
+        let iters = 400usize;
+        let mut sink = 0u64;
+        for _ in 0..iters / 10 {
+            sink = sink.wrapping_add(f());
+        }
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            sink = sink.wrapping_add(f());
+        }
+        assert!(sink != u64::MAX);
+        t0.elapsed().as_nanos() as f64 / iters as f64
+    };
+    let kernel_tau = 0.05;
+    let aos_ns = time_ns(&mut || {
+        dis.iter()
+            .map(|(a, b)| dtw_threshold(a, b, kernel_tau).is_some() as u64)
+            .sum()
+    });
+    let soa_ns = time_ns(&mut || {
+        dis_soa
+            .iter()
+            .map(|(a, b)| dtw_soa(a.view(), b.view(), kernel_tau, &mut scratch).is_some() as u64)
+            .sum()
+    });
+    let mixed: Vec<&(SoaPoints, SoaPoints)> = dis_soa.iter().chain(sim_soa.iter()).collect();
+    let t0 = Instant::now();
+    let reps = 400usize;
+    let mut verified = 0u64;
+    for _ in 0..reps {
+        for (a, b) in &mixed {
+            verified += dtw_soa(a.view(), b.view(), 0.5, &mut scratch).is_some() as u64;
+        }
+    }
+    std::hint::black_box(verified);
+    let pairs_per_sec = (reps * mixed.len()) as f64 / t0.elapsed().as_secs_f64();
+    let round2 = |x: f64| (x * 100.0).round() / 100.0;
+    (
+        KernelMeasurement {
+            name: "dtw/dissimilar/early-abandon".to_string(),
+            aos_ns: aos_ns.round(),
+            soa_ns: soa_ns.round(),
+            speedup: round2(aos_ns / soa_ns),
+        },
+        pairs_per_sec,
+    )
+}
+
+/// Direct (no HTTP) serial and 4-thread-verify search p50s over the
+/// query set, for the cross-PR series.
+fn headline_search_p50(direct: &Engine, q_slices: &[&[Point]]) -> (f64, f64) {
+    let sys = direct.system("city").expect("indexed table");
+    let p50_of = |threads: usize| -> f64 {
+        let mut ms: Vec<f64> = q_slices
+            .iter()
+            .take(40)
+            .map(|q| {
+                let t0 = Instant::now();
+                let (r, _) = dita_core::search_with_options(
+                    sys,
+                    q,
+                    TAU,
+                    &DistanceFunction::Dtw,
+                    SearchOptions {
+                        verify_threads: threads,
+                    },
+                );
+                assert!(!r.is_empty());
+                t0.elapsed().as_secs_f64() * 1e3
+            })
+            .collect();
+        ms.sort_by(|a, b| a.total_cmp(b));
+        (ms[ms.len() / 2] * 1000.0).round() / 1000.0
+    };
+    (p50_of(1), p50_of(4))
+}

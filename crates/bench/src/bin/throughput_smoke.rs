@@ -406,6 +406,7 @@ fn main() {
                 completed,
             },
         }),
+        serve: None,
     };
 
     let mut out = String::from("results/BENCH_PR8.json");

@@ -36,6 +36,16 @@ use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+/// Outcome of reaping one queued entry at batch formation.
+enum Reap {
+    /// Still runnable — dispatch it.
+    Live,
+    /// Its cancel token fired (client disconnect, caller abort).
+    Cancelled,
+    /// Its deadline passed while it sat in the queue.
+    Expired,
+}
+
 use dita_obs::{names, Obs};
 
 /// Resource bounds for a [`QueryScheduler`].
@@ -108,7 +118,23 @@ struct Pending<Q> {
     payload: Q,
     cost: f64,
     submitted: Instant,
+    /// Entries past this instant are discarded at batch formation — the
+    /// queue-side half of a request deadline (the caller-side half cancels
+    /// the token). `None` never expires.
+    deadline: Option<Instant>,
     cancelled: Arc<AtomicBool>,
+}
+
+impl<Q> Pending<Q> {
+    fn reap(&self, now: Instant) -> Reap {
+        if self.cancelled.load(Ordering::Relaxed) {
+            Reap::Cancelled
+        } else if self.deadline.is_some_and(|d| now >= d) {
+            Reap::Expired
+        } else {
+            Reap::Live
+        }
+    }
 }
 
 struct Inner<Q> {
@@ -134,6 +160,9 @@ pub struct SchedulerCounters {
     pub over_budget: usize,
     /// Cancelled entries discarded at batch formation.
     pub cancelled: usize,
+    /// Entries whose deadline passed in the queue, discarded at batch
+    /// formation.
+    pub expired: usize,
     /// Batches formed (empty draws not counted).
     pub batches: usize,
     /// Queries dispatched inside formed batches.
@@ -200,6 +229,22 @@ impl<Q> QueryScheduler<Q> {
     /// `cost`, or refuses it with backpressure ([`AdmitError::QueueFull`])
     /// or a budget violation ([`AdmitError::OverBudget`]).
     pub fn submit(&self, class: u64, cost: f64, payload: Q) -> Result<CancelToken, AdmitError> {
+        self.submit_with_deadline(class, cost, payload, None)
+    }
+
+    /// [`QueryScheduler::submit`] with a queue-side deadline: an entry
+    /// still queued when `deadline` passes is discarded (and counted as
+    /// expired) at the next batch formation instead of dispatched, so a
+    /// timed-out request cannot occupy a worker after its caller has given
+    /// up. The returned [`CancelToken`] covers the complementary caller
+    /// paths (client disconnect, explicit abort).
+    pub fn submit_with_deadline(
+        &self,
+        class: u64,
+        cost: f64,
+        payload: Q,
+        deadline: Option<Instant>,
+    ) -> Result<CancelToken, AdmitError> {
         if cost.is_nan() || cost > self.config.max_query_cost {
             // An unpriceable (NaN) query is refused like an over-budget one.
             self.bump(|c| c.over_budget += 1);
@@ -222,6 +267,7 @@ impl<Q> QueryScheduler<Q> {
             payload,
             cost,
             submitted: Instant::now(),
+            deadline,
             cancelled: Arc::clone(&cancelled),
         });
         inner.depth += 1;
@@ -239,13 +285,15 @@ impl<Q> QueryScheduler<Q> {
     /// Draws from exactly one compatibility class — the first non-empty
     /// class at or after the round-robin cursor — taking queries in
     /// submission order up to [`SchedulerConfig::max_batch`] and
-    /// [`SchedulerConfig::max_batch_cost`]; cancelled entries are discarded
-    /// (and counted) without consuming batch capacity. The cursor then
-    /// advances past the served class, so under sustained load every class
-    /// gets a turn.
+    /// [`SchedulerConfig::max_batch_cost`]; cancelled and deadline-expired
+    /// entries are discarded (and counted) without consuming batch
+    /// capacity. The cursor then advances past the served class, so under
+    /// sustained load every class gets a turn.
     pub fn next_batch(&self) -> Option<QueryBatch<Q>> {
+        let now = Instant::now();
         let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
         let mut cancelled = 0usize;
+        let mut expired = 0usize;
         let mut formed: Option<QueryBatch<Q>> = None;
         let mut waits: Vec<f64> = Vec::new();
         // Visit every class at most once, starting at the cursor.
@@ -259,10 +307,18 @@ impl<Q> QueryScheduler<Q> {
                 let before = queue.len();
                 while payloads.len() < self.config.max_batch {
                     let Some(front) = queue.front() else { break };
-                    if front.cancelled.load(Ordering::Relaxed) {
-                        queue.pop_front();
-                        cancelled += 1;
-                        continue;
+                    match front.reap(now) {
+                        Reap::Cancelled => {
+                            queue.pop_front();
+                            cancelled += 1;
+                            continue;
+                        }
+                        Reap::Expired => {
+                            queue.pop_front();
+                            expired += 1;
+                            continue;
+                        }
+                        Reap::Live => {}
                     }
                     // The first query always fits; afterwards stop before
                     // the budget is crossed.
@@ -295,6 +351,7 @@ impl<Q> QueryScheduler<Q> {
         let dispatched = formed.as_ref().map_or(0, |b| b.payloads.len());
         self.bump(|c| {
             c.cancelled += cancelled;
+            c.expired += expired;
             if dispatched > 0 {
                 c.batches += 1;
                 c.dispatched += dispatched;
@@ -302,10 +359,12 @@ impl<Q> QueryScheduler<Q> {
         });
         if self.obs.is_enabled() {
             self.obs.gauge(names::QUERY_QUEUE_DEPTH).set(depth as f64);
-            if cancelled > 0 {
+            // Expired entries count as cancellations on the wire: both are
+            // queries the scheduler reclaimed instead of dispatching.
+            if cancelled + expired > 0 {
                 self.obs
                     .counter(names::QUERIES_CANCELLED_TOTAL)
-                    .add(cancelled as u64);
+                    .add((cancelled + expired) as u64);
             }
             let h = self.obs.histogram_seconds(names::ADMISSION_WAIT_SECONDS);
             for w in &waits {
@@ -451,6 +510,42 @@ mod tests {
         assert_eq!(b.payloads, vec![0, 2, 3, 5]);
         assert_eq!(s.counters().cancelled, 2);
         assert_eq!(s.queue_depth(), 0);
+    }
+
+    #[test]
+    fn deadline_expired_entries_are_reaped_not_dispatched() {
+        let s = sched(8, 8);
+        let now = Instant::now();
+        // One already-expired entry, one with a generous deadline, one
+        // without any deadline.
+        s.submit_with_deadline(0, 1.0, 1usize, Some(now)).unwrap();
+        s.submit_with_deadline(0, 1.0, 2, Some(now + std::time::Duration::from_secs(60)))
+            .unwrap();
+        s.submit(0, 1.0, 3).unwrap();
+        assert_eq!(s.queue_depth(), 3);
+        let b = s.next_batch().unwrap();
+        assert_eq!(b.payloads, vec![2, 3]);
+        let c = s.counters();
+        assert_eq!(c.expired, 1);
+        assert_eq!(c.cancelled, 0);
+        assert_eq!(c.admitted, c.dispatched + c.cancelled + c.expired);
+        assert_eq!(s.queue_depth(), 0, "expired entries free their slots");
+    }
+
+    #[test]
+    fn expired_entries_count_into_the_cancelled_metric() {
+        let obs = Obs::enabled();
+        let s = QueryScheduler::with_obs(SchedulerConfig::default(), obs.clone());
+        s.submit_with_deadline(0, 1.0, 1usize, Some(Instant::now()))
+            .unwrap();
+        assert!(s.next_batch().is_none());
+        let report = obs.report();
+        let m = report
+            .metrics
+            .iter()
+            .find(|m| m.name == names::QUERIES_CANCELLED_TOTAL)
+            .expect("cancelled metric present");
+        assert_eq!(m.value, 1.0);
     }
 
     #[test]

@@ -146,6 +146,14 @@ fn l1_worker_panic(rel: &str, src: &str, masked: &str, out: &mut Vec<Finding>) {
     if rel == "crates/cluster/src/scheduler.rs" {
         scopes.push((0..masked.len(), "query scheduler admission path"));
     }
+    // The HTTP service's request handlers, connection threads and
+    // dispatcher all serve concurrent clients: a panic there kills a
+    // worker thread (or poisons the engine lock) for every later
+    // request, not just the offending one. The demo binary's `main` is
+    // single-shot setup code and stays out of scope.
+    if rel.starts_with("crates/server/src/") && !rel.ends_with("/main.rs") {
+        scopes.push((0..masked.len(), "server request/connection path"));
+    }
     if rel == "crates/index/src/trie.rs" || rel == "crates/index/src/pointer.rs" {
         for f in fn_spans(masked) {
             if TRIE_HOT_FNS.contains(&f.name.as_str()) {
@@ -469,6 +477,25 @@ fn f(v: Vec<u32>) {
         let r = lint_source("crates/core/src/x.rs", src);
         assert_eq!(r.findings.len(), 1);
         assert_eq!(r.findings[0].rule, RULE_MALFORMED_ALLOW);
+    }
+
+    #[test]
+    fn server_request_path_is_panic_free_scope() {
+        let src = "\
+fn handle(req: Request) -> Response {
+    let body = req.body.unwrap();
+    route(body)
+}
+";
+        let r = lint_source("crates/server/src/server.rs", src);
+        assert!(r
+            .findings
+            .iter()
+            .any(|f| f.rule == RULE_WORKER_PANIC && f.line == 2));
+        // The demo binary's single-shot `main` stays out of scope.
+        assert!(lint_source("crates/server/src/main.rs", src)
+            .findings
+            .is_empty());
     }
 
     #[test]

@@ -555,6 +555,107 @@ impl FromJson for ThroughputSection {
     }
 }
 
+/// One load-harness run against the wire-protocol service (`dita-server`):
+/// real sockets, real HTTP parsing, admission through the query scheduler.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeLoopRun {
+    /// Requests offered by the clients.
+    pub offered: usize,
+    /// Requests answered 200 with a parity-checked body.
+    pub completed: usize,
+    /// Requests answered 429 (admission queue full).
+    pub shed: usize,
+    /// Requests cancelled cooperatively (client deadline exceeded or
+    /// disconnect reclaimed by the scheduler).
+    pub cancelled: usize,
+    /// Completed requests per second of wall time.
+    pub qps: f64,
+    /// End-to-end latency of completed requests (client-observed,
+    /// connection reuse, includes HTTP framing).
+    pub latency_ms: LatencySummaryMs,
+    /// Largest scheduler queue depth sampled during the run.
+    pub max_queue_depth: usize,
+}
+
+impl ToJson for ServeLoopRun {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("offered", &self.offered)
+            .field("completed", &self.completed)
+            .field("shed", &self.shed)
+            .field("cancelled", &self.cancelled)
+            .field("qps", &self.qps)
+            .field("latency_ms", &self.latency_ms)
+            .field("max_queue_depth", &self.max_queue_depth)
+            .build()
+    }
+}
+
+impl FromJson for ServeLoopRun {
+    fn from_json(v: &Value) -> JsonResult<ServeLoopRun> {
+        Ok(ServeLoopRun {
+            offered: v.or_default("offered")?,
+            completed: v.or_default("completed")?,
+            shed: v.or_default("shed")?,
+            cancelled: v.or_default("cancelled")?,
+            qps: v.or_default("qps")?,
+            latency_ms: v.or_default("latency_ms")?,
+            max_queue_depth: v.or_default("max_queue_depth")?,
+        })
+    }
+}
+
+/// Wire-protocol service section: closed-loop (fixed client concurrency)
+/// and open-loop (seeded Poisson-ish arrivals, deliberately overloaded)
+/// harness runs over real sockets, with every successful response asserted
+/// byte-identical to the direct library call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ServeSection {
+    /// HTTP worker threads in the server's sized pool.
+    pub http_workers: usize,
+    /// Scheduler admission queue capacity.
+    pub queue_capacity: usize,
+    /// Concurrent closed-loop client connections.
+    pub closed_loop_clients: usize,
+    /// The closed-loop run.
+    pub closed_loop: ServeLoopRun,
+    /// Offered arrival rate of the open-loop run, requests/second.
+    pub open_loop_offered_qps: f64,
+    /// The open-loop (overload) run.
+    pub open_loop: ServeLoopRun,
+    /// Successful responses byte-compared against direct
+    /// `dita_core`/`dita_sql` calls (all of them must match).
+    pub parity_checked: usize,
+}
+
+impl ToJson for ServeSection {
+    fn to_json(&self) -> Value {
+        Obj::new()
+            .field("http_workers", &self.http_workers)
+            .field("queue_capacity", &self.queue_capacity)
+            .field("closed_loop_clients", &self.closed_loop_clients)
+            .field("closed_loop", &self.closed_loop)
+            .field("open_loop_offered_qps", &self.open_loop_offered_qps)
+            .field("open_loop", &self.open_loop)
+            .field("parity_checked", &self.parity_checked)
+            .build()
+    }
+}
+
+impl FromJson for ServeSection {
+    fn from_json(v: &Value) -> JsonResult<ServeSection> {
+        Ok(ServeSection {
+            http_workers: v.or_default("http_workers")?,
+            queue_capacity: v.or_default("queue_capacity")?,
+            closed_loop_clients: v.or_default("closed_loop_clients")?,
+            closed_loop: v.or_default("closed_loop")?,
+            open_loop_offered_qps: v.or_default("open_loop_offered_qps")?,
+            open_loop: v.or_default("open_loop")?,
+            parity_checked: v.or_default("parity_checked")?,
+        })
+    }
+}
+
 /// The complete `results/BENCH_*.json` artifact shape.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct BenchSmokeReport {
@@ -587,6 +688,9 @@ pub struct BenchSmokeReport {
     /// Optional batched-execution throughput section (absent in pre-PR8
     /// artifacts).
     pub throughput: Option<ThroughputSection>,
+    /// Optional wire-protocol service section (absent in pre-PR9
+    /// artifacts).
+    pub serve: Option<ServeSection>,
 }
 
 impl ToJson for BenchSmokeReport {
@@ -609,6 +713,7 @@ impl ToJson for BenchSmokeReport {
             .field_if(self.memory.is_some(), "memory", &self.memory)
             .field_if(self.planning_ab.is_some(), "planning_ab", &self.planning_ab)
             .field_if(self.throughput.is_some(), "throughput", &self.throughput)
+            .field_if(self.serve.is_some(), "serve", &self.serve)
             .build()
     }
 }
@@ -629,6 +734,7 @@ impl FromJson for BenchSmokeReport {
             memory: v.opt("memory")?,
             planning_ab: v.opt("planning_ab")?,
             throughput: v.opt("throughput")?,
+            serve: v.opt("serve")?,
         })
     }
 }
@@ -834,6 +940,39 @@ mod tests {
                     max_queue_depth: 64,
                     completed: 800,
                 },
+            }),
+            serve: Some(ServeSection {
+                http_workers: 4,
+                queue_capacity: 64,
+                closed_loop_clients: 4,
+                closed_loop: ServeLoopRun {
+                    offered: 400,
+                    completed: 400,
+                    shed: 0,
+                    cancelled: 0,
+                    qps: 2100.0,
+                    latency_ms: LatencySummaryMs {
+                        p50: 1.1,
+                        p95: 2.4,
+                        p99: 3.9,
+                    },
+                    max_queue_depth: 7,
+                },
+                open_loop_offered_qps: 5000.0,
+                open_loop: ServeLoopRun {
+                    offered: 1000,
+                    completed: 812,
+                    shed: 188,
+                    cancelled: 0,
+                    qps: 1900.0,
+                    latency_ms: LatencySummaryMs {
+                        p50: 6.0,
+                        p95: 14.0,
+                        p99: 21.0,
+                    },
+                    max_queue_depth: 64,
+                },
+                parity_checked: 1212,
             }),
         }
     }

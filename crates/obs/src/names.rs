@@ -97,6 +97,22 @@ pub const BATCHES_FORMED_TOTAL: &str = "dita_batches_formed_total";
 pub const BATCHED_QUERIES_TOTAL: &str = "dita_batched_queries_total";
 
 // ---------------------------------------------------------------------------
+// Query-service (dita-server) metrics.
+// ---------------------------------------------------------------------------
+
+/// HTTP requests served, labeled by endpoint and status code.
+pub const SERVER_REQUESTS_TOTAL: &str = "dita_server_requests_total";
+/// End-to-end request wall time (parse → admission → execution →
+/// response written), labeled by endpoint.
+pub const SERVER_REQUEST_SECONDS: &str = "dita_server_request_seconds";
+/// Requests currently inside the server (parsed, response not yet
+/// written) — queued requests included, so it bounds service memory.
+pub const SERVER_INFLIGHT_REQUESTS: &str = "dita_server_inflight_requests";
+/// Accepted connections the sized worker pool refused because its
+/// hand-off queue was full (answered 503 and closed).
+pub const SERVER_CONNECTIONS_REFUSED_TOTAL: &str = "dita_server_connections_refused_total";
+
+// ---------------------------------------------------------------------------
 // Ingestion metrics.
 // ---------------------------------------------------------------------------
 
@@ -155,6 +171,11 @@ pub const SPAN_COMPACT: &str = "compact";
 pub const SPAN_DELTA_OVERLAY: &str = "delta-overlay";
 /// Delta-row re-search pass of a join.
 pub const SPAN_JOIN_DELTA_OVERLAY: &str = "join-delta-overlay";
+/// One dispatched service request (or one shared batch of them) executed
+/// by `dita-server`'s dispatcher; the operator spans (`search-batch`,
+/// `knn-batch`, `join`, `ingest`, …) nest underneath, so critical-path
+/// analysis attributes service overhead separately from operator work.
+pub const SPAN_SERVER_REQUEST: &str = "server-request";
 
 // ---------------------------------------------------------------------------
 // Funnel and funnel-stage names.
@@ -204,6 +225,10 @@ pub const ALL_METRICS: &[&str] = &[
     QUERIES_CANCELLED_TOTAL,
     BATCHES_FORMED_TOTAL,
     BATCHED_QUERIES_TOTAL,
+    SERVER_REQUESTS_TOTAL,
+    SERVER_REQUEST_SECONDS,
+    SERVER_INFLIGHT_REQUESTS,
+    SERVER_CONNECTIONS_REFUSED_TOTAL,
     INGEST_APPLIED_TOTAL,
     DELTA_RATIO,
     COMPACTION_SECONDS,
@@ -231,6 +256,7 @@ pub const ALL_SPANS: &[&str] = &[
     SPAN_COMPACT,
     SPAN_DELTA_OVERLAY,
     SPAN_JOIN_DELTA_OVERLAY,
+    SPAN_SERVER_REQUEST,
 ];
 
 /// Every funnel and funnel-stage name declared in this module.

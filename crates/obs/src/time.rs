@@ -84,7 +84,19 @@ mod tests {
         })
         .join()
         .expect("spun thread");
-        assert!(spun > Duration::ZERO);
+        // On targets where the clock is unavailable the documented
+        // fallback is `Duration::ZERO` everywhere — the contract under
+        // test (no garbage reads) still held above, so only require
+        // positive readings when the clock actually works.
+        let clock_available = {
+            let mut acc = 1u64;
+            for i in 0..2_000_000u64 {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+            }
+            std::hint::black_box(acc);
+            thread_cpu_time() > Duration::ZERO
+        };
+        assert!(spun > Duration::ZERO || !clock_available);
         let here_after = thread_cpu_time();
         // Our own clock advanced by (at most) our own work, not by the
         // helper's spin: allow generous slack but stay well under the

@@ -1,0 +1,429 @@
+//! Minimal HTTP/1.1 framing over a [`TcpStream`].
+//!
+//! `dita-server` carries small JSON bodies over plain sockets, so this
+//! module implements exactly the slice of RFC 9112 the service needs:
+//! request-line + headers + `Content-Length` bodies, keep-alive by
+//! default, `Connection: close` honored, hard caps on head and body
+//! sizes. No chunked transfer, no TLS, no HTTP/2 — a client that needs
+//! them is out of scope for an in-memory analytics demo.
+//!
+//! Everything here is on the per-connection serving path, so it is
+//! panic-free by policy (dita-lint L1 scopes this crate): malformed
+//! input surfaces as [`ParseError`] (answered with `400` and a close),
+//! never as a panic that would take the connection thread down.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Largest accepted request head (request line + headers), bytes.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Read chunk size; also bounds how often the stop flag is polled.
+const READ_CHUNK: usize = 4096;
+
+/// How a request failed to parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The request line or a header line is malformed.
+    Malformed(&'static str),
+    /// The head exceeded [`MAX_HEAD_BYTES`].
+    HeadTooLarge,
+    /// The declared `Content-Length` exceeds the server's body cap.
+    BodyTooLarge(usize),
+}
+
+impl ParseError {
+    /// The HTTP status this parse failure is answered with.
+    pub fn status(&self) -> u16 {
+        match self {
+            ParseError::Malformed(_) => 400,
+            ParseError::HeadTooLarge => 431,
+            ParseError::BodyTooLarge(_) => 413,
+        }
+    }
+
+    /// Human-readable description for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            ParseError::Malformed(what) => format!("malformed request: {what}"),
+            ParseError::HeadTooLarge => {
+                format!("request head exceeds {MAX_HEAD_BYTES} bytes")
+            }
+            ParseError::BodyTooLarge(cap) => format!("request body exceeds {cap} bytes"),
+        }
+    }
+}
+
+/// What one read attempt on a connection produced.
+#[derive(Debug)]
+pub enum ReadOutcome {
+    /// A complete request.
+    Request(Request),
+    /// The peer closed (or the server is stopping and the connection
+    /// is idle); nothing more to serve.
+    Closed,
+    /// The request could not be parsed; answer with
+    /// [`ParseError::status`] and close.
+    Bad(ParseError),
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Uppercase method token as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target, e.g. `/search`.
+    pub path: String,
+    /// Headers with lowercased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// The body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// First header value by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to drop keep-alive.
+    pub fn wants_close(&self) -> bool {
+        self.header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// One serving-side connection: the socket plus a carry-over buffer so
+/// back-to-back keep-alive requests parse without re-reading.
+pub struct Conn {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    max_body: usize,
+}
+
+impl Conn {
+    /// Wraps an accepted stream. The read timeout bounds how long an
+    /// idle keep-alive connection can keep its thread from noticing a
+    /// server shutdown.
+    pub fn new(stream: TcpStream, max_body: usize, poll: Duration) -> Conn {
+        let _ = stream.set_read_timeout(Some(poll));
+        let _ = stream.set_nodelay(true);
+        Conn {
+            stream,
+            buf: Vec::new(),
+            max_body,
+        }
+    }
+
+    /// The underlying stream (for disconnect probing and writes).
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Reads the next request. Blocks, polling `should_stop` at the
+    /// read timeout cadence; an idle connection returns
+    /// [`ReadOutcome::Closed`] once `should_stop` is true.
+    pub fn read_request(&mut self, should_stop: &dyn Fn() -> bool) -> io::Result<ReadOutcome> {
+        // Accumulate until the head terminator is buffered.
+        let head_end = loop {
+            if let Some(at) = find_subslice(&self.buf, b"\r\n\r\n") {
+                break at;
+            }
+            if self.buf.len() > MAX_HEAD_BYTES {
+                return Ok(ReadOutcome::Bad(ParseError::HeadTooLarge));
+            }
+            match self.fill(should_stop)? {
+                Fill::Data => {}
+                Fill::Eof => {
+                    return if self.buf.is_empty() {
+                        Ok(ReadOutcome::Closed)
+                    } else {
+                        Ok(ReadOutcome::Bad(ParseError::Malformed(
+                            "connection closed mid-request",
+                        )))
+                    }
+                }
+                Fill::Stopped => return Ok(ReadOutcome::Closed),
+            }
+        };
+        let head = self.buf[..head_end].to_vec();
+        let mut rest = self.buf.split_off(head_end + 4);
+        std::mem::swap(&mut self.buf, &mut rest);
+
+        let (method, path, headers) = match parse_head(&head) {
+            Ok(parsed) => parsed,
+            Err(e) => return Ok(ReadOutcome::Bad(e)),
+        };
+        let content_length = match header_of(&headers, "content-length") {
+            None => 0usize,
+            Some(v) => match v.trim().parse::<usize>() {
+                Ok(n) => n,
+                Err(_) => {
+                    return Ok(ReadOutcome::Bad(ParseError::Malformed(
+                        "unparsable content-length",
+                    )))
+                }
+            },
+        };
+        if content_length > self.max_body {
+            return Ok(ReadOutcome::Bad(ParseError::BodyTooLarge(self.max_body)));
+        }
+        while self.buf.len() < content_length {
+            match self.fill(should_stop)? {
+                Fill::Data => {}
+                Fill::Eof | Fill::Stopped => {
+                    return Ok(ReadOutcome::Bad(ParseError::Malformed(
+                        "connection closed mid-body",
+                    )))
+                }
+            }
+        }
+        let mut after = self.buf.split_off(content_length);
+        std::mem::swap(&mut self.buf, &mut after);
+        Ok(ReadOutcome::Request(Request {
+            method,
+            path,
+            headers,
+            body: after,
+        }))
+    }
+
+    /// One chunk into the buffer, honoring the poll timeout.
+    fn fill(&mut self, should_stop: &dyn Fn() -> bool) -> io::Result<Fill> {
+        let mut chunk = [0u8; READ_CHUNK];
+        loop {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => return Ok(Fill::Eof),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(Fill::Data);
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    // Only an *idle* connection may give up on stop; a
+                    // half-received request keeps waiting for its tail.
+                    if should_stop() && self.buf.is_empty() {
+                        return Ok(Fill::Stopped);
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// Writes a response; `keep_alive: false` advertises the close.
+    pub fn write_response(
+        &mut self,
+        status: u16,
+        content_type: &str,
+        body: &[u8],
+        keep_alive: bool,
+    ) -> io::Result<()> {
+        let head = format!(
+            "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\n\
+             content-length: {len}\r\nconnection: {conn}\r\n\r\n",
+            reason = reason_of(status),
+            len = body.len(),
+            conn = if keep_alive { "keep-alive" } else { "close" },
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.stream.flush()
+    }
+
+    /// Whether the peer has hung up (half-closed its write side or
+    /// reset). Non-destructive: uses `MSG_PEEK`, so pipelined bytes are
+    /// left for the next [`Conn::read_request`].
+    pub fn client_gone(&self) -> bool {
+        let mut probe = [0u8; 1];
+        if self.stream.set_nonblocking(true).is_err() {
+            return true;
+        }
+        let gone = match self.stream.peek(&mut probe) {
+            Ok(0) => true,
+            Ok(_) => false,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                false
+            }
+            Err(_) => true,
+        };
+        let _ = self.stream.set_nonblocking(false);
+        gone
+    }
+}
+
+enum Fill {
+    Data,
+    Eof,
+    Stopped,
+}
+
+/// Method, path and lowercased headers of one request head.
+type ParsedHead = (String, String, Vec<(String, String)>);
+
+/// Parses the request line + header block (no trailing `\r\n\r\n`).
+fn parse_head(head: &[u8]) -> Result<ParsedHead, ParseError> {
+    let text = std::str::from_utf8(head).map_err(|_| ParseError::Malformed("head is not UTF-8"))?;
+    let mut lines = text.split("\r\n");
+    let request_line = lines
+        .next()
+        .ok_or(ParseError::Malformed("empty request line"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts
+        .next()
+        .filter(|m| !m.is_empty())
+        .ok_or(ParseError::Malformed("missing method"))?;
+    let path = parts
+        .next()
+        .filter(|p| p.starts_with('/'))
+        .ok_or(ParseError::Malformed("missing request target"))?;
+    let version = parts
+        .next()
+        .ok_or(ParseError::Malformed("missing HTTP version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ParseError::Malformed("unsupported HTTP version"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ParseError::Malformed("header without a colon"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok((method.to_string(), path.to_string(), headers))
+}
+
+fn header_of<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers
+        .iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v.as_str())
+}
+
+fn find_subslice(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Canonical reason phrase for the statuses this server emits.
+pub fn reason_of(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+    use std::thread;
+
+    fn pair() -> (TcpStream, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = thread::spawn(move || TcpStream::connect(addr).unwrap());
+        let (served, _) = listener.accept().unwrap();
+        let conn = Conn::new(served, 1024, Duration::from_millis(20));
+        (client.join().unwrap(), conn)
+    }
+
+    #[test]
+    fn parses_request_with_body_and_keep_alive_reuse() {
+        let (mut client, mut conn) = pair();
+        client
+            .write_all(
+                b"POST /search HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd\
+                  GET /healthz HTTP/1.1\r\n\r\n",
+            )
+            .unwrap();
+        let never = || false;
+        let r = match conn.read_request(&never).unwrap() {
+            ReadOutcome::Request(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!(r.method, "POST");
+        assert_eq!(r.path, "/search");
+        assert_eq!(r.header("host"), Some("x"));
+        assert_eq!(r.body, b"abcd");
+        assert!(!r.wants_close());
+        // The pipelined second request parses from the carry-over buffer.
+        let r2 = match conn.read_request(&never).unwrap() {
+            ReadOutcome::Request(r) => r,
+            other => panic!("{other:?}"),
+        };
+        assert_eq!((r2.method.as_str(), r2.path.as_str()), ("GET", "/healthz"));
+        assert!(r2.body.is_empty());
+        // Clean close afterwards.
+        drop(client);
+        assert!(matches!(
+            conn.read_request(&never).unwrap(),
+            ReadOutcome::Closed
+        ));
+    }
+
+    #[test]
+    fn malformed_and_oversized_requests_are_rejected_not_panicked() {
+        let (mut client, mut conn) = pair();
+        client.write_all(b"NONSENSE\r\n\r\n").unwrap();
+        match conn.read_request(&|| false).unwrap() {
+            ReadOutcome::Bad(e) => assert_eq!(e.status(), 400),
+            other => panic!("{other:?}"),
+        }
+        // Body beyond the cap → 413 before reading it.
+        let (mut client, mut conn) = pair();
+        client
+            .write_all(b"POST /sql HTTP/1.1\r\nContent-Length: 9999\r\n\r\n")
+            .unwrap();
+        match conn.read_request(&|| false).unwrap() {
+            ReadOutcome::Bad(e) => assert_eq!(e.status(), 413),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn idle_connection_yields_closed_on_stop() {
+        let (_client, mut conn) = pair();
+        let outcome = conn.read_request(&|| true).unwrap();
+        assert!(matches!(outcome, ReadOutcome::Closed));
+    }
+
+    #[test]
+    fn response_writing_frames_status_and_length() {
+        let (mut client, mut conn) = pair();
+        conn.write_response(429, "application/json", b"{\"e\":1}", true)
+            .unwrap();
+        drop(conn);
+        let mut got = String::new();
+        client.read_to_string(&mut got).unwrap();
+        assert!(
+            got.starts_with("HTTP/1.1 429 Too Many Requests\r\n"),
+            "{got}"
+        );
+        assert!(got.contains("content-length: 7"));
+        assert!(got.ends_with("{\"e\":1}"));
+    }
+}

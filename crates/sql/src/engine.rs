@@ -54,6 +54,19 @@ impl Engine {
         }
     }
 
+    /// Attaches an observability context: indexes this engine has built
+    /// (and every index it builds from now on) record executor metrics and
+    /// operator spans into it. `dita-server` attaches its context here so
+    /// service-side spans parent over operator spans.
+    pub fn attach_obs(&mut self, obs: dita_obs::Obs) {
+        self.cluster.attach_obs(obs.clone());
+        for entry in self.tables.values_mut() {
+            if let Some(sys) = entry.system.as_mut() {
+                sys.attach_obs(obs.clone());
+            }
+        }
+    }
+
     /// Registers a dataset as a table.
     pub fn register(&mut self, name: &str, dataset: Dataset) -> Result<(), SqlError> {
         let key = name.to_ascii_lowercase();
@@ -191,6 +204,91 @@ impl Engine {
         Ok(out)
     }
 
+    /// Upserts `rows` into a table (the `INSERT` write path): latest write
+    /// wins in the dataset mirror, and, when the table is indexed, each row
+    /// goes through the index's delta ingestion. Returns the row count.
+    pub fn insert_rows(
+        &mut self,
+        table: &str,
+        rows: Vec<(TrajectoryId, Vec<Point>)>,
+    ) -> Result<usize, SqlError> {
+        for (_, pts) in &rows {
+            if pts.iter().any(|p| !p.x.is_finite() || !p.y.is_finite()) {
+                return Err(SqlError::Parse {
+                    message: "trajectory coordinates must be finite".into(),
+                });
+            }
+        }
+        let entry = self.entry_mut(table)?;
+        let n = rows.len();
+        let name = entry.dataset.name.clone();
+        let mut trajectories = std::mem::replace(
+            &mut entry.dataset,
+            Dataset::new_unchecked(name.clone(), Vec::new()),
+        )
+        .into_trajectories();
+        for (id, pts) in rows {
+            let t = Trajectory::new(id, pts);
+            // Latest write wins, in the dataset mirror and the index.
+            trajectories.retain(|x| x.id != id);
+            trajectories.push(t.clone());
+            if let Some(sys) = entry.system.as_mut() {
+                sys.insert(t);
+            }
+        }
+        trajectories.sort_by_key(|t| t.id);
+        entry.dataset = Dataset::new_unchecked(name, trajectories);
+        Ok(n)
+    }
+
+    /// Deletes one trajectory by id (the `DELETE` write path): removed from
+    /// the dataset mirror, tombstoned in the index when one exists. Returns
+    /// whether the id was present.
+    pub fn delete_row(&mut self, table: &str, id: TrajectoryId) -> Result<bool, SqlError> {
+        let entry = self.entry_mut(table)?;
+        let name = entry.dataset.name.clone();
+        let mut trajectories = std::mem::replace(
+            &mut entry.dataset,
+            Dataset::new_unchecked(name.clone(), Vec::new()),
+        )
+        .into_trajectories();
+        let before = trajectories.len();
+        trajectories.retain(|t| t.id != id);
+        let removed = before != trajectories.len();
+        entry.dataset = Dataset::new_unchecked(name, trajectories);
+        if let Some(sys) = entry.system.as_mut() {
+            sys.delete(id);
+        }
+        Ok(removed)
+    }
+
+    /// Flushes a table's pending deltas into its trie index. A no-op (and
+    /// not an error) when the table has no index yet.
+    pub fn flush(&mut self, table: &str) -> Result<(), SqlError> {
+        let entry = self.entry_mut(table)?;
+        if let Some(sys) = entry.system.as_mut() {
+            sys.flush();
+        }
+        Ok(())
+    }
+
+    /// Runs the compaction policy on a table's index; returns whether a
+    /// compaction actually happened (`false` for unindexed tables too).
+    pub fn compact(&mut self, table: &str) -> Result<bool, SqlError> {
+        let entry = self.entry_mut(table)?;
+        Ok(entry.system.as_mut().is_some_and(|sys| sys.compact()))
+    }
+
+    /// Flushes pending deltas on every indexed table — the shutdown hook
+    /// `dita-server` calls so no acknowledged write is left buffered.
+    pub fn flush_all(&mut self) {
+        for entry in self.tables.values_mut() {
+            if let Some(sys) = entry.system.as_mut() {
+                sys.flush();
+            }
+        }
+    }
+
     fn plan(&self, sql: &str) -> Result<PhysicalPlan, SqlError> {
         let stmt = parse(sql)?;
         let lp = logical_plan(stmt)?;
@@ -259,51 +357,13 @@ impl Engine {
                 Ok(QueryResult::JoinPairs(pairs))
             }
             PhysicalPlan::IngestInsert { table, rows } => {
-                for (_, pts) in &rows {
-                    if pts.iter().any(|p| !p.x.is_finite() || !p.y.is_finite()) {
-                        return Err(SqlError::Parse {
-                            message: "trajectory coordinates must be finite".into(),
-                        });
-                    }
-                }
-                let entry = self.entry_mut(&table)?;
-                let n = rows.len();
-                let name = entry.dataset.name.clone();
-                let mut trajectories = std::mem::replace(
-                    &mut entry.dataset,
-                    Dataset::new_unchecked(name.clone(), Vec::new()),
-                )
-                .into_trajectories();
-                for (id, pts) in rows {
-                    let t = Trajectory::new(id, pts);
-                    // Latest write wins, in the dataset mirror and the index.
-                    trajectories.retain(|x| x.id != id);
-                    trajectories.push(t.clone());
-                    if let Some(sys) = entry.system.as_mut() {
-                        sys.insert(t);
-                    }
-                }
-                trajectories.sort_by_key(|t| t.id);
-                entry.dataset = Dataset::new_unchecked(name, trajectories);
+                let n = self.insert_rows(&table, rows)?;
                 Ok(QueryResult::Ack(format!(
                     "inserted {n} row(s) into {table}"
                 )))
             }
             PhysicalPlan::IngestDelete { table, id } => {
-                let entry = self.entry_mut(&table)?;
-                let name = entry.dataset.name.clone();
-                let mut trajectories = std::mem::replace(
-                    &mut entry.dataset,
-                    Dataset::new_unchecked(name.clone(), Vec::new()),
-                )
-                .into_trajectories();
-                let before = trajectories.len();
-                trajectories.retain(|t| t.id != id);
-                let removed = before != trajectories.len();
-                entry.dataset = Dataset::new_unchecked(name, trajectories);
-                if let Some(sys) = entry.system.as_mut() {
-                    sys.delete(id);
-                }
+                let removed = self.delete_row(&table, id)?;
                 Ok(QueryResult::Ack(if removed {
                     format!("deleted id {id} from {table}")
                 } else {
@@ -623,6 +683,53 @@ mod tests {
         // Errors abort the batch in statement order.
         let mut e = mk(true);
         assert!(e.execute_batch(&[stmts[0], "SELECT * FROM nope"]).is_err());
+    }
+
+    #[test]
+    fn programmatic_ingest_flush_and_compact() {
+        let mut e = engine();
+        e.execute("CREATE INDEX i ON taxi USE TRIE").unwrap();
+        // insert_rows / delete_row mirror the SQL write path.
+        let n = e
+            .insert_rows(
+                "taxi",
+                vec![(42, vec![Point { x: 9.0, y: 9.0 }, Point { x: 9.5, y: 9.5 }])],
+            )
+            .unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(e.dataset("taxi").unwrap().trajectories().len(), 6);
+        // After a flush nothing is left in the unflushed tail (the
+        // compaction policy may have already folded the delta on insert —
+        // either way the invariant holds).
+        e.flush("taxi").unwrap();
+        assert!(!e.system("taxi").unwrap().deltas().has_deltas());
+        let _ = e.compact("taxi").unwrap();
+        assert!(e.delete_row("taxi", 42).unwrap());
+        assert!(!e.delete_row("taxi", 42).unwrap());
+        assert_eq!(e.dataset("taxi").unwrap().trajectories().len(), 5);
+        // flush_all drains every indexed table.
+        e.insert_rows("taxi", vec![(43, vec![Point { x: 1.0, y: 1.0 }])])
+            .unwrap();
+        e.flush_all();
+        assert!(!e.system("taxi").unwrap().deltas().has_deltas());
+        // Unindexed tables: flush is a no-op, compact reports false.
+        let mut e2 = engine();
+        e2.flush("taxi").unwrap();
+        assert!(!e2.compact("taxi").unwrap());
+        assert!(e2.flush("nope").is_err());
+        // Non-finite coordinates are refused before touching the table.
+        assert!(e
+            .insert_rows(
+                "taxi",
+                vec![(
+                    44,
+                    vec![Point {
+                        x: f64::NAN,
+                        y: 0.0
+                    }]
+                )]
+            )
+            .is_err());
     }
 
     #[test]

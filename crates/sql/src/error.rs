@@ -1,5 +1,6 @@
 //! SQL front-end errors.
 
+use dita_cluster::AdmitError;
 use std::fmt;
 
 /// Errors raised while lexing, parsing, planning or executing a statement.
@@ -32,6 +33,36 @@ pub enum SqlError {
         /// What was attempted.
         message: String,
     },
+    /// Admission control shed the query: the scheduler's bounded queue was
+    /// at capacity when the query arrived. Transient — retry with backoff.
+    QueueFull {
+        /// Queue depth observed at the refusal (equals the capacity).
+        depth: usize,
+    },
+    /// Admission control refused the query up front: its priced cost
+    /// exceeds the per-query budget, or the price is NaN (unpriceable).
+    OverBudget {
+        /// The priced cost that was refused.
+        cost: f64,
+    },
+}
+
+impl SqlError {
+    /// Maps a scheduler [`AdmitError`] to its typed SQL error, attaching
+    /// the context a caller needs to act on it (observed queue depth for a
+    /// shed, the refused price for a budget violation).
+    pub fn from_admit(err: &AdmitError, depth: usize, cost: f64) -> SqlError {
+        match err {
+            AdmitError::QueueFull => SqlError::QueueFull { depth },
+            AdmitError::OverBudget => SqlError::OverBudget { cost },
+        }
+    }
+
+    /// `true` for refusals the client may simply retry later
+    /// (backpressure), as opposed to errors in the statement itself.
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SqlError::QueueFull { .. })
+    }
 }
 
 impl fmt::Display for SqlError {
@@ -44,6 +75,25 @@ impl fmt::Display for SqlError {
             SqlError::UnknownTable { name } => write!(f, "unknown table {name:?}"),
             SqlError::DuplicateTable { name } => write!(f, "table {name:?} already exists"),
             SqlError::Unsupported { message } => write!(f, "unsupported: {message}"),
+            SqlError::QueueFull { depth } => write!(
+                f,
+                "query shed: admission queue full at depth {depth}; retry with backoff"
+            ),
+            SqlError::OverBudget { cost } => {
+                if cost.is_nan() {
+                    write!(
+                        f,
+                        "query refused: cost is NaN (unpriceable), so admission \
+                         control cannot budget it"
+                    )
+                } else {
+                    write!(
+                        f,
+                        "query refused: priced cost {cost} exceeds the per-query \
+                         admission budget"
+                    )
+                }
+            }
         }
     }
 }
@@ -78,5 +128,33 @@ mod tests {
         }
         .to_string()
         .contains("x"));
+    }
+
+    /// Pins the user-readable message of each admission refusal — these
+    /// strings cross the wire (`dita-server` error bodies), so changing
+    /// one is a protocol change.
+    #[test]
+    fn admit_error_mapping_and_messages() {
+        let shed = SqlError::from_admit(&AdmitError::QueueFull, 64, 12.0);
+        assert_eq!(shed, SqlError::QueueFull { depth: 64 });
+        assert_eq!(
+            shed.to_string(),
+            "query shed: admission queue full at depth 64; retry with backoff"
+        );
+        assert!(shed.is_retryable());
+
+        let dear = SqlError::from_admit(&AdmitError::OverBudget, 0, 1500.0);
+        assert_eq!(dear, SqlError::OverBudget { cost: 1500.0 });
+        assert_eq!(
+            dear.to_string(),
+            "query refused: priced cost 1500 exceeds the per-query admission budget"
+        );
+        assert!(!dear.is_retryable());
+
+        let nan = SqlError::from_admit(&AdmitError::OverBudget, 0, f64::NAN);
+        assert_eq!(
+            nan.to_string(),
+            "query refused: cost is NaN (unpriceable), so admission control cannot budget it"
+        );
     }
 }

@@ -22,6 +22,7 @@ REQUIRED=(
   BENCH_PR6.json
   BENCH_PR7.json
   BENCH_PR8.json
+  BENCH_PR9.json
 )
 require_flags=()
 for name in "${REQUIRED[@]}"; do

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# HTTP serving smoke: starts the dita-server in-process and drives it
+# over real sockets with a closed-loop client pool and an open-loop
+# (Poisson-ish, seeded) overload run that injects a dispatch stall.
+# Asserts byte-parity of every 200 body against direct library calls,
+# bounded queue depth, 429 shedding and deadline (504) cancellation,
+# then writes the results/BENCH_PR9.json artifact consumed by
+# scripts/perf_trajectory.sh. See SERVER.md for the protocol.
+#
+# Usage: scripts/serve_smoke.sh [artifact-path]
+# The artifact path defaults to results/BENCH_PR9.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ARTIFACT="${1:-results/BENCH_PR9.json}"
+shift || true
+
+cargo run --release -p dita-bench --quiet --bin serve_smoke -- --out "$ARTIFACT" "$@"
