@@ -284,7 +284,7 @@ impl Cluster {
         // their own queues, spans and stats — only the measured region is
         // serialized.
         let serialize = !cpu_clock_works();
-        let gate = std::sync::Mutex::new(());
+        let gate = dita_obs::OrderedMutex::with_obs(&dita_obs::sync::locks::EXECUTOR_GATE, (), obs);
         let gate = &gate;
 
         type TaskOut<R> = (usize, R, TaskCost);
@@ -337,7 +337,7 @@ impl Cluster {
                             task_span.set_worker(wid as u32);
                             task_span.set_bytes(task.incoming_bytes);
                             task_span.set_net_sec(net_sec);
-                            let _slot = serialize.then(|| gate.lock().unwrap());
+                            let _slot = serialize.then(|| gate.lock());
                             let _ = take_extra_compute(); // discard stale charges
                             let wall0 = Instant::now();
                             let t0 = thread_cpu_time();

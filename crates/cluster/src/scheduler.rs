@@ -33,7 +33,7 @@
 use std::collections::BTreeMap;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Outcome of reaping one queued entry at batch formation.
@@ -46,7 +46,8 @@ enum Reap {
     Expired,
 }
 
-use dita_obs::{names, Obs};
+use dita_obs::sync::locks;
+use dita_obs::{names, Obs, OrderedMutex};
 
 /// Resource bounds for a [`QueryScheduler`].
 #[derive(Debug, Clone, Copy)]
@@ -183,8 +184,8 @@ pub struct QueryBatch<Q> {
 /// The concurrent query scheduler. See the module docs for semantics.
 pub struct QueryScheduler<Q> {
     config: SchedulerConfig,
-    inner: Mutex<Inner<Q>>,
-    counters: Mutex<SchedulerCounters>,
+    inner: OrderedMutex<Inner<Q>>,
+    counters: OrderedMutex<SchedulerCounters>,
     obs: Obs,
 }
 
@@ -199,12 +200,20 @@ impl<Q> QueryScheduler<Q> {
     pub fn with_obs(config: SchedulerConfig, obs: Obs) -> Self {
         QueryScheduler {
             config,
-            inner: Mutex::new(Inner {
-                classes: BTreeMap::new(),
-                depth: 0,
-                cursor: 0,
-            }),
-            counters: Mutex::new(SchedulerCounters::default()),
+            inner: OrderedMutex::with_obs(
+                &locks::SCHEDULER_QUEUE,
+                Inner {
+                    classes: BTreeMap::new(),
+                    depth: 0,
+                    cursor: 0,
+                },
+                &obs,
+            ),
+            counters: OrderedMutex::with_obs(
+                &locks::SCHEDULER_COUNTERS,
+                SchedulerCounters::default(),
+                &obs,
+            ),
             obs,
         }
     }
@@ -216,13 +225,13 @@ impl<Q> QueryScheduler<Q> {
 
     /// A snapshot of the scheduling counters.
     pub fn counters(&self) -> SchedulerCounters {
-        *self.counters.lock().unwrap_or_else(|e| e.into_inner())
+        *self.counters.lock()
     }
 
     /// Entries currently occupying the queue (cancelled-but-unreaped
     /// included). Never exceeds [`SchedulerConfig::queue_capacity`].
     pub fn queue_depth(&self) -> usize {
-        self.inner.lock().unwrap_or_else(|e| e.into_inner()).depth
+        self.inner.lock().depth
     }
 
     /// Admits one query of compatibility class `class` with priced cost
@@ -253,7 +262,7 @@ impl<Q> QueryScheduler<Q> {
             }
             return Err(AdmitError::OverBudget);
         }
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock();
         if inner.depth >= self.config.queue_capacity {
             drop(inner);
             self.bump(|c| c.shed += 1);
@@ -291,7 +300,7 @@ impl<Q> QueryScheduler<Q> {
     /// sustained load every class gets a turn.
     pub fn next_batch(&self) -> Option<QueryBatch<Q>> {
         let now = Instant::now();
-        let mut inner = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+        let mut inner = self.inner.lock();
         let mut cancelled = 0usize;
         let mut expired = 0usize;
         let mut formed: Option<QueryBatch<Q>> = None;
@@ -390,7 +399,7 @@ impl<Q> QueryScheduler<Q> {
     }
 
     fn bump(&self, f: impl FnOnce(&mut SchedulerCounters)) {
-        f(&mut self.counters.lock().unwrap_or_else(|e| e.into_inner()));
+        f(&mut self.counters.lock());
     }
 }
 

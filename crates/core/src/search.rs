@@ -11,8 +11,9 @@ use dita_cluster::{JobStats, TaskError, TaskSpec};
 use dita_distance::DistanceFunction;
 use dita_index::{BatchProbeScratch, FilterStats, ProbeScratch};
 use dita_obs::names;
+use dita_obs::sync::locks;
+use dita_obs::OrderedMutex;
 use dita_trajectory::{Point, TrajectoryId};
-use std::sync::Mutex;
 
 /// Statistics of one search execution.
 #[derive(Debug, Clone)]
@@ -54,14 +55,14 @@ impl Default for SearchOptions {
 /// Reusable allocations for repeated searches.
 ///
 /// Worker tasks run concurrently and each needs its own probe stack, so the
-/// probe scratches live in small `Mutex`-guarded pools: a task pops one on
+/// probe scratches live in small mutex-guarded pools: a task pops one on
 /// entry and returns it on exit, and by the second call every pool hit is
 /// allocation-free. The kernel scratch is driver-only (delta tail checks).
 /// [`knn_search`](crate::knn_search) holds one of these across its
 /// bound-tightening rounds, and the batch drivers across whole batches.
 pub struct SearchScratch {
-    probes: Mutex<Vec<ProbeScratch>>,
-    batches: Mutex<Vec<BatchProbeScratch>>,
+    probes: OrderedMutex<Vec<ProbeScratch>>,
+    batches: OrderedMutex<Vec<BatchProbeScratch>>,
     kernel: dita_distance::kernel::Scratch,
 }
 
@@ -69,40 +70,26 @@ impl SearchScratch {
     /// Creates an empty scratch; the pools fill lazily as tasks run.
     pub fn new() -> Self {
         SearchScratch {
-            probes: Mutex::new(Vec::new()),
-            batches: Mutex::new(Vec::new()),
+            probes: OrderedMutex::new(&locks::SEARCH_SCRATCH_PROBE, Vec::new()),
+            batches: OrderedMutex::new(&locks::SEARCH_SCRATCH_BATCH, Vec::new()),
             kernel: dita_distance::kernel::Scratch::default(),
         }
     }
 
     fn take_probe(&self) -> ProbeScratch {
-        self.probes
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop()
-            .unwrap_or_default()
+        self.probes.lock().pop().unwrap_or_default()
     }
 
     fn put_probe(&self, s: ProbeScratch) {
-        self.probes
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(s);
+        self.probes.lock().push(s);
     }
 
     fn take_batch(&self) -> BatchProbeScratch {
-        self.batches
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .pop()
-            .unwrap_or_default()
+        self.batches.lock().pop().unwrap_or_default()
     }
 
     fn put_batch(&self, s: BatchProbeScratch) {
-        self.batches
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .push(s);
+        self.batches.lock().push(s);
     }
 }
 

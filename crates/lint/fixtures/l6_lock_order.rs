@@ -1,0 +1,70 @@
+//! Known-bad L6 fixture: inverted acquisitions (direct and through a
+//! one-level call edge) plus a raw `std::sync` construction. The clean
+//! functions prove ascending order, `drop`-released guards and block
+//! scoping stay silent.
+
+use dita_obs::sync::locks;
+use dita_obs::OrderedMutex;
+
+pub struct Pair {
+    engine: OrderedMutex<u32>,
+    queue: OrderedMutex<u32>,
+}
+
+impl Pair {
+    pub fn build() -> Pair {
+        Pair {
+            engine: OrderedMutex::new(&locks::SERVER_ENGINE, 0),
+            queue: OrderedMutex::new(&locks::SCHEDULER_QUEUE, 0),
+        }
+    }
+
+    /// BAD: rank 10 acquired while rank 40 is held.
+    pub fn inverted(&self) -> u32 {
+        let q = self.queue.lock();
+        let e = self.engine.lock();
+        *q + *e
+    }
+
+    /// Clean: ascending ranks.
+    pub fn ascending(&self) -> u32 {
+        let e = self.engine.lock();
+        let q = self.queue.lock();
+        *e + *q
+    }
+
+    /// Clean: the first guard is dropped before the lower rank.
+    pub fn released_first(&self) -> u32 {
+        let q = self.queue.lock();
+        let total = *q;
+        drop(q);
+        let e = self.engine.lock();
+        total + *e
+    }
+
+    /// Clean: the first guard dies with its block.
+    pub fn scoped(&self) -> u32 {
+        let total = {
+            let q = self.queue.lock();
+            *q
+        };
+        let e = self.engine.lock();
+        total + *e
+    }
+
+    fn takes_engine(&self) -> u32 {
+        let e = self.engine.lock();
+        *e
+    }
+
+    /// BAD: calls a crate-local fn that acquires rank 10 under rank 40.
+    pub fn inverted_via_call(&self) -> u32 {
+        let q = self.queue.lock();
+        *q + self.takes_engine()
+    }
+}
+
+/// BAD: raw `std::sync` lock construction outside the sync module.
+pub fn unranked() -> std::sync::Mutex<u32> {
+    std::sync::Mutex::new(7)
+}

@@ -1,0 +1,72 @@
+//! Known-bad L7 fixture: indefinite blocking while a guard is live —
+//! sleep, channel recv, thread join, stream I/O and an unbounded
+//! condvar wait. The clean functions show the sanctioned shapes: block
+//! the guard out of scope first, or wait through the bounded
+//! `OrderedCondvar` wrappers.
+
+use dita_obs::sync::locks;
+use dita_obs::{OrderedCondvar, OrderedMutex};
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::mpsc::Receiver;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+pub struct Cell {
+    state: OrderedMutex<u64>,
+}
+
+impl Cell {
+    pub fn build() -> Cell {
+        Cell {
+            state: OrderedMutex::new(&locks::SERVER_ENGINE, 0),
+        }
+    }
+
+    /// BAD: sleeping while the guard is live.
+    pub fn sleepy(&self) {
+        let mut g = self.state.lock();
+        std::thread::sleep(Duration::from_millis(1));
+        *g += 1;
+    }
+
+    /// BAD: unbounded channel receive under the guard.
+    pub fn recv_under(&self, rx: &Receiver<u64>) {
+        let mut g = self.state.lock();
+        *g += rx.recv().unwrap_or(0);
+    }
+
+    /// BAD: joining a thread under the guard.
+    pub fn join_under(&self, h: JoinHandle<u64>) {
+        let mut g = self.state.lock();
+        *g += h.join().unwrap_or(0);
+    }
+
+    /// BAD: socket read and write under the guard.
+    pub fn io_under(&self, s: &mut TcpStream, buf: &mut [u8]) {
+        let _g = self.state.lock();
+        let _ = s.read(buf);
+        let _ = s.write_all(buf);
+    }
+
+    /// BAD: unbounded condvar wait (raw std shape) under the guard.
+    pub fn unbounded_wait(&self, cv: &std::sync::Condvar) {
+        let g = self.state.lock();
+        let _ = cv.wait(g);
+    }
+
+    /// Clean: the guard's block ends before the blocking call.
+    pub fn scoped_then_io(&self, s: &mut TcpStream, buf: &mut [u8]) {
+        {
+            let mut g = self.state.lock();
+            *g += 1;
+        }
+        let _ = s.read(buf);
+    }
+
+    /// Clean: bounded waits through the wrapper are the blessed shape.
+    pub fn bounded_wait(&self, cv: &OrderedCondvar) {
+        let g = self.state.lock();
+        let (_g, _timed_out) = cv.wait_timeout(g, Duration::from_millis(5));
+    }
+}

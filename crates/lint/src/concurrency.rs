@@ -1,0 +1,771 @@
+//! L6/L7: lock-order and blocking-under-lock analysis.
+//!
+//! The runtime half of the discipline lives in `dita_obs::sync`: every
+//! lock is declared with a rank in `dita_obs::sync::locks` and the
+//! ordered wrappers assert strictly-ascending acquisition per thread
+//! under `debug_assertions`. This module is the static half:
+//!
+//! * **L6 `lock-order`** — rebuilds per-function acquisition sequences
+//!   from masked source (guard binding → `drop`/scope-end spans, plus
+//!   one-level call-edge propagation within each crate) and rejects any
+//!   acquisition whose rank does not strictly exceed every rank already
+//!   held. It also rejects raw `std::sync` `Mutex`/`RwLock`/`Condvar`
+//!   construction anywhere outside the sync module itself, and keeps
+//!   the rank registry two-way synced with CONCURRENCY.md.
+//! * **L7 `blocking-under-lock`** — flags indefinite blocking while a
+//!   guard is live: channel `recv`, `JoinHandle::join`,
+//!   `thread::sleep`, stream reads/writes and unbounded `Condvar::wait`.
+//!   The blessed wrapper exposes only bounded waits
+//!   (`OrderedCondvar::wait_timeout{,_while}`), which stay exempt.
+//!
+//! Like the other rules this is a token-level analysis over masked,
+//! test-stripped source: no type information, so receivers are resolved
+//! by binding/field name against the crate's construction sites. Names
+//! the map cannot resolve are skipped — the runtime assertions are the
+//! backstop for what the static pass cannot see.
+
+use crate::mask::{blank_test_code, find_all, fn_spans, line_of, mask};
+use crate::rules::{RULE_BLOCKING_UNDER_LOCK, RULE_LOCK_ORDER};
+use crate::Finding;
+use std::collections::HashMap;
+
+/// The one module allowed to touch `std::sync` lock types directly.
+pub const SYNC_PATH: &str = "crates/obs/src/sync.rs";
+
+/// The lock-rank table document kept in two-way sync with
+/// `dita_obs::sync::locks`.
+pub const DOC_PATH: &str = "CONCURRENCY.md";
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+// ------------------------------------------------------- rank registry
+
+/// One `LockDef` const parsed out of the sync module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockRank {
+    /// Const identifier (`SERVER_ENGINE`).
+    pub konst: String,
+    /// Metric-label lock name (`server-engine`).
+    pub name: String,
+    /// Acquisition rank (outer = low, inner = high).
+    pub rank: u32,
+    /// 1-indexed declaration line in the sync module.
+    pub line: usize,
+}
+
+/// The rank registry parsed from `crates/obs/src/sync.rs`.
+#[derive(Debug, Default)]
+pub struct RankTable {
+    /// Declared locks in declaration order.
+    pub locks: Vec<LockRank>,
+}
+
+impl RankTable {
+    fn by_konst(&self, konst: &str) -> Option<&LockRank> {
+        self.locks.iter().find(|l| l.konst == konst)
+    }
+}
+
+/// Parses `pub const X: LockDef = LockDef { name: "…", rank: N };`
+/// declarations from the (unmasked) sync-module source.
+pub fn parse_rank_table(sync_src: &str) -> RankTable {
+    let mut table = RankTable::default();
+    let b = sync_src.as_bytes();
+    for at in find_all(sync_src, "pub const ", 0, sync_src.len()) {
+        let mut i = at + "pub const ".len();
+        let kstart = i;
+        while i < b.len() && is_ident(b[i]) {
+            i += 1;
+        }
+        let konst = &sync_src[kstart..i];
+        if konst.is_empty() || !sync_src[i..].starts_with(": LockDef") {
+            continue;
+        }
+        let Some(end) = sync_src[i..].find(';').map(|e| i + e) else {
+            continue;
+        };
+        let decl = &sync_src[i..end];
+        let name = decl.split('"').nth(1).unwrap_or_default().to_string();
+        let rank = decl.split("rank:").nth(1).map(|r| r.trim_start()).map(|r| {
+            r.bytes()
+                .take_while(|c| c.is_ascii_digit())
+                .fold(0u32, |acc, c| acc * 10 + u32::from(c - b'0'))
+        });
+        let (Some(rank), false) = (rank, name.is_empty()) else {
+            continue;
+        };
+        table.locks.push(LockRank {
+            konst: konst.to_string(),
+            name,
+            rank,
+            line: line_of(sync_src, at),
+        });
+    }
+    table
+}
+
+// --------------------------------------------------- CONCURRENCY.md sync
+
+/// Kebab-case lock-name token: lowercase/digits/`-`, at least one `-`.
+fn is_lock_token(tok: &str) -> bool {
+    !tok.is_empty()
+        && tok.contains('-')
+        && tok
+            .bytes()
+            .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'-')
+}
+
+/// Two-way `sync::locks` ↔ CONCURRENCY.md check: every declared lock
+/// must have a doc table row with the same rank, and every doc row must
+/// name a declared lock.
+pub fn check_doc(table: &RankTable, doc: &str) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if table.locks.is_empty() {
+        out.push(Finding {
+            rule: RULE_LOCK_ORDER,
+            file: SYNC_PATH.to_string(),
+            line: 1,
+            message: format!("no LockDef consts found in {SYNC_PATH} — rank registry missing"),
+        });
+        return out;
+    }
+    // A doc row is a table line carrying a backticked kebab-case lock
+    // name plus a bare integer cell (the rank).
+    let mut rows: Vec<(String, u32, usize)> = Vec::new();
+    for (idx, raw) in doc.lines().enumerate() {
+        let line = raw.trim();
+        if !line.starts_with('|') {
+            continue;
+        }
+        let mut name = None;
+        let mut rank = None;
+        for cell in line.split('|') {
+            let cell = cell.trim();
+            if let Some(tok) = cell.strip_prefix('`').and_then(|c| c.strip_suffix('`')) {
+                if is_lock_token(tok) && name.is_none() {
+                    name = Some(tok.to_string());
+                }
+            } else if !cell.is_empty() && cell.bytes().all(|b| b.is_ascii_digit()) {
+                rank = rank.or_else(|| cell.parse::<u32>().ok());
+            }
+        }
+        if let (Some(name), Some(rank)) = (name, rank) {
+            rows.push((name, rank, idx + 1));
+        }
+    }
+    for lock in &table.locks {
+        match rows.iter().find(|(n, _, _)| *n == lock.name) {
+            None => out.push(Finding {
+                rule: RULE_LOCK_ORDER,
+                file: SYNC_PATH.to_string(),
+                line: lock.line,
+                message: format!(
+                    "lock `{}` (rank {}) has no rank-table row in {DOC_PATH}",
+                    lock.name, lock.rank
+                ),
+            }),
+            Some((_, doc_rank, doc_line)) if *doc_rank != lock.rank => out.push(Finding {
+                rule: RULE_LOCK_ORDER,
+                file: DOC_PATH.to_string(),
+                line: *doc_line,
+                message: format!(
+                    "{DOC_PATH} lists `{}` at rank {doc_rank}, but {SYNC_PATH} \
+                     declares rank {} — update the table",
+                    lock.name, lock.rank
+                ),
+            }),
+            Some(_) => {}
+        }
+    }
+    for (name, _, line) in &rows {
+        if !table.locks.iter().any(|l| &l.name == name) {
+            out.push(Finding {
+                rule: RULE_LOCK_ORDER,
+                file: DOC_PATH.to_string(),
+                line: *line,
+                message: format!(
+                    "{DOC_PATH} documents lock `{name}`, which is not declared in \
+                     dita_obs::sync::locks — stale row or missing LockDef"
+                ),
+            });
+        }
+    }
+    out
+}
+
+// ------------------------------------------------------- per-crate pass
+
+/// One resolved lock acquisition with its guard live range.
+struct Acq {
+    rank: u32,
+    name: String,
+    /// Offset of the acquisition token.
+    pos: usize,
+    /// Exclusive end of the guard's live range.
+    end: usize,
+    line: usize,
+    /// Let-binding holding the guard, when there is one.
+    guard: Option<String>,
+}
+
+/// Reads the identifier ending exactly at byte `end` (exclusive).
+fn ident_ending_at(m: &[u8], end: usize) -> Option<(usize, String)> {
+    let mut start = end;
+    while start > 0 && is_ident(m[start - 1]) {
+        start -= 1;
+    }
+    if start == end {
+        return None;
+    }
+    Some((start, String::from_utf8_lossy(&m[start..end]).into_owned()))
+}
+
+fn skip_ws_back(m: &[u8], mut i: usize) -> usize {
+    while i > 0 && (m[i - 1] == b' ' || m[i - 1] == b'\n') {
+        i -= 1;
+    }
+    i
+}
+
+/// Builds the crate's binding/field → lock map from construction sites:
+/// `name: OrderedMutex::with_obs(&locks::CONST, …)` and
+/// `let name = OrderedRwLock::new(&locks::CONST, …)`. A name bound to
+/// two different locks in the same crate becomes unresolvable (`None`).
+fn binding_map(
+    table: &RankTable,
+    files: &[(&str, String)],
+) -> HashMap<String, Option<(u32, String)>> {
+    let mut map: HashMap<String, Option<(u32, String)>> = HashMap::new();
+    for (_, masked) in files {
+        let m = masked.as_bytes();
+        for at in find_all(masked, "locks::", 0, masked.len()) {
+            if at > 0 && is_ident(m[at - 1]) {
+                continue;
+            }
+            let mut j = at + "locks::".len();
+            let kstart = j;
+            while j < m.len() && is_ident(m[j]) {
+                j += 1;
+            }
+            let Some(lock) = table.by_konst(&masked[kstart..j]) else {
+                continue;
+            };
+            // Walk back over the path (`dita_obs::sync::locks::` …).
+            let mut i = at;
+            while i > 0 && (is_ident(m[i - 1]) || m[i - 1] == b':') {
+                i -= 1;
+            }
+            i = skip_ws_back(m, i);
+            if i == 0 || m[i - 1] != b'&' {
+                continue;
+            }
+            i = skip_ws_back(m, i - 1);
+            if i == 0 || m[i - 1] != b'(' {
+                continue;
+            }
+            // The constructor path before the `(`.
+            let cend = skip_ws_back(m, i - 1);
+            let mut cstart = cend;
+            while cstart > 0 && (is_ident(m[cstart - 1]) || m[cstart - 1] == b':') {
+                cstart -= 1;
+            }
+            let ctor = &masked[cstart..cend];
+            let ordered = ["OrderedMutex", "OrderedRwLock"]
+                .iter()
+                .any(|t| ctor.contains(t))
+                && (ctor.ends_with("::new") || ctor.ends_with("::with_obs"));
+            if !ordered {
+                continue;
+            }
+            // Struct-field init (`name:`) or let/assignment (`name =`).
+            let i = skip_ws_back(m, cstart);
+            let binding = match m.get(i.wrapping_sub(1)) {
+                Some(b':') if i >= 2 && m[i - 2] != b':' => {
+                    ident_ending_at(m, skip_ws_back(m, i - 1))
+                }
+                Some(b'=') => ident_ending_at(m, skip_ws_back(m, i - 1)),
+                _ => None,
+            };
+            let Some((_, binding)) = binding else {
+                continue;
+            };
+            let entry = (lock.rank, lock.name.clone());
+            match map.get(&binding) {
+                Some(Some(prev)) if *prev != entry => {
+                    map.insert(binding, None);
+                }
+                Some(_) => {}
+                None => {
+                    map.insert(binding, Some(entry));
+                }
+            }
+        }
+    }
+    map
+}
+
+/// End of a let-bound guard's live range: `drop(guard)` or the close of
+/// the enclosing block, whichever comes first.
+fn guard_range_end(m: &[u8], from: usize, limit: usize, guard: &str) -> usize {
+    let masked = std::str::from_utf8(m).unwrap_or_default();
+    let mut depth = 0i64;
+    let mut i = from;
+    while i < limit {
+        match m[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            b'd' if masked[i..].starts_with("drop(")
+                && (i == 0 || (!is_ident(m[i - 1]) && m[i - 1] != b'.')) =>
+            {
+                let inner = &masked.as_bytes()[i + 5..limit.min(i + 5 + guard.len() + 1)];
+                if inner.len() > guard.len()
+                    && &inner[..guard.len()] == guard.as_bytes()
+                    && inner[guard.len()] == b')'
+                {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// End of a chained temporary guard's live range: the statement's `;`.
+fn stmt_range_end(m: &[u8], from: usize, limit: usize) -> usize {
+    let mut depth = 0i64;
+    let mut i = from;
+    while i < limit {
+        match m[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            b';' if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    limit
+}
+
+/// Collects resolved acquisitions (with live ranges) inside `[start, end)`.
+fn collect_acqs(
+    masked: &str,
+    start: usize,
+    end: usize,
+    map: &HashMap<String, Option<(u32, String)>>,
+) -> Vec<Acq> {
+    let m = masked.as_bytes();
+    let mut acqs = Vec::new();
+    for tok in [".lock()", ".read()", ".write()"] {
+        for at in find_all(masked, tok, start, end) {
+            let Some((rstart, receiver)) = ident_ending_at(m, at) else {
+                continue;
+            };
+            let Some(Some((rank, name))) = map.get(&receiver) else {
+                continue;
+            };
+            // Statement start: the previous `;`, `{` or `}`.
+            let mut s = rstart;
+            while s > 0 && !matches!(m[s - 1], b';' | b'{' | b'}') {
+                s -= 1;
+            }
+            let stmt = &masked[s..at];
+            let guard = stmt.rfind("let ").and_then(|l| {
+                if l > 0 && is_ident(stmt.as_bytes()[l - 1]) {
+                    return None;
+                }
+                let rest = stmt[l + 4..].trim_start();
+                let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+                let b = rest.as_bytes();
+                let mut e = 0;
+                while e < b.len() && is_ident(b[e]) {
+                    e += 1;
+                }
+                (e > 0).then(|| rest[..e].to_string())
+            });
+            let after = at + tok.len();
+            let range_end = match &guard {
+                Some(g) => guard_range_end(m, after, end, g),
+                None => stmt_range_end(m, after, end),
+            };
+            acqs.push(Acq {
+                rank: *rank,
+                name: name.clone(),
+                pos: at,
+                end: range_end,
+                line: line_of(masked, at),
+                guard,
+            });
+        }
+    }
+    acqs.sort_by_key(|a| a.pos);
+    acqs
+}
+
+/// Calls that cannot return without blocking indefinitely (token, label).
+const BLOCKING_EXACT: &[(&str, &str)] = &[
+    (".recv()", "Receiver::recv"),
+    (".join()", "JoinHandle::join"),
+];
+const BLOCKING_CALLS: &[(&str, &str)] = &[
+    ("thread::sleep(", "thread::sleep"),
+    (".read_exact(", "Read::read_exact"),
+    (".read_to_end(", "Read::read_to_end"),
+    (".read_to_string(", "Read::read_to_string"),
+    (".write_all(", "Write::write_all"),
+    (".wait(", "Condvar::wait (unbounded)"),
+];
+/// `.read(`/`.write(` with arguments are stream I/O; the empty-paren
+/// forms are RwLock acquisitions and belong to L6.
+const BLOCKING_IO_ARGS: &[(&str, &str)] = &[(".read(", "Read::read"), (".write(", "Write::write")];
+
+/// Runs L6 (ordering + raw construction) and L7 over every file,
+/// grouping by crate so binding maps and call edges stay crate-local.
+/// `files` are `(workspace-relative path, source)` pairs.
+pub fn check_files(table: &RankTable, files: &[(String, String)]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut by_crate: HashMap<String, Vec<(&str, String)>> = HashMap::new();
+    for (rel, src) in files {
+        if rel == SYNC_PATH || !rel.ends_with(".rs") {
+            continue;
+        }
+        let masked = blank_test_code(&mask(src));
+        // Raw std::sync lock construction — everywhere but the sync
+        // module (the `Ordered*` wrappers' own internals).
+        for pat in ["Mutex::new(", "RwLock::new(", "Condvar::new("] {
+            for at in find_all(&masked, pat, 0, masked.len()) {
+                if at > 0 && is_ident(masked.as_bytes()[at - 1]) {
+                    continue;
+                }
+                out.push(Finding {
+                    rule: RULE_LOCK_ORDER,
+                    file: rel.clone(),
+                    line: line_of(&masked, at),
+                    message: format!(
+                        "raw `{}` outside {SYNC_PATH} — declare a rank in \
+                         dita_obs::sync::locks and use the Ordered wrapper so \
+                         acquisition order is asserted and waits are metered",
+                        pat.trim_end_matches('(')
+                    ),
+                });
+            }
+        }
+        let krate = rel
+            .strip_prefix("crates/")
+            .and_then(|r| r.split('/').next())
+            .unwrap_or("_root")
+            .to_string();
+        by_crate.entry(krate).or_default().push((rel, masked));
+    }
+
+    for crate_files in by_crate.values() {
+        let map = binding_map(table, crate_files);
+        if map.is_empty() {
+            continue;
+        }
+        // Direct acquisitions per function, for call-edge propagation.
+        let mut fn_ranks: HashMap<String, Vec<(u32, String)>> = HashMap::new();
+        for (_, masked) in crate_files {
+            for f in fn_spans(masked) {
+                for a in collect_acqs(masked, f.start, f.end, &map) {
+                    let e = fn_ranks.entry(f.name.clone()).or_default();
+                    if !e.iter().any(|(r, _)| *r == a.rank) {
+                        e.push((a.rank, a.name.clone()));
+                    }
+                }
+            }
+        }
+        for (rel, masked) in crate_files {
+            let m = masked.as_bytes();
+            for f in fn_spans(masked) {
+                let acqs = collect_acqs(masked, f.start, f.end, &map);
+                for held in &acqs {
+                    // L6: a later acquisition inside this guard's live
+                    // range must have a strictly greater rank.
+                    for later in &acqs {
+                        if later.pos > held.pos && later.pos < held.end && later.rank <= held.rank {
+                            out.push(Finding {
+                                rule: RULE_LOCK_ORDER,
+                                file: rel.to_string(),
+                                line: later.line,
+                                message: format!(
+                                    "lock-order violation: acquiring `{}` (rank {}) \
+                                     while `{}` (rank {}) is held — acquisition \
+                                     ranks must strictly ascend (see {DOC_PATH})",
+                                    later.name, later.rank, held.name, held.rank
+                                ),
+                            });
+                        }
+                    }
+                    // L6, one-level call edges: a crate-local fn that
+                    // acquires a rank ≤ the held rank must not be
+                    // called while the guard is live.
+                    for (fname, ranks) in &fn_ranks {
+                        for at in find_all(masked, fname, held.pos, held.end) {
+                            if at > 0 && is_ident(m[at - 1]) {
+                                continue;
+                            }
+                            let after = at + fname.len();
+                            if m.get(after) != Some(&b'(') {
+                                continue;
+                            }
+                            if masked[..at].ends_with("fn ") {
+                                continue;
+                            }
+                            if at > 0 && m[at - 1] == b'.' {
+                                // A method on a live guard dereferences
+                                // the protected value (`slot.take()`),
+                                // not a crate-local fn; same for chained
+                                // receivers we cannot resolve.
+                                match ident_ending_at(m, at - 1) {
+                                    None => continue,
+                                    Some((_, recv)) => {
+                                        let is_guard = acqs.iter().any(|a| {
+                                            a.guard.as_deref() == Some(recv.as_str())
+                                                && at > a.pos
+                                                && at < a.end
+                                        });
+                                        if is_guard {
+                                            continue;
+                                        }
+                                    }
+                                }
+                            }
+                            for (rank, lname) in ranks {
+                                if *rank <= held.rank {
+                                    out.push(Finding {
+                                        rule: RULE_LOCK_ORDER,
+                                        file: rel.to_string(),
+                                        line: line_of(masked, at),
+                                        message: format!(
+                                            "lock-order violation: `{fname}` acquires \
+                                             `{lname}` (rank {rank}) and is called \
+                                             while `{}` (rank {}) is held — ranks \
+                                             must strictly ascend (see {DOC_PATH})",
+                                            held.name, held.rank
+                                        ),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                    // L7: indefinite blocking while the guard is live.
+                    let mut blocked = |at: usize, label: &str| {
+                        out.push(Finding {
+                            rule: RULE_BLOCKING_UNDER_LOCK,
+                            file: rel.to_string(),
+                            line: line_of(masked, at),
+                            message: format!(
+                                "`{label}` while lock `{}` (rank {}) is held — \
+                                 release the guard first, or wait through \
+                                 OrderedCondvar::wait_timeout so the block is bounded",
+                                held.name, held.rank
+                            ),
+                        });
+                    };
+                    for (tok, label) in BLOCKING_EXACT.iter().chain(BLOCKING_CALLS) {
+                        for at in find_all(masked, tok, held.pos, held.end) {
+                            blocked(at, label);
+                        }
+                    }
+                    for (tok, label) in BLOCKING_IO_ARGS {
+                        for at in find_all(masked, tok, held.pos, held.end) {
+                            if m.get(at + tok.len()) == Some(&b')') {
+                                continue;
+                            }
+                            blocked(at, label);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out.sort_by(|a, b| (&a.file, a.line, a.rule).cmp(&(&b.file, b.line, b.rule)));
+    out.dedup_by(|a, b| a.file == b.file && a.line == b.line && a.rule == b.rule);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SYNC: &str = r#"
+pub const LOW: LockDef = LockDef { name: "low-lock", rank: 10 };
+pub const HIGH: LockDef = LockDef { name: "high-lock", rank: 40 };
+"#;
+
+    fn table() -> RankTable {
+        parse_rank_table(SYNC)
+    }
+
+    #[test]
+    fn parses_lockdef_consts() {
+        let t = table();
+        assert_eq!(t.locks.len(), 2);
+        assert_eq!(t.locks[0].name, "low-lock");
+        assert_eq!(t.locks[1].rank, 40);
+    }
+
+    #[test]
+    fn doc_sync_flags_missing_and_stale_rows() {
+        let t = table();
+        let doc = "| 10 | `low-lock` | x |\n| 99 | `gone-lock` | y |\n";
+        let f = check_doc(&t, doc);
+        assert!(f.iter().any(|x| x.message.contains("high-lock")), "{f:?}");
+        assert!(f.iter().any(|x| x.message.contains("gone-lock")), "{f:?}");
+        let clean = "| 10 | `low-lock` | x |\n| 40 | `high-lock` | y |\n";
+        assert!(check_doc(&t, clean).is_empty());
+    }
+
+    #[test]
+    fn doc_sync_flags_rank_mismatch() {
+        let t = table();
+        let doc = "| 10 | `low-lock` | x |\n| 41 | `high-lock` | y |\n";
+        let f = check_doc(&t, doc);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("rank 40"), "{f:?}");
+    }
+
+    fn lint_one(src: &str) -> Vec<Finding> {
+        check_files(
+            &table(),
+            &[("crates/x/src/a.rs".to_string(), src.to_string())],
+        )
+    }
+
+    #[test]
+    fn inverted_acquisition_is_flagged() {
+        let src = "
+struct S { lo: OrderedMutex<u32>, hi: OrderedMutex<u32> }
+impl S {
+    fn new() -> S {
+        S { lo: OrderedMutex::new(&locks::LOW, 0), hi: OrderedMutex::new(&locks::HIGH, 0) }
+    }
+    fn bad(&self) {
+        let h = self.hi.lock();
+        let l = self.lo.lock();
+    }
+    fn good(&self) {
+        let l = self.lo.lock();
+        let h = self.hi.lock();
+    }
+}
+";
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_LOCK_ORDER);
+        assert!(f[0].message.contains("`low-lock` (rank 10)"));
+    }
+
+    #[test]
+    fn drop_ends_the_guard_range() {
+        let src = "
+struct S { lo: OrderedMutex<u32>, hi: OrderedMutex<u32> }
+impl S {
+    fn new() -> S {
+        S { lo: OrderedMutex::new(&locks::LOW, 0), hi: OrderedMutex::new(&locks::HIGH, 0) }
+    }
+    fn ok(&self) {
+        let h = self.hi.lock();
+        drop(h);
+        let l = self.lo.lock();
+    }
+}
+";
+        assert!(lint_one(src).is_empty(), "{:?}", lint_one(src));
+    }
+
+    #[test]
+    fn call_edge_propagates_one_level() {
+        let src = "
+struct S { lo: OrderedMutex<u32>, hi: OrderedMutex<u32> }
+impl S {
+    fn new() -> S {
+        S { lo: OrderedMutex::new(&locks::LOW, 0), hi: OrderedMutex::new(&locks::HIGH, 0) }
+    }
+    fn helper(&self) { let _l = self.lo.lock(); }
+    fn bad(&self) {
+        let _h = self.hi.lock();
+        self.helper();
+    }
+}
+";
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("`helper` acquires"), "{f:?}");
+    }
+
+    #[test]
+    fn raw_construction_is_flagged_and_wrappers_are_not() {
+        let src = "
+fn raw() -> std::sync::Mutex<u32> { std::sync::Mutex::new(0) }
+fn wrapped() { let _m = OrderedMutex::new(&locks::LOW, 0); }
+";
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert!(f[0].message.contains("raw `Mutex::new`"));
+    }
+
+    #[test]
+    fn blocking_under_live_guard_is_flagged() {
+        let src = "
+struct S { lo: OrderedMutex<u32> }
+impl S {
+    fn new() -> S { S { lo: OrderedMutex::new(&locks::LOW, 0) } }
+    fn bad(&self) {
+        let _g = self.lo.lock();
+        std::thread::sleep(POLL);
+    }
+    fn ok(&self) {
+        { let _g = self.lo.lock(); }
+        std::thread::sleep(POLL);
+    }
+    fn bounded(&self, cv: &OrderedCondvar) {
+        let g = self.lo.lock();
+        let _ = cv.wait_timeout(g, POLL);
+    }
+}
+";
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_BLOCKING_UNDER_LOCK);
+        assert!(f[0].message.contains("thread::sleep"));
+    }
+
+    #[test]
+    fn io_with_args_is_blocking_but_rwlock_acquisition_is_not() {
+        let src = "
+struct S { lo: OrderedMutex<u32>, hi: OrderedRwLock<u32> }
+impl S {
+    fn new() -> S {
+        S { lo: OrderedMutex::new(&locks::LOW, 0), hi: OrderedRwLock::new(&locks::HIGH, 0) }
+    }
+    fn bad(&self, s: &mut TcpStream, buf: &mut [u8]) {
+        let _g = self.lo.lock();
+        let _ = s.read(buf);
+    }
+    fn fine(&self) {
+        let _g = self.lo.lock();
+        let _r = self.hi.read();
+    }
+}
+";
+        let f = lint_one(src);
+        assert_eq!(f.len(), 1, "{f:?}");
+        assert_eq!(f[0].rule, RULE_BLOCKING_UNDER_LOCK);
+        assert!(f[0].message.contains("Read::read"), "{f:?}");
+    }
+}

@@ -4,16 +4,18 @@
 //! that worker closures run under `catch_unwind` and must fail via
 //! `TaskError`, that float ordering feeds distance kernels where NaN
 //! means a broken pruning bound, that the observability registry and
-//! OBSERVABILITY.md must agree, and that helper-pool CPU time must be
-//! charged to the simulated cost model. This crate enforces those four
-//! invariants (rules L1–L4, see STATIC_ANALYSIS.md) with a
-//! dependency-free scanner over comment/string-masked source.
+//! OBSERVABILITY.md must agree, that helper-pool CPU time must be
+//! charged to the simulated cost model, and that every lock follows the
+//! rank discipline declared in `dita_obs::sync::locks`. This crate
+//! enforces those invariants (rules L1–L7, see STATIC_ANALYSIS.md) with
+//! a dependency-free scanner over comment/string-masked source.
 //!
 //! `scripts/check.sh` runs `dita-lint --workspace --deny` as a hard
 //! gate after clippy.
 
 #![warn(missing_docs)]
 
+pub mod concurrency;
 pub mod mask;
 pub mod registry;
 pub mod report;
@@ -30,7 +32,8 @@ use std::time::Instant;
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Finding {
     /// Rule identifier (`worker-panic`, `nan-ordering`, `obs-names`,
-    /// `unpriced-parallelism`, `malformed-allow`).
+    /// `unpriced-parallelism`, `unpriced-transfer`, `lock-order`,
+    /// `blocking-under-lock`, `malformed-allow`).
     pub rule: &'static str,
     /// Workspace-relative path with `/` separators.
     pub file: String,
@@ -78,6 +81,7 @@ pub fn run_workspace(root: &Path) -> Report {
     let mut findings = Vec::new();
     let mut allowed = 0usize;
     let files_scanned = files.len();
+    let mut sources: Vec<(String, String)> = Vec::with_capacity(files.len());
     for path in &files {
         let rel = path
             .strip_prefix(root)
@@ -89,6 +93,7 @@ pub fn run_workspace(root: &Path) -> Report {
                 let r = lint_source(&rel, &src);
                 findings.extend(r.findings);
                 allowed += r.allowed;
+                sources.push((rel, src));
             }
             Err(e) => findings.push(Finding {
                 rule: "io-error",
@@ -111,6 +116,30 @@ pub fn run_workspace(root: &Path) -> Report {
         "OBSERVABILITY.md",
         &doc,
     ));
+
+    // L6/L7: the crate-level concurrency pass, plus the lock-rank
+    // table's two-way sync with CONCURRENCY.md.
+    let sync_src = sources
+        .iter()
+        .find(|(rel, _)| rel == concurrency::SYNC_PATH)
+        .map(|(_, src)| src.as_str())
+        .unwrap_or_default();
+    let table = concurrency::parse_rank_table(sync_src);
+    let lock_doc = fs::read_to_string(root.join(concurrency::DOC_PATH)).unwrap_or_default();
+    findings.extend(concurrency::check_doc(&table, &lock_doc));
+    for f in concurrency::check_files(&table, &sources) {
+        // Concurrency findings honor the same allow comments as the
+        // per-file rules.
+        let src = sources.iter().find(|(rel, _)| *rel == f.file);
+        match src {
+            Some((_, src)) => {
+                let (kept, n) = rules::filter_allows(src, vec![f]);
+                allowed += n;
+                findings.extend(kept);
+            }
+            None => findings.push(f),
+        }
+    }
 
     findings.sort_by(|a, b| (&a.file, a.line).cmp(&(&b.file, b.line)));
     Report {

@@ -1,12 +1,14 @@
 //! CLI for `dita-lint` (see STATIC_ANALYSIS.md).
 //!
 //! ```text
-//! dita-lint --workspace [--deny] [--root PATH] [--quiet]
+//! dita-lint --workspace [--deny] [--root PATH] [--quiet] [--out PATH]
 //! ```
 //!
-//! JSON (`dita-lint/v1`) goes to stdout; human-readable findings go to
-//! stderr. With `--deny`, a non-empty finding list exits 1 — this is
-//! the mode `scripts/check.sh` gates on.
+//! JSON (`dita-lint/v1`) goes to stdout — or to `--out PATH`, the mode
+//! `scripts/check.sh` uses to refresh `results/lint.json` on every run
+//! (the artifact is written even when the gate fails, so the checked-in
+//! report never goes stale). Human-readable findings go to stderr. With
+//! `--deny`, a non-empty finding list exits 1.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -15,6 +17,7 @@ fn main() -> ExitCode {
     let mut deny = false;
     let mut quiet = false;
     let mut root: Option<PathBuf> = None;
+    let mut out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -28,8 +31,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--out" => match args.next() {
+                Some(p) => out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("dita-lint: --out requires a path");
+                    return ExitCode::from(2);
+                }
+            },
             "--help" | "-h" => {
-                eprintln!("usage: dita-lint --workspace [--deny] [--root PATH] [--quiet]");
+                eprintln!(
+                    "usage: dita-lint --workspace [--deny] [--root PATH] [--quiet] [--out PATH]"
+                );
                 return ExitCode::SUCCESS;
             }
             other => {
@@ -59,11 +71,22 @@ fn main() -> ExitCode {
             report.runtime_seconds
         );
     }
-    // Ignore stdout write errors so `dita-lint | head` exits cleanly
-    // on SIGPIPE instead of panicking; the exit code carries the gate.
-    use std::io::Write as _;
-    let _ = std::io::stdout().write_all(report.to_json().as_bytes());
-    let _ = writeln!(std::io::stdout());
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, report.to_json()) {
+                eprintln!("dita-lint: cannot write {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+        None => {
+            // Ignore stdout write errors so `dita-lint | head` exits
+            // cleanly on SIGPIPE instead of panicking; the exit code
+            // carries the gate.
+            use std::io::Write as _;
+            let _ = std::io::stdout().write_all(report.to_json().as_bytes());
+            let _ = writeln!(std::io::stdout());
+        }
+    }
     if deny && !report.ok() {
         ExitCode::FAILURE
     } else {

@@ -1,4 +1,9 @@
-//! The five DITA-specific rules (see STATIC_ANALYSIS.md).
+//! The DITA-specific rules L1–L7 (see STATIC_ANALYSIS.md).
+//!
+//! L1–L5 are per-file and live here; L6/L7 (lock-order and
+//! blocking-under-lock) need crate-level context and live in
+//! [`crate::concurrency`], sharing the rule consts and allow-comment
+//! machinery below.
 //!
 //! All matchers run on masked, test-stripped source (see
 //! [`crate::mask`]), so tokens inside comments, literals and
@@ -19,6 +24,11 @@ pub const RULE_OBS_NAMES: &str = "obs-names";
 pub const RULE_UNPRICED_PARALLELISM: &str = "unpriced-parallelism";
 /// L5: span/task transfer attribution must be priced by the network model.
 pub const RULE_UNPRICED_TRANSFER: &str = "unpriced-transfer";
+/// L6: lock acquisitions must follow the declared rank order, and every
+/// lock must be a ranked `dita_obs::sync` wrapper.
+pub const RULE_LOCK_ORDER: &str = "lock-order";
+/// L7: no indefinite blocking while a lock guard is live.
+pub const RULE_BLOCKING_UNDER_LOCK: &str = "blocking-under-lock";
 /// An allow comment that is unparsable or missing its reason.
 pub const RULE_MALFORMED_ALLOW: &str = "malformed-allow";
 
@@ -153,6 +163,12 @@ fn l1_worker_panic(rel: &str, src: &str, masked: &str, out: &mut Vec<Finding>) {
     // single-shot setup code and stays out of scope.
     if rel.starts_with("crates/server/src/") && !rel.ends_with("/main.rs") {
         scopes.push((0..masked.len(), "server request/connection path"));
+    }
+    // The ranked-lock layer runs under every subsystem's locks; an
+    // unwind here poisons whichever mutex the caller holds and takes
+    // the rank bookkeeping with it.
+    if rel == "crates/obs/src/sync.rs" {
+        scopes.push((0..masked.len(), "ranked-lock layer"));
     }
     if rel == "crates/index/src/trie.rs" || rel == "crates/index/src/pointer.rs" {
         for f in fn_spans(masked) {
@@ -376,11 +392,13 @@ fn l5_unpriced_transfer(rel: &str, src: &str, masked: &str, out: &mut Vec<Findin
 
 // ---------------------------------------------------- allow comments
 
-/// Parses `// lint: allow(RULE, reason = "...")` comments. A
-/// well-formed allow suppresses findings of that rule on its own line
-/// and the line directly below; an allow without a reason is itself a
-/// finding. `src` must be the literals-masked, test-stripped text.
-fn apply_allows(rel: &str, src: &str, findings: Vec<Finding>) -> FileLint {
+/// Parses `// lint: allow(RULE, reason = "...")` comments out of the
+/// literals-masked, test-stripped text: a map from suppressed line to
+/// rule names, plus malformed-allow findings.
+fn collect_allows(
+    rel: &str,
+    src: &str,
+) -> (std::collections::HashMap<usize, Vec<String>>, Vec<Finding>) {
     use std::collections::HashMap;
     let mut allows: HashMap<usize, Vec<String>> = HashMap::new();
     let mut malformed = Vec::new();
@@ -408,6 +426,8 @@ fn apply_allows(rel: &str, src: &str, findings: Vec<Finding>) -> FileLint {
             RULE_OBS_NAMES,
             RULE_UNPRICED_PARALLELISM,
             RULE_UNPRICED_TRANSFER,
+            RULE_LOCK_ORDER,
+            RULE_BLOCKING_UNDER_LOCK,
         ]
         .contains(&rule.as_str());
         let has_reason = rest[rule_end..].contains("reason");
@@ -427,6 +447,13 @@ fn apply_allows(rel: &str, src: &str, findings: Vec<Finding>) -> FileLint {
         allows.entry(lineno).or_default().push(rule.clone());
         allows.entry(lineno + 1).or_default().push(rule);
     }
+    (allows, malformed)
+}
+
+/// Applies allow comments to per-file findings: suppression plus
+/// malformed-allow diagnostics (emitted once per file, here only).
+fn apply_allows(rel: &str, src: &str, findings: Vec<Finding>) -> FileLint {
+    let (allows, malformed) = collect_allows(rel, src);
     let mut kept = Vec::new();
     let mut allowed = 0usize;
     for f in findings {
@@ -445,6 +472,28 @@ fn apply_allows(rel: &str, src: &str, findings: Vec<Finding>) -> FileLint {
         findings: kept,
         allowed,
     }
+}
+
+/// Filters workspace-level findings (the [`crate::concurrency`] pass)
+/// for one file through its allow comments. Malformed allows are NOT
+/// re-reported here — [`lint_source`] already emits them. Returns the
+/// surviving findings and the suppressed count.
+pub fn filter_allows(raw_src: &str, findings: Vec<Finding>) -> (Vec<Finding>, usize) {
+    let view = blank_test_code(&mask_literals(raw_src));
+    let (allows, _) = collect_allows("", &view);
+    let mut kept = Vec::new();
+    let mut allowed = 0usize;
+    for f in findings {
+        let hit = allows
+            .get(&f.line)
+            .is_some_and(|rules| rules.iter().any(|r| r == f.rule));
+        if hit {
+            allowed += 1;
+        } else {
+            kept.push(f);
+        }
+    }
+    (kept, allowed)
 }
 
 #[cfg(test)]

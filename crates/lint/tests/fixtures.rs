@@ -1,9 +1,12 @@
 //! Each rule must fire on its known-bad fixture (ISSUE acceptance:
 //! "each of L1–L4 has a fixture test that fails on a known-bad
-//! snippet") and allow comments must suppress exactly their rule.
+//! snippet", extended to L6/L7 by the concurrency-lint issue) and
+//! allow comments must suppress exactly their rule.
 
+use dita_lint::concurrency::{check_files, parse_rank_table};
 use dita_lint::rules::{
-    lint_source, RULE_NAN_ORDERING, RULE_OBS_NAMES, RULE_UNPRICED_PARALLELISM, RULE_WORKER_PANIC,
+    lint_source, RULE_BLOCKING_UNDER_LOCK, RULE_LOCK_ORDER, RULE_NAN_ORDERING, RULE_OBS_NAMES,
+    RULE_UNPRICED_PARALLELISM, RULE_WORKER_PANIC,
 };
 
 fn rule_lines(findings: &[dita_lint::Finding], rule: &str) -> Vec<usize> {
@@ -70,6 +73,53 @@ fn l4_fires_only_in_cost_modeled_crates() {
     // Outside the cost-modeled crates the rule is silent.
     let r = lint_source("crates/baselines/src/fixture.rs", src);
     assert!(rule_lines(&r.findings, RULE_UNPRICED_PARALLELISM).is_empty());
+}
+
+/// The L6/L7 fixtures are checked against the REAL rank registry so
+/// fixture consts can never drift from `dita_obs::sync::locks`.
+fn real_rank_table() -> dita_lint::concurrency::RankTable {
+    let table = parse_rank_table(include_str!("../../obs/src/sync.rs"));
+    assert!(table.locks.len() >= 12, "rank registry parse broke");
+    table
+}
+
+fn concurrency_findings(fixture: &str) -> Vec<dita_lint::Finding> {
+    check_files(
+        &real_rank_table(),
+        &[(
+            "crates/server/src/fixture.rs".to_string(),
+            fixture.to_string(),
+        )],
+    )
+}
+
+#[test]
+fn l6_fires_on_inverted_order_call_edges_and_raw_construction() {
+    let f = concurrency_findings(include_str!("../fixtures/l6_lock_order.rs"));
+    let lines = rule_lines(&f, RULE_LOCK_ORDER);
+    // inverted, inverted_via_call, unranked raw construction; the
+    // ascending / drop-released / block-scoped functions stay clean.
+    assert_eq!(lines.len(), 3, "{f:?}");
+    assert!(rule_lines(&f, RULE_BLOCKING_UNDER_LOCK).is_empty(), "{f:?}");
+    assert!(
+        f.iter()
+            .any(|x| x.message.contains("`takes_engine` acquires")),
+        "call-edge finding missing: {f:?}"
+    );
+    assert!(
+        f.iter().any(|x| x.message.contains("raw `Mutex::new`")),
+        "raw-construction finding missing: {f:?}"
+    );
+}
+
+#[test]
+fn l7_fires_on_blocking_under_live_guards() {
+    let f = concurrency_findings(include_str!("../fixtures/l7_blocking_under_lock.rs"));
+    let lines = rule_lines(&f, RULE_BLOCKING_UNDER_LOCK);
+    // sleep, recv, join, read+write_all, unbounded wait; the scoped
+    // and bounded-wait functions stay clean.
+    assert_eq!(lines.len(), 6, "{f:?}");
+    assert!(rule_lines(&f, RULE_LOCK_ORDER).is_empty(), "{f:?}");
 }
 
 #[test]

@@ -19,6 +19,13 @@
 //! * [`names`] — the central registry of metric/span/funnel name consts;
 //!   call sites must use these instead of inline string literals (the
 //!   `dita-lint` `obs-names` rule enforces it).
+//! * [`sync`] — ranked synchronization primitives
+//!   ([`sync::OrderedMutex`], [`sync::OrderedRwLock`],
+//!   [`sync::OrderedCondvar`]): every lock in the workspace is declared
+//!   with a rank in [`sync::locks`], acquisitions assert rank order per
+//!   thread under `debug_assertions`, and contended acquisitions export
+//!   wait-time metrics (the `dita-lint` `lock-order` rule forbids raw
+//!   `std::sync` lock construction anywhere else).
 //! * [`json`] — a small self-contained JSON value/parser/printer with
 //!   `ToJson`/`FromJson` traits; every schema in this crate serializes
 //!   through it.
@@ -47,6 +54,7 @@ pub mod funnel;
 pub mod json;
 pub mod names;
 pub mod registry;
+pub mod sync;
 pub mod time;
 pub mod trace;
 
@@ -54,6 +62,7 @@ pub use critpath::{ActivityClass, ActivityTimeline, CritPathReport};
 pub use export::Report;
 pub use funnel::{Funnel, FunnelStage};
 pub use registry::{Counter, Gauge, Histogram, Registry};
+pub use sync::{LockDef, OrderedCondvar, OrderedMutex, OrderedRwLock};
 pub use time::thread_cpu_time;
 pub use trace::{ProfileNode, SpanGuard, SpanHandle, TimelineRow, Tracer};
 

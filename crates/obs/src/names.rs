@@ -113,6 +113,18 @@ pub const SERVER_INFLIGHT_REQUESTS: &str = "dita_server_inflight_requests";
 pub const SERVER_CONNECTIONS_REFUSED_TOTAL: &str = "dita_server_connections_refused_total";
 
 // ---------------------------------------------------------------------------
+// Ranked-lock metrics (labeled by lock; names from `crate::sync::locks`).
+// ---------------------------------------------------------------------------
+
+/// Seconds spent blocked acquiring a contended lock, labeled by lock —
+/// lock-convoy wait time made critpath-visible instead of disappearing
+/// into makespan.
+pub const LOCK_WAIT_SECONDS: &str = "dita_lock_wait_seconds";
+/// Acquisitions that found the lock held and had to block, labeled by
+/// lock.
+pub const LOCK_CONTENDED_TOTAL: &str = "dita_lock_contended_total";
+
+// ---------------------------------------------------------------------------
 // Ingestion metrics.
 // ---------------------------------------------------------------------------
 
@@ -229,6 +241,8 @@ pub const ALL_METRICS: &[&str] = &[
     SERVER_REQUEST_SECONDS,
     SERVER_INFLIGHT_REQUESTS,
     SERVER_CONNECTIONS_REFUSED_TOTAL,
+    LOCK_WAIT_SECONDS,
+    LOCK_CONTENDED_TOTAL,
     INGEST_APPLIED_TOTAL,
     DELTA_RATIO,
     COMPACTION_SECONDS,

@@ -12,9 +12,10 @@
 //! `_seconds`), labels for per-worker/per-stage breakdowns.
 
 use crate::json::{Error as JsonError, FromJson, Obj, Result as JsonResult, ToJson, Value};
+use crate::sync::{locks, OrderedMutex};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// The kind of a metric, carried in snapshots so exporters can format
@@ -274,9 +275,20 @@ enum Entry {
 /// The metric store. Registration is idempotent — asking twice for the
 /// same `(name, labels)` returns handles over the same storage — and
 /// snapshotting is deterministic (sorted by name, then labels).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Registry {
-    entries: Mutex<BTreeMap<(String, String), Entry>>,
+    // Innermost-ranked and *detached*: the registry cannot route its own
+    // wait metrics through itself (see CONCURRENCY.md), so this lock is
+    // rank-checked but not contention-metered.
+    entries: OrderedMutex<BTreeMap<(String, String), Entry>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            entries: OrderedMutex::new(&locks::OBS_REGISTRY, BTreeMap::new()),
+        }
+    }
 }
 
 impl Registry {
@@ -293,7 +305,7 @@ impl Registry {
     /// A labeled counter handle.
     pub fn counter_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Counter {
         let key = key_of(name, labels);
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = self.entries.lock();
         let entry = entries
             .entry(key)
             .or_insert_with(|| Entry::Counter(Arc::new(AtomicU64::new(0))));
@@ -311,7 +323,7 @@ impl Registry {
     /// A labeled gauge handle.
     pub fn gauge_labeled(&self, name: &str, labels: &[(&str, &str)]) -> Gauge {
         let key = key_of(name, labels);
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = self.entries.lock();
         let entry = entries
             .entry(key)
             .or_insert_with(|| Entry::Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))));
@@ -339,7 +351,7 @@ impl Registry {
             "histogram bounds must be strictly ascending"
         );
         let key = key_of(name, labels);
-        let mut entries = self.entries.lock().unwrap();
+        let mut entries = self.entries.lock();
         let entry = entries.entry(key).or_insert_with(|| {
             let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
             Entry::Histogram(Arc::new(HistogramInner {
@@ -357,7 +369,7 @@ impl Registry {
 
     /// Snapshots every metric, sorted by `(name, labels)`.
     pub fn snapshot(&self) -> Vec<MetricSample> {
-        let entries = self.entries.lock().unwrap();
+        let entries = self.entries.lock();
         entries
             .iter()
             .map(|((name, labels_repr), entry)| {

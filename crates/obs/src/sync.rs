@@ -1,0 +1,716 @@
+//! Ranked synchronization primitives.
+//!
+//! Every lock in the workspace is declared once in [`locks`] with a
+//! total-order *rank* (two-way synced with the CONCURRENCY.md table by
+//! `dita-lint` rule L6), and constructed through the wrappers here
+//! instead of `std::sync` directly — L6's other half rejects any raw
+//! `Mutex`/`RwLock`/`Condvar` construction outside this module. The
+//! wrappers buy two things:
+//!
+//! * **Deadlock freedom by construction.** Under `debug_assertions`
+//!   every acquisition asserts that the calling thread holds only
+//!   strictly lower-ranked locks, so any cycle-capable nesting fails
+//!   loudly in tests instead of deadlocking in production. Release
+//!   builds skip the bookkeeping entirely.
+//! * **Contention as a first-class metric.** Always — debug or release —
+//!   a lock constructed with [`OrderedMutex::with_obs`] exports
+//!   `dita_lock_wait_seconds{lock}` (time spent blocked on a contended
+//!   acquisition) and `dita_lock_contended_total{lock}` through the
+//!   shared registry, so lock convoys show up in `/metrics` and become
+//!   attributable wait time rather than invisible makespan.
+//!
+//! Poisoning is absorbed (`into_inner`) everywhere: a panicking holder
+//! already burned its own task attempt, and every guarded structure in
+//! this workspace is valid at each release point.
+//!
+//! [`OrderedCondvar`] deliberately exposes only *bounded* waits
+//! (`wait_timeout`, `wait_timeout_while`): rule L7 bans unbounded
+//! `Condvar::wait` (and other blocking calls) while a guard is live, and
+//! waits through this wrapper are the blessed, rank-checked exception
+//! since they release the lock for the wait's duration.
+
+use crate::registry::{Counter, Histogram};
+use crate::{names, Obs};
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Condvar, Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::time::{Duration, Instant};
+
+/// One ranked lock: its metric label and its position in the workspace's
+/// total acquisition order (lower ranks are acquired first / outermost).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LockDef {
+    /// Metric label and CONCURRENCY.md row key (kebab-case).
+    pub name: &'static str,
+    /// Acquisition rank; a thread may only acquire strictly greater
+    /// ranks than everything it already holds.
+    pub rank: u32,
+}
+
+/// The workspace lock-rank registry (the [`crate::names`] pattern).
+///
+/// Declaration here and a row in CONCURRENCY.md are both mandatory and
+/// lint-enforced in both directions (L6): an undeclared lock cannot be
+/// constructed (the wrappers demand a `LockDef`), an undocumented one
+/// fails the doc sync, and a stale doc row fails it in reverse.
+pub mod locks {
+    use super::LockDef;
+
+    /// `dita-server`'s embedded engine — the outermost lock: queries,
+    /// pricing and ingest writes all run under it, and it is held across
+    /// whole dispatched batches.
+    pub const SERVER_ENGINE: LockDef = LockDef {
+        name: "server-engine",
+        rank: 10,
+    };
+    /// `dita-server`'s accepted-socket hand-off queue between the accept
+    /// thread and the connection-worker pool.
+    pub const SERVER_ACCEPT_QUEUE: LockDef = LockDef {
+        name: "server-accept-queue",
+        rank: 20,
+    };
+    /// `dita-server`'s dispatcher wakeup mutex (paired with its condvar).
+    pub const SERVER_DISPATCH_WORK: LockDef = LockDef {
+        name: "server-dispatch-work",
+        rank: 24,
+    };
+    /// `dita-server`'s shutdown drain-progress mutex (paired condvar is
+    /// notified as in-flight requests retire).
+    pub const SERVER_DRAIN: LockDef = LockDef {
+        name: "server-drain",
+        rank: 28,
+    };
+    /// A `dita-server` per-request reply slot; filled by the dispatcher
+    /// while it still holds `server-engine` (10 < 32).
+    pub const SERVER_REPLY: LockDef = LockDef {
+        name: "server-reply",
+        rank: 32,
+    };
+    /// The query scheduler's admission queue state.
+    pub const SCHEDULER_QUEUE: LockDef = LockDef {
+        name: "scheduler-queue",
+        rank: 40,
+    };
+    /// The query scheduler's counter mirror (never nested inside
+    /// `scheduler-queue`; ranked above it so either nesting order fails
+    /// fast if introduced).
+    pub const SCHEDULER_COUNTERS: LockDef = LockDef {
+        name: "scheduler-counters",
+        rank: 44,
+    };
+    /// The cluster executor's wall-clock measurement gate: task bodies
+    /// serialized under it take scratch and obs locks, never the reverse.
+    pub const EXECUTOR_GATE: LockDef = LockDef {
+        name: "executor-gate",
+        rank: 50,
+    };
+    /// `dita-core`'s pooled probe scratches (taken inside worker tasks).
+    pub const SEARCH_SCRATCH_PROBE: LockDef = LockDef {
+        name: "search-scratch-probe",
+        rank: 60,
+    };
+    /// `dita-core`'s pooled batch-probe scratches.
+    pub const SEARCH_SCRATCH_BATCH: LockDef = LockDef {
+        name: "search-scratch-batch",
+        rank: 64,
+    };
+    /// The tracer's span store — innermost with the metrics registry:
+    /// code everywhere records observability while holding domain locks.
+    pub const OBS_TRACE: LockDef = LockDef {
+        name: "obs-trace",
+        rank: 80,
+    };
+    /// The metrics registry's entry map (handle registration only; hot
+    /// paths run on atomics without this lock).
+    pub const OBS_REGISTRY: LockDef = LockDef {
+        name: "obs-registry",
+        rank: 90,
+    };
+
+    /// Every declared lock, for registry-level checks and the doc sync.
+    pub const ALL_LOCKS: &[LockDef] = &[
+        SERVER_ENGINE,
+        SERVER_ACCEPT_QUEUE,
+        SERVER_DISPATCH_WORK,
+        SERVER_DRAIN,
+        SERVER_REPLY,
+        SCHEDULER_QUEUE,
+        SCHEDULER_COUNTERS,
+        EXECUTOR_GATE,
+        SEARCH_SCRATCH_PROBE,
+        SEARCH_SCRATCH_BATCH,
+        OBS_TRACE,
+        OBS_REGISTRY,
+    ];
+}
+
+/// Whether acquisitions are rank-checked in this build. `cargo test`
+/// compiles with `debug_assertions`, so the canary test asserting this
+/// is `true` proves the checked configuration is what the test suite
+/// actually exercises.
+pub const fn rank_checks_enabled() -> bool {
+    cfg!(debug_assertions)
+}
+
+#[cfg(debug_assertions)]
+mod held {
+    use super::LockDef;
+    use std::cell::RefCell;
+
+    thread_local! {
+        /// Ranks (and names, for messages) of locks this thread holds.
+        static HELD: RefCell<Vec<(u32, &'static str)>> = const { RefCell::new(Vec::new()) };
+    }
+
+    pub(super) fn check_order(def: &'static LockDef) {
+        HELD.with(|h| {
+            for &(rank, name) in h.borrow().iter() {
+                debug_assert!(
+                    rank < def.rank,
+                    "lock-order violation: acquiring `{}` (rank {}) while holding \
+                     `{}` (rank {}) — acquisition ranks must strictly ascend; \
+                     see CONCURRENCY.md",
+                    def.name,
+                    def.rank,
+                    name,
+                    rank
+                );
+            }
+        });
+    }
+
+    pub(super) fn note_acquired(def: &'static LockDef) {
+        HELD.with(|h| h.borrow_mut().push((def.rank, def.name)));
+    }
+
+    pub(super) fn note_released(def: &'static LockDef) {
+        HELD.with(|h| {
+            let mut held = h.borrow_mut();
+            if let Some(pos) = held
+                .iter()
+                .rposition(|&(r, n)| r == def.rank && n == def.name)
+            {
+                held.remove(pos);
+            }
+        });
+    }
+
+    /// Names of the locks the calling thread currently holds, outermost
+    /// first (test/diagnostic hook).
+    pub fn held_locks() -> Vec<&'static str> {
+        HELD.with(|h| h.borrow().iter().map(|&(_, n)| n).collect())
+    }
+}
+
+#[cfg(debug_assertions)]
+pub use held::held_locks;
+
+#[cfg(not(debug_assertions))]
+mod held {
+    use super::LockDef;
+    #[inline(always)]
+    pub(super) fn check_order(_def: &'static LockDef) {}
+    #[inline(always)]
+    pub(super) fn note_acquired(_def: &'static LockDef) {}
+    #[inline(always)]
+    pub(super) fn note_released(_def: &'static LockDef) {}
+}
+
+use held::{check_order, note_acquired, note_released};
+
+/// Contention instruments shared by the wrapper types. Detached (no-op)
+/// unless constructed `with_obs`.
+#[derive(Debug, Clone, Default)]
+struct LockStats {
+    wait: Histogram,
+    contended: Counter,
+}
+
+impl LockStats {
+    fn of(def: &'static LockDef, obs: &Obs) -> LockStats {
+        LockStats {
+            wait: obs.histogram_seconds_labeled(names::LOCK_WAIT_SECONDS, &[("lock", def.name)]),
+            contended: obs.counter_labeled(names::LOCK_CONTENDED_TOTAL, &[("lock", def.name)]),
+        }
+    }
+}
+
+// ------------------------------------------------------------- Mutex
+
+/// A rank-checked, contention-metered [`std::sync::Mutex`].
+#[derive(Debug)]
+pub struct OrderedMutex<T> {
+    def: &'static LockDef,
+    inner: Mutex<T>,
+    stats: LockStats,
+}
+
+impl<T> OrderedMutex<T> {
+    /// A ranked mutex with detached (no-op) contention metrics — for
+    /// locks living below the observability layer or built before an
+    /// [`Obs`] exists. Rank checking is unaffected.
+    pub fn new(def: &'static LockDef, value: T) -> Self {
+        OrderedMutex {
+            def,
+            inner: Mutex::new(value),
+            stats: LockStats::default(),
+        }
+    }
+
+    /// A ranked mutex exporting `dita_lock_wait_seconds{lock}` and
+    /// `dita_lock_contended_total{lock}` into `obs`'s registry. Both
+    /// series are registered immediately (at zero), so they are visible
+    /// in `/metrics` even before the first contended acquisition.
+    pub fn with_obs(def: &'static LockDef, value: T, obs: &Obs) -> Self {
+        OrderedMutex {
+            def,
+            inner: Mutex::new(value),
+            stats: LockStats::of(def, obs),
+        }
+    }
+
+    /// Acquires the lock, asserting rank order (debug builds) and
+    /// recording contention (always). Poisoning is absorbed.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        // The order assert must run *before* blocking: a violating
+        // acquisition that deadlocks would otherwise never reach it.
+        check_order(self.def);
+        let inner = match self.inner.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.stats.contended.inc();
+                let t0 = Instant::now();
+                let g = self.inner.lock().unwrap_or_else(|e| e.into_inner());
+                self.stats.wait.observe_duration(t0.elapsed());
+                g
+            }
+        };
+        note_acquired(self.def);
+        OrderedMutexGuard {
+            lock: self,
+            inner: ManuallyDrop::new(inner),
+        }
+    }
+
+    /// Consumes the mutex, returning the value (poisoning absorbed).
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The declared rank entry this lock was constructed with.
+    pub fn def(&self) -> &'static LockDef {
+        self.def
+    }
+}
+
+/// Guard for [`OrderedMutex::lock`]; releases the rank on drop.
+pub struct OrderedMutexGuard<'a, T> {
+    lock: &'a OrderedMutex<T>,
+    inner: ManuallyDrop<MutexGuard<'a, T>>,
+}
+
+impl<T> Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for OrderedMutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for OrderedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // SAFETY: the inner guard is dropped exactly once — here, or
+        // never (OrderedCondvar::wait_timeout takes it out and forgets
+        // the outer guard, so this Drop does not run for that path).
+        unsafe { ManuallyDrop::drop(&mut self.inner) };
+        note_released(self.lock.def);
+    }
+}
+
+// ------------------------------------------------------------ RwLock
+
+/// A rank-checked, contention-metered [`std::sync::RwLock`]. Read and
+/// write acquisitions follow the same strict-ascent rank rule (a
+/// re-entrant read would rank-tie and is rejected — std makes no
+/// recursion guarantee either).
+#[derive(Debug)]
+pub struct OrderedRwLock<T> {
+    def: &'static LockDef,
+    inner: RwLock<T>,
+    stats: LockStats,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// A ranked rwlock with detached contention metrics.
+    pub fn new(def: &'static LockDef, value: T) -> Self {
+        OrderedRwLock {
+            def,
+            inner: RwLock::new(value),
+            stats: LockStats::default(),
+        }
+    }
+
+    /// A ranked rwlock exporting the two lock metrics into `obs`.
+    pub fn with_obs(def: &'static LockDef, value: T, obs: &Obs) -> Self {
+        OrderedRwLock {
+            def,
+            inner: RwLock::new(value),
+            stats: LockStats::of(def, obs),
+        }
+    }
+
+    /// Acquires a shared read guard (rank-checked, contention-metered).
+    pub fn read(&self) -> OrderedReadGuard<'_, T> {
+        check_order(self.def);
+        let inner = match self.inner.try_read() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.stats.contended.inc();
+                let t0 = Instant::now();
+                let g = self.inner.read().unwrap_or_else(|e| e.into_inner());
+                self.stats.wait.observe_duration(t0.elapsed());
+                g
+            }
+        };
+        note_acquired(self.def);
+        OrderedReadGuard { lock: self, inner }
+    }
+
+    /// Acquires the exclusive write guard (rank-checked, metered).
+    pub fn write(&self) -> OrderedWriteGuard<'_, T> {
+        check_order(self.def);
+        let inner = match self.inner.try_write() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => {
+                self.stats.contended.inc();
+                let t0 = Instant::now();
+                let g = self.inner.write().unwrap_or_else(|e| e.into_inner());
+                self.stats.wait.observe_duration(t0.elapsed());
+                g
+            }
+        };
+        note_acquired(self.def);
+        OrderedWriteGuard { lock: self, inner }
+    }
+
+    /// Consumes the rwlock, returning the value (poisoning absorbed).
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The declared rank entry this lock was constructed with.
+    pub fn def(&self) -> &'static LockDef {
+        self.def
+    }
+}
+
+/// Shared guard for [`OrderedRwLock::read`].
+pub struct OrderedReadGuard<'a, T> {
+    lock: &'a OrderedRwLock<T>,
+    inner: RwLockReadGuard<'a, T>,
+}
+
+impl<T> Deref for OrderedReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> Drop for OrderedReadGuard<'_, T> {
+    fn drop(&mut self) {
+        note_released(self.lock.def);
+    }
+}
+
+/// Exclusive guard for [`OrderedRwLock::write`].
+pub struct OrderedWriteGuard<'a, T> {
+    lock: &'a OrderedRwLock<T>,
+    inner: RwLockWriteGuard<'a, T>,
+}
+
+impl<T> Deref for OrderedWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> DerefMut for OrderedWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T> Drop for OrderedWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        note_released(self.lock.def);
+    }
+}
+
+// ----------------------------------------------------------- Condvar
+
+/// A condition variable for [`OrderedMutex`] guards, exposing only
+/// bounded waits. The wait releases the guarded rank for its duration
+/// and re-asserts the rank order on re-acquisition — so waiting while
+/// holding a *higher*-ranked lock (a genuine convoy/deadlock hazard)
+/// fails the same assert a misordered `lock()` would.
+#[derive(Debug, Default)]
+pub struct OrderedCondvar {
+    inner: Condvar,
+}
+
+impl OrderedCondvar {
+    /// An empty condition variable.
+    pub fn new() -> Self {
+        OrderedCondvar {
+            inner: Condvar::new(),
+        }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes every waiter.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Waits on `guard`'s mutex for at most `dur`. Returns the
+    /// re-acquired guard and whether the wait timed out.
+    pub fn wait_timeout<'a, T>(
+        &self,
+        guard: OrderedMutexGuard<'a, T>,
+        dur: Duration,
+    ) -> (OrderedMutexGuard<'a, T>, bool) {
+        let lock = guard.lock;
+        let mut guard = ManuallyDrop::new(guard);
+        // SAFETY: the outer guard is wrapped in ManuallyDrop and never
+        // dropped, so the inner guard is moved out exactly once and the
+        // guard's Drop (which would drop it again) never runs.
+        let inner = unsafe { ManuallyDrop::take(&mut guard.inner) };
+        note_released(lock.def);
+        let (inner, timed_out) = match self.inner.wait_timeout(inner, dur) {
+            Ok((g, t)) => (g, t.timed_out()),
+            Err(poisoned) => {
+                let (g, t) = poisoned.into_inner();
+                (g, t.timed_out())
+            }
+        };
+        // Re-acquisition is a fresh acquire for rank purposes: if the
+        // thread picked up a higher-ranked lock before waiting, this
+        // asserts exactly like a misordered lock() would.
+        check_order(lock.def);
+        note_acquired(lock.def);
+        (
+            OrderedMutexGuard {
+                lock,
+                inner: ManuallyDrop::new(inner),
+            },
+            timed_out,
+        )
+    }
+
+    /// Waits until `condition` returns `false` or `dur` elapses.
+    /// Returns the re-acquired guard and whether the wait timed out with
+    /// the condition still true (mirrors
+    /// [`std::sync::Condvar::wait_timeout_while`]).
+    pub fn wait_timeout_while<'a, T>(
+        &self,
+        mut guard: OrderedMutexGuard<'a, T>,
+        dur: Duration,
+        mut condition: impl FnMut(&mut T) -> bool,
+    ) -> (OrderedMutexGuard<'a, T>, bool) {
+        let deadline = Instant::now() + dur;
+        while condition(&mut guard) {
+            let now = Instant::now();
+            if now >= deadline {
+                return (guard, true);
+            }
+            let (g, _) = self.wait_timeout(guard, deadline - now);
+            guard = g;
+        }
+        (guard, false)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_protects_and_returns_value() {
+        let m = Arc::new(OrderedMutex::new(&locks::SCHEDULER_QUEUE, 0usize));
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    for _ in 0..250 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        let m = Arc::into_inner(m).expect("all clones joined");
+        assert_eq!(m.into_inner(), 1000);
+    }
+
+    #[test]
+    fn ascending_acquisition_is_clean() {
+        let outer = OrderedMutex::new(&locks::SERVER_ENGINE, ());
+        let inner = OrderedMutex::new(&locks::OBS_REGISTRY, ());
+        let _a = outer.lock();
+        let _b = inner.lock();
+        #[cfg(debug_assertions)]
+        assert_eq!(held_locks(), vec!["server-engine", "obs-registry"]);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "lock-order violation"))]
+    fn inverted_acquisition_is_caught() {
+        let outer = OrderedMutex::new(&locks::SERVER_ENGINE, ());
+        let inner = OrderedMutex::new(&locks::OBS_REGISTRY, ());
+        let _b = inner.lock();
+        let _a = outer.lock(); // rank 10 while holding rank 90
+                               // Release builds skip rank tracking; make the no-panic branch
+                               // explicit so the test is meaningful either way.
+        #[cfg(not(debug_assertions))]
+        assert!(!rank_checks_enabled());
+        #[cfg(debug_assertions)]
+        unreachable!("debug builds must assert before this point");
+    }
+
+    #[test]
+    fn guard_drop_releases_rank_for_reacquisition() {
+        let m = OrderedMutex::new(&locks::SERVER_ENGINE, 1);
+        drop(m.lock());
+        // Same rank again on the same thread: legal once released.
+        assert_eq!(*m.lock(), 1);
+    }
+
+    #[test]
+    fn rwlock_read_write_roundtrip() {
+        let l = OrderedRwLock::new(&locks::SCHEDULER_QUEUE, 7usize);
+        assert_eq!(*l.read(), 7);
+        *l.write() = 9;
+        assert_eq!(*l.read(), 9);
+        assert_eq!(l.into_inner(), 9);
+    }
+
+    #[test]
+    fn condvar_wait_timeout_while_sees_notification() {
+        let pair = Arc::new((
+            OrderedMutex::new(&locks::SERVER_DISPATCH_WORK, false),
+            OrderedCondvar::new(),
+        ));
+        let waiter = {
+            let pair = Arc::clone(&pair);
+            std::thread::spawn(move || {
+                let (mx, cv) = (&pair.0, &pair.1);
+                let guard = mx.lock();
+                let (guard, timed_out) =
+                    cv.wait_timeout_while(guard, Duration::from_secs(5), |ready| !*ready);
+                assert!(!timed_out, "notification must beat the 5s bound");
+                assert!(*guard);
+            })
+        };
+        std::thread::sleep(Duration::from_millis(20));
+        {
+            let (mx, cv) = (&pair.0, &pair.1);
+            *mx.lock() = true;
+            cv.notify_all();
+        }
+        waiter.join().expect("waiter thread");
+    }
+
+    #[test]
+    fn condvar_wait_timeout_expires() {
+        let mx = OrderedMutex::new(&locks::SERVER_DISPATCH_WORK, ());
+        let cv = OrderedCondvar::new();
+        let (guard, timed_out) = cv.wait_timeout(mx.lock(), Duration::from_millis(5));
+        assert!(timed_out);
+        drop(guard);
+    }
+
+    #[test]
+    fn contended_lock_exports_metrics() {
+        let obs = Obs::enabled();
+        let m = Arc::new(OrderedMutex::with_obs(&locks::SERVER_ENGINE, (), &obs));
+        // Registration is immediate: series visible before contention.
+        let names_now: Vec<String> = obs
+            .report()
+            .metrics
+            .iter()
+            .map(|s| s.name.clone())
+            .collect();
+        assert!(names_now.contains(&names::LOCK_WAIT_SECONDS.to_string()));
+        assert!(names_now.contains(&names::LOCK_CONTENDED_TOTAL.to_string()));
+
+        // Force contention: hold the lock while another thread acquires.
+        let held = m.lock();
+        let other = {
+            let m = Arc::clone(&m);
+            std::thread::spawn(move || {
+                let _g = m.lock();
+            })
+        };
+        std::thread::sleep(Duration::from_millis(30));
+        drop(held);
+        other.join().expect("contender thread");
+
+        let report = obs.report();
+        let contended = report
+            .metrics
+            .iter()
+            .find(|s| s.name == names::LOCK_CONTENDED_TOTAL)
+            .expect("contended counter registered");
+        assert_eq!(
+            contended.labels,
+            vec![("lock".to_string(), "server-engine".to_string())]
+        );
+        assert!(contended.value >= 1.0, "contention must be counted");
+        let wait = report
+            .metrics
+            .iter()
+            .find(|s| s.name == names::LOCK_WAIT_SECONDS)
+            .expect("wait histogram registered");
+        assert!(wait.count >= 1, "contended wait must be observed");
+    }
+
+    #[test]
+    fn registry_ranks_and_names_are_unique() {
+        let mut names_seen = std::collections::BTreeSet::new();
+        let mut ranks_seen = std::collections::BTreeSet::new();
+        for def in locks::ALL_LOCKS {
+            assert!(
+                names_seen.insert(def.name),
+                "duplicate lock name {}",
+                def.name
+            );
+            assert!(
+                ranks_seen.insert(def.rank),
+                "duplicate lock rank {} ({})",
+                def.rank,
+                def.name
+            );
+            assert!(
+                def.name
+                    .bytes()
+                    .all(|b| b.is_ascii_lowercase() || b == b'-'),
+                "lock name {} must be kebab-case",
+                def.name
+            );
+        }
+    }
+}

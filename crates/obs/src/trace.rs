@@ -17,10 +17,10 @@
 //! 40 repeated queries collapse into one `search` row with `count: 40`.
 
 use crate::json::{FromJson, Obj, Result as JsonResult, ToJson, Value};
+use crate::sync::{locks, OrderedMutex};
 use crate::time::thread_cpu_time;
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 static NEXT_TRACER_UID: AtomicU64 = AtomicU64::new(1);
@@ -62,7 +62,9 @@ pub struct SpanHandle {
 pub struct Tracer {
     uid: u64,
     epoch: Instant,
-    spans: Mutex<Vec<SpanRecord>>,
+    // Detached like the registry's entry lock: the tracer sits below the
+    // metrics layer, so it is rank-checked but not contention-metered.
+    spans: OrderedMutex<Vec<SpanRecord>>,
 }
 
 impl Default for Tracer {
@@ -77,7 +79,7 @@ impl Tracer {
         Tracer {
             uid: NEXT_TRACER_UID.fetch_add(1, Ordering::Relaxed),
             epoch: Instant::now(),
-            spans: Mutex::new(Vec::new()),
+            spans: OrderedMutex::new(&locks::OBS_TRACE, Vec::new()),
         }
     }
 
@@ -114,7 +116,7 @@ impl Tracer {
     fn open(&self, parent: Option<usize>, name: &'static str) -> SpanGuard<'_> {
         let start = self.epoch.elapsed();
         let id = {
-            let mut spans = self.spans.lock().unwrap();
+            let mut spans = self.spans.lock();
             spans.push(SpanRecord {
                 parent,
                 name,
@@ -150,7 +152,7 @@ impl Tracer {
                 stack.remove(pos);
             }
         });
-        let mut spans = self.spans.lock().unwrap();
+        let mut spans = self.spans.lock();
         let rec = &mut spans[id];
         rec.wall = wall;
         rec.cpu = cpu;
@@ -161,7 +163,7 @@ impl Tracer {
     }
 
     fn with_record(&self, id: usize, f: impl FnOnce(&mut SpanRecord)) {
-        let mut spans = self.spans.lock().unwrap();
+        let mut spans = self.spans.lock();
         if let Some(rec) = spans.get_mut(id) {
             f(rec);
         }
@@ -198,7 +200,7 @@ impl Tracer {
     /// Siblings sharing `(name, label)` are merged; children are ordered
     /// by first appearance.
     pub fn profile(&self) -> Vec<ProfileNode> {
-        let spans = self.spans.lock().unwrap();
+        let spans = self.spans.lock();
         build_level(&spans, None)
     }
 
@@ -210,7 +212,7 @@ impl Tracer {
     /// nearest annotated ancestor's, so cross-thread child spans (a
     /// `filter` inside a worker task) always land on the right lane.
     pub fn timeline(&self) -> Vec<TimelineRow> {
-        let spans = self.spans.lock().unwrap();
+        let spans = self.spans.lock();
         let resolve_worker = |mut id: usize| -> Option<u32> {
             loop {
                 let rec = &spans[id];

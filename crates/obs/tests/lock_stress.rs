@@ -1,0 +1,128 @@
+//! Seeded multi-thread stress for the ranked-lock layer: many threads
+//! take randomized ascending subsets of the real lock registry and the
+//! whole run must complete without tripping a rank assertion — while a
+//! deliberately inverted acquisition must still be caught. Determinism
+//! comes from per-thread LCG seeds, not timing.
+
+use dita_obs::sync::{locks, rank_checks_enabled};
+use dita_obs::{names, Obs, OrderedMutex};
+use std::sync::Arc;
+
+/// The canary `scripts/check.sh` greps for: the dev-profile test run
+/// must execute with rank checks compiled in, otherwise the suite
+/// proves nothing about acquisition order.
+#[test]
+fn rank_canary_matches_build_profile() {
+    assert_eq!(rank_checks_enabled(), cfg!(debug_assertions));
+    #[cfg(debug_assertions)]
+    {
+        assert!(
+            rank_checks_enabled(),
+            "dev-profile tests must run with rank checks enabled"
+        );
+        assert!(dita_obs::sync::held_locks().is_empty());
+    }
+}
+
+fn lcg(state: &mut u64) -> u64 {
+    // Numerical Recipes LCG; plenty for choosing lock subsets.
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 33
+}
+
+#[test]
+fn seeded_ascending_stress_passes_rank_checks() {
+    const THREADS: u64 = 8;
+    const ITERS: usize = 400;
+    let obs = Obs::enabled();
+    // Ascending ranks; each thread locks a random subset in this order,
+    // which is exactly what the rank discipline licenses.
+    let tower: Arc<Vec<OrderedMutex<u64>>> = Arc::new(vec![
+        OrderedMutex::with_obs(&locks::SERVER_ENGINE, 0, &obs),
+        OrderedMutex::with_obs(&locks::SCHEDULER_QUEUE, 0, &obs),
+        OrderedMutex::with_obs(&locks::SEARCH_SCRATCH_PROBE, 0, &obs),
+        OrderedMutex::with_obs(&locks::OBS_TRACE, 0, &obs),
+    ]);
+    let handles: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let tower = Arc::clone(&tower);
+            std::thread::spawn(move || {
+                let mut rng = 0x9e3779b97f4a7c15u64 ^ (t + 1);
+                let mut sum = 0u64;
+                for _ in 0..ITERS {
+                    let subset = (lcg(&mut rng) % 15) + 1; // non-empty
+                    let mut guards = Vec::new();
+                    for (i, m) in tower.iter().enumerate() {
+                        if subset & (1 << i) != 0 {
+                            guards.push(m.lock());
+                        }
+                    }
+                    for g in &mut guards {
+                        **g += 1;
+                        sum += 1;
+                    }
+                    drop(guards);
+                }
+                sum
+            })
+        })
+        .collect();
+    let mut total = 0u64;
+    for h in handles {
+        total += h.join().expect("no thread may trip a rank assertion");
+    }
+    let held: u64 = tower.iter().map(|m| *m.lock()).sum();
+    assert_eq!(total, held, "every increment must be lock-protected");
+    // The tower was built `with_obs`, so each lock's contention series
+    // exists (at least at zero) in the shared registry.
+    let report = obs.report();
+    let contended: Vec<&str> = report
+        .metrics
+        .iter()
+        .filter(|m| m.name == names::LOCK_CONTENDED_TOTAL)
+        .filter_map(|m| {
+            m.labels
+                .iter()
+                .find(|(k, _)| k == "lock")
+                .map(|(_, v)| v.as_str())
+        })
+        .collect();
+    for lock in [
+        "server-engine",
+        "scheduler-queue",
+        "search-scratch-probe",
+        "obs-trace",
+    ] {
+        assert!(
+            contended.contains(&lock),
+            "missing series for {lock}: {contended:?}"
+        );
+    }
+}
+
+#[test]
+fn inverted_acquisition_under_stress_is_still_caught() {
+    if !rank_checks_enabled() {
+        return; // release profile: the runtime layer is assertion-free
+    }
+    let hi = Arc::new(OrderedMutex::new(&locks::OBS_REGISTRY, ()));
+    let lo = Arc::new(OrderedMutex::new(&locks::SERVER_ENGINE, ()));
+    let result = std::thread::spawn({
+        let (hi, lo) = (Arc::clone(&hi), Arc::clone(&lo));
+        move || {
+            let _inner_first = hi.lock();
+            let _outer_second = lo.lock(); // rank 10 under rank 90: must panic
+        }
+    })
+    .join();
+    assert!(
+        result.is_err(),
+        "inverted acquisition must trip the rank assertion"
+    );
+    // The panicking holder poisoned nothing observable: both locks
+    // absorb poison and stay usable.
+    drop(hi.lock());
+    drop(lo.lock());
+}

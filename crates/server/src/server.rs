@@ -3,10 +3,10 @@
 //! Architecture (all std, no external dependencies):
 //!
 //! * an **accept thread** owns the [`TcpListener`] and hands accepted
-//!   sockets to a bounded channel; when the channel is full the
+//!   sockets to a bounded hand-off queue; when the queue is full the
 //!   connection is refused with `503` (counted in
-//!   `dita_server_connections_refused_total`) instead of queueing
-//!   unboundedly;
+//!   `dita_server_connections_refused_total`, written outside the
+//!   queue lock) instead of queueing unboundedly;
 //! * a sized pool of **connection threads** parses requests
 //!   ([`crate::http`]), prices and submits each query to the shared
 //!   [`QueryScheduler`] (shed → `429`, unpriceable → `400`), then waits
@@ -22,9 +22,17 @@
 //!   `ingest`) nest under the service layer in the trace tree.
 //!
 //! Graceful shutdown ([`Server::shutdown`]) stops accepting, drains
-//! in-flight work bounded by [`ServerConfig::drain_deadline`], answers
-//! anything still queued with `503`, joins every thread and flushes
-//! all tables' pending deltas before handing the engine back.
+//! in-flight work bounded by [`ServerConfig::drain_deadline`] (a
+//! condvar wait notified as requests retire, so drain latency is not
+//! quantized to a poll interval), answers anything still queued with
+//! `503`, joins every thread and flushes all tables' pending deltas
+//! before handing the engine back.
+//!
+//! Every lock here is a `dita_obs::sync` ordered wrapper with a rank
+//! from the CONCURRENCY.md table (`server-engine` < `server-accept-
+//! queue` < `server-dispatch-work` < `server-drain` < `server-reply`),
+//! so misordered nesting fails fast under debug assertions and
+//! contention shows up in `/metrics`.
 
 use crate::http::{Conn, ReadOutcome, Request};
 use crate::wire::{self, ErrorBody};
@@ -32,15 +40,16 @@ use dita_cluster::{CancelToken, QueryBatch, QueryScheduler, SchedulerConfig, Sch
 use dita_core::{join, knn_batch, price_query, search_batch, JoinOptions, SearchOptions};
 use dita_distance::DistanceFunction;
 use dita_obs::json::Value;
-use dita_obs::{names, Obs};
+use dita_obs::sync::locks;
+use dita_obs::{names, Obs, OrderedCondvar, OrderedMutex};
 use dita_sql::{Engine, SqlError};
 use dita_trajectory::{Point, TrajectoryId};
+use std::collections::VecDeque;
 use std::io::{self, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::str::FromStr;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, TrySendError};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
@@ -142,39 +151,113 @@ impl JobKind {
     }
 }
 
-/// A one-shot result slot the connection thread waits on.
+/// A one-shot result slot the connection thread waits on. The
+/// dispatcher fills it while still holding the engine lock
+/// (`server-engine` 10 < `server-reply` 32), which is why the reply
+/// slot ranks innermost of the server locks.
 struct Reply {
-    slot: Mutex<Option<Result<Value, ErrorBody>>>,
-    cv: Condvar,
+    slot: OrderedMutex<Option<Result<Value, ErrorBody>>>,
+    cv: OrderedCondvar,
 }
 
 impl Reply {
-    fn new() -> Reply {
+    fn new(obs: &Obs) -> Reply {
         Reply {
-            slot: Mutex::new(None),
-            cv: Condvar::new(),
+            slot: OrderedMutex::with_obs(&locks::SERVER_REPLY, None, obs),
+            cv: OrderedCondvar::new(),
         }
     }
 
     fn fill(&self, result: Result<Value, ErrorBody>) {
-        let mut slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
+        let mut slot = self.slot.lock();
         *slot = Some(result);
         self.cv.notify_all();
     }
 
     /// Waits up to `step` for the result.
     fn take(&self, step: Duration) -> Option<Result<Value, ErrorBody>> {
-        let slot = self.slot.lock().unwrap_or_else(|e| e.into_inner());
-        match self.cv.wait_timeout(slot, step) {
-            Ok((mut slot, _)) => slot.take(),
-            Err(poisoned) => poisoned.into_inner().0.take(),
+        let slot = self.slot.lock();
+        let (mut slot, _) = self.cv.wait_timeout(slot, step);
+        slot.take()
+    }
+}
+
+/// Bounded hand-off queue between the accept thread and the worker
+/// pool — what the mpsc channel used to be, rebuilt on an ordered
+/// mutex + condvar so worker pickup is rank-checked and queue
+/// contention is metered like every other lock.
+struct AcceptQueue {
+    state: OrderedMutex<AcceptState>,
+    cv: OrderedCondvar,
+}
+
+struct AcceptState {
+    streams: VecDeque<TcpStream>,
+    capacity: usize,
+    /// Set by the accept thread on exit; workers drain then stop.
+    closed: bool,
+}
+
+impl AcceptQueue {
+    fn new(capacity: usize, obs: &Obs) -> AcceptQueue {
+        AcceptQueue {
+            state: OrderedMutex::with_obs(
+                &locks::SERVER_ACCEPT_QUEUE,
+                AcceptState {
+                    streams: VecDeque::new(),
+                    capacity: capacity.max(1),
+                    closed: false,
+                },
+                obs,
+            ),
+            cv: OrderedCondvar::new(),
         }
+    }
+
+    /// Hands a stream to the pool, or returns it when the queue is full
+    /// or closed. The caller refuses the returned stream *outside* this
+    /// call — writing the 503 under the queue lock would be exactly the
+    /// blocking-under-lock hazard rule L7 bans.
+    fn try_push(&self, stream: TcpStream) -> Result<(), TcpStream> {
+        let mut state = self.state.lock();
+        if state.closed || state.streams.len() >= state.capacity {
+            return Err(stream);
+        }
+        state.streams.push_back(stream);
+        drop(state);
+        self.cv.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a stream is available or the queue is closed and
+    /// drained (`None` — the worker should exit). The guard is released
+    /// before returning, so the caller serves the connection unlocked.
+    fn pop(&self) -> Option<TcpStream> {
+        let mut state = self.state.lock();
+        loop {
+            if let Some(stream) = state.streams.pop_front() {
+                return Some(stream);
+            }
+            if state.closed {
+                return None;
+            }
+            // Bounded wait: push/close notify, the timeout only bounds
+            // the cost of a lost race.
+            let (reacquired, _) = self.cv.wait_timeout(state, POLL);
+            state = reacquired;
+        }
+    }
+
+    fn close(&self) {
+        self.state.lock().closed = true;
+        self.cv.notify_all();
     }
 }
 
 struct Shared {
-    engine: Mutex<Engine>,
+    engine: OrderedMutex<Engine>,
     scheduler: QueryScheduler<Job>,
+    accept_queue: AcceptQueue,
     obs: Obs,
     /// No new requests; existing connections close after their response.
     stopping: AtomicBool,
@@ -183,8 +266,13 @@ struct Shared {
     /// Test/ops hook: freeze dispatch to observe queue behavior.
     dispatch_paused: AtomicBool,
     inflight: AtomicUsize,
-    work_mx: Mutex<()>,
-    work_cv: Condvar,
+    work_mx: OrderedMutex<()>,
+    work_cv: OrderedCondvar,
+    /// Shutdown drain rendezvous: [`Server::shutdown`] waits here and
+    /// [`Shared::note_drain_progress`] notifies as in-flight requests
+    /// retire and batches dispatch.
+    drain_mx: OrderedMutex<()>,
+    drain_cv: OrderedCondvar,
     default_deadline: Duration,
     max_body_bytes: usize,
 }
@@ -195,8 +283,15 @@ impl Shared {
     }
 
     fn wake_dispatcher(&self) {
-        let _g = self.work_mx.lock().unwrap_or_else(|e| e.into_inner());
+        let _g = self.work_mx.lock();
         self.work_cv.notify_all();
+    }
+
+    /// Wakes the shutdown drain wait after any progress it watches for
+    /// (an in-flight request retiring, a batch leaving the queue).
+    fn note_drain_progress(&self) {
+        let _g = self.drain_mx.lock();
+        self.drain_cv.notify_all();
     }
 }
 
@@ -220,36 +315,31 @@ impl Server {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            engine: Mutex::new(engine),
+            engine: OrderedMutex::with_obs(&locks::SERVER_ENGINE, engine, &obs),
             scheduler: QueryScheduler::with_obs(config.scheduler, obs.clone()),
-            obs,
+            accept_queue: AcceptQueue::new(config.accept_backlog, &obs),
+            obs: obs.clone(),
             stopping: AtomicBool::new(false),
             dispatch_stop: AtomicBool::new(false),
             dispatch_paused: AtomicBool::new(false),
             inflight: AtomicUsize::new(0),
-            work_mx: Mutex::new(()),
-            work_cv: Condvar::new(),
+            work_mx: OrderedMutex::with_obs(&locks::SERVER_DISPATCH_WORK, (), &obs),
+            work_cv: OrderedCondvar::new(),
+            drain_mx: OrderedMutex::with_obs(&locks::SERVER_DRAIN, (), &obs),
+            drain_cv: OrderedCondvar::new(),
             default_deadline: config.default_deadline,
             max_body_bytes: config.max_body_bytes,
         });
 
-        let (tx, rx) = mpsc::sync_channel::<TcpStream>(config.accept_backlog.max(1));
-        let rx = Arc::new(Mutex::new(rx));
         let mut workers = Vec::with_capacity(config.http_workers.max(1));
         for i in 0..config.http_workers.max(1) {
-            let rx = Arc::clone(&rx);
             let shared = Arc::clone(&shared);
             workers.push(
                 thread::Builder::new()
                     .name(format!("dita-http-{i}"))
-                    .spawn(move || loop {
-                        let next = {
-                            let guard = rx.lock().unwrap_or_else(|e| e.into_inner());
-                            guard.recv()
-                        };
-                        match next {
-                            Ok(stream) => serve_connection(&shared, stream),
-                            Err(_) => break,
+                    .spawn(move || {
+                        while let Some(stream) = shared.accept_queue.pop() {
+                            serve_connection(&shared, stream);
                         }
                     })?,
             );
@@ -265,14 +355,13 @@ impl Server {
                             break;
                         }
                         let Ok(stream) = incoming else { continue };
-                        match tx.try_send(stream) {
-                            Ok(()) => {}
-                            Err(TrySendError::Full(stream)) => refuse(&shared, stream),
-                            Err(TrySendError::Disconnected(_)) => break,
+                        if let Err(stream) = shared.accept_queue.try_push(stream) {
+                            refuse(&shared, stream);
                         }
                     }
-                    // Dropping `tx` here ends the worker pool once the
+                    // Closing the queue ends the worker pool once the
                     // backlog drains.
+                    shared.accept_queue.close();
                 })?
         };
 
@@ -358,12 +447,18 @@ impl Server {
         let _ = TcpStream::connect(addr);
 
         // Drain window: let the dispatcher finish what clients are
-        // still waiting on.
-        let drain_until = Instant::now() + drain_deadline;
-        while (shared.inflight.load(Ordering::Relaxed) > 0 || shared.scheduler.queue_depth() > 0)
-            && Instant::now() < drain_until
+        // still waiting on. Retiring requests and dispatched batches
+        // notify `drain_cv`, so the wait ends the moment the server is
+        // idle instead of at the next poll tick. Checking the scheduler
+        // depth under the drain lock nests 28 → 40, within rank order.
         {
-            thread::sleep(Duration::from_millis(2));
+            let guard = shared.drain_mx.lock();
+            let (_guard, _) = shared
+                .drain_cv
+                .wait_timeout_while(guard, drain_deadline, |()| {
+                    shared.inflight.load(Ordering::Relaxed) > 0
+                        || shared.scheduler.queue_depth() > 0
+                });
         }
 
         shared.dispatch_stop.store(true, Ordering::Relaxed);
@@ -383,10 +478,7 @@ impl Server {
         }
 
         let shared = Arc::try_unwrap(shared).ok()?;
-        let mut engine = shared
-            .engine
-            .into_inner()
-            .unwrap_or_else(|e| e.into_inner());
+        let mut engine = shared.engine.into_inner();
         engine.flush_all();
         Some(engine)
     }
@@ -471,6 +563,8 @@ fn serve_connection(shared: &Shared, stream: TcpStream) {
                     .obs
                     .gauge(names::SERVER_INFLIGHT_REQUESTS)
                     .set(remaining as f64);
+                // A retiring request is drain progress shutdown waits on.
+                shared.note_drain_progress();
                 match handled {
                     Handled::Hangup => return,
                     Handled::Respond {
@@ -598,14 +692,14 @@ fn handle_query(shared: &Shared, conn: &Conn, req: &Request) -> Handled {
     // Pricing needs the engine (table sizes, global index); keep the
     // lock only for this step.
     let (class, cost) = {
-        let mut engine = shared.engine.lock().unwrap_or_else(|e| e.into_inner());
+        let mut engine = shared.engine.lock();
         match price_and_classify(&mut engine, &kind) {
             Ok(pc) => pc,
             Err(e) => return respond_error(wire::error_of(&e)),
         }
     };
 
-    let reply = Arc::new(Reply::new());
+    let reply = Arc::new(Reply::new(&shared.obs));
     let job = Job {
         kind,
         reply: Arc::clone(&reply),
@@ -860,13 +954,20 @@ fn run_dispatcher(shared: &Shared) {
             return;
         }
         if shared.dispatch_paused.load(Ordering::Relaxed) {
-            thread::sleep(Duration::from_millis(1));
+            // Parked on the work condvar; `resume_dispatch` notifies.
+            // The POLL bound only re-checks the flag after a lost race.
+            let guard = shared.work_mx.lock();
+            let _ = shared.work_cv.wait_timeout(guard, POLL);
             continue;
         }
         match shared.scheduler.next_batch() {
-            Some(batch) => execute_batch(shared, batch),
+            Some(batch) => {
+                execute_batch(shared, batch);
+                // Queue depth just moved; shutdown may be waiting on it.
+                shared.note_drain_progress();
+            }
             None => {
-                let guard = shared.work_mx.lock().unwrap_or_else(|e| e.into_inner());
+                let guard = shared.work_mx.lock();
                 // Losing this wait's wakeup only costs one POLL tick.
                 let _ = shared.work_cv.wait_timeout(guard, POLL);
             }
@@ -881,7 +982,7 @@ fn execute_batch(shared: &Shared, batch: QueryBatch<Job>) {
     let jobs = batch.payloads;
     let Some(first) = jobs.first() else { return };
     let endpoint = first.kind.endpoint();
-    let mut engine = shared.engine.lock().unwrap_or_else(|e| e.into_inner());
+    let mut engine = shared.engine.lock();
     // The service-layer span: operator spans opened by the engine and
     // the query operators nest under it on this thread.
     let _span = shared.obs.span_labeled(

@@ -122,7 +122,23 @@ fn routing_health_metrics_and_errors() {
 
     let (status, body) = call(addr, "GET", "/metrics", "", &[]);
     assert_eq!(status, 200);
-    assert!(String::from_utf8_lossy(&body).contains("dita_server_requests_total"));
+    let metrics = String::from_utf8_lossy(&body);
+    assert!(metrics.contains("dita_server_requests_total"));
+    // The ranked-lock layer registers contention series at lock
+    // construction, so they are visible (at least at zero) for every
+    // `with_obs` lock the server owns.
+    assert!(
+        metrics.contains("dita_lock_wait_seconds"),
+        "lock wait histogram missing"
+    );
+    assert!(
+        metrics.contains("dita_lock_contended_total"),
+        "lock contention counter missing"
+    );
+    assert!(
+        metrics.contains("lock=\"server-engine\""),
+        "engine lock series missing"
+    );
 
     assert_eq!(call(addr, "GET", "/nope", "", &[]).0, 404);
     assert_eq!(call(addr, "GET", "/search", "", &[]).0, 405);

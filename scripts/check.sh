@@ -6,17 +6,23 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --check
 cargo build --release
+# Dev-profile tests compile with debug_assertions, so the ranked-lock
+# layer's per-thread rank checks are live for the whole suite; the
+# rank_canary_matches_build_profile test (crates/obs/tests/
+# lock_stress.rs) fails the run if that ever stops being true.
 cargo test -q
 cargo bench --no-run
 cargo clippy --workspace --all-targets -- -D warnings
 
 # Workspace-specific invariants (STATIC_ANALYSIS.md): worker panics,
 # NaN-unsafe float ordering, obs-name registry sync, cost-model
-# charge-back, transfer pricing. JSON report (schema dita-lint/v1)
-# lands next to the other artifacts; the scan itself is budgeted under
-# 5 seconds and reports its runtime in the JSON.
+# charge-back, transfer pricing, lock-rank order and blocking-under-
+# lock hygiene (incl. the CONCURRENCY.md rank-table sync). The JSON
+# report (schema dita-lint/v1) is written via --out so it lands next to
+# the other artifacts even when the gate fails; the scan itself is
+# budgeted under 5 seconds and reports its runtime in the JSON.
 mkdir -p results
-cargo run -p dita-lint --release --quiet -- --workspace --deny > results/lint.json
+cargo run -p dita-lint --release --quiet -- --workspace --deny --out results/lint.json
 
 # End-to-end observability smoke: runs an instrumented search/join/kNN,
 # self-validates the span hierarchy, funnel consistency and per-op
